@@ -1,0 +1,131 @@
+//! Micro-benchmarks for the summary-matrix (`n, L, Q`) computation:
+//! SQL vs UDF (Figures 1-2), parameter-passing styles (Figure 3),
+//! matrix shapes (Figures 4-5), GROUP BY (Table 5), and blocked
+//! high-d calls (Table 6), at criterion-friendly sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nlq_bench::{col_names, db_with_points, mixture_data};
+use nlq_engine::{Db, NlqMethod};
+use nlq_models::MatrixShape;
+use nlq_udf::ParamStyle;
+
+const N: usize = 2000;
+const WORKERS: usize = 4;
+
+fn db_at(d: usize) -> (Db, Vec<String>) {
+    let rows = mixture_data(N, d, 0xc001 + d as u64);
+    (db_with_points(WORKERS, &rows, false), col_names(d))
+}
+
+fn bench_sql_vs_udf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nlq_sql_vs_udf");
+    for d in [8usize, 32] {
+        let (db, names) = db_at(d);
+        let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+        group.bench_with_input(BenchmarkId::new("sql", d), &d, |b, _| {
+            b.iter(|| {
+                black_box(
+                    db.compute_nlq_with(NlqMethod::Sql, "X", &cols, MatrixShape::Triangular)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("udf", d), &d, |b, _| {
+            b.iter(|| {
+                black_box(
+                    db.compute_nlq_with(NlqMethod::UdfList, "X", &cols, MatrixShape::Triangular)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_param_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nlq_param_style");
+    for d in [8usize, 32] {
+        let (db, names) = db_at(d);
+        let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+        group.bench_with_input(BenchmarkId::new("list", d), &d, |b, _| {
+            b.iter(|| {
+                black_box(
+                    db.compute_nlq_with(NlqMethod::UdfList, "X", &cols, MatrixShape::Triangular)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("string", d), &d, |b, _| {
+            b.iter(|| {
+                black_box(
+                    db.compute_nlq_with(NlqMethod::UdfString, "X", &cols, MatrixShape::Triangular)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nlq_matrix_shape");
+    let d = 32;
+    let (db, names) = db_at(d);
+    let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+    for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
+        group.bench_with_input(BenchmarkId::new(shape.name(), d), &shape, |b, &shape| {
+            b.iter(|| black_box(db.compute_nlq("X", &cols, shape).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nlq_group_by");
+    let d = 8;
+    let (db, names) = db_at(d);
+    let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+    for k in [2usize, 16] {
+        let expr = format!("i % {k}");
+        group.bench_with_input(BenchmarkId::new("groups", k), &k, |b, _| {
+            b.iter(|| {
+                black_box(
+                    db.compute_nlq_grouped(
+                        "X",
+                        &cols,
+                        &expr,
+                        MatrixShape::Diagonal,
+                        ParamStyle::List,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_blocked(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nlq_blocked");
+    group.sample_size(10);
+    for d in [16usize, 32] {
+        let (db, names) = db_at(d);
+        let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+        group.bench_with_input(BenchmarkId::new("block8", d), &d, |b, _| {
+            b.iter(|| black_box(db.compute_nlq_blocked("X", &cols, 8).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sql_vs_udf,
+    bench_param_styles,
+    bench_matrix_shapes,
+    bench_group_by,
+    bench_blocked
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Experiment driver: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments [--scale S] [--workers W] [--repeat R] [--only id,id,...] [--out DIR]
+//! ```
+//!
+//! * `--scale S`   — divide the paper's row counts by `S` (default 20;
+//!   `--scale 1` runs the paper's full sizes).
+//! * `--workers W` — parallel DBMS workers (default 20, the paper's
+//!   thread count).
+//! * `--repeat R`  — repetitions per measurement, median reported
+//!   (default 1; the paper averaged 5).
+//! * `--only ids`  — comma-separated experiment ids
+//!   (`table1..table6`, `fig1..fig6`).
+//! * `--out DIR`   — also write each report to `DIR/<id>.txt`
+//!   (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nlq_bench::{experiments, Config};
+
+fn main() -> ExitCode {
+    let mut cfg = Config::default();
+    let mut only: Option<Vec<String>> = None;
+    let mut out_dir = PathBuf::from("results");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scale" => match value("--scale").parse() {
+                Ok(v) if v >= 1 => cfg.scale = v,
+                _ => return usage("--scale needs a positive integer"),
+            },
+            "--workers" => match value("--workers").parse() {
+                Ok(v) if v >= 1 => cfg.workers = v,
+                _ => return usage("--workers needs a positive integer"),
+            },
+            "--repeat" => match value("--repeat").parse() {
+                Ok(v) if v >= 1 => cfg.repeat = v,
+                _ => return usage("--repeat needs a positive integer"),
+            },
+            "--cpu-ratio" => match value("--cpu-ratio").parse::<f64>() {
+                Ok(v) if v >= 1.0 => cfg.cpu_ratio = Some(v),
+                _ => return usage("--cpu-ratio needs a number >= 1"),
+            },
+            "--only" => {
+                only = Some(value("--only").split(',').map(str::to_owned).collect());
+            }
+            "--out" => out_dir = PathBuf::from(value("--out")),
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let ids: Vec<String> = match only {
+        Some(ids) => ids,
+        None => experiments::IDS.iter().map(|s| (*s).to_owned()).collect(),
+    };
+    for id in &ids {
+        if !experiments::IDS.contains(&id.as_str()) {
+            return usage(&format!("unknown experiment id {id}"));
+        }
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create output directory {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "# nlq experiments — scale=1/{}, workers={}, repeat={}",
+        cfg.scale, cfg.workers, cfg.repeat
+    );
+    println!();
+    for id in &ids {
+        let start = std::time::Instant::now();
+        let report = experiments::by_id(&cfg, id).expect("id validated above");
+        let text = report.render();
+        println!("{text}");
+        println!("   [{id} completed in {:.1}s]", start.elapsed().as_secs_f64());
+        println!();
+        let path = out_dir.join(format!("{id}.txt"));
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: experiments [--scale S] [--workers W] [--repeat R] [--cpu-ratio C] [--only id,id] [--out DIR]"
+    );
+    eprintln!("experiment ids: {}", experiments::IDS.join(", "));
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

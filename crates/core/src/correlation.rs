@@ -1,0 +1,137 @@
+use nlq_linalg::Matrix;
+
+use crate::{Nlq, Result};
+
+/// Correlation analysis (§3.1, §3.2).
+///
+/// As the paper notes, "the correlation matrix is not a model, but it
+/// can be used to understand and build linear models" — it is the
+/// standard input to PCA on standardized data and a first diagnostic
+/// for regression. This type wraps the d × d Pearson matrix derived
+/// entirely from `n, L, Q`, and offers simple exploration helpers.
+#[derive(Debug, Clone)]
+pub struct CorrelationModel {
+    rho: Matrix,
+}
+
+impl CorrelationModel {
+    /// Builds the correlation matrix from sufficient statistics.
+    ///
+    /// Requires triangular or full statistics (the diagonal shape
+    /// lacks cross-products) and at least two points; errors if any
+    /// dimension has zero variance.
+    pub fn fit(nlq: &Nlq) -> Result<Self> {
+        Ok(CorrelationModel { rho: nlq.correlation()? })
+    }
+
+    /// The d × d correlation matrix; symmetric with unit diagonal.
+    pub fn matrix(&self) -> &Matrix {
+        &self.rho
+    }
+
+    /// Dimensionality.
+    pub fn d(&self) -> usize {
+        self.rho.rows()
+    }
+
+    /// The correlation coefficient between dimensions `a` and `b`
+    /// (0-based).
+    pub fn coefficient(&self, a: usize, b: usize) -> f64 {
+        self.rho[(a, b)]
+    }
+
+    /// All dimension pairs `(a, b, rho)` with `|rho| >= threshold`,
+    /// strongest first. A typical exploratory query ("which variables
+    /// move together?").
+    pub fn strong_pairs(&self, threshold: f64) -> Vec<(usize, usize, f64)> {
+        let d = self.d();
+        let mut pairs = Vec::new();
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let r = self.rho[(a, b)];
+                if r.abs() >= threshold {
+                    pairs.push((a, b, r));
+                }
+            }
+        }
+        pairs.sort_by(|x, y| y.2.abs().partial_cmp(&x.2.abs()).expect("rho is finite"));
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatrixShape;
+
+    fn fit(rows: &[Vec<f64>]) -> CorrelationModel {
+        let d = rows[0].len();
+        CorrelationModel::fit(&Nlq::from_rows(d, MatrixShape::Triangular, rows)).unwrap()
+    }
+
+    #[test]
+    fn diagonal_is_one() {
+        let m = fit(&[
+            vec![1.0, 9.0, 2.0],
+            vec![2.0, 7.0, 1.0],
+            vec![3.0, 8.0, 5.0],
+            vec![4.0, 1.0, 2.5],
+        ]);
+        for a in 0..3 {
+            assert!((m.coefficient(a, a) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let m = fit(&[
+            vec![1.0, 9.0],
+            vec![2.0, 7.0],
+            vec![3.0, 8.0],
+            vec![4.0, 1.0],
+        ]);
+        assert!((m.coefficient(0, 1) - m.coefficient(1, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_hand_computed_pearson() {
+        // x = [1,2,3], y = [2,2,5]: r = cov/sd_x/sd_y
+        // mean_x=2, mean_y=3; cov = ((-1)(-1) + 0*(-1) + 1*2)/3 = 1
+        // var_x = 2/3, var_y = (1+1+4)/3 = 2 -> r = 1/sqrt(2/3 * 2) ≈ 0.866
+        let m = fit(&[vec![1.0, 2.0], vec![2.0, 2.0], vec![3.0, 5.0]]);
+        assert!((m.coefficient(0, 1) - 0.8660254).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strong_pairs_sorted_by_magnitude() {
+        let rows = vec![
+            vec![1.0, 2.0, -1.1, 0.3],
+            vec![2.0, 4.0, -1.9, 0.9],
+            vec![3.0, 6.1, -3.2, 0.1],
+            vec![4.0, 7.9, -3.8, 0.7],
+        ];
+        let m = fit(&rows);
+        let pairs = m.strong_pairs(0.9);
+        assert!(!pairs.is_empty());
+        // (0,1) is near-perfect positive, (0,2) near-perfect negative.
+        assert!(pairs.iter().any(|&(a, b, r)| a == 0 && b == 1 && r > 0.99));
+        assert!(pairs.iter().any(|&(a, b, r)| a == 0 && b == 2 && r < -0.99));
+        for w in pairs.windows(2) {
+            assert!(w[0].2.abs() >= w[1].2.abs());
+        }
+    }
+
+    #[test]
+    fn independent_dimensions_have_low_correlation() {
+        // Deterministic pseudo-random-ish pattern with low cross correlation.
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let x = (i as f64 * 0.7).sin() * 10.0;
+                let y = (i as f64 * 1.3 + 2.0).cos() * 10.0;
+                vec![x, y]
+            })
+            .collect();
+        let m = fit(&rows);
+        assert!(m.coefficient(0, 1).abs() < 0.3);
+    }
+}

@@ -1,0 +1,316 @@
+use nlq_linalg::{invert, Lu, Matrix};
+
+use crate::{ModelError, Nlq, Pca, PcaInput, Result};
+
+/// Configuration for maximum-likelihood factor analysis.
+#[derive(Debug, Clone)]
+pub struct FactorAnalysisConfig {
+    /// Number of factors `k < d`.
+    pub k: usize,
+    /// EM iteration budget.
+    pub max_iters: usize,
+    /// Convergence threshold on the log-likelihood improvement per
+    /// iteration.
+    pub tol: f64,
+    /// Lower bound on the uniquenesses (diagonal noise variances), for
+    /// numerical stability.
+    pub min_psi: f64,
+}
+
+impl FactorAnalysisConfig {
+    /// Reasonable defaults for `k` factors.
+    pub fn new(k: usize) -> Self {
+        FactorAnalysisConfig { k, max_iters: 500, tol: 1e-5, min_psi: 1e-6 }
+    }
+}
+
+/// Maximum-likelihood factor analysis fitted with EM (§3.1: "Maximum
+/// likelihood (ML) factor analysis uses an Expectation-Maximization
+/// (EM) algorithm to get factors").
+///
+/// The model is `x = μ + Λ z + ε` with `z ~ N(0, I_k)` and
+/// `ε ~ N(0, Ψ)`, `Ψ` diagonal. Like PCA, the EM iterations consume
+/// only the covariance matrix `S` derived from `n, L, Q` — the data
+/// set `X` is never revisited.
+#[derive(Debug, Clone)]
+pub struct FactorAnalysis {
+    lambda: Matrix,
+    psi: Vec<f64>,
+    mu: Vec<f64>,
+    log_likelihood: f64,
+    iterations: usize,
+    converged: bool,
+}
+
+impl FactorAnalysis {
+    /// Fits the model from triangular or full statistics.
+    pub fn fit(nlq: &Nlq, config: &FactorAnalysisConfig) -> Result<Self> {
+        let d = nlq.d();
+        let k = config.k;
+        if k == 0 || k >= d {
+            return Err(ModelError::InvalidConfig(format!(
+                "factor count k={k} must be in 1..{d}"
+            )));
+        }
+        let n = nlq.n();
+        if n < 2.0 {
+            return Err(ModelError::NotEnoughData { needed: 2, got: n as usize });
+        }
+        let s = nlq.covariance()?;
+        let mu = nlq.mean()?.into_vec();
+
+        // Initialize Λ from PCA loadings scaled by the square root of
+        // the eigenvalues, Ψ from the residual diagonal.
+        let pca = Pca::fit(nlq, k, PcaInput::Covariance)?;
+        let mut lambda = Matrix::from_fn(d, k, |r, c| {
+            pca.lambda()[(r, c)] * pca.eigenvalues()[c].max(config.min_psi).sqrt()
+        });
+        let mut psi: Vec<f64> = (0..d)
+            .map(|r| {
+                let mut communality = 0.0;
+                for c in 0..k {
+                    communality += lambda[(r, c)] * lambda[(r, c)];
+                }
+                (s[(r, r)] - communality).max(config.min_psi)
+            })
+            .collect();
+
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut log_likelihood = prev_ll;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iter in 0..config.max_iters {
+            iterations = iter + 1;
+
+            // Model covariance Σ = Λ Λᵀ + Ψ and its inverse.
+            let mut sigma = lambda.matmul(&lambda.transpose())?;
+            for r in 0..d {
+                sigma[(r, r)] += psi[r];
+            }
+            let lu = Lu::new(&sigma)?;
+            let sigma_inv = lu.inverse()?;
+            let log_det = {
+                let det = lu.determinant();
+                if det <= 0.0 {
+                    return Err(ModelError::Linalg(nlq_linalg::LinalgError::NotPositiveDefinite));
+                }
+                det.ln()
+            };
+
+            // Log-likelihood (up to the model-independent constant):
+            // -n/2 (d ln 2π + ln|Σ| + tr(Σ⁻¹ S)).
+            let trace = sigma_inv.matmul(&s)?.trace();
+            log_likelihood = -0.5
+                * n
+                * (d as f64 * (2.0 * std::f64::consts::PI).ln() + log_det + trace);
+
+            if (log_likelihood - prev_ll).abs() < config.tol * (1.0 + log_likelihood.abs()) {
+                converged = true;
+                break;
+            }
+            prev_ll = log_likelihood;
+
+            // E-step summaries: B = Λᵀ Σ⁻¹ (k×d),
+            // E[zzᵀ] = I − BΛ + B S Bᵀ.
+            let b = lambda.transpose().matmul(&sigma_inv)?;
+            let bs = b.matmul(&s)?; // k×d
+            let ezz = {
+                let bl = b.matmul(&lambda)?;
+                let bsb = bs.matmul(&b.transpose())?;
+                let mut m = Matrix::identity(k);
+                m = m.try_sub(&bl)?;
+                m.try_add(&bsb)?
+            };
+
+            // M-step: Λ ← S Bᵀ (E[zzᵀ])⁻¹, Ψ ← diag(S − Λ B S).
+            let ezz_inv = invert(&ezz)?;
+            let new_lambda = s.matmul(&b.transpose())?.matmul(&ezz_inv)?;
+            let lbs = new_lambda.matmul(&bs)?;
+            for (r, p) in psi.iter_mut().enumerate() {
+                *p = (s[(r, r)] - lbs[(r, r)]).max(config.min_psi);
+            }
+            lambda = new_lambda;
+        }
+
+        Ok(FactorAnalysis { lambda, psi, mu, log_likelihood, iterations, converged })
+    }
+
+    /// The d × k factor loading matrix `Λ`.
+    pub fn lambda(&self) -> &Matrix {
+        &self.lambda
+    }
+
+    /// The diagonal noise variances `Ψ` (uniquenesses).
+    pub fn psi(&self) -> &[f64] {
+        &self.psi
+    }
+
+    /// The mean vector `μ`.
+    pub fn mu(&self) -> &[f64] {
+        &self.mu
+    }
+
+    /// Final (unnormalized) log-likelihood of the fitted model.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// Number of EM iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the log-likelihood converged within the budget.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// The model-implied covariance `Λ Λᵀ + Ψ`.
+    pub fn implied_covariance(&self) -> Matrix {
+        let mut sigma = self
+            .lambda
+            .matmul(&self.lambda.transpose())
+            .expect("lambda shapes are consistent");
+        for r in 0..self.psi.len() {
+            sigma[(r, r)] += self.psi[r];
+        }
+        sigma
+    }
+
+    /// Scores a point: posterior factor mean
+    /// `E[z | x] = Λᵀ (Λ Λᵀ + Ψ)⁻¹ (x − μ)`.
+    ///
+    /// Note this differs from the paper's `fascore` (which uses the
+    /// plain projection `Λᵀ (x − μ)` shared with PCA); the posterior
+    /// mean is the statistically correct FA score and is provided as
+    /// the richer alternative.
+    pub fn score(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let d = self.mu.len();
+        if x.len() != d {
+            return Err(ModelError::DimensionMismatch { expected: d, got: x.len() });
+        }
+        let sigma_inv = invert(&self.implied_covariance())?;
+        let b = self.lambda.transpose().matmul(&sigma_inv)?; // k×d
+        let centered: Vec<f64> = x.iter().zip(&self.mu).map(|(a, m)| a - m).collect();
+        Ok((0..b.rows())
+            .map(|j| crate::scoring::dot(b.row(j), &centered))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatrixShape;
+
+    /// Synthetic one-factor data: x = μ + λ z + ε with known loading
+    /// direction, built deterministically.
+    fn one_factor_rows() -> Vec<Vec<f64>> {
+        let loading = [2.0, 1.0, -1.0, 0.5];
+        let mu = [10.0, -5.0, 0.0, 3.0];
+        (0..400)
+            .map(|i| {
+                // Deterministic pseudo-noise with decent coverage.
+                let z = ((i as f64 * 0.61803).fract() - 0.5) * 6.0;
+                (0..4)
+                    .map(|a| {
+                        let eps = (((i * 131 + a * 17) % 101) as f64 / 101.0 - 0.5) * 0.4;
+                        mu[a] + loading[a] * z + eps
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn stats(rows: &[Vec<f64>]) -> Nlq {
+        Nlq::from_rows(rows[0].len(), MatrixShape::Triangular, rows)
+    }
+
+    #[test]
+    fn recovers_one_factor_structure() {
+        let fa = FactorAnalysis::fit(&stats(&one_factor_rows()), &FactorAnalysisConfig::new(1))
+            .unwrap();
+        // Loadings proportional to (2, 1, -1, 0.5) up to sign.
+        let l: Vec<f64> = (0..4).map(|r| fa.lambda()[(r, 0)]).collect();
+        let scale = l[0] / 2.0;
+        assert!(scale.abs() > 0.1, "degenerate loadings {l:?}");
+        assert!((l[1] / scale - 1.0).abs() < 0.1, "{l:?}");
+        assert!((l[2] / scale + 1.0).abs() < 0.1, "{l:?}");
+        assert!((l[3] / scale - 0.5).abs() < 0.1, "{l:?}");
+        // Noise was tiny, so uniquenesses are small relative to signal.
+        assert!(fa.psi().iter().all(|&p| p < 0.5), "psi = {:?}", fa.psi());
+    }
+
+    #[test]
+    fn implied_covariance_approximates_sample_covariance() {
+        let rows = one_factor_rows();
+        let s = stats(&rows);
+        let fa = FactorAnalysis::fit(&s, &FactorAnalysisConfig::new(1)).unwrap();
+        let sample = s.covariance().unwrap();
+        let implied = fa.implied_covariance();
+        let rel = (&sample - &implied).frobenius_norm() / sample.frobenius_norm();
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn log_likelihood_is_monotone_and_converges() {
+        let s = stats(&one_factor_rows());
+        // EM guarantees monotone log-likelihood: more iterations never hurt.
+        let mut prev = f64::NEG_INFINITY;
+        for iters in [1, 5, 25, 125] {
+            let fa = FactorAnalysis::fit(
+                &s,
+                &FactorAnalysisConfig { max_iters: iters, ..FactorAnalysisConfig::new(1) },
+            )
+            .unwrap();
+            assert!(
+                fa.log_likelihood() >= prev - 1e-9,
+                "log-likelihood decreased: {prev} -> {}",
+                fa.log_likelihood()
+            );
+            prev = fa.log_likelihood();
+        }
+        // With a practical tolerance the fit converges well within budget.
+        let fa = FactorAnalysis::fit(
+            &s,
+            &FactorAnalysisConfig { tol: 1e-4, ..FactorAnalysisConfig::new(1) },
+        )
+        .unwrap();
+        assert!(fa.converged(), "did not converge in {} iters", fa.iterations());
+        assert!(fa.log_likelihood().is_finite());
+    }
+
+    #[test]
+    fn score_is_near_zero_at_the_mean() {
+        let rows = one_factor_rows();
+        let s = stats(&rows);
+        let fa = FactorAnalysis::fit(&s, &FactorAnalysisConfig::new(1)).unwrap();
+        let mu = fa.mu().to_vec();
+        let score = fa.score(&mu).unwrap();
+        assert!(score[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let s = stats(&one_factor_rows());
+        assert!(matches!(
+            FactorAnalysis::fit(&s, &FactorAnalysisConfig::new(0)),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            FactorAnalysis::fit(&s, &FactorAnalysisConfig::new(4)),
+            Err(ModelError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn score_dimension_mismatch_rejected() {
+        let s = stats(&one_factor_rows());
+        let fa = FactorAnalysis::fit(&s, &FactorAnalysisConfig::new(1)).unwrap();
+        assert!(matches!(
+            fa.score(&[1.0, 2.0]),
+            Err(ModelError::DimensionMismatch { expected: 4, got: 2 })
+        ));
+    }
+}

@@ -1,0 +1,123 @@
+use crate::{ModelError, Result};
+
+/// Equi-width histogram over one dimension.
+///
+/// The paper notes the aggregate UDF "also computes the minimum and
+/// maximum for each dimension, which can be used to detect outliers
+/// or build histograms" (§3.4). This type closes that loop: the
+/// min/max from an [`crate::Nlq`] define the bucket range, and a
+/// second cheap scan fills the counts.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width bins over
+    /// `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Result<Self> {
+        if buckets == 0 {
+            return Err(ModelError::InvalidConfig("need at least one bucket".into()));
+        }
+        if lo >= hi || !(lo.is_finite() && hi.is_finite()) {
+            return Err(ModelError::InvalidConfig(format!(
+                "invalid range [{lo}, {hi}]"
+            )));
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; buckets], below: 0, above: 0 })
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one observation. Values outside the range are tallied in
+    /// the outlier counters (the min/max came from a previous scan, so
+    /// new data may exceed them).
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x > self.hi {
+            self.above += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let mut idx = ((x - self.lo) / width) as usize;
+            if idx >= self.counts.len() {
+                idx = self.counts.len() - 1; // x == hi lands in the last bucket
+            }
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range.
+    pub fn below(&self) -> u64 {
+        self.below
+    }
+
+    /// Observations above the range.
+    pub fn above(&self) -> u64 {
+        self.above
+    }
+
+    /// Total observations added (including outliers).
+    pub fn total(&self) -> u64 {
+        self.below + self.above + self.counts.iter().sum::<u64>()
+    }
+
+    /// The `[lo, hi)` bounds of bucket `b`.
+    pub fn bucket_range(&self, b: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + b as f64 * width, self.lo + (b + 1) as f64 * width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_fill_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99, 10.0] {
+            h.add(x);
+        }
+        // Buckets: [0,2) [2,4) [4,6) [6,8) [8,10]
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 2]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn outliers_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-0.5);
+        h.add(2.0);
+        h.add(0.5);
+        assert_eq!(h.below(), 1);
+        assert_eq!(h.above(), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bucket_range_covers_span() {
+        let h = Histogram::new(-10.0, 10.0, 4).unwrap();
+        assert_eq!(h.bucket_range(0), (-10.0, -5.0));
+        assert_eq!(h.bucket_range(3), (5.0, 10.0));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 3).is_err());
+        assert!(Histogram::new(2.0, 1.0, 3).is_err());
+    }
+}

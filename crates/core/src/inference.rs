@@ -1,0 +1,305 @@
+//! Statistical inference on models built from sufficient statistics.
+//!
+//! The paper computes `var(β)` "to evaluate error" (§3.1) but stops
+//! short of the hypothesis tests a statistician derives from it. This
+//! module completes that step — entirely from quantities already
+//! available via `n, L, Q`:
+//!
+//! * [`regression_t_tests`] — per-coefficient t statistics and
+//!   two-sided p-values from `var(β)`;
+//! * [`correlation_t_test`] — significance of a Pearson correlation;
+//! * [`student_t_sf`] / [`regularized_incomplete_beta`] — the special
+//!   functions behind them, implemented from scratch (continued
+//!   fraction per Numerical Recipes §6.4).
+
+use crate::{LinearRegression, ModelError, Result};
+
+/// Natural log of the gamma function (Lanczos approximation, accurate
+/// to ~1e-13 for positive arguments).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula for small x.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The regularized incomplete beta function `I_x(a, b)`, evaluated
+/// with the Lentz continued-fraction method.
+///
+/// Domain: `a, b > 0`, `0 <= x <= 1`.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> Result<f64> {
+    if a <= 0.0 || b <= 0.0 || a.is_nan() || b.is_nan() {
+        return Err(ModelError::InvalidConfig(format!(
+            "incomplete beta requires a, b > 0 (got a={a}, b={b})"
+        )));
+    }
+    if !(0.0..=1.0).contains(&x) {
+        return Err(ModelError::InvalidConfig(format!(
+            "incomplete beta requires x in [0, 1] (got {x})"
+        )));
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x == 1.0 {
+        return Ok(1.0);
+    }
+    // Prefactor: x^a (1-x)^b / (a B(a, b)).
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    // Use the symmetry relation to keep the continued fraction in its
+    // rapidly converging region.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        Ok((ln_front.exp() * beta_cf(a, b, x)? / a).clamp(0.0, 1.0))
+    } else {
+        Ok((1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x)? / b).clamp(0.0, 1.0))
+    }
+}
+
+/// Modified Lentz evaluation of the continued fraction for the
+/// incomplete beta function.
+fn beta_cf(a: f64, b: f64, x: f64) -> Result<f64> {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return Ok(h);
+        }
+    }
+    Err(ModelError::Linalg(nlq_linalg::LinalgError::NoConvergence {
+        iterations: MAX_ITER,
+    }))
+}
+
+/// Survival function of Student's t distribution: `P(T > t)` with
+/// `df` degrees of freedom (one-sided).
+pub fn student_t_sf(t: f64, df: f64) -> Result<f64> {
+    if df <= 0.0 {
+        return Err(ModelError::InvalidConfig(format!(
+            "degrees of freedom must be positive (got {df})"
+        )));
+    }
+    let x = df / (df + t * t);
+    let p_two_sided = regularized_incomplete_beta(df / 2.0, 0.5, x)?;
+    Ok(if t >= 0.0 {
+        0.5 * p_two_sided
+    } else {
+        1.0 - 0.5 * p_two_sided
+    })
+}
+
+/// Two-sided p-value for a t statistic.
+pub fn student_t_p_value(t: f64, df: f64) -> Result<f64> {
+    let x = df / (df + t * t);
+    regularized_incomplete_beta(df / 2.0, 0.5, x)
+}
+
+/// One coefficient's inference summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoefficientTest {
+    /// Coefficient estimate (index 0 is the intercept β₀).
+    pub estimate: f64,
+    /// Standard error from `var(β)`.
+    pub std_error: f64,
+    /// t statistic (`estimate / std_error`).
+    pub t_statistic: f64,
+    /// Two-sided p-value against H₀: coefficient = 0.
+    pub p_value: f64,
+}
+
+/// Per-coefficient t tests for a fitted regression (intercept first).
+///
+/// Requires the model to carry `var(β)` (i.e. `n > d + 1`).
+pub fn regression_t_tests(model: &LinearRegression) -> Result<Vec<CoefficientTest>> {
+    let se = model.std_errors().ok_or(ModelError::NotEnoughData {
+        needed: model.d() + 2,
+        got: model.n() as usize,
+    })?;
+    let df = model.n() - (model.d() + 1) as f64;
+    let mut estimates = Vec::with_capacity(model.d() + 1);
+    estimates.push(model.intercept());
+    estimates.extend_from_slice(model.coefficients().as_slice());
+    estimates
+        .into_iter()
+        .zip(se)
+        .map(|(estimate, std_error)| {
+            let t_statistic = if std_error > 0.0 {
+                estimate / std_error
+            } else {
+                f64::INFINITY * estimate.signum()
+            };
+            let p_value = if t_statistic.is_finite() {
+                student_t_p_value(t_statistic, df)?
+            } else {
+                0.0
+            };
+            Ok(CoefficientTest { estimate, std_error, t_statistic, p_value })
+        })
+        .collect()
+}
+
+/// Significance test for a Pearson correlation coefficient `r`
+/// computed over `n` points: t statistic and two-sided p-value for
+/// H₀: ρ = 0 (`t = r √(n−2) / √(1−r²)`, df = n − 2).
+pub fn correlation_t_test(r: f64, n: f64) -> Result<(f64, f64)> {
+    if n < 3.0 {
+        return Err(ModelError::NotEnoughData { needed: 3, got: n as usize });
+    }
+    if !(-1.0..=1.0).contains(&r) {
+        return Err(ModelError::InvalidConfig(format!(
+            "correlation must be in [-1, 1] (got {r})"
+        )));
+    }
+    let df = n - 2.0;
+    if (r.abs() - 1.0).abs() < f64::EPSILON {
+        return Ok((f64::INFINITY * r.signum(), 0.0));
+    }
+    let t = r * df.sqrt() / (1.0 - r * r).sqrt();
+    Ok((t, student_t_p_value(t, df)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MatrixShape, Nlq};
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundary_and_symmetry() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0).unwrap(), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0).unwrap(), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.7), (5.0, 1.5, 0.2)] {
+            let lhs = regularized_incomplete_beta(a, b, x).unwrap();
+            let rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x).unwrap();
+            assert!((lhs - rhs).abs() < 1e-12, "({a},{b},{x})");
+        }
+        // I_x(1,1) = x (uniform).
+        assert!((regularized_incomplete_beta(1.0, 1.0, 0.3).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_distribution_reference_values() {
+        // df = 1 is Cauchy: P(T > 1) = 0.25.
+        assert!((student_t_sf(1.0, 1.0).unwrap() - 0.25).abs() < 1e-10);
+        // Symmetric: P(T > 0) = 0.5.
+        assert!((student_t_sf(0.0, 7.0).unwrap() - 0.5).abs() < 1e-12);
+        // Classic two-sided critical value: t = 2.228, df = 10 -> p ≈ 0.05.
+        let p = student_t_p_value(2.228, 10.0).unwrap();
+        assert!((p - 0.05).abs() < 1e-3, "p = {p}");
+        // Large df approaches the normal: t = 1.96 -> p ≈ 0.05.
+        let p = student_t_p_value(1.96, 100_000.0).unwrap();
+        assert!((p - 0.05).abs() < 5e-4, "p = {p}");
+        // Negative t mirrors positive.
+        let sf_pos = student_t_sf(1.5, 9.0).unwrap();
+        let sf_neg = student_t_sf(-1.5, 9.0).unwrap();
+        assert!((sf_pos + sf_neg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_t_tests_flag_the_real_predictor() {
+        // y = 3 x1 + noise; x2 is pure noise.
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let x1 = (i % 29) as f64;
+                let x2 = ((i * 17) % 23) as f64;
+                let noise = ((i * 7919) % 13) as f64 - 6.0;
+                vec![x1, x2, 3.0 * x1 + noise]
+            })
+            .collect();
+        let nlq = Nlq::from_rows(3, MatrixShape::Triangular, &rows);
+        let model = LinearRegression::fit(&nlq).unwrap();
+        let tests = regression_t_tests(&model).unwrap();
+        assert_eq!(tests.len(), 3); // intercept + 2 coefficients
+        // x1 is overwhelmingly significant.
+        assert!(tests[1].p_value < 1e-10, "x1 p = {}", tests[1].p_value);
+        assert!(tests[1].t_statistic > 10.0);
+        // x2 is not.
+        assert!(tests[2].p_value > 0.05, "x2 p = {}", tests[2].p_value);
+    }
+
+    #[test]
+    fn correlation_test_behaviour() {
+        // Strong correlation over many points: tiny p.
+        let (t, p) = correlation_t_test(0.9, 100.0).unwrap();
+        assert!(t > 10.0);
+        assert!(p < 1e-10);
+        // Weak correlation over few points: not significant.
+        let (_, p) = correlation_t_test(0.1, 20.0).unwrap();
+        assert!(p > 0.3);
+        // Perfect correlation.
+        let (t, p) = correlation_t_test(1.0, 10.0).unwrap();
+        assert!(t.is_infinite() && p == 0.0);
+        // Errors.
+        assert!(correlation_t_test(0.5, 2.0).is_err());
+        assert!(correlation_t_test(1.5, 10.0).is_err());
+    }
+}

@@ -1,0 +1,463 @@
+use nlq_linalg::Vector;
+
+use crate::scoring::{nearest_centroid, squared_distance};
+use crate::{MatrixShape, ModelError, Nlq, Result};
+
+/// Configuration for K-means clustering.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum full iterations (scans of the data).
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tol: f64,
+    /// Seed for the deterministic k-means++-style initialization.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Reasonable defaults for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig { k, max_iters: 50, tol: 1e-6, seed: 0x5eed_0003 }
+    }
+}
+
+/// The per-cluster outputs of K-means, exactly as the paper stores
+/// them in the DBMS (§3.5): centroids `C(j, X1..Xd)`, per-dimension
+/// variances ("radii") `R(j, X1..Xd)`, and weights `W(W1..Wk)`.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centroids: Vec<Vector>,
+    radii: Vec<Vector>,
+    weights: Vec<f64>,
+    /// Per-cluster point counts `N_j` from the final assignment.
+    counts: Vec<f64>,
+    iterations: usize,
+    converged: bool,
+    /// Total within-cluster sum of squared distances at the end.
+    sse: f64,
+}
+
+/// Derives centroid/radius/weight from one cluster's diagonal
+/// statistics (the paper's `C_j = L_j/N_j`, `R_j = Q_j/N_j − L_j Lᵀ_j/N_j²`,
+/// `W_j = N_j / n`).
+fn cluster_outputs(stats: &Nlq, total_n: f64) -> (Vector, Vector, f64) {
+    let nj = stats.n();
+    let d = stats.d();
+    if nj <= 0.0 {
+        return (Vector::zeros(d), Vector::zeros(d), 0.0);
+    }
+    let c = stats.l().scale(1.0 / nj);
+    let mut r = Vector::zeros(d);
+    for a in 0..d {
+        r[a] = (stats.q_raw()[(a, a)] / nj - c[a] * c[a]).max(0.0);
+    }
+    (c, r, nj / total_n)
+}
+
+/// Deterministic splitmix-style PRNG for initialization (keeps this
+/// crate free of the `rand` dependency).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// k-means++ style initialization: first centroid uniform, subsequent
+/// centroids sampled proportionally to squared distance from the
+/// nearest chosen centroid.
+fn init_centroids(data: &[Vec<f64>], k: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = SplitMix(seed);
+    let mut centroids: Vec<Vector> = Vec::with_capacity(k);
+    let first = (rng.next_u64() as usize) % data.len();
+    centroids.push(Vector::from_slice(&data[first]));
+    let mut dist2: Vec<f64> = data
+        .iter()
+        .map(|x| squared_distance(x, centroids[0].as_slice()))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with chosen centroids; fall back to
+            // uniform choice.
+            (rng.next_u64() as usize) % data.len()
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut idx = data.len() - 1;
+            for (i, &w) in dist2.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+            }
+            idx
+        };
+        let c = Vector::from_slice(&data[chosen]);
+        for (i, x) in data.iter().enumerate() {
+            let d2 = squared_distance(x, c.as_slice());
+            if d2 < dist2[i] {
+                dist2[i] = d2;
+            }
+        }
+        centroids.push(c);
+    }
+    centroids
+}
+
+impl KMeans {
+    /// Runs standard (Lloyd) K-means: one scan of `X` per iteration
+    /// (§3.1: "the standard version of K-means requires scanning X
+    /// once per iteration").
+    pub fn fit(data: &[Vec<f64>], config: &KMeansConfig) -> Result<Self> {
+        let k = config.k;
+        if k == 0 {
+            return Err(ModelError::InvalidConfig("k must be positive".into()));
+        }
+        if data.len() < k {
+            return Err(ModelError::NotEnoughData { needed: k, got: data.len() });
+        }
+        let d = data[0].len();
+        let mut centroids = init_centroids(data, k, config.seed);
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut per_cluster: Vec<Nlq> = Vec::new();
+
+        for iter in 0..config.max_iters.max(1) {
+            iterations = iter + 1;
+            // Assignment + per-cluster diagonal statistics in one scan.
+            per_cluster = (0..k).map(|_| Nlq::new(d, MatrixShape::Diagonal)).collect();
+            for x in data {
+                let dists: Vec<f64> = centroids
+                    .iter()
+                    .map(|c| squared_distance(x, c.as_slice()))
+                    .collect();
+                per_cluster[nearest_centroid(&dists)].update(x);
+            }
+            // Update step; empty clusters keep their old centroid.
+            let mut movement = 0.0;
+            for (j, stats) in per_cluster.iter().enumerate() {
+                if stats.n() > 0.0 {
+                    let new_c = stats.l().scale(1.0 / stats.n());
+                    movement += squared_distance(new_c.as_slice(), centroids[j].as_slice());
+                    centroids[j] = new_c;
+                }
+            }
+            if movement.sqrt() < config.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        let total_n = data.len() as f64;
+        let mut radii = Vec::with_capacity(k);
+        let mut weights = Vec::with_capacity(k);
+        let mut counts = Vec::with_capacity(k);
+        for (j, stats) in per_cluster.iter().enumerate() {
+            let (c, r, w) = cluster_outputs(stats, total_n);
+            if stats.n() > 0.0 {
+                centroids[j] = c;
+            }
+            radii.push(r);
+            weights.push(w);
+            counts.push(stats.n());
+        }
+
+        let sse = data
+            .iter()
+            .map(|x| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(x, c.as_slice()))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+
+        Ok(KMeans { centroids, radii, weights, counts, iterations, converged, sse })
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Dimensionality.
+    pub fn d(&self) -> usize {
+        self.centroids.first().map_or(0, Vector::len)
+    }
+
+    /// Cluster centroids `C_j` (the DBMS table `C(j, X1..Xd)`).
+    pub fn centroids(&self) -> &[Vector] {
+        &self.centroids
+    }
+
+    /// Per-dimension cluster variances `R_j` (table `R(j, X1..Xd)`).
+    pub fn radii(&self) -> &[Vector] {
+        &self.radii
+    }
+
+    /// Cluster weights `W_j = N_j / n` (table `W(W1..Wk)`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Final per-cluster point counts `N_j`.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether centroids stopped moving before the iteration budget.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Total within-cluster sum of squared distances.
+    pub fn sse(&self) -> f64 {
+        self.sse
+    }
+
+    /// Scores a point: index of the nearest centroid (the paper's
+    /// `distance` × k + `clusterscore` pipeline).
+    pub fn assign(&self, x: &[f64]) -> usize {
+        let dists: Vec<f64> = self
+            .centroids
+            .iter()
+            .map(|c| squared_distance(x, c.as_slice()))
+            .collect();
+        nearest_centroid(&dists)
+    }
+}
+
+/// Incremental one-pass K-means (§3.1: "there exist incremental
+/// versions that can get a good, but probably suboptimal, solution in
+/// a few or even one iteration").
+///
+/// Centroids are seeded from the first `k` distinct points and updated
+/// online: each point is assigned to the nearest current centroid,
+/// whose running mean is updated immediately.
+#[derive(Debug, Clone)]
+pub struct IncrementalKMeans {
+    stats: Vec<Nlq>,
+    centroids: Vec<Vector>,
+    d: usize,
+    seen: f64,
+}
+
+impl IncrementalKMeans {
+    /// Creates an empty model for `k` clusters of dimensionality `d`.
+    pub fn new(d: usize, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(ModelError::InvalidConfig("k must be positive".into()));
+        }
+        Ok(IncrementalKMeans {
+            stats: (0..k).map(|_| Nlq::new(d, MatrixShape::Diagonal)).collect(),
+            centroids: Vec::with_capacity(k),
+            d,
+            seen: 0.0,
+        })
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Processes one point: the first `k` points become the initial
+    /// centroids; every later point updates its nearest cluster's
+    /// running statistics and centroid. Returns the assigned cluster.
+    pub fn update(&mut self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.d, "point dimensionality mismatch");
+        self.seen += 1.0;
+        if self.centroids.len() < self.k() {
+            let j = self.centroids.len();
+            self.centroids.push(Vector::from_slice(x));
+            self.stats[j].update(x);
+            return j;
+        }
+        let dists: Vec<f64> = self
+            .centroids
+            .iter()
+            .map(|c| squared_distance(x, c.as_slice()))
+            .collect();
+        let j = nearest_centroid(&dists);
+        self.stats[j].update(x);
+        self.centroids[j] = self.stats[j].l().scale(1.0 / self.stats[j].n());
+        j
+    }
+
+    /// Finalizes the model into the same output form as [`KMeans`].
+    pub fn finish(self) -> Result<KMeans> {
+        if self.seen <= 0.0 {
+            return Err(ModelError::NotEnoughData { needed: self.k(), got: 0 });
+        }
+        let total = self.seen;
+        let mut centroids = Vec::with_capacity(self.k());
+        let mut radii = Vec::with_capacity(self.k());
+        let mut weights = Vec::with_capacity(self.k());
+        let mut counts = Vec::with_capacity(self.k());
+        for (j, stats) in self.stats.iter().enumerate() {
+            let (c, r, w) = cluster_outputs(stats, total);
+            let c = if stats.n() > 0.0 {
+                c
+            } else {
+                self.centroids.get(j).cloned().unwrap_or_else(|| Vector::zeros(self.d))
+            };
+            centroids.push(c);
+            radii.push(r);
+            weights.push(w);
+            counts.push(stats.n());
+        }
+        Ok(KMeans {
+            centroids,
+            radii,
+            weights,
+            counts,
+            iterations: 1,
+            converged: false,
+            sse: f64::NAN, // not tracked online; callers can recompute
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight, well separated blobs in 2-D.
+    fn blobs() -> Vec<Vec<f64>> {
+        let centers = [[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]];
+        let mut rows = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for i in 0..40 {
+                let dx = ((i * 13 + ci * 7) % 9) as f64 * 0.2 - 0.8;
+                let dy = ((i * 29 + ci * 3) % 9) as f64 * 0.2 - 0.8;
+                rows.push(vec![c[0] + dx, c[1] + dy]);
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn finds_separated_blobs() {
+        let data = blobs();
+        let km = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
+        assert!(km.converged());
+        // Each true center has a centroid within distance 2.
+        for target in [[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]] {
+            let found = km
+                .centroids()
+                .iter()
+                .any(|c| squared_distance(c.as_slice(), &target) < 4.0);
+            assert!(found, "no centroid near {target:?}: {:?}", km.centroids());
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_counts_to_n() {
+        let data = blobs();
+        let km = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
+        let w: f64 = km.weights().iter().sum();
+        assert!((w - 1.0).abs() < 1e-12);
+        let n: f64 = km.counts().iter().sum();
+        assert_eq!(n, data.len() as f64);
+        // Balanced blobs: each cluster ~1/3.
+        for &wj in km.weights() {
+            assert!((wj - 1.0 / 3.0).abs() < 0.05, "weights {:?}", km.weights());
+        }
+    }
+
+    #[test]
+    fn radii_reflect_in_cluster_variance() {
+        let data = blobs();
+        let km = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
+        // Blob jitter is within ±0.8 per axis: variances far below 1.
+        for r in km.radii() {
+            for a in 0..2 {
+                assert!(r[a] < 1.0, "radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn assign_maps_points_to_nearby_centroid() {
+        let data = blobs();
+        let km = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
+        let j = km.assign(&[49.0, 1.0]);
+        let c = &km.centroids()[j];
+        assert!(squared_distance(c.as_slice(), &[50.0, 0.0]) < 4.0);
+    }
+
+    #[test]
+    fn sse_decreases_with_more_clusters() {
+        let data = blobs();
+        let k1 = KMeans::fit(&data, &KMeansConfig::new(1)).unwrap();
+        let k3 = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
+        assert!(k3.sse() < k1.sse() * 0.1, "sse1={} sse3={}", k1.sse(), k3.sse());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let a = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
+        let b = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn incremental_one_pass_is_reasonable() {
+        let data = blobs();
+        let mut inc = IncrementalKMeans::new(2, 3).unwrap();
+        for x in &data {
+            inc.update(x);
+        }
+        let km = inc.finish().unwrap();
+        let w: f64 = km.weights().iter().sum();
+        assert!((w - 1.0).abs() < 1e-12);
+        // One-pass result is suboptimal but must still place centroids
+        // inside the data's bounding box.
+        for c in km.centroids() {
+            assert!(c[0] >= -2.0 && c[0] <= 52.0);
+            assert!(c[1] >= -2.0 && c[1] <= 52.0);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let data = blobs();
+        assert!(matches!(
+            KMeans::fit(&data, &KMeansConfig::new(0)),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            KMeans::fit(&data[..2], &KMeansConfig::new(3)),
+            Err(ModelError::NotEnoughData { .. })
+        ));
+        assert!(IncrementalKMeans::new(2, 0).is_err());
+        assert!(IncrementalKMeans::new(2, 3).unwrap().finish().is_err());
+    }
+
+    #[test]
+    fn identical_points_do_not_crash_init() {
+        let data = vec![vec![1.0, 1.0]; 10];
+        let km = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
+        assert_eq!(km.k(), 3);
+        // One cluster holds everything.
+        assert!((km.weights().iter().cloned().fold(0.0, f64::max) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+#![warn(missing_docs)]
+
+//! Statistical models built from sufficient statistics (the paper's
+//! primary contribution).
+//!
+//! Everything in this crate operates on the two summary matrices the
+//! paper identifies as *common and essential for all linear models*
+//! (§3.2):
+//!
+//! * `L = Σ xᵢ` — the linear sum of points (d × 1), and
+//! * `Q = X Xᵀ = Σ xᵢ xᵢᵀ` — the quadratic sum of cross-products (d × d),
+//!
+//! together with the row count `n`. The [`Nlq`] type holds all three
+//! (plus per-dimension min/max, which the paper's aggregate UDF also
+//! tracks), supports single-point accumulation and partial merging
+//! (the aggregate-UDF phases), and derives the mean, covariance and
+//! correlation matrices.
+//!
+//! Model builders consume an [`Nlq`] and never look at the data again:
+//!
+//! * [`CorrelationModel`] — the d × d Pearson correlation matrix;
+//! * [`LinearRegression`] — OLS `β = Q⁻¹ (X Yᵀ)` on the augmented
+//!   matrix `Z = (X, Y)`, with `var(β)`, R² and scoring;
+//! * [`Pca`] — principal component analysis from the correlation or
+//!   covariance matrix, with dimensionality-reduction scoring;
+//! * [`FactorAnalysis`] — maximum-likelihood factor analysis via EM;
+//! * [`KMeans`] — K-means clustering maintaining one diagonal
+//!   [`Nlq`] per cluster (plus an incremental one-pass variant);
+//! * [`GaussianMixture`] — EM clustering with diagonal covariances;
+//! * [`GaussianNb`] — Gaussian Naive Bayes from per-class statistics
+//!   (the paper's §6 future-work direction: classification from the
+//!   same sufficient statistics, one `GROUP BY` away).
+//!
+//! Scoring (model application, §3.5) lives in [`scoring`] as plain
+//! functions; the `nlq-udf` crate wraps them as scalar UDFs.
+
+mod correlation;
+mod em;
+mod factor;
+mod histogram;
+pub mod inference;
+mod kmeans;
+mod linreg;
+mod naive_bayes;
+mod nlq;
+mod outliers;
+mod pca;
+pub mod scoring;
+
+pub use correlation::CorrelationModel;
+pub use em::{GaussianMixture, GaussianMixtureConfig};
+pub use factor::{FactorAnalysis, FactorAnalysisConfig};
+pub use histogram::Histogram;
+pub use kmeans::{IncrementalKMeans, KMeans, KMeansConfig};
+pub use linreg::LinearRegression;
+pub use naive_bayes::GaussianNb;
+pub use nlq::{MatrixShape, Nlq};
+pub use outliers::{OutlierDetector, OutlierReason};
+pub use pca::{Pca, PcaInput};
+
+use std::fmt;
+
+/// Errors produced while building or applying models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The statistics cover too few points for the requested model
+    /// (e.g. regression needs `n > d + 1` for variance estimates).
+    NotEnoughData {
+        /// Minimum points required.
+        needed: usize,
+        /// Points available.
+        got: usize,
+    },
+    /// A dimension has zero variance, making correlation undefined.
+    ZeroVariance {
+        /// The offending 0-based dimension.
+        dimension: usize,
+    },
+    /// Underlying linear algebra failed (singular matrix, no
+    /// convergence, ...).
+    Linalg(nlq_linalg::LinalgError),
+    /// The model and the input point disagree on dimensionality.
+    DimensionMismatch {
+        /// Model dimensionality.
+        expected: usize,
+        /// Input dimensionality.
+        got: usize,
+    },
+    /// Invalid configuration (e.g. `k = 0` clusters).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotEnoughData { needed, got } => {
+                write!(f, "not enough data: need at least {needed} points, got {got}")
+            }
+            ModelError::ZeroVariance { dimension } => {
+                write!(f, "dimension {dimension} has zero variance")
+            }
+            ModelError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            ModelError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: model has d={expected}, input has d={got}")
+            }
+            ModelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nlq_linalg::LinalgError> for ModelError {
+    fn from(e: nlq_linalg::LinalgError) -> Self {
+        ModelError::Linalg(e)
+    }
+}
+
+/// Convenience result alias for model operations.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,316 @@
+use nlq_linalg::{Lu, Matrix, Vector};
+
+use crate::{MatrixShape, ModelError, Nlq, Result};
+
+/// Ordinary least squares linear regression built from sufficient
+/// statistics (§3.1, §3.2).
+///
+/// The paper stores the data as `X(i, X1..Xd, Y)` and computes the
+/// augmented statistics `Q' = Z Zᵀ` over `z = (x, y)`. From the
+/// `(d+1)`-dimensional [`Nlq`] whose **last dimension is Y**, `fit`
+/// assembles the intercept-augmented normal equations
+///
+/// ```text
+/// [ n    Lxᵀ  ] [β₀]   [ Σy  ]
+/// [ Lx   Qxx  ] [β ] = [ Qxy ]
+/// ```
+///
+/// and solves them with a pivoted LU factorization (the paper's
+/// `β = (X Xᵀ)⁻¹ (X Yᵀ)` with the customary `X0 = 1` extension).
+///
+/// The error statistics come for free from the same matrices:
+/// `SSE = Σy² − β̃ᵀ(X̃Yᵀ)` — so unlike the paper's two-scan
+/// formulation, no second pass over the data is needed (the algebraic
+/// identity holds exactly for the OLS optimum; a literal second-scan
+/// variant is provided for validation as [`LinearRegression::sse_by_scan`]).
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    intercept: f64,
+    coefficients: Vector,
+    /// `(X̃ X̃ᵀ)⁻¹ · SSE / (n − d − 1)`, when `n > d + 1`.
+    var_beta: Option<Matrix>,
+    sse: f64,
+    sst: f64,
+    n: f64,
+}
+
+impl LinearRegression {
+    /// Fits the model from `(d+1)`-dimensional statistics whose last
+    /// dimension is the dependent variable `Y`.
+    ///
+    /// Requires triangular or full statistics and at least `d + 1`
+    /// points; errors if the normal equations are singular (e.g.
+    /// collinear dimensions).
+    pub fn fit(nlq: &Nlq) -> Result<Self> {
+        if nlq.shape() == MatrixShape::Diagonal {
+            return Err(ModelError::InvalidConfig(
+                "linear regression needs cross-products; use triangular or full statistics".into(),
+            ));
+        }
+        let d = nlq.d() - 1; // number of independent dimensions
+        if d == 0 {
+            return Err(ModelError::InvalidConfig(
+                "need at least one independent dimension besides Y".into(),
+            ));
+        }
+        let n = nlq.n();
+        if n < (d + 1) as f64 {
+            return Err(ModelError::NotEnoughData { needed: d + 1, got: n as usize });
+        }
+        let q = nlq.q_full();
+        let l = nlq.l();
+
+        // Assemble X̃ X̃ᵀ (with the intercept row/column) and X̃ Yᵀ.
+        let mut a = Matrix::zeros(d + 1, d + 1);
+        a[(0, 0)] = n;
+        for r in 0..d {
+            a[(0, r + 1)] = l[r];
+            a[(r + 1, 0)] = l[r];
+            for c in 0..d {
+                a[(r + 1, c + 1)] = q[(r, c)];
+            }
+        }
+        let mut rhs = Vector::zeros(d + 1);
+        rhs[0] = l[d]; // Σy
+        for r in 0..d {
+            rhs[r + 1] = q[(r, d)]; // Σ x_r y
+        }
+
+        let lu = Lu::new(&a)?;
+        let beta_aug = lu.solve(&rhs)?;
+        let intercept = beta_aug[0];
+        let coefficients = Vector::from_slice(&beta_aug.as_slice()[1..]);
+
+        // SSE = Σy² − β̃ᵀ (X̃ Yᵀ); SST = Σy² − (Σy)²/n.
+        let syy = q[(d, d)];
+        let sse = (syy - beta_aug.dot(&rhs)).max(0.0);
+        let sst = syy - l[d] * l[d] / n;
+
+        let dof = n - (d + 1) as f64;
+        let var_beta = if dof > 0.0 {
+            Some(lu.inverse()?.scale(sse / dof))
+        } else {
+            None
+        };
+
+        Ok(LinearRegression { intercept, coefficients, var_beta, sse, sst, n })
+    }
+
+    /// Number of independent dimensions `d`.
+    pub fn d(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// The intercept `β₀`.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// The coefficient vector `β = [β₁..β_d]`.
+    pub fn coefficients(&self) -> &Vector {
+        &self.coefficients
+    }
+
+    /// Predicts `ŷ = β₀ + βᵀ x` (the scoring computation behind the
+    /// paper's `linearregscore` UDF).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != d`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.d(), "point dimensionality mismatch");
+        self.intercept + crate::scoring::dot(self.coefficients.as_slice(), x)
+    }
+
+    /// Residual sum of squares `Σ (yᵢ − ŷᵢ)²`, from the closed form.
+    pub fn sse(&self) -> f64 {
+        self.sse
+    }
+
+    /// Total sum of squares of Y around its mean.
+    pub fn sst(&self) -> f64 {
+        self.sst
+    }
+
+    /// Coefficient of determination `R² = 1 − SSE/SST`.
+    pub fn r_squared(&self) -> f64 {
+        if self.sst <= 0.0 {
+            // Y is constant: the model is exact iff SSE is 0.
+            if self.sse <= f64::EPSILON {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            1.0 - self.sse / self.sst
+        }
+    }
+
+    /// Number of points the model was fitted on.
+    pub fn n(&self) -> f64 {
+        self.n
+    }
+
+    /// The variance-covariance matrix of the augmented coefficient
+    /// vector `(β₀, β)`, i.e. the paper's
+    /// `var(β) = (X Xᵀ)⁻¹ Σ(yᵢ−ŷᵢ)² / (n − d − 1)`.
+    /// `None` when there are no degrees of freedom (`n <= d + 1`).
+    pub fn var_beta(&self) -> Option<&Matrix> {
+        self.var_beta.as_ref()
+    }
+
+    /// Standard errors of `(β₀, β₁..β_d)`, if `var_beta` exists.
+    pub fn std_errors(&self) -> Option<Vec<f64>> {
+        self.var_beta
+            .as_ref()
+            .map(|v| v.diagonal().iter().map(|x| x.max(0.0).sqrt()).collect())
+    }
+
+    /// Literal second-scan SSE (the paper's formulation): sums
+    /// `(y − ŷ)²` over augmented rows `[x.., y]`. Used in tests to
+    /// validate the closed form.
+    pub fn sse_by_scan<'a>(&self, rows: impl IntoIterator<Item = &'a [f64]>) -> f64 {
+        let d = self.d();
+        rows.into_iter()
+            .map(|r| {
+                let (x, y) = r.split_at(d);
+                let e = y[0] - self.predict(x);
+                e * e
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 3 + 2 x1 - x2, exactly.
+    fn exact_rows() -> Vec<Vec<f64>> {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let x1 = i as f64;
+            let x2 = (i * i % 7) as f64;
+            rows.push(vec![x1, x2, 3.0 + 2.0 * x1 - x2]);
+        }
+        rows
+    }
+
+    fn fit_rows(rows: &[Vec<f64>]) -> LinearRegression {
+        let d = rows[0].len();
+        LinearRegression::fit(&Nlq::from_rows(d, MatrixShape::Triangular, rows)).unwrap()
+    }
+
+    #[test]
+    fn recovers_exact_linear_model() {
+        let m = fit_rows(&exact_rows());
+        assert!((m.intercept() - 3.0).abs() < 1e-8, "b0 = {}", m.intercept());
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-8);
+        assert!((m.coefficients()[1] + 1.0).abs() < 1e-8);
+        assert!(m.sse() < 1e-6);
+        assert!((m.r_squared() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_matches_model() {
+        let m = fit_rows(&exact_rows());
+        assert!((m.predict(&[10.0, 2.0]) - (3.0 + 20.0 - 2.0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn closed_form_sse_matches_second_scan() {
+        // Noisy data: closed form and literal residual scan must agree.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = ((i * 7919) % 13) as f64 - 6.0;
+                vec![x, 1.0 + 0.5 * x + noise]
+            })
+            .collect();
+        let m = fit_rows(&rows);
+        let scan_sse = m.sse_by_scan(rows.iter().map(|r| r.as_slice()));
+        assert!(
+            (m.sse() - scan_sse).abs() < 1e-6 * (1.0 + scan_sse),
+            "closed form {} vs scan {}",
+            m.sse(),
+            scan_sse
+        );
+        assert!(m.r_squared() > 0.5 && m.r_squared() < 1.0);
+    }
+
+    #[test]
+    fn simple_regression_known_coefficients() {
+        // y on x: slope = cov/var, intercept = mean_y - slope mean_x.
+        let rows = vec![
+            vec![1.0, 2.0],
+            vec![2.0, 2.5],
+            vec![3.0, 3.5],
+            vec![4.0, 4.0],
+        ];
+        let m = fit_rows(&rows);
+        // slope = Sxy/Sxx: Sxx = 5, Sxy = 3.5 -> 0.7; b0 = 3 - 0.7*2.5 = 1.25
+        assert!((m.coefficients()[0] - 0.7).abs() < 1e-9);
+        assert!((m.intercept() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn var_beta_present_with_dof() {
+        let m = fit_rows(&exact_rows());
+        let v = m.var_beta().expect("n=20 > d+1=3");
+        assert_eq!(v.shape(), (3, 3));
+        // Exact fit: SSE ~ 0 so variances ~ 0.
+        assert!(v.max_abs() < 1e-8);
+        let se = m.std_errors().unwrap();
+        assert_eq!(se.len(), 3);
+    }
+
+    #[test]
+    fn var_beta_absent_without_dof() {
+        // n = d + 1 = 3 exactly: zero degrees of freedom.
+        let rows = vec![
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 1.0, 3.0],
+        ];
+        let m = fit_rows(&rows);
+        assert!(m.var_beta().is_none());
+    }
+
+    #[test]
+    fn collinear_dimensions_are_singular() {
+        // x2 = 2 * x1: normal equations singular.
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64, 2.0 * i as f64, i as f64 * 3.0])
+            .collect();
+        let s = Nlq::from_rows(3, MatrixShape::Triangular, &rows);
+        assert!(matches!(
+            LinearRegression::fit(&s),
+            Err(ModelError::Linalg(nlq_linalg::LinalgError::Singular))
+        ));
+    }
+
+    #[test]
+    fn diagonal_statistics_are_rejected() {
+        let s = Nlq::from_rows(2, MatrixShape::Diagonal, &[vec![1.0, 2.0], vec![2.0, 3.0]]);
+        assert!(matches!(
+            LinearRegression::fit(&s),
+            Err(ModelError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let s = Nlq::from_rows(3, MatrixShape::Triangular, &[vec![1.0, 2.0, 3.0]]);
+        assert!(matches!(
+            LinearRegression::fit(&s),
+            Err(ModelError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_y_r_squared_is_one_for_exact_fit() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 7.0]).collect();
+        let m = fit_rows(&rows);
+        assert!((m.predict(&[3.0]) - 7.0).abs() < 1e-9);
+        assert!((m.r_squared() - 1.0).abs() < 1e-12);
+    }
+}

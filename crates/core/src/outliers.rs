@@ -1,0 +1,186 @@
+//! Outlier detection from sufficient statistics.
+//!
+//! §3.4: the aggregate UDF "also computes the minimum and maximum for
+//! each dimension, which can be used to detect outliers or build
+//! histograms". This module turns that remark into an API: the
+//! [`OutlierDetector`] derives per-dimension mean/σ bounds from one
+//! [`Nlq`] (no second pass over the data to *build* the detector), and
+//! flags points by z-score or by range during scoring.
+
+use crate::{ModelError, Nlq, Result};
+
+/// Why a point was flagged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutlierReason {
+    /// `|x_a − μ_a| / σ_a` exceeded the z-score threshold.
+    ZScore {
+        /// The offending 0-based dimension.
+        dimension: usize,
+        /// The observed z-score.
+        z: f64,
+    },
+    /// The value fell outside the observed `[min, max]` range of the
+    /// statistics (possible only for points not in the original scan).
+    OutOfRange {
+        /// The offending 0-based dimension.
+        dimension: usize,
+        /// The out-of-range value.
+        value: f64,
+    },
+}
+
+/// Per-dimension z-score / range outlier detector.
+#[derive(Debug, Clone)]
+pub struct OutlierDetector {
+    mean: Vec<f64>,
+    std_dev: Vec<f64>,
+    min: Vec<f64>,
+    max: Vec<f64>,
+    threshold: f64,
+}
+
+impl OutlierDetector {
+    /// Builds a detector from statistics, flagging values more than
+    /// `z_threshold` standard deviations from the mean.
+    pub fn from_stats(nlq: &Nlq, z_threshold: f64) -> Result<Self> {
+        if z_threshold <= 0.0 {
+            return Err(ModelError::InvalidConfig(
+                "z-score threshold must be positive".into(),
+            ));
+        }
+        if nlq.n() < 2.0 {
+            return Err(ModelError::NotEnoughData { needed: 2, got: nlq.n() as usize });
+        }
+        let mean = nlq.mean()?.into_vec();
+        let std_dev = nlq.variances()?.iter().map(|v| v.max(0.0).sqrt()).collect();
+        Ok(OutlierDetector {
+            mean,
+            std_dev,
+            min: nlq.min().to_vec(),
+            max: nlq.max().to_vec(),
+            threshold: z_threshold,
+        })
+    }
+
+    /// Dimensionality.
+    pub fn d(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The z-score of one coordinate (0 for constant dimensions).
+    pub fn z_score(&self, dimension: usize, value: f64) -> f64 {
+        let sd = self.std_dev[dimension];
+        if sd <= 0.0 {
+            0.0
+        } else {
+            (value - self.mean[dimension]) / sd
+        }
+    }
+
+    /// All reasons a point is considered an outlier (empty = inlier).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != d`.
+    pub fn explain(&self, x: &[f64]) -> Vec<OutlierReason> {
+        assert_eq!(x.len(), self.d(), "point dimensionality mismatch");
+        let mut reasons = Vec::new();
+        for (a, &v) in x.iter().enumerate() {
+            let z = self.z_score(a, v);
+            if z.abs() > self.threshold {
+                reasons.push(OutlierReason::ZScore { dimension: a, z });
+            } else if v < self.min[a] || v > self.max[a] {
+                reasons.push(OutlierReason::OutOfRange { dimension: a, value: v });
+            }
+        }
+        reasons
+    }
+
+    /// Whether the point is an outlier under the configured threshold.
+    pub fn is_outlier(&self, x: &[f64]) -> bool {
+        assert_eq!(x.len(), self.d(), "point dimensionality mismatch");
+        x.iter().enumerate().any(|(a, &v)| {
+            self.z_score(a, v).abs() > self.threshold || v < self.min[a] || v > self.max[a]
+        })
+    }
+
+    /// Scores a batch, returning the indices of flagged points.
+    pub fn flag<'a>(&self, rows: impl IntoIterator<Item = &'a [f64]>) -> Vec<usize> {
+        rows.into_iter()
+            .enumerate()
+            .filter(|(_, x)| self.is_outlier(x))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatrixShape;
+
+    fn tight_cluster_with_outlier() -> Vec<Vec<f64>> {
+        let mut rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![10.0 + (i % 7) as f64 * 0.1, -5.0 + (i % 5) as f64 * 0.1])
+            .collect();
+        rows.push(vec![50.0, -5.2]); // wild in dimension 0
+        rows
+    }
+
+    #[test]
+    fn flags_the_planted_outlier() {
+        let rows = tight_cluster_with_outlier();
+        let nlq = Nlq::from_rows(2, MatrixShape::Diagonal, &rows);
+        let det = OutlierDetector::from_stats(&nlq, 3.0).unwrap();
+        let flagged = det.flag(rows.iter().map(Vec::as_slice));
+        assert_eq!(flagged, vec![100]);
+        let reasons = det.explain(&rows[100]);
+        assert!(matches!(
+            reasons[0],
+            OutlierReason::ZScore { dimension: 0, z } if z > 3.0
+        ));
+    }
+
+    #[test]
+    fn inliers_pass() {
+        let rows = tight_cluster_with_outlier();
+        let nlq = Nlq::from_rows(2, MatrixShape::Diagonal, &rows[..100]);
+        let det = OutlierDetector::from_stats(&nlq, 3.0).unwrap();
+        assert!(!det.is_outlier(&rows[3]));
+        assert!(det.explain(&rows[3]).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_detection_for_new_points() {
+        // Build stats WITHOUT the extreme point; a new value slightly
+        // outside [min, max] but within 3σ is flagged as OutOfRange.
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 10) as f64]).collect();
+        let nlq = Nlq::from_rows(1, MatrixShape::Diagonal, &rows);
+        let det = OutlierDetector::from_stats(&nlq, 5.0).unwrap();
+        // max = 9; 9.5 is < 5 sigma away but out of observed range.
+        let reasons = det.explain(&[9.5]);
+        assert!(matches!(
+            reasons[0],
+            OutlierReason::OutOfRange { dimension: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn constant_dimension_never_z_flags() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|_| vec![7.0]).collect();
+        let nlq = Nlq::from_rows(1, MatrixShape::Diagonal, &rows);
+        let det = OutlierDetector::from_stats(&nlq, 3.0).unwrap();
+        assert_eq!(det.z_score(0, 7.0), 0.0);
+        assert!(!det.is_outlier(&[7.0]));
+        // A different value is caught by the range check instead.
+        assert!(det.is_outlier(&[8.0]));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let rows = vec![vec![1.0], vec![2.0]];
+        let nlq = Nlq::from_rows(1, MatrixShape::Diagonal, &rows);
+        assert!(OutlierDetector::from_stats(&nlq, 0.0).is_err());
+        let empty = Nlq::new(1, MatrixShape::Diagonal);
+        assert!(OutlierDetector::from_stats(&empty, 3.0).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+use nlq_linalg::{jacobi_eigen, Matrix, Vector};
+
+use crate::{MatrixShape, ModelError, Nlq, Result};
+
+/// Which derived matrix PCA diagonalizes (§3.1).
+///
+/// "The correlation matrix leaves dimensions in the same scale,
+/// whereas the covariance matrix maintains dimensions in their
+/// original scale."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcaInput {
+    /// Diagonalize the Pearson correlation matrix (scale-free).
+    Correlation,
+    /// Diagonalize the covariance matrix (original scale).
+    Covariance,
+}
+
+/// Principal component analysis from sufficient statistics.
+///
+/// The output is the paper's d × k dimensionality-reduction matrix
+/// `Λ` with orthonormal columns (`Λᵀ Λ = I_k`), the component
+/// variances (eigenvalues), and the mean `μ` used to center points
+/// during scoring: `x' = Λᵀ (x − μ)`.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    lambda: Matrix,
+    eigenvalues: Vec<f64>,
+    /// Sum of all d eigenvalues, for explained-variance ratios.
+    total_variance: f64,
+    mu: Vector,
+    input: PcaInput,
+}
+
+impl Pca {
+    /// Fits PCA with `k` components from triangular or full
+    /// statistics.
+    ///
+    /// `k` must satisfy `1 <= k <= d`. The correlation input requires
+    /// every dimension to have nonzero variance.
+    pub fn fit(nlq: &Nlq, k: usize, input: PcaInput) -> Result<Self> {
+        if nlq.shape() == MatrixShape::Diagonal {
+            return Err(ModelError::InvalidConfig(
+                "PCA needs cross-products; use triangular or full statistics".into(),
+            ));
+        }
+        let d = nlq.d();
+        if k == 0 || k > d {
+            return Err(ModelError::InvalidConfig(format!(
+                "component count k={k} must be in 1..={d}"
+            )));
+        }
+        let target = match input {
+            PcaInput::Correlation => nlq.correlation()?,
+            PcaInput::Covariance => nlq.covariance()?,
+        };
+        let eig = jacobi_eigen(&target, 1e-12)?;
+        let lambda = Matrix::from_fn(d, k, |r, c| eig.vectors[(r, c)]);
+        let total_variance: f64 = eig.values.iter().sum();
+        Ok(Pca {
+            lambda,
+            eigenvalues: eig.values[..k].to_vec(),
+            total_variance,
+            mu: nlq.mean()?,
+            input,
+        })
+    }
+
+    /// Original dimensionality `d`.
+    pub fn d(&self) -> usize {
+        self.lambda.rows()
+    }
+
+    /// Number of retained components `k`.
+    pub fn k(&self) -> usize {
+        self.lambda.cols()
+    }
+
+    /// The d × k loading matrix `Λ` (orthonormal columns, stored in
+    /// the DBMS as table `LAMBDA(j, X1..Xd)`).
+    pub fn lambda(&self) -> &Matrix {
+        &self.lambda
+    }
+
+    /// The mean vector `μ` (stored as table `MU(X1..Xd)`).
+    pub fn mu(&self) -> &Vector {
+        &self.mu
+    }
+
+    /// Eigenvalues (component variances) of the retained components,
+    /// descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Which matrix was diagonalized.
+    pub fn input(&self) -> PcaInput {
+        self.input
+    }
+
+    /// Fraction of total variance captured by each retained component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        if self.total_variance <= 0.0 {
+            return vec![0.0; self.k()];
+        }
+        self.eigenvalues
+            .iter()
+            .map(|v| (v / self.total_variance).max(0.0))
+            .collect()
+    }
+
+    /// Scores one point: `x' = Λᵀ (x − μ)` — `k` calls of the paper's
+    /// `fascore` UDF.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != d`.
+    pub fn score(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.d(), "point dimensionality mismatch");
+        crate::scoring::reduce(x, self.mu.as_slice(), &self.lambda)
+    }
+
+    /// Maps a reduced vector back to the original space:
+    /// `x̂ = Λ x' + μ`. Together with [`Pca::score`] this gives the
+    /// rank-k reconstruction of a point.
+    pub fn reconstruct(&self, reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(reduced.len(), self.k(), "reduced dimensionality mismatch");
+        let mut out = self.mu.clone().into_vec();
+        for (j, &rj) in reduced.iter().enumerate() {
+            for (r, o) in out.iter_mut().enumerate() {
+                *o += self.lambda[(r, j)] * rj;
+            }
+        }
+        out
+    }
+
+    /// Squared reconstruction error of a point under the rank-k model.
+    pub fn reconstruction_error(&self, x: &[f64]) -> f64 {
+        let rec = self.reconstruct(&self.score(x));
+        crate::scoring::squared_distance(x, &rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data lying (almost) on the line x2 = 2 x1, x3 independent noise
+    /// with tiny variance.
+    fn line_rows() -> Vec<Vec<f64>> {
+        (0..60)
+            .map(|i| {
+                let t = i as f64 / 3.0;
+                let jitter = ((i * 31) % 7) as f64 * 1e-3;
+                vec![t, 2.0 * t + jitter, 0.01 * ((i % 5) as f64)]
+            })
+            .collect()
+    }
+
+    fn stats(rows: &[Vec<f64>]) -> Nlq {
+        Nlq::from_rows(rows[0].len(), MatrixShape::Triangular, rows)
+    }
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        let pca = Pca::fit(&stats(&line_rows()), 1, PcaInput::Covariance).unwrap();
+        let ratios = pca.explained_variance_ratio();
+        assert!(ratios[0] > 0.999, "explained = {ratios:?}");
+        // The dominant direction is (1, 2, 0)/sqrt(5).
+        let lam = pca.lambda();
+        let ratio = lam[(1, 0)] / lam[(0, 0)];
+        assert!((ratio - 2.0).abs() < 1e-2, "direction ratio = {ratio}");
+        assert!(lam[(2, 0)].abs() < 0.05);
+    }
+
+    #[test]
+    fn lambda_columns_are_orthonormal() {
+        let pca = Pca::fit(&stats(&line_rows()), 3, PcaInput::Correlation).unwrap();
+        let gram = pca.lambda().transpose().matmul(pca.lambda()).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((gram[(r, c)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_input_total_variance_is_d() {
+        let pca = Pca::fit(&stats(&line_rows()), 2, PcaInput::Correlation).unwrap();
+        // Correlation matrix has trace d; eigenvalues sum to d = 3.
+        let sum: f64 = pca.explained_variance_ratio().iter().sum::<f64>() * 3.0;
+        let eig_sum: f64 = pca.eigenvalues().iter().sum();
+        assert!((sum - eig_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_then_reconstruct_on_dominant_subspace() {
+        let rows = line_rows();
+        let pca = Pca::fit(&stats(&rows), 2, PcaInput::Covariance).unwrap();
+        // Rank-2 model of near-rank-2 data: reconstruction nearly exact.
+        for r in rows.iter().take(10) {
+            assert!(pca.reconstruction_error(r) < 1e-3, "err = {}", pca.reconstruction_error(r));
+        }
+    }
+
+    #[test]
+    fn full_rank_reconstruction_is_exact() {
+        let rows = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![4.0, 1.0],
+            vec![7.0, 2.0],
+        ];
+        let pca = Pca::fit(&stats(&rows), 2, PcaInput::Covariance).unwrap();
+        for r in &rows {
+            assert!(pca.reconstruction_error(r) < 1e-18);
+        }
+    }
+
+    #[test]
+    fn score_centers_at_mean() {
+        let rows = line_rows();
+        let pca = Pca::fit(&stats(&rows), 2, PcaInput::Covariance).unwrap();
+        let mu: Vec<f64> = pca.mu().as_slice().to_vec();
+        let s = pca.score(&mu);
+        assert!(s.iter().all(|v| v.abs() < 1e-12), "score(mu) = {s:?}");
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let s = stats(&line_rows());
+        assert!(matches!(
+            Pca::fit(&s, 0, PcaInput::Covariance),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Pca::fit(&s, 4, PcaInput::Covariance),
+            Err(ModelError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn diagonal_statistics_rejected() {
+        let rows = line_rows();
+        let s = Nlq::from_rows(3, MatrixShape::Diagonal, &rows);
+        assert!(matches!(
+            Pca::fit(&s, 1, PcaInput::Covariance),
+            Err(ModelError::InvalidConfig(_))
+        ));
+    }
+}

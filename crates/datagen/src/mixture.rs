@@ -1,0 +1,198 @@
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::{seeded_rng, standard_normal};
+
+/// Parameters of the Gaussian-mixture generator.
+///
+/// Defaults match the paper's §4 "Data Sets": `k = 16` components,
+/// means uniform in `[0, 100]`, sigma 10 per dimension, 15 % uniform
+/// noise points.
+#[derive(Debug, Clone)]
+pub struct MixtureSpec {
+    /// Dimensionality `d` of each point.
+    pub d: usize,
+    /// Number of mixture components.
+    pub k: usize,
+    /// Means are drawn uniformly from this range, per dimension.
+    pub mean_range: (f64, f64),
+    /// Per-dimension standard deviation of each component.
+    pub sigma: f64,
+    /// Fraction of points drawn uniformly over the mean range instead
+    /// of from a component ("noise").
+    pub noise_fraction: f64,
+    /// RNG seed; generation is fully deterministic given the spec.
+    pub seed: u64,
+}
+
+impl MixtureSpec {
+    /// The paper's generator configuration for dimensionality `d`.
+    pub fn paper_defaults(d: usize) -> Self {
+        MixtureSpec {
+            d,
+            k: 16,
+            mean_range: (0.0, 100.0),
+            sigma: 10.0,
+            noise_fraction: 0.15,
+            seed: 0x5eed_0001,
+        }
+    }
+
+    /// Returns the spec with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the spec with a different component count.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+}
+
+/// Streaming generator of mixture points.
+///
+/// Produces `d`-dimensional points one at a time, along with the true
+/// component label (`None` for noise points) — the label is useful for
+/// clustering quality tests and for the paper's GROUP BY experiments.
+pub struct MixtureGenerator {
+    spec: MixtureSpec,
+    /// Component means, `k` rows of `d` values.
+    means: Vec<Vec<f64>>,
+    rng: StdRng,
+}
+
+impl MixtureGenerator {
+    /// Builds the generator: draws the `k` component means from the
+    /// configured range.
+    pub fn new(spec: MixtureSpec) -> Self {
+        assert!(spec.d > 0, "dimensionality must be positive");
+        assert!(spec.k > 0, "component count must be positive");
+        assert!(
+            (0.0..=1.0).contains(&spec.noise_fraction),
+            "noise fraction must be in [0, 1]"
+        );
+        let mut rng = seeded_rng(spec.seed);
+        let (lo, hi) = spec.mean_range;
+        let means = (0..spec.k)
+            .map(|_| (0..spec.d).map(|_| rng.random_range(lo..hi)).collect())
+            .collect();
+        MixtureGenerator { spec, means, rng }
+    }
+
+    /// The generator's spec.
+    pub fn spec(&self) -> &MixtureSpec {
+        &self.spec
+    }
+
+    /// The true component means (for test assertions).
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
+    /// Draws the next point and its true label (`None` = noise).
+    pub fn next_labeled(&mut self) -> (Vec<f64>, Option<usize>) {
+        let (lo, hi) = self.spec.mean_range;
+        if self.rng.random::<f64>() < self.spec.noise_fraction {
+            let x = (0..self.spec.d).map(|_| self.rng.random_range(lo..hi)).collect();
+            return (x, None);
+        }
+        let j = self.rng.random_range(0..self.spec.k);
+        let x = (0..self.spec.d)
+            .map(|a| self.means[j][a] + self.spec.sigma * standard_normal(&mut self.rng))
+            .collect();
+        (x, Some(j))
+    }
+
+    /// Draws the next point, discarding the label.
+    pub fn next_point(&mut self) -> Vec<f64> {
+        self.next_labeled().0
+    }
+
+    /// Generates `n` points as a dense row-major table (`n` rows of `d`).
+    pub fn generate(&mut self, n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.next_point()).collect()
+    }
+
+    /// Generates `n` labeled points.
+    pub fn generate_labeled(&mut self, n: usize) -> Vec<(Vec<f64>, Option<usize>)> {
+        (0..n).map(|_| self.next_labeled()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_dimensionality_and_count() {
+        let mut g = MixtureGenerator::new(MixtureSpec::paper_defaults(8));
+        let data = g.generate(100);
+        assert_eq!(data.len(), 100);
+        assert!(data.iter().all(|x| x.len() == 8));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = MixtureGenerator::new(MixtureSpec::paper_defaults(4).with_seed(99));
+        let mut b = MixtureGenerator::new(MixtureSpec::paper_defaults(4).with_seed(99));
+        assert_eq!(a.generate(50), b.generate(50));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = MixtureGenerator::new(MixtureSpec::paper_defaults(4).with_seed(1));
+        let mut b = MixtureGenerator::new(MixtureSpec::paper_defaults(4).with_seed(2));
+        assert_ne!(a.generate(10), b.generate(10));
+    }
+
+    #[test]
+    fn noise_fraction_is_roughly_respected() {
+        let spec = MixtureSpec::paper_defaults(2).with_seed(3);
+        let mut g = MixtureGenerator::new(spec);
+        let n = 20_000;
+        let noise = g
+            .generate_labeled(n)
+            .iter()
+            .filter(|(_, l)| l.is_none())
+            .count();
+        let frac = noise as f64 / n as f64;
+        assert!((frac - 0.15).abs() < 0.02, "noise fraction = {frac}");
+    }
+
+    #[test]
+    fn cluster_points_are_near_their_mean() {
+        let spec = MixtureSpec {
+            noise_fraction: 0.0,
+            ..MixtureSpec::paper_defaults(3)
+        };
+        let mut g = MixtureGenerator::new(spec);
+        let means = g.means().to_vec();
+        for _ in 0..1000 {
+            let (x, label) = g.next_labeled();
+            let j = label.expect("no noise configured");
+            for a in 0..3 {
+                // 6 sigma = 60; catastrophically far points would
+                // indicate a labeling bug.
+                assert!((x[a] - means[j][a]).abs() < 60.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_noise_yields_all_labels() {
+        let spec = MixtureSpec {
+            noise_fraction: 0.0,
+            ..MixtureSpec::paper_defaults(2)
+        };
+        let mut g = MixtureGenerator::new(spec);
+        assert!(g.generate_labeled(500).iter().all(|(_, l)| l.is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality must be positive")]
+    fn zero_d_panics() {
+        let _ = MixtureGenerator::new(MixtureSpec::paper_defaults(0));
+    }
+}

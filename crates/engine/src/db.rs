@@ -1,0 +1,418 @@
+use std::sync::Arc;
+
+use nlq_linalg::{Matrix, Vector};
+use nlq_models::{MatrixShape, Nlq};
+use nlq_storage::{Column, DataType, Row, Schema, Table, Value};
+use nlq_udf::pack::{assemble_blocks, unpack_block, unpack_nlq};
+use nlq_udf::{ParamStyle, UdfRegistry};
+
+use crate::ast::Statement;
+use crate::catalog::{Catalog, CatalogEntry};
+use crate::exec::{result_to_table, ExecContext};
+use crate::expr::{Binder, BoundSchema};
+use crate::parser::parse;
+use crate::{sqlgen, EngineError, Result};
+
+/// Which in-DBMS implementation computes the summary matrices (§3.3's
+/// alternatives (1) and the UDF of alternative (4)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NlqMethod {
+    /// The "long" pure-SQL query with `1 + d + d²` aggregate terms.
+    Sql,
+    /// The aggregate UDF with list parameter passing.
+    UdfList,
+    /// The aggregate UDF with string parameter passing.
+    UdfString,
+}
+
+/// Rows returned by a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// An empty result (DDL statements).
+    pub fn empty() -> Self {
+        ResultSet { columns: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Value at `(row, col)`.
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.rows[row][col]
+    }
+
+    /// Float view of `(row, col)` (`None` for NULL / non-numeric).
+    pub fn f64(&self, row: usize, col: usize) -> Option<f64> {
+        self.rows[row][col].as_f64()
+    }
+}
+
+/// An in-memory parallel database: catalog + worker pool + UDF
+/// registry. The Rust stand-in for the Teradata server the paper runs
+/// on (20 parallel threads by default in the experiments).
+pub struct Db {
+    catalog: Catalog,
+    registry: UdfRegistry,
+    workers: usize,
+}
+
+impl Db {
+    /// Creates a database executing scans on `workers` parallel
+    /// threads, with all of the paper's UDFs pre-registered.
+    pub fn new(workers: usize) -> Self {
+        Db {
+            catalog: Catalog::new(),
+            registry: UdfRegistry::with_builtins(),
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of parallel workers (and table partitions).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Mutable access to the UDF registry (to add custom UDFs).
+    pub fn registry_mut(&mut self) -> &mut UdfRegistry {
+        &mut self.registry
+    }
+
+    fn ctx(&self) -> ExecContext<'_> {
+        ExecContext { catalog: &self.catalog, registry: &self.registry, workers: self.workers }
+    }
+
+    /// Parses and executes one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<ResultSet> {
+        match parse(sql)? {
+            Statement::Select(stmt) => self.ctx().execute_select(&stmt),
+            Statement::Explain(stmt) => {
+                let lines = self.ctx().explain_select(&stmt)?;
+                Ok(ResultSet {
+                    columns: vec!["plan".into()],
+                    rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+                })
+            }
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns.into_iter().map(|c| Column::new(c.name, c.ty)).collect(),
+                );
+                self.catalog.insert(
+                    &name,
+                    CatalogEntry::Table(Arc::new(Table::new(schema, self.workers))),
+                )?;
+                Ok(ResultSet::empty())
+            }
+            Statement::CreateTableAs { name, query } => {
+                if self.catalog.contains(&name) {
+                    return Err(EngineError::DuplicateTable(name));
+                }
+                let rs = self.ctx().execute_select(&query)?;
+                let table = result_to_table(&rs, self.workers)?;
+                self.catalog.insert(&name, CatalogEntry::Table(Arc::new(table)))?;
+                Ok(ResultSet::empty())
+            }
+            Statement::CreateView { name, query } => {
+                self.catalog.insert(&name, CatalogEntry::View(Arc::new(query)))?;
+                Ok(ResultSet::empty())
+            }
+            Statement::Insert { table, rows } => {
+                let empty_schema = BoundSchema::new();
+                let mut values = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut out = Vec::with_capacity(row.len());
+                    for expr in row {
+                        let bound = Binder::scalar(&empty_schema, &self.registry).bind(&expr)?;
+                        out.push(bound.eval(&[], &[], &[])?);
+                    }
+                    values.push(out);
+                }
+                self.append_rows(&table, values)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::InsertSelect { table, query } => {
+                let rs = self.ctx().execute_select(&query)?;
+                self.append_rows(&table, rs.rows)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::Drop { name } => {
+                self.catalog.remove(&name)?;
+                Ok(ResultSet::empty())
+            }
+        }
+    }
+
+    fn append_rows(&self, name: &str, rows: Vec<Row>) -> Result<()> {
+        let Some(CatalogEntry::Table(arc)) = self.catalog.get(name) else {
+            return Err(EngineError::UnknownTable(name.to_owned()));
+        };
+        // Copy-on-write: clone the table, append, swap back in.
+        let mut table = (*arc).clone();
+        for row in rows {
+            table.insert(row)?;
+        }
+        self.catalog.replace_table(name, Arc::new(table));
+        Ok(())
+    }
+
+    /// Registers a pre-built table (the bulk-load path for large data
+    /// sets, bypassing SQL INSERT overhead).
+    pub fn register_table(&self, name: &str, table: Table) -> Result<()> {
+        self.catalog.insert(name, CatalogEntry::Table(Arc::new(table)))
+    }
+
+    /// Registers or replaces a pre-built table.
+    pub fn register_or_replace_table(&self, name: &str, table: Table) {
+        self.catalog
+            .insert_or_replace(name, CatalogEntry::Table(Arc::new(table)));
+    }
+
+    /// Fetches a table (views are materialized by execution).
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.ctx().resolve_table(name)
+    }
+
+    /// Drops a table or view if it exists.
+    pub fn drop_if_exists(&self, name: &str) {
+        let _ = self.catalog.remove(name);
+    }
+
+    /// Persists a table to disk (see [`nlq_storage::DiskTable`]); the
+    /// in-memory copy stays registered.
+    pub fn save_table(&self, name: &str, path: &std::path::Path) -> Result<()> {
+        let table = self.table(name)?;
+        table.save(path)?;
+        Ok(())
+    }
+
+    /// Loads a previously saved table from disk and registers it under
+    /// `name` (replacing any existing entry).
+    pub fn load_table(&self, name: &str, path: &std::path::Path) -> Result<()> {
+        let disk = nlq_storage::DiskTable::open(path)?;
+        self.register_or_replace_table(name, disk.to_table()?);
+        Ok(())
+    }
+
+    /// Bulk-loads a point matrix as the paper's table
+    /// `X(i, X1..Xd[, Y])`: row ids are `1..=n`; when `with_y` is set
+    /// the last column of each row is stored as `Y`.
+    pub fn load_points(&self, name: &str, rows: &[Vec<f64>], with_y: bool) -> Result<()> {
+        let ncols = rows.first().map_or(0, Vec::len);
+        let d = if with_y { ncols.saturating_sub(1) } else { ncols };
+        let schema = Schema::points(d, with_y);
+        let mut table = Table::new(schema, self.workers);
+        for (i, r) in rows.iter().enumerate() {
+            let mut row: Row = Vec::with_capacity(r.len() + 1);
+            row.push(Value::Int(i as i64 + 1));
+            row.extend(r.iter().map(|&v| Value::Float(v)));
+            table.insert(row)?;
+        }
+        self.register_table(name, table)
+    }
+
+    // -----------------------------------------------------------------
+    // Summary matrices (§3.4)
+    // -----------------------------------------------------------------
+
+    /// Computes `n, L, Q` over the given columns with the aggregate
+    /// UDF (list style) — the paper's fastest in-DBMS path.
+    pub fn compute_nlq(&self, table: &str, cols: &[&str], shape: MatrixShape) -> Result<Nlq> {
+        self.compute_nlq_with(NlqMethod::UdfList, table, cols, shape)
+    }
+
+    /// Computes `n, L, Q` with an explicit implementation choice.
+    pub fn compute_nlq_with(
+        &self,
+        method: NlqMethod,
+        table: &str,
+        cols: &[&str],
+        shape: MatrixShape,
+    ) -> Result<Nlq> {
+        let cols: Vec<String> = cols.iter().map(|c| (*c).to_owned()).collect();
+        match method {
+            NlqMethod::Sql => {
+                let sql = sqlgen::nlq_sql_query(table, &cols, shape);
+                let rs = self.execute(&sql)?;
+                parse_wide_nlq(&rs, cols.len(), shape)
+            }
+            NlqMethod::UdfList | NlqMethod::UdfString => {
+                let style = if method == NlqMethod::UdfList {
+                    ParamStyle::List
+                } else {
+                    ParamStyle::String
+                };
+                let sql = sqlgen::nlq_udf_query(table, &cols, shape, style);
+                let rs = self.execute(&sql)?;
+                let packed = rs.value(0, 0).as_str().ok_or_else(|| {
+                    EngineError::Unsupported("aggregate UDF returned no result (empty table?)".into())
+                })?;
+                Ok(unpack_nlq(packed)?)
+            }
+        }
+    }
+
+    /// Computes one `n, L, Q` set per group (Table 5's workload),
+    /// returning `(group value, statistics)` pairs.
+    pub fn compute_nlq_grouped(
+        &self,
+        table: &str,
+        cols: &[&str],
+        group_col: &str,
+        shape: MatrixShape,
+        style: ParamStyle,
+    ) -> Result<Vec<(Value, Nlq)>> {
+        let cols: Vec<String> = cols.iter().map(|c| (*c).to_owned()).collect();
+        let sql = sqlgen::nlq_grouped_query(table, &cols, group_col, shape, style);
+        let rs = self.execute(&sql)?;
+        let mut out = Vec::with_capacity(rs.len());
+        for r in 0..rs.len() {
+            let packed = rs.value(r, 1).as_str().ok_or_else(|| {
+                EngineError::Unsupported("grouped aggregate UDF returned NULL".into())
+            })?;
+            out.push((rs.value(r, 0).clone(), unpack_nlq(packed)?));
+        }
+        Ok(out)
+    }
+
+    /// Computes `n, L, Q` for `d > MAX_D` by block-partitioned UDF
+    /// calls (Table 6): submits all `ceil(d/block)²` calls in a single
+    /// statement (one synchronized scan, each call packing only the
+    /// coordinate segments it needs) and reassembles the full
+    /// statistics client-side.
+    pub fn compute_nlq_blocked(&self, table: &str, cols: &[&str], block: usize) -> Result<Nlq> {
+        let cols: Vec<String> = cols.iter().map(|c| (*c).to_owned()).collect();
+        let d = cols.len();
+        let sql = sqlgen::nlq_block_query(table, &cols, block);
+        let rs = self.execute(&sql)?;
+        if rs.is_empty() {
+            return Err(EngineError::Unsupported(
+                "blocked UDF query returned no rows".into(),
+            ));
+        }
+        let mut blocks = Vec::with_capacity(rs.rows[0].len());
+        for c in 0..rs.rows[0].len() {
+            let packed = rs.value(0, c).as_str().ok_or_else(|| {
+                EngineError::Unsupported("blocked UDF returned NULL (empty table?)".into())
+            })?;
+            blocks.push(unpack_block(packed)?);
+        }
+        Ok(assemble_blocks(d, &blocks)?)
+    }
+
+    // -----------------------------------------------------------------
+    // Model tables (§3.5: models are stored in the DBMS as tables)
+    // -----------------------------------------------------------------
+
+    /// Stores a regression model as the one-row table
+    /// `name(b0, b1..bd)` — "this table layout allows retrieving all
+    /// coefficients in a single I/O".
+    pub fn register_beta(&self, name: &str, intercept: f64, beta: &Vector) -> Result<()> {
+        let mut columns = vec![Column::new("b0", DataType::Float)];
+        for a in 1..=beta.len() {
+            columns.push(Column::new(format!("b{a}"), DataType::Float));
+        }
+        let mut table = Table::new(Schema::new(columns), 1);
+        let mut row: Row = vec![Value::Float(intercept)];
+        row.extend(beta.as_slice().iter().map(|&v| Value::Float(v)));
+        table.insert(row)?;
+        self.drop_if_exists(name);
+        self.register_table(name, table)
+    }
+
+    /// Stores a d × k loading matrix as `name(j, X1..Xd)` with one row
+    /// per component `j = 1..k`.
+    pub fn register_lambda(&self, name: &str, lambda: &Matrix) -> Result<()> {
+        let d = lambda.rows();
+        let mut columns = vec![Column::new("j", DataType::Int)];
+        for a in 1..=d {
+            columns.push(Column::new(format!("X{a}"), DataType::Float));
+        }
+        let mut table = Table::new(Schema::new(columns), 1);
+        for j in 0..lambda.cols() {
+            let mut row: Row = vec![Value::Int(j as i64 + 1)];
+            row.extend((0..d).map(|a| Value::Float(lambda[(a, j)])));
+            table.insert(row)?;
+        }
+        self.drop_if_exists(name);
+        self.register_table(name, table)
+    }
+
+    /// Stores a mean vector as the one-row table `name(X1..Xd)`.
+    pub fn register_mu(&self, name: &str, mu: &Vector) -> Result<()> {
+        let columns = (1..=mu.len())
+            .map(|a| Column::new(format!("X{a}"), DataType::Float))
+            .collect();
+        let mut table = Table::new(Schema::new(columns), 1);
+        table.insert(mu.as_slice().iter().map(|&v| Value::Float(v)).collect())?;
+        self.drop_if_exists(name);
+        self.register_table(name, table)
+    }
+
+    /// Stores cluster centroids as `name(j, X1..Xd)`, `j = 1..k`.
+    pub fn register_centroids(&self, name: &str, centroids: &[Vector]) -> Result<()> {
+        let d = centroids.first().map_or(0, Vector::len);
+        let mut columns = vec![Column::new("j", DataType::Int)];
+        for a in 1..=d {
+            columns.push(Column::new(format!("X{a}"), DataType::Float));
+        }
+        let mut table = Table::new(Schema::new(columns), 1);
+        for (j, c) in centroids.iter().enumerate() {
+            let mut row: Row = vec![Value::Int(j as i64 + 1)];
+            row.extend(c.as_slice().iter().map(|&v| Value::Float(v)));
+            table.insert(row)?;
+        }
+        self.drop_if_exists(name);
+        self.register_table(name, table)
+    }
+}
+
+/// Parses the wide one-row result of the pure-SQL `n, L, Q` query into
+/// statistics (column order: `n`, `L1..Ld`, then the `d²` Q positions
+/// row-major with NULL placeholders for entries the shape skips).
+fn parse_wide_nlq(rs: &ResultSet, d: usize, shape: MatrixShape) -> Result<Nlq> {
+    let expect = 1 + d + d * d;
+    if rs.len() != 1 || rs.rows[0].len() != expect {
+        return Err(EngineError::Unsupported(format!(
+            "wide nLQ result has wrong shape: {} rows x {} cols, expected 1 x {expect}",
+            rs.len(),
+            rs.rows.first().map_or(0, Vec::len)
+        )));
+    }
+    let row = &rs.rows[0];
+    let n = row[0].as_f64().unwrap_or(0.0);
+    let l = Vector::from_vec(
+        (0..d)
+            .map(|a| row[1 + a].as_f64().unwrap_or(0.0))
+            .collect(),
+    );
+    let mut q = Matrix::zeros(d, d);
+    for a in 0..d {
+        for b in 0..d {
+            if let Some(v) = row[1 + d + a * d + b].as_f64() {
+                q[(a, b)] = v;
+            }
+        }
+    }
+    // The SQL path does not compute min/max (the UDF does).
+    Ok(Nlq::from_parts(
+        shape,
+        n,
+        l,
+        q,
+        vec![f64::NEG_INFINITY; d],
+        vec![f64::INFINITY; d],
+    )?)
+}

@@ -1,0 +1,989 @@
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use nlq_storage::{parallel_scan, Column, DataType, Row, Schema, Table, Value};
+use nlq_udf::{check_heap, AggregateState, UdfRegistry};
+
+use crate::ast::{Expr, SelectStmt};
+use crate::catalog::{Catalog, CatalogEntry};
+use crate::db::ResultSet;
+use crate::expr::{AggCall, AggKind, Binder, BoundExpr, BoundSchema, FastArg, StatAgg};
+use crate::{EngineError, Result};
+
+/// Upper bound on materialized cross-join products, protecting against
+/// accidental combinatorial blowups (the paper's scoring joins touch
+/// only `k`-row dimension tables).
+const JOIN_LIMIT: usize = 1_000_000;
+
+/// Execution context shared by all statements of one [`crate::Db`].
+pub(crate) struct ExecContext<'a> {
+    pub catalog: &'a Catalog,
+    pub registry: &'a UdfRegistry,
+    pub workers: usize,
+}
+
+/// The outcome of planning a SELECT: everything both the executor and
+/// EXPLAIN need.
+pub(crate) struct PlannedSelect {
+    base: Arc<Table>,
+    schema: BoundSchema,
+    join_product: Vec<Row>,
+    residual: Vec<BoundExpr>,
+    /// Number of WHERE conjuncts pushed into the join product.
+    pushed: usize,
+    aggregate_mode: bool,
+}
+
+impl ExecContext<'_> {
+    /// Executes a SELECT statement to completion.
+    pub fn execute_select(&self, stmt: &SelectStmt) -> Result<ResultSet> {
+        let plan = self.plan_select(stmt)?;
+        if plan.aggregate_mode {
+            self.execute_aggregate(stmt, &plan.base, &plan.schema, &plan.join_product, &plan.residual)
+        } else {
+            self.execute_scalar(stmt, &plan.base, &plan.schema, &plan.join_product, &plan.residual)
+        }
+    }
+
+    /// Plans a SELECT: resolves tables, binds and classifies WHERE
+    /// conjuncts, and materializes the (filtered) join product.
+    fn plan_select(&self, stmt: &SelectStmt) -> Result<PlannedSelect> {
+        // Resolve FROM: first table streams, the rest are materialized
+        // and cross-joined.
+        let mut sources = Vec::with_capacity(stmt.from.len());
+        for tref in &stmt.from {
+            sources.push((self.resolve_table(&tref.name)?, tref.alias.clone()));
+        }
+
+        // Build the full combined schema up front so WHERE conjuncts
+        // can be bound and classified before the join product is
+        // materialized.
+        let mut schema = BoundSchema::new();
+        for ((table, alias), tref) in sources.iter().zip(&stmt.from) {
+            schema.push_table(alias.as_deref().or(Some(&tref.name)), table.schema());
+        }
+        let (base, _) = sources.remove(0);
+        let base_width = base.schema().len();
+
+        // Split the WHERE clause into conjuncts. Conjuncts touching
+        // only joined-table columns (e.g. the scoring pattern's
+        // `l3.j = 3`) are pushed into the join-product construction —
+        // §3.6's join-elimination in spirit: without this, k aliased
+        // dimension tables would materialize a k^k product before
+        // filtering.
+        let mut join_only: Vec<(BoundExpr, usize)> = Vec::new(); // (predicate, width needed)
+        let mut residual: Vec<BoundExpr> = Vec::new();
+        if let Some(w) = &stmt.where_clause {
+            let mut conjuncts = Vec::new();
+            split_conjuncts(w, &mut conjuncts);
+            for conj in conjuncts {
+                let bound = Binder::scalar(&schema, self.registry).bind(conj)?;
+                let mut cols = Vec::new();
+                bound.collect_columns(&mut cols);
+                match (cols.iter().min(), cols.iter().max()) {
+                    (Some(&mn), Some(&mx)) if mn >= base_width => {
+                        join_only.push((bound, mx + 1))
+                    }
+                    (None, _) => join_only.push((bound, 0)), // constant predicate
+                    _ => residual.push(bound),
+                }
+            }
+        }
+
+        // Materialize the cross-join product of the remaining tables,
+        // applying each join-only predicate at the earliest stage its
+        // columns exist.
+        let null_prefix: Row = vec![Value::Null; base_width];
+        let mut applied = vec![false; join_only.len()];
+        let mut join_product: Vec<Row> = vec![Vec::new()];
+        let mut width = base_width;
+        let filter_stage = |product: &mut Vec<Row>,
+                                width: usize,
+                                applied: &mut Vec<bool>|
+         -> Result<()> {
+            for (i, (pred, needed)) in join_only.iter().enumerate() {
+                if applied[i] || *needed > width {
+                    continue;
+                }
+                applied[i] = true;
+                let mut kept = Vec::with_capacity(product.len());
+                for suffix in product.drain(..) {
+                    let mut probe = null_prefix.clone();
+                    probe.extend(suffix.iter().cloned());
+                    if matches!(pred.eval(&probe, &[], &[])?, Value::Int(x) if x != 0) {
+                        kept.push(suffix);
+                    }
+                }
+                *product = kept;
+            }
+            Ok(())
+        };
+        filter_stage(&mut join_product, width, &mut applied)?;
+        for (table, _) in &sources {
+            let rows = table.collect_rows()?;
+            if join_product.len().saturating_mul(rows.len()) > JOIN_LIMIT {
+                return Err(EngineError::JoinTooLarge {
+                    rows: join_product.len() * rows.len(),
+                    limit: JOIN_LIMIT,
+                });
+            }
+            let mut next = Vec::with_capacity(join_product.len() * rows.len().max(1));
+            for prefix in &join_product {
+                for row in &rows {
+                    let mut combined = prefix.clone();
+                    combined.extend(row.iter().cloned());
+                    next.push(combined);
+                }
+            }
+            join_product = next;
+            width += table.schema().len();
+            filter_stage(&mut join_product, width, &mut applied)?;
+        }
+        debug_assert!(applied.iter().all(|&a| a), "all join-only predicates applied");
+
+        let is_agg_name = |n: &str| AggKind::is_aggregate_name(n, self.registry);
+        let aggregate_mode = !stmt.group_by.is_empty()
+            || stmt
+                .projections
+                .iter()
+                .any(|p| p.expr.contains_aggregate(&is_agg_name));
+
+        Ok(PlannedSelect {
+            base,
+            schema,
+            join_product,
+            residual,
+            pushed: join_only.len(),
+            aggregate_mode,
+        })
+    }
+
+    /// Describes the plan for a SELECT without executing its scan —
+    /// the `EXPLAIN` statement.
+    pub fn explain_select(&self, stmt: &SelectStmt) -> Result<Vec<String>> {
+        let plan = self.plan_select(stmt)?;
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "scan {} ({} rows, {} partitions, {} workers)",
+            stmt.from[0].name,
+            plan.base.row_count(),
+            plan.base.partition_count(),
+            self.workers
+        ));
+        if stmt.from.len() > 1 {
+            let names: Vec<&str> =
+                stmt.from[1..].iter().map(|t| t.name.as_str()).collect();
+            lines.push(format!(
+                "cross join [{}] -> {} combination(s) after pushing {} predicate(s)",
+                names.join(", "),
+                plan.join_product.len(),
+                plan.pushed
+            ));
+        } else if plan.pushed > 0 {
+            lines.push(format!("{} constant predicate(s) pushed", plan.pushed));
+        }
+        if !plan.residual.is_empty() {
+            lines.push(format!("filter: {} residual predicate(s) per row", plan.residual.len()));
+        }
+        if plan.aggregate_mode {
+            // Re-bind to count aggregate calls and fast paths (the
+            // executor does the same binding when it runs).
+            let mut agg_calls: Vec<AggCall> = Vec::new();
+            for p in &stmt.projections {
+                let mut binder = Binder {
+                    schema: &plan.schema,
+                    registry: self.registry,
+                    group_exprs: &stmt.group_by,
+                    aggs: Some(&mut agg_calls),
+                };
+                binder.bind(&p.expr)?;
+            }
+            if let Some(h) = &stmt.having {
+                let mut binder = Binder {
+                    schema: &plan.schema,
+                    registry: self.registry,
+                    group_exprs: &stmt.group_by,
+                    aggs: Some(&mut agg_calls),
+                };
+                binder.bind(h)?;
+            }
+            let fast = agg_calls
+                .iter()
+                .filter(|call| {
+                    call.args.len() == 1 && FastArg::recognize(&call.args[0]).is_some()
+                })
+                .count();
+            let udfs = agg_calls
+                .iter()
+                .filter(|c| matches!(c.kind, AggKind::Udf(_)))
+                .count();
+            lines.push(format!(
+                "aggregate: {} call(s) ({fast} fast-path candidate(s), {udfs} UDF state(s)); group by {} key(s)",
+                agg_calls.len(),
+                stmt.group_by.len()
+            ));
+            if stmt.having.is_some() {
+                lines.push("having: post-aggregation filter".into());
+            }
+        } else {
+            lines.push(format!("project: {} expression(s) per row", stmt.projections.len()));
+        }
+        if !stmt.order_by.is_empty() {
+            lines.push(format!("order by: {} key(s)", stmt.order_by.len()));
+        }
+        if let Some(limit) = stmt.limit {
+            lines.push(format!("limit: {limit}"));
+        }
+        Ok(lines)
+    }
+
+    /// Resolves a name to a materialized table, executing views.
+    pub fn resolve_table(&self, name: &str) -> Result<Arc<Table>> {
+        match self.catalog.get(name) {
+            Some(CatalogEntry::Table(t)) => Ok(t),
+            Some(CatalogEntry::View(query)) => {
+                let rs = self.execute_select(&query)?;
+                Ok(Arc::new(result_to_table(&rs, self.workers)?))
+            }
+            None => Err(EngineError::UnknownTable(name.to_owned())),
+        }
+    }
+
+    fn execute_scalar(
+        &self,
+        stmt: &SelectStmt,
+        base: &Table,
+        schema: &BoundSchema,
+        join_product: &[Row],
+        residual: &[BoundExpr],
+    ) -> Result<ResultSet> {
+        if stmt.having.is_some() {
+            return Err(EngineError::Unsupported(
+                "HAVING requires aggregation or GROUP BY".into(),
+            ));
+        }
+        // Expand projections (wildcard becomes every column).
+        let mut bound = Vec::new();
+        let mut names = Vec::new();
+        for (i, p) in stmt.projections.iter().enumerate() {
+            if p.expr == Expr::Wildcard {
+                for c in 0..schema.len() {
+                    bound.push(BoundExpr::ColumnRef(c));
+                    names.push(schema.column_name(c).to_owned());
+                }
+            } else {
+                bound.push(Binder::scalar(schema, self.registry).bind(&p.expr)?);
+                names.push(projection_name(p, i));
+            }
+        }
+
+        // ORDER BY keys: bound against the input schema, or a 1-based
+        // output ordinal (`ORDER BY 2`).
+        let order_bound: Vec<(OrderEval, bool)> = stmt
+            .order_by
+            .iter()
+            .map(|key| {
+                let eval = match &key.expr {
+                    Expr::Literal(Value::Int(k)) => {
+                        let idx = (*k as usize).checked_sub(1).filter(|i| *i < bound.len());
+                        OrderEval::Ordinal(idx.ok_or_else(|| {
+                            EngineError::Unsupported(format!(
+                                "ORDER BY ordinal {k} out of range"
+                            ))
+                        })?)
+                    }
+                    e => OrderEval::Expr(Binder::scalar(schema, self.registry).bind(e)?),
+                };
+                Ok((eval, key.descending))
+            })
+            .collect::<Result<_>>()?;
+
+        let bound_ref = &bound;
+        let order_ref = &order_bound;
+        let partials: Vec<Result<Vec<(Row, Row)>>> = parallel_scan(base, self.workers, |iter| {
+            let mut out = Vec::new();
+            let mut combined_buf: Row = Vec::new();
+            for row in iter {
+                let left = row?;
+                'suffixes: for suffix in join_product {
+                    // Borrow the base row directly when there is no join.
+                    let combined: &[Value] = if suffix.is_empty() {
+                        &left
+                    } else {
+                        combined_buf.clear();
+                        combined_buf.extend(left.iter().cloned());
+                        combined_buf.extend(suffix.iter().cloned());
+                        &combined_buf
+                    };
+                    for pred in residual {
+                        if !matches!(pred.eval(combined, &[], &[])?, Value::Int(x) if x != 0) {
+                            continue 'suffixes;
+                        }
+                    }
+                    let mut projected = Vec::with_capacity(bound_ref.len());
+                    for b in bound_ref {
+                        projected.push(b.eval(combined, &[], &[])?);
+                    }
+                    // Evaluate ORDER BY keys against the same row and
+                    // carry them alongside the projection.
+                    let mut keys = Vec::with_capacity(order_ref.len());
+                    for (eval, _) in order_ref {
+                        keys.push(match eval {
+                            OrderEval::Ordinal(i) => projected[*i].clone(),
+                            OrderEval::Expr(e) => e.eval(combined, &[], &[])?,
+                        });
+                    }
+                    out.push((keys, projected));
+                }
+            }
+            Ok(out)
+        });
+
+        let mut keyed_rows = Vec::new();
+        for p in partials {
+            keyed_rows.extend(p?);
+        }
+        let rows = finish_rows(keyed_rows, &stmt.order_by, stmt.limit);
+        Ok(ResultSet { columns: names, rows })
+    }
+
+    fn execute_aggregate(
+        &self,
+        stmt: &SelectStmt,
+        base: &Table,
+        schema: &BoundSchema,
+        join_product: &[Row],
+        residual: &[BoundExpr],
+    ) -> Result<ResultSet> {
+        // Bind GROUP BY keys (scalar mode).
+        let group_bound: Vec<BoundExpr> = stmt
+            .group_by
+            .iter()
+            .map(|g| Binder::scalar(schema, self.registry).bind(g))
+            .collect::<Result<_>>()?;
+
+        // Bind projections in aggregate mode, extracting agg calls.
+        let mut agg_calls: Vec<AggCall> = Vec::new();
+        let mut proj_bound = Vec::new();
+        let mut names = Vec::new();
+        for (i, p) in stmt.projections.iter().enumerate() {
+            let mut binder = Binder {
+                schema,
+                registry: self.registry,
+                group_exprs: &stmt.group_by,
+                aggs: Some(&mut agg_calls),
+            };
+            proj_bound.push(binder.bind(&p.expr)?);
+            names.push(projection_name(p, i));
+        }
+
+        // HAVING and ORDER BY are also bound in aggregate mode so they
+        // may introduce their own aggregate calls (e.g.
+        // `HAVING count(*) > 5`, `ORDER BY sum(v) DESC`).
+        let having_bound = match &stmt.having {
+            Some(h) => {
+                let mut binder = Binder {
+                    schema,
+                    registry: self.registry,
+                    group_exprs: &stmt.group_by,
+                    aggs: Some(&mut agg_calls),
+                };
+                Some(binder.bind(h)?)
+            }
+            None => None,
+        };
+        let order_bound: Vec<(OrderEval, bool)> = stmt
+            .order_by
+            .iter()
+            .map(|key| {
+                let eval = match &key.expr {
+                    Expr::Literal(Value::Int(k)) => {
+                        let idx =
+                            (*k as usize).checked_sub(1).filter(|i| *i < proj_bound.len());
+                        OrderEval::Ordinal(idx.ok_or_else(|| {
+                            EngineError::Unsupported(format!(
+                                "ORDER BY ordinal {k} out of range"
+                            ))
+                        })?)
+                    }
+                    e => {
+                        let mut binder = Binder {
+                            schema,
+                            registry: self.registry,
+                            group_exprs: &stmt.group_by,
+                            aggs: Some(&mut agg_calls),
+                        };
+                        OrderEval::Expr(binder.bind(e)?)
+                    }
+                };
+                Ok((eval, key.descending))
+            })
+            .collect::<Result<_>>()?;
+
+        // Verify every aggregate UDF state fits the heap budget.
+        for call in &agg_calls {
+            if let AggKind::Udf(udf) = &call.kind {
+                let probe = udf.init();
+                check_heap(udf.name(), probe.as_ref())?;
+            }
+        }
+
+        // Recognize fast shapes for simple numeric aggregate terms
+        // (the bulk of the paper's generated 1 + d + d² queries).
+        // Gated on column types so integer-sum semantics and string
+        // counting stay on the general path.
+        let fast_args: Vec<Option<FastArg>> = agg_calls
+            .iter()
+            .map(|call| {
+                if call.args.len() != 1 {
+                    return None;
+                }
+                let fa = FastArg::recognize(&call.args[0])?;
+                let numeric_float = |i: usize| schema.column_type(i) == DataType::Float;
+                let ok = match (&call.kind, &fa) {
+                    (AggKind::Sum | AggKind::Avg | AggKind::Count, FastArg::Col(i)) => {
+                        numeric_float(*i)
+                    }
+                    (
+                        AggKind::Sum | AggKind::Avg | AggKind::Count,
+                        FastArg::ColProduct(a, b),
+                    ) => numeric_float(*a) && numeric_float(*b),
+                    (AggKind::Sum | AggKind::Avg | AggKind::Count, FastArg::Const(_)) => {
+                        matches!(&call.args[0], BoundExpr::Literal(Value::Float(_)))
+                    }
+                    _ => false,
+                };
+                ok.then_some(fa)
+            })
+            .collect();
+
+        let group_ref = &group_bound;
+        let calls_ref = &agg_calls;
+        let fast_ref = &fast_args;
+
+        // Phase 1-2: each worker accumulates per-group partial states
+        // over its partition (the UDF protocol's init + row steps).
+        type GroupMap = HashMap<GroupKey, Vec<AggAccum>>;
+        let partials: Vec<Result<GroupMap>> = parallel_scan(base, self.workers, |iter| {
+            let mut groups: GroupMap = HashMap::new();
+            let mut arg_buf: Vec<Value> = Vec::new();
+            let mut combined_buf: Row = Vec::new();
+            for row in iter {
+                let left = row?;
+                'suffixes: for suffix in join_product {
+                    let combined: &[Value] = if suffix.is_empty() {
+                        &left
+                    } else {
+                        combined_buf.clear();
+                        combined_buf.extend(left.iter().cloned());
+                        combined_buf.extend(suffix.iter().cloned());
+                        &combined_buf
+                    };
+                    for pred in residual {
+                        if !matches!(pred.eval(combined, &[], &[])?, Value::Int(x) if x != 0) {
+                            continue 'suffixes;
+                        }
+                    }
+                    let key = GroupKey(
+                        group_ref
+                            .iter()
+                            .map(|g| g.eval(combined, &[], &[]))
+                            .collect::<Result<Vec<_>>>()?,
+                    );
+                    let accums = match groups.get_mut(&key) {
+                        Some(a) => a,
+                        None => groups
+                            .entry(key)
+                            .or_insert_with(|| calls_ref.iter().map(AggAccum::init).collect()),
+                    };
+                    for ((accum, call), fast) in
+                        accums.iter_mut().zip(calls_ref).zip(fast_ref)
+                    {
+                        if let Some(fa) = fast {
+                            accum.update_fast(fa.eval_f64(combined));
+                            continue;
+                        }
+                        arg_buf.clear();
+                        for a in &call.args {
+                            arg_buf.push(a.eval(combined, &[], &[])?);
+                        }
+                        accum.update(&arg_buf)?;
+                    }
+                }
+            }
+            Ok(groups)
+        });
+
+        // Phase 3: master merges the partials.
+        let mut merged: GroupMap = HashMap::new();
+        for partial in partials {
+            for (key, accums) in partial? {
+                match merged.get_mut(&key) {
+                    None => {
+                        merged.insert(key, accums);
+                    }
+                    Some(existing) => {
+                        for (e, a) in existing.iter_mut().zip(accums) {
+                            e.merge(a)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        // A global aggregate over zero rows still yields one row.
+        if merged.is_empty() && stmt.group_by.is_empty() {
+            merged.insert(
+                GroupKey(Vec::new()),
+                agg_calls.iter().map(AggAccum::init).collect(),
+            );
+        }
+
+        // Phase 4: finalize each group, apply HAVING, and evaluate
+        // the projections and ORDER BY keys.
+        let mut keyed_rows = Vec::with_capacity(merged.len());
+        for (key, accums) in merged {
+            let agg_values: Vec<Value> = accums
+                .into_iter()
+                .map(AggAccum::finalize)
+                .collect::<Result<_>>()?;
+            if let Some(h) = &having_bound {
+                if !matches!(h.eval(&[], &agg_values, &key.0)?, Value::Int(x) if x != 0) {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(proj_bound.len());
+            for b in &proj_bound {
+                out.push(b.eval(&[], &agg_values, &key.0)?);
+            }
+            let mut keys = Vec::with_capacity(order_bound.len());
+            for (eval, _) in &order_bound {
+                keys.push(match eval {
+                    OrderEval::Ordinal(i) => out[*i].clone(),
+                    OrderEval::Expr(e) => e.eval(&[], &agg_values, &key.0)?,
+                });
+            }
+            keyed_rows.push((keys, out));
+        }
+        // With no ORDER BY, sort whole rows for deterministic grouped
+        // output; otherwise sort by the requested keys.
+        if stmt.order_by.is_empty() {
+            keyed_rows.sort_by(|(_, a), (_, b)| {
+                for (x, y) in a.iter().zip(b) {
+                    let ord = value_cmp(x, y);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let mut rows: Vec<Row> = keyed_rows.into_iter().map(|(_, r)| r).collect();
+            if let Some(limit) = stmt.limit {
+                rows.truncate(limit);
+            }
+            return Ok(ResultSet { columns: names, rows });
+        }
+        let rows = finish_rows(keyed_rows, &stmt.order_by, stmt.limit);
+        Ok(ResultSet { columns: names, rows })
+    }
+}
+
+/// How one ORDER BY key is computed for a result row.
+enum OrderEval {
+    /// 1-based output ordinal (already 0-based here).
+    Ordinal(usize),
+    /// Arbitrary expression over the input row (scalar queries) or
+    /// aggregates/group keys (aggregate queries).
+    Expr(BoundExpr),
+}
+
+/// Total order for sorting: NULLs sort last, mixed types by variant.
+fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_null(), b.is_null()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.sql_cmp(b).unwrap_or(Ordering::Equal),
+    }
+}
+
+/// Sorts keyed rows per the ORDER BY spec and applies LIMIT.
+fn finish_rows(
+    mut keyed: Vec<(Row, Row)>,
+    order_by: &[crate::ast::OrderKey],
+    limit: Option<usize>,
+) -> Vec<Row> {
+    if !order_by.is_empty() {
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, key) in order_by.iter().enumerate() {
+                let (a, b) = (&ka[i], &kb[i]);
+                // NULLs stay last regardless of direction.
+                let ord = match (a.is_null(), b.is_null()) {
+                    (true, true) => std::cmp::Ordering::Equal,
+                    (true, false) => std::cmp::Ordering::Greater,
+                    (false, true) => std::cmp::Ordering::Less,
+                    (false, false) => {
+                        let ord = value_cmp(a, b);
+                        if key.descending {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    }
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    let mut rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+    if let Some(limit) = limit {
+        rows.truncate(limit);
+    }
+    rows
+}
+
+/// Flattens a predicate's top-level AND chain into conjuncts.
+fn split_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Binary { op: crate::ast::BinOp::And, lhs, rhs } = e {
+        split_conjuncts(lhs, out);
+        split_conjuncts(rhs, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Derives an output column name for a projection.
+fn projection_name(p: &crate::ast::Projection, idx: usize) -> String {
+    if let Some(a) = &p.alias {
+        return a.clone();
+    }
+    match &p.expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Call { name, .. } => name.clone(),
+        _ => format!("col{}", idx + 1),
+    }
+}
+
+/// Materializes a result set into a table, inferring column types from
+/// the first non-NULL value in each column (all-NULL columns become
+/// FLOAT).
+pub(crate) fn result_to_table(rs: &ResultSet, partitions: usize) -> Result<Table> {
+    let mut types = vec![None; rs.columns.len()];
+    for row in &rs.rows {
+        for (c, v) in row.iter().enumerate() {
+            if types[c].is_none() {
+                types[c] = match v {
+                    Value::Null => None,
+                    Value::Int(_) => Some(DataType::Int),
+                    Value::Float(_) => Some(DataType::Float),
+                    Value::Str(_) => Some(DataType::Str),
+                };
+            }
+        }
+        if types.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    let schema = Schema::new(
+        rs.columns
+            .iter()
+            .zip(&types)
+            .map(|(name, ty)| Column::new(name.clone(), ty.unwrap_or(DataType::Float)))
+            .collect(),
+    );
+    let mut table = Table::new(schema, partitions.max(1));
+    for row in &rs.rows {
+        table.insert(row.clone())?;
+    }
+    Ok(table)
+}
+
+/// Group key with SQL grouping semantics (NULLs group together).
+#[derive(Debug, Clone)]
+struct GroupKey(Vec<Value>);
+
+impl PartialEq for GroupKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a.group_eq(b))
+    }
+}
+
+impl Eq for GroupKey {}
+
+impl Hash for GroupKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            state.write_u64(v.group_key());
+        }
+    }
+}
+
+/// A single aggregate accumulator (one per aggregate call per group
+/// per worker).
+enum AggAccum {
+    Sum { acc: f64, any: bool, int_only: bool },
+    Count { n: i64 },
+    CountStar { n: i64 },
+    Avg { sum: f64, n: i64 },
+    Min { best: Option<Value> },
+    Max { best: Option<Value> },
+    /// Two-dimensional statistical builtin: the running sums
+    /// (n, Σa, Σb, Σa², Σb², Σab) — a 2-D instance of the paper's
+    /// n, L, Q.
+    Stat {
+        kind: StatAgg,
+        n: f64,
+        sa: f64,
+        sb: f64,
+        saa: f64,
+        sbb: f64,
+        sab: f64,
+    },
+    Udf { state: Box<dyn AggregateState> },
+}
+
+impl AggAccum {
+    fn init(call: &AggCall) -> Self {
+        match &call.kind {
+            AggKind::Sum => AggAccum::Sum { acc: 0.0, any: false, int_only: true },
+            AggKind::Count => AggAccum::Count { n: 0 },
+            AggKind::CountStar => AggAccum::CountStar { n: 0 },
+            AggKind::Avg => AggAccum::Avg { sum: 0.0, n: 0 },
+            AggKind::Min => AggAccum::Min { best: None },
+            AggKind::Max => AggAccum::Max { best: None },
+            AggKind::Stat(kind) => AggAccum::Stat {
+                kind: *kind,
+                n: 0.0,
+                sa: 0.0,
+                sb: 0.0,
+                saa: 0.0,
+                sbb: 0.0,
+                sab: 0.0,
+            },
+            AggKind::Udf(udf) => AggAccum::Udf { state: udf.init() },
+        }
+    }
+
+    /// Specialized update for recognized numeric fast-path terms
+    /// (`None` means SQL NULL: skipped, except by `count(*)` which
+    /// never takes the fast path).
+    #[inline]
+    fn update_fast(&mut self, v: Option<f64>) {
+        match self {
+            AggAccum::Sum { acc, any, int_only } => {
+                if let Some(x) = v {
+                    *acc += x;
+                    *any = true;
+                    *int_only = false; // fast path is float-typed by construction
+                }
+            }
+            AggAccum::Avg { sum, n } => {
+                if let Some(x) = v {
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+            AggAccum::Count { n } => {
+                if v.is_some() {
+                    *n += 1;
+                }
+            }
+            _ => unreachable!("fast path only generated for sum/avg/count"),
+        }
+    }
+
+    fn update(&mut self, args: &[Value]) -> Result<()> {
+        match self {
+            AggAccum::Sum { acc, any, int_only } => {
+                let v = args.first().unwrap_or(&Value::Null);
+                if let Some(x) = v.as_f64() {
+                    *acc += x;
+                    *any = true;
+                    if !matches!(v, Value::Int(_)) {
+                        *int_only = false;
+                    }
+                }
+            }
+            AggAccum::Count { n } => {
+                if !args.first().unwrap_or(&Value::Null).is_null() {
+                    *n += 1;
+                }
+            }
+            AggAccum::CountStar { n } => *n += 1,
+            AggAccum::Avg { sum, n } => {
+                if let Some(x) = args.first().and_then(Value::as_f64) {
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+            AggAccum::Min { best } => {
+                let v = args.first().unwrap_or(&Value::Null);
+                if !v.is_null() {
+                    let replace = match best {
+                        None => true,
+                        Some(b) => v.sql_cmp(b) == Some(std::cmp::Ordering::Less),
+                    };
+                    if replace {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            AggAccum::Max { best } => {
+                let v = args.first().unwrap_or(&Value::Null);
+                if !v.is_null() {
+                    let replace = match best {
+                        None => true,
+                        Some(b) => v.sql_cmp(b) == Some(std::cmp::Ordering::Greater),
+                    };
+                    if replace {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            AggAccum::Stat { kind, n, sa, sb, saa, sbb, sab } => {
+                // Skip the row if any argument is NULL, per SQL.
+                let a = args.first().and_then(Value::as_f64);
+                if kind.arity() == 1 {
+                    if let Some(a) = a {
+                        *n += 1.0;
+                        *sa += a;
+                        *saa += a * a;
+                    }
+                } else if let (Some(a), Some(b)) =
+                    (a, args.get(1).and_then(Value::as_f64))
+                {
+                    *n += 1.0;
+                    *sa += a;
+                    *sb += b;
+                    *saa += a * a;
+                    *sbb += b * b;
+                    *sab += a * b;
+                }
+            }
+            AggAccum::Udf { state } => state.accumulate(args)?,
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: AggAccum) -> Result<()> {
+        match (self, other) {
+            (
+                AggAccum::Sum { acc, any, int_only },
+                AggAccum::Sum { acc: a2, any: n2, int_only: i2 },
+            ) => {
+                *acc += a2;
+                *any |= n2;
+                *int_only &= i2;
+            }
+            (AggAccum::Count { n }, AggAccum::Count { n: n2 }) => *n += n2,
+            (AggAccum::CountStar { n }, AggAccum::CountStar { n: n2 }) => *n += n2,
+            (AggAccum::Avg { sum, n }, AggAccum::Avg { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            (AggAccum::Min { best }, AggAccum::Min { best: b2 }) => {
+                if let Some(v) = b2 {
+                    let replace = match &best {
+                        None => true,
+                        Some(b) => v.sql_cmp(b) == Some(std::cmp::Ordering::Less),
+                    };
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            (AggAccum::Max { best }, AggAccum::Max { best: b2 }) => {
+                if let Some(v) = b2 {
+                    let replace = match &best {
+                        None => true,
+                        Some(b) => v.sql_cmp(b) == Some(std::cmp::Ordering::Greater),
+                    };
+                    if replace {
+                        *best = Some(v);
+                    }
+                }
+            }
+            (
+                AggAccum::Stat { n, sa, sb, saa, sbb, sab, .. },
+                AggAccum::Stat { n: n2, sa: a2, sb: b2, saa: aa2, sbb: bb2, sab: ab2, .. },
+            ) => {
+                *n += n2;
+                *sa += a2;
+                *sb += b2;
+                *saa += aa2;
+                *sbb += bb2;
+                *sab += ab2;
+            }
+            (AggAccum::Udf { state }, AggAccum::Udf { state: other }) => {
+                state.merge(other.as_ref())?;
+            }
+            _ => {
+                return Err(EngineError::Unsupported(
+                    "mismatched aggregate accumulators in merge".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(self) -> Result<Value> {
+        Ok(match self {
+            AggAccum::Sum { acc, any, int_only } => {
+                if !any {
+                    Value::Null
+                } else if int_only {
+                    Value::Int(acc as i64)
+                } else {
+                    Value::Float(acc)
+                }
+            }
+            AggAccum::Count { n } | AggAccum::CountStar { n } => Value::Int(n),
+            AggAccum::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggAccum::Min { best } | AggAccum::Max { best } => best.unwrap_or(Value::Null),
+            AggAccum::Stat { kind, n, sa, sb, saa, sbb, sab } => {
+                let out = match kind {
+                    StatAgg::VarPop if n >= 1.0 => Some(saa / n - (sa / n) * (sa / n)),
+                    StatAgg::VarSamp if n >= 2.0 => {
+                        Some((saa - sa * sa / n) / (n - 1.0))
+                    }
+                    StatAgg::StdDev if n >= 2.0 => {
+                        Some(((saa - sa * sa / n) / (n - 1.0)).max(0.0).sqrt())
+                    }
+                    StatAgg::CovarPop if n >= 1.0 => Some(sab / n - sa * sb / (n * n)),
+                    StatAgg::Corr if n >= 2.0 => {
+                        // The paper's rho_ab, specialized to d = 2.
+                        let da = n * saa - sa * sa;
+                        let db = n * sbb - sb * sb;
+                        (da > 0.0 && db > 0.0)
+                            .then(|| (n * sab - sa * sb) / (da.sqrt() * db.sqrt()))
+                    }
+                    StatAgg::RegrSlope if n >= 2.0 => {
+                        // First argument is the dependent variable y.
+                        let dx = n * sbb - sb * sb;
+                        (dx > 0.0).then(|| (n * sab - sa * sb) / dx)
+                    }
+                    StatAgg::RegrIntercept if n >= 2.0 => {
+                        let dx = n * sbb - sb * sb;
+                        (dx > 0.0)
+                            .then(|| (sa - (n * sab - sa * sb) / dx * sb) / n)
+                    }
+                    _ => None,
+                };
+                out.map_or(Value::Null, Value::Float)
+            }
+            AggAccum::Udf { state } => state.finalize()?,
+        })
+    }
+}

@@ -1,0 +1,856 @@
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use nlq_storage::{DataType, Value};
+use nlq_udf::{AggregateUdf, ScalarUdf, UdfRegistry};
+
+use crate::ast::{BinOp, Expr};
+use crate::{EngineError, Result};
+
+/// The combined (possibly join-product) schema expressions are bound
+/// against: one entry per output column, with the optional table alias
+/// it came from.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BoundSchema {
+    /// `(alias_lower, name_lower, type)` per column.
+    entries: Vec<(Option<String>, String, DataType)>,
+}
+
+impl BoundSchema {
+    pub fn new() -> Self {
+        BoundSchema::default()
+    }
+
+    /// Appends one table's columns under an optional alias.
+    pub fn push_table(&mut self, alias: Option<&str>, schema: &nlq_storage::Schema) {
+        let alias = alias.map(str::to_ascii_lowercase);
+        for col in schema.columns() {
+            self.entries
+                .push((alias.clone(), col.name.to_ascii_lowercase(), col.ty));
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Resolves a column reference to its index; ambiguous bare names
+    /// and unknown names are errors.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let name_l = name.to_ascii_lowercase();
+        let table_l = table.map(str::to_ascii_lowercase);
+        let mut found = None;
+        for (i, (alias, col, _)) in self.entries.iter().enumerate() {
+            let table_matches = match &table_l {
+                Some(t) => alias.as_deref() == Some(t.as_str()),
+                None => true,
+            };
+            if table_matches && *col == name_l {
+                if found.is_some() {
+                    return Err(EngineError::UnknownColumn(format!(
+                        "{name} is ambiguous; qualify it with a table alias"
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            EngineError::UnknownColumn(match table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.to_owned(),
+            })
+        })
+    }
+
+    /// Column name at an index (lower case, unqualified).
+    pub fn column_name(&self, idx: usize) -> &str {
+        &self.entries[idx].1
+    }
+
+    /// Column type at an index.
+    pub fn column_type(&self, idx: usize) -> DataType {
+        self.entries[idx].2
+    }
+}
+
+/// Builtin scalar functions evaluated by the engine itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScalarFunc {
+    Sqrt,
+    Abs,
+    Power,
+    Ln,
+    Exp,
+    Floor,
+    Ceil,
+    Least,
+    Greatest,
+    Mod,
+    /// `pack(v1, ..., vd)`: formats all arguments into one
+    /// comma-separated string — the client-side half of the paper's
+    /// string parameter-passing style (per-row float→text cost).
+    Pack,
+}
+
+impl ScalarFunc {
+    fn parse(name: &str) -> Option<Self> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "sqrt" => ScalarFunc::Sqrt,
+            "abs" => ScalarFunc::Abs,
+            "power" | "pow" => ScalarFunc::Power,
+            "ln" | "log" => ScalarFunc::Ln,
+            "exp" => ScalarFunc::Exp,
+            "floor" => ScalarFunc::Floor,
+            "ceil" | "ceiling" => ScalarFunc::Ceil,
+            "least" => ScalarFunc::Least,
+            "greatest" => ScalarFunc::Greatest,
+            "mod" => ScalarFunc::Mod,
+            "pack" => ScalarFunc::Pack,
+            _ => return None,
+        })
+    }
+}
+
+/// The two-dimensional statistical builtins Teradata SQL ships (§5 of
+/// the paper: "provides advanced aggregate functions to compute linear
+/// regression and correlation, but it only does it for two
+/// dimensions" — the limitation the d-dimensional UDF removes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StatAgg {
+    /// `var_pop(x)`: population variance.
+    VarPop,
+    /// `var_samp(x)` / `variance(x)`: sample variance.
+    VarSamp,
+    /// `stddev(x)` / `stddev_samp(x)`: sample standard deviation.
+    StdDev,
+    /// `covar_pop(x, y)`: population covariance.
+    CovarPop,
+    /// `corr(x, y)`: Pearson correlation coefficient.
+    Corr,
+    /// `regr_slope(y, x)`: OLS slope of y on x.
+    RegrSlope,
+    /// `regr_intercept(y, x)`: OLS intercept of y on x.
+    RegrIntercept,
+}
+
+impl StatAgg {
+    fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "var_pop" => StatAgg::VarPop,
+            "var_samp" | "variance" => StatAgg::VarSamp,
+            "stddev" | "stddev_samp" => StatAgg::StdDev,
+            "covar_pop" => StatAgg::CovarPop,
+            "corr" => StatAgg::Corr,
+            "regr_slope" => StatAgg::RegrSlope,
+            "regr_intercept" => StatAgg::RegrIntercept,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        match self {
+            StatAgg::VarPop | StatAgg::VarSamp | StatAgg::StdDev => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// Builtin aggregate kinds (plus registered aggregate UDFs).
+#[derive(Clone)]
+pub(crate) enum AggKind {
+    Sum,
+    Count,
+    CountStar,
+    Avg,
+    Min,
+    Max,
+    /// Two-dimensional statistical builtin.
+    Stat(StatAgg),
+    Udf(Arc<dyn AggregateUdf>),
+}
+
+const STAT_NAMES: &[&str] = &[
+    "var_pop",
+    "var_samp",
+    "variance",
+    "stddev",
+    "stddev_samp",
+    "covar_pop",
+    "corr",
+    "regr_slope",
+    "regr_intercept",
+];
+
+impl AggKind {
+    fn parse(name: &str, registry: &UdfRegistry) -> Option<Self> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "sum" => Some(AggKind::Sum),
+            "count" => Some(AggKind::Count), // CountStar decided by args
+            "avg" => Some(AggKind::Avg),
+            "min" => Some(AggKind::Min),
+            "max" => Some(AggKind::Max),
+            other => match StatAgg::parse(other) {
+                Some(stat) => Some(AggKind::Stat(stat)),
+                None => registry.aggregate(name).cloned().map(AggKind::Udf),
+            },
+        }
+    }
+
+    /// Whether `name` names any aggregate (builtin or UDF).
+    pub fn is_aggregate_name(name: &str, registry: &UdfRegistry) -> bool {
+        let lower = name.to_ascii_lowercase();
+        matches!(lower.as_str(), "sum" | "count" | "avg" | "min" | "max")
+            || STAT_NAMES.contains(&lower.as_str())
+            || registry.aggregate(name).is_some()
+    }
+}
+
+/// One aggregate call site extracted from the projection list.
+pub(crate) struct AggCall {
+    pub kind: AggKind,
+    /// Per-row argument expressions (empty for `count(*)`).
+    pub args: Vec<BoundExpr>,
+}
+
+/// Pre-recognized shapes of single-argument aggregate inputs, letting
+/// the executor skip full interpretation for the overwhelmingly common
+/// terms of the paper's generated queries (`sum(Xa)`, `sum(Xa*Xb)`,
+/// `sum(1.0)`). Real engines compile simple aggregation pipelines the
+/// same way; the general interpreter remains the fallback.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FastArg {
+    /// Argument is a bare column.
+    Col(usize),
+    /// Argument is a product of two columns.
+    ColProduct(usize, usize),
+    /// Argument is a constant.
+    Const(f64),
+}
+
+impl FastArg {
+    /// Recognizes a fast shape, if any.
+    pub fn recognize(e: &BoundExpr) -> Option<FastArg> {
+        match e {
+            BoundExpr::ColumnRef(i) => Some(FastArg::Col(*i)),
+            BoundExpr::Literal(v) => v.as_f64().map(FastArg::Const),
+            BoundExpr::Binary { op: BinOp::Mul, lhs, rhs } => match (lhs.as_ref(), rhs.as_ref()) {
+                (BoundExpr::ColumnRef(a), BoundExpr::ColumnRef(b)) => {
+                    Some(FastArg::ColProduct(*a, *b))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Evaluates the fast shape to a float (`None` = SQL NULL or
+    /// non-numeric, which the caller treats as a skipped value).
+    #[inline]
+    pub fn eval_f64(&self, row: &[Value]) -> Option<f64> {
+        match self {
+            FastArg::Col(i) => row[*i].as_f64(),
+            FastArg::ColProduct(a, b) => Some(row[*a].as_f64()? * row[*b].as_f64()?),
+            FastArg::Const(c) => Some(*c),
+        }
+    }
+}
+
+/// An expression bound to column indexes, ready for per-row
+/// interpretation. This *is* the paper's "SQL arithmetic expressions
+/// are interpreted at run-time": every row walks this tree.
+pub(crate) enum BoundExpr {
+    Literal(Value),
+    ColumnRef(usize),
+    Neg(Box<BoundExpr>),
+    Not(Box<BoundExpr>),
+    Binary { op: BinOp, lhs: Box<BoundExpr>, rhs: Box<BoundExpr> },
+    Func { func: ScalarFunc, args: Vec<BoundExpr> },
+    ScalarUdf { udf: Arc<dyn ScalarUdf>, args: Vec<BoundExpr> },
+    Case { branches: Vec<(BoundExpr, BoundExpr)>, else_expr: Option<Box<BoundExpr>> },
+    IsNull { expr: Box<BoundExpr>, negated: bool },
+    /// Value of the i-th extracted aggregate (aggregate queries only,
+    /// evaluated after accumulation).
+    AggRef(usize),
+    /// Value of the i-th GROUP BY expression for the current group.
+    GroupRef(usize),
+}
+
+/// Binds AST expressions against a schema, optionally extracting
+/// aggregate calls (aggregate-query mode).
+pub(crate) struct Binder<'a> {
+    pub schema: &'a BoundSchema,
+    pub registry: &'a UdfRegistry,
+    /// Group-by expressions (AST form) for matching projections.
+    pub group_exprs: &'a [Expr],
+    /// Extracted aggregate calls; `None` disables aggregate mode.
+    pub aggs: Option<&'a mut Vec<AggCall>>,
+}
+
+impl<'a> Binder<'a> {
+    /// Binds in scalar mode (aggregates are an error).
+    pub fn scalar(schema: &'a BoundSchema, registry: &'a UdfRegistry) -> Self {
+        Binder { schema, registry, group_exprs: &[], aggs: None }
+    }
+
+    pub fn bind(&mut self, expr: &Expr) -> Result<BoundExpr> {
+        // In aggregate mode, a projection subtree that syntactically
+        // matches a GROUP BY expression binds to the group key.
+        if self.aggs.is_some() {
+            for (i, g) in self.group_exprs.iter().enumerate() {
+                if g == expr {
+                    return Ok(BoundExpr::GroupRef(i));
+                }
+            }
+        }
+        match expr {
+            Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
+            Expr::Column { table, name } => {
+                let idx = self.schema.resolve(table.as_deref(), name)?;
+                if self.aggs.is_some() {
+                    return Err(EngineError::Unsupported(format!(
+                        "column {name} must appear in GROUP BY or inside an aggregate"
+                    )));
+                }
+                Ok(BoundExpr::ColumnRef(idx))
+            }
+            Expr::Wildcard => Err(EngineError::Unsupported(
+                "* is only valid as a whole projection or in count(*)".into(),
+            )),
+            Expr::Neg(e) => Ok(BoundExpr::Neg(Box::new(self.bind(e)?))),
+            Expr::Not(e) => Ok(BoundExpr::Not(Box::new(self.bind(e)?))),
+            Expr::Binary { op, lhs, rhs } => Ok(BoundExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.bind(lhs)?),
+                rhs: Box::new(self.bind(rhs)?),
+            }),
+            Expr::Call { name, args } => self.bind_call(name, args),
+            Expr::Case { branches, else_expr } => {
+                let branches = branches
+                    .iter()
+                    .map(|(c, v)| Ok((self.bind(c)?, self.bind(v)?)))
+                    .collect::<Result<Vec<_>>>()?;
+                let else_expr = match else_expr {
+                    Some(e) => Some(Box::new(self.bind(e)?)),
+                    None => None,
+                };
+                Ok(BoundExpr::Case { branches, else_expr })
+            }
+            Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
+                expr: Box::new(self.bind(expr)?),
+                negated: *negated,
+            }),
+        }
+    }
+
+    fn bind_call(&mut self, name: &str, args: &[Expr]) -> Result<BoundExpr> {
+        // Aggregate?
+        if AggKind::is_aggregate_name(name, self.registry) {
+            let Some(aggs) = self.aggs.as_deref_mut() else {
+                return Err(EngineError::Unsupported(format!(
+                    "aggregate {name} is not allowed here"
+                )));
+            };
+            let mut kind = AggKind::parse(name, self.registry)
+                .ok_or_else(|| EngineError::UnknownFunction(name.to_owned()))?;
+            // count(*) special case.
+            let bound_args = if matches!(kind, AggKind::Count)
+                && args.len() == 1
+                && args[0] == Expr::Wildcard
+            {
+                kind = AggKind::CountStar;
+                Vec::new()
+            } else {
+                // Aggregate arguments are per-row scalar expressions;
+                // nested aggregates are invalid.
+                let mut inner =
+                    Binder { schema: self.schema, registry: self.registry, group_exprs: &[], aggs: None };
+                args.iter().map(|a| inner.bind(a)).collect::<Result<Vec<_>>>()?
+            };
+            let idx = aggs.len();
+            aggs.push(AggCall { kind, args: bound_args });
+            return Ok(BoundExpr::AggRef(idx));
+        }
+        // Scalar UDF?
+        if let Some(udf) = self.registry.scalar(name) {
+            let args = args.iter().map(|a| self.bind(a)).collect::<Result<Vec<_>>>()?;
+            return Ok(BoundExpr::ScalarUdf { udf: Arc::clone(udf), args });
+        }
+        // Builtin scalar function?
+        if let Some(func) = ScalarFunc::parse(name) {
+            let args = args.iter().map(|a| self.bind(a)).collect::<Result<Vec<_>>>()?;
+            return Ok(BoundExpr::Func { func, args });
+        }
+        Err(EngineError::UnknownFunction(name.to_owned()))
+    }
+}
+
+/// SQL three-valued truthiness: numbers are true iff nonzero; NULL is
+/// unknown.
+fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(*i != 0),
+        Value::Float(f) => Some(*f != 0.0),
+        Value::Str(_) => None,
+    }
+}
+
+impl BoundExpr {
+    /// Collects every column index referenced by this expression
+    /// (used by the executor to classify WHERE conjuncts for join
+    /// pushdown).
+    pub fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            BoundExpr::Literal(_) | BoundExpr::AggRef(_) | BoundExpr::GroupRef(_) => {}
+            BoundExpr::ColumnRef(i) => out.push(*i),
+            BoundExpr::Neg(e) | BoundExpr::Not(e) => e.collect_columns(out),
+            BoundExpr::Binary { lhs, rhs, .. } => {
+                lhs.collect_columns(out);
+                rhs.collect_columns(out);
+            }
+            BoundExpr::Func { args, .. } | BoundExpr::ScalarUdf { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            BoundExpr::Case { branches, else_expr } => {
+                for (c, v) in branches {
+                    c.collect_columns(out);
+                    v.collect_columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.collect_columns(out);
+                }
+            }
+            BoundExpr::IsNull { expr, .. } => expr.collect_columns(out),
+        }
+    }
+
+    /// Evaluates against one (joined) row; `aggs` and `group` supply
+    /// aggregate results and group-key values in aggregate queries.
+    pub fn eval(&self, row: &[Value], aggs: &[Value], group: &[Value]) -> Result<Value> {
+        match self {
+            BoundExpr::Literal(v) => Ok(v.clone()),
+            BoundExpr::ColumnRef(i) => Ok(row[*i].clone()),
+            BoundExpr::AggRef(i) => Ok(aggs[*i].clone()),
+            BoundExpr::GroupRef(i) => Ok(group[*i].clone()),
+            BoundExpr::Neg(e) => match e.eval(row, aggs, group)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                Value::Str(_) => Err(EngineError::Type("cannot negate a string".into())),
+            },
+            BoundExpr::Not(e) => Ok(match truth(&e.eval(row, aggs, group)?) {
+                None => Value::Null,
+                Some(b) => Value::Int(i64::from(!b)),
+            }),
+            BoundExpr::Binary { op, lhs, rhs } => {
+                eval_binary(*op, lhs.eval(row, aggs, group)?, rhs.eval(row, aggs, group)?)
+            }
+            BoundExpr::Func { func, args } => {
+                let vals = args
+                    .iter()
+                    .map(|a| a.eval(row, aggs, group))
+                    .collect::<Result<Vec<_>>>()?;
+                eval_func(*func, &vals)
+            }
+            BoundExpr::ScalarUdf { udf, args } => {
+                let vals = args
+                    .iter()
+                    .map(|a| a.eval(row, aggs, group))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(udf.eval(&vals)?)
+            }
+            BoundExpr::Case { branches, else_expr } => {
+                for (cond, val) in branches {
+                    if truth(&cond.eval(row, aggs, group)?) == Some(true) {
+                        return val.eval(row, aggs, group);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(row, aggs, group),
+                    None => Ok(Value::Null),
+                }
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                let is_null = expr.eval(row, aggs, group)?.is_null();
+                Ok(Value::Int(i64::from(is_null != *negated)))
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, lhs: Value, rhs: Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        And => {
+            // Three-valued AND: false dominates NULL.
+            return Ok(match (truth(&lhs), truth(&rhs)) {
+                (Some(false), _) | (_, Some(false)) => Value::Int(0),
+                (Some(true), Some(true)) => Value::Int(1),
+                _ => Value::Null,
+            });
+        }
+        Or => {
+            return Ok(match (truth(&lhs), truth(&rhs)) {
+                (Some(true), _) | (_, Some(true)) => Value::Int(1),
+                (Some(false), Some(false)) => Value::Int(0),
+                _ => Value::Null,
+            });
+        }
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            let Some(ord) = lhs.sql_cmp(&rhs) else {
+                return Ok(Value::Null);
+            };
+            let b = match op {
+                Eq => ord == Ordering::Equal,
+                NotEq => ord != Ordering::Equal,
+                Lt => ord == Ordering::Less,
+                LtEq => ord != Ordering::Greater,
+                Gt => ord == Ordering::Greater,
+                GtEq => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            return Ok(Value::Int(i64::from(b)));
+        }
+        _ => {}
+    }
+    // Arithmetic: NULL propagates; Int op Int stays Int (except /).
+    if lhs.is_null() || rhs.is_null() {
+        return Ok(Value::Null);
+    }
+    match (&lhs, &rhs) {
+        (Value::Int(a), Value::Int(b)) => match op {
+            BinOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+            BinOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            BinOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            BinOp::Div => {
+                if *b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(*a as f64 / *b as f64))
+                }
+            }
+            BinOp::Mod => {
+                if *b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(a.rem_euclid(*b)))
+                }
+            }
+            _ => unreachable!("logical ops handled above"),
+        },
+        _ => {
+            let (Some(a), Some(b)) = (lhs.as_f64(), rhs.as_f64()) else {
+                return Err(EngineError::Type(format!(
+                    "cannot apply arithmetic to {lhs:?} and {rhs:?}"
+                )));
+            };
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a.rem_euclid(b)
+                }
+                _ => unreachable!("logical ops handled above"),
+            };
+            Ok(Value::Float(v))
+        }
+    }
+}
+
+fn eval_func(func: ScalarFunc, vals: &[Value]) -> Result<Value> {
+    let arity_err = |expected: &str| {
+        Err(EngineError::Type(format!(
+            "{func:?} expects {expected} arguments, got {}",
+            vals.len()
+        )))
+    };
+    let unary = |f: fn(f64) -> f64| -> Result<Value> {
+        match vals {
+            [v] => match v.as_f64() {
+                Some(x) => Ok(Value::Float(f(x))),
+                None if v.is_null() => Ok(Value::Null),
+                None => Err(EngineError::Type("expected a numeric argument".into())),
+            },
+            _ => Err(EngineError::Type("expected exactly 1 argument".into())),
+        }
+    };
+    match func {
+        ScalarFunc::Sqrt => unary(f64::sqrt),
+        ScalarFunc::Abs => match vals {
+            [Value::Int(i)] => Ok(Value::Int(i.abs())),
+            _ => unary(f64::abs),
+        },
+        ScalarFunc::Ln => unary(f64::ln),
+        ScalarFunc::Exp => unary(f64::exp),
+        ScalarFunc::Floor => unary(f64::floor),
+        ScalarFunc::Ceil => unary(f64::ceil),
+        ScalarFunc::Power => match vals {
+            [a, b] => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Ok(Value::Float(x.powf(y))),
+                _ if a.is_null() || b.is_null() => Ok(Value::Null),
+                _ => Err(EngineError::Type("power expects numeric arguments".into())),
+            },
+            _ => arity_err("2"),
+        },
+        ScalarFunc::Mod => match vals {
+            [a, b] => eval_binary(BinOp::Mod, a.clone(), b.clone()),
+            _ => arity_err("2"),
+        },
+        ScalarFunc::Least | ScalarFunc::Greatest => {
+            if vals.is_empty() {
+                return arity_err(">= 1");
+            }
+            let mut best: Option<&Value> = None;
+            for v in vals {
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let ord = v.sql_cmp(b).ok_or_else(|| {
+                            EngineError::Type("least/greatest on mixed types".into())
+                        })?;
+                        let take = if func == ScalarFunc::Least {
+                            ord == Ordering::Less
+                        } else {
+                            ord == Ordering::Greater
+                        };
+                        if take {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.expect("nonempty").clone())
+        }
+        ScalarFunc::Pack => {
+            // Per-row float -> text formatting, the string-style cost.
+            let mut floats = Vec::with_capacity(vals.len());
+            for v in vals {
+                match v.as_f64() {
+                    Some(x) => floats.push(x),
+                    None if v.is_null() => return Ok(Value::Null),
+                    None => {
+                        return Err(EngineError::Type("pack expects numeric arguments".into()))
+                    }
+                }
+            }
+            Ok(Value::Str(nlq_udf::pack::pack_vector(&floats)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlq_storage::{Column, Schema};
+
+    fn schema() -> BoundSchema {
+        let mut s = BoundSchema::new();
+        s.push_table(
+            Some("a"),
+            &Schema::new(vec![
+                Column::new("x", DataType::Float),
+                Column::new("y", DataType::Int),
+            ]),
+        );
+        s.push_table(Some("b"), &Schema::new(vec![Column::new("x", DataType::Float)]));
+        s
+    }
+
+    fn bind_scalar(expr: &Expr) -> Result<BoundExpr> {
+        let schema = schema();
+        let registry = UdfRegistry::with_builtins();
+        // Leak-free: bind within this call.
+        let mut binder = Binder::scalar(&schema, &registry);
+        binder.bind(expr)
+    }
+
+    fn eval(expr: &Expr, row: &[Value]) -> Value {
+        bind_scalar(expr).unwrap().eval(row, &[], &[]).unwrap()
+    }
+
+    #[test]
+    fn resolve_qualified_and_ambiguous() {
+        let s = schema();
+        assert_eq!(s.resolve(Some("a"), "x").unwrap(), 0);
+        assert_eq!(s.resolve(Some("b"), "X").unwrap(), 2);
+        assert_eq!(s.resolve(None, "y").unwrap(), 1);
+        assert!(matches!(s.resolve(None, "x"), Err(EngineError::UnknownColumn(_))));
+        assert!(matches!(s.resolve(None, "zz"), Err(EngineError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn arithmetic_typing() {
+        let row = vec![Value::Float(2.5), Value::Int(3), Value::Float(0.0)];
+        let e = crate::parse("SELECT y * 2 + 1 FROM t").ok(); // not used; build by hand
+        drop(e);
+        let expr = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::col("y")),
+            rhs: Box::new(Expr::Literal(Value::Int(2))),
+        };
+        assert_eq!(eval(&expr, &row), Value::Int(6));
+
+        let expr = Expr::Binary {
+            op: BinOp::Div,
+            lhs: Box::new(Expr::Literal(Value::Int(7))),
+            rhs: Box::new(Expr::Literal(Value::Int(2))),
+        };
+        assert_eq!(eval(&expr, &row), Value::Float(3.5));
+    }
+
+    #[test]
+    fn null_propagation_and_division_by_zero() {
+        let row = vec![Value::Null, Value::Int(3), Value::Float(1.0)];
+        let expr = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Column { table: Some("a".into()), name: "x".into() }),
+            rhs: Box::new(Expr::Literal(Value::Int(1))),
+        };
+        assert_eq!(eval(&expr, &row), Value::Null);
+
+        let expr = Expr::Binary {
+            op: BinOp::Div,
+            lhs: Box::new(Expr::Literal(Value::Int(1))),
+            rhs: Box::new(Expr::Literal(Value::Int(0))),
+        };
+        assert_eq!(eval(&expr, &row), Value::Null);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let row = vec![Value::Null, Value::Int(1), Value::Float(1.0)];
+        let null = Expr::Column { table: Some("a".into()), name: "x".into() };
+        let true_ = Expr::Literal(Value::Int(1));
+        let false_ = Expr::Literal(Value::Int(0));
+        let and = |l: &Expr, r: &Expr| Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(l.clone()),
+            rhs: Box::new(r.clone()),
+        };
+        let or = |l: &Expr, r: &Expr| Expr::Binary {
+            op: BinOp::Or,
+            lhs: Box::new(l.clone()),
+            rhs: Box::new(r.clone()),
+        };
+        assert_eq!(eval(&and(&false_, &null), &row), Value::Int(0));
+        assert_eq!(eval(&and(&true_, &null), &row), Value::Null);
+        assert_eq!(eval(&or(&true_, &null), &row), Value::Int(1));
+        assert_eq!(eval(&or(&false_, &null), &row), Value::Null);
+        assert_eq!(eval(&Expr::Not(Box::new(null)), &row), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_and_is_null() {
+        let row = vec![Value::Float(2.0), Value::Int(3), Value::Float(9.0)];
+        let cmp = Expr::Binary {
+            op: BinOp::LtEq,
+            lhs: Box::new(Expr::Column { table: Some("a".into()), name: "x".into() }),
+            rhs: Box::new(Expr::col("y")),
+        };
+        assert_eq!(eval(&cmp, &row), Value::Int(1));
+
+        let isnull = Expr::IsNull { expr: Box::new(Expr::col("y")), negated: false };
+        assert_eq!(eval(&isnull, &row), Value::Int(0));
+        let isnotnull = Expr::IsNull { expr: Box::new(Expr::col("y")), negated: true };
+        assert_eq!(eval(&isnotnull, &row), Value::Int(1));
+    }
+
+    #[test]
+    fn case_expression_evaluation() {
+        let row = vec![Value::Float(-1.0), Value::Int(0), Value::Float(0.0)];
+        let case = Expr::Case {
+            branches: vec![(
+                Expr::Binary {
+                    op: BinOp::Lt,
+                    lhs: Box::new(Expr::Column { table: Some("a".into()), name: "x".into() }),
+                    rhs: Box::new(Expr::Literal(Value::Int(0))),
+                },
+                Expr::Literal(Value::from("neg")),
+            )],
+            else_expr: Some(Box::new(Expr::Literal(Value::from("nonneg")))),
+        };
+        assert_eq!(eval(&case, &row), Value::from("neg"));
+    }
+
+    #[test]
+    fn builtin_functions() {
+        let row = vec![Value::Float(9.0), Value::Int(-5), Value::Float(0.0)];
+        let call = |name: &str, args: Vec<Expr>| Expr::Call { name: name.into(), args };
+        assert_eq!(
+            eval(&call("sqrt", vec![Expr::Column { table: Some("a".into()), name: "x".into() }]), &row),
+            Value::Float(3.0)
+        );
+        assert_eq!(eval(&call("abs", vec![Expr::col("y")]), &row), Value::Int(5));
+        assert_eq!(
+            eval(
+                &call(
+                    "least",
+                    vec![Expr::Literal(Value::Int(3)), Expr::Literal(Value::Float(1.5))]
+                ),
+                &row
+            ),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn pack_formats_floats() {
+        let row = vec![Value::Float(1.5), Value::Int(2), Value::Float(0.0)];
+        let expr = Expr::Call {
+            name: "pack".into(),
+            args: vec![
+                Expr::Column { table: Some("a".into()), name: "x".into() },
+                Expr::col("y"),
+            ],
+        };
+        assert_eq!(eval(&expr, &row), Value::from("1.5,2"));
+    }
+
+    #[test]
+    fn scalar_udf_dispatch() {
+        let row = vec![Value::Float(0.0), Value::Int(0), Value::Float(0.0)];
+        let expr = Expr::Call {
+            name: "clusterscore".into(),
+            args: vec![Expr::Literal(Value::Float(4.0)), Expr::Literal(Value::Float(1.0))],
+        };
+        assert_eq!(eval(&expr, &row), Value::Int(2));
+    }
+
+    #[test]
+    fn aggregates_rejected_in_scalar_mode() {
+        let expr = Expr::Call { name: "sum".into(), args: vec![Expr::col("y")] };
+        assert!(matches!(
+            bind_scalar(&expr),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let expr = Expr::Call { name: "frobnicate".into(), args: vec![] };
+        assert!(matches!(
+            bind_scalar(&expr),
+            Err(EngineError::UnknownFunction(_))
+        ));
+    }
+}

@@ -1,0 +1,630 @@
+use nlq_storage::{DataType, Value};
+
+use crate::ast::{BinOp, ColumnDef, Expr, Projection, SelectStmt, Statement, TableRef};
+use crate::token::{tokenize, Token, TokenKind};
+use crate::{EngineError, Result};
+
+/// Parses one SQL statement (a trailing semicolon is allowed).
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, idx: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.idx].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.idx].pos
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.idx].kind.clone();
+        if self.idx < self.tokens.len() - 1 {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(EngineError::Parse { message: message.into(), position: self.pos() })
+    }
+
+    /// Consumes the next token if it equals `kind`.
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat_if(kind) {
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing tokens: {:?}", self.peek()))
+        }
+    }
+
+    /// Checks whether the next token is the keyword `kw`
+    /// (case-insensitive), without consuming it.
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consumes the next token if it is the keyword `kw`.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(s) => Ok(s),
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("EXPLAIN") {
+            return Ok(Statement::Explain(self.select()?));
+        }
+        if self.peek_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                let name = self.ident("table name")?;
+                if self.eat_kw("AS") {
+                    let query = self.select()?;
+                    return Ok(Statement::CreateTableAs { name, query });
+                }
+                self.expect(&TokenKind::LParen, "(")?;
+                let mut columns = Vec::new();
+                loop {
+                    let col = self.ident("column name")?;
+                    let ty_name = self.ident("column type")?;
+                    let ty = match ty_name.to_ascii_uppercase().as_str() {
+                        "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => DataType::Int,
+                        "FLOAT" | "DOUBLE" | "REAL" | "DECIMAL" | "NUMERIC" => DataType::Float,
+                        "VARCHAR" | "CHAR" | "TEXT" | "STRING" | "CLOB" => {
+                            // Optional length, e.g. VARCHAR(64000).
+                            if self.eat_if(&TokenKind::LParen) {
+                                match self.advance() {
+                                    TokenKind::Number(_) => {}
+                                    other => {
+                                        return self
+                                            .err(format!("expected length, found {other:?}"))
+                                    }
+                                }
+                                self.expect(&TokenKind::RParen, ")")?;
+                            }
+                            DataType::Str
+                        }
+                        other => return self.err(format!("unknown type {other}")),
+                    };
+                    columns.push(ColumnDef { name: col, ty });
+                    if !self.eat_if(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen, ")")?;
+                return Ok(Statement::CreateTable { name, columns });
+            }
+            if self.eat_kw("VIEW") {
+                let name = self.ident("view name")?;
+                self.expect_kw("AS")?;
+                let query = self.select()?;
+                return Ok(Statement::CreateView { name, query });
+            }
+            return self.err("expected TABLE or VIEW after CREATE");
+        }
+        if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            let table = self.ident("table name")?;
+            if self.eat_kw("VALUES") {
+                let mut rows = Vec::new();
+                loop {
+                    self.expect(&TokenKind::LParen, "(")?;
+                    let mut row = Vec::new();
+                    loop {
+                        row.push(self.expr()?);
+                        if !self.eat_if(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, ")")?;
+                    rows.push(row);
+                    if !self.eat_if(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                return Ok(Statement::Insert { table, rows });
+            }
+            if self.peek_kw("SELECT") {
+                let query = self.select()?;
+                return Ok(Statement::InsertSelect { table, query });
+            }
+            return self.err("expected VALUES or SELECT after INSERT INTO t");
+        }
+        if self.eat_kw("DROP") {
+            // DROP TABLE t / DROP VIEW v.
+            if !(self.eat_kw("TABLE") || self.eat_kw("VIEW")) {
+                return self.err("expected TABLE or VIEW after DROP");
+            }
+            let name = self.ident("object name")?;
+            return Ok(Statement::Drop { name });
+        }
+        self.err(format!("unrecognized statement start: {:?}", self.peek()))
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let mut projections = Vec::new();
+        loop {
+            if self.eat_if(&TokenKind::Star) {
+                projections.push(Projection { expr: Expr::Wildcard, alias: None });
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident("alias")?)
+                } else {
+                    None
+                };
+                projections.push(Projection { expr, alias });
+            }
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        while self.peek_kw("CROSS") {
+            self.advance();
+            self.expect_kw("JOIN")?;
+            from.push(self.table_ref()?);
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let descending = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(crate::ast::OrderKey { expr, descending });
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.advance() {
+                TokenKind::Number(n) => Some(n.parse::<usize>().map_err(|_| {
+                    EngineError::Parse {
+                        message: format!("bad LIMIT value {n:?}"),
+                        position: self.pos(),
+                    }
+                })?),
+                other => return self.err(format!("expected LIMIT count, found {other:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { projections, from, where_clause, group_by, having, order_by, limit })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident("table name")?;
+        // Optional alias: `X AS A` or `X A` (but not a keyword).
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident("alias")?)
+        } else if let TokenKind::Ident(s) = self.peek() {
+            const KEYWORDS: &[&str] =
+                &["CROSS", "WHERE", "GROUP", "ORDER", "JOIN", "HAVING", "LIMIT"];
+            if KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                None
+            } else {
+                Some(self.ident("alias")?)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // Expression grammar, lowest precedence first.
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        // IS [NOT] NULL postfix.
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::NotEq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::LtEq,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::GtEq,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat_if(&TokenKind::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        if self.eat_if(&TokenKind::Plus) {
+            return self.unary_expr();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.advance() {
+            TokenKind::Number(n) => {
+                // Integers without '.'/'e' become Int, the rest Float.
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    n.parse::<f64>()
+                        .map(|v| Expr::Literal(Value::Float(v)))
+                        .or_else(|_| self.err(format!("bad number {n:?}")))
+                } else {
+                    n.parse::<i64>()
+                        .map(|v| Expr::Literal(Value::Int(v)))
+                        .or_else(|_| self.err(format!("bad number {n:?}")))
+                }
+            }
+            TokenKind::StringLit(s) => Ok(Expr::Literal(Value::Str(s))),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, ")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("CASE") {
+                    return self.case_expr();
+                }
+                if self.eat_if(&TokenKind::LParen) {
+                    // Function call; count(*) takes a wildcard.
+                    let mut args = Vec::new();
+                    if !self.eat_if(&TokenKind::RParen) {
+                        loop {
+                            if self.eat_if(&TokenKind::Star) {
+                                args.push(Expr::Wildcard);
+                            } else {
+                                args.push(self.expr()?);
+                            }
+                            if !self.eat_if(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, ")")?;
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                if self.eat_if(&TokenKind::Dot) {
+                    let col = self.ident("column name")?;
+                    return Ok(Expr::Column { table: Some(name), name: col });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => self.err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let cond = self.expr()?;
+            self.expect_kw("THEN")?;
+            let val = self.expr()?;
+            branches.push((cond, val));
+        }
+        if branches.is_empty() {
+            return self.err("CASE requires at least one WHEN branch");
+        }
+        let else_expr = if self.eat_kw("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case { branches, else_expr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> SelectStmt {
+        match parse(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = sel("SELECT X1, X2 FROM X");
+        assert_eq!(s.projections.len(), 2);
+        assert_eq!(s.from[0].name, "X");
+        assert!(s.where_clause.is_none());
+        assert!(s.group_by.is_empty());
+    }
+
+    #[test]
+    fn select_with_arithmetic_and_alias() {
+        let s = sel("SELECT sum(X1*X1) AS q11, 1 + 2 * 3 FROM X");
+        assert_eq!(s.projections[0].alias.as_deref(), Some("q11"));
+        // Precedence: 1 + (2*3).
+        match &s.projections[1].expr {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("bad precedence: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_join_with_aliases() {
+        let s = sel("SELECT a.X1, b.X1 FROM X AS a CROSS JOIN LAMBDA b CROSS JOIN MU");
+        assert_eq!(s.from.len(), 3);
+        assert_eq!(s.from[0].alias.as_deref(), Some("a"));
+        assert_eq!(s.from[1].alias.as_deref(), Some("b"));
+        assert_eq!(s.from[2].alias, None);
+        assert!(matches!(
+            &s.projections[0].expr,
+            Expr::Column { table: Some(t), .. } if t == "a"
+        ));
+    }
+
+    #[test]
+    fn where_and_group_by() {
+        let s = sel("SELECT j, sum(X1) FROM X WHERE X1 > 0 AND j <> 3 GROUP BY j");
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.group_by.len(), 1);
+    }
+
+    #[test]
+    fn case_expression() {
+        let s = sel("SELECT CASE WHEN X1 > 0 THEN 1 ELSE 0 END FROM X");
+        match &s.projections[0].expr {
+            Expr::Case { branches, else_expr } => {
+                assert_eq!(branches.len(), 1);
+                assert!(else_expr.is_some());
+            }
+            other => panic!("expected CASE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_and_null() {
+        let s = sel("SELECT count(*), NULL FROM X");
+        assert!(matches!(
+            &s.projections[0].expr,
+            Expr::Call { name, args } if name == "count" && args == &[Expr::Wildcard]
+        ));
+        assert_eq!(s.projections[1].expr, Expr::Literal(Value::Null));
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let s = sel("SELECT X1 FROM X WHERE X1 IS NOT NULL");
+        assert!(matches!(
+            s.where_clause.unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn create_table_and_types() {
+        match parse("CREATE TABLE T (i INT, v FLOAT, s VARCHAR(100))").unwrap() {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "T");
+                assert_eq!(columns[0].ty, DataType::Int);
+                assert_eq!(columns[1].ty, DataType::Float);
+                assert_eq!(columns[2].ty, DataType::Str);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_table_as_and_view() {
+        assert!(matches!(
+            parse("CREATE TABLE T2 AS SELECT X1 FROM X").unwrap(),
+            Statement::CreateTableAs { .. }
+        ));
+        assert!(matches!(
+            parse("CREATE VIEW V AS SELECT X1 FROM X").unwrap(),
+            Statement::CreateView { .. }
+        ));
+    }
+
+    #[test]
+    fn insert_values_and_select() {
+        match parse("INSERT INTO T VALUES (1, 2.5, 'a'), (2, NULL, 'b')").unwrap() {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "T");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][1], Expr::Literal(Value::Null));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse("INSERT INTO T SELECT X1, X2, 'x' FROM X").unwrap(),
+            Statement::InsertSelect { .. }
+        ));
+    }
+
+    #[test]
+    fn drop_statement() {
+        assert_eq!(
+            parse("DROP TABLE T").unwrap(),
+            Statement::Drop { name: "T".into() }
+        );
+        assert_eq!(
+            parse("DROP VIEW V;").unwrap(),
+            Statement::Drop { name: "V".into() }
+        );
+    }
+
+    #[test]
+    fn negative_numbers_and_unary() {
+        let s = sel("SELECT -X1, -(1 + 2), +3 FROM X");
+        assert!(matches!(&s.projections[0].expr, Expr::Neg(_)));
+        assert_eq!(s.projections[2].expr, Expr::Literal(Value::Int(3)));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELECT FROM X").is_err());
+        assert!(parse("SELECT 1").is_err()); // missing FROM
+        assert!(parse("CREATE NONSENSE T").is_err());
+        assert!(parse("SELECT 1 FROM X trailing garbage ,").is_err());
+    }
+
+    #[test]
+    fn long_generated_query_parses() {
+        // A miniature of the paper's 1 + d + d^2 term query.
+        let d = 8;
+        let mut terms = vec!["sum(1.0)".to_owned()];
+        for a in 1..=d {
+            terms.push(format!("sum(X{a})"));
+        }
+        for a in 1..=d {
+            for b in 1..=a {
+                terms.push(format!("sum(X{a}*X{b})"));
+            }
+        }
+        let sql = format!("SELECT {} FROM X", terms.join(", "));
+        let s = sel(&sql);
+        assert_eq!(s.projections.len(), 1 + d + d * (d + 1) / 2);
+    }
+}

@@ -1,0 +1,406 @@
+//! SQL code generation — the role played by the TWM client tool.
+//!
+//! The paper's client (Teradata Warehouse Miner) "automatically
+//! generates SQL code based on user-specified parameters" (§1). This
+//! module generates every statement family the paper uses:
+//!
+//! * the "long" pure-SQL summary query with `1 + d + d²` terms (§3.4),
+//! * the aggregate-UDF calls in both parameter styles,
+//! * GROUP BY variants producing per-group sub-models (Table 5),
+//! * block-partitioned calls for `d > MAX_D` (Table 6),
+//! * scoring queries for regression, PCA and clustering — both the
+//!   scalar-UDF form and the pure-SQL arithmetic-expression form the
+//!   paper compares against in Table 4.
+
+use nlq_linalg::{Matrix, Vector};
+use nlq_models::MatrixShape;
+use nlq_udf::ParamStyle;
+
+/// The single-scan pure-SQL query computing `n, L, Q` (§3.4): one
+/// statement with `1 + d + d²` terms; entries of `Q` above the
+/// diagonal (triangular) or off the diagonal (diagonal shape) are
+/// `null` placeholders, exactly as the paper writes it.
+pub fn nlq_sql_query(table: &str, cols: &[String], shape: MatrixShape) -> String {
+    let d = cols.len();
+    // Preallocate: each Q term is ~ "sum(Xaa*Xbb)," with long names.
+    let mut sql = String::with_capacity(32 * (1 + d + d * d));
+    sql.push_str("SELECT\n  sum(1.0)");
+    for c in cols {
+        sql.push_str(&format!("\n ,sum({c})"));
+    }
+    for (a, ca) in cols.iter().enumerate() {
+        sql.push('\n');
+        for (b, cb) in cols.iter().enumerate() {
+            let wanted = match shape {
+                MatrixShape::Diagonal => a == b,
+                MatrixShape::Triangular => b <= a,
+                MatrixShape::Full => true,
+            };
+            if wanted {
+                sql.push_str(&format!(" ,sum({ca}*{cb})"));
+            } else {
+                sql.push_str(" ,null");
+            }
+        }
+    }
+    sql.push_str(&format!("\nFROM {table}"));
+    sql
+}
+
+/// The naive pure-SQL alternative §3.4 dismisses: one `SELECT` per
+/// matrix entry ("a first straightforward approach is to get one
+/// matrix entry per SELECT statement"), i.e. `1 + d + d(d+1)/2`
+/// separate statements for triangular statistics. Used by the
+/// harness's statement-granularity ablation.
+pub fn nlq_per_entry_queries(table: &str, cols: &[String], shape: MatrixShape) -> Vec<String> {
+    let mut out = vec![format!("SELECT sum(1.0) FROM {table}")];
+    for c in cols {
+        out.push(format!("SELECT sum({c}) FROM {table}"));
+    }
+    for (a, ca) in cols.iter().enumerate() {
+        for (b, cb) in cols.iter().enumerate() {
+            let wanted = match shape {
+                MatrixShape::Diagonal => a == b,
+                MatrixShape::Triangular => b <= a,
+                MatrixShape::Full => true,
+            };
+            if wanted {
+                out.push(format!("SELECT sum({ca}*{cb}) FROM {table}"));
+            }
+        }
+    }
+    out
+}
+
+/// The aggregate-UDF query computing `n, L, Q` in one scan (§3.4).
+pub fn nlq_udf_query(
+    table: &str,
+    cols: &[String],
+    shape: MatrixShape,
+    style: ParamStyle,
+) -> String {
+    let d = cols.len();
+    match style {
+        ParamStyle::List => format!(
+            "SELECT nlq_list({d}, '{}', {}) FROM {table}",
+            shape.name(),
+            cols.join(", ")
+        ),
+        ParamStyle::String => format!(
+            "SELECT nlq_str('{}', pack({})) FROM {table}",
+            shape.name(),
+            cols.join(", ")
+        ),
+    }
+}
+
+/// GROUP BY variant: one set of summary matrices per group (Table 5 —
+/// "to recompute centroids and radiuses in a clustering problem or to
+/// get several sub-models from the same data set").
+pub fn nlq_grouped_query(
+    table: &str,
+    cols: &[String],
+    group_col: &str,
+    shape: MatrixShape,
+    style: ParamStyle,
+) -> String {
+    let d = cols.len();
+    let call = match style {
+        ParamStyle::List => format!("nlq_list({d}, '{}', {})", shape.name(), cols.join(", ")),
+        ParamStyle::String => {
+            format!("nlq_str('{}', pack({}))", shape.name(), cols.join(", "))
+        }
+    };
+    format!("SELECT {group_col}, {call} FROM {table} GROUP BY {group_col}")
+}
+
+/// Block-partitioned calls for `d > MAX_D` (Table 6): all block calls
+/// in one statement, sharing a single synchronized table scan. Each
+/// call receives only the two packed coordinate segments its block
+/// needs, so per-call work is independent of `d` and total time is
+/// proportional to the call count, matching the paper's measurements.
+pub fn nlq_block_query(table: &str, cols: &[String], block: usize) -> String {
+    let d = cols.len();
+    let seg = |lo: usize, hi: usize| format!("pack({})", cols[lo..hi].join(", "));
+    let mut calls = Vec::new();
+    let mut a0 = 0;
+    while a0 < d {
+        let a1 = (a0 + block).min(d);
+        let mut b0 = 0;
+        while b0 < d {
+            let b1 = (b0 + block).min(d);
+            calls.push(format!(
+                "nlq_block({d}, {a0}, {a1}, {b0}, {b1}, {}, {})",
+                seg(a0, a1),
+                seg(b0, b1)
+            ));
+            b0 = b1;
+        }
+        a0 = a1;
+    }
+    format!("SELECT {} FROM {table}", calls.join(", "))
+}
+
+/// Number of block calls [`nlq_block_query`] generates.
+pub fn block_call_count(d: usize, block: usize) -> usize {
+    let per_side = d.div_ceil(block);
+    per_side * per_side
+}
+
+// ---------------------------------------------------------------------------
+// Scoring (§3.5)
+// ---------------------------------------------------------------------------
+
+/// UDF scoring for linear regression: cross join with the one-row
+/// coefficient table `BETA(b0, b1..bd)` and call `linearregscore`.
+pub fn score_regression_udf(table: &str, cols: &[String], beta_table: &str) -> String {
+    let d = cols.len();
+    let xs: Vec<String> = cols.iter().map(|c| format!("x.{c}")).collect();
+    let bs: Vec<String> = (1..=d).map(|a| format!("b.b{a}")).collect();
+    format!(
+        "SELECT x.i, linearregscore({}, b.b0, {}) FROM {table} x CROSS JOIN {beta_table} b",
+        xs.join(", "),
+        bs.join(", ")
+    )
+}
+
+/// Pure-SQL scoring for linear regression: the generated arithmetic
+/// expression with coefficients inlined ("SQL queries require a
+/// program to automatically generate SQL code given the model").
+pub fn score_regression_sql(table: &str, cols: &[String], intercept: f64, beta: &Vector) -> String {
+    let mut expr = format!("{intercept}");
+    for (c, b) in cols.iter().zip(beta.as_slice()) {
+        expr.push_str(&format!(" + {b}*{c}"));
+    }
+    format!("SELECT i, {expr} FROM {table}")
+}
+
+/// UDF scoring for PCA / factor analysis: cross join with `MU` and
+/// with `LAMBDA` aliased `k` times (each alias pinned to one component
+/// by the WHERE clause), calling `fascore` once per component.
+pub fn score_pca_udf(table: &str, cols: &[String], k: usize, lambda_table: &str, mu_table: &str) -> String {
+    let xs: Vec<String> = cols.iter().map(|c| format!("x.{c}")).collect();
+    let mus: Vec<String> = cols.iter().map(|c| format!("m.{c}")).collect();
+    let mut projections = vec!["x.i".to_owned()];
+    let mut joins = format!("{table} x CROSS JOIN {mu_table} m");
+    let mut filters = Vec::new();
+    for j in 1..=k {
+        let lams: Vec<String> = cols.iter().map(|c| format!("l{j}.{c}")).collect();
+        projections.push(format!(
+            "fascore({}, {}, {})",
+            xs.join(", "),
+            mus.join(", "),
+            lams.join(", ")
+        ));
+        joins.push_str(&format!(" CROSS JOIN {lambda_table} l{j}"));
+        filters.push(format!("l{j}.j = {j}"));
+    }
+    format!(
+        "SELECT {} FROM {joins} WHERE {}",
+        projections.join(", "),
+        filters.join(" AND ")
+    )
+}
+
+/// Pure-SQL scoring for PCA: `k` arithmetic projections with the
+/// loading matrix and mean inlined as constants.
+pub fn score_pca_sql(table: &str, cols: &[String], lambda: &Matrix, mu: &Vector) -> String {
+    let k = lambda.cols();
+    let mut projections = vec!["i".to_owned()];
+    for j in 0..k {
+        let mut terms = Vec::with_capacity(cols.len());
+        for (a, c) in cols.iter().enumerate() {
+            terms.push(format!("{}*({c} - {})", lambda[(a, j)], mu[a]));
+        }
+        projections.push(terms.join(" + "));
+    }
+    format!("SELECT {} FROM {table}", projections.join(", "))
+}
+
+/// UDF scoring for clustering: cross join with the centroid table `C`
+/// aliased `k` times, compute `k` `distance(...)` values, and feed
+/// them to `clusterscore` (§3.5: "the k distances are passed as
+/// parameters to the scoring UDF").
+pub fn score_cluster_udf(table: &str, cols: &[String], k: usize, c_table: &str) -> String {
+    let xs: Vec<String> = cols.iter().map(|c| format!("x.{c}")).collect();
+    let mut joins = format!("{table} x");
+    let mut filters = Vec::new();
+    let mut distances = Vec::with_capacity(k);
+    for j in 1..=k {
+        let cs: Vec<String> = cols.iter().map(|c| format!("c{j}.{c}")).collect();
+        distances.push(format!("distance({}, {})", xs.join(", "), cs.join(", ")));
+        joins.push_str(&format!(" CROSS JOIN {c_table} c{j}"));
+        filters.push(format!("c{j}.j = {j}"));
+    }
+    format!(
+        "SELECT x.i, clusterscore({}) FROM {joins} WHERE {}",
+        distances.join(", "),
+        filters.join(" AND ")
+    )
+}
+
+/// Pure-SQL clustering scoring, stage 1 of 2: materialize the `k`
+/// squared distances per point (the paper notes SQL "requires two
+/// scans on a pivoted version of X").
+pub fn score_cluster_sql_distances(
+    target: &str,
+    table: &str,
+    cols: &[String],
+    centroids: &[Vector],
+) -> String {
+    let mut projections = vec!["i".to_owned()];
+    for (j, c) in centroids.iter().enumerate() {
+        let mut terms = Vec::with_capacity(cols.len());
+        for (a, col) in cols.iter().enumerate() {
+            terms.push(format!("({col} - {v})*({col} - {v})", v = c[a]));
+        }
+        projections.push(format!("{} AS d{}", terms.join(" + "), j + 1));
+    }
+    format!(
+        "CREATE TABLE {target} AS SELECT {} FROM {table}",
+        projections.join(", ")
+    )
+}
+
+/// Pure-SQL clustering scoring, stage 2 of 2: pick the nearest
+/// centroid with a CASE over pairwise comparisons.
+pub fn score_cluster_sql_argmin(distance_table: &str, k: usize) -> String {
+    let mut cases = Vec::with_capacity(k);
+    for j in 1..=k {
+        let conds: Vec<String> = (1..=k)
+            .filter(|&m| m != j)
+            .map(|m| format!("d{j} <= d{m}"))
+            .collect();
+        if conds.is_empty() {
+            cases.push(format!("WHEN 1 = 1 THEN {j}"));
+        } else {
+            cases.push(format!("WHEN {} THEN {j}", conds.join(" AND ")));
+        }
+    }
+    format!(
+        "SELECT i, CASE {} ELSE {k} END FROM {distance_table}",
+        cases.join(" ")
+    )
+}
+
+/// Column names `X1..Xd` used by the paper's point tables.
+pub fn x_cols(d: usize) -> Vec<String> {
+    (1..=d).map(|a| format!("X{a}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_query_has_1_plus_d_plus_d_squared_terms() {
+        let cols = x_cols(4);
+        let sql = nlq_sql_query("X", &cols, MatrixShape::Triangular);
+        // 1 + d sums + d^2 positions (sums or nulls).
+        let sums = sql.matches("sum(").count();
+        let nulls = sql.matches("null").count();
+        assert_eq!(sums, 1 + 4 + 4 * 5 / 2);
+        assert_eq!(nulls, 16 - 10);
+        assert!(sql.starts_with("SELECT"));
+        assert!(sql.ends_with("FROM X"));
+    }
+
+    #[test]
+    fn diagonal_sql_query_nulls_off_diagonal() {
+        let sql = nlq_sql_query("X", &x_cols(3), MatrixShape::Diagonal);
+        assert_eq!(sql.matches("sum(").count(), 1 + 3 + 3);
+        assert_eq!(sql.matches("null").count(), 6);
+    }
+
+    #[test]
+    fn per_entry_queries_have_expected_count() {
+        let cols = x_cols(4);
+        assert_eq!(
+            nlq_per_entry_queries("X", &cols, MatrixShape::Triangular).len(),
+            1 + 4 + 10
+        );
+        assert_eq!(
+            nlq_per_entry_queries("X", &cols, MatrixShape::Diagonal).len(),
+            1 + 4 + 4
+        );
+        let qs = nlq_per_entry_queries("X", &cols, MatrixShape::Full);
+        assert_eq!(qs.len(), 1 + 4 + 16);
+        assert!(qs.iter().all(|q| q.starts_with("SELECT sum(")));
+    }
+
+    #[test]
+    fn udf_queries_have_expected_shape() {
+        let cols = x_cols(3);
+        assert_eq!(
+            nlq_udf_query("X", &cols, MatrixShape::Triangular, ParamStyle::List),
+            "SELECT nlq_list(3, 'triang', X1, X2, X3) FROM X"
+        );
+        assert_eq!(
+            nlq_udf_query("X", &cols, MatrixShape::Diagonal, ParamStyle::String),
+            "SELECT nlq_str('diag', pack(X1, X2, X3)) FROM X"
+        );
+    }
+
+    #[test]
+    fn grouped_query_includes_group_by() {
+        let sql = nlq_grouped_query("X", &x_cols(2), "j", MatrixShape::Diagonal, ParamStyle::List);
+        assert!(sql.contains("GROUP BY j"));
+        assert!(sql.starts_with("SELECT j, nlq_list(2"));
+    }
+
+    #[test]
+    fn block_query_counts() {
+        assert_eq!(block_call_count(1024, 64), 256);
+        assert_eq!(block_call_count(128, 64), 4);
+        assert_eq!(block_call_count(100, 64), 4); // ragged blocks
+        let sql = nlq_block_query("X", &x_cols(4), 2);
+        assert_eq!(sql.matches("nlq_block(").count(), 4);
+        assert!(sql.contains("nlq_block(4, 2, 4, 0, 2, pack(X3, X4), pack(X1, X2))"));
+    }
+
+    #[test]
+    fn regression_scoring_queries() {
+        let cols = x_cols(2);
+        let udf = score_regression_udf("X", &cols, "BETA");
+        assert!(udf.contains("linearregscore(x.X1, x.X2, b.b0, b.b1, b.b2)"));
+        assert!(udf.contains("CROSS JOIN BETA b"));
+
+        let sql = score_regression_sql("X", &cols, 1.5, &Vector::from_vec(vec![2.0, -3.0]));
+        assert_eq!(sql, "SELECT i, 1.5 + 2*X1 + -3*X2 FROM X");
+    }
+
+    #[test]
+    fn pca_scoring_queries() {
+        let cols = x_cols(2);
+        let udf = score_pca_udf("X", &cols, 2, "LAMBDA", "MU");
+        assert_eq!(udf.matches("fascore(").count(), 2);
+        assert_eq!(udf.matches("CROSS JOIN LAMBDA").count(), 2);
+        assert!(udf.contains("l1.j = 1 AND l2.j = 2"));
+
+        let lambda = Matrix::from_nested(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let mu = Vector::from_vec(vec![5.0, 6.0]);
+        let sql = score_pca_sql("X", &cols, &lambda, &mu);
+        assert!(sql.contains("1*(X1 - 5) + 0*(X2 - 6)"));
+    }
+
+    #[test]
+    fn cluster_scoring_queries() {
+        let cols = x_cols(2);
+        let udf = score_cluster_udf("X", &cols, 3, "C");
+        assert_eq!(udf.matches("distance(").count(), 3);
+        assert!(udf.contains("clusterscore("));
+        assert!(udf.contains("c3.j = 3"));
+
+        let centroids = vec![
+            Vector::from_vec(vec![0.0, 0.0]),
+            Vector::from_vec(vec![1.0, 1.0]),
+        ];
+        let stage1 = score_cluster_sql_distances("DIST", "X", &cols, &centroids);
+        assert!(stage1.starts_with("CREATE TABLE DIST AS SELECT"));
+        assert!(stage1.contains("AS d2"));
+
+        let stage2 = score_cluster_sql_argmin("DIST", 2);
+        assert!(stage2.contains("WHEN d1 <= d2 THEN 1"));
+        assert!(stage2.contains("ELSE 2 END"));
+    }
+}

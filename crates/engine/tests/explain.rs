@@ -1,0 +1,96 @@
+//! Tests for EXPLAIN: the plan text must reflect the executor's
+//! actual decisions (pushdown, join sizing, fast paths, aggregation).
+
+use nlq_engine::{sqlgen, Db};
+use nlq_models::MatrixShape;
+
+fn plan_text(db: &Db, sql: &str) -> String {
+    let rs = db.execute(sql).unwrap();
+    assert_eq!(rs.columns, vec!["plan"]);
+    rs.rows
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_owned())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn scoring_db() -> Db {
+    let db = Db::new(4);
+    let rows: Vec<Vec<f64>> = (0..100)
+        .map(|i| vec![i as f64, (i % 7) as f64])
+        .collect();
+    db.load_points("X", &rows, false).unwrap();
+    db
+}
+
+#[test]
+fn explain_simple_scan() {
+    let db = scoring_db();
+    let plan = plan_text(&db, "EXPLAIN SELECT X1, X2 FROM X WHERE X1 > 10");
+    assert!(plan.contains("scan X (100 rows, 4 partitions, 4 workers)"), "{plan}");
+    assert!(plan.contains("filter: 1 residual predicate(s)"), "{plan}");
+    assert!(plan.contains("project: 2 expression(s)"), "{plan}");
+}
+
+#[test]
+fn explain_shows_pushdown_collapsing_the_join() {
+    let db = scoring_db();
+    // 16-centroid scoring: 16 aliases of C, each pinned by WHERE.
+    let centroids: Vec<nlq_linalg::Vector> = (0..16)
+        .map(|j| nlq_linalg::Vector::from_vec(vec![j as f64, 0.0]))
+        .collect();
+    db.register_centroids("C", &centroids).unwrap();
+    let names = sqlgen::x_cols(2);
+    let sql = format!("EXPLAIN {}", sqlgen::score_cluster_udf("X", &names, 16, "C"));
+    let plan = plan_text(&db, &sql);
+    // Without pushdown this product would be 16^16; with it, exactly 1.
+    assert!(
+        plan.contains("-> 1 combination(s) after pushing 16 predicate(s)"),
+        "{plan}"
+    );
+}
+
+#[test]
+fn explain_aggregate_counts_fast_paths_and_udfs() {
+    let db = scoring_db();
+    let names = sqlgen::x_cols(2);
+    // The paper's long SQL query: 1 + d + d(d+1)/2 = 6 sum() terms at
+    // d = 2 (plus 1 null placeholder) — all fast-path candidates.
+    let sql = format!(
+        "EXPLAIN {}",
+        sqlgen::nlq_sql_query("X", &names, MatrixShape::Triangular)
+    );
+    let plan = plan_text(&db, &sql);
+    assert!(plan.contains("aggregate: 6 call(s) (6 fast-path candidate(s), 0 UDF state(s))"), "{plan}");
+
+    // The UDF form: exactly one aggregate call, one UDF state.
+    let sql = format!(
+        "EXPLAIN {}",
+        sqlgen::nlq_udf_query("X", &names, MatrixShape::Triangular, nlq_udf::ParamStyle::List)
+    );
+    let plan = plan_text(&db, &sql);
+    assert!(plan.contains("aggregate: 1 call(s) (0 fast-path candidate(s), 1 UDF state(s))"), "{plan}");
+}
+
+#[test]
+fn explain_group_order_limit() {
+    let db = scoring_db();
+    let plan = plan_text(
+        &db,
+        "EXPLAIN SELECT X2, count(*) FROM X GROUP BY X2 HAVING count(*) > 5 \
+         ORDER BY count(*) DESC LIMIT 3",
+    );
+    assert!(plan.contains("group by 1 key(s)"), "{plan}");
+    assert!(plan.contains("having: post-aggregation filter"), "{plan}");
+    assert!(plan.contains("order by: 1 key(s)"), "{plan}");
+    assert!(plan.contains("limit: 3"), "{plan}");
+}
+
+#[test]
+fn explain_does_not_execute_the_scan() {
+    // EXPLAIN of a query with a failing UDF argument must still work:
+    // the scan never runs, so per-row errors never happen.
+    let db = scoring_db();
+    let plan = plan_text(&db, "EXPLAIN SELECT sum(X1 / (X2 - X2)) FROM X");
+    assert!(plan.contains("aggregate: 1 call(s)"), "{plan}");
+}

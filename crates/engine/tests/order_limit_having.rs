@@ -1,0 +1,151 @@
+//! Tests for ORDER BY, LIMIT, and HAVING — the query-shaping features
+//! an analyst uses on top of the paper's aggregation patterns (e.g.
+//! "largest clusters first", "segments with at least N members").
+
+use nlq_engine::{Db, EngineError};
+use nlq_storage::Value;
+
+fn sample_db() -> Db {
+    let db = Db::new(4);
+    db.execute("CREATE TABLE t (g INT, v FLOAT, s VARCHAR)").unwrap();
+    db.execute(
+        "INSERT INTO t VALUES \
+         (1, 5.0, 'e'), (1, 3.0, 'c'), (2, 8.0, 'h'), \
+         (2, 1.0, 'a'), (3, 9.0, 'i'), (3, 2.0, 'b'), (3, NULL, 'z')",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn order_by_ascending_and_descending() {
+    let db = sample_db();
+    let rs = db.execute("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v").unwrap();
+    let vals: Vec<f64> = rs.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+    assert_eq!(vals, vec![1.0, 2.0, 3.0, 5.0, 8.0, 9.0]);
+
+    let rs = db.execute("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v DESC").unwrap();
+    let vals: Vec<f64> = rs.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+    assert_eq!(vals, vec![9.0, 8.0, 5.0, 3.0, 2.0, 1.0]);
+}
+
+#[test]
+fn nulls_sort_last() {
+    let db = sample_db();
+    let rs = db.execute("SELECT v FROM t ORDER BY v").unwrap();
+    assert!(rs.rows.last().unwrap()[0].is_null());
+    // ...even descending (NULL is "unknown", kept at the end).
+    let rs = db.execute("SELECT v FROM t ORDER BY v DESC").unwrap();
+    assert!(rs.rows.last().unwrap()[0].is_null());
+}
+
+#[test]
+fn order_by_multiple_keys_and_expressions() {
+    let db = sample_db();
+    let rs = db
+        .execute("SELECT g, s FROM t WHERE v IS NOT NULL ORDER BY g DESC, s ASC")
+        .unwrap();
+    let pairs: Vec<(i64, String)> = rs
+        .rows
+        .iter()
+        .map(|r| (r[0].as_i64().unwrap(), r[1].as_str().unwrap().to_owned()))
+        .collect();
+    assert_eq!(
+        pairs,
+        vec![
+            (3, "b".into()),
+            (3, "i".into()),
+            (2, "a".into()),
+            (2, "h".into()),
+            (1, "c".into()),
+            (1, "e".into()),
+        ]
+    );
+
+    // Expression key: order by -v equals descending v.
+    let rs = db.execute("SELECT v FROM t WHERE v > 0 ORDER BY -v").unwrap();
+    let vals: Vec<f64> = rs.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+    assert_eq!(vals, vec![9.0, 8.0, 5.0, 3.0, 2.0, 1.0]);
+}
+
+#[test]
+fn order_by_ordinal() {
+    let db = sample_db();
+    let rs = db
+        .execute("SELECT s, v FROM t WHERE v IS NOT NULL ORDER BY 2 DESC LIMIT 2")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::from("i"));
+    assert_eq!(rs.rows[1][0], Value::from("h"));
+
+    assert!(matches!(
+        db.execute("SELECT v FROM t ORDER BY 7"),
+        Err(EngineError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn limit_truncates() {
+    let db = sample_db();
+    let rs = db.execute("SELECT s FROM t LIMIT 3").unwrap();
+    assert_eq!(rs.len(), 3);
+    let rs = db.execute("SELECT s FROM t LIMIT 0").unwrap();
+    assert!(rs.is_empty());
+    // LIMIT larger than the result is harmless.
+    let rs = db.execute("SELECT s FROM t LIMIT 100").unwrap();
+    assert_eq!(rs.len(), 7);
+}
+
+#[test]
+fn having_filters_groups() {
+    let db = sample_db();
+    // Groups with at least 3 rows (only g = 3, counting the NULL row).
+    let rs = db
+        .execute("SELECT g, count(*) FROM t GROUP BY g HAVING count(*) >= 3")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.value(0, 0), &Value::Int(3));
+    assert_eq!(rs.value(0, 1), &Value::Int(3));
+
+    // HAVING may reference aggregates that are not projected.
+    let rs = db
+        .execute("SELECT g FROM t GROUP BY g HAVING sum(v) > 6.0 ORDER BY g")
+        .unwrap();
+    let gs: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(gs, vec![1, 2, 3]); // sums: 8, 9, 11
+    let rs = db
+        .execute("SELECT g FROM t GROUP BY g HAVING sum(v) > 8.5 ORDER BY g")
+        .unwrap();
+    let gs: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(gs, vec![2, 3]);
+}
+
+#[test]
+fn order_by_aggregate_with_limit_top_k() {
+    let db = sample_db();
+    // "largest segment first" — the analyst pattern.
+    let rs = db
+        .execute("SELECT g, sum(v) FROM t GROUP BY g ORDER BY sum(v) DESC LIMIT 1")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.value(0, 0), &Value::Int(3));
+    assert_eq!(rs.value(0, 1), &Value::Float(11.0));
+}
+
+#[test]
+fn having_without_group_rejected_on_scalar_queries() {
+    let db = sample_db();
+    assert!(matches!(
+        db.execute("SELECT v FROM t HAVING v > 1"),
+        Err(EngineError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn group_by_with_limit_is_deterministic() {
+    let db = sample_db();
+    let rs = db.execute("SELECT g, count(*) FROM t GROUP BY g LIMIT 2").unwrap();
+    // Without ORDER BY, grouped output is sorted by the whole row, so
+    // LIMIT takes the two smallest group keys.
+    assert_eq!(rs.value(0, 0), &Value::Int(1));
+    assert_eq!(rs.value(1, 0), &Value::Int(2));
+}

@@ -1,0 +1,135 @@
+//! Property tests for the SQL front end: the lexer/parser never
+//! panic on arbitrary input, generated statements always parse, and
+//! arithmetic expressions evaluate with correct precedence.
+
+use nlq_engine::{parse, sqlgen, Db};
+use nlq_models::MatrixShape;
+use nlq_storage::Value;
+use proptest::prelude::*;
+use nlq_udf::ParamStyle;
+
+/// A random arithmetic expression over small integers, as both SQL
+/// text and its expected value (evaluated with the engine's wrapping
+/// semantics; division avoided so results stay integral).
+#[derive(Debug, Clone)]
+enum ExprTree {
+    Lit(i32),
+    Add(Box<ExprTree>, Box<ExprTree>),
+    Sub(Box<ExprTree>, Box<ExprTree>),
+    Mul(Box<ExprTree>, Box<ExprTree>),
+    Neg(Box<ExprTree>),
+}
+
+impl ExprTree {
+    fn sql(&self) -> String {
+        match self {
+            ExprTree::Lit(v) => {
+                if *v < 0 {
+                    format!("({v})")
+                } else {
+                    v.to_string()
+                }
+            }
+            ExprTree::Add(a, b) => format!("({} + {})", a.sql(), b.sql()),
+            ExprTree::Sub(a, b) => format!("({} - {})", a.sql(), b.sql()),
+            ExprTree::Mul(a, b) => format!("({} * {})", a.sql(), b.sql()),
+            ExprTree::Neg(a) => format!("(-{})", a.sql()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            ExprTree::Lit(v) => *v as i64,
+            ExprTree::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            ExprTree::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            ExprTree::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            ExprTree::Neg(a) => -a.eval(),
+        }
+    }
+}
+
+fn expr_tree() -> impl Strategy<Value = ExprTree> {
+    let leaf = (-50i32..=50).prop_map(ExprTree::Lit);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprTree::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprTree::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprTree::Mul(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| ExprTree::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn one_row_db() -> Db {
+    let db = Db::new(1);
+    db.execute("CREATE TABLE one (x INT)").unwrap();
+    db.execute("INSERT INTO one VALUES (1)").unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lexer_and_parser_never_panic(input in ".{0,200}") {
+        // Any outcome is fine; panics are not.
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii_soup(input in "[a-zA-Z0-9 ()*+,.<>='%;-]{0,120}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn arithmetic_precedence_matches_reference(tree in expr_tree()) {
+        let db = one_row_db();
+        let sql = format!("SELECT {} FROM one", tree.sql());
+        let rs = db.execute(&sql).unwrap();
+        prop_assert_eq!(rs.value(0, 0), &Value::Int(tree.eval()));
+    }
+
+    #[test]
+    fn unparenthesized_precedence(a in -9i64..=9, b in -9i64..=9, c in 1i64..=9) {
+        // a + b * c must bind as a + (b * c).
+        let db = one_row_db();
+        let rs = db
+            .execute(&format!("SELECT {a} + {b} * {c} FROM one"))
+            .unwrap();
+        prop_assert_eq!(rs.value(0, 0), &Value::Int(a + b * c));
+        // and a - b - c as (a - b) - c.
+        let rs = db
+            .execute(&format!("SELECT {a} - {b} - {c} FROM one"))
+            .unwrap();
+        prop_assert_eq!(rs.value(0, 0), &Value::Int(a - b - c));
+    }
+
+    #[test]
+    fn generated_nlq_queries_always_parse(d in 1usize..=48) {
+        let cols = sqlgen::x_cols(d);
+        for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
+            prop_assert!(parse(&sqlgen::nlq_sql_query("X", &cols, shape)).is_ok());
+            for style in [ParamStyle::List, ParamStyle::String] {
+                prop_assert!(parse(&sqlgen::nlq_udf_query("X", &cols, shape, style)).is_ok());
+            }
+        }
+        prop_assert!(parse(&sqlgen::nlq_grouped_query(
+            "X", &cols, "i % 4", MatrixShape::Diagonal, ParamStyle::List
+        )).is_ok());
+        if d >= 2 {
+            prop_assert!(parse(&sqlgen::nlq_block_query("X", &cols, d / 2)).is_ok());
+        }
+    }
+
+    #[test]
+    fn generated_scoring_queries_always_parse(d in 1usize..=16, k in 1usize..=8) {
+        let cols = sqlgen::x_cols(d);
+        prop_assert!(parse(&sqlgen::score_regression_udf("X", &cols, "BETA")).is_ok());
+        prop_assert!(parse(&sqlgen::score_pca_udf("X", &cols, k, "LAMBDA", "MU")).is_ok());
+        prop_assert!(parse(&sqlgen::score_cluster_udf("X", &cols, k, "C")).is_ok());
+        prop_assert!(parse(&sqlgen::score_cluster_sql_argmin("DIST", k)).is_ok());
+    }
+}

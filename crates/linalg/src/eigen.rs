@@ -1,0 +1,189 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition of a symmetric matrix: `A = V * diag(values) * V^T`.
+///
+/// Produced by [`jacobi_eigen`]. Eigenpairs are sorted by descending
+/// eigenvalue, which is the order PCA consumes them in (largest
+/// explained variance first).
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Column `j` of this matrix is the eigenvector for `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix with the
+/// cyclic Jacobi rotation algorithm.
+///
+/// Jacobi is quadratically convergent, unconditionally stable for
+/// symmetric input, and trivially correct to implement — the right tool
+/// for the `d x d` correlation/covariance matrices PCA diagonalizes
+/// (the paper's `d <= 64` per UDF call, at most ~1024 blocked).
+///
+/// `tol` bounds the off-diagonal Frobenius mass relative to the matrix
+/// magnitude; `1e-12` is a good default.
+pub fn jacobi_eigen(a: &Matrix, tol: f64) -> Result<Eigen> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let scale = a.max_abs().max(1.0);
+    if !a.is_symmetric(1e-8 * scale) {
+        return Err(LinalgError::NotSymmetric);
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let off = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                s += m[(r, c)] * m[(r, c)];
+            }
+        }
+        s.sqrt()
+    };
+
+    let threshold = tol * scale;
+    let mut sweeps = 0;
+    while off(&m) > threshold {
+        if sweeps >= MAX_SWEEPS {
+            return Err(LinalgError::NoConvergence { iterations: sweeps });
+        }
+        sweeps += 1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::EPSILON * scale {
+                    continue;
+                }
+                // Classic Jacobi rotation computation (Golub & Van Loan).
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = {
+                    let sign = if theta >= 0.0 { 1.0 } else { -1.0 };
+                    sign / (theta.abs() + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation: A <- J^T A J.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("eigenvalues are finite"));
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+
+    Ok(Eigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_sorted_diagonal() {
+        let a = Matrix::from_diagonal(&[1.0, 5.0, 3.0]);
+        let e = jacobi_eigen(&a, 1e-12).unwrap();
+        assert_eq!(e.values, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_nested(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen(&a, 1e-12).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_a_equals_v_d_vt() {
+        let a = Matrix::from_nested(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ]);
+        let e = jacobi_eigen(&a, 1e-13).unwrap();
+        let d = Matrix::from_diagonal(&e.values);
+        let rec = e
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((rec[(r, c)] - a[(r, c)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_nested(&[
+            vec![10.0, 2.0, 3.0, 1.0],
+            vec![2.0, 8.0, 1.0, 0.5],
+            vec![3.0, 1.0, 6.0, 2.0],
+            vec![1.0, 0.5, 2.0, 4.0],
+        ]);
+        let e = jacobi_eigen(&a, 1e-13).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        for r in 0..4 {
+            for c in 0..4 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((vtv[(r, c)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = Matrix::from_nested(&[
+            vec![5.0, 1.0, 2.0],
+            vec![1.0, 7.0, 0.3],
+            vec![2.0, 0.3, 9.0],
+        ]);
+        let e = jacobi_eigen(&a, 1e-13).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_nested(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+        assert_eq!(jacobi_eigen(&a, 1e-12).unwrap_err(), LinalgError::NotSymmetric);
+    }
+}

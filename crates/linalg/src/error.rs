@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Errors produced by linear algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// What was being attempted (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized or inverted.
+    Singular,
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// The operation requires a symmetric matrix.
+    NotSymmetric,
+    /// Cholesky factorization requires a symmetric positive definite
+    /// matrix; a non-positive pivot was encountered.
+    NotPositiveDefinite,
+    /// An iterative algorithm failed to converge within its iteration
+    /// budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            LinalgError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "algorithm did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

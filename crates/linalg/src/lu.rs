@@ -1,0 +1,217 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// LU decomposition with partial pivoting: `P * A = L * U`.
+///
+/// Used to invert the paper's `Q' = Z Z^T` matrix when building the
+/// linear regression model (`beta = Q^-1 (X Y^T)`). `Q'` is symmetric
+/// but not guaranteed positive definite for degenerate data, so a
+/// pivoted LU is the robust default; [`crate::Cholesky`] is available
+/// when SPD structure is known.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: unit-lower-triangular L below the diagonal,
+    /// U on and above it.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinant computation.
+    perm_sign: f64,
+}
+
+/// Pivot magnitudes below this threshold are treated as zero, i.e. the
+/// matrix is considered numerically singular.
+const SINGULARITY_EPS: f64 = 1e-12;
+
+impl Lu {
+    /// Factorizes a square matrix.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < SINGULARITY_EPS {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    let u = lu[(k, c)];
+                    lu[(r, c)] -= factor * u;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution with permuted b: L y = P b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for (j, &yj) in y[..i].iter().enumerate() {
+                sum -= self.lu[(i, j)] * yj;
+            }
+            y[i] = sum;
+        }
+        // Back substitution: U x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lu[(i, j)] * xj;
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(Vector::from_vec(x))
+    }
+
+    /// Computes `A^-1` by solving against each unit basis vector.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = Vector::zeros(n);
+        for c in 0..n {
+            e[c] = 1.0;
+            let x = self.solve(&e)?;
+            for r in 0..n {
+                inv[(r, c)] = x[r];
+            }
+            e[c] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+/// Convenience: inverts a square matrix via pivoted LU.
+pub fn invert(a: &Matrix) -> Result<Matrix> {
+    Lu::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                assert!(
+                    (a[(r, c)] - b[(r, c)]).abs() < tol,
+                    "mismatch at ({r},{c}): {} vs {}",
+                    a[(r, c)],
+                    b[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // 2x + y = 5 ; x + 3y = 10 -> x = 1, y = 3
+        let a = Matrix::from_nested(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = Vector::from_vec(vec![5.0, 10.0]);
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_nested(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let b = Vector::from_vec(vec![2.0, 3.0]);
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        assert_eq!(x.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_nested(&[
+            vec![4.0, 2.0, 0.5],
+            vec![2.0, 5.0, 1.0],
+            vec![0.5, 1.0, 3.0],
+        ]);
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert_close(&prod, &Matrix::identity(3), 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_nested(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(Lu::new(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn determinant_matches_known_values() {
+        let a = Matrix::from_nested(&[vec![3.0, 8.0], vec![4.0, 6.0]]);
+        let det = Lu::new(&a).unwrap().determinant();
+        assert!((det - (-14.0)).abs() < 1e-10);
+
+        let i = Matrix::identity(4);
+        assert!((Lu::new(&i).unwrap().determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_with_permutation() {
+        // A pure row swap of the identity has determinant -1.
+        let a = Matrix::from_nested(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let det = Lu::new(&a).unwrap().determinant();
+        assert!((det + 1.0).abs() < 1e-12);
+    }
+}

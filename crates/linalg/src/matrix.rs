@@ -1,0 +1,434 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::{LinalgError, Result, Vector};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// This is the workhorse type for all `d x d` model math in the
+/// workspace. Storage is a single contiguous `Vec<f64>` of length
+/// `rows * cols`; element `(r, c)` lives at `r * cols + c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(r, c)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major flat slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows_slice(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat data length must be rows*cols");
+        Matrix { rows, cols, data: data.to_vec() }
+    }
+
+    /// Creates a matrix from nested row vectors.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_nested(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: nrows, cols: ncols, data }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &v) in diag.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Copy of the main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous
+        // rows of both `rhs` and `out`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &Vector) -> Result<Vector> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            out.push(dot(self.row(r), v.as_slice()));
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Returns `self * s` for a scalar `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        for v in &mut m.data {
+            *v *= s;
+        }
+        m
+    }
+
+    /// Element-wise addition; errors on shape mismatch.
+    pub fn try_add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction; errors on shape mismatch.
+    pub fn try_sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Whether the matrix is symmetric within tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self[(r, c)] - self[(c, r)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Copies the lower triangle onto the upper triangle, making the
+    /// matrix exactly symmetric. Used after accumulating only the lower
+    /// triangular half of `Q` (the paper's default shape).
+    pub fn symmetrize_from_lower(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                self[(r, c)] = self[(c, r)];
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Extracts the contiguous submatrix with rows `r0..r1` and columns
+    /// `c0..c1` (half-open ranges).
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        Matrix::from_fn(r1 - r0, c1 - c0, |r, c| self[(r0 + r, c0 + c)])
+    }
+
+    /// Outer product `a * b^T` of two vectors.
+    pub fn outer(a: &Vector, b: &Vector) -> Matrix {
+        Matrix::from_fn(a.len(), b.len(), |r, c| a[r] * b[c])
+    }
+
+    /// Trace (sum of diagonal entries) of a square matrix.
+    pub fn trace(&self) -> f64 {
+        self.diagonal().iter().sum()
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.try_add(rhs).expect("matrix addition shape mismatch")
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.try_sub(rhs).expect("matrix subtraction shape mismatch")
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs).expect("matrix multiplication shape mismatch")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.4}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.trace(), 3.0);
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m[(1, 2)], 12.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_nested(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t[(0, 2)], 5.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_nested(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_nested(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_nested(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r + c) as f64);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = Matrix::from_nested(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let v = Vector::from_vec(vec![1.0, 0.0, -1.0]);
+        let out = a.matvec(&v).unwrap();
+        assert_eq!(out.as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(1, 0)] = 3.0;
+        assert!(!m.is_symmetric(1e-12));
+        m.symmetrize_from_lower();
+        assert!(m.is_symmetric(1e-12));
+        assert_eq!(m[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Vector::from_vec(vec![1.0, 2.0]);
+        let b = Vector::from_vec(vec![3.0, 4.0, 5.0]);
+        let m = Matrix::outer(&a, &b);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 10.0);
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let s = m.submatrix(1, 3, 2, 4);
+        assert_eq!(s, Matrix::from_nested(&[vec![6.0, 7.0], vec![10.0, 11.0]]));
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a = Matrix::from_nested(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::identity(2);
+        assert_eq!(&a + &b, a.try_add(&b).unwrap());
+        assert_eq!(&a - &b, a.try_sub(&b).unwrap());
+        assert_eq!(&a * &b, a);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_nested(&[vec![3.0, 0.0], vec![0.0, -4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+}

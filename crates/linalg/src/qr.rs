@@ -1,0 +1,272 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Householder QR decomposition `A = Q R` of an `m × n` matrix with
+/// `m >= n`.
+///
+/// The paper solves regression through the normal equations
+/// `β = (X Xᵀ)⁻¹ (X Yᵀ)` because only `n, L, Q` ever leave the DBMS —
+/// and notes that "complex matrix equations and numerical stability
+/// issues can be easily and efficiently solved outside the DBMS"
+/// (§3.3). QR on the raw design matrix is the numerically preferred
+/// alternative when the raw data *is* available: it avoids squaring
+/// the condition number. This implementation exists to quantify that
+/// trade-off (see the regression ablation tests) and to round out the
+/// kernel set.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization: R in the upper triangle, Householder
+    /// vectors below the diagonal.
+    qr: Matrix,
+    /// Householder scalar factors.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes a tall (or square) matrix.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr",
+                lhs: (m, n),
+                rhs: (n, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Householder vector for column k below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut v0 = qr[(k, k)] - alpha;
+            // v normalized so v[0] = 1; store v[1..] below the diagonal.
+            if v0 == 0.0 {
+                v0 = f64::MIN_POSITIVE;
+            }
+            for i in (k + 1)..m {
+                let val = qr[(i, k)] / v0;
+                qr[(i, k)] = val;
+            }
+            tau[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= tau[k];
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(Qr { qr, tau })
+    }
+
+    /// Rows of the factorized matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Columns of the factorized matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// The upper-triangular factor `R` (n × n).
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        Matrix::from_fn(n, n, |r, c| if c >= r { self.qr[(r, c)] } else { 0.0 })
+    }
+
+    /// Applies `Qᵀ` to a vector in place.
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = b[k];
+            for (i, &bi) in b.iter().enumerate().take(m).skip(k + 1) {
+                s += self.qr[(i, k)] * bi;
+            }
+            s *= self.tau[k];
+            b[k] -= s;
+            for (i, bi) in b.iter_mut().enumerate().take(m).skip(k + 1) {
+                *bi -= s * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.as_slice().to_vec();
+        self.apply_qt(&mut y);
+        // Back substitution on R x = y[..n]; a diagonal entry tiny
+        // relative to the largest one signals (numerical) rank
+        // deficiency.
+        let r_max = (0..n)
+            .map(|i| self.qr[(i, i)].abs())
+            .fold(0.0_f64, f64::max);
+        let threshold = r_max.max(1e-300) * 1e-12;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.qr[(i, j)] * xj;
+            }
+            let diag = self.qr[(i, i)];
+            if diag.abs() < threshold {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = sum / diag;
+        }
+        Ok(Vector::from_vec(x))
+    }
+}
+
+/// Convenience: least-squares solve of `A x ≈ b` via Householder QR.
+pub fn least_squares(a: &Matrix, b: &Vector) -> Result<Vector> {
+    Qr::new(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_matches_q_r_reconstruction_norms() {
+        // For QR, ||A e_j|| relationships: verify R upper triangular
+        // and |det R| equals |det A| for square input.
+        let a = Matrix::from_nested(&[
+            vec![2.0, -1.0, 3.0],
+            vec![1.0, 4.0, 0.5],
+            vec![-3.0, 2.0, 1.0],
+        ]);
+        let qr = Qr::new(&a).unwrap();
+        let r = qr.r();
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        let det_r: f64 = (0..3).map(|i| r[(i, i)]).product();
+        let det_a = crate::Lu::new(&a).unwrap().determinant();
+        assert!((det_r.abs() - det_a.abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Matrix::from_nested(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = Vector::from_vec(vec![5.0, 10.0]);
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_least_squares() {
+        // Fit y = 2x + 1 from 4 noisy-free points: exact recovery.
+        let a = Matrix::from_nested(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ]);
+        let b = Vector::from_vec(vec![1.0, 3.0, 5.0, 7.0]);
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10, "intercept {}", x[0]);
+        assert!((x[1] - 2.0).abs() < 1e-10, "slope {}", x[1]);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations_when_well_conditioned() {
+        let rows = 40;
+        let a = Matrix::from_fn(rows, 3, |r, c| ((r * 7 + c * 13) % 11) as f64 + 1.0);
+        let b = Vector::from_vec((0..rows).map(|r| (r % 5) as f64).collect());
+        let via_qr = least_squares(&a, &b).unwrap();
+        // Normal equations: (A^T A) x = A^T b.
+        let ata = a.transpose().matmul(&a).unwrap();
+        let atb = a.transpose().matvec(&b).unwrap();
+        let via_ne = crate::Lu::new(&ata).unwrap().solve(&atb).unwrap();
+        for i in 0..3 {
+            assert!((via_qr[i] - via_ne[i]).abs() < 1e-8, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn qr_survives_conditioning_that_breaks_normal_equations() {
+        // A nearly collinear design: kappa(A)^2 overwhelms f64 in the
+        // normal equations but QR (kappa(A)) is fine.
+        let eps = 1e-9;
+        let a = Matrix::from_nested(&[
+            vec![1.0, 1.0],
+            vec![1.0, 1.0 + eps],
+            vec![1.0, 1.0 + 2.0 * eps],
+        ]);
+        // b chosen so the true solution is x = (1, 1).
+        let b = Vector::from_vec(vec![2.0, 2.0 + eps, 2.0 + 2.0 * eps]);
+        let via_qr = least_squares(&a, &b).unwrap();
+        assert!((via_qr[0] - 1.0).abs() < 1e-4, "qr x0 = {}", via_qr[0]);
+        assert!((via_qr[1] - 1.0).abs() < 1e-4, "qr x1 = {}", via_qr[1]);
+
+        // The normal equations are numerically singular here — the LU
+        // pivot check trips (or the answer is garbage); either way the
+        // squared condition number is the culprit.
+        let ata = a.transpose().matmul(&a).unwrap();
+        match crate::Lu::new(&ata) {
+            Err(LinalgError::Singular) => {} // expected: detected singular
+            Ok(lu) => {
+                let atb = a.transpose().matvec(&b).unwrap();
+                if let Ok(x) = lu.solve(&atb) {
+                    let err = (x[0] - 1.0).abs() + (x[1] - 1.0).abs();
+                    assert!(
+                        err > 1e-4,
+                        "normal equations should be visibly less accurate, err = {err}"
+                    );
+                }
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Qr::new(&a), Err(LinalgError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn rank_deficient_solve_is_singular() {
+        let a = Matrix::from_nested(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ]);
+        let b = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        assert!(matches!(
+            least_squares(&a, &b),
+            Err(LinalgError::Singular)
+        ));
+    }
+}

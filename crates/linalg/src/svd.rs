@@ -1,0 +1,130 @@
+use crate::{jacobi_eigen, Matrix, Result};
+
+/// Singular value decomposition `A = U * diag(s) * V^T`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m x r` where `r = min(m, n)`.
+    pub u: Matrix,
+    /// Singular values in descending order, length `r`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `n x r`.
+    pub v: Matrix,
+}
+
+/// Singular values below `tol * s_max` are clamped to zero when
+/// recovering `U` (they carry no usable direction information).
+const RANK_TOL: f64 = 1e-10;
+
+/// Computes the (thin) SVD of a general matrix via the symmetric
+/// eigendecomposition of the smaller Gram matrix.
+///
+/// The paper's PCA step is "SVD of the correlation matrix", which for a
+/// symmetric PSD input coincides with its eigendecomposition — that
+/// path goes straight through [`jacobi_eigen`]. This general entry
+/// point additionally supports rectangular inputs (useful for factor
+/// analysis diagnostics and tests): it diagonalizes `A^T A` (or
+/// `A A^T`, whichever is smaller), takes square roots of the
+/// eigenvalues, and recovers the other side's singular vectors by
+/// projection.
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m >= n {
+        // Eigen of A^T A (n x n), then U = A V / s.
+        let gram = a.transpose().matmul(a)?;
+        let eig = jacobi_eigen(&gram, 1e-13)?;
+        let s: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let v = eig.vectors; // n x n
+        let s_max = s.first().copied().unwrap_or(0.0);
+        let mut u = Matrix::zeros(m, n);
+        let av = a.matmul(&v)?;
+        for c in 0..n {
+            if s[c] > RANK_TOL * s_max.max(1.0) {
+                for r in 0..m {
+                    u[(r, c)] = av[(r, c)] / s[c];
+                }
+            }
+        }
+        Ok(Svd { u, singular_values: s, v })
+    } else {
+        // Transpose, decompose, and swap U <-> V.
+        let t = svd(&a.transpose())?;
+        Ok(Svd { u: t.v, singular_values: t.singular_values, v: t.u })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(s: &Svd) -> Matrix {
+        let d = Matrix::from_diagonal(&s.singular_values);
+        s.u.matmul(&d).unwrap().matmul(&s.v.transpose()).unwrap()
+    }
+
+    #[test]
+    fn identity_has_unit_singular_values() {
+        let s = svd(&Matrix::identity(3)).unwrap();
+        for v in &s.singular_values {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn diagonal_singular_values_are_abs_sorted() {
+        let a = Matrix::from_diagonal(&[-3.0, 2.0, 0.5]);
+        let s = svd(&a).unwrap();
+        assert!((s.singular_values[0] - 3.0).abs() < 1e-10);
+        assert!((s.singular_values[1] - 2.0).abs() < 1e-10);
+        assert!((s.singular_values[2] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn tall_matrix_reconstructs() {
+        let a = Matrix::from_nested(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ]);
+        let s = svd(&a).unwrap();
+        let rec = reconstruct(&s);
+        for r in 0..3 {
+            for c in 0..2 {
+                assert!((rec[(r, c)] - a[(r, c)]).abs() < 1e-8, "at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_matrix_reconstructs() {
+        let a = Matrix::from_nested(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 0.0]]);
+        let s = svd(&a).unwrap();
+        let rec = reconstruct(&s);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert!((rec[(r, c)] - a[(r, c)]).abs() < 1e-8, "at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_input() {
+        // Rank-1 matrix: second singular value should be ~0.
+        let a = Matrix::from_nested(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let s = svd(&a).unwrap();
+        assert!(s.singular_values[1].abs() < 1e-8);
+        let rec = reconstruct(&s);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((rec[(r, c)] - a[(r, c)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn spd_svd_matches_eigen() {
+        let a = Matrix::from_nested(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let s = svd(&a).unwrap();
+        assert!((s.singular_values[0] - 3.0).abs() < 1e-9);
+        assert!((s.singular_values[1] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense column vector of `f64`.
+///
+/// Semantically a `d x 1` matrix (the paper's `L` and centroid vectors),
+/// but kept as its own type for clarity of the model-building APIs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Wraps an owned `Vec<f64>`.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+
+    /// Copies a slice into a new vector.
+    pub fn from_slice(data: &[f64]) -> Self {
+        Vector { data: data.to_vec() }
+    }
+
+    /// Length of the vector.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the underlying storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn dot(&self, rhs: &Vector) -> f64 {
+        assert_eq!(self.len(), rhs.len(), "dot product length mismatch");
+        crate::matrix::dot(&self.data, &rhs.data)
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean distance to another vector.
+    ///
+    /// This is the distance the paper's `distance(...)` scalar UDF
+    /// computes: `(x - c)^T (x - c)`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn squared_distance(&self, rhs: &Vector) -> f64 {
+        assert_eq!(self.len(), rhs.len(), "distance length mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Returns `self * s`.
+    pub fn scale(&self, s: f64) -> Vector {
+        Vector { data: self.data.iter().map(|v| v * s).collect() }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn add(&self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector addition length mismatch");
+        Vector {
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn sub(&self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector subtraction length mismatch");
+        Vector {
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+
+    /// Adds `rhs` into `self` in place (the aggregate-UDF accumulate
+    /// step `L <- L + x_i`).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn add_assign(&mut self, rhs: &[f64]) {
+        assert_eq!(self.len(), rhs.len(), "vector add_assign length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs) {
+            *a += b;
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        let v = Vector::zeros(4);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert!(Vector::from_vec(vec![]).is_empty());
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Vector::from_vec(vec![3.0, 4.0]);
+        assert_eq!(a.dot(&a), 25.0);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn squared_distance_matches_definition() {
+        let a = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from_vec(vec![0.0, 4.0, 3.0]);
+        assert_eq!(a.squared_distance(&b), 1.0 + 4.0);
+        assert_eq!(a.squared_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vector::from_vec(vec![1.0, 2.0]);
+        let b = Vector::from_vec(vec![10.0, 20.0]);
+        assert_eq!(a.add(&b).as_slice(), &[11.0, 22.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[9.0, 18.0]);
+        assert_eq!(a.scale(3.0).as_slice(), &[3.0, 6.0]);
+        assert_eq!(b.sum(), 30.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = Vector::zeros(3);
+        acc.add_assign(&[1.0, 2.0, 3.0]);
+        acc.add_assign(&[1.0, 2.0, 3.0]);
+        assert_eq!(acc.as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let a = Vector::zeros(2);
+        let b = Vector::zeros(3);
+        let _ = a.dot(&b);
+    }
+}

@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+
+//! Paged, horizontally partitioned row storage.
+//!
+//! This crate is the substrate standing in for the Teradata storage
+//! layer the paper runs on: a shared-nothing parallel DBMS where the
+//! data set `X` is "horizontally partitioned evenly among threads,
+//! where each thread was responsible for processing 1/20th of X" (§4).
+//!
+//! Tables hold rows encoded into 64 KB pages (so every scan pays a
+//! realistic decode cost, mirroring the paper's observation that UDFs
+//! are ultimately I/O bound), split across `p` partitions that are
+//! scanned by independent worker threads and merged by a master — the
+//! exact execution model the aggregate-UDF protocol is written against.
+
+mod disk;
+mod page;
+mod parallel;
+mod row;
+mod schema;
+mod table;
+mod value;
+
+pub use disk::{DiskPartitionIter, DiskTable};
+pub use page::{Page, PAGE_SIZE};
+pub use parallel::{parallel_scan, parallel_scan_indexed};
+pub use row::Row;
+pub use schema::{Column, DataType, Schema};
+pub use table::{PartitionIter, Table};
+pub use value::Value;
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Row arity does not match the table schema.
+    ArityMismatch {
+        /// Columns in the schema.
+        expected: usize,
+        /// Values in the rejected row.
+        got: usize,
+    },
+    /// A value's type does not match the schema column type.
+    TypeMismatch {
+        /// The offending column's name.
+        column: String,
+        /// The column's declared type.
+        expected: DataType,
+    },
+    /// Row decoding hit a malformed page.
+    Corrupt(&'static str),
+    /// File I/O failed (disk-backed tables).
+    Io(String),
+}
+
+impl StorageError {
+    /// Wraps an I/O error (the error text is preserved; `StorageError`
+    /// stays `Clone + PartialEq` for test ergonomics).
+    pub fn from_io(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values but schema has {expected} columns")
+            }
+            StorageError::TypeMismatch { column, expected } => {
+                write!(f, "value for column {column} is not of type {expected:?}")
+            }
+            StorageError::Corrupt(what) => write!(f, "corrupt page data: {what}"),
+            StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,167 @@
+use crate::{StorageError, Value};
+
+/// Column data types supported by the storage layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit integer.
+    Int,
+    /// Double-precision float.
+    Float,
+    /// Variable-length string.
+    Str,
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name; matching is case-insensitive throughout the engine.
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// The schema the paper's table `X(i, X1, ..., Xd)` uses: an
+    /// integer point id followed by `d` float dimensions named
+    /// `X1..Xd`. With `with_y`, appends the predicted variable `Y`
+    /// (the layout `X(i, X1, ..., Xd, Y)` used for regression).
+    pub fn points(d: usize, with_y: bool) -> Self {
+        let mut columns = Vec::with_capacity(d + 2);
+        columns.push(Column::new("i", DataType::Int));
+        for a in 1..=d {
+            columns.push(Column::new(format!("X{a}"), DataType::Float));
+        }
+        if with_y {
+            columns.push(Column::new("Y", DataType::Float));
+        }
+        Schema { columns }
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the named column (case-insensitive), if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column at an index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Validates a row against the schema: arity must match and every
+    /// non-NULL value must have the column's type (ints are accepted
+    /// where floats are expected, as SQL numeric widening allows).
+    pub fn validate(&self, row: &[Value]) -> crate::Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (value, col) in row.iter().zip(&self.columns) {
+            let ok = matches!(
+                (value, col.ty),
+                (Value::Null, _)
+                    | (Value::Int(_), DataType::Int | DataType::Float)
+                    | (Value::Float(_), DataType::Float)
+                    | (Value::Str(_), DataType::Str)
+            );
+            if !ok {
+                return Err(StorageError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.ty,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_schema_layout() {
+        let s = Schema::points(3, false);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.column(0).name, "i");
+        assert_eq!(s.column(3).name, "X3");
+        assert_eq!(s.column(1).ty, DataType::Float);
+
+        let sy = Schema::points(2, true);
+        assert_eq!(sy.len(), 4);
+        assert_eq!(sy.column(3).name, "Y");
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = Schema::points(2, false);
+        assert_eq!(s.index_of("x1"), Some(1));
+        assert_eq!(s.index_of("X2"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn validate_accepts_good_rows() {
+        let s = Schema::points(2, false);
+        let row = vec![Value::Int(1), Value::Float(0.5), Value::Float(1.5)];
+        assert!(s.validate(&row).is_ok());
+        // Ints widen to float columns; NULL is valid anywhere.
+        let row = vec![Value::Int(1), Value::Int(2), Value::Null];
+        assert!(s.validate(&row).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rows() {
+        let s = Schema::points(2, false);
+        assert!(matches!(
+            s.validate(&[Value::Int(1)]),
+            Err(StorageError::ArityMismatch { expected: 3, got: 1 })
+        ));
+        let row = vec![Value::Float(1.0), Value::Float(0.5), Value::Float(1.5)];
+        assert!(matches!(
+            s.validate(&row),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        let row = vec![Value::Int(1), Value::Str("x".into()), Value::Float(0.0)];
+        assert!(matches!(
+            s.validate(&row),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+}

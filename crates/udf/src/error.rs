@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors produced by UDF execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UdfError {
+    /// Call has the wrong number of arguments.
+    WrongArity {
+        /// UDF name.
+        udf: String,
+        /// Human description of the expected arity.
+        expected: String,
+        /// Arguments actually passed.
+        got: usize,
+    },
+    /// An argument has the wrong type or an invalid value.
+    InvalidArgument {
+        /// UDF name.
+        udf: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// Aggregate state would exceed the 64 KB heap segment
+    /// ([`crate::UDF_HEAP_LIMIT`]).
+    HeapExceeded {
+        /// UDF name.
+        udf: String,
+        /// Bytes the state requires.
+        needed: usize,
+        /// The enforced limit.
+        limit: usize,
+    },
+    /// A packed result string could not be parsed.
+    MalformedPackedValue(String),
+    /// Attempted to merge incompatible aggregate states.
+    MergeMismatch {
+        /// UDF name.
+        udf: String,
+        /// Why the partials are incompatible.
+        message: String,
+    },
+}
+
+impl fmt::Display for UdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UdfError::WrongArity { udf, expected, got } => {
+                write!(f, "{udf}: expected {expected} arguments, got {got}")
+            }
+            UdfError::InvalidArgument { udf, message } => {
+                write!(f, "{udf}: invalid argument: {message}")
+            }
+            UdfError::HeapExceeded { udf, needed, limit } => {
+                write!(f, "{udf}: aggregate state needs {needed} bytes, limit is {limit}")
+            }
+            UdfError::MalformedPackedValue(msg) => {
+                write!(f, "malformed packed value: {msg}")
+            }
+            UdfError::MergeMismatch { udf, message } => {
+                write!(f, "{udf}: cannot merge partial states: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UdfError {}

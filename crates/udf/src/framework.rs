@@ -1,0 +1,218 @@
+use std::any::Any;
+
+use nlq_storage::Value;
+
+use crate::{Result, UdfError};
+
+/// The single heap segment a UDF may allocate (§2.2: "the amount of
+/// memory that can be allocated is somewhat low and it is currently
+/// limited to one 64 kb segment").
+pub const UDF_HEAP_LIMIT: usize = 64 * 1024;
+
+/// A scalar UDF: called once per row, returns one value, keeps no
+/// state between rows (§2.2: "scalar functions cannot keep values in
+/// main memory from row to row").
+///
+/// Implementations must be pure functions of their arguments.
+pub trait ScalarUdf: Send + Sync {
+    /// SQL-visible function name (matched case-insensitively).
+    fn name(&self) -> &str;
+
+    /// Evaluates the function on one row's argument values.
+    ///
+    /// Following SQL convention, implementations return `Value::Null`
+    /// when any input argument is NULL.
+    fn eval(&self, args: &[Value]) -> Result<Value>;
+}
+
+/// An aggregate UDF: definition object that creates per-group,
+/// per-worker state.
+///
+/// Execution follows the four run-time phases of §3.4:
+/// 1. **Initialization** — [`AggregateUdf::init`] allocates the state
+///    (checked against [`UDF_HEAP_LIMIT`] by the caller via
+///    [`AggregateState::heap_bytes`]).
+/// 2. **Row aggregation** — [`AggregateState::accumulate`], executed
+///    `n` times; the hot path.
+/// 3. **Partial result aggregation** — [`AggregateState::merge`]
+///    combines per-worker partials on a master thread.
+/// 4. **Returning results** — [`AggregateState::finalize`] packs the
+///    result into a single simple value.
+pub trait AggregateUdf: Send + Sync {
+    /// SQL-visible function name (matched case-insensitively).
+    fn name(&self) -> &str;
+
+    /// Phase 1: allocates fresh aggregation state.
+    fn init(&self) -> Box<dyn AggregateState>;
+}
+
+/// Mutable aggregation state for one group on one worker.
+pub trait AggregateState: Send {
+    /// Phase 2: folds one row's argument values into the state.
+    fn accumulate(&mut self, args: &[Value]) -> Result<()>;
+
+    /// Phase 3: folds another worker's partial state into this one.
+    ///
+    /// Implementations downcast `other` via [`AggregateState::as_any`]
+    /// and must return [`UdfError::MergeMismatch`] if the states are
+    /// incompatible (different UDF, different parameters).
+    fn merge(&mut self, other: &dyn AggregateState) -> Result<()>;
+
+    /// Phase 4: produces the final value, consuming the state.
+    fn finalize(self: Box<Self>) -> Result<Value>;
+
+    /// Heap footprint of this state in bytes; callers enforce
+    /// [`UDF_HEAP_LIMIT`].
+    fn heap_bytes(&self) -> usize;
+
+    /// Downcast support for [`AggregateState::merge`].
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Checks a freshly initialized state against the heap budget; call
+/// after [`AggregateUdf::init`].
+pub fn check_heap(udf: &str, state: &dyn AggregateState) -> Result<()> {
+    let needed = state.heap_bytes();
+    if needed > UDF_HEAP_LIMIT {
+        return Err(UdfError::HeapExceeded {
+            udf: udf.to_owned(),
+            needed,
+            limit: UDF_HEAP_LIMIT,
+        });
+    }
+    Ok(())
+}
+
+/// Extracts a required float argument (ints widen), reporting the UDF
+/// name and position on failure. Returns `None` for SQL NULL.
+pub(crate) fn float_arg(udf: &str, args: &[Value], idx: usize) -> Result<Option<f64>> {
+    match args.get(idx) {
+        None => Err(UdfError::WrongArity {
+            udf: udf.to_owned(),
+            expected: format!("at least {}", idx + 1),
+            got: args.len(),
+        }),
+        Some(Value::Null) => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| UdfError::InvalidArgument {
+            udf: udf.to_owned(),
+            message: format!("argument {} must be numeric, got {v:?}", idx + 1),
+        }),
+    }
+}
+
+/// Extracts a required positive integer argument.
+pub(crate) fn usize_arg(udf: &str, args: &[Value], idx: usize) -> Result<usize> {
+    let v = float_arg(udf, args, idx)?.ok_or_else(|| UdfError::InvalidArgument {
+        udf: udf.to_owned(),
+        message: format!("argument {} must not be NULL", idx + 1),
+    })?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(UdfError::InvalidArgument {
+            udf: udf.to_owned(),
+            message: format!("argument {} must be a non-negative integer, got {v}", idx + 1),
+        });
+    }
+    Ok(v as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountState {
+        n: i64,
+    }
+
+    impl AggregateState for CountState {
+        fn accumulate(&mut self, _args: &[Value]) -> Result<()> {
+            self.n += 1;
+            Ok(())
+        }
+        fn merge(&mut self, other: &dyn AggregateState) -> Result<()> {
+            let other = other.as_any().downcast_ref::<CountState>().ok_or_else(|| {
+                UdfError::MergeMismatch { udf: "count".into(), message: "type".into() }
+            })?;
+            self.n += other.n;
+            Ok(())
+        }
+        fn finalize(self: Box<Self>) -> Result<Value> {
+            Ok(Value::Int(self.n))
+        }
+        fn heap_bytes(&self) -> usize {
+            std::mem::size_of::<Self>()
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn four_phase_protocol_works() {
+        let mut a = CountState { n: 0 };
+        let mut b = CountState { n: 0 };
+        for _ in 0..3 {
+            a.accumulate(&[]).unwrap();
+        }
+        for _ in 0..4 {
+            b.accumulate(&[]).unwrap();
+        }
+        a.merge(&b).unwrap();
+        let v = Box::new(a).finalize().unwrap();
+        assert_eq!(v, Value::Int(7));
+    }
+
+    #[test]
+    fn heap_check_accepts_small_state() {
+        let s = CountState { n: 0 };
+        assert!(check_heap("count", &s).is_ok());
+    }
+
+    struct HugeState;
+
+    impl AggregateState for HugeState {
+        fn accumulate(&mut self, _: &[Value]) -> Result<()> {
+            Ok(())
+        }
+        fn merge(&mut self, _: &dyn AggregateState) -> Result<()> {
+            Ok(())
+        }
+        fn finalize(self: Box<Self>) -> Result<Value> {
+            Ok(Value::Null)
+        }
+        fn heap_bytes(&self) -> usize {
+            UDF_HEAP_LIMIT + 1
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn heap_check_rejects_oversized_state() {
+        assert!(matches!(
+            check_heap("huge", &HugeState),
+            Err(UdfError::HeapExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn float_arg_handles_types() {
+        let args = vec![Value::Int(2), Value::Float(1.5), Value::Null, Value::from("x")];
+        assert_eq!(float_arg("f", &args, 0).unwrap(), Some(2.0));
+        assert_eq!(float_arg("f", &args, 1).unwrap(), Some(1.5));
+        assert_eq!(float_arg("f", &args, 2).unwrap(), None);
+        assert!(float_arg("f", &args, 3).is_err());
+        assert!(matches!(
+            float_arg("f", &args, 9),
+            Err(UdfError::WrongArity { .. })
+        ));
+    }
+
+    #[test]
+    fn usize_arg_validates() {
+        assert_eq!(usize_arg("f", &[Value::Int(5)], 0).unwrap(), 5);
+        assert!(usize_arg("f", &[Value::Float(1.5)], 0).is_err());
+        assert!(usize_arg("f", &[Value::Int(-1)], 0).is_err());
+        assert!(usize_arg("f", &[Value::Null], 0).is_err());
+    }
+}

@@ -1,0 +1,789 @@
+use std::any::Any;
+
+use nlq_linalg::{Matrix, Vector};
+use nlq_models::{MatrixShape, Nlq};
+use nlq_storage::Value;
+
+use crate::framework::{usize_arg, AggregateState, AggregateUdf};
+use crate::pack::{pack_block, pack_nlq, unpack_vector, NlqBlock};
+use crate::{Result, UdfError};
+
+/// Maximum dimensionality of one aggregate UDF call.
+///
+/// §3.4: "the UDF 'struct' record is statically defined to have a
+/// maximum dimensionality" because heap storage is allocated before
+/// the first row is read. The paper uses `MAX_d = 64`, which keeps the
+/// full `n, L, Q`, min/max struct within the 64 KB heap segment
+/// (`8·(1 + 64 + 64² + 2·64) ≈ 34 KB`). Data sets with `d > MAX_D` use
+/// block-partitioned calls ([`NlqBlockUdf`], Table 6).
+pub const MAX_D: usize = 64;
+
+/// How the point's coordinates reach the aggregate UDF (§3.4, step 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamStyle {
+    /// Each coordinate is its own scalar parameter (plus a leading
+    /// `d`): `nlq_list(d, shape, X1, ..., Xd)`. Fast, but bounded by
+    /// the DBMS's maximum parameter count.
+    List,
+    /// Coordinates packed into one string:
+    /// `nlq_str(shape, pack(X1..Xd))`. Pays float→text formatting in
+    /// the query and text→float parsing in the UDF each row; "the
+    /// unpacking routine determines d".
+    String,
+}
+
+/// The mirrored C struct: statically sized arrays allocated once in
+/// heap memory per worker thread (`udf_nLQ_storage` in the paper).
+struct NlqStorage {
+    d: usize,
+    shape: MatrixShape,
+    n: f64,
+    l: [f64; MAX_D],
+    q: [[f64; MAX_D]; MAX_D],
+    min: [f64; MAX_D],
+    max: [f64; MAX_D],
+}
+
+impl NlqStorage {
+    fn new(shape: MatrixShape) -> Box<Self> {
+        // Allocate directly on the heap; the struct is ~34 KB.
+        let mut s: Box<NlqStorage> = Box::new(NlqStorage {
+            d: 0,
+            shape,
+            n: 0.0,
+            l: [0.0; MAX_D],
+            q: [[0.0; MAX_D]; MAX_D],
+            min: [0.0; MAX_D],
+            max: [0.0; MAX_D],
+        });
+        s.min = [f64::INFINITY; MAX_D];
+        s.max = [f64::NEG_INFINITY; MAX_D];
+        s
+    }
+
+    /// The row-aggregation hot loop: `n += 1`, `L += x`, `Q += x xᵀ`
+    /// (per shape), min/max.
+    fn accumulate_point(&mut self, x: &[f64]) {
+        let d = self.d;
+        self.n += 1.0;
+        for (a, &xa) in x.iter().enumerate() {
+            self.l[a] += xa;
+            if xa < self.min[a] {
+                self.min[a] = xa;
+            }
+            if xa > self.max[a] {
+                self.max[a] = xa;
+            }
+        }
+        match self.shape {
+            MatrixShape::Diagonal => {
+                for (a, &xa) in x.iter().enumerate() {
+                    self.q[a][a] += xa * xa;
+                }
+            }
+            MatrixShape::Triangular => {
+                // Slice zips keep the inner loop bounds-check free and
+                // vectorizable; only the lower triangle is touched.
+                for (a, &xa) in x.iter().enumerate() {
+                    for (qb, xb) in self.q[a][..=a].iter_mut().zip(&x[..=a]) {
+                        *qb += xa * xb;
+                    }
+                }
+            }
+            MatrixShape::Full => {
+                for (a, &xa) in x.iter().enumerate() {
+                    for (qb, xb) in self.q[a][..d].iter_mut().zip(x) {
+                        *qb += xa * xb;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Binds (or checks) the dimensionality on the first row.
+    fn bind_d(&mut self, udf: &str, d: usize) -> Result<()> {
+        if d == 0 || d > MAX_D {
+            return Err(UdfError::InvalidArgument {
+                udf: udf.to_owned(),
+                message: format!("d={d} outside 1..={MAX_D}; use blocked calls for higher d"),
+            });
+        }
+        if self.d == 0 {
+            self.d = d;
+        } else if self.d != d {
+            return Err(UdfError::InvalidArgument {
+                udf: udf.to_owned(),
+                message: format!("d changed mid-aggregation: {} -> {d}", self.d),
+            });
+        }
+        Ok(())
+    }
+
+    fn to_nlq(&self) -> Nlq {
+        let d = self.d;
+        let l = Vector::from_slice(&self.l[..d]);
+        let q = Matrix::from_fn(d, d, |r, c| self.q[r][c]);
+        Nlq::from_parts(
+            self.shape,
+            self.n,
+            l,
+            q,
+            self.min[..d].to_vec(),
+            self.max[..d].to_vec(),
+        )
+        .expect("storage dimensions are consistent")
+    }
+}
+
+/// The paper's aggregate UDF computing `n, L, Q` in one table scan.
+///
+/// Two SQL-visible registrations exist, one per [`ParamStyle`]:
+///
+/// ```sql
+/// SELECT nlq_list(d, 'triang', X1, ..., Xd) FROM X;
+/// SELECT nlq_str('triang', pack(X1, ..., Xd)) FROM X;
+/// ```
+///
+/// The return value is a single string ([`crate::pack::pack_nlq`]);
+/// rows containing any NULL coordinate are skipped, following SQL
+/// aggregate convention. Aggregating zero rows yields SQL NULL.
+pub struct NlqUdf {
+    style: ParamStyle,
+}
+
+impl NlqUdf {
+    /// Creates the UDF for a parameter-passing style.
+    pub fn new(style: ParamStyle) -> Self {
+        NlqUdf { style }
+    }
+}
+
+impl AggregateUdf for NlqUdf {
+    fn name(&self) -> &str {
+        match self.style {
+            ParamStyle::List => "nlq_list",
+            ParamStyle::String => "nlq_str",
+        }
+    }
+
+    fn init(&self) -> Box<dyn AggregateState> {
+        Box::new(NlqState { storage: NlqStorage::new(MatrixShape::Triangular), style: self.style, shape_bound: false })
+    }
+}
+
+struct NlqState {
+    storage: Box<NlqStorage>,
+    style: ParamStyle,
+    /// Whether the shape argument has been seen yet (first row binds it).
+    shape_bound: bool,
+}
+
+impl NlqState {
+    fn udf_name(&self) -> &'static str {
+        match self.style {
+            ParamStyle::List => "nlq_list",
+            ParamStyle::String => "nlq_str",
+        }
+    }
+
+    fn bind_shape(&mut self, arg: &Value) -> Result<()> {
+        let name = self.udf_name();
+        let shape_str = arg.as_str().ok_or_else(|| UdfError::InvalidArgument {
+            udf: name.to_owned(),
+            message: "shape argument must be a string ('diag'|'triang'|'full')".into(),
+        })?;
+        let shape = MatrixShape::parse(shape_str).ok_or_else(|| UdfError::InvalidArgument {
+            udf: name.to_owned(),
+            message: format!("unknown shape {shape_str:?}"),
+        })?;
+        if !self.shape_bound {
+            self.storage.shape = shape;
+            self.shape_bound = true;
+        } else if self.storage.shape != shape {
+            return Err(UdfError::InvalidArgument {
+                udf: name.to_owned(),
+                message: "shape changed mid-aggregation".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl AggregateState for NlqState {
+    fn accumulate(&mut self, args: &[Value]) -> Result<()> {
+        let name = self.udf_name();
+        match self.style {
+            ParamStyle::List => {
+                // nlq_list(d, shape, X1..Xd)
+                let d = usize_arg(name, args, 0)?;
+                if args.len() != d + 2 {
+                    return Err(UdfError::WrongArity {
+                        udf: name.to_owned(),
+                        expected: format!("{} (d + 2)", d + 2),
+                        got: args.len(),
+                    });
+                }
+                self.bind_shape(&args[1])?;
+                self.storage.bind_d(name, d)?;
+                // Gather coordinates; a NULL skips the whole row.
+                let mut x = [0.0; MAX_D];
+                for a in 0..d {
+                    match args[2 + a].as_f64() {
+                        Some(v) => x[a] = v,
+                        None if args[2 + a].is_null() => return Ok(()),
+                        None => {
+                            return Err(UdfError::InvalidArgument {
+                                udf: name.to_owned(),
+                                message: format!("X{} is not numeric", a + 1),
+                            })
+                        }
+                    }
+                }
+                self.storage.accumulate_point(&x[..d]);
+            }
+            ParamStyle::String => {
+                // nlq_str(shape, packed)
+                if args.len() != 2 {
+                    return Err(UdfError::WrongArity {
+                        udf: name.to_owned(),
+                        expected: "2 (shape, packed vector)".into(),
+                        got: args.len(),
+                    });
+                }
+                self.bind_shape(&args[0])?;
+                let packed = match &args[1] {
+                    Value::Null => return Ok(()), // NULL row is skipped
+                    Value::Str(s) => s,
+                    other => {
+                        return Err(UdfError::InvalidArgument {
+                            udf: name.to_owned(),
+                            message: format!("expected packed string, got {other:?}"),
+                        })
+                    }
+                };
+                // "The unpacking routine determines d."
+                let x = unpack_vector(packed)?;
+                self.storage.bind_d(name, x.len())?;
+                self.storage.accumulate_point(&x);
+            }
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn AggregateState) -> Result<()> {
+        let name = self.udf_name();
+        let other = other
+            .as_any()
+            .downcast_ref::<NlqState>()
+            .ok_or_else(|| UdfError::MergeMismatch {
+                udf: name.to_owned(),
+                message: "partial state has a different type".into(),
+            })?;
+        if other.storage.d == 0 {
+            return Ok(()); // empty partial
+        }
+        if self.storage.d == 0 {
+            // This side is empty: adopt the other side's binding.
+            self.storage.d = other.storage.d;
+            self.storage.shape = other.storage.shape;
+            self.shape_bound = other.shape_bound;
+        }
+        if self.storage.d != other.storage.d || self.storage.shape != other.storage.shape {
+            return Err(UdfError::MergeMismatch {
+                udf: name.to_owned(),
+                message: format!(
+                    "d/shape mismatch: ({}, {}) vs ({}, {})",
+                    self.storage.d,
+                    self.storage.shape.name(),
+                    other.storage.d,
+                    other.storage.shape.name()
+                ),
+            });
+        }
+        let d = self.storage.d;
+        self.storage.n += other.storage.n;
+        for a in 0..d {
+            self.storage.l[a] += other.storage.l[a];
+            if other.storage.min[a] < self.storage.min[a] {
+                self.storage.min[a] = other.storage.min[a];
+            }
+            if other.storage.max[a] > self.storage.max[a] {
+                self.storage.max[a] = other.storage.max[a];
+            }
+            for b in 0..d {
+                self.storage.q[a][b] += other.storage.q[a][b];
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(self: Box<Self>) -> Result<Value> {
+        if self.storage.d == 0 {
+            return Ok(Value::Null); // no rows aggregated
+        }
+        Ok(Value::Str(pack_nlq(&self.storage.to_nlq())))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<NlqStorage>()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Block-partitioned aggregate UDF for `d > MAX_D` (Table 6).
+///
+/// ```sql
+/// SELECT nlq_block(d, a0, a1, b0, b1,
+///                  pack(Xa0+1..Xa1), pack(Xb0+1..Xb1)) FROM X;
+/// ```
+///
+/// Each call computes the `Q` submatrix for subscript ranges
+/// `a0..a1 × b0..b1` (half-open, each at most [`MAX_D`] wide) and, for
+/// diagonal blocks (`a0 == b0`), the matching `L` segment. Crucially,
+/// a call receives **only the two coordinate segments it needs**, so
+/// its per-row cost is constant in `d` and the total elapsed time is
+/// proportional to the number of calls — exactly the scaling Table 6
+/// reports. All calls for one data set are submitted in a single
+/// statement (the paper's synchronized table scan);
+/// [`crate::pack::assemble_blocks`] reassembles the full statistics
+/// client-side.
+pub struct NlqBlockUdf;
+
+impl AggregateUdf for NlqBlockUdf {
+    fn name(&self) -> &str {
+        "nlq_block"
+    }
+
+    fn init(&self) -> Box<dyn AggregateState> {
+        Box::new(BlockState {
+            d: 0,
+            a0: 0,
+            a1: 0,
+            b0: 0,
+            b1: 0,
+            n: 0.0,
+            l: [0.0; MAX_D],
+            q: Box::new([[0.0; MAX_D]; MAX_D]),
+        })
+    }
+}
+
+struct BlockState {
+    d: usize,
+    a0: usize,
+    a1: usize,
+    b0: usize,
+    b1: usize,
+    n: f64,
+    l: [f64; MAX_D],
+    q: Box<[[f64; MAX_D]; MAX_D]>,
+}
+
+impl BlockState {
+    fn bind_ranges(&mut self, d: usize, a0: usize, a1: usize, b0: usize, b1: usize) -> Result<()> {
+        const NAME: &str = "nlq_block";
+        if self.d == 0 {
+            if a0 >= a1 || b0 >= b1 || a1 > d || b1 > d {
+                return Err(UdfError::InvalidArgument {
+                    udf: NAME.into(),
+                    message: format!("invalid ranges {a0}..{a1} x {b0}..{b1} for d={d}"),
+                });
+            }
+            if a1 - a0 > MAX_D || b1 - b0 > MAX_D {
+                return Err(UdfError::InvalidArgument {
+                    udf: NAME.into(),
+                    message: format!("block wider than MAX_D={MAX_D}"),
+                });
+            }
+            self.d = d;
+            self.a0 = a0;
+            self.a1 = a1;
+            self.b0 = b0;
+            self.b1 = b1;
+        } else if (self.d, self.a0, self.a1, self.b0, self.b1) != (d, a0, a1, b0, b1) {
+            return Err(UdfError::InvalidArgument {
+                udf: NAME.into(),
+                message: "block ranges changed mid-aggregation".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl AggregateState for BlockState {
+    fn accumulate(&mut self, args: &[Value]) -> Result<()> {
+        const NAME: &str = "nlq_block";
+        if args.len() != 7 {
+            return Err(UdfError::WrongArity {
+                udf: NAME.into(),
+                expected: "7 (d, a0, a1, b0, b1, packed a-segment, packed b-segment)".into(),
+                got: args.len(),
+            });
+        }
+        let d = usize_arg(NAME, args, 0)?;
+        let a0 = usize_arg(NAME, args, 1)?;
+        let a1 = usize_arg(NAME, args, 2)?;
+        let b0 = usize_arg(NAME, args, 3)?;
+        let b1 = usize_arg(NAME, args, 4)?;
+        self.bind_ranges(d, a0, a1, b0, b1)?;
+        let unpack_segment = |arg: &Value, what: &str, expect: usize| -> Result<Option<Vec<f64>>> {
+            let packed = match arg {
+                Value::Null => return Ok(None),
+                Value::Str(s) => s,
+                other => {
+                    return Err(UdfError::InvalidArgument {
+                        udf: NAME.into(),
+                        message: format!("expected packed {what} segment, got {other:?}"),
+                    })
+                }
+            };
+            let seg = unpack_vector(packed)?;
+            if seg.len() != expect {
+                return Err(UdfError::InvalidArgument {
+                    udf: NAME.into(),
+                    message: format!("{what} segment has {} values, expected {expect}", seg.len()),
+                });
+            }
+            Ok(Some(seg))
+        };
+        let Some(xa) = unpack_segment(&args[5], "a", a1 - a0)? else {
+            return Ok(()); // NULL row is skipped
+        };
+        let Some(xb) = unpack_segment(&args[6], "b", b1 - b0)? else {
+            return Ok(());
+        };
+        self.n += 1.0;
+        if self.a0 == self.b0 {
+            for (i, &v) in xa.iter().enumerate() {
+                self.l[i] += v;
+            }
+        }
+        for (i, &va) in xa.iter().enumerate() {
+            let row = &mut self.q[i];
+            for (j, &vb) in xb.iter().enumerate() {
+                row[j] += va * vb;
+            }
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &dyn AggregateState) -> Result<()> {
+        const NAME: &str = "nlq_block";
+        let other = other
+            .as_any()
+            .downcast_ref::<BlockState>()
+            .ok_or_else(|| UdfError::MergeMismatch {
+                udf: NAME.into(),
+                message: "partial state has a different type".into(),
+            })?;
+        if other.d == 0 {
+            return Ok(());
+        }
+        if self.d == 0 {
+            self.bind_ranges(other.d, other.a0, other.a1, other.b0, other.b1)?;
+        }
+        if (self.d, self.a0, self.a1, self.b0, self.b1)
+            != (other.d, other.a0, other.a1, other.b0, other.b1)
+        {
+            return Err(UdfError::MergeMismatch {
+                udf: NAME.into(),
+                message: "block ranges differ between partials".into(),
+            });
+        }
+        self.n += other.n;
+        for i in 0..(self.a1 - self.a0) {
+            self.l[i] += other.l[i];
+            for j in 0..(self.b1 - self.b0) {
+                self.q[i][j] += other.q[i][j];
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(self: Box<Self>) -> Result<Value> {
+        if self.d == 0 {
+            return Ok(Value::Null);
+        }
+        let rows = self.a1 - self.a0;
+        let cols = self.b1 - self.b0;
+        let mut q = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            q.extend_from_slice(&self.q[i][..cols]);
+        }
+        let l = if self.a0 == self.b0 { self.l[..rows].to_vec() } else { Vec::new() };
+        Ok(Value::Str(pack_block(&NlqBlock {
+            d: self.d,
+            a0: self.a0,
+            a1: self.a1,
+            b0: self.b0,
+            b1: self.b1,
+            n: self.n,
+            l,
+            q,
+        })))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<BlockState>() + std::mem::size_of::<[[f64; MAX_D]; MAX_D]>()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::check_heap;
+    use crate::pack::{assemble_blocks, pack_vector, unpack_block, unpack_nlq};
+
+    fn rows(n: usize, d: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..d).map(|a| ((i * d + a) % 17) as f64 - 8.0).collect())
+            .collect()
+    }
+
+    fn run_list(rows: &[Vec<f64>], shape: &str) -> Value {
+        let udf = NlqUdf::new(ParamStyle::List);
+        let mut state = udf.init();
+        let d = rows[0].len();
+        for r in rows {
+            let mut args = vec![Value::Int(d as i64), Value::from(shape)];
+            args.extend(r.iter().map(|&v| Value::Float(v)));
+            state.accumulate(&args).unwrap();
+        }
+        state.finalize().unwrap()
+    }
+
+    fn run_str(rows: &[Vec<f64>], shape: &str) -> Value {
+        let udf = NlqUdf::new(ParamStyle::String);
+        let mut state = udf.init();
+        for r in rows {
+            state
+                .accumulate(&[Value::from(shape), Value::Str(pack_vector(r))])
+                .unwrap();
+        }
+        state.finalize().unwrap()
+    }
+
+    #[test]
+    fn list_style_matches_reference() {
+        let data = rows(100, 4);
+        let out = run_list(&data, "triang");
+        let got = unpack_nlq(out.as_str().unwrap()).unwrap();
+        let expect = Nlq::from_rows(4, MatrixShape::Triangular, &data);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn string_style_matches_list_style() {
+        let data = rows(50, 6);
+        for shape in ["diag", "triang", "full"] {
+            let a = run_list(&data, shape);
+            let b = run_str(&data, shape);
+            let na = unpack_nlq(a.as_str().unwrap()).unwrap();
+            let nb = unpack_nlq(b.as_str().unwrap()).unwrap();
+            assert_eq!(na.n(), nb.n());
+            assert_eq!(na.l(), nb.l());
+            assert_eq!(na.q_raw(), nb.q_raw(), "shape {shape}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_matches_serial() {
+        let data = rows(100, 5);
+        let udf = NlqUdf::new(ParamStyle::List);
+        // Two workers over halves, merged.
+        let mut s1 = udf.init();
+        let mut s2 = udf.init();
+        for (i, r) in data.iter().enumerate() {
+            let mut args = vec![Value::Int(5), Value::from("full")];
+            args.extend(r.iter().map(|&v| Value::Float(v)));
+            if i % 2 == 0 {
+                s1.accumulate(&args).unwrap();
+            } else {
+                s2.accumulate(&args).unwrap();
+            }
+        }
+        s1.merge(s2.as_ref()).unwrap();
+        let merged = unpack_nlq(s1.finalize().unwrap().as_str().unwrap()).unwrap();
+        let serial = unpack_nlq(run_list(&data, "full").as_str().unwrap()).unwrap();
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn merge_with_empty_partial_works_both_ways() {
+        let data = rows(10, 3);
+        let udf = NlqUdf::new(ParamStyle::List);
+        // Non-empty merged into empty.
+        let mut empty = udf.init();
+        let mut full = udf.init();
+        for r in &data {
+            let mut args = vec![Value::Int(3), Value::from("triang")];
+            args.extend(r.iter().map(|&v| Value::Float(v)));
+            full.accumulate(&args).unwrap();
+        }
+        empty.merge(full.as_ref()).unwrap();
+        let a = unpack_nlq(empty.finalize().unwrap().as_str().unwrap()).unwrap();
+        assert_eq!(a.n(), 10.0);
+        // Empty merged into non-empty.
+        let mut full2 = udf.init();
+        for r in &data {
+            let mut args = vec![Value::Int(3), Value::from("triang")];
+            args.extend(r.iter().map(|&v| Value::Float(v)));
+            full2.accumulate(&args).unwrap();
+        }
+        let empty2 = udf.init();
+        full2.merge(empty2.as_ref()).unwrap();
+        let b = unpack_nlq(full2.finalize().unwrap().as_str().unwrap()).unwrap();
+        assert_eq!(b.n(), 10.0);
+    }
+
+    #[test]
+    fn null_rows_are_skipped() {
+        let udf = NlqUdf::new(ParamStyle::List);
+        let mut state = udf.init();
+        state
+            .accumulate(&[Value::Int(2), Value::from("diag"), Value::Float(1.0), Value::Float(2.0)])
+            .unwrap();
+        state
+            .accumulate(&[Value::Int(2), Value::from("diag"), Value::Null, Value::Float(9.0)])
+            .unwrap();
+        let out = unpack_nlq(state.finalize().unwrap().as_str().unwrap()).unwrap();
+        assert_eq!(out.n(), 1.0);
+        assert_eq!(out.l().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_aggregate_returns_null() {
+        let udf = NlqUdf::new(ParamStyle::String);
+        assert_eq!(udf.init().finalize().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn d_above_max_is_rejected() {
+        let udf = NlqUdf::new(ParamStyle::List);
+        let mut state = udf.init();
+        let mut args = vec![Value::Int((MAX_D + 1) as i64), Value::from("diag")];
+        args.extend((0..=MAX_D).map(|_| Value::Float(0.0)));
+        assert!(matches!(
+            state.accumulate(&args),
+            Err(UdfError::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn state_fits_heap_limit() {
+        let udf = NlqUdf::new(ParamStyle::List);
+        let state = udf.init();
+        check_heap("nlq_list", state.as_ref()).unwrap();
+        assert!(state.heap_bytes() <= crate::UDF_HEAP_LIMIT);
+        // And it genuinely is a ~34 KB struct, as the paper computes.
+        assert!(state.heap_bytes() > 30 * 1024);
+    }
+
+    #[test]
+    fn changing_d_mid_stream_is_rejected() {
+        let udf = NlqUdf::new(ParamStyle::String);
+        let mut state = udf.init();
+        state
+            .accumulate(&[Value::from("diag"), Value::Str("1,2".into())])
+            .unwrap();
+        assert!(state
+            .accumulate(&[Value::from("diag"), Value::Str("1,2,3".into())])
+            .is_err());
+    }
+
+    #[test]
+    fn blocked_calls_cover_high_d() {
+        // d = 6 with 3x3 blocks of width 2 (here MAX_D is plenty; the
+        // mechanism is what's under test).
+        let d = 6;
+        let data = rows(40, d);
+        let udf = NlqBlockUdf;
+        let mut blocks = Vec::new();
+        for a0 in (0..d).step_by(2) {
+            for b0 in (0..d).step_by(2) {
+                let mut state = udf.init();
+                for r in &data {
+                    state
+                        .accumulate(&[
+                            Value::Int(d as i64),
+                            Value::Int(a0 as i64),
+                            Value::Int((a0 + 2) as i64),
+                            Value::Int(b0 as i64),
+                            Value::Int((b0 + 2) as i64),
+                            Value::Str(pack_vector(&r[a0..a0 + 2])),
+                            Value::Str(pack_vector(&r[b0..b0 + 2])),
+                        ])
+                        .unwrap();
+                }
+                let out = state.finalize().unwrap();
+                blocks.push(unpack_block(out.as_str().unwrap()).unwrap());
+            }
+        }
+        let assembled = assemble_blocks(d, &blocks).unwrap();
+        let direct = Nlq::from_rows(d, MatrixShape::Full, &data);
+        assert_eq!(assembled.n(), direct.n());
+        assert_eq!(assembled.l(), direct.l());
+        assert_eq!(assembled.q_raw(), direct.q_raw());
+    }
+
+    #[test]
+    fn blocked_merge_matches_single_worker() {
+        let d = 4;
+        let data = rows(30, d);
+        let udf = NlqBlockUdf;
+        let args_for = |r: &Vec<f64>| {
+            vec![
+                Value::Int(d as i64),
+                Value::Int(0),
+                Value::Int(2),
+                Value::Int(2),
+                Value::Int(4),
+                Value::Str(pack_vector(&r[0..2])),
+                Value::Str(pack_vector(&r[2..4])),
+            ]
+        };
+        let mut s1 = udf.init();
+        let mut s2 = udf.init();
+        for (i, r) in data.iter().enumerate() {
+            if i < 15 {
+                s1.accumulate(&args_for(r)).unwrap();
+            } else {
+                s2.accumulate(&args_for(r)).unwrap();
+            }
+        }
+        s1.merge(s2.as_ref()).unwrap();
+        let merged = unpack_block(s1.finalize().unwrap().as_str().unwrap()).unwrap();
+
+        let mut serial = udf.init();
+        for r in &data {
+            serial.accumulate(&args_for(r)).unwrap();
+        }
+        let single = unpack_block(serial.finalize().unwrap().as_str().unwrap()).unwrap();
+        assert_eq!(merged, single);
+        // Off-diagonal block carries no L segment.
+        assert!(merged.l.is_empty());
+    }
+
+    #[test]
+    fn block_rejects_bad_ranges() {
+        let udf = NlqBlockUdf;
+        let mut state = udf.init();
+        let bad = vec![
+            Value::Int(4),
+            Value::Int(2),
+            Value::Int(2), // empty range
+            Value::Int(0),
+            Value::Int(2),
+            Value::Str("".into()),
+            Value::Str("1,2".into()),
+        ];
+        assert!(state.accumulate(&bad).is_err());
+    }
+}

@@ -1,0 +1,486 @@
+//! String packing for UDF parameters and results.
+//!
+//! Teradata UDFs can neither take arrays as parameters nor return
+//! them (§2.2), so the paper works around both directions with long
+//! strings:
+//!
+//! * **Input**: the string parameter-passing style packs a point
+//!   `x_i` into one comma-separated string per row ([`pack_vector`]);
+//!   the UDF unpacks it ([`unpack_vector`]) at `O(d)` cost plus the
+//!   float↔text conversion overhead the paper measures in Figure 3.
+//! * **Output**: the aggregate UDF "packs n, L, Q as a string and
+//!   returns it" ([`pack_nlq`] / [`unpack_nlq`], and the blocked
+//!   variants for Table 6's high-d computation).
+
+use nlq_linalg::{Matrix, Vector};
+use nlq_models::{MatrixShape, Nlq};
+
+use crate::{Result, UdfError};
+
+/// Packs a vector as a comma-separated string — the per-row cost of
+/// the string parameter style (floats are formatted to text).
+pub fn pack_vector(xs: &[f64]) -> String {
+    let mut s = String::with_capacity(xs.len() * 8);
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        // Shortest round-trippable representation.
+        s.push_str(&format!("{x}"));
+    }
+    s
+}
+
+/// Unpacks a comma-separated vector — the in-UDF cost of the string
+/// parameter style (text is parsed back to floats).
+pub fn unpack_vector(s: &str) -> Result<Vec<f64>> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|tok| {
+            tok.parse::<f64>()
+                .map_err(|_| UdfError::MalformedPackedValue(format!("bad float {tok:?}")))
+        })
+        .collect()
+}
+
+/// Number of stored `Q` entries for a shape at dimensionality `d`
+/// (diagonal: `d`; triangular: `d(d+1)/2` lower entries; full: `d²`).
+fn q_len(shape: MatrixShape, d: usize) -> usize {
+    shape.ops_per_point(d)
+}
+
+/// Serializes the stored `Q` entries in a canonical order.
+fn pack_q(shape: MatrixShape, q: &Matrix) -> String {
+    let d = q.rows();
+    let mut vals = Vec::with_capacity(q_len(shape, d));
+    match shape {
+        MatrixShape::Diagonal => {
+            for a in 0..d {
+                vals.push(q[(a, a)]);
+            }
+        }
+        MatrixShape::Triangular => {
+            for a in 0..d {
+                for b in 0..=a {
+                    vals.push(q[(a, b)]);
+                }
+            }
+        }
+        MatrixShape::Full => {
+            for a in 0..d {
+                for b in 0..d {
+                    vals.push(q[(a, b)]);
+                }
+            }
+        }
+    }
+    pack_vector(&vals)
+}
+
+fn unpack_q(shape: MatrixShape, d: usize, s: &str) -> Result<Matrix> {
+    let vals = unpack_vector(s)?;
+    if vals.len() != q_len(shape, d) {
+        return Err(UdfError::MalformedPackedValue(format!(
+            "Q has {} entries, expected {} for shape {} at d={d}",
+            vals.len(),
+            q_len(shape, d),
+            shape.name()
+        )));
+    }
+    let mut q = Matrix::zeros(d, d);
+    let mut it = vals.into_iter();
+    match shape {
+        MatrixShape::Diagonal => {
+            for a in 0..d {
+                q[(a, a)] = it.next().expect("length checked");
+            }
+        }
+        MatrixShape::Triangular => {
+            for a in 0..d {
+                for b in 0..=a {
+                    q[(a, b)] = it.next().expect("length checked");
+                }
+            }
+        }
+        MatrixShape::Full => {
+            for a in 0..d {
+                for b in 0..d {
+                    q[(a, b)] = it.next().expect("length checked");
+                }
+            }
+        }
+    }
+    Ok(q)
+}
+
+/// Packs full `n, L, Q` statistics (plus min/max) into the single
+/// string the aggregate UDF returns.
+pub fn pack_nlq(nlq: &Nlq) -> String {
+    format!(
+        "NLQ;d={};shape={};n={};L={};Q={};MIN={};MAX={}",
+        nlq.d(),
+        nlq.shape().name(),
+        nlq.n(),
+        pack_vector(nlq.l().as_slice()),
+        pack_q(nlq.shape(), nlq.q_raw()),
+        pack_vector(nlq.min()),
+        pack_vector(nlq.max()),
+    )
+}
+
+/// Parses a string produced by [`pack_nlq`].
+pub fn unpack_nlq(s: &str) -> Result<Nlq> {
+    let mut d: Option<usize> = None;
+    let mut shape: Option<MatrixShape> = None;
+    let mut n: Option<f64> = None;
+    let mut l: Option<Vec<f64>> = None;
+    let mut q_str: Option<&str> = None;
+    let mut min: Option<Vec<f64>> = None;
+    let mut max: Option<Vec<f64>> = None;
+
+    let mut parts = s.split(';');
+    if parts.next() != Some("NLQ") {
+        return Err(UdfError::MalformedPackedValue("missing NLQ header".into()));
+    }
+    for part in parts {
+        let (key, val) = part
+            .split_once('=')
+            .ok_or_else(|| UdfError::MalformedPackedValue(format!("bad field {part:?}")))?;
+        match key {
+            "d" => {
+                d = Some(val.parse().map_err(|_| {
+                    UdfError::MalformedPackedValue(format!("bad d {val:?}"))
+                })?)
+            }
+            "shape" => {
+                shape = Some(MatrixShape::parse(val).ok_or_else(|| {
+                    UdfError::MalformedPackedValue(format!("bad shape {val:?}"))
+                })?)
+            }
+            "n" => {
+                n = Some(val.parse().map_err(|_| {
+                    UdfError::MalformedPackedValue(format!("bad n {val:?}"))
+                })?)
+            }
+            "L" => l = Some(unpack_vector(val)?),
+            "Q" => q_str = Some(val),
+            "MIN" => min = Some(unpack_vector(val)?),
+            "MAX" => max = Some(unpack_vector(val)?),
+            other => {
+                return Err(UdfError::MalformedPackedValue(format!(
+                    "unknown field {other:?}"
+                )))
+            }
+        }
+    }
+
+    let d = d.ok_or_else(|| UdfError::MalformedPackedValue("missing d".into()))?;
+    let shape = shape.ok_or_else(|| UdfError::MalformedPackedValue("missing shape".into()))?;
+    let n = n.ok_or_else(|| UdfError::MalformedPackedValue("missing n".into()))?;
+    let l = l.ok_or_else(|| UdfError::MalformedPackedValue("missing L".into()))?;
+    let q = unpack_q(
+        shape,
+        d,
+        q_str.ok_or_else(|| UdfError::MalformedPackedValue("missing Q".into()))?,
+    )?;
+    let min = min.ok_or_else(|| UdfError::MalformedPackedValue("missing MIN".into()))?;
+    let max = max.ok_or_else(|| UdfError::MalformedPackedValue("missing MAX".into()))?;
+    if l.len() != d || min.len() != d || max.len() != d {
+        return Err(UdfError::MalformedPackedValue(format!(
+            "vector lengths disagree with d={d}"
+        )));
+    }
+
+    Nlq::from_parts(shape, n, Vector::from_vec(l), q, min, max)
+        .map_err(|e| UdfError::MalformedPackedValue(e.to_string()))
+}
+
+/// A partial result of the blocked high-d computation (Table 6): one
+/// UDF call's `Q` block for subscript ranges `a0..a1` × `b0..b1`, plus
+/// the `L` segment for `a0..a1` when the block sits on the diagonal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NlqBlock {
+    /// Full dimensionality of the data set.
+    pub d: usize,
+    /// Start of the row-subscript range (half open).
+    pub a0: usize,
+    /// End of the row-subscript range (half open).
+    pub a1: usize,
+    /// Start of the column-subscript range (half open).
+    pub b0: usize,
+    /// End of the column-subscript range (half open).
+    pub b1: usize,
+    /// Row count.
+    pub n: f64,
+    /// `L[a0..a1]`, populated only for diagonal blocks (`a0 == b0`).
+    pub l: Vec<f64>,
+    /// The `(a1-a0) × (b1-b0)` block of `Q`, row major.
+    pub q: Vec<f64>,
+}
+
+/// Packs one blocked partial result.
+pub fn pack_block(block: &NlqBlock) -> String {
+    format!(
+        "NLQBLOCK;d={};a0={};a1={};b0={};b1={};n={};L={};Q={}",
+        block.d,
+        block.a0,
+        block.a1,
+        block.b0,
+        block.b1,
+        block.n,
+        pack_vector(&block.l),
+        pack_vector(&block.q),
+    )
+}
+
+/// Parses a string produced by [`pack_block`].
+pub fn unpack_block(s: &str) -> Result<NlqBlock> {
+    let mut parts = s.split(';');
+    if parts.next() != Some("NLQBLOCK") {
+        return Err(UdfError::MalformedPackedValue("missing NLQBLOCK header".into()));
+    }
+    let mut fields = std::collections::HashMap::new();
+    for part in parts {
+        let (key, val) = part
+            .split_once('=')
+            .ok_or_else(|| UdfError::MalformedPackedValue(format!("bad field {part:?}")))?;
+        fields.insert(key, val);
+    }
+    let get_usize = |k: &str| -> Result<usize> {
+        fields
+            .get(k)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| UdfError::MalformedPackedValue(format!("missing/bad {k}")))
+    };
+    let block = NlqBlock {
+        d: get_usize("d")?,
+        a0: get_usize("a0")?,
+        a1: get_usize("a1")?,
+        b0: get_usize("b0")?,
+        b1: get_usize("b1")?,
+        n: fields
+            .get("n")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| UdfError::MalformedPackedValue("missing/bad n".into()))?,
+        l: unpack_vector(
+            fields
+                .get("L")
+                .ok_or_else(|| UdfError::MalformedPackedValue("missing L".into()))?,
+        )?,
+        q: unpack_vector(
+            fields
+                .get("Q")
+                .ok_or_else(|| UdfError::MalformedPackedValue("missing Q".into()))?,
+        )?,
+    };
+    let expect_q = (block.a1 - block.a0) * (block.b1 - block.b0);
+    if block.q.len() != expect_q {
+        return Err(UdfError::MalformedPackedValue(format!(
+            "Q block has {} entries, expected {expect_q}",
+            block.q.len()
+        )));
+    }
+    Ok(block)
+}
+
+/// Assembles blocked partial results into a complete full-shape
+/// [`Nlq`] (the client-side step of Table 6's divide-and-conquer:
+/// "matrices can be partitioned by row/column ranges").
+///
+/// Blocks must jointly cover `L[0..d]` (via diagonal blocks) and every
+/// `Q` entry exactly once; min/max are not tracked by the blocked path
+/// and are set to infinities.
+pub fn assemble_blocks(d: usize, blocks: &[NlqBlock]) -> Result<Nlq> {
+    if blocks.is_empty() {
+        return Err(UdfError::MalformedPackedValue("no blocks to assemble".into()));
+    }
+    let n = blocks[0].n;
+    let mut l = vec![f64::NAN; d];
+    let mut q = Matrix::zeros(d, d);
+    let mut covered = vec![false; d * d];
+    for b in blocks {
+        if b.d != d {
+            return Err(UdfError::MergeMismatch {
+                udf: "nlq_block".into(),
+                message: format!("block d={} != {d}", b.d),
+            });
+        }
+        if (b.n - n).abs() > 1e-9 * (1.0 + n.abs()) {
+            return Err(UdfError::MergeMismatch {
+                udf: "nlq_block".into(),
+                message: format!("block n={} != {n}", b.n),
+            });
+        }
+        if b.a1 > d || b.b1 > d || b.a0 >= b.a1 || b.b0 >= b.b1 {
+            return Err(UdfError::MalformedPackedValue(format!(
+                "invalid block ranges {}..{} x {}..{}",
+                b.a0, b.a1, b.b0, b.b1
+            )));
+        }
+        if !b.l.is_empty() {
+            if b.l.len() != b.a1 - b.a0 {
+                return Err(UdfError::MalformedPackedValue(
+                    "L segment length mismatch".into(),
+                ));
+            }
+            l[b.a0..b.a1].copy_from_slice(&b.l);
+        }
+        let width = b.b1 - b.b0;
+        for (i, a) in (b.a0..b.a1).enumerate() {
+            for (j, c) in (b.b0..b.b1).enumerate() {
+                if covered[a * d + c] {
+                    return Err(UdfError::MergeMismatch {
+                        udf: "nlq_block".into(),
+                        message: format!("Q[{a}][{c}] covered twice"),
+                    });
+                }
+                covered[a * d + c] = true;
+                q[(a, c)] = b.q[i * width + j];
+            }
+        }
+    }
+    if l.iter().any(|v| v.is_nan()) {
+        return Err(UdfError::MalformedPackedValue(
+            "L not fully covered by diagonal blocks".into(),
+        ));
+    }
+    if covered.iter().any(|&c| !c) {
+        return Err(UdfError::MalformedPackedValue(
+            "Q not fully covered by blocks".into(),
+        ));
+    }
+    Nlq::from_parts(
+        MatrixShape::Full,
+        n,
+        Vector::from_vec(l),
+        q,
+        vec![f64::NEG_INFINITY; d],
+        vec![f64::INFINITY; d],
+    )
+    .map_err(|e| UdfError::MalformedPackedValue(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_roundtrip() {
+        let xs = vec![1.5, -2.25, 0.0, 1e300, 1e-300, f64::MAX];
+        assert_eq!(unpack_vector(&pack_vector(&xs)).unwrap(), xs);
+        assert_eq!(unpack_vector("").unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn vector_rejects_garbage() {
+        assert!(unpack_vector("1.0,abc").is_err());
+        assert!(unpack_vector(",").is_err());
+    }
+
+    fn sample_nlq(shape: MatrixShape) -> Nlq {
+        let rows = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.5],
+        ];
+        Nlq::from_rows(3, shape, &rows)
+    }
+
+    #[test]
+    fn nlq_roundtrip_all_shapes() {
+        for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
+            let nlq = sample_nlq(shape);
+            let packed = pack_nlq(&nlq);
+            let back = unpack_nlq(&packed).unwrap();
+            assert_eq!(back, nlq, "shape {}", shape.name());
+        }
+    }
+
+    #[test]
+    fn nlq_unpack_rejects_malformed() {
+        assert!(unpack_nlq("garbage").is_err());
+        assert!(unpack_nlq("NLQ;d=2").is_err()); // missing fields
+        let good = pack_nlq(&sample_nlq(MatrixShape::Triangular));
+        let bad = good.replace("d=3", "d=4"); // wrong lengths
+        assert!(unpack_nlq(&bad).is_err());
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let block = NlqBlock {
+            d: 8,
+            a0: 0,
+            a1: 4,
+            b0: 4,
+            b1: 8,
+            n: 100.0,
+            l: vec![],
+            q: (0..16).map(|i| i as f64).collect(),
+        };
+        assert_eq!(unpack_block(&pack_block(&block)).unwrap(), block);
+    }
+
+    #[test]
+    fn assemble_2x2_blocking_matches_direct() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| (0..4).map(|a| (i * 4 + a) as f64 * 0.5).collect())
+            .collect();
+        let direct = Nlq::from_rows(4, MatrixShape::Full, &rows);
+
+        // Build four 2x2 blocks by hand.
+        let mut blocks = Vec::new();
+        for (a0, a1) in [(0, 2), (2, 4)] {
+            for (b0, b1) in [(0, 2), (2, 4)] {
+                let mut q = vec![0.0; (a1 - a0) * (b1 - b0)];
+                let mut l = if a0 == b0 { vec![0.0; a1 - a0] } else { vec![] };
+                for r in &rows {
+                    for (i, a) in (a0..a1).enumerate() {
+                        if a0 == b0 {
+                            // Only accumulate L once per diagonal block row.
+                        }
+                        for (j, b) in (b0..b1).enumerate() {
+                            q[i * (b1 - b0) + j] += r[a] * r[b];
+                        }
+                    }
+                    if a0 == b0 {
+                        for (i, a) in (a0..a1).enumerate() {
+                            l[i] += r[a];
+                        }
+                    }
+                }
+                blocks.push(NlqBlock { d: 4, a0, a1, b0, b1, n: 20.0, l, q });
+            }
+        }
+        let assembled = assemble_blocks(4, &blocks).unwrap();
+        assert_eq!(assembled.n(), direct.n());
+        assert_eq!(assembled.l(), direct.l());
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(
+                    (assembled.q_raw()[(a, b)] - direct.q_raw()[(a, b)]).abs() < 1e-9,
+                    "Q[{a}][{b}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_detects_gaps_and_overlaps() {
+        let block = NlqBlock {
+            d: 4,
+            a0: 0,
+            a1: 2,
+            b0: 0,
+            b1: 2,
+            n: 5.0,
+            l: vec![1.0, 2.0],
+            q: vec![0.0; 4],
+        };
+        // Gap: only one block of four.
+        assert!(assemble_blocks(4, std::slice::from_ref(&block)).is_err());
+        // Overlap: the same block twice.
+        assert!(assemble_blocks(4, &[block.clone(), block]).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::nlq_udf::{NlqBlockUdf, NlqUdf, ParamStyle};
+use crate::scoring_udfs::{ClusterScoreUdf, DistanceUdf, FaScoreUdf, LinearRegScoreUdf};
+use crate::{AggregateUdf, ScalarUdf};
+
+/// Name-indexed registry of scalar and aggregate UDFs, playing the
+/// role of the DBMS function catalog. Lookup is case-insensitive, as
+/// SQL identifiers are.
+#[derive(Clone, Default)]
+pub struct UdfRegistry {
+    scalars: HashMap<String, Arc<dyn ScalarUdf>>,
+    aggregates: HashMap<String, Arc<dyn AggregateUdf>>,
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        UdfRegistry::default()
+    }
+
+    /// A registry pre-loaded with every UDF from the paper:
+    /// `nlq_list`, `nlq_str`, `nlq_block` (aggregates) and
+    /// `linearregscore`, `fascore`, `distance`, `clusterscore`
+    /// (scalars).
+    pub fn with_builtins() -> Self {
+        let mut r = UdfRegistry::new();
+        r.register_aggregate(Arc::new(NlqUdf::new(ParamStyle::List)));
+        r.register_aggregate(Arc::new(NlqUdf::new(ParamStyle::String)));
+        r.register_aggregate(Arc::new(NlqBlockUdf));
+        r.register_scalar(Arc::new(LinearRegScoreUdf));
+        r.register_scalar(Arc::new(FaScoreUdf));
+        r.register_scalar(Arc::new(DistanceUdf));
+        r.register_scalar(Arc::new(ClusterScoreUdf));
+        r
+    }
+
+    /// Registers (or replaces) a scalar UDF.
+    pub fn register_scalar(&mut self, udf: Arc<dyn ScalarUdf>) {
+        self.scalars.insert(udf.name().to_ascii_lowercase(), udf);
+    }
+
+    /// Registers (or replaces) an aggregate UDF.
+    pub fn register_aggregate(&mut self, udf: Arc<dyn AggregateUdf>) {
+        self.aggregates.insert(udf.name().to_ascii_lowercase(), udf);
+    }
+
+    /// Looks up a scalar UDF by name.
+    pub fn scalar(&self, name: &str) -> Option<&Arc<dyn ScalarUdf>> {
+        self.scalars.get(&name.to_ascii_lowercase())
+    }
+
+    /// Looks up an aggregate UDF by name.
+    pub fn aggregate(&self, name: &str) -> Option<&Arc<dyn AggregateUdf>> {
+        self.aggregates.get(&name.to_ascii_lowercase())
+    }
+
+    /// Whether any UDF (scalar or aggregate) has this name.
+    pub fn contains(&self, name: &str) -> bool {
+        let key = name.to_ascii_lowercase();
+        self.scalars.contains_key(&key) || self.aggregates.contains_key(&key)
+    }
+
+    /// Names of all registered scalar UDFs.
+    pub fn scalar_names(&self) -> Vec<&str> {
+        self.scalars.keys().map(String::as_str).collect()
+    }
+
+    /// Names of all registered aggregate UDFs.
+    pub fn aggregate_names(&self) -> Vec<&str> {
+        self.aggregates.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlq_storage::Value;
+
+    #[test]
+    fn builtins_are_present() {
+        let r = UdfRegistry::with_builtins();
+        for name in ["nlq_list", "nlq_str", "nlq_block"] {
+            assert!(r.aggregate(name).is_some(), "{name}");
+        }
+        for name in ["linearregscore", "fascore", "distance", "clusterscore"] {
+            assert!(r.scalar(name).is_some(), "{name}");
+        }
+        assert!(r.scalar("nope").is_none());
+        assert!(r.contains("DISTANCE"));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let r = UdfRegistry::with_builtins();
+        let udf = r.scalar("ClusterScore").unwrap();
+        let out = udf.eval(&[Value::Float(2.0), Value::Float(1.0)]).unwrap();
+        assert_eq!(out, Value::Int(2));
+    }
+
+    #[test]
+    fn empty_registry_has_nothing() {
+        let r = UdfRegistry::new();
+        assert!(r.scalar_names().is_empty());
+        assert!(r.aggregate_names().is_empty());
+    }
+}

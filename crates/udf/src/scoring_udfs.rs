@@ -1,0 +1,213 @@
+use nlq_models::scoring;
+use nlq_storage::Value;
+
+use crate::framework::{float_arg, ScalarUdf};
+use crate::{Result, UdfError};
+
+/// Collects `count` float arguments starting at `from`; `Ok(None)`
+/// signals a NULL input (SQL semantics: the UDF returns NULL).
+fn float_slice(udf: &str, args: &[Value], from: usize, count: usize) -> Result<Option<Vec<f64>>> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        match float_arg(udf, args, from + i)? {
+            Some(v) => out.push(v),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(out))
+}
+
+/// `linearregscore(X1..Xd, β0, β1..βd)` — the regression scoring UDF
+/// (§3.5): returns `ŷ = β₀ + βᵀx`. Arity is `2d + 1`; `d` is inferred.
+///
+/// The paper stores the model as the one-row table `BETA(β1..βd)` and
+/// cross-joins it with `X`, so each row's call receives both the point
+/// and the coefficients.
+pub struct LinearRegScoreUdf;
+
+impl ScalarUdf for LinearRegScoreUdf {
+    fn name(&self) -> &str {
+        "linearregscore"
+    }
+
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        if args.len() < 3 || args.len().is_multiple_of(2) {
+            return Err(UdfError::WrongArity {
+                udf: self.name().into(),
+                expected: "2d + 1 (X1..Xd, b0, b1..bd)".into(),
+                got: args.len(),
+            });
+        }
+        let d = (args.len() - 1) / 2;
+        let Some(x) = float_slice(self.name(), args, 0, d)? else {
+            return Ok(Value::Null);
+        };
+        let Some(b0) = float_arg(self.name(), args, d)? else {
+            return Ok(Value::Null);
+        };
+        let Some(beta) = float_slice(self.name(), args, d + 1, d)? else {
+            return Ok(Value::Null);
+        };
+        Ok(Value::Float(scoring::linear_reg_score(&x, b0, &beta)))
+    }
+}
+
+/// `fascore(X1..Xd, μ1..μd, Λ1j..Λdj)` — the PCA / factor analysis
+/// scoring UDF (§3.5): returns the `j`-th coordinate of the reduced
+/// vector, `Λ_jᵀ (x − μ)`. Arity is `3d`.
+///
+/// "This UDF is called k times in the same SELECT statement with
+/// j = 1..k to obtain x'_i" — one call per component, because UDFs
+/// cannot return vectors.
+pub struct FaScoreUdf;
+
+impl ScalarUdf for FaScoreUdf {
+    fn name(&self) -> &str {
+        "fascore"
+    }
+
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        if args.is_empty() || !args.len().is_multiple_of(3) {
+            return Err(UdfError::WrongArity {
+                udf: self.name().into(),
+                expected: "3d (X1..Xd, mu1..mud, l1..ld)".into(),
+                got: args.len(),
+            });
+        }
+        let d = args.len() / 3;
+        let (Some(x), Some(mu), Some(lam)) = (
+            float_slice(self.name(), args, 0, d)?,
+            float_slice(self.name(), args, d, d)?,
+            float_slice(self.name(), args, 2 * d, d)?,
+        ) else {
+            return Ok(Value::Null);
+        };
+        Ok(Value::Float(scoring::fa_score(&x, &mu, &lam)))
+    }
+}
+
+/// `distance(X1..Xd, C1j..Cdj)` — squared Euclidean distance to one
+/// centroid (§3.5). Arity is `2d`. Called `k` times per row for
+/// clustering scoring.
+pub struct DistanceUdf;
+
+impl ScalarUdf for DistanceUdf {
+    fn name(&self) -> &str {
+        "distance"
+    }
+
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        if args.is_empty() || !args.len().is_multiple_of(2) {
+            return Err(UdfError::WrongArity {
+                udf: self.name().into(),
+                expected: "2d (X1..Xd, C1..Cd)".into(),
+                got: args.len(),
+            });
+        }
+        let d = args.len() / 2;
+        let (Some(x), Some(c)) = (
+            float_slice(self.name(), args, 0, d)?,
+            float_slice(self.name(), args, d, d)?,
+        ) else {
+            return Ok(Value::Null);
+        };
+        Ok(Value::Float(scoring::squared_distance(&x, &c)))
+    }
+}
+
+/// `clusterscore(d1..dk)` — nearest-centroid selection (§3.5): returns
+/// the 1-based subscript `J` such that `d_J ≤ d_j` for all `j`,
+/// matching the paper's `j = 1..k` cluster numbering.
+pub struct ClusterScoreUdf;
+
+impl ScalarUdf for ClusterScoreUdf {
+    fn name(&self) -> &str {
+        "clusterscore"
+    }
+
+    fn eval(&self, args: &[Value]) -> Result<Value> {
+        if args.is_empty() {
+            return Err(UdfError::WrongArity {
+                udf: self.name().into(),
+                expected: "k >= 1 distances".into(),
+                got: 0,
+            });
+        }
+        let Some(dists) = float_slice(self.name(), args, 0, args.len())? else {
+            return Ok(Value::Null);
+        };
+        Ok(Value::Int(scoring::nearest_centroid(&dists) as i64 + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn floats(vals: &[f64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Float(v)).collect()
+    }
+
+    #[test]
+    fn linearregscore_computes_prediction() {
+        // x = (1, 2), b0 = 10, beta = (3, 4) -> 10 + 3 + 8 = 21
+        let udf = LinearRegScoreUdf;
+        let out = udf.eval(&floats(&[1.0, 2.0, 10.0, 3.0, 4.0])).unwrap();
+        assert_eq!(out, Value::Float(21.0));
+    }
+
+    #[test]
+    fn linearregscore_rejects_even_arity() {
+        let udf = LinearRegScoreUdf;
+        assert!(matches!(
+            udf.eval(&floats(&[1.0, 2.0, 3.0, 4.0])),
+            Err(UdfError::WrongArity { .. })
+        ));
+    }
+
+    #[test]
+    fn fascore_projects_centered_point() {
+        // x=(3,4), mu=(1,1), lambda=(0.5,0.25) -> 1.75
+        let udf = FaScoreUdf;
+        let out = udf.eval(&floats(&[3.0, 4.0, 1.0, 1.0, 0.5, 0.25])).unwrap();
+        assert_eq!(out, Value::Float(1.75));
+    }
+
+    #[test]
+    fn distance_is_squared_euclidean() {
+        let udf = DistanceUdf;
+        let out = udf.eval(&floats(&[0.0, 0.0, 3.0, 4.0])).unwrap();
+        assert_eq!(out, Value::Float(25.0));
+    }
+
+    #[test]
+    fn clusterscore_returns_one_based_argmin() {
+        let udf = ClusterScoreUdf;
+        assert_eq!(udf.eval(&floats(&[5.0, 1.0, 3.0])).unwrap(), Value::Int(2));
+        assert_eq!(udf.eval(&floats(&[0.5])).unwrap(), Value::Int(1));
+        // Tie resolves to the lowest subscript, like the paper's <=.
+        assert_eq!(udf.eval(&floats(&[2.0, 2.0])).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn null_inputs_yield_null() {
+        let mut args = floats(&[1.0, 2.0, 10.0, 3.0, 4.0]);
+        args[1] = Value::Null;
+        assert_eq!(LinearRegScoreUdf.eval(&args).unwrap(), Value::Null);
+
+        let mut args = floats(&[0.0, 0.0, 3.0, 4.0]);
+        args[3] = Value::Null;
+        assert_eq!(DistanceUdf.eval(&args).unwrap(), Value::Null);
+
+        assert_eq!(
+            ClusterScoreUdf.eval(&[Value::Float(1.0), Value::Null]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn non_numeric_inputs_error() {
+        let args = vec![Value::from("x"), Value::Float(1.0), Value::Float(1.0)];
+        assert!(LinearRegScoreUdf.eval(&args).is_err());
+    }
+}

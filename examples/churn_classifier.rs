@@ -1,0 +1,116 @@
+//! Classification from in-DBMS sufficient statistics — the paper's
+//! future-work direction (§6) in action.
+//!
+//! A Gaussian Naive Bayes churn model needs only per-class `n, L, Q`
+//! (diagonal), which is exactly what `GROUP BY label` with the
+//! aggregate UDF produces in **one table scan**. No per-row data ever
+//! leaves the DBMS — the paper's citation of Graefe et al. ("efficient
+//! gathering of sufficient statistics for classification from large
+//! SQL databases") completes the same way the four headline models do.
+//!
+//! Run with: `cargo run --release --example churn_classifier`
+
+use nlq::engine::Db;
+use nlq::models::{GaussianNb, MatrixShape};
+use nlq::udf::ParamStyle;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Customers: [monthly_spend, support_calls, tenure_months] with a
+/// churn label. Churners spend less, call support more, and are newer.
+fn customers(n: usize, seed: u64) -> Vec<(Vec<f64>, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let churned = rng.random_range(0.0..1.0) < 0.3;
+            let x = if churned {
+                vec![
+                    rng.random_range(5.0..40.0),
+                    rng.random_range(3.0..10.0),
+                    rng.random_range(1.0..12.0),
+                ]
+            } else {
+                vec![
+                    rng.random_range(30.0..120.0),
+                    rng.random_range(0.0..4.0),
+                    rng.random_range(6.0..60.0),
+                ]
+            };
+            (x, i64::from(churned))
+        })
+        .collect()
+}
+
+fn main() {
+    let db = Db::new(8);
+
+    // Train table: X(i, X1..X3, Y) where Y is the churn label.
+    let train = customers(20_000, 1);
+    let rows: Vec<Vec<f64>> = train
+        .iter()
+        .map(|(x, label)| {
+            let mut r = x.clone();
+            r.push(*label as f64);
+            r
+        })
+        .collect();
+    db.load_points("train", &rows, true).unwrap();
+
+    // ONE scan: per-class sufficient statistics via GROUP BY + UDF.
+    let class_stats = db
+        .compute_nlq_grouped(
+            "train",
+            &["X1", "X2", "X3"],
+            "Y",
+            MatrixShape::Diagonal,
+            ParamStyle::List,
+        )
+        .unwrap();
+    println!("per-class statistics from one GROUP BY scan:");
+    for (label, stats) in &class_stats {
+        let m = stats.mean().unwrap();
+        println!(
+            "  class {label}: {} rows, mean spend ${:.2}, {:.1} support calls",
+            stats.n(),
+            m[0],
+            m[1]
+        );
+    }
+
+    // Build the classifier from the statistics alone.
+    let stats_for_nb: Vec<(i64, nlq::models::Nlq)> = class_stats
+        .iter()
+        .map(|(v, s)| (v.as_f64().unwrap() as i64, s.clone()))
+        .collect();
+    let nb = GaussianNb::from_class_stats(&stats_for_nb, 1e-9).unwrap();
+
+    // Evaluate on a held-out sample.
+    let test = customers(5_000, 2);
+    let mut correct = 0;
+    let mut confusion = [[0usize; 2]; 2];
+    for (x, label) in &test {
+        let pred = *nb.predict(x).unwrap();
+        if pred == *label {
+            correct += 1;
+        }
+        confusion[*label as usize][pred as usize] += 1;
+    }
+    println!(
+        "\ntest accuracy: {:.1}% on {} held-out customers",
+        100.0 * correct as f64 / test.len() as f64,
+        test.len()
+    );
+    println!("confusion matrix (rows = truth, cols = prediction):");
+    println!("             stay   churn");
+    println!("  stay    {:>7} {:>7}", confusion[0][0], confusion[0][1]);
+    println!("  churn   {:>7} {:>7}", confusion[1][0], confusion[1][1]);
+
+    // Posterior probabilities for an individual.
+    let risky = vec![12.0, 7.0, 3.0];
+    let p = nb.posteriors(&risky).unwrap();
+    let churn_idx = nb.classes().iter().position(|c| *c == 1).unwrap();
+    println!(
+        "\ncustomer with spend $12, 7 calls, 3 months tenure: churn probability {:.1}%",
+        p[churn_idx] * 100.0
+    );
+}

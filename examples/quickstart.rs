@@ -1,0 +1,75 @@
+//! Quickstart: the paper's whole workflow in one page.
+//!
+//! 1. Load a data set into the in-memory parallel DBMS.
+//! 2. Compute the summary matrices `n, L, Q` in ONE table scan with
+//!    the aggregate UDF.
+//! 3. Build four statistical models from those matrices alone —
+//!    correlation, linear regression, PCA, clustering — without ever
+//!    rescanning the data.
+//! 4. Score the data set back inside the DBMS with scalar UDFs.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nlq::datagen::{RegressionGenerator, RegressionSpec};
+use nlq::engine::{sqlgen, Db};
+use nlq::models::{
+    CorrelationModel, KMeans, KMeansConfig, LinearRegression, MatrixShape, Pca, PcaInput,
+};
+
+fn main() {
+    // A parallel database with 8 worker threads (the paper's server
+    // ran 20).
+    let db = Db::new(8);
+
+    // Synthetic data with a known linear model:
+    // y = 5 + 1*x1 + 2*x2 + 3*x3 (+ noise).
+    let d = 3;
+    let rows = RegressionGenerator::new(RegressionSpec::defaults(d)).generate_augmented(10_000);
+    db.load_points("X", &rows, true).expect("load X(i, X1..X3, Y)");
+
+    // --- One scan: n, L, Q via the aggregate UDF ------------------------
+    let cols = ["X1", "X2", "X3", "Y"];
+    let nlq = db
+        .compute_nlq("X", &cols, MatrixShape::Triangular)
+        .expect("single-scan summary matrices");
+    println!("one table scan -> n = {}, d = {}", nlq.n(), nlq.d());
+    println!("L = {}", nlq.l());
+
+    // --- Models from the summary matrices only --------------------------
+    let corr = CorrelationModel::fit(&nlq).expect("correlation");
+    println!("\ncorrelation(X3, Y) = {:.4}", corr.coefficient(2, 3));
+
+    let reg = LinearRegression::fit(&nlq).expect("regression");
+    println!(
+        "regression: y = {:.3} + {:.3}*x1 + {:.3}*x2 + {:.3}*x3   (R^2 = {:.4})",
+        reg.intercept(),
+        reg.coefficients()[0],
+        reg.coefficients()[1],
+        reg.coefficients()[2],
+        reg.r_squared()
+    );
+
+    let pca = Pca::fit(&nlq, 2, PcaInput::Correlation).expect("pca");
+    println!(
+        "PCA: 2 components explain {:.1}% of the variance",
+        pca.explained_variance_ratio().iter().sum::<f64>() * 100.0
+    );
+
+    // Clustering still reads the points (K-means needs assignments),
+    // but each iteration uses the same diagonal n, L, Q machinery.
+    let points: Vec<Vec<f64>> = rows.iter().map(|r| r[..d].to_vec()).collect();
+    let km = KMeans::fit(&points, &KMeansConfig::new(4)).expect("kmeans");
+    println!("k-means: {} clusters, within-cluster SSE = {:.1}", km.k(), km.sse());
+
+    // --- Scoring back inside the DBMS, one scan, via scalar UDFs --------
+    db.register_beta("BETA", reg.intercept(), reg.coefficients()).expect("store model");
+    let x_cols = sqlgen::x_cols(d);
+    let scored = db
+        .execute(&sqlgen::score_regression_udf("X", &x_cols, "BETA"))
+        .expect("score with linearregscore UDF");
+    let (i, yhat) = (
+        scored.value(0, 0).as_i64().unwrap(),
+        scored.f64(0, 1).unwrap(),
+    );
+    println!("\nscored {} rows in one scan; e.g. point {i}: y_hat = {yhat:.2}", scored.len());
+}

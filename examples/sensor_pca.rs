@@ -1,0 +1,113 @@
+//! Dimensionality reduction of correlated sensor readings with PCA
+//! and maximum-likelihood factor analysis.
+//!
+//! A plant has 12 sensors but only 2 underlying physical processes
+//! (temperature drift and load), so readings are highly redundant.
+//! The paper's pipeline compresses them inside the DBMS:
+//!
+//! 1. one scan computes `n, L, Q`;
+//! 2. PCA / factor analysis run on the derived correlation matrix
+//!    outside the DBMS (`O(d³)`, independent of n);
+//! 3. the reduction matrix `Λ` is stored back as table
+//!    `LAMBDA(j, X1..Xd)` and every reading is reduced to k = 2
+//!    coordinates in a single scan of `fascore` calls.
+//!
+//! Run with: `cargo run --release --example sensor_pca`
+
+use nlq::engine::{sqlgen, Db};
+use nlq::models::{FactorAnalysis, FactorAnalysisConfig, MatrixShape, Pca, PcaInput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Two latent processes drive 12 sensors with fixed mixing weights
+/// plus small independent noise.
+fn sensor_readings(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = 12;
+    // Mixing matrix: sensors 0-5 mostly follow process 1, 6-11
+    // mostly process 2, with bleed-through.
+    let mix: Vec<(f64, f64)> = (0..d)
+        .map(|s| {
+            if s < 6 {
+                (1.0 + 0.1 * s as f64, 0.2)
+            } else {
+                (0.15, 0.8 + 0.07 * s as f64)
+            }
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let temp = rng.random_range(-3.0..3.0);
+            let load = rng.random_range(-2.0..2.0);
+            mix.iter()
+                .map(|(a, b)| 20.0 + a * temp + b * load + rng.random_range(-0.1..0.1))
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let db = Db::new(8);
+    let d = 12;
+    let rows = sensor_readings(20_000, 42);
+    db.load_points("X", &rows, false).unwrap();
+    let names = sqlgen::x_cols(d);
+    let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+
+    // --- One scan for the summary matrices ------------------------------
+    let nlq = db.compute_nlq("X", &cols, MatrixShape::Triangular).unwrap();
+    println!("{} readings from {} sensors", nlq.n(), nlq.d());
+
+    // --- PCA on the correlation matrix ----------------------------------
+    let pca = Pca::fit(&nlq, 2, PcaInput::Correlation).unwrap();
+    let explained: f64 = pca.explained_variance_ratio().iter().sum();
+    println!(
+        "PCA: 2 of 12 components capture {:.1}% of the variance",
+        explained * 100.0
+    );
+    assert!(explained > 0.95, "two latent processes should dominate");
+
+    // --- ML factor analysis agrees on the structure ---------------------
+    let fa = FactorAnalysis::fit(&nlq, &FactorAnalysisConfig::new(2)).unwrap();
+    println!(
+        "factor analysis: converged after {} EM iterations (log-likelihood {:.0})",
+        fa.iterations(),
+        fa.log_likelihood()
+    );
+    let max_uniqueness = fa.psi().iter().cloned().fold(0.0_f64, f64::max);
+    println!("largest uniqueness (unexplained sensor variance): {max_uniqueness:.4}");
+
+    // --- Store Λ and μ, score the whole table in one scan ---------------
+    db.register_lambda("LAMBDA", pca.lambda()).unwrap();
+    db.register_mu("MU", pca.mu()).unwrap();
+    let reduced = db
+        .execute(&sqlgen::score_pca_udf("X", &names, 2, "LAMBDA", "MU"))
+        .unwrap();
+    println!(
+        "\nreduced {} rows from d=12 to k=2 inside the DBMS",
+        reduced.len()
+    );
+
+    // Verify the in-DBMS scores against the library's own scoring.
+    for r in reduced.rows.iter().take(3) {
+        let i = r[0].as_i64().unwrap() as usize;
+        let expect = pca.score(&rows[i - 1]);
+        let got = [r[1].as_f64().unwrap(), r[2].as_f64().unwrap()];
+        println!(
+            "  reading {i}: x' = ({:+.3}, {:+.3})  [library: ({:+.3}, {:+.3})]",
+            got[0], got[1], expect[0], expect[1]
+        );
+        assert!((got[0] - expect[0]).abs() < 1e-9);
+        assert!((got[1] - expect[1]).abs() < 1e-9);
+    }
+
+    // Reconstruction check: the rank-2 model explains the readings.
+    let sample = &rows[0];
+    let err = pca.reconstruction_error(sample);
+    let norm: f64 = sample.iter().map(|v| v * v).sum();
+    println!(
+        "\nrank-2 reconstruction error on a sample reading: {:.2e} (relative {:.2e})",
+        err,
+        err / norm
+    );
+}

@@ -1,0 +1,128 @@
+//! An interactive SQL shell over the in-memory parallel DBMS.
+//!
+//! Demonstrates the whole engine surface end to end: DDL, inserts,
+//! views, aggregate and scalar UDFs, EXPLAIN, ORDER BY/LIMIT — with a
+//! demo data set preloaded so statistical queries work immediately.
+//!
+//! Run with: `cargo run --release --example sql_shell`
+//! Try:
+//! ```sql
+//! SELECT count(*), avg(X1) FROM X;
+//! SELECT nlq_list(4, 'triang', X1, X2, X3, X4) FROM X;
+//! EXPLAIN SELECT i % 4, nlq_str('diag', pack(X1, X2, X3, X4)) FROM X GROUP BY i % 4;
+//! SELECT i, X1 FROM X ORDER BY X1 DESC LIMIT 5;
+//! ```
+
+use std::io::{BufRead, Write};
+
+use nlq::datagen::{MixtureGenerator, MixtureSpec};
+use nlq::engine::Db;
+
+fn main() {
+    let db = Db::new(8);
+    let rows = MixtureGenerator::new(MixtureSpec::paper_defaults(4)).generate(10_000);
+    db.load_points("X", &rows, false).expect("demo data");
+    println!("nlq sql shell — table X(i, X1..X4) preloaded with 10,000 rows.");
+    println!("End statements with ';'. Type \\q to quit, \\help for ideas.\n");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("nlq> ");
+        } else {
+            print!("...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "\\q" | "\\quit" | "exit" | "quit" => break,
+                "\\help" => {
+                    println!("examples:");
+                    println!("  SELECT count(*), avg(X1), min(X2), max(X2) FROM X;");
+                    println!("  SELECT nlq_list(4, 'triang', X1, X2, X3, X4) FROM X;");
+                    println!("  SELECT i % 4, count(*) FROM X GROUP BY i % 4 ORDER BY 2 DESC;");
+                    println!("  EXPLAIN SELECT sum(X1*X2) FROM X WHERE X3 > 50;");
+                    println!("  CREATE VIEW hot AS SELECT * FROM X WHERE X1 > 90;");
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue; // keep accumulating a multi-line statement
+        }
+        let sql = std::mem::take(&mut buffer);
+        let started = std::time::Instant::now();
+        match db.execute(sql.trim()) {
+            Err(e) => println!("error: {e}"),
+            Ok(rs) => {
+                print_result(&rs);
+                println!(
+                    "({} row(s) in {:.1} ms)\n",
+                    rs.len(),
+                    started.elapsed().as_secs_f64() * 1000.0
+                );
+            }
+        }
+    }
+    println!("bye.");
+}
+
+/// Prints a result set as an aligned table (capped at 40 rows).
+fn print_result(rs: &nlq::engine::ResultSet) {
+    const MAX_ROWS: usize = 40;
+    const MAX_WIDTH: usize = 60;
+    if rs.columns.is_empty() {
+        println!("ok.");
+        return;
+    }
+    let cell = |v: &nlq::storage::Value| -> String {
+        let mut s = v.to_string();
+        if s.len() > MAX_WIDTH {
+            s.truncate(MAX_WIDTH - 3);
+            s.push_str("...");
+        }
+        s
+    };
+    let mut widths: Vec<usize> = rs.columns.iter().map(String::len).collect();
+    let shown: Vec<Vec<String>> = rs
+        .rows
+        .iter()
+        .take(MAX_ROWS)
+        .map(|r| r.iter().map(cell).collect())
+        .collect();
+    for row in &shown {
+        for (w, c) in widths.iter_mut().zip(row) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    println!("{}", line(&rs.columns));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1)));
+    for row in &shown {
+        println!("{}", line(row));
+    }
+    if rs.len() > MAX_ROWS {
+        println!("... ({} more rows)", rs.len() - MAX_ROWS);
+    }
+}

@@ -1,0 +1,98 @@
+//! Train/test regression with in-DBMS scoring — §3.5's "standard
+//! train and test approach".
+//!
+//! Fit a linear regression on a training table (one scan for
+//! `n, L, Q'`, then `β = Q⁻¹(XYᵀ)` outside the DBMS), store `BETA`
+//! back in the database, score a held-out test table with both the
+//! scalar UDF and the generated-SQL expression, and compare their
+//! outputs and test-set error metrics.
+//!
+//! Run with: `cargo run --release --example train_test_regression`
+
+use nlq::datagen::{RegressionGenerator, RegressionSpec};
+use nlq::engine::{sqlgen, Db};
+use nlq::models::{LinearRegression, MatrixShape};
+
+fn main() {
+    let db = Db::new(8);
+    let d = 6;
+
+    // Same generating process, disjoint samples.
+    let spec = RegressionSpec { noise_sigma: 25.0, ..RegressionSpec::defaults(d) };
+    let train = RegressionGenerator::new(spec.clone().with_seed(1)).generate_augmented(20_000);
+    let test = RegressionGenerator::new(spec.clone().with_seed(2)).generate_augmented(5_000);
+    db.load_points("train", &train, true).unwrap();
+    db.load_points("test", &test, true).unwrap();
+
+    // --- Fit on the training table (one scan) ---------------------------
+    let mut names = sqlgen::x_cols(d);
+    names.push("Y".into());
+    let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+    let nlq = db.compute_nlq("train", &cols, MatrixShape::Triangular).unwrap();
+    let model = LinearRegression::fit(&nlq).unwrap();
+
+    println!("true model:   y = {} + {:?} . x", spec.intercept, spec.coefficients);
+    println!(
+        "fitted model: y = {:.2} + {:?} . x",
+        model.intercept(),
+        model
+            .coefficients()
+            .as_slice()
+            .iter()
+            .map(|b| (b * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!("train R^2 = {:.4}", model.r_squared());
+    if let Some(se) = model.std_errors() {
+        println!("std errors: {:?}", se.iter().map(|s| (s * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    }
+
+    // --- Score the test table with the scalar UDF -----------------------
+    db.register_beta("BETA", model.intercept(), model.coefficients()).unwrap();
+    let x_names = sqlgen::x_cols(d);
+    let udf_scores = db
+        .execute(&sqlgen::score_regression_udf("test", &x_names, "BETA"))
+        .unwrap();
+
+    // --- And with the generated pure-SQL expression ----------------------
+    let sql_scores = db
+        .execute(&sqlgen::score_regression_sql(
+            "test",
+            &x_names,
+            model.intercept(),
+            model.coefficients(),
+        ))
+        .unwrap();
+
+    // Both paths must agree exactly.
+    let collect = |rs: &nlq::engine::ResultSet| {
+        let mut v: Vec<(i64, f64)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_f64().unwrap()))
+            .collect();
+        v.sort_by_key(|&(i, _)| i);
+        v
+    };
+    let udf_sorted = collect(&udf_scores);
+    let sql_sorted = collect(&sql_scores);
+    let max_gap = udf_sorted
+        .iter()
+        .zip(&sql_sorted)
+        .map(|((_, a), (_, b))| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+    println!("\nUDF vs SQL scoring: {} rows, max |difference| = {max_gap:.2e}", udf_sorted.len());
+
+    // --- Test-set error metrics ------------------------------------------
+    let mut sse = 0.0;
+    let mut sst = 0.0;
+    let y_mean: f64 = test.iter().map(|r| r[d]).sum::<f64>() / test.len() as f64;
+    for (i, yhat) in &udf_sorted {
+        let y = test[(*i - 1) as usize][d];
+        sse += (y - yhat) * (y - yhat);
+        sst += (y - y_mean) * (y - y_mean);
+    }
+    let mse = sse / test.len() as f64;
+    println!("test MSE  = {mse:.1} (noise variance was {:.1})", spec.noise_sigma.powi(2));
+    println!("test R^2  = {:.4}", 1.0 - sse / sst);
+}

@@ -1,0 +1,55 @@
+//! # nlq — in-DBMS statistical models with SQL and UDFs
+//!
+//! A from-scratch Rust reproduction of *"Building Statistical Models
+//! and Scoring with UDFs"* (Carlos Ordonez, SIGMOD 2007), the paper
+//! behind Teradata Warehouse Miner's in-database analytics.
+//!
+//! The central idea: four fundamental linear statistical techniques —
+//! correlation, linear regression, PCA/factor analysis, and clustering
+//! — all reduce to two sufficient-statistics matrices computed in a
+//! single scan of the data set `X`:
+//!
+//! * `L = Σ xᵢ` — the linear sum of points, and
+//! * `Q = Σ xᵢ xᵢᵀ` — the quadratic sum of cross-products,
+//!
+//! plus the row count `n`. The workspace provides the full stack:
+//!
+//! * [`linalg`] — dense matrix kernels (LU, Cholesky, Jacobi eigen, SVD),
+//! * [`datagen`] — the paper's Gaussian-mixture synthetic data sets,
+//! * [`storage`] — paged, horizontally partitioned parallel row storage,
+//! * [`models`] — the `Nlq` summary statistics and every model builder,
+//! * [`udf`] — the Teradata-style scalar/aggregate UDF framework and
+//!   the paper's UDFs (aggregate `nlq`, scoring scalar UDFs),
+//! * [`engine`] — a SQL-subset engine (long aggregate queries, GROUP
+//!   BY, cross joins, UDF calls) that runs both implementation paths,
+//! * [`export`] — the ODBC-style export channel and the external
+//!   "C++ workstation" baseline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nlq::engine::Db;
+//! use nlq::models::{CorrelationModel, MatrixShape};
+//!
+//! // An in-memory parallel database with 4 worker threads.
+//! let mut db = Db::new(4);
+//!
+//! // A tiny 2-dimensional data set X(i, X1, X2).
+//! db.execute("CREATE TABLE X (i INT, X1 FLOAT, X2 FLOAT)").unwrap();
+//! db.execute("INSERT INTO X VALUES (1, 1.0, 2.0), (2, 2.0, 4.1), (3, 3.0, 5.9)")
+//!     .unwrap();
+//!
+//! // One table scan computes the summary matrices n, L, Q via the
+//! // aggregate UDF; the correlation model is then built from them.
+//! let nlq = db.compute_nlq("X", &["X1", "X2"], MatrixShape::Triangular).unwrap();
+//! let corr = CorrelationModel::fit(&nlq).unwrap();
+//! assert!(corr.matrix()[(0, 1)] > 0.99); // X2 ~ 2 * X1
+//! ```
+
+pub use nlq_datagen as datagen;
+pub use nlq_engine as engine;
+pub use nlq_export as export;
+pub use nlq_linalg as linalg;
+pub use nlq_models as models;
+pub use nlq_storage as storage;
+pub use nlq_udf as udf;

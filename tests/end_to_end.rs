@@ -1,0 +1,252 @@
+//! Cross-crate integration: the three implementation paths of the
+//! paper (pure SQL, aggregate UDF, exported C++-style external
+//! program) must produce identical summary matrices and identical
+//! models, end to end.
+
+use nlq::datagen::{MixtureGenerator, MixtureSpec, RegressionGenerator, RegressionSpec};
+use nlq::engine::{sqlgen, Db, NlqMethod};
+use nlq::export::{ExternalAnalyzer, OdbcChannel};
+use nlq::models::{
+    CorrelationModel, FactorAnalysis, FactorAnalysisConfig, GaussianMixture,
+    GaussianMixtureConfig, KMeans, KMeansConfig, LinearRegression, MatrixShape, Pca, PcaInput,
+};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-8 * (1.0 + a.abs().max(b.abs()))
+}
+
+#[test]
+fn all_three_paths_agree_and_models_match() {
+    let d = 5;
+    let n = 3_000;
+    let rows = MixtureGenerator::new(MixtureSpec::paper_defaults(d).with_seed(7)).generate(n);
+
+    // Path 1 + 2: inside the DBMS.
+    let db = Db::new(6);
+    db.load_points("X", &rows, false).unwrap();
+    let names = sqlgen::x_cols(d);
+    let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+    let via_sql = db
+        .compute_nlq_with(NlqMethod::Sql, "X", &cols, MatrixShape::Triangular)
+        .unwrap();
+    let via_udf = db
+        .compute_nlq_with(NlqMethod::UdfList, "X", &cols, MatrixShape::Triangular)
+        .unwrap();
+    let via_str = db
+        .compute_nlq_with(NlqMethod::UdfString, "X", &cols, MatrixShape::Triangular)
+        .unwrap();
+
+    // Path 3: export through the (unthrottled) ODBC channel, analyze
+    // with the external one-pass program.
+    let path = std::env::temp_dir().join(format!("nlq_e2e_{}", std::process::id()));
+    OdbcChannel::unthrottled().export_rows(&rows, &path).unwrap();
+    let via_ext = ExternalAnalyzer::new(MatrixShape::Triangular)
+        .compute_nlq_from_file(&path)
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+
+    for other in [&via_udf, &via_str, &via_ext] {
+        assert_eq!(via_sql.n(), other.n());
+        for a in 0..d {
+            assert!(close(via_sql.l()[a], other.l()[a]), "L[{a}]");
+            for b in 0..=a {
+                assert!(
+                    close(via_sql.q_raw()[(a, b)], other.q_raw()[(a, b)]),
+                    "Q[{a}][{b}]"
+                );
+            }
+        }
+    }
+
+    // Models built from either path agree.
+    let corr_sql = CorrelationModel::fit(&via_sql).unwrap();
+    let corr_ext = CorrelationModel::fit(&via_ext).unwrap();
+    for a in 0..d {
+        for b in 0..d {
+            assert!(close(corr_sql.coefficient(a, b), corr_ext.coefficient(a, b)));
+        }
+    }
+
+    let pca_sql = Pca::fit(&via_sql, 2, PcaInput::Correlation).unwrap();
+    let pca_udf = Pca::fit(&via_udf, 2, PcaInput::Correlation).unwrap();
+    for (ev_a, ev_b) in pca_sql.eigenvalues().iter().zip(pca_udf.eigenvalues()) {
+        assert!(close(*ev_a, *ev_b));
+    }
+}
+
+#[test]
+fn regression_pipeline_recovers_the_generating_model() {
+    let d = 4;
+    let spec = RegressionSpec { noise_sigma: 0.5, ..RegressionSpec::defaults(d) };
+    let rows = RegressionGenerator::new(spec.clone().with_seed(3)).generate_augmented(5_000);
+    let db = Db::new(4);
+    db.load_points("X", &rows, true).unwrap();
+
+    let mut names = sqlgen::x_cols(d);
+    names.push("Y".into());
+    let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+    let nlq = db.compute_nlq("X", &cols, MatrixShape::Triangular).unwrap();
+    let model = LinearRegression::fit(&nlq).unwrap();
+
+    assert!((model.intercept() - spec.intercept).abs() < 0.2);
+    for (got, want) in model.coefficients().as_slice().iter().zip(&spec.coefficients) {
+        assert!((got - want).abs() < 0.01, "coefficient {got} vs {want}");
+    }
+    assert!(model.r_squared() > 0.999);
+
+    // Score in-DBMS and verify against direct prediction.
+    db.register_beta("BETA", model.intercept(), model.coefficients()).unwrap();
+    let x_names = sqlgen::x_cols(d);
+    let scored = db
+        .execute(&sqlgen::score_regression_udf("X", &x_names, "BETA"))
+        .unwrap();
+    assert_eq!(scored.len(), rows.len());
+    for r in scored.rows.iter().take(50) {
+        let i = r[0].as_i64().unwrap() as usize;
+        let yhat = r[1].as_f64().unwrap();
+        let expect = model.predict(&rows[i - 1][..d]);
+        assert!(close(yhat, expect));
+    }
+}
+
+#[test]
+fn clustering_pipeline_finds_generated_components() {
+    // Well separated mixture, no noise.
+    let spec = MixtureSpec {
+        k: 3,
+        sigma: 1.0,
+        noise_fraction: 0.0,
+        ..MixtureSpec::paper_defaults(2)
+    };
+    let mut generator = MixtureGenerator::new(spec.with_seed(11));
+    let true_means = generator.means().to_vec();
+    let rows = generator.generate(2_000);
+
+    let km = KMeans::fit(&rows, &KMeansConfig::new(3)).unwrap();
+    // Every true mean is near some centroid.
+    for tm in &true_means {
+        let best = km
+            .centroids()
+            .iter()
+            .map(|c| {
+                c.as_slice()
+                    .iter()
+                    .zip(tm)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 1.0, "no centroid near {tm:?} (distance^2 = {best})");
+    }
+
+    // EM agrees on the structure.
+    let gm = GaussianMixture::fit(&rows, &GaussianMixtureConfig::new(3)).unwrap();
+    for tm in &true_means {
+        let best = gm
+            .means()
+            .iter()
+            .map(|c| {
+                c.as_slice()
+                    .iter()
+                    .zip(tm)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 1.0, "no EM mean near {tm:?}");
+    }
+
+    // In-DBMS scoring assigns points to the same clusters as the
+    // library.
+    let db = Db::new(4);
+    db.load_points("X", &rows, false).unwrap();
+    db.register_centroids("C", km.centroids()).unwrap();
+    let names = sqlgen::x_cols(2);
+    let scored = db
+        .execute(&sqlgen::score_cluster_udf("X", &names, 3, "C"))
+        .unwrap();
+    for r in scored.rows.iter().take(100) {
+        let i = r[0].as_i64().unwrap() as usize;
+        let j = r[1].as_i64().unwrap() as usize;
+        assert_eq!(j, km.assign(&rows[i - 1]) + 1);
+    }
+}
+
+#[test]
+fn factor_analysis_end_to_end() {
+    // Latent 1-factor data through the whole DBMS pipeline.
+    let rows: Vec<Vec<f64>> = (0..2000)
+        .map(|i| {
+            let z = ((i as f64 * 0.7).sin()) * 4.0;
+            vec![
+                10.0 + 2.0 * z + ((i * 13 % 7) as f64) * 0.01,
+                -3.0 - z + ((i * 29 % 5) as f64) * 0.01,
+                1.0 + 0.5 * z + ((i * 31 % 11) as f64) * 0.01,
+            ]
+        })
+        .collect();
+    let db = Db::new(4);
+    db.load_points("X", &rows, false).unwrap();
+    let nlq = db
+        .compute_nlq("X", &["X1", "X2", "X3"], MatrixShape::Triangular)
+        .unwrap();
+    let fa = FactorAnalysis::fit(&nlq, &FactorAnalysisConfig::new(1)).unwrap();
+    // Loadings proportional to (2, -1, 0.5).
+    let l: Vec<f64> = (0..3).map(|r| fa.lambda()[(r, 0)]).collect();
+    let scale = l[0] / 2.0;
+    assert!((l[1] / scale + 1.0).abs() < 0.05, "loadings {l:?}");
+    assert!((l[2] / scale - 0.5).abs() < 0.05, "loadings {l:?}");
+}
+
+#[test]
+fn grouped_statistics_reconstruct_global_statistics() {
+    let rows = MixtureGenerator::new(MixtureSpec::paper_defaults(3).with_seed(5)).generate(1_500);
+    let db = Db::new(4);
+    db.load_points("X", &rows, false).unwrap();
+    let cols = ["X1", "X2", "X3"];
+
+    let global = db.compute_nlq("X", &cols, MatrixShape::Diagonal).unwrap();
+    let groups = db
+        .compute_nlq_grouped("X", &cols, "i % 8", MatrixShape::Diagonal, nlq::udf::ParamStyle::List)
+        .unwrap();
+    assert_eq!(groups.len(), 8);
+
+    // Merging the per-group statistics recovers the global ones — the
+    // additivity that makes the parallel UDF protocol correct.
+    let mut merged = nlq::models::Nlq::new(3, MatrixShape::Diagonal);
+    for (_, s) in &groups {
+        merged.merge(s);
+    }
+    assert_eq!(merged.n(), global.n());
+    for a in 0..3 {
+        assert!(close(merged.l()[a], global.l()[a]));
+        assert!(close(merged.q_raw()[(a, a)], global.q_raw()[(a, a)]));
+        assert_eq!(merged.min()[a], global.min()[a]);
+        assert_eq!(merged.max()[a], global.max()[a]);
+    }
+}
+
+#[test]
+fn blocked_high_d_equals_single_call() {
+    let d = 12;
+    let rows = MixtureGenerator::new(MixtureSpec::paper_defaults(d).with_seed(9)).generate(800);
+    let db = Db::new(4);
+    db.load_points("X", &rows, false).unwrap();
+    let names = sqlgen::x_cols(d);
+    let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+
+    let direct = db.compute_nlq("X", &cols, MatrixShape::Full).unwrap();
+    for block in [4usize, 6, 12] {
+        let blocked = db.compute_nlq_blocked("X", &cols, block).unwrap();
+        assert_eq!(blocked.n(), direct.n());
+        for a in 0..d {
+            assert!(close(blocked.l()[a], direct.l()[a]));
+            for b in 0..d {
+                assert!(
+                    close(blocked.q_raw()[(a, b)], direct.q_raw()[(a, b)]),
+                    "block={block} Q[{a}][{b}]"
+                );
+            }
+        }
+    }
+}

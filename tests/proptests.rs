@@ -1,0 +1,125 @@
+//! Workspace-level property tests: random data sets pushed through
+//! the full DBMS pipeline must agree with direct in-memory
+//! computation, and the packing/merging machinery must be lossless.
+
+use nlq::engine::{sqlgen, Db, NlqMethod};
+use nlq::models::{MatrixShape, Nlq};
+use nlq::udf::pack::{pack_nlq, pack_vector, unpack_nlq, unpack_vector};
+use proptest::prelude::*;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-7 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Random small data set: 2-6 dimensions, 1-60 rows, moderate values.
+fn data_set() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..=6, 1usize..=60).prop_flat_map(|(d, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-50.0_f64..50.0, d),
+            n,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_paths_match_reference(rows in data_set()) {
+        let d = rows[0].len();
+        let reference = Nlq::from_rows(d, MatrixShape::Triangular, &rows);
+        let db = Db::new(3);
+        db.load_points("X", &rows, false).unwrap();
+        let names = sqlgen::x_cols(d);
+        let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+        for method in [NlqMethod::Sql, NlqMethod::UdfList, NlqMethod::UdfString] {
+            let got = db
+                .compute_nlq_with(method, "X", &cols, MatrixShape::Triangular)
+                .unwrap();
+            prop_assert_eq!(got.n(), reference.n());
+            for a in 0..d {
+                prop_assert!(close(got.l()[a], reference.l()[a]));
+                for b in 0..=a {
+                    prop_assert!(close(got.q_raw()[(a, b)], reference.q_raw()[(a, b)]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nlq_pack_roundtrip_is_lossless(rows in data_set()) {
+        let d = rows[0].len();
+        for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
+            let nlq = Nlq::from_rows(d, shape, &rows);
+            let back = unpack_nlq(&pack_nlq(&nlq)).unwrap();
+            prop_assert_eq!(back, nlq);
+        }
+    }
+
+    #[test]
+    fn vector_pack_roundtrip_is_exact(xs in proptest::collection::vec(-1e12_f64..1e12, 0..40)) {
+        let back = unpack_vector(&pack_vector(&xs)).unwrap();
+        prop_assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_single_pass(rows in data_set(), cut in 0usize..60) {
+        let d = rows[0].len();
+        let cut = cut.min(rows.len());
+        let whole = Nlq::from_rows(d, MatrixShape::Triangular, &rows);
+        let mut left = Nlq::from_rows(d, MatrixShape::Triangular, &rows[..cut]);
+        let right = Nlq::from_rows(d, MatrixShape::Triangular, &rows[cut..]);
+        left.merge(&right);
+        prop_assert_eq!(left.n(), whole.n());
+        for a in 0..d {
+            prop_assert!(close(left.l()[a], whole.l()[a]));
+            for b in 0..=a {
+                prop_assert!(close(left.q_raw()[(a, b)], whole.q_raw()[(a, b)]));
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_is_psd_and_correlation_bounded(rows in data_set()) {
+        prop_assume!(rows.len() >= 3);
+        let d = rows[0].len();
+        let nlq = Nlq::from_rows(d, MatrixShape::Triangular, &rows);
+        let cov = nlq.covariance().unwrap();
+        // PSD check via eigenvalues (tolerate tiny negative noise).
+        let eig = nlq::linalg::jacobi_eigen(&cov, 1e-12).unwrap();
+        for v in &eig.values {
+            prop_assert!(*v >= -1e-6 * (1.0 + cov.max_abs()), "eigenvalue {v}");
+        }
+        if let Ok(rho) = nlq.correlation() {
+            for a in 0..d {
+                prop_assert!(close(rho[(a, a)], 1.0));
+                for b in 0..d {
+                    prop_assert!(rho[(a, b)] >= -1.0 - 1e-9 && rho[(a, b)] <= 1.0 + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_count_does_not_change_results(rows in data_set(), workers in 1usize..8) {
+        let d = rows[0].len();
+        let names = sqlgen::x_cols(d);
+        let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+
+        let db1 = Db::new(1);
+        db1.load_points("X", &rows, false).unwrap();
+        let one = db1.compute_nlq("X", &cols, MatrixShape::Full).unwrap();
+
+        let dbw = Db::new(workers);
+        dbw.load_points("X", &rows, false).unwrap();
+        let many = dbw.compute_nlq("X", &cols, MatrixShape::Full).unwrap();
+
+        prop_assert_eq!(one.n(), many.n());
+        for a in 0..d {
+            prop_assert!(close(one.l()[a], many.l()[a]));
+            for b in 0..d {
+                prop_assert!(close(one.q_raw()[(a, b)], many.q_raw()[(a, b)]));
+            }
+        }
+    }
+}
