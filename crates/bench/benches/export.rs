@@ -3,72 +3,58 @@
 //! conversion costs underlying both ODBC and the string parameter
 //! style.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use nlq_bench::harness::bench;
 use nlq_bench::mixture_data;
 use nlq_export::{ExternalAnalyzer, OdbcChannel};
 use nlq_models::{MatrixShape, Nlq};
 use nlq_storage::{Schema, Table, Value};
 use nlq_udf::pack::{pack_vector, unpack_vector};
 
-fn bench_export_serialize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("export_serialize");
-    group.sample_size(20);
+fn bench_export_serialize() {
     for d in [8usize, 32] {
         let rows = mixture_data(2000, d, 0xc301 + d as u64);
         let path = std::env::temp_dir().join(format!("nlq_bench_export_{d}"));
-        group.bench_with_input(BenchmarkId::new("unthrottled", d), &rows, |b, rows| {
-            b.iter(|| {
-                black_box(OdbcChannel::unthrottled().export_rows(rows, &path).unwrap())
-            })
+        bench("export_serialize", &format!("unthrottled/{d}"), || {
+            OdbcChannel::unthrottled()
+                .export_rows(&rows, &path)
+                .unwrap()
         });
         std::fs::remove_file(&path).ok();
     }
-    group.finish();
 }
 
-fn bench_external_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("external_analysis");
-    group.sample_size(20);
+fn bench_external_analysis() {
     for d in [8usize, 32] {
         let rows = mixture_data(2000, d, 0xc302 + d as u64);
         let path = std::env::temp_dir().join(format!("nlq_bench_external_{d}"));
-        OdbcChannel::unthrottled().export_rows(&rows, &path).unwrap();
-        group.bench_with_input(BenchmarkId::new("one_pass", d), &path, |b, path| {
-            b.iter(|| {
-                black_box(
-                    ExternalAnalyzer::new(MatrixShape::Triangular)
-                        .compute_nlq_from_file(path)
-                        .unwrap(),
-                )
-            })
+        OdbcChannel::unthrottled()
+            .export_rows(&rows, &path)
+            .unwrap();
+        bench("external_analysis", &format!("one_pass/{d}"), || {
+            ExternalAnalyzer::new(MatrixShape::Triangular)
+                .compute_nlq_from_file(&path)
+                .unwrap()
         });
         std::fs::remove_file(&path).ok();
     }
-    group.finish();
 }
 
-fn bench_pack_roundtrip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pack_roundtrip");
+fn bench_pack_roundtrip() {
     for d in [8usize, 64] {
         let xs: Vec<f64> = (0..d).map(|i| i as f64 * 0.37 + 0.001).collect();
-        group.bench_with_input(BenchmarkId::new("pack", d), &xs, |b, xs| {
-            b.iter(|| black_box(pack_vector(xs)))
-        });
+        bench("pack_roundtrip", &format!("pack/{d}"), || pack_vector(&xs));
         let packed = pack_vector(&xs);
-        group.bench_with_input(BenchmarkId::new("unpack", d), &packed, |b, s| {
-            b.iter(|| black_box(unpack_vector(s).unwrap()))
+        bench("pack_roundtrip", &format!("unpack/{d}"), || {
+            unpack_vector(&packed).unwrap()
         });
     }
-    group.finish();
 }
 
 /// Ablation: warm (in-memory pages) vs cold (re-read from disk every
 /// pass) scans feeding the n, L, Q accumulation — the paper's setting
 /// is the cold one ("table X is not cached under any circumstance"),
 /// and §6 names disk I/O as the remaining bottleneck.
-fn bench_cold_vs_warm_scan(c: &mut Criterion) {
+fn bench_cold_vs_warm_scan() {
     let d = 8;
     let rows = mixture_data(5000, d, 0xc303);
     let mut table = Table::new(Schema::points(d, false), 4);
@@ -93,35 +79,26 @@ fn bench_cold_vs_warm_scan(c: &mut Criterion) {
         stats
     };
 
-    let mut group = c.benchmark_group("cold_vs_warm_scan");
-    group.sample_size(20);
-    group.bench_function("warm_memory", |b| {
-        b.iter(|| {
-            let mut total = Nlq::new(d, MatrixShape::Triangular);
-            for p in 0..table.partition_count() {
-                total.merge(&accumulate(&mut table.scan_partition(p)));
-            }
-            black_box(total)
-        })
+    bench("cold_vs_warm_scan", "warm_memory", || {
+        let mut total = Nlq::new(d, MatrixShape::Triangular);
+        for p in 0..table.partition_count() {
+            total.merge(&accumulate(&mut table.scan_partition(p)));
+        }
+        total
     });
-    group.bench_function("cold_disk", |b| {
-        b.iter(|| {
-            let mut total = Nlq::new(d, MatrixShape::Triangular);
-            for p in 0..disk.partition_count() {
-                total.merge(&accumulate(&mut disk.scan_partition(p)));
-            }
-            black_box(total)
-        })
+    bench("cold_vs_warm_scan", "cold_disk", || {
+        let mut total = Nlq::new(d, MatrixShape::Triangular);
+        for p in 0..disk.partition_count() {
+            total.merge(&accumulate(&mut disk.scan_partition(p)));
+        }
+        total
     });
-    group.finish();
     std::fs::remove_file(&path).ok();
 }
 
-criterion_group!(
-    benches,
-    bench_export_serialize,
-    bench_external_analysis,
-    bench_pack_roundtrip,
-    bench_cold_vs_warm_scan
-);
-criterion_main!(benches);
+fn main() {
+    bench_export_serialize();
+    bench_external_analysis();
+    bench_pack_roundtrip();
+    bench_cold_vs_warm_scan();
+}

@@ -1,119 +1,131 @@
 //! Micro-benchmarks for model building from precomputed summary
 //! matrices (Table 3) and the underlying linear algebra kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
-use nlq_bench::{mixture_data, regression_data};
+use nlq_bench::harness::{bench, bench_once};
+use nlq_bench::{col_names, db_with_points, mixture_data, regression_data};
 use nlq_linalg::{invert, jacobi_eigen, Cholesky, Matrix};
 use nlq_models::{
-    CorrelationModel, FactorAnalysis, FactorAnalysisConfig, GaussianMixture,
-    GaussianMixtureConfig, KMeans, KMeansConfig, LinearRegression, MatrixShape, Nlq, Pca,
-    PcaInput,
+    CorrelationModel, FactorAnalysis, FactorAnalysisConfig, GaussianMixture, GaussianMixtureConfig,
+    KMeans, KMeansConfig, LinearRegression, MatrixShape, Nlq, Pca, PcaInput,
 };
 
-fn bench_model_builds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model_build_from_nlq");
+fn bench_model_builds() {
     for d in [8usize, 32] {
         let rows = regression_data(5000, d - 1, 0xc201 + d as u64);
         let nlq = Nlq::from_rows(d, MatrixShape::Triangular, &rows);
-        group.bench_with_input(BenchmarkId::new("correlation", d), &nlq, |b, nlq| {
-            b.iter(|| black_box(CorrelationModel::fit(nlq).unwrap()))
+        bench("model_build_from_nlq", &format!("correlation/{d}"), || {
+            CorrelationModel::fit(&nlq).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("regression", d), &nlq, |b, nlq| {
-            b.iter(|| black_box(LinearRegression::fit(nlq).unwrap()))
+        bench("model_build_from_nlq", &format!("regression/{d}"), || {
+            LinearRegression::fit(&nlq).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("pca", d), &nlq, |b, nlq| {
-            b.iter(|| black_box(Pca::fit(nlq, d / 2, PcaInput::Correlation).unwrap()))
+        bench("model_build_from_nlq", &format!("pca/{d}"), || {
+            Pca::fit(&nlq, d / 2, PcaInput::Correlation).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_nlq_accumulate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nlq_accumulate_per_point");
+fn bench_nlq_accumulate() {
     for d in [8usize, 64] {
         let rows = mixture_data(1000, d, 0xc202 + d as u64);
-        for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
-            group.bench_with_input(
-                BenchmarkId::new(shape.name(), d),
-                &shape,
-                |b, &shape| {
-                    b.iter(|| {
-                        let mut s = Nlq::new(d, shape);
-                        for r in &rows {
-                            s.update(r);
-                        }
-                        black_box(s)
-                    })
+        for shape in [
+            MatrixShape::Diagonal,
+            MatrixShape::Triangular,
+            MatrixShape::Full,
+        ] {
+            bench(
+                "nlq_accumulate_per_point",
+                &format!("{}/{d}", shape.name()),
+                || {
+                    let mut s = Nlq::new(d, shape);
+                    for r in &rows {
+                        s.update(r);
+                    }
+                    s
                 },
             );
         }
     }
-    group.finish();
 }
 
-fn bench_clustering(c: &mut Criterion) {
+fn bench_clustering() {
     let rows = mixture_data(2000, 4, 0xc203);
-    let mut group = c.benchmark_group("clustering");
-    group.sample_size(10);
-    group.bench_function("kmeans_k8", |b| {
-        b.iter(|| black_box(KMeans::fit(&rows, &KMeansConfig::new(8)).unwrap()))
+    bench_once("clustering", "kmeans_k8", || {
+        KMeans::fit(&rows, &KMeansConfig::new(8)).unwrap()
     });
-    group.bench_function("em_k4", |b| {
-        b.iter(|| {
-            let cfg = GaussianMixtureConfig { max_iters: 10, ..GaussianMixtureConfig::new(4) };
-            black_box(GaussianMixture::fit(&rows, &cfg).unwrap())
-        })
+    bench_once("clustering", "em_k4", || {
+        let cfg = GaussianMixtureConfig {
+            max_iters: 10,
+            ..GaussianMixtureConfig::new(4)
+        };
+        GaussianMixture::fit(&rows, &cfg).unwrap()
     });
-    group.finish();
 }
 
-fn bench_factor_analysis(c: &mut Criterion) {
+fn bench_factor_analysis() {
     let rows = mixture_data(2000, 8, 0xc204);
     let nlq = Nlq::from_rows(8, MatrixShape::Triangular, &rows);
-    let mut group = c.benchmark_group("factor_analysis");
-    group.sample_size(10);
-    group.bench_function("em_k2", |b| {
-        b.iter(|| {
-            let cfg = FactorAnalysisConfig { max_iters: 25, ..FactorAnalysisConfig::new(2) };
-            black_box(FactorAnalysis::fit(&nlq, &cfg).unwrap())
-        })
+    bench_once("factor_analysis", "em_k2", || {
+        let cfg = FactorAnalysisConfig {
+            max_iters: 25,
+            ..FactorAnalysisConfig::new(2)
+        };
+        FactorAnalysis::fit(&nlq, &cfg).unwrap()
     });
-    group.finish();
 }
 
-fn bench_linalg_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linalg");
+fn bench_linalg_kernels() {
     for d in [16usize, 64] {
         // SPD matrix from a covariance computation.
         let rows = mixture_data(500, d, 0xc205 + d as u64);
         let cov = Nlq::from_rows(d, MatrixShape::Triangular, &rows)
             .covariance()
             .unwrap();
-        group.bench_with_input(BenchmarkId::new("lu_invert", d), &cov, |b, m| {
-            b.iter(|| black_box(invert(m).unwrap()))
+        bench("linalg", &format!("lu_invert/{d}"), || {
+            invert(&cov).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("cholesky", d), &cov, |b, m| {
-            b.iter(|| black_box(Cholesky::new(m).unwrap()))
+        bench("linalg", &format!("cholesky/{d}"), || {
+            Cholesky::new(&cov).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("jacobi_eigen", d), &cov, |b, m| {
-            b.iter(|| black_box(jacobi_eigen(m, 1e-10).unwrap()))
+        bench("linalg", &format!("jacobi_eigen/{d}"), || {
+            jacobi_eigen(&cov, 1e-10).unwrap()
         });
         let other = Matrix::from_fn(d, d, |r, c| ((r * 31 + c * 7) % 17) as f64);
-        group.bench_with_input(BenchmarkId::new("matmul", d), &cov, |b, m| {
-            b.iter(|| black_box(m.matmul(&other).unwrap()))
+        bench("linalg", &format!("matmul/{d}"), || {
+            cov.matmul(&other).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_model_builds,
-    bench_nlq_accumulate,
-    bench_clustering,
-    bench_factor_analysis,
-    bench_linalg_kernels
-);
-criterion_main!(benches);
+fn bench_row_vs_block_scan() {
+    // The Γ (n, L, Q) scan, row-at-a-time vs the block-at-a-time
+    // vectorized path, over the full engine (parse → plan → parallel
+    // partition scan → aggregate UDF). `NLQ_BENCH_N` overrides the
+    // row count (default 1,000,000).
+    let n: usize = std::env::var("NLQ_BENCH_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    for d in [4usize, 8, 16] {
+        let rows = mixture_data(n, d, 0xc206 + d as u64);
+        let names = col_names(d);
+        let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut db = db_with_points(4, &rows, false);
+        drop(rows);
+        for (mode, on) in [("row", false), ("block", true)] {
+            db.set_block_scan(on);
+            bench("nlq_scan_mode", &format!("{mode}/{d}"), || {
+                db.compute_nlq("X", &cols, MatrixShape::Triangular).unwrap()
+            });
+        }
+    }
+}
+
+fn main() {
+    bench_model_builds();
+    bench_nlq_accumulate();
+    bench_clustering();
+    bench_factor_analysis();
+    bench_linalg_kernels();
+    bench_row_vs_block_scan();
+}

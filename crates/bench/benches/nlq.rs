@@ -1,11 +1,9 @@
 //! Micro-benchmarks for the summary-matrix (`n, L, Q`) computation:
 //! SQL vs UDF (Figures 1-2), parameter-passing styles (Figure 3),
 //! matrix shapes (Figures 4-5), GROUP BY (Table 5), and blocked
-//! high-d calls (Table 6), at criterion-friendly sizes.
+//! high-d calls (Table 6), at quick-run sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use nlq_bench::harness::{bench, bench_once};
 use nlq_bench::{col_names, db_with_points, mixture_data};
 use nlq_engine::{Db, NlqMethod};
 use nlq_models::MatrixShape;
@@ -19,113 +17,78 @@ fn db_at(d: usize) -> (Db, Vec<String>) {
     (db_with_points(WORKERS, &rows, false), col_names(d))
 }
 
-fn bench_sql_vs_udf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nlq_sql_vs_udf");
+fn bench_sql_vs_udf() {
     for d in [8usize, 32] {
         let (db, names) = db_at(d);
         let cols: Vec<&str> = names.iter().map(String::as_str).collect();
-        group.bench_with_input(BenchmarkId::new("sql", d), &d, |b, _| {
-            b.iter(|| {
-                black_box(
-                    db.compute_nlq_with(NlqMethod::Sql, "X", &cols, MatrixShape::Triangular)
-                        .unwrap(),
-                )
-            })
+        bench("nlq_sql_vs_udf", &format!("sql/{d}"), || {
+            db.compute_nlq_with(NlqMethod::Sql, "X", &cols, MatrixShape::Triangular)
+                .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("udf", d), &d, |b, _| {
-            b.iter(|| {
-                black_box(
-                    db.compute_nlq_with(NlqMethod::UdfList, "X", &cols, MatrixShape::Triangular)
-                        .unwrap(),
-                )
-            })
+        bench("nlq_sql_vs_udf", &format!("udf/{d}"), || {
+            db.compute_nlq_with(NlqMethod::UdfList, "X", &cols, MatrixShape::Triangular)
+                .unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_param_styles(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nlq_param_style");
+fn bench_param_styles() {
     for d in [8usize, 32] {
         let (db, names) = db_at(d);
         let cols: Vec<&str> = names.iter().map(String::as_str).collect();
-        group.bench_with_input(BenchmarkId::new("list", d), &d, |b, _| {
-            b.iter(|| {
-                black_box(
-                    db.compute_nlq_with(NlqMethod::UdfList, "X", &cols, MatrixShape::Triangular)
-                        .unwrap(),
-                )
-            })
+        bench("nlq_param_style", &format!("list/{d}"), || {
+            db.compute_nlq_with(NlqMethod::UdfList, "X", &cols, MatrixShape::Triangular)
+                .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("string", d), &d, |b, _| {
-            b.iter(|| {
-                black_box(
-                    db.compute_nlq_with(NlqMethod::UdfString, "X", &cols, MatrixShape::Triangular)
-                        .unwrap(),
-                )
-            })
+        bench("nlq_param_style", &format!("string/{d}"), || {
+            db.compute_nlq_with(NlqMethod::UdfString, "X", &cols, MatrixShape::Triangular)
+                .unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_matrix_shapes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nlq_matrix_shape");
+fn bench_matrix_shapes() {
     let d = 32;
     let (db, names) = db_at(d);
     let cols: Vec<&str> = names.iter().map(String::as_str).collect();
-    for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
-        group.bench_with_input(BenchmarkId::new(shape.name(), d), &shape, |b, &shape| {
-            b.iter(|| black_box(db.compute_nlq("X", &cols, shape).unwrap()))
+    for shape in [
+        MatrixShape::Diagonal,
+        MatrixShape::Triangular,
+        MatrixShape::Full,
+    ] {
+        bench("nlq_matrix_shape", &format!("{}/{d}", shape.name()), || {
+            db.compute_nlq("X", &cols, shape).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_group_by(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nlq_group_by");
+fn bench_group_by() {
     let d = 8;
     let (db, names) = db_at(d);
     let cols: Vec<&str> = names.iter().map(String::as_str).collect();
     for k in [2usize, 16] {
         let expr = format!("i % {k}");
-        group.bench_with_input(BenchmarkId::new("groups", k), &k, |b, _| {
-            b.iter(|| {
-                black_box(
-                    db.compute_nlq_grouped(
-                        "X",
-                        &cols,
-                        &expr,
-                        MatrixShape::Diagonal,
-                        ParamStyle::List,
-                    )
-                    .unwrap(),
-                )
-            })
+        bench("nlq_group_by", &format!("groups/{k}"), || {
+            db.compute_nlq_grouped("X", &cols, &expr, MatrixShape::Diagonal, ParamStyle::List)
+                .unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_blocked(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nlq_blocked");
-    group.sample_size(10);
+fn bench_blocked() {
     for d in [16usize, 32] {
         let (db, names) = db_at(d);
         let cols: Vec<&str> = names.iter().map(String::as_str).collect();
-        group.bench_with_input(BenchmarkId::new("block8", d), &d, |b, _| {
-            b.iter(|| black_box(db.compute_nlq_blocked("X", &cols, 8).unwrap()))
+        bench_once("nlq_blocked", &format!("block8/{d}"), || {
+            db.compute_nlq_blocked("X", &cols, 8).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_sql_vs_udf,
-    bench_param_styles,
-    bench_matrix_shapes,
-    bench_group_by,
-    bench_blocked
-);
-criterion_main!(benches);
+fn main() {
+    bench_sql_vs_udf();
+    bench_param_styles();
+    bench_matrix_shapes();
+    bench_group_by();
+    bench_blocked();
+}

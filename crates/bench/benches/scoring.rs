@@ -1,9 +1,7 @@
 //! Micro-benchmarks for scoring (Table 4 / Figure 6): generated-SQL
 //! arithmetic versus scalar UDFs for regression, PCA and clustering.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use nlq_bench::harness::bench;
 use nlq_bench::{col_names, db_with_points, mixture_data, regression_data};
 use nlq_engine::sqlgen;
 use nlq_models::{KMeans, KMeansConfig, LinearRegression, MatrixShape, Pca, PcaInput};
@@ -13,7 +11,7 @@ const D: usize = 8;
 const K: usize = 4;
 const WORKERS: usize = 4;
 
-fn bench_regression_scoring(c: &mut Criterion) {
+fn bench_regression_scoring() {
     let rows = regression_data(N, D - 1, 0xc101);
     let db = db_with_points(WORKERS, &rows, true);
     let mut names = col_names(D - 1);
@@ -21,19 +19,18 @@ fn bench_regression_scoring(c: &mut Criterion) {
     let cols: Vec<&str> = names.iter().map(String::as_str).collect();
     let nlq = db.compute_nlq("X", &cols, MatrixShape::Triangular).unwrap();
     let model = LinearRegression::fit(&nlq).unwrap();
-    db.register_beta("BETA", model.intercept(), model.coefficients()).unwrap();
+    db.register_beta("BETA", model.intercept(), model.coefficients())
+        .unwrap();
     let x_names = col_names(D - 1);
     let sql_stmt =
         sqlgen::score_regression_sql("X", &x_names, model.intercept(), model.coefficients());
     let udf_stmt = sqlgen::score_regression_udf("X", &x_names, "BETA");
 
-    let mut group = c.benchmark_group("score_regression");
-    group.bench_function("sql", |b| b.iter(|| black_box(db.execute(&sql_stmt).unwrap())));
-    group.bench_function("udf", |b| b.iter(|| black_box(db.execute(&udf_stmt).unwrap())));
-    group.finish();
+    bench("score_regression", "sql", || db.execute(&sql_stmt).unwrap());
+    bench("score_regression", "udf", || db.execute(&udf_stmt).unwrap());
 }
 
-fn bench_pca_scoring(c: &mut Criterion) {
+fn bench_pca_scoring() {
     let rows = mixture_data(N, D, 0xc102);
     let db = db_with_points(WORKERS, &rows, false);
     let names = col_names(D);
@@ -45,13 +42,11 @@ fn bench_pca_scoring(c: &mut Criterion) {
     let sql_stmt = sqlgen::score_pca_sql("X", &names, pca.lambda(), pca.mu());
     let udf_stmt = sqlgen::score_pca_udf("X", &names, K, "LAMBDA", "MU");
 
-    let mut group = c.benchmark_group("score_pca");
-    group.bench_function("sql", |b| b.iter(|| black_box(db.execute(&sql_stmt).unwrap())));
-    group.bench_function("udf", |b| b.iter(|| black_box(db.execute(&udf_stmt).unwrap())));
-    group.finish();
+    bench("score_pca", "sql", || db.execute(&sql_stmt).unwrap());
+    bench("score_pca", "udf", || db.execute(&udf_stmt).unwrap());
 }
 
-fn bench_cluster_scoring(c: &mut Criterion) {
+fn bench_cluster_scoring() {
     let rows = mixture_data(N, D, 0xc103);
     let db = db_with_points(WORKERS, &rows, false);
     let names = col_names(D);
@@ -59,25 +54,26 @@ fn bench_cluster_scoring(c: &mut Criterion) {
     db.register_centroids("C", km.centroids()).unwrap();
     let udf_stmt = sqlgen::score_cluster_udf("X", &names, K, "C");
 
-    let mut group = c.benchmark_group("score_cluster");
-    group.bench_function("sql_two_scans", |b| {
-        b.iter(|| {
-            db.drop_if_exists("DIST");
-            db.execute(&sqlgen::score_cluster_sql_distances("DIST", "X", &names, km.centroids()))
-                .unwrap();
-            let out = db.execute(&sqlgen::score_cluster_sql_argmin("DIST", K)).unwrap();
-            db.drop_if_exists("DIST");
-            black_box(out)
-        })
+    bench("score_cluster", "sql_two_scans", || {
+        db.drop_if_exists("DIST");
+        db.execute(&sqlgen::score_cluster_sql_distances(
+            "DIST",
+            "X",
+            &names,
+            km.centroids(),
+        ))
+        .unwrap();
+        let out = db
+            .execute(&sqlgen::score_cluster_sql_argmin("DIST", K))
+            .unwrap();
+        db.drop_if_exists("DIST");
+        out
     });
-    group.bench_function("udf", |b| b.iter(|| black_box(db.execute(&udf_stmt).unwrap())));
-    group.finish();
+    bench("score_cluster", "udf", || db.execute(&udf_stmt).unwrap());
 }
 
-criterion_group!(
-    benches,
-    bench_regression_scoring,
-    bench_pca_scoring,
-    bench_cluster_scoring
-);
-criterion_main!(benches);
+fn main() {
+    bench_regression_scoring();
+    bench_pca_scoring();
+    bench_cluster_scoring();
+}

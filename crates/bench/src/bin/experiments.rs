@@ -85,7 +85,10 @@ fn main() -> ExitCode {
         let report = experiments::by_id(&cfg, id).expect("id validated above");
         let text = report.render();
         println!("{text}");
-        println!("   [{id} completed in {:.1}s]", start.elapsed().as_secs_f64());
+        println!(
+            "   [{id} completed in {:.1}s]",
+            start.elapsed().as_secs_f64()
+        );
         println!();
         let path = out_dir.join(format!("{id}.txt"));
         if let Err(e) = std::fs::write(&path, &text) {

@@ -59,8 +59,19 @@ pub fn by_id(cfg: &Config, id: &str) -> Option<Report> {
 /// All experiment ids, in paper order, plus ablations beyond the
 /// paper's own tables.
 pub const IDS: [&str; 13] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3", "fig4",
-    "fig5", "fig6", "ablation1",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ablation1",
 ];
 
 fn cols_of(names: &[String]) -> Vec<&str> {
@@ -68,9 +79,16 @@ fn cols_of(names: &[String]) -> Vec<&str> {
 }
 
 /// Time to compute `n, L, Q` inside the DBMS with the given method.
-fn nlq_time(cfg: &Config, db: &Db, cols: &[&str], method: NlqMethod, shape: MatrixShape) -> (Nlq, f64) {
+fn nlq_time(
+    cfg: &Config,
+    db: &Db,
+    cols: &[&str],
+    method: NlqMethod,
+    shape: MatrixShape,
+) -> (Nlq, f64) {
     time_median(cfg.repeat, || {
-        db.compute_nlq_with(method, "X", cols, shape).expect("nLQ computation")
+        db.compute_nlq_with(method, "X", cols, shape)
+            .expect("nLQ computation")
     })
 }
 
@@ -82,14 +100,11 @@ fn nlq_time(cfg: &Config, db: &Db, cols: &[&str], method: NlqMethod, shape: Matr
 /// to reproduce the paper's hardware asymmetry (20-thread server vs a
 /// single-core workstation) — on this host both paths would otherwise
 /// share the same CPUs. The factor is reported in the table notes.
-fn external_nlq_time(
-    cfg: &Config,
-    rows: &[Vec<f64>],
-    shape: MatrixShape,
-    tag: &str,
-) -> (Nlq, f64) {
+fn external_nlq_time(cfg: &Config, rows: &[Vec<f64>], shape: MatrixShape, tag: &str) -> (Nlq, f64) {
     let path = std::env::temp_dir().join(format!("nlq_bench_{tag}_{}", std::process::id()));
-    OdbcChannel::unthrottled().export_rows(rows, &path).expect("export");
+    OdbcChannel::unthrottled()
+        .export_rows(rows, &path)
+        .expect("export");
     let (nlq, t) = time_median(cfg.repeat, || {
         ExternalAnalyzer::new(shape)
             .compute_nlq_from_file(&path)
@@ -103,7 +118,9 @@ fn external_nlq_time(
 fn odbc_export_time(rows: &[Vec<f64>], tag: &str) -> f64 {
     let path = std::env::temp_dir().join(format!("nlq_bench_odbc_{tag}_{}", std::process::id()));
     let (_, t) = crate::time_once(|| {
-        OdbcChannel::default().export_rows(rows, &path).expect("export")
+        OdbcChannel::default()
+            .export_rows(rows, &path)
+            .expect("export")
     });
     std::fs::remove_file(&path).ok();
     t
@@ -141,7 +158,15 @@ pub fn table1(cfg: &Config) -> Report {
     let mut report = Report::new(
         "table1",
         "Total time to build models at d = 32 (secs)",
-        &["n(x1000)", "C++ corr/lr", "SQL corr/lr", "UDF corr/lr", "C++ PCA", "SQL PCA", "UDF PCA"],
+        &[
+            "n(x1000)",
+            "C++ corr/lr",
+            "SQL corr/lr",
+            "UDF corr/lr",
+            "C++ PCA",
+            "SQL PCA",
+            "UDF PCA",
+        ],
     );
     report.note(format!(
         "paper n divided by scale={}; C++ excludes ODBC export time (as the paper's Table 1 does)",
@@ -169,8 +194,9 @@ pub fn table1(cfg: &Config) -> Report {
         let (_, t_corr) = time_median(cfg.repeat, || {
             CorrelationModel::fit(&nlq_udf).expect("correlation")
         });
-        let (_, t_lr) =
-            time_median(cfg.repeat, || LinearRegression::fit(&nlq_udf).expect("regression"));
+        let (_, t_lr) = time_median(cfg.repeat, || {
+            LinearRegression::fit(&nlq_udf).expect("regression")
+        });
         let t_build = t_corr.max(t_lr); // the paper reports them as one column
         let (_, t_pca) = time_median(cfg.repeat, || {
             Pca::fit(&nlq_udf, 16.min(d_total), PcaInput::Correlation).expect("pca")
@@ -221,10 +247,8 @@ pub fn table2(cfg: &Config) -> Report {
             let cols = cols_of(&names);
 
             let (_, t_cpp) = external_nlq_time(cfg, &rows, MatrixShape::Triangular, "t2");
-            let (_, t_sql) =
-                nlq_time(cfg, &db, &cols, NlqMethod::Sql, MatrixShape::Triangular);
-            let (_, t_udf) =
-                nlq_time(cfg, &db, &cols, NlqMethod::UdfList, MatrixShape::Triangular);
+            let (_, t_sql) = nlq_time(cfg, &db, &cols, NlqMethod::Sql, MatrixShape::Triangular);
+            let (_, t_udf) = nlq_time(cfg, &db, &cols, NlqMethod::UdfList, MatrixShape::Triangular);
             let t_odbc = odbc_export_time(&rows, "t2");
 
             report.row(vec![
@@ -259,10 +283,12 @@ pub fn table3(cfg: &Config) -> Report {
         let rows = regression_data(n, d - 1, 0xb003 + d as u64);
         let nlq = Nlq::from_rows(d, MatrixShape::Triangular, &rows);
 
-        let (_, t_corr) =
-            time_median(cfg.repeat.max(3), || CorrelationModel::fit(&nlq).expect("corr"));
-        let (_, t_lr) =
-            time_median(cfg.repeat.max(3), || LinearRegression::fit(&nlq).expect("lr"));
+        let (_, t_corr) = time_median(cfg.repeat.max(3), || {
+            CorrelationModel::fit(&nlq).expect("corr")
+        });
+        let (_, t_lr) = time_median(cfg.repeat.max(3), || {
+            LinearRegression::fit(&nlq).expect("lr")
+        });
         let (_, t_pca) = time_median(cfg.repeat.max(3), || {
             Pca::fit(&nlq, (d / 2).max(1), PcaInput::Correlation).expect("pca")
         });
@@ -270,12 +296,7 @@ pub fn table3(cfg: &Config) -> Report {
         let k = 16;
         let per_cluster: Vec<Nlq> = (0..k)
             .map(|j| {
-                let members: Vec<Vec<f64>> = rows
-                    .iter()
-                    .skip(j)
-                    .step_by(k)
-                    .cloned()
-                    .collect();
+                let members: Vec<Vec<f64>> = rows.iter().skip(j).step_by(k).cloned().collect();
                 Nlq::from_rows(d, MatrixShape::Diagonal, &members)
             })
             .collect();
@@ -447,14 +468,8 @@ pub fn table5(cfg: &Config) -> Report {
                 .expect("grouped string")
             });
             let (groups_list, t_list) = time_median(cfg.repeat, || {
-                db.compute_nlq_grouped(
-                    "X",
-                    &cols,
-                    &group,
-                    MatrixShape::Diagonal,
-                    ParamStyle::List,
-                )
-                .expect("grouped list")
+                db.compute_nlq_grouped("X", &cols, &group, MatrixShape::Diagonal, ParamStyle::List)
+                    .expect("grouped list")
             });
             assert_eq!(groups_str.len(), k);
             assert_eq!(groups_list.len(), k);
@@ -528,10 +543,8 @@ fn sql_vs_udf_grid(
             let db = db_with_points(cfg.workers, &rows, false);
             let names = col_names(d);
             let cols = cols_of(&names);
-            let (_, t_sql) =
-                nlq_time(cfg, &db, &cols, NlqMethod::Sql, MatrixShape::Triangular);
-            let (_, t_udf) =
-                nlq_time(cfg, &db, &cols, NlqMethod::UdfList, MatrixShape::Triangular);
+            let (_, t_sql) = nlq_time(cfg, &db, &cols, NlqMethod::Sql, MatrixShape::Triangular);
+            let (_, t_udf) = nlq_time(cfg, &db, &cols, NlqMethod::UdfList, MatrixShape::Triangular);
             report.row(vec![
                 d.to_string(),
                 format!("{}", n / 1000),
@@ -582,10 +595,14 @@ pub fn fig3(cfg: &Config) -> Report {
         let db = db_with_points(cfg.workers, &rows, false);
         let names = col_names(d);
         let cols = cols_of(&names);
-        let (_, t_str) =
-            nlq_time(cfg, &db, &cols, NlqMethod::UdfString, MatrixShape::Triangular);
-        let (_, t_list) =
-            nlq_time(cfg, &db, &cols, NlqMethod::UdfList, MatrixShape::Triangular);
+        let (_, t_str) = nlq_time(
+            cfg,
+            &db,
+            &cols,
+            NlqMethod::UdfString,
+            MatrixShape::Triangular,
+        );
+        let (_, t_list) = nlq_time(cfg, &db, &cols, NlqMethod::UdfList, MatrixShape::Triangular);
         report.row(vec![
             sweep.to_owned(),
             d.to_string(),
@@ -634,7 +651,11 @@ fn shapes_grid(
     n_sweeps: &[(usize, Vec<usize>)],
     d_sweeps: &[(usize, Vec<usize>)],
 ) -> Report {
-    let mut report = Report::new(id, title, &["sweep", "d", "n(x1000)", "diag", "triang", "full"]);
+    let mut report = Report::new(
+        id,
+        title,
+        &["sweep", "d", "n(x1000)", "diag", "triang", "full"],
+    );
     report.note(format!("paper n divided by scale={}", cfg.scale));
     let measure = |sweep: &str, d: usize, n_thousands: usize, report: &mut Report| {
         let n = cfg.n_k(n_thousands);
@@ -643,7 +664,11 @@ fn shapes_grid(
         let names = col_names(d);
         let cols = cols_of(&names);
         let mut times = Vec::new();
-        for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
+        for shape in [
+            MatrixShape::Diagonal,
+            MatrixShape::Triangular,
+            MatrixShape::Full,
+        ] {
             let (_, t) = nlq_time(cfg, &db, &cols, NlqMethod::UdfList, shape);
             times.push(t);
         }
@@ -766,8 +791,7 @@ pub fn ablation1(cfg: &Config) -> Report {
             }
         });
         let (_, t_long) = nlq_time(cfg, &db, &cols, NlqMethod::Sql, MatrixShape::Triangular);
-        let (_, t_udf) =
-            nlq_time(cfg, &db, &cols, NlqMethod::UdfList, MatrixShape::Triangular);
+        let (_, t_udf) = nlq_time(cfg, &db, &cols, NlqMethod::UdfList, MatrixShape::Triangular);
 
         report.row(vec![
             format!("{}", n / 1000),
@@ -788,7 +812,12 @@ mod tests {
     /// A micro configuration so experiment plumbing can be tested
     /// quickly (full runs happen through the binary).
     fn micro() -> Config {
-        Config { scale: 400, workers: 4, repeat: 1, cpu_ratio: None }
+        Config {
+            scale: 400,
+            workers: 4,
+            repeat: 1,
+            cpu_ratio: None,
+        }
     }
 
     #[test]

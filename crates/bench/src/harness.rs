@@ -1,0 +1,61 @@
+//! Minimal self-contained micro-benchmark runner used by the files in
+//! `benches/` (all declared with `harness = false`).
+//!
+//! Each measurement warms up once, then doubles the iteration count
+//! until a fixed wall-clock budget is filled, and reports the
+//! per-iteration time — enough fidelity for the relative comparisons
+//! the paper cares about, with zero external dependencies.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per measurement.
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Hard cap on iterations so trivially cheap bodies still terminate.
+const MAX_ITERS: usize = 1 << 20;
+
+/// Times `f` and prints `group/name: <per-iter time> (<iters> iters)`.
+///
+/// Honors a substring filter passed as the first CLI argument (the
+/// same convention cargo uses for `cargo bench <filter>`).
+pub fn bench<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
+    let label = format!("{group}/{name}");
+    if let Some(filter) = std::env::args().nth(1) {
+        if !filter.starts_with('-') && !label.contains(&filter) {
+            return;
+        }
+    }
+    black_box(f()); // warmup
+    let mut iters = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= BUDGET || iters >= MAX_ITERS {
+            let per = elapsed.as_secs_f64() / iters as f64;
+            println!("{label}: {} / iter ({iters} iters)", crate::secs(per));
+            return;
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+/// Times one invocation of `f` (for expensive bodies where doubling
+/// would take too long) and prints the result.
+pub fn bench_once<T>(group: &str, name: &str, f: impl FnOnce() -> T) {
+    let label = format!("{group}/{name}");
+    if let Some(filter) = std::env::args().nth(1) {
+        if !filter.starts_with('-') && !label.contains(&filter) {
+            return;
+        }
+    }
+    let start = Instant::now();
+    black_box(f());
+    println!(
+        "{label}: {} / iter (1 iter)",
+        crate::secs(start.elapsed().as_secs_f64())
+    );
+}

@@ -11,6 +11,7 @@
 //! fall, what scales linearly) are what the harness demonstrates.
 
 pub mod experiments;
+pub mod harness;
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -43,7 +44,12 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { scale: 20, workers: 20, repeat: 1, cpu_ratio: None }
+        Config {
+            scale: 20,
+            workers: 20,
+            repeat: 1,
+            cpu_ratio: None,
+        }
     }
 }
 
@@ -197,11 +203,21 @@ mod tests {
 
     #[test]
     fn config_scaling() {
-        let cfg = Config { scale: 10, workers: 4, repeat: 1, cpu_ratio: None };
+        let cfg = Config {
+            scale: 10,
+            workers: 4,
+            repeat: 1,
+            cpu_ratio: None,
+        };
         assert_eq!(cfg.n_k(100), 10_000);
         assert_eq!(cfg.n_k(1600), 160_000);
         // Floor keeps tiny workloads meaningful.
-        let tiny = Config { scale: 1000, workers: 4, repeat: 1, cpu_ratio: None };
+        let tiny = Config {
+            scale: 1000,
+            workers: 4,
+            repeat: 1,
+            cpu_ratio: None,
+        };
         assert_eq!(tiny.n_k(100), 500);
     }
 

@@ -21,7 +21,9 @@ impl CorrelationModel {
     /// lacks cross-products) and at least two points; errors if any
     /// dimension has zero variance.
     pub fn fit(nlq: &Nlq) -> Result<Self> {
-        Ok(CorrelationModel { rho: nlq.correlation()? })
+        Ok(CorrelationModel {
+            rho: nlq.correlation()?,
+        })
     }
 
     /// The d × d correlation matrix; symmetric with unit diagonal.

@@ -59,7 +59,10 @@ impl GaussianMixture {
             return Err(ModelError::InvalidConfig("k must be positive".into()));
         }
         if data.len() < k {
-            return Err(ModelError::NotEnoughData { needed: k, got: data.len() });
+            return Err(ModelError::NotEnoughData {
+                needed: k,
+                got: data.len(),
+            });
         }
         let d = data[0].len();
         let n = data.len() as f64;
@@ -67,7 +70,10 @@ impl GaussianMixture {
         // Initialize from K-means.
         let km = KMeans::fit(
             data,
-            &KMeansConfig { seed: config.seed, ..KMeansConfig::new(k) },
+            &KMeansConfig {
+                seed: config.seed,
+                ..KMeansConfig::new(k)
+            },
         )?;
         let mut means: Vec<Vector> = km.centroids().to_vec();
         let mut variances: Vec<Vector> = km
@@ -75,15 +81,14 @@ impl GaussianMixture {
             .iter()
             .map(|r| {
                 Vector::from_vec(
-                    r.as_slice().iter().map(|&v| v.max(config.min_variance)).collect(),
+                    r.as_slice()
+                        .iter()
+                        .map(|&v| v.max(config.min_variance))
+                        .collect(),
                 )
             })
             .collect();
-        let mut weights: Vec<f64> = km
-            .weights()
-            .iter()
-            .map(|&w| w.max(1e-12))
-            .collect();
+        let mut weights: Vec<f64> = km.weights().iter().map(|&w| w.max(1e-12)).collect();
         normalize(&mut weights);
 
         let mut prev_ll = f64::NEG_INFINITY;
@@ -97,8 +102,7 @@ impl GaussianMixture {
 
             // One scan: E-step responsibilities feeding weighted
             // per-component diagonal statistics (the M-step inputs).
-            let mut stats: Vec<Nlq> =
-                (0..k).map(|_| Nlq::new(d, MatrixShape::Diagonal)).collect();
+            let mut stats: Vec<Nlq> = (0..k).map(|_| Nlq::new(d, MatrixShape::Diagonal)).collect();
             let mut ll = 0.0;
             for x in data {
                 // Log-domain densities for numerical stability.
@@ -146,7 +150,14 @@ impl GaussianMixture {
             normalize(&mut weights);
         }
 
-        Ok(GaussianMixture { means, variances, weights, log_likelihood, iterations, converged })
+        Ok(GaussianMixture {
+            means,
+            variances,
+            weights,
+            log_likelihood,
+            iterations,
+            converged,
+        })
     }
 
     /// Number of components.
@@ -188,7 +199,9 @@ impl GaussianMixture {
     pub fn responsibilities(&self, x: &[f64]) -> Vec<f64> {
         let k = self.k();
         let mut lp: Vec<f64> = (0..k)
-            .map(|j| self.weights[j].ln() + log_gaussian_diag(x, &self.means[j], &self.variances[j]))
+            .map(|j| {
+                self.weights[j].ln() + log_gaussian_diag(x, &self.means[j], &self.variances[j])
+            })
             .collect();
         let max_lp = lp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;
@@ -300,7 +313,10 @@ mod tests {
         let data = two_blobs();
         let short = GaussianMixture::fit(
             &data,
-            &GaussianMixtureConfig { max_iters: 1, ..GaussianMixtureConfig::new(2) },
+            &GaussianMixtureConfig {
+                max_iters: 1,
+                ..GaussianMixtureConfig::new(2)
+            },
         )
         .unwrap();
         let long = GaussianMixture::fit(&data, &GaussianMixtureConfig::new(2)).unwrap();

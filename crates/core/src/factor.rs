@@ -20,7 +20,12 @@ pub struct FactorAnalysisConfig {
 impl FactorAnalysisConfig {
     /// Reasonable defaults for `k` factors.
     pub fn new(k: usize) -> Self {
-        FactorAnalysisConfig { k, max_iters: 500, tol: 1e-5, min_psi: 1e-6 }
+        FactorAnalysisConfig {
+            k,
+            max_iters: 500,
+            tol: 1e-5,
+            min_psi: 1e-6,
+        }
     }
 }
 
@@ -54,7 +59,10 @@ impl FactorAnalysis {
         }
         let n = nlq.n();
         if n < 2.0 {
-            return Err(ModelError::NotEnoughData { needed: 2, got: n as usize });
+            return Err(ModelError::NotEnoughData {
+                needed: 2,
+                got: n as usize,
+            });
         }
         let s = nlq.covariance()?;
         let mu = nlq.mean()?.into_vec();
@@ -93,7 +101,9 @@ impl FactorAnalysis {
             let log_det = {
                 let det = lu.determinant();
                 if det <= 0.0 {
-                    return Err(ModelError::Linalg(nlq_linalg::LinalgError::NotPositiveDefinite));
+                    return Err(ModelError::Linalg(
+                        nlq_linalg::LinalgError::NotPositiveDefinite,
+                    ));
                 }
                 det.ln()
             };
@@ -101,9 +111,8 @@ impl FactorAnalysis {
             // Log-likelihood (up to the model-independent constant):
             // -n/2 (d ln 2π + ln|Σ| + tr(Σ⁻¹ S)).
             let trace = sigma_inv.matmul(&s)?.trace();
-            log_likelihood = -0.5
-                * n
-                * (d as f64 * (2.0 * std::f64::consts::PI).ln() + log_det + trace);
+            log_likelihood =
+                -0.5 * n * (d as f64 * (2.0 * std::f64::consts::PI).ln() + log_det + trace);
 
             if (log_likelihood - prev_ll).abs() < config.tol * (1.0 + log_likelihood.abs()) {
                 converged = true;
@@ -133,7 +142,14 @@ impl FactorAnalysis {
             lambda = new_lambda;
         }
 
-        Ok(FactorAnalysis { lambda, psi, mu, log_likelihood, iterations, converged })
+        Ok(FactorAnalysis {
+            lambda,
+            psi,
+            mu,
+            log_likelihood,
+            iterations,
+            converged,
+        })
     }
 
     /// The d × k factor loading matrix `Λ`.
@@ -188,7 +204,10 @@ impl FactorAnalysis {
     pub fn score(&self, x: &[f64]) -> Result<Vec<f64>> {
         let d = self.mu.len();
         if x.len() != d {
-            return Err(ModelError::DimensionMismatch { expected: d, got: x.len() });
+            return Err(ModelError::DimensionMismatch {
+                expected: d,
+                got: x.len(),
+            });
         }
         let sigma_inv = invert(&self.implied_covariance())?;
         let b = self.lambda.transpose().matmul(&sigma_inv)?; // k×d
@@ -229,8 +248,8 @@ mod tests {
 
     #[test]
     fn recovers_one_factor_structure() {
-        let fa = FactorAnalysis::fit(&stats(&one_factor_rows()), &FactorAnalysisConfig::new(1))
-            .unwrap();
+        let fa =
+            FactorAnalysis::fit(&stats(&one_factor_rows()), &FactorAnalysisConfig::new(1)).unwrap();
         // Loadings proportional to (2, 1, -1, 0.5) up to sign.
         let l: Vec<f64> = (0..4).map(|r| fa.lambda()[(r, 0)]).collect();
         let scale = l[0] / 2.0;
@@ -261,7 +280,10 @@ mod tests {
         for iters in [1, 5, 25, 125] {
             let fa = FactorAnalysis::fit(
                 &s,
-                &FactorAnalysisConfig { max_iters: iters, ..FactorAnalysisConfig::new(1) },
+                &FactorAnalysisConfig {
+                    max_iters: iters,
+                    ..FactorAnalysisConfig::new(1)
+                },
             )
             .unwrap();
             assert!(
@@ -274,10 +296,17 @@ mod tests {
         // With a practical tolerance the fit converges well within budget.
         let fa = FactorAnalysis::fit(
             &s,
-            &FactorAnalysisConfig { tol: 1e-4, ..FactorAnalysisConfig::new(1) },
+            &FactorAnalysisConfig {
+                tol: 1e-4,
+                ..FactorAnalysisConfig::new(1)
+            },
         )
         .unwrap();
-        assert!(fa.converged(), "did not converge in {} iters", fa.iterations());
+        assert!(
+            fa.converged(),
+            "did not converge in {} iters",
+            fa.iterations()
+        );
         assert!(fa.log_likelihood().is_finite());
     }
 
@@ -310,7 +339,10 @@ mod tests {
         let fa = FactorAnalysis::fit(&s, &FactorAnalysisConfig::new(1)).unwrap();
         assert!(matches!(
             fa.score(&[1.0, 2.0]),
-            Err(ModelError::DimensionMismatch { expected: 4, got: 2 })
+            Err(ModelError::DimensionMismatch {
+                expected: 4,
+                got: 2
+            })
         ));
     }
 }

@@ -28,7 +28,13 @@ impl Histogram {
                 "invalid range [{lo}, {hi}]"
             )));
         }
-        Ok(Histogram { lo, hi, counts: vec![0; buckets], below: 0, above: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            below: 0,
+            above: 0,
+        })
     }
 
     /// Number of buckets.

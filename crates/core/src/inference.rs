@@ -66,8 +66,7 @@ pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> Result<f64> {
         return Ok(1.0);
     }
     // Prefactor: x^a (1-x)^b / (a B(a, b)).
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     // Use the symmetry relation to keep the continued fraction in its
     // rapidly converging region.
     if x < (a + 1.0) / (a + b + 2.0) {
@@ -193,7 +192,12 @@ pub fn regression_t_tests(model: &LinearRegression) -> Result<Vec<CoefficientTes
             } else {
                 0.0
             };
-            Ok(CoefficientTest { estimate, std_error, t_statistic, p_value })
+            Ok(CoefficientTest {
+                estimate,
+                std_error,
+                t_statistic,
+                p_value,
+            })
         })
         .collect()
 }
@@ -203,7 +207,10 @@ pub fn regression_t_tests(model: &LinearRegression) -> Result<Vec<CoefficientTes
 /// H₀: ρ = 0 (`t = r √(n−2) / √(1−r²)`, df = n − 2).
 pub fn correlation_t_test(r: f64, n: f64) -> Result<(f64, f64)> {
     if n < 3.0 {
-        return Err(ModelError::NotEnoughData { needed: 3, got: n as usize });
+        return Err(ModelError::NotEnoughData {
+            needed: 3,
+            got: n as usize,
+        });
     }
     if !(-1.0..=1.0).contains(&r) {
         return Err(ModelError::InvalidConfig(format!(
@@ -279,7 +286,7 @@ mod tests {
         let model = LinearRegression::fit(&nlq).unwrap();
         let tests = regression_t_tests(&model).unwrap();
         assert_eq!(tests.len(), 3); // intercept + 2 coefficients
-        // x1 is overwhelmingly significant.
+                                    // x1 is overwhelmingly significant.
         assert!(tests[1].p_value < 1e-10, "x1 p = {}", tests[1].p_value);
         assert!(tests[1].t_statistic > 10.0);
         // x2 is not.

@@ -19,7 +19,12 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// Reasonable defaults for `k` clusters.
     pub fn new(k: usize) -> Self {
-        KMeansConfig { k, max_iters: 50, tol: 1e-6, seed: 0x5eed_0003 }
+        KMeansConfig {
+            k,
+            max_iters: 50,
+            tol: 1e-6,
+            seed: 0x5eed_0003,
+        }
     }
 }
 
@@ -126,7 +131,10 @@ impl KMeans {
             return Err(ModelError::InvalidConfig("k must be positive".into()));
         }
         if data.len() < k {
-            return Err(ModelError::NotEnoughData { needed: k, got: data.len() });
+            return Err(ModelError::NotEnoughData {
+                needed: k,
+                got: data.len(),
+            });
         }
         let d = data[0].len();
         let mut centroids = init_centroids(data, k, config.seed);
@@ -184,7 +192,15 @@ impl KMeans {
             })
             .sum();
 
-        Ok(KMeans { centroids, radii, weights, counts, iterations, converged, sse })
+        Ok(KMeans {
+            centroids,
+            radii,
+            weights,
+            counts,
+            iterations,
+            converged,
+            sse,
+        })
     }
 
     /// Number of clusters.
@@ -304,7 +320,10 @@ impl IncrementalKMeans {
     /// Finalizes the model into the same output form as [`KMeans`].
     pub fn finish(self) -> Result<KMeans> {
         if self.seen <= 0.0 {
-            return Err(ModelError::NotEnoughData { needed: self.k(), got: 0 });
+            return Err(ModelError::NotEnoughData {
+                needed: self.k(),
+                got: 0,
+            });
         }
         let total = self.seen;
         let mut centroids = Vec::with_capacity(self.k());
@@ -316,7 +335,10 @@ impl IncrementalKMeans {
             let c = if stats.n() > 0.0 {
                 c
             } else {
-                self.centroids.get(j).cloned().unwrap_or_else(|| Vector::zeros(self.d))
+                self.centroids
+                    .get(j)
+                    .cloned()
+                    .unwrap_or_else(|| Vector::zeros(self.d))
             };
             centroids.push(c);
             radii.push(r);
@@ -408,7 +430,12 @@ mod tests {
         let data = blobs();
         let k1 = KMeans::fit(&data, &KMeansConfig::new(1)).unwrap();
         let k3 = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
-        assert!(k3.sse() < k1.sse() * 0.1, "sse1={} sse3={}", k1.sse(), k3.sse());
+        assert!(
+            k3.sse() < k1.sse() * 0.1,
+            "sse1={} sse3={}",
+            k1.sse(),
+            k3.sse()
+        );
     }
 
     #[test]

@@ -94,14 +94,20 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::NotEnoughData { needed, got } => {
-                write!(f, "not enough data: need at least {needed} points, got {got}")
+                write!(
+                    f,
+                    "not enough data: need at least {needed} points, got {got}"
+                )
             }
             ModelError::ZeroVariance { dimension } => {
                 write!(f, "dimension {dimension} has zero variance")
             }
             ModelError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             ModelError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: model has d={expected}, input has d={got}")
+                write!(
+                    f,
+                    "dimension mismatch: model has d={expected}, input has d={got}"
+                )
             }
             ModelError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }

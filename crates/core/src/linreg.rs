@@ -55,7 +55,10 @@ impl LinearRegression {
         }
         let n = nlq.n();
         if n < (d + 1) as f64 {
-            return Err(ModelError::NotEnoughData { needed: d + 1, got: n as usize });
+            return Err(ModelError::NotEnoughData {
+                needed: d + 1,
+                got: n as usize,
+            });
         }
         let q = nlq.q_full();
         let l = nlq.l();
@@ -93,7 +96,14 @@ impl LinearRegression {
             None
         };
 
-        Ok(LinearRegression { intercept, coefficients, var_beta, sse, sst, n })
+        Ok(LinearRegression {
+            intercept,
+            coefficients,
+            var_beta,
+            sse,
+            sst,
+            n,
+        })
     }
 
     /// Number of independent dimensions `d`.

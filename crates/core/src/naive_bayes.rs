@@ -44,7 +44,10 @@ impl<C: Clone + PartialEq> GaussianNb<C> {
         let mut variances = Vec::with_capacity(stats.len());
         for (label, s) in stats {
             if s.d() != d {
-                return Err(ModelError::DimensionMismatch { expected: d, got: s.d() });
+                return Err(ModelError::DimensionMismatch {
+                    expected: d,
+                    got: s.d(),
+                });
             }
             if s.n() <= 0.0 {
                 return Err(ModelError::NotEnoughData { needed: 1, got: 0 });
@@ -59,7 +62,12 @@ impl<C: Clone + PartialEq> GaussianNb<C> {
             means.push(mean);
             variances.push(var);
         }
-        Ok(GaussianNb { classes, log_priors, means, variances })
+        Ok(GaussianNb {
+            classes,
+            log_priors,
+            means,
+            variances,
+        })
     }
 
     /// Fits directly from labeled rows (single pass, building one
@@ -101,7 +109,10 @@ impl<C: Clone + PartialEq> GaussianNb<C> {
     /// Unnormalized per-class log posteriors `log P(c) + log P(x|c)`.
     pub fn log_scores(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.d() {
-            return Err(ModelError::DimensionMismatch { expected: self.d(), got: x.len() });
+            return Err(ModelError::DimensionMismatch {
+                expected: self.d(),
+                got: x.len(),
+            });
         }
         Ok((0..self.classes.len())
             .map(|c| {
@@ -161,12 +172,7 @@ mod tests {
 
     fn fitted() -> GaussianNb<&'static str> {
         let data = labeled_data();
-        GaussianNb::fit(
-            data.iter().map(|(x, l)| (x.as_slice(), *l)),
-            2,
-            1e-9,
-        )
-        .unwrap()
+        GaussianNb::fit(data.iter().map(|(x, l)| (x.as_slice(), *l)), 2, 1e-9).unwrap()
     }
 
     #[test]
@@ -216,12 +222,7 @@ mod tests {
         for i in 0..10 {
             samples.push((vec![5.0 + i as f64 * 0.01], "b"));
         }
-        let nb = GaussianNb::fit(
-            samples.iter().map(|(x, l)| (x.as_slice(), *l)),
-            1,
-            1e-9,
-        )
-        .unwrap();
+        let nb = GaussianNb::fit(samples.iter().map(|(x, l)| (x.as_slice(), *l)), 1, 1e-9).unwrap();
         // At the midpoint between the classes (where likelihoods are
         // nearly symmetric), the larger prior wins... but means are
         // far apart; instead check priors directly via posteriors of
@@ -257,16 +258,13 @@ mod tests {
     #[test]
     fn variance_floor_applies() {
         // A constant dimension would give zero variance.
-        let samples = [(vec![1.0, 5.0], "a"),
+        let samples = [
+            (vec![1.0, 5.0], "a"),
             (vec![2.0, 5.0], "a"),
             (vec![9.0, 5.0], "b"),
-            (vec![10.0, 5.0], "b")];
-        let nb = GaussianNb::fit(
-            samples.iter().map(|(x, l)| (x.as_slice(), *l)),
-            2,
-            1e-6,
-        )
-        .unwrap();
+            (vec![10.0, 5.0], "b"),
+        ];
+        let nb = GaussianNb::fit(samples.iter().map(|(x, l)| (x.as_slice(), *l)), 2, 1e-6).unwrap();
         let scores = nb.log_scores(&[1.5, 5.0]).unwrap();
         assert!(scores.iter().all(|s| s.is_finite()));
         assert_eq!(nb.predict(&[1.5, 5.0]).unwrap(), &"a");

@@ -180,7 +180,10 @@ impl Nlq {
     /// Panics if dimensionalities or shapes differ.
     pub fn merge(&mut self, other: &Nlq) {
         assert_eq!(self.d, other.d, "cannot merge statistics of different d");
-        assert_eq!(self.shape, other.shape, "cannot merge statistics of different shape");
+        assert_eq!(
+            self.shape, other.shape,
+            "cannot merge statistics of different shape"
+        );
         self.n += other.n;
         self.l.add_assign(other.l.as_slice());
         for a in 0..self.d {
@@ -258,9 +261,20 @@ impl Nlq {
     ) -> Result<Self> {
         let d = l.len();
         if q.shape() != (d, d) || min.len() != d || max.len() != d {
-            return Err(ModelError::DimensionMismatch { expected: d, got: q.rows() });
+            return Err(ModelError::DimensionMismatch {
+                expected: d,
+                got: q.rows(),
+            });
         }
-        Ok(Nlq { d, shape, n, l, q, min, max })
+        Ok(Nlq {
+            d,
+            shape,
+            n,
+            l,
+            q,
+            min,
+            max,
+        })
     }
 
     /// Dimensionality `d`.
@@ -340,7 +354,10 @@ impl Nlq {
     /// constant.
     pub fn correlation(&self) -> Result<Matrix> {
         if self.n < 2.0 {
-            return Err(ModelError::NotEnoughData { needed: 2, got: self.n as usize });
+            return Err(ModelError::NotEnoughData {
+                needed: 2,
+                got: self.n as usize,
+            });
         }
         let q = self.q_full();
         let mut denom = Vec::with_capacity(self.d);
@@ -518,7 +535,11 @@ mod tests {
 
     #[test]
     fn shape_parse_roundtrip() {
-        for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
+        for shape in [
+            MatrixShape::Diagonal,
+            MatrixShape::Triangular,
+            MatrixShape::Full,
+        ] {
             assert_eq!(MatrixShape::parse(shape.name()), Some(shape));
         }
         assert_eq!(MatrixShape::parse("bogus"), None);

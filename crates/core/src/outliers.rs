@@ -49,7 +49,10 @@ impl OutlierDetector {
             ));
         }
         if nlq.n() < 2.0 {
-            return Err(ModelError::NotEnoughData { needed: 2, got: nlq.n() as usize });
+            return Err(ModelError::NotEnoughData {
+                needed: 2,
+                got: nlq.n() as usize,
+            });
         }
         let mean = nlq.mean()?.into_vec();
         let std_dev = nlq.variances()?.iter().map(|v| v.max(0.0).sqrt()).collect();
@@ -89,7 +92,10 @@ impl OutlierDetector {
             if z.abs() > self.threshold {
                 reasons.push(OutlierReason::ZScore { dimension: a, z });
             } else if v < self.min[a] || v > self.max[a] {
-                reasons.push(OutlierReason::OutOfRange { dimension: a, value: v });
+                reasons.push(OutlierReason::OutOfRange {
+                    dimension: a,
+                    value: v,
+                });
             }
         }
         reasons

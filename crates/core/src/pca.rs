@@ -198,7 +198,11 @@ mod tests {
         let pca = Pca::fit(&stats(&rows), 2, PcaInput::Covariance).unwrap();
         // Rank-2 model of near-rank-2 data: reconstruction nearly exact.
         for r in rows.iter().take(10) {
-            assert!(pca.reconstruction_error(r) < 1e-3, "err = {}", pca.reconstruction_error(r));
+            assert!(
+                pca.reconstruction_error(r) < 1e-3,
+                "err = {}",
+                pca.reconstruction_error(r)
+            );
         }
     }
 

@@ -82,7 +82,10 @@ pub fn squared_distance(x: &[f64], c: &[f64]) -> f64 {
 /// Panics if `distances` is empty.
 #[inline]
 pub fn nearest_centroid(distances: &[f64]) -> usize {
-    assert!(!distances.is_empty(), "clusterscore needs at least one distance");
+    assert!(
+        !distances.is_empty(),
+        "clusterscore needs at least one distance"
+    );
     let mut best = 0;
     for (j, &d) in distances.iter().enumerate().skip(1) {
         if d < distances[best] {

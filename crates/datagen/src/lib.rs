@@ -14,17 +14,14 @@
 
 mod mixture;
 mod regression;
+pub mod rng;
 
 pub use mixture::{MixtureGenerator, MixtureSpec};
 pub use regression::{RegressionGenerator, RegressionSpec};
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::StdRng;
 
 /// Draws one standard normal sample using the Box-Muller transform.
-///
-/// The `rand` crate alone (without `rand_distr`) has no normal
-/// distribution, so we implement the classic transform directly.
 pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
     // u1 in (0, 1] to avoid ln(0).
     let u1: f64 = 1.0 - rng.random::<f64>();

@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::RngExt;
+use crate::rng::StdRng;
 
 use crate::{seeded_rng, standard_normal};
 
@@ -95,7 +94,9 @@ impl MixtureGenerator {
     pub fn next_labeled(&mut self) -> (Vec<f64>, Option<usize>) {
         let (lo, hi) = self.spec.mean_range;
         if self.rng.random::<f64>() < self.spec.noise_fraction {
-            let x = (0..self.spec.d).map(|_| self.rng.random_range(lo..hi)).collect();
+            let x = (0..self.spec.d)
+                .map(|_| self.rng.random_range(lo..hi))
+                .collect();
             return (x, None);
         }
         let j = self.rng.random_range(0..self.spec.k);

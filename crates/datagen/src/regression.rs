@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::RngExt;
+use crate::rng::StdRng;
 
 use crate::{seeded_rng, standard_normal};
 
@@ -76,7 +75,9 @@ impl RegressionGenerator {
     /// Draws the next `(x, y)` sample.
     pub fn next_sample(&mut self) -> (Vec<f64>, f64) {
         let (lo, hi) = self.spec.x_range;
-        let x: Vec<f64> = (0..self.spec.d).map(|_| self.rng.random_range(lo..hi)).collect();
+        let x: Vec<f64> = (0..self.spec.d)
+            .map(|_| self.rng.random_range(lo..hi))
+            .collect();
         let mut y = self.spec.intercept;
         for (xi, bi) in x.iter().zip(&self.spec.coefficients) {
             y += xi * bi;
@@ -118,8 +119,11 @@ mod tests {
         let mut g = RegressionGenerator::new(spec.clone());
         for _ in 0..100 {
             let (x, y) = g.next_sample();
-            let expect =
-                spec.intercept + x.iter().zip(&spec.coefficients).map(|(a, b)| a * b).sum::<f64>();
+            let expect = spec.intercept
+                + x.iter()
+                    .zip(&spec.coefficients)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>();
             assert!((y - expect).abs() < 1e-9);
         }
     }

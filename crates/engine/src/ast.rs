@@ -176,7 +176,10 @@ pub enum Statement {
 impl Expr {
     /// Convenience constructor for an unqualified column reference.
     pub fn col(name: impl Into<String>) -> Expr {
-        Expr::Column { table: None, name: name.into() }
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
     }
 
     /// Whether this expression contains any function call for which
@@ -192,7 +195,10 @@ impl Expr {
             Expr::Call { name, args } => {
                 is_aggregate(name) || args.iter().any(|a| a.contains_aggregate(is_aggregate))
             }
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 branches.iter().any(|(c, v)| {
                     c.contains_aggregate(is_aggregate) || v.contains_aggregate(is_aggregate)
                 }) || else_expr
@@ -221,7 +227,10 @@ mod tests {
 
         let agg = Expr::Binary {
             op: BinOp::Div,
-            lhs: Box::new(Expr::Call { name: "sum".into(), args: vec![Expr::col("x")] }),
+            lhs: Box::new(Expr::Call {
+                name: "sum".into(),
+                args: vec![Expr::col("x")],
+            }),
             rhs: Box::new(Expr::Literal(Value::Int(2))),
         };
         assert!(agg.contains_aggregate(&is_agg));
@@ -229,7 +238,10 @@ mod tests {
         let nested_case = Expr::Case {
             branches: vec![(
                 Expr::col("c"),
-                Expr::Call { name: "sum".into(), args: vec![Expr::col("x")] },
+                Expr::Call {
+                    name: "sum".into(),
+                    args: vec![Expr::col("x")],
+                },
             )],
             else_expr: None,
         };

@@ -1,7 +1,5 @@
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use nlq_storage::Table;
 
@@ -30,17 +28,24 @@ impl Catalog {
     }
 
     pub fn get(&self, name: &str) -> Option<CatalogEntry> {
-        self.map.read().get(&name.to_ascii_lowercase()).cloned()
+        self.map
+            .read()
+            .expect("catalog lock")
+            .get(&name.to_ascii_lowercase())
+            .cloned()
     }
 
     pub fn contains(&self, name: &str) -> bool {
-        self.map.read().contains_key(&name.to_ascii_lowercase())
+        self.map
+            .read()
+            .expect("catalog lock")
+            .contains_key(&name.to_ascii_lowercase())
     }
 
     /// Registers a new entry; errors if the name is taken.
     pub fn insert(&self, name: &str, entry: CatalogEntry) -> Result<()> {
         let key = name.to_ascii_lowercase();
-        let mut map = self.map.write();
+        let mut map = self.map.write().expect("catalog lock");
         if map.contains_key(&key) {
             return Err(EngineError::DuplicateTable(name.to_owned()));
         }
@@ -50,12 +55,21 @@ impl Catalog {
 
     /// Registers or replaces an entry.
     pub fn insert_or_replace(&self, name: &str, entry: CatalogEntry) {
-        self.map.write().insert(name.to_ascii_lowercase(), entry);
+        self.map
+            .write()
+            .expect("catalog lock")
+            .insert(name.to_ascii_lowercase(), entry);
     }
 
     /// Removes an entry; errors if absent.
     pub fn remove(&self, name: &str) -> Result<()> {
-        if self.map.write().remove(&name.to_ascii_lowercase()).is_none() {
+        if self
+            .map
+            .write()
+            .expect("catalog lock")
+            .remove(&name.to_ascii_lowercase())
+            .is_none()
+        {
             return Err(EngineError::UnknownTable(name.to_owned()));
         }
         Ok(())
@@ -65,6 +79,7 @@ impl Catalog {
     pub fn replace_table(&self, name: &str, table: Arc<Table>) {
         self.map
             .write()
+            .expect("catalog lock")
             .insert(name.to_ascii_lowercase(), CatalogEntry::Table(table));
     }
 }

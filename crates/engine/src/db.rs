@@ -25,19 +25,58 @@ pub enum NlqMethod {
     UdfString,
 }
 
+/// Per-statement execution counters (the instrumentation the paper's
+/// Table 4/6 timings would be read from). Scans that never reach the
+/// aggregate executor leave them zeroed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Base-table rows read during phase 2.
+    pub rows_scanned: u64,
+    /// Column blocks decoded (0 on the row-at-a-time path).
+    pub blocks_scanned: u64,
+    /// Whether the vectorized block path executed the scan.
+    pub block_path: bool,
+    /// Phase 2 (row/block aggregation) time, summed over workers.
+    pub accumulate_nanos: u64,
+    /// Phase 3 (partial-result merge) time on the master.
+    pub merge_nanos: u64,
+    /// Phase 4 (finalize + HAVING + projection) time on the master.
+    pub finalize_nanos: u64,
+}
+
 /// Rows returned by a query.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ResultSet {
     /// Output column names.
     pub columns: Vec<String>,
     /// Output rows.
     pub rows: Vec<Row>,
+    /// Execution counters for the statement that produced this result.
+    pub stats: ExecStats,
+}
+
+/// Equality ignores [`ResultSet::stats`]: two runs of the same query
+/// are "the same result" regardless of which scan path produced it or
+/// how long the phases took.
+impl PartialEq for ResultSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
 }
 
 impl ResultSet {
+    /// A result with the given columns and rows (counters zeroed).
+    pub fn new(columns: Vec<String>, rows: Vec<Row>) -> Self {
+        ResultSet {
+            columns,
+            rows,
+            stats: ExecStats::default(),
+        }
+    }
+
     /// An empty result (DDL statements).
     pub fn empty() -> Self {
-        ResultSet { columns: Vec::new(), rows: Vec::new() }
+        ResultSet::new(Vec::new(), Vec::new())
     }
 
     /// Number of rows.
@@ -68,6 +107,7 @@ pub struct Db {
     catalog: Catalog,
     registry: UdfRegistry,
     workers: usize,
+    block_scan: bool,
 }
 
 impl Db {
@@ -78,6 +118,7 @@ impl Db {
             catalog: Catalog::new(),
             registry: UdfRegistry::with_builtins(),
             workers: workers.max(1),
+            block_scan: true,
         }
     }
 
@@ -86,13 +127,31 @@ impl Db {
         self.workers
     }
 
+    /// Enables or disables the block-at-a-time aggregation path
+    /// (enabled by default). With it off, every eligible aggregate
+    /// query runs row-at-a-time — the switch the row-vs-block
+    /// benchmarks and equivalence tests flip.
+    pub fn set_block_scan(&mut self, enabled: bool) {
+        self.block_scan = enabled;
+    }
+
+    /// Whether the block-at-a-time aggregation path is enabled.
+    pub fn block_scan(&self) -> bool {
+        self.block_scan
+    }
+
     /// Mutable access to the UDF registry (to add custom UDFs).
     pub fn registry_mut(&mut self) -> &mut UdfRegistry {
         &mut self.registry
     }
 
     fn ctx(&self) -> ExecContext<'_> {
-        ExecContext { catalog: &self.catalog, registry: &self.registry, workers: self.workers }
+        ExecContext {
+            catalog: &self.catalog,
+            registry: &self.registry,
+            workers: self.workers,
+            block_scan: self.block_scan,
+        }
     }
 
     /// Parses and executes one SQL statement.
@@ -101,14 +160,17 @@ impl Db {
             Statement::Select(stmt) => self.ctx().execute_select(&stmt),
             Statement::Explain(stmt) => {
                 let lines = self.ctx().explain_select(&stmt)?;
-                Ok(ResultSet {
-                    columns: vec!["plan".into()],
-                    rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
-                })
+                Ok(ResultSet::new(
+                    vec!["plan".into()],
+                    lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+                ))
             }
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(
-                    columns.into_iter().map(|c| Column::new(c.name, c.ty)).collect(),
+                    columns
+                        .into_iter()
+                        .map(|c| Column::new(c.name, c.ty))
+                        .collect(),
                 );
                 self.catalog.insert(
                     &name,
@@ -122,11 +184,13 @@ impl Db {
                 }
                 let rs = self.ctx().execute_select(&query)?;
                 let table = result_to_table(&rs, self.workers)?;
-                self.catalog.insert(&name, CatalogEntry::Table(Arc::new(table)))?;
+                self.catalog
+                    .insert(&name, CatalogEntry::Table(Arc::new(table)))?;
                 Ok(ResultSet::empty())
             }
             Statement::CreateView { name, query } => {
-                self.catalog.insert(&name, CatalogEntry::View(Arc::new(query)))?;
+                self.catalog
+                    .insert(&name, CatalogEntry::View(Arc::new(query)))?;
                 Ok(ResultSet::empty())
             }
             Statement::Insert { table, rows } => {
@@ -171,7 +235,8 @@ impl Db {
     /// Registers a pre-built table (the bulk-load path for large data
     /// sets, bypassing SQL INSERT overhead).
     pub fn register_table(&self, name: &str, table: Table) -> Result<()> {
-        self.catalog.insert(name, CatalogEntry::Table(Arc::new(table)))
+        self.catalog
+            .insert(name, CatalogEntry::Table(Arc::new(table)))
     }
 
     /// Registers or replaces a pre-built table.
@@ -211,7 +276,11 @@ impl Db {
     /// the last column of each row is stored as `Y`.
     pub fn load_points(&self, name: &str, rows: &[Vec<f64>], with_y: bool) -> Result<()> {
         let ncols = rows.first().map_or(0, Vec::len);
-        let d = if with_y { ncols.saturating_sub(1) } else { ncols };
+        let d = if with_y {
+            ncols.saturating_sub(1)
+        } else {
+            ncols
+        };
         let schema = Schema::points(d, with_y);
         let mut table = Table::new(schema, self.workers);
         for (i, r) in rows.iter().enumerate() {
@@ -257,7 +326,9 @@ impl Db {
                 let sql = sqlgen::nlq_udf_query(table, &cols, shape, style);
                 let rs = self.execute(&sql)?;
                 let packed = rs.value(0, 0).as_str().ok_or_else(|| {
-                    EngineError::Unsupported("aggregate UDF returned no result (empty table?)".into())
+                    EngineError::Unsupported(
+                        "aggregate UDF returned no result (empty table?)".into(),
+                    )
                 })?;
                 Ok(unpack_nlq(packed)?)
             }
@@ -393,11 +464,7 @@ fn parse_wide_nlq(rs: &ResultSet, d: usize, shape: MatrixShape) -> Result<Nlq> {
     }
     let row = &rs.rows[0];
     let n = row[0].as_f64().unwrap_or(0.0);
-    let l = Vector::from_vec(
-        (0..d)
-            .map(|a| row[1 + a].as_f64().unwrap_or(0.0))
-            .collect(),
-    );
+    let l = Vector::from_vec((0..d).map(|a| row[1 + a].as_f64().unwrap_or(0.0)).collect());
     let mut q = Matrix::zeros(d, d);
     for a in 0..d {
         for b in 0..d {

@@ -1,13 +1,18 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::Instant;
 
-use nlq_storage::{parallel_scan, Column, DataType, Row, Schema, Table, Value};
-use nlq_udf::{check_heap, AggregateState, UdfRegistry};
+use nlq_linalg::kernels;
+use nlq_storage::{
+    parallel_scan, parallel_scan_partitions, Column, ColumnBlock, DataType, FloatColumn, Row,
+    Schema, Table, Value, BLOCK_ROWS,
+};
+use nlq_udf::{check_heap, AggregateState, BatchArg, UdfRegistry};
 
 use crate::ast::{Expr, SelectStmt};
 use crate::catalog::{Catalog, CatalogEntry};
-use crate::db::ResultSet;
+use crate::db::{ExecStats, ResultSet};
 use crate::expr::{AggCall, AggKind, Binder, BoundExpr, BoundSchema, FastArg, StatAgg};
 use crate::{EngineError, Result};
 
@@ -21,6 +26,8 @@ pub(crate) struct ExecContext<'a> {
     pub catalog: &'a Catalog,
     pub registry: &'a UdfRegistry,
     pub workers: usize,
+    /// Whether eligible aggregates may use the block-at-a-time scan.
+    pub block_scan: bool,
 }
 
 /// The outcome of planning a SELECT: everything both the executor and
@@ -40,9 +47,21 @@ impl ExecContext<'_> {
     pub fn execute_select(&self, stmt: &SelectStmt) -> Result<ResultSet> {
         let plan = self.plan_select(stmt)?;
         if plan.aggregate_mode {
-            self.execute_aggregate(stmt, &plan.base, &plan.schema, &plan.join_product, &plan.residual)
+            self.execute_aggregate(
+                stmt,
+                &plan.base,
+                &plan.schema,
+                &plan.join_product,
+                &plan.residual,
+            )
         } else {
-            self.execute_scalar(stmt, &plan.base, &plan.schema, &plan.join_product, &plan.residual)
+            self.execute_scalar(
+                stmt,
+                &plan.base,
+                &plan.schema,
+                &plan.join_product,
+                &plan.residual,
+            )
         }
     }
 
@@ -82,9 +101,7 @@ impl ExecContext<'_> {
                 let mut cols = Vec::new();
                 bound.collect_columns(&mut cols);
                 match (cols.iter().min(), cols.iter().max()) {
-                    (Some(&mn), Some(&mx)) if mn >= base_width => {
-                        join_only.push((bound, mx + 1))
-                    }
+                    (Some(&mn), Some(&mx)) if mn >= base_width => join_only.push((bound, mx + 1)),
                     (None, _) => join_only.push((bound, 0)), // constant predicate
                     _ => residual.push(bound),
                 }
@@ -98,27 +115,25 @@ impl ExecContext<'_> {
         let mut applied = vec![false; join_only.len()];
         let mut join_product: Vec<Row> = vec![Vec::new()];
         let mut width = base_width;
-        let filter_stage = |product: &mut Vec<Row>,
-                                width: usize,
-                                applied: &mut Vec<bool>|
-         -> Result<()> {
-            for (i, (pred, needed)) in join_only.iter().enumerate() {
-                if applied[i] || *needed > width {
-                    continue;
-                }
-                applied[i] = true;
-                let mut kept = Vec::with_capacity(product.len());
-                for suffix in product.drain(..) {
-                    let mut probe = null_prefix.clone();
-                    probe.extend(suffix.iter().cloned());
-                    if matches!(pred.eval(&probe, &[], &[])?, Value::Int(x) if x != 0) {
-                        kept.push(suffix);
+        let filter_stage =
+            |product: &mut Vec<Row>, width: usize, applied: &mut Vec<bool>| -> Result<()> {
+                for (i, (pred, needed)) in join_only.iter().enumerate() {
+                    if applied[i] || *needed > width {
+                        continue;
                     }
+                    applied[i] = true;
+                    let mut kept = Vec::with_capacity(product.len());
+                    for suffix in product.drain(..) {
+                        let mut probe = null_prefix.clone();
+                        probe.extend(suffix.iter().cloned());
+                        if matches!(pred.eval(&probe, &[], &[])?, Value::Int(x) if x != 0) {
+                            kept.push(suffix);
+                        }
+                    }
+                    *product = kept;
                 }
-                *product = kept;
-            }
-            Ok(())
-        };
+                Ok(())
+            };
         filter_stage(&mut join_product, width, &mut applied)?;
         for (table, _) in &sources {
             let rows = table.collect_rows()?;
@@ -140,7 +155,10 @@ impl ExecContext<'_> {
             width += table.schema().len();
             filter_stage(&mut join_product, width, &mut applied)?;
         }
-        debug_assert!(applied.iter().all(|&a| a), "all join-only predicates applied");
+        debug_assert!(
+            applied.iter().all(|&a| a),
+            "all join-only predicates applied"
+        );
 
         let is_agg_name = |n: &str| AggKind::is_aggregate_name(n, self.registry);
         let aggregate_mode = !stmt.group_by.is_empty()
@@ -172,8 +190,7 @@ impl ExecContext<'_> {
             self.workers
         ));
         if stmt.from.len() > 1 {
-            let names: Vec<&str> =
-                stmt.from[1..].iter().map(|t| t.name.as_str()).collect();
+            let names: Vec<&str> = stmt.from[1..].iter().map(|t| t.name.as_str()).collect();
             lines.push(format!(
                 "cross join [{}] -> {} combination(s) after pushing {} predicate(s)",
                 names.join(", "),
@@ -184,7 +201,10 @@ impl ExecContext<'_> {
             lines.push(format!("{} constant predicate(s) pushed", plan.pushed));
         }
         if !plan.residual.is_empty() {
-            lines.push(format!("filter: {} residual predicate(s) per row", plan.residual.len()));
+            lines.push(format!(
+                "filter: {} residual predicate(s) per row",
+                plan.residual.len()
+            ));
         }
         if plan.aggregate_mode {
             // Re-bind to count aggregate calls and fast paths (the
@@ -208,12 +228,8 @@ impl ExecContext<'_> {
                 };
                 binder.bind(h)?;
             }
-            let fast = agg_calls
-                .iter()
-                .filter(|call| {
-                    call.args.len() == 1 && FastArg::recognize(&call.args[0]).is_some()
-                })
-                .count();
+            let fast_args = compute_fast_args(&plan.schema, &agg_calls);
+            let fast = fast_args.iter().filter(|f| f.is_some()).count();
             let udfs = agg_calls
                 .iter()
                 .filter(|c| matches!(c.kind, AggKind::Udf(_)))
@@ -223,11 +239,38 @@ impl ExecContext<'_> {
                 agg_calls.len(),
                 stmt.group_by.len()
             ));
+            // Mirror the executor's block-path eligibility test so the
+            // plan shows which scan mode will run.
+            let trivial_join = plan.join_product.len() == 1 && plan.join_product[0].is_empty();
+            let block_plan = if self.block_scan
+                && stmt.group_by.is_empty()
+                && plan.residual.is_empty()
+                && trivial_join
+            {
+                plan_block_calls(
+                    &plan.schema,
+                    plan.base.schema().len(),
+                    &agg_calls,
+                    &fast_args,
+                )
+            } else {
+                None
+            };
+            match block_plan {
+                Some(bp) => lines.push(format!(
+                    "scan mode: block ({BLOCK_ROWS}-row column blocks over {} float column(s))",
+                    bp.cols.len()
+                )),
+                None => lines.push("scan mode: row-at-a-time".into()),
+            }
             if stmt.having.is_some() {
                 lines.push("having: post-aggregation filter".into());
             }
         } else {
-            lines.push(format!("project: {} expression(s) per row", stmt.projections.len()));
+            lines.push(format!(
+                "project: {} expression(s) per row",
+                stmt.projections.len()
+            ));
         }
         if !stmt.order_by.is_empty() {
             lines.push(format!("order by: {} key(s)", stmt.order_by.len()));
@@ -288,9 +331,7 @@ impl ExecContext<'_> {
                     Expr::Literal(Value::Int(k)) => {
                         let idx = (*k as usize).checked_sub(1).filter(|i| *i < bound.len());
                         OrderEval::Ordinal(idx.ok_or_else(|| {
-                            EngineError::Unsupported(format!(
-                                "ORDER BY ordinal {k} out of range"
-                            ))
+                            EngineError::Unsupported(format!("ORDER BY ordinal {k} out of range"))
                         })?)
                     }
                     e => OrderEval::Expr(Binder::scalar(schema, self.registry).bind(e)?),
@@ -345,7 +386,7 @@ impl ExecContext<'_> {
             keyed_rows.extend(p?);
         }
         let rows = finish_rows(keyed_rows, &stmt.order_by, stmt.limit);
-        Ok(ResultSet { columns: names, rows })
+        Ok(ResultSet::new(names, rows))
     }
 
     fn execute_aggregate(
@@ -399,12 +440,11 @@ impl ExecContext<'_> {
             .map(|key| {
                 let eval = match &key.expr {
                     Expr::Literal(Value::Int(k)) => {
-                        let idx =
-                            (*k as usize).checked_sub(1).filter(|i| *i < proj_bound.len());
+                        let idx = (*k as usize)
+                            .checked_sub(1)
+                            .filter(|i| *i < proj_bound.len());
                         OrderEval::Ordinal(idx.ok_or_else(|| {
-                            EngineError::Unsupported(format!(
-                                "ORDER BY ordinal {k} out of range"
-                            ))
+                            EngineError::Unsupported(format!("ORDER BY ordinal {k} out of range"))
                         })?)
                     }
                     e => {
@@ -431,94 +471,115 @@ impl ExecContext<'_> {
 
         // Recognize fast shapes for simple numeric aggregate terms
         // (the bulk of the paper's generated 1 + d + d² queries).
-        // Gated on column types so integer-sum semantics and string
-        // counting stay on the general path.
-        let fast_args: Vec<Option<FastArg>> = agg_calls
-            .iter()
-            .map(|call| {
-                if call.args.len() != 1 {
-                    return None;
-                }
-                let fa = FastArg::recognize(&call.args[0])?;
-                let numeric_float = |i: usize| schema.column_type(i) == DataType::Float;
-                let ok = match (&call.kind, &fa) {
-                    (AggKind::Sum | AggKind::Avg | AggKind::Count, FastArg::Col(i)) => {
-                        numeric_float(*i)
-                    }
-                    (
-                        AggKind::Sum | AggKind::Avg | AggKind::Count,
-                        FastArg::ColProduct(a, b),
-                    ) => numeric_float(*a) && numeric_float(*b),
-                    (AggKind::Sum | AggKind::Avg | AggKind::Count, FastArg::Const(_)) => {
-                        matches!(&call.args[0], BoundExpr::Literal(Value::Float(_)))
-                    }
-                    _ => false,
-                };
-                ok.then_some(fa)
-            })
-            .collect();
+        let fast_args = compute_fast_args(schema, &agg_calls);
 
         let group_ref = &group_bound;
         let calls_ref = &agg_calls;
         let fast_ref = &fast_args;
 
+        // Vectorized alternative to the row loop: when the whole
+        // statement is a global aggregate over numeric columns of the
+        // base table, scan fixed-size column blocks instead of rows.
+        let block_plan = if self.block_scan
+            && group_bound.is_empty()
+            && residual.is_empty()
+            && join_product.len() == 1
+            && join_product[0].is_empty()
+        {
+            plan_block_calls(schema, base.schema().len(), &agg_calls, &fast_args)
+        } else {
+            None
+        };
+
+        let mut stats = ExecStats::default();
+        type GroupMap = HashMap<GroupKey, Vec<AggAccum>>;
+
         // Phase 1-2: each worker accumulates per-group partial states
         // over its partition (the UDF protocol's init + row steps).
-        type GroupMap = HashMap<GroupKey, Vec<AggAccum>>;
-        let partials: Vec<Result<GroupMap>> = parallel_scan(base, self.workers, |iter| {
-            let mut groups: GroupMap = HashMap::new();
-            let mut arg_buf: Vec<Value> = Vec::new();
-            let mut combined_buf: Row = Vec::new();
-            for row in iter {
-                let left = row?;
-                'suffixes: for suffix in join_product {
-                    let combined: &[Value] = if suffix.is_empty() {
-                        &left
-                    } else {
-                        combined_buf.clear();
-                        combined_buf.extend(left.iter().cloned());
-                        combined_buf.extend(suffix.iter().cloned());
-                        &combined_buf
-                    };
-                    for pred in residual {
-                        if !matches!(pred.eval(combined, &[], &[])?, Value::Int(x) if x != 0) {
-                            continue 'suffixes;
-                        }
-                    }
-                    let key = GroupKey(
-                        group_ref
-                            .iter()
-                            .map(|g| g.eval(combined, &[], &[]))
-                            .collect::<Result<Vec<_>>>()?,
-                    );
-                    let accums = match groups.get_mut(&key) {
-                        Some(a) => a,
-                        None => groups
-                            .entry(key)
-                            .or_insert_with(|| calls_ref.iter().map(AggAccum::init).collect()),
-                    };
-                    for ((accum, call), fast) in
-                        accums.iter_mut().zip(calls_ref).zip(fast_ref)
-                    {
-                        if let Some(fa) = fast {
-                            accum.update_fast(fa.eval_f64(combined));
-                            continue;
-                        }
-                        arg_buf.clear();
-                        for a in &call.args {
-                            arg_buf.push(a.eval(combined, &[], &[])?);
-                        }
-                        accum.update(&arg_buf)?;
+        let partials: Vec<Result<(GroupMap, u64, u64, u64)>> = if let Some(plan) = &block_plan {
+            stats.block_path = true;
+            parallel_scan_partitions(base, self.workers, |p| {
+                let start = Instant::now();
+                let mut accums: Vec<AggAccum> = calls_ref.iter().map(AggAccum::init).collect();
+                let mut iter = base.scan_partition_blocks(p, &plan.cols)?;
+                let (mut rows, mut blocks) = (0u64, 0u64);
+                while let Some(block) = iter.next_block() {
+                    let block = block?;
+                    rows += block.len() as u64;
+                    blocks += 1;
+                    for (accum, call) in accums.iter_mut().zip(&plan.calls) {
+                        accum.update_block(block, call)?;
                     }
                 }
-            }
-            Ok(groups)
-        });
+                let mut groups: GroupMap = HashMap::new();
+                if rows > 0 {
+                    groups.insert(GroupKey(Vec::new()), accums);
+                }
+                Ok((groups, rows, blocks, start.elapsed().as_nanos() as u64))
+            })
+        } else {
+            parallel_scan(base, self.workers, |iter| {
+                let start = Instant::now();
+                let mut groups: GroupMap = HashMap::new();
+                let mut arg_buf: Vec<Value> = Vec::new();
+                let mut combined_buf: Row = Vec::new();
+                let mut rows = 0u64;
+                for row in iter {
+                    let left = row?;
+                    rows += 1;
+                    'suffixes: for suffix in join_product {
+                        let combined: &[Value] = if suffix.is_empty() {
+                            &left
+                        } else {
+                            combined_buf.clear();
+                            combined_buf.extend(left.iter().cloned());
+                            combined_buf.extend(suffix.iter().cloned());
+                            &combined_buf
+                        };
+                        for pred in residual {
+                            if !matches!(pred.eval(combined, &[], &[])?, Value::Int(x) if x != 0) {
+                                continue 'suffixes;
+                            }
+                        }
+                        let key = GroupKey(
+                            group_ref
+                                .iter()
+                                .map(|g| g.eval(combined, &[], &[]))
+                                .collect::<Result<Vec<_>>>()?,
+                        );
+                        let accums = match groups.get_mut(&key) {
+                            Some(a) => a,
+                            None => groups
+                                .entry(key)
+                                .or_insert_with(|| calls_ref.iter().map(AggAccum::init).collect()),
+                        };
+                        for ((accum, call), fast) in accums.iter_mut().zip(calls_ref).zip(fast_ref)
+                        {
+                            if let Some(fa) = fast {
+                                accum.update_fast(fa.eval_f64(combined));
+                                continue;
+                            }
+                            arg_buf.clear();
+                            for a in &call.args {
+                                arg_buf.push(a.eval(combined, &[], &[])?);
+                            }
+                            accum.update(&arg_buf)?;
+                        }
+                    }
+                }
+                Ok((groups, rows, 0, start.elapsed().as_nanos() as u64))
+            })
+        };
 
         // Phase 3: master merges the partials.
+        let merge_start = Instant::now();
         let mut merged: GroupMap = HashMap::new();
         for partial in partials {
-            for (key, accums) in partial? {
+            let (groups, rows, blocks, nanos) = partial?;
+            stats.rows_scanned += rows;
+            stats.blocks_scanned += blocks;
+            stats.accumulate_nanos += nanos;
+            for (key, accums) in groups {
                 match merged.get_mut(&key) {
                     None => {
                         merged.insert(key, accums);
@@ -531,6 +592,7 @@ impl ExecContext<'_> {
                 }
             }
         }
+        stats.merge_nanos = merge_start.elapsed().as_nanos() as u64;
 
         // A global aggregate over zero rows still yields one row.
         if merged.is_empty() && stmt.group_by.is_empty() {
@@ -542,6 +604,7 @@ impl ExecContext<'_> {
 
         // Phase 4: finalize each group, apply HAVING, and evaluate
         // the projections and ORDER BY keys.
+        let finalize_start = Instant::now();
         let mut keyed_rows = Vec::with_capacity(merged.len());
         for (key, accums) in merged {
             let agg_values: Vec<Value> = accums
@@ -582,11 +645,195 @@ impl ExecContext<'_> {
             if let Some(limit) = stmt.limit {
                 rows.truncate(limit);
             }
-            return Ok(ResultSet { columns: names, rows });
+            stats.finalize_nanos = finalize_start.elapsed().as_nanos() as u64;
+            let mut rs = ResultSet::new(names, rows);
+            rs.stats = stats;
+            return Ok(rs);
         }
         let rows = finish_rows(keyed_rows, &stmt.order_by, stmt.limit);
-        Ok(ResultSet { columns: names, rows })
+        stats.finalize_nanos = finalize_start.elapsed().as_nanos() as u64;
+        let mut rs = ResultSet::new(names, rows);
+        rs.stats = stats;
+        Ok(rs)
     }
+}
+
+/// Recognizes fast shapes for simple numeric aggregate terms. Gated on
+/// column types so integer-sum semantics and string counting stay on
+/// the general path.
+fn compute_fast_args(schema: &BoundSchema, agg_calls: &[AggCall]) -> Vec<Option<FastArg>> {
+    agg_calls
+        .iter()
+        .map(|call| {
+            if call.args.len() != 1 {
+                return None;
+            }
+            let fa = FastArg::recognize(&call.args[0])?;
+            let numeric_float = |i: usize| schema.column_type(i) == DataType::Float;
+            let ok = match (&call.kind, &fa) {
+                (AggKind::Sum | AggKind::Avg | AggKind::Count, FastArg::Col(i)) => {
+                    numeric_float(*i)
+                }
+                (AggKind::Sum | AggKind::Avg | AggKind::Count, FastArg::ColProduct(a, b)) => {
+                    numeric_float(*a) && numeric_float(*b)
+                }
+                (AggKind::Sum | AggKind::Avg | AggKind::Count, FastArg::Const(_)) => {
+                    matches!(&call.args[0], BoundExpr::Literal(Value::Float(_)))
+                }
+                _ => false,
+            };
+            ok.then_some(fa)
+        })
+        .collect()
+}
+
+/// How one aggregate-term operand reaches the block path: a projected
+/// block column (by slot), the product of two columns, or a constant.
+#[derive(Debug, Clone, Copy)]
+enum BlockTerm {
+    Col(usize),
+    Prod(usize, usize),
+    Const(f64),
+}
+
+/// A block-path execution recipe for one aggregate call.
+#[derive(Debug, Clone)]
+enum BlockCall {
+    /// `count(*)`: the block length.
+    CountStar,
+    /// `sum`/`avg`/`count` over a fast-path term; the accumulator
+    /// variant discriminates which statistic the reduction feeds.
+    Fast(BlockTerm),
+    /// `min`/`max` over one column.
+    Extremum(usize),
+    /// Statistical builtin over one or two columns.
+    Stat { a: usize, b: Option<usize> },
+    /// Aggregate UDF; arguments mapped onto block slots/constants.
+    Udf(Vec<BatchArg>),
+}
+
+/// The outcome of planning a block-at-a-time aggregate scan: which
+/// base-table columns to project and how each call consumes them.
+struct BlockPlan {
+    cols: Vec<usize>,
+    calls: Vec<BlockCall>,
+}
+
+/// Plans the block path for a global aggregate, or returns `None` when
+/// any call needs the general row-at-a-time machinery. Eligibility per
+/// call: every operand is a float column of the base table (indices
+/// below `base_width`), a product of two such columns, or a literal.
+fn plan_block_calls(
+    schema: &BoundSchema,
+    base_width: usize,
+    agg_calls: &[AggCall],
+    fast_args: &[Option<FastArg>],
+) -> Option<BlockPlan> {
+    let mut cols: Vec<usize> = Vec::new();
+    let mut slot_of: HashMap<usize, usize> = HashMap::new();
+    let slot = |cols: &mut Vec<usize>, slot_of: &mut HashMap<usize, usize>, i: usize| {
+        *slot_of.entry(i).or_insert_with(|| {
+            cols.push(i);
+            cols.len() - 1
+        })
+    };
+    let float_col = |i: usize| i < base_width && schema.column_type(i) == DataType::Float;
+
+    let mut calls = Vec::with_capacity(agg_calls.len());
+    for (call, fast) in agg_calls.iter().zip(fast_args) {
+        let planned = match (&call.kind, fast) {
+            (AggKind::CountStar, _) => BlockCall::CountStar,
+            // Reuse the row fast-path recognition for sum/avg/count,
+            // restricted to base-table columns.
+            (_, Some(FastArg::Col(i))) if float_col(*i) => {
+                BlockCall::Fast(BlockTerm::Col(slot(&mut cols, &mut slot_of, *i)))
+            }
+            (_, Some(FastArg::ColProduct(a, b))) if float_col(*a) && float_col(*b) => {
+                BlockCall::Fast(BlockTerm::Prod(
+                    slot(&mut cols, &mut slot_of, *a),
+                    slot(&mut cols, &mut slot_of, *b),
+                ))
+            }
+            (_, Some(FastArg::Const(c))) => BlockCall::Fast(BlockTerm::Const(*c)),
+            (AggKind::Min | AggKind::Max, None) => match call.args.as_slice() {
+                [BoundExpr::ColumnRef(i)] if float_col(*i) => {
+                    BlockCall::Extremum(slot(&mut cols, &mut slot_of, *i))
+                }
+                _ => return None,
+            },
+            (AggKind::Stat(kind), None) => match (kind.arity(), call.args.as_slice()) {
+                (1, [BoundExpr::ColumnRef(a)]) if float_col(*a) => BlockCall::Stat {
+                    a: slot(&mut cols, &mut slot_of, *a),
+                    b: None,
+                },
+                (2, [BoundExpr::ColumnRef(a), BoundExpr::ColumnRef(b)])
+                    if float_col(*a) && float_col(*b) =>
+                {
+                    BlockCall::Stat {
+                        a: slot(&mut cols, &mut slot_of, *a),
+                        b: Some(slot(&mut cols, &mut slot_of, *b)),
+                    }
+                }
+                _ => return None,
+            },
+            (AggKind::Udf(_), None) => {
+                let mut args = Vec::with_capacity(call.args.len());
+                for arg in &call.args {
+                    args.push(match arg {
+                        BoundExpr::Literal(v) => BatchArg::Const(v.clone()),
+                        BoundExpr::ColumnRef(i) if float_col(*i) => {
+                            BatchArg::Col(slot(&mut cols, &mut slot_of, *i))
+                        }
+                        _ => return None,
+                    });
+                }
+                BlockCall::Udf(args)
+            }
+            _ => return None,
+        };
+        calls.push(planned);
+    }
+    Some(BlockPlan { cols, calls })
+}
+
+/// Reduces one term over a block: `(sum of contributing products,
+/// number of contributing rows)`.
+fn reduce_term(block: &ColumnBlock, term: &BlockTerm) -> (f64, u64) {
+    match term {
+        BlockTerm::Const(c) => (*c * block.len() as f64, block.len() as u64),
+        BlockTerm::Col(s) => {
+            let col = block.column(*s);
+            if col.is_dense() {
+                (kernels::sum(&col.values), block.len() as u64)
+            } else {
+                (
+                    kernels::sum_masked(&col.values, &col.nulls),
+                    (block.len() - col.null_count) as u64,
+                )
+            }
+        }
+        BlockTerm::Prod(a, b) => {
+            let (ca, cb) = (block.column(*a), block.column(*b));
+            if ca.is_dense() && cb.is_dense() {
+                (kernels::dot(&ca.values, &cb.values), block.len() as u64)
+            } else {
+                let skip = union_mask(&[ca, cb]);
+                let kept = skip.iter().filter(|&&s| !s).count() as u64;
+                (kernels::dot_masked(&ca.values, &cb.values, &skip), kept)
+            }
+        }
+    }
+}
+
+/// ORs the null masks of several columns into one row-skip mask.
+fn union_mask(cols: &[&FloatColumn]) -> Vec<bool> {
+    let mut skip = vec![false; cols.first().map_or(0, |c| c.nulls.len())];
+    for col in cols {
+        for (s, &null) in skip.iter_mut().zip(&col.nulls) {
+            *s |= null;
+        }
+    }
+    skip
 }
 
 /// How one ORDER BY key is computed for a result row.
@@ -649,7 +896,12 @@ fn finish_rows(
 
 /// Flattens a predicate's top-level AND chain into conjuncts.
 fn split_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-    if let Expr::Binary { op: crate::ast::BinOp::And, lhs, rhs } = e {
+    if let Expr::Binary {
+        op: crate::ast::BinOp::And,
+        lhs,
+        rhs,
+    } = e
+    {
         split_conjuncts(lhs, out);
         split_conjuncts(rhs, out);
     } else {
@@ -709,8 +961,7 @@ struct GroupKey(Vec<Value>);
 
 impl PartialEq for GroupKey {
     fn eq(&self, other: &Self) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a.group_eq(b))
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a.group_eq(b))
     }
 }
 
@@ -727,12 +978,27 @@ impl Hash for GroupKey {
 /// A single aggregate accumulator (one per aggregate call per group
 /// per worker).
 enum AggAccum {
-    Sum { acc: f64, any: bool, int_only: bool },
-    Count { n: i64 },
-    CountStar { n: i64 },
-    Avg { sum: f64, n: i64 },
-    Min { best: Option<Value> },
-    Max { best: Option<Value> },
+    Sum {
+        acc: f64,
+        any: bool,
+        int_only: bool,
+    },
+    Count {
+        n: i64,
+    },
+    CountStar {
+        n: i64,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    Min {
+        best: Option<Value>,
+    },
+    Max {
+        best: Option<Value>,
+    },
     /// Two-dimensional statistical builtin: the running sums
     /// (n, Σa, Σb, Σa², Σb², Σab) — a 2-D instance of the paper's
     /// n, L, Q.
@@ -745,13 +1011,19 @@ enum AggAccum {
         sbb: f64,
         sab: f64,
     },
-    Udf { state: Box<dyn AggregateState> },
+    Udf {
+        state: Box<dyn AggregateState>,
+    },
 }
 
 impl AggAccum {
     fn init(call: &AggCall) -> Self {
         match &call.kind {
-            AggKind::Sum => AggAccum::Sum { acc: 0.0, any: false, int_only: true },
+            AggKind::Sum => AggAccum::Sum {
+                acc: 0.0,
+                any: false,
+                int_only: true,
+            },
             AggKind::Count => AggAccum::Count { n: 0 },
             AggKind::CountStar => AggAccum::CountStar { n: 0 },
             AggKind::Avg => AggAccum::Avg { sum: 0.0, n: 0 },
@@ -796,6 +1068,112 @@ impl AggAccum {
             }
             _ => unreachable!("fast path only generated for sum/avg/count"),
         }
+    }
+
+    /// Folds a whole column block into the accumulator per the planned
+    /// [`BlockCall`] — the vectorized counterpart of calling
+    /// [`AggAccum::update`]/[`AggAccum::update_fast`] once per row.
+    fn update_block(&mut self, block: &ColumnBlock, call: &BlockCall) -> Result<()> {
+        match (self, call) {
+            (AggAccum::CountStar { n }, BlockCall::CountStar) => *n += block.len() as i64,
+            (AggAccum::Sum { acc, any, int_only }, BlockCall::Fast(term)) => {
+                let (s, kept) = reduce_term(block, term);
+                if kept > 0 {
+                    *acc += s;
+                    *any = true;
+                    *int_only = false; // fast path is float-typed by construction
+                }
+            }
+            (AggAccum::Avg { sum, n }, BlockCall::Fast(term)) => {
+                let (s, kept) = reduce_term(block, term);
+                *sum += s;
+                *n += kept as i64;
+            }
+            (AggAccum::Count { n }, BlockCall::Fast(term)) => {
+                let (_, kept) = reduce_term(block, term);
+                *n += kept as i64;
+            }
+            (AggAccum::Min { best } | AggAccum::Max { best }, BlockCall::Extremum(s))
+                if block.len() == block.column(*s).null_count =>
+            {
+                let _ = best; // all-NULL block contributes nothing
+            }
+            (AggAccum::Min { best }, BlockCall::Extremum(s)) => {
+                let col = block.column(*s);
+                let (lo, _) = if col.is_dense() {
+                    kernels::min_max(&col.values)
+                } else {
+                    kernels::min_max_masked(&col.values, &col.nulls)
+                };
+                if best.as_ref().and_then(Value::as_f64).is_none_or(|b| lo < b) {
+                    *best = Some(Value::Float(lo));
+                }
+            }
+            (AggAccum::Max { best }, BlockCall::Extremum(s)) => {
+                let col = block.column(*s);
+                let (_, hi) = if col.is_dense() {
+                    kernels::min_max(&col.values)
+                } else {
+                    kernels::min_max_masked(&col.values, &col.nulls)
+                };
+                if best.as_ref().and_then(Value::as_f64).is_none_or(|b| hi > b) {
+                    *best = Some(Value::Float(hi));
+                }
+            }
+            (AggAccum::Stat { n, sa, saa, .. }, BlockCall::Stat { a, b: None }) => {
+                let col = block.column(*a);
+                if col.is_dense() {
+                    *n += block.len() as f64;
+                    *sa += kernels::sum(&col.values);
+                    *saa += kernels::sum_sq(&col.values);
+                } else {
+                    *n += (block.len() - col.null_count) as f64;
+                    *sa += kernels::sum_masked(&col.values, &col.nulls);
+                    *saa += kernels::dot_masked(&col.values, &col.values, &col.nulls);
+                }
+            }
+            (
+                AggAccum::Stat {
+                    n,
+                    sa,
+                    sb,
+                    saa,
+                    sbb,
+                    sab,
+                    ..
+                },
+                BlockCall::Stat { a, b: Some(b) },
+            ) => {
+                let (ca, cb) = (block.column(*a), block.column(*b));
+                if ca.is_dense() && cb.is_dense() {
+                    *n += block.len() as f64;
+                    *sa += kernels::sum(&ca.values);
+                    *sb += kernels::sum(&cb.values);
+                    *saa += kernels::sum_sq(&ca.values);
+                    *sbb += kernels::sum_sq(&cb.values);
+                    *sab += kernels::dot(&ca.values, &cb.values);
+                } else {
+                    // A NULL in either argument skips the row for every
+                    // running sum, per SQL.
+                    let skip = union_mask(&[ca, cb]);
+                    *n += skip.iter().filter(|&&s| !s).count() as f64;
+                    *sa += kernels::sum_masked(&ca.values, &skip);
+                    *sb += kernels::sum_masked(&cb.values, &skip);
+                    *saa += kernels::dot_masked(&ca.values, &ca.values, &skip);
+                    *sbb += kernels::dot_masked(&cb.values, &cb.values, &skip);
+                    *sab += kernels::dot_masked(&ca.values, &cb.values, &skip);
+                }
+            }
+            (AggAccum::Udf { state }, BlockCall::Udf(args)) => {
+                state.accumulate_batch(block, args)?;
+            }
+            _ => {
+                return Err(EngineError::Unsupported(
+                    "aggregate accumulator does not match its block plan".into(),
+                ))
+            }
+        }
+        Ok(())
     }
 
     fn update(&mut self, args: &[Value]) -> Result<()> {
@@ -846,7 +1224,15 @@ impl AggAccum {
                     }
                 }
             }
-            AggAccum::Stat { kind, n, sa, sb, saa, sbb, sab } => {
+            AggAccum::Stat {
+                kind,
+                n,
+                sa,
+                sb,
+                saa,
+                sbb,
+                sab,
+            } => {
                 // Skip the row if any argument is NULL, per SQL.
                 let a = args.first().and_then(Value::as_f64);
                 if kind.arity() == 1 {
@@ -855,9 +1241,7 @@ impl AggAccum {
                         *sa += a;
                         *saa += a * a;
                     }
-                } else if let (Some(a), Some(b)) =
-                    (a, args.get(1).and_then(Value::as_f64))
-                {
+                } else if let (Some(a), Some(b)) = (a, args.get(1).and_then(Value::as_f64)) {
                     *n += 1.0;
                     *sa += a;
                     *sb += b;
@@ -875,7 +1259,11 @@ impl AggAccum {
         match (self, other) {
             (
                 AggAccum::Sum { acc, any, int_only },
-                AggAccum::Sum { acc: a2, any: n2, int_only: i2 },
+                AggAccum::Sum {
+                    acc: a2,
+                    any: n2,
+                    int_only: i2,
+                },
             ) => {
                 *acc += a2;
                 *any |= n2;
@@ -910,8 +1298,24 @@ impl AggAccum {
                 }
             }
             (
-                AggAccum::Stat { n, sa, sb, saa, sbb, sab, .. },
-                AggAccum::Stat { n: n2, sa: a2, sb: b2, saa: aa2, sbb: bb2, sab: ab2, .. },
+                AggAccum::Stat {
+                    n,
+                    sa,
+                    sb,
+                    saa,
+                    sbb,
+                    sab,
+                    ..
+                },
+                AggAccum::Stat {
+                    n: n2,
+                    sa: a2,
+                    sb: b2,
+                    saa: aa2,
+                    sbb: bb2,
+                    sab: ab2,
+                    ..
+                },
             ) => {
                 *n += n2;
                 *sa += a2;
@@ -952,12 +1356,18 @@ impl AggAccum {
                 }
             }
             AggAccum::Min { best } | AggAccum::Max { best } => best.unwrap_or(Value::Null),
-            AggAccum::Stat { kind, n, sa, sb, saa, sbb, sab } => {
+            AggAccum::Stat {
+                kind,
+                n,
+                sa,
+                sb,
+                saa,
+                sbb,
+                sab,
+            } => {
                 let out = match kind {
                     StatAgg::VarPop if n >= 1.0 => Some(saa / n - (sa / n) * (sa / n)),
-                    StatAgg::VarSamp if n >= 2.0 => {
-                        Some((saa - sa * sa / n) / (n - 1.0))
-                    }
+                    StatAgg::VarSamp if n >= 2.0 => Some((saa - sa * sa / n) / (n - 1.0)),
                     StatAgg::StdDev if n >= 2.0 => {
                         Some(((saa - sa * sa / n) / (n - 1.0)).max(0.0).sqrt())
                     }
@@ -976,8 +1386,7 @@ impl AggAccum {
                     }
                     StatAgg::RegrIntercept if n >= 2.0 => {
                         let dx = n * sbb - sb * sb;
-                        (dx > 0.0)
-                            .then(|| (sa - (n * sab - sa * sb) / dx * sb) / n)
+                        (dx > 0.0).then(|| (sa - (n * sab - sa * sb) / dx * sb) / n)
                     }
                     _ => None,
                 };

@@ -236,7 +236,11 @@ impl FastArg {
         match e {
             BoundExpr::ColumnRef(i) => Some(FastArg::Col(*i)),
             BoundExpr::Literal(v) => v.as_f64().map(FastArg::Const),
-            BoundExpr::Binary { op: BinOp::Mul, lhs, rhs } => match (lhs.as_ref(), rhs.as_ref()) {
+            BoundExpr::Binary {
+                op: BinOp::Mul,
+                lhs,
+                rhs,
+            } => match (lhs.as_ref(), rhs.as_ref()) {
                 (BoundExpr::ColumnRef(a), BoundExpr::ColumnRef(b)) => {
                     Some(FastArg::ColProduct(*a, *b))
                 }
@@ -266,11 +270,27 @@ pub(crate) enum BoundExpr {
     ColumnRef(usize),
     Neg(Box<BoundExpr>),
     Not(Box<BoundExpr>),
-    Binary { op: BinOp, lhs: Box<BoundExpr>, rhs: Box<BoundExpr> },
-    Func { func: ScalarFunc, args: Vec<BoundExpr> },
-    ScalarUdf { udf: Arc<dyn ScalarUdf>, args: Vec<BoundExpr> },
-    Case { branches: Vec<(BoundExpr, BoundExpr)>, else_expr: Option<Box<BoundExpr>> },
-    IsNull { expr: Box<BoundExpr>, negated: bool },
+    Binary {
+        op: BinOp,
+        lhs: Box<BoundExpr>,
+        rhs: Box<BoundExpr>,
+    },
+    Func {
+        func: ScalarFunc,
+        args: Vec<BoundExpr>,
+    },
+    ScalarUdf {
+        udf: Arc<dyn ScalarUdf>,
+        args: Vec<BoundExpr>,
+    },
+    Case {
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        else_expr: Option<Box<BoundExpr>>,
+    },
+    IsNull {
+        expr: Box<BoundExpr>,
+        negated: bool,
+    },
     /// Value of the i-th extracted aggregate (aggregate queries only,
     /// evaluated after accumulation).
     AggRef(usize),
@@ -292,7 +312,12 @@ pub(crate) struct Binder<'a> {
 impl<'a> Binder<'a> {
     /// Binds in scalar mode (aggregates are an error).
     pub fn scalar(schema: &'a BoundSchema, registry: &'a UdfRegistry) -> Self {
-        Binder { schema, registry, group_exprs: &[], aggs: None }
+        Binder {
+            schema,
+            registry,
+            group_exprs: &[],
+            aggs: None,
+        }
     }
 
     pub fn bind(&mut self, expr: &Expr) -> Result<BoundExpr> {
@@ -327,7 +352,10 @@ impl<'a> Binder<'a> {
                 rhs: Box::new(self.bind(rhs)?),
             }),
             Expr::Call { name, args } => self.bind_call(name, args),
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 let branches = branches
                     .iter()
                     .map(|(c, v)| Ok((self.bind(c)?, self.bind(v)?)))
@@ -336,7 +364,10 @@ impl<'a> Binder<'a> {
                     Some(e) => Some(Box::new(self.bind(e)?)),
                     None => None,
                 };
-                Ok(BoundExpr::Case { branches, else_expr })
+                Ok(BoundExpr::Case {
+                    branches,
+                    else_expr,
+                })
             }
             Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
                 expr: Box::new(self.bind(expr)?),
@@ -356,31 +387,47 @@ impl<'a> Binder<'a> {
             let mut kind = AggKind::parse(name, self.registry)
                 .ok_or_else(|| EngineError::UnknownFunction(name.to_owned()))?;
             // count(*) special case.
-            let bound_args = if matches!(kind, AggKind::Count)
-                && args.len() == 1
-                && args[0] == Expr::Wildcard
-            {
-                kind = AggKind::CountStar;
-                Vec::new()
-            } else {
-                // Aggregate arguments are per-row scalar expressions;
-                // nested aggregates are invalid.
-                let mut inner =
-                    Binder { schema: self.schema, registry: self.registry, group_exprs: &[], aggs: None };
-                args.iter().map(|a| inner.bind(a)).collect::<Result<Vec<_>>>()?
-            };
+            let bound_args =
+                if matches!(kind, AggKind::Count) && args.len() == 1 && args[0] == Expr::Wildcard {
+                    kind = AggKind::CountStar;
+                    Vec::new()
+                } else {
+                    // Aggregate arguments are per-row scalar expressions;
+                    // nested aggregates are invalid.
+                    let mut inner = Binder {
+                        schema: self.schema,
+                        registry: self.registry,
+                        group_exprs: &[],
+                        aggs: None,
+                    };
+                    args.iter()
+                        .map(|a| inner.bind(a))
+                        .collect::<Result<Vec<_>>>()?
+                };
             let idx = aggs.len();
-            aggs.push(AggCall { kind, args: bound_args });
+            aggs.push(AggCall {
+                kind,
+                args: bound_args,
+            });
             return Ok(BoundExpr::AggRef(idx));
         }
         // Scalar UDF?
         if let Some(udf) = self.registry.scalar(name) {
-            let args = args.iter().map(|a| self.bind(a)).collect::<Result<Vec<_>>>()?;
-            return Ok(BoundExpr::ScalarUdf { udf: Arc::clone(udf), args });
+            let args = args
+                .iter()
+                .map(|a| self.bind(a))
+                .collect::<Result<Vec<_>>>()?;
+            return Ok(BoundExpr::ScalarUdf {
+                udf: Arc::clone(udf),
+                args,
+            });
         }
         // Builtin scalar function?
         if let Some(func) = ScalarFunc::parse(name) {
-            let args = args.iter().map(|a| self.bind(a)).collect::<Result<Vec<_>>>()?;
+            let args = args
+                .iter()
+                .map(|a| self.bind(a))
+                .collect::<Result<Vec<_>>>()?;
             return Ok(BoundExpr::Func { func, args });
         }
         Err(EngineError::UnknownFunction(name.to_owned()))
@@ -416,7 +463,10 @@ impl BoundExpr {
                     a.collect_columns(out);
                 }
             }
-            BoundExpr::Case { branches, else_expr } => {
+            BoundExpr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (c, v) in branches {
                     c.collect_columns(out);
                     v.collect_columns(out);
@@ -447,9 +497,11 @@ impl BoundExpr {
                 None => Value::Null,
                 Some(b) => Value::Int(i64::from(!b)),
             }),
-            BoundExpr::Binary { op, lhs, rhs } => {
-                eval_binary(*op, lhs.eval(row, aggs, group)?, rhs.eval(row, aggs, group)?)
-            }
+            BoundExpr::Binary { op, lhs, rhs } => eval_binary(
+                *op,
+                lhs.eval(row, aggs, group)?,
+                rhs.eval(row, aggs, group)?,
+            ),
             BoundExpr::Func { func, args } => {
                 let vals = args
                     .iter()
@@ -464,7 +516,10 @@ impl BoundExpr {
                     .collect::<Result<Vec<_>>>()?;
                 Ok(udf.eval(&vals)?)
             }
-            BoundExpr::Case { branches, else_expr } => {
+            BoundExpr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (cond, val) in branches {
                     if truth(&cond.eval(row, aggs, group)?) == Some(true) {
                         return val.eval(row, aggs, group);
@@ -648,9 +703,7 @@ fn eval_func(func: ScalarFunc, vals: &[Value]) -> Result<Value> {
                 match v.as_f64() {
                     Some(x) => floats.push(x),
                     None if v.is_null() => return Ok(Value::Null),
-                    None => {
-                        return Err(EngineError::Type("pack expects numeric arguments".into()))
-                    }
+                    None => return Err(EngineError::Type("pack expects numeric arguments".into())),
                 }
             }
             Ok(Value::Str(nlq_udf::pack::pack_vector(&floats)))
@@ -672,7 +725,10 @@ mod tests {
                 Column::new("y", DataType::Int),
             ]),
         );
-        s.push_table(Some("b"), &Schema::new(vec![Column::new("x", DataType::Float)]));
+        s.push_table(
+            Some("b"),
+            &Schema::new(vec![Column::new("x", DataType::Float)]),
+        );
         s
     }
 
@@ -694,8 +750,14 @@ mod tests {
         assert_eq!(s.resolve(Some("a"), "x").unwrap(), 0);
         assert_eq!(s.resolve(Some("b"), "X").unwrap(), 2);
         assert_eq!(s.resolve(None, "y").unwrap(), 1);
-        assert!(matches!(s.resolve(None, "x"), Err(EngineError::UnknownColumn(_))));
-        assert!(matches!(s.resolve(None, "zz"), Err(EngineError::UnknownColumn(_))));
+        assert!(matches!(
+            s.resolve(None, "x"),
+            Err(EngineError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            s.resolve(None, "zz"),
+            Err(EngineError::UnknownColumn(_))
+        ));
     }
 
     #[test]
@@ -723,7 +785,10 @@ mod tests {
         let row = vec![Value::Null, Value::Int(3), Value::Float(1.0)];
         let expr = Expr::Binary {
             op: BinOp::Add,
-            lhs: Box::new(Expr::Column { table: Some("a".into()), name: "x".into() }),
+            lhs: Box::new(Expr::Column {
+                table: Some("a".into()),
+                name: "x".into(),
+            }),
             rhs: Box::new(Expr::Literal(Value::Int(1))),
         };
         assert_eq!(eval(&expr, &row), Value::Null);
@@ -739,7 +804,10 @@ mod tests {
     #[test]
     fn three_valued_logic() {
         let row = vec![Value::Null, Value::Int(1), Value::Float(1.0)];
-        let null = Expr::Column { table: Some("a".into()), name: "x".into() };
+        let null = Expr::Column {
+            table: Some("a".into()),
+            name: "x".into(),
+        };
         let true_ = Expr::Literal(Value::Int(1));
         let false_ = Expr::Literal(Value::Int(0));
         let and = |l: &Expr, r: &Expr| Expr::Binary {
@@ -764,14 +832,23 @@ mod tests {
         let row = vec![Value::Float(2.0), Value::Int(3), Value::Float(9.0)];
         let cmp = Expr::Binary {
             op: BinOp::LtEq,
-            lhs: Box::new(Expr::Column { table: Some("a".into()), name: "x".into() }),
+            lhs: Box::new(Expr::Column {
+                table: Some("a".into()),
+                name: "x".into(),
+            }),
             rhs: Box::new(Expr::col("y")),
         };
         assert_eq!(eval(&cmp, &row), Value::Int(1));
 
-        let isnull = Expr::IsNull { expr: Box::new(Expr::col("y")), negated: false };
+        let isnull = Expr::IsNull {
+            expr: Box::new(Expr::col("y")),
+            negated: false,
+        };
         assert_eq!(eval(&isnull, &row), Value::Int(0));
-        let isnotnull = Expr::IsNull { expr: Box::new(Expr::col("y")), negated: true };
+        let isnotnull = Expr::IsNull {
+            expr: Box::new(Expr::col("y")),
+            negated: true,
+        };
         assert_eq!(eval(&isnotnull, &row), Value::Int(1));
     }
 
@@ -782,7 +859,10 @@ mod tests {
             branches: vec![(
                 Expr::Binary {
                     op: BinOp::Lt,
-                    lhs: Box::new(Expr::Column { table: Some("a".into()), name: "x".into() }),
+                    lhs: Box::new(Expr::Column {
+                        table: Some("a".into()),
+                        name: "x".into(),
+                    }),
                     rhs: Box::new(Expr::Literal(Value::Int(0))),
                 },
                 Expr::Literal(Value::from("neg")),
@@ -795,17 +875,35 @@ mod tests {
     #[test]
     fn builtin_functions() {
         let row = vec![Value::Float(9.0), Value::Int(-5), Value::Float(0.0)];
-        let call = |name: &str, args: Vec<Expr>| Expr::Call { name: name.into(), args };
+        let call = |name: &str, args: Vec<Expr>| Expr::Call {
+            name: name.into(),
+            args,
+        };
         assert_eq!(
-            eval(&call("sqrt", vec![Expr::Column { table: Some("a".into()), name: "x".into() }]), &row),
+            eval(
+                &call(
+                    "sqrt",
+                    vec![Expr::Column {
+                        table: Some("a".into()),
+                        name: "x".into()
+                    }]
+                ),
+                &row
+            ),
             Value::Float(3.0)
         );
-        assert_eq!(eval(&call("abs", vec![Expr::col("y")]), &row), Value::Int(5));
+        assert_eq!(
+            eval(&call("abs", vec![Expr::col("y")]), &row),
+            Value::Int(5)
+        );
         assert_eq!(
             eval(
                 &call(
                     "least",
-                    vec![Expr::Literal(Value::Int(3)), Expr::Literal(Value::Float(1.5))]
+                    vec![
+                        Expr::Literal(Value::Int(3)),
+                        Expr::Literal(Value::Float(1.5))
+                    ]
                 ),
                 &row
             ),
@@ -819,7 +917,10 @@ mod tests {
         let expr = Expr::Call {
             name: "pack".into(),
             args: vec![
-                Expr::Column { table: Some("a".into()), name: "x".into() },
+                Expr::Column {
+                    table: Some("a".into()),
+                    name: "x".into(),
+                },
                 Expr::col("y"),
             ],
         };
@@ -831,14 +932,20 @@ mod tests {
         let row = vec![Value::Float(0.0), Value::Int(0), Value::Float(0.0)];
         let expr = Expr::Call {
             name: "clusterscore".into(),
-            args: vec![Expr::Literal(Value::Float(4.0)), Expr::Literal(Value::Float(1.0))],
+            args: vec![
+                Expr::Literal(Value::Float(4.0)),
+                Expr::Literal(Value::Float(1.0)),
+            ],
         };
         assert_eq!(eval(&expr, &row), Value::Int(2));
     }
 
     #[test]
     fn aggregates_rejected_in_scalar_mode() {
-        let expr = Expr::Call { name: "sum".into(), args: vec![Expr::col("y")] };
+        let expr = Expr::Call {
+            name: "sum".into(),
+            args: vec![Expr::col("y")],
+        };
         assert!(matches!(
             bind_scalar(&expr),
             Err(EngineError::Unsupported(_))
@@ -847,7 +954,10 @@ mod tests {
 
     #[test]
     fn unknown_function_is_reported() {
-        let expr = Expr::Call { name: "frobnicate".into(), args: vec![] };
+        let expr = Expr::Call {
+            name: "frobnicate".into(),
+            args: vec![],
+        };
         assert!(matches!(
             bind_scalar(&expr),
             Err(EngineError::UnknownFunction(_))

@@ -37,7 +37,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T> {
-        Err(EngineError::Parse { message: message.into(), position: self.pos() })
+        Err(EngineError::Parse {
+            message: message.into(),
+            position: self.pos(),
+        })
     }
 
     /// Consumes the next token if it equals `kind`.
@@ -195,7 +198,10 @@ impl Parser {
         let mut projections = Vec::new();
         loop {
             if self.eat_if(&TokenKind::Star) {
-                projections.push(Projection { expr: Expr::Wildcard, alias: None });
+                projections.push(Projection {
+                    expr: Expr::Wildcard,
+                    alias: None,
+                });
             } else {
                 let expr = self.expr()?;
                 let alias = if self.eat_kw("AS") {
@@ -255,18 +261,26 @@ impl Parser {
         }
         let limit = if self.eat_kw("LIMIT") {
             match self.advance() {
-                TokenKind::Number(n) => Some(n.parse::<usize>().map_err(|_| {
-                    EngineError::Parse {
+                TokenKind::Number(n) => {
+                    Some(n.parse::<usize>().map_err(|_| EngineError::Parse {
                         message: format!("bad LIMIT value {n:?}"),
                         position: self.pos(),
-                    }
-                })?),
+                    })?)
+                }
                 other => return self.err(format!("expected LIMIT count, found {other:?}")),
             }
         } else {
             None
         };
-        Ok(SelectStmt { projections, from, where_clause, group_by, having, order_by, limit })
+        Ok(SelectStmt {
+            projections,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn table_ref(&mut self) -> Result<TableRef> {
@@ -275,8 +289,9 @@ impl Parser {
         let alias = if self.eat_kw("AS") {
             Some(self.ident("alias")?)
         } else if let TokenKind::Ident(s) = self.peek() {
-            const KEYWORDS: &[&str] =
-                &["CROSS", "WHERE", "GROUP", "ORDER", "JOIN", "HAVING", "LIMIT"];
+            const KEYWORDS: &[&str] = &[
+                "CROSS", "WHERE", "GROUP", "ORDER", "JOIN", "HAVING", "LIMIT",
+            ];
             if KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
                 None
             } else {
@@ -297,7 +312,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat_kw("OR") {
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -306,7 +325,11 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat_kw("AND") {
             let rhs = self.not_expr()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -325,7 +348,10 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
         }
         let op = match self.peek() {
             TokenKind::Eq => BinOp::Eq,
@@ -338,7 +364,11 @@ impl Parser {
         };
         self.advance();
         let rhs = self.add_expr()?;
-        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn add_expr(&mut self) -> Result<Expr> {
@@ -351,7 +381,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -367,7 +401,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -429,7 +467,10 @@ impl Parser {
                 }
                 if self.eat_if(&TokenKind::Dot) {
                     let col = self.ident("column name")?;
-                    return Ok(Expr::Column { table: Some(name), name: col });
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
                 }
                 Ok(Expr::Column { table: None, name })
             }
@@ -454,7 +495,10 @@ impl Parser {
             None
         };
         self.expect_kw("END")?;
-        Ok(Expr::Case { branches, else_expr })
+        Ok(Expr::Case {
+            branches,
+            else_expr,
+        })
     }
 }
 
@@ -484,7 +528,11 @@ mod tests {
         assert_eq!(s.projections[0].alias.as_deref(), Some("q11"));
         // Precedence: 1 + (2*3).
         match &s.projections[1].expr {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("bad precedence: {other:?}"),
@@ -515,7 +563,10 @@ mod tests {
     fn case_expression() {
         let s = sel("SELECT CASE WHEN X1 > 0 THEN 1 ELSE 0 END FROM X");
         match &s.projections[0].expr {
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 assert_eq!(branches.len(), 1);
                 assert!(else_expr.is_some());
             }

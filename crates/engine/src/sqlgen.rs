@@ -178,7 +178,13 @@ pub fn score_regression_sql(table: &str, cols: &[String], intercept: f64, beta: 
 /// UDF scoring for PCA / factor analysis: cross join with `MU` and
 /// with `LAMBDA` aliased `k` times (each alias pinned to one component
 /// by the WHERE clause), calling `fascore` once per component.
-pub fn score_pca_udf(table: &str, cols: &[String], k: usize, lambda_table: &str, mu_table: &str) -> String {
+pub fn score_pca_udf(
+    table: &str,
+    cols: &[String],
+    k: usize,
+    lambda_table: &str,
+    mu_table: &str,
+) -> String {
     let xs: Vec<String> = cols.iter().map(|c| format!("x.{c}")).collect();
     let mus: Vec<String> = cols.iter().map(|c| format!("m.{c}")).collect();
     let mut projections = vec!["x.i".to_owned()];
@@ -343,7 +349,13 @@ mod tests {
 
     #[test]
     fn grouped_query_includes_group_by() {
-        let sql = nlq_grouped_query("X", &x_cols(2), "j", MatrixShape::Diagonal, ParamStyle::List);
+        let sql = nlq_grouped_query(
+            "X",
+            &x_cols(2),
+            "j",
+            MatrixShape::Diagonal,
+            ParamStyle::List,
+        );
         assert!(sql.contains("GROUP BY j"));
         assert!(sql.starts_with("SELECT j, nlq_list(2"));
     }

@@ -58,72 +58,123 @@ pub(crate) fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, pos });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, pos });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    pos,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    pos,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    pos,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    pos,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    pos,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(Token { kind: TokenKind::Percent, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    pos,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    pos,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, pos });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos,
+                });
                 i += 1;
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::LtEq, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        pos,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    tokens.push(Token { kind: TokenKind::NotEq, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::GtEq, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::GtEq,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, pos });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                tokens.push(Token { kind: TokenKind::NotEq, pos });
+                tokens.push(Token {
+                    kind: TokenKind::NotEq,
+                    pos,
+                });
                 i += 2;
             }
             '\'' => {
@@ -150,7 +201,10 @@ pub(crate) fn tokenize(sql: &str) -> Result<Vec<Token>> {
                         i += 1;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::StringLit(s), pos });
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(s),
+                    pos,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -201,7 +255,10 @@ pub(crate) fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, pos: bytes.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: bytes.len(),
+    });
     Ok(tokens)
 }
 
@@ -281,6 +338,9 @@ mod tests {
 
     #[test]
     fn unexpected_character_errors() {
-        assert!(matches!(tokenize("SELECT @"), Err(EngineError::Parse { .. })));
+        assert!(matches!(
+            tokenize("SELECT @"),
+            Err(EngineError::Parse { .. })
+        ));
     }
 }

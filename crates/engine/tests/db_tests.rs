@@ -16,10 +16,13 @@ fn close(a: f64, b: f64) -> bool {
 #[test]
 fn ddl_insert_select_roundtrip() {
     let db = Db::new(4);
-    db.execute("CREATE TABLE t (i INT, v FLOAT, s VARCHAR)").unwrap();
+    db.execute("CREATE TABLE t (i INT, v FLOAT, s VARCHAR)")
+        .unwrap();
     db.execute("INSERT INTO t VALUES (1, 1.5, 'a'), (2, NULL, 'b'), (3, 3.5, 'c')")
         .unwrap();
-    let rs = db.execute("SELECT i, v, s FROM t WHERE v IS NOT NULL").unwrap();
+    let rs = db
+        .execute("SELECT i, v, s FROM t WHERE v IS NOT NULL")
+        .unwrap();
     assert_eq!(rs.len(), 2);
     let mut ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
     ids.sort_unstable();
@@ -71,7 +74,8 @@ fn global_aggregate_over_empty_table() {
 fn aggregate_arithmetic_on_results() {
     let db = Db::new(2);
     db.execute("CREATE TABLE t (v FLOAT)").unwrap();
-    db.execute("INSERT INTO t VALUES (1.0), (2.0), (3.0)").unwrap();
+    db.execute("INSERT INTO t VALUES (1.0), (2.0), (3.0)")
+        .unwrap();
     // Variance-style expression combining several aggregates.
     let rs = db
         .execute("SELECT sum(v*v)/count(*) - (sum(v)/count(*)) * (sum(v)/count(*)) FROM t")
@@ -83,9 +87,11 @@ fn aggregate_arithmetic_on_results() {
 fn cross_join_with_aliases_and_where() {
     let db = Db::new(2);
     db.execute("CREATE TABLE x (i INT, v FLOAT)").unwrap();
-    db.execute("INSERT INTO x VALUES (1, 10.0), (2, 20.0)").unwrap();
+    db.execute("INSERT INTO x VALUES (1, 10.0), (2, 20.0)")
+        .unwrap();
     db.execute("CREATE TABLE c (j INT, w FLOAT)").unwrap();
-    db.execute("INSERT INTO c VALUES (1, 0.5), (2, 2.0)").unwrap();
+    db.execute("INSERT INTO c VALUES (1, 0.5), (2, 2.0)")
+        .unwrap();
     let rs = db
         .execute("SELECT x.i, x.v * c.w FROM x CROSS JOIN c WHERE c.j = 2")
         .unwrap();
@@ -100,7 +106,8 @@ fn views_execute_on_access() {
     let db = Db::new(2);
     db.execute("CREATE TABLE t (v FLOAT)").unwrap();
     db.execute("INSERT INTO t VALUES (1.0), (2.0)").unwrap();
-    db.execute("CREATE VIEW doubled AS SELECT v * 2 AS v2 FROM t").unwrap();
+    db.execute("CREATE VIEW doubled AS SELECT v * 2 AS v2 FROM t")
+        .unwrap();
     let rs = db.execute("SELECT sum(v2) FROM doubled").unwrap();
     assert_eq!(rs.value(0, 0), &Value::Float(6.0));
 }
@@ -110,7 +117,8 @@ fn create_table_as_and_insert_select() {
     let db = Db::new(2);
     db.execute("CREATE TABLE t (v FLOAT)").unwrap();
     db.execute("INSERT INTO t VALUES (1.0), (2.0)").unwrap();
-    db.execute("CREATE TABLE t2 AS SELECT v + 1 AS w FROM t").unwrap();
+    db.execute("CREATE TABLE t2 AS SELECT v + 1 AS w FROM t")
+        .unwrap();
     db.execute("INSERT INTO t2 SELECT v FROM t").unwrap();
     let rs = db.execute("SELECT count(*), sum(w) FROM t2").unwrap();
     assert_eq!(rs.value(0, 0), &Value::Int(4));
@@ -192,8 +200,14 @@ fn nlq_shapes_all_work_via_sql() {
     let db = Db::new(4);
     db.load_points("X", &data, false).unwrap();
     let cols = ["X1", "X2", "X3"];
-    for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
-        let got = db.compute_nlq_with(NlqMethod::Sql, "X", &cols, shape).unwrap();
+    for shape in [
+        MatrixShape::Diagonal,
+        MatrixShape::Triangular,
+        MatrixShape::Full,
+    ] {
+        let got = db
+            .compute_nlq_with(NlqMethod::Sql, "X", &cols, shape)
+            .unwrap();
         let reference = Nlq::from_rows(3, shape, &data);
         assert_nlq_eq(&got, &reference, true);
     }
@@ -204,7 +218,9 @@ fn udf_nlq_includes_min_max() {
     let data = vec![vec![1.0, -5.0], vec![3.0, 7.0], vec![2.0, 0.0]];
     let db = Db::new(2);
     db.load_points("X", &data, false).unwrap();
-    let nlq = db.compute_nlq("X", &["X1", "X2"], MatrixShape::Diagonal).unwrap();
+    let nlq = db
+        .compute_nlq("X", &["X1", "X2"], MatrixShape::Diagonal)
+        .unwrap();
     assert_eq!(nlq.min(), &[1.0, -5.0]);
     assert_eq!(nlq.max(), &[3.0, 7.0]);
 }
@@ -227,7 +243,8 @@ fn grouped_nlq_partitions_by_modulo() {
         .err(); // view does not exist yet
     assert!(groups.is_some());
 
-    db.execute("CREATE VIEW mod_view AS SELECT i % 4 AS g, X1, X2 FROM X").unwrap();
+    db.execute("CREATE VIEW mod_view AS SELECT i % 4 AS g, X1, X2 FROM X")
+        .unwrap();
     let groups = db
         .compute_nlq_grouped(
             "mod_view",
@@ -292,7 +309,8 @@ fn regression_scoring_udf_and_sql_agree() {
         .compute_nlq("X", &["X1", "X2", "Y"], MatrixShape::Triangular)
         .unwrap();
     let model = LinearRegression::fit(&nlq).unwrap();
-    db.register_beta("BETA", model.intercept(), model.coefficients()).unwrap();
+    db.register_beta("BETA", model.intercept(), model.coefficients())
+        .unwrap();
 
     let cols = sqlgen::x_cols(2);
     let udf_rs = db
@@ -394,9 +412,16 @@ fn cluster_scoring_udf_and_sql_agree() {
         .unwrap();
     // SQL path: two statements (distances, then argmin), as the paper
     // notes SQL needs two scans.
-    db.execute(&sqlgen::score_cluster_sql_distances("DIST", "X", &cols, km.centroids()))
+    db.execute(&sqlgen::score_cluster_sql_distances(
+        "DIST",
+        "X",
+        &cols,
+        km.centroids(),
+    ))
+    .unwrap();
+    let sql_rs = db
+        .execute(&sqlgen::score_cluster_sql_argmin("DIST", 4))
         .unwrap();
-    let sql_rs = db.execute(&sqlgen::score_cluster_sql_argmin("DIST", 4)).unwrap();
 
     let sort = |rs: &nlq_engine::ResultSet| {
         let mut v: Vec<(i64, i64)> = rs
@@ -422,15 +447,12 @@ fn case_based_binary_flags() {
     // statement ... to convert categorical variables into binary
     // dimensions".
     let db = Db::new(2);
-    db.execute("CREATE TABLE cust (i INT, state VARCHAR, spend FLOAT)").unwrap();
-    db.execute(
-        "INSERT INTO cust VALUES (1, 'TX', 10.0), (2, 'CA', 20.0), (3, 'TX', 30.0)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE cust (i INT, state VARCHAR, spend FLOAT)")
+        .unwrap();
+    db.execute("INSERT INTO cust VALUES (1, 'TX', 10.0), (2, 'CA', 20.0), (3, 'TX', 30.0)")
+        .unwrap();
     let rs = db
-        .execute(
-            "SELECT sum(CASE WHEN state = 'TX' THEN 1 ELSE 0 END), sum(spend) FROM cust",
-        )
+        .execute("SELECT sum(CASE WHEN state = 'TX' THEN 1 ELSE 0 END), sum(spend) FROM cust")
         .unwrap();
     assert_eq!(rs.value(0, 0), &Value::Int(2));
     assert_eq!(rs.value(0, 1), &Value::Float(60.0));
@@ -446,8 +468,12 @@ fn save_and_load_table_roundtrip() {
 
     let db2 = Db::new(3);
     db2.load_table("X", &path).unwrap();
-    let a = db.compute_nlq("X", &["X1", "X2"], MatrixShape::Triangular).unwrap();
-    let b = db2.compute_nlq("X", &["X1", "X2"], MatrixShape::Triangular).unwrap();
+    let a = db
+        .compute_nlq("X", &["X1", "X2"], MatrixShape::Triangular)
+        .unwrap();
+    let b = db2
+        .compute_nlq("X", &["X1", "X2"], MatrixShape::Triangular)
+        .unwrap();
     assert_eq!(a.n(), b.n());
     assert_eq!(a.l(), b.l());
     assert_eq!(a.q_raw(), b.q_raw());
@@ -457,20 +483,31 @@ fn save_and_load_table_roundtrip() {
 #[test]
 fn register_model_tables_have_single_io_layout() {
     let db = Db::new(2);
-    db.register_beta("BETA", 1.0, &Vector::from_vec(vec![2.0, 3.0])).unwrap();
+    db.register_beta("BETA", 1.0, &Vector::from_vec(vec![2.0, 3.0]))
+        .unwrap();
     let rs = db.execute("SELECT b0, b1, b2 FROM BETA").unwrap();
     assert_eq!(rs.len(), 1);
-    assert_eq!(rs.rows[0], vec![Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]);
+    assert_eq!(
+        rs.rows[0],
+        vec![Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)]
+    );
 
-    db.register_mu("MU", &Vector::from_vec(vec![5.0, 6.0])).unwrap();
+    db.register_mu("MU", &Vector::from_vec(vec![5.0, 6.0]))
+        .unwrap();
     let rs = db.execute("SELECT X1, X2 FROM MU").unwrap();
     assert_eq!(rs.rows[0], vec![Value::Float(5.0), Value::Float(6.0)]);
 
     db.register_centroids(
         "C",
-        &[Vector::from_vec(vec![0.0, 0.0]), Vector::from_vec(vec![1.0, 2.0])],
+        &[
+            Vector::from_vec(vec![0.0, 0.0]),
+            Vector::from_vec(vec![1.0, 2.0]),
+        ],
     )
     .unwrap();
     let rs = db.execute("SELECT j, X1, X2 FROM C WHERE j = 2").unwrap();
-    assert_eq!(rs.rows[0], vec![Value::Int(2), Value::Float(1.0), Value::Float(2.0)]);
+    assert_eq!(
+        rs.rows[0],
+        vec![Value::Int(2), Value::Float(1.0), Value::Float(2.0)]
+    );
 }

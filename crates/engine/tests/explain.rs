@@ -16,9 +16,7 @@ fn plan_text(db: &Db, sql: &str) -> String {
 
 fn scoring_db() -> Db {
     let db = Db::new(4);
-    let rows: Vec<Vec<f64>> = (0..100)
-        .map(|i| vec![i as f64, (i % 7) as f64])
-        .collect();
+    let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i % 7) as f64]).collect();
     db.load_points("X", &rows, false).unwrap();
     db
 }
@@ -27,7 +25,10 @@ fn scoring_db() -> Db {
 fn explain_simple_scan() {
     let db = scoring_db();
     let plan = plan_text(&db, "EXPLAIN SELECT X1, X2 FROM X WHERE X1 > 10");
-    assert!(plan.contains("scan X (100 rows, 4 partitions, 4 workers)"), "{plan}");
+    assert!(
+        plan.contains("scan X (100 rows, 4 partitions, 4 workers)"),
+        "{plan}"
+    );
     assert!(plan.contains("filter: 1 residual predicate(s)"), "{plan}");
     assert!(plan.contains("project: 2 expression(s)"), "{plan}");
 }
@@ -41,7 +42,10 @@ fn explain_shows_pushdown_collapsing_the_join() {
         .collect();
     db.register_centroids("C", &centroids).unwrap();
     let names = sqlgen::x_cols(2);
-    let sql = format!("EXPLAIN {}", sqlgen::score_cluster_udf("X", &names, 16, "C"));
+    let sql = format!(
+        "EXPLAIN {}",
+        sqlgen::score_cluster_udf("X", &names, 16, "C")
+    );
     let plan = plan_text(&db, &sql);
     // Without pushdown this product would be 16^16; with it, exactly 1.
     assert!(
@@ -61,15 +65,26 @@ fn explain_aggregate_counts_fast_paths_and_udfs() {
         sqlgen::nlq_sql_query("X", &names, MatrixShape::Triangular)
     );
     let plan = plan_text(&db, &sql);
-    assert!(plan.contains("aggregate: 6 call(s) (6 fast-path candidate(s), 0 UDF state(s))"), "{plan}");
+    assert!(
+        plan.contains("aggregate: 6 call(s) (6 fast-path candidate(s), 0 UDF state(s))"),
+        "{plan}"
+    );
 
     // The UDF form: exactly one aggregate call, one UDF state.
     let sql = format!(
         "EXPLAIN {}",
-        sqlgen::nlq_udf_query("X", &names, MatrixShape::Triangular, nlq_udf::ParamStyle::List)
+        sqlgen::nlq_udf_query(
+            "X",
+            &names,
+            MatrixShape::Triangular,
+            nlq_udf::ParamStyle::List
+        )
     );
     let plan = plan_text(&db, &sql);
-    assert!(plan.contains("aggregate: 1 call(s) (0 fast-path candidate(s), 1 UDF state(s))"), "{plan}");
+    assert!(
+        plan.contains("aggregate: 1 call(s) (0 fast-path candidate(s), 1 UDF state(s))"),
+        "{plan}"
+    );
 }
 
 #[test]
@@ -84,6 +99,60 @@ fn explain_group_order_limit() {
     assert!(plan.contains("having: post-aggregation filter"), "{plan}");
     assert!(plan.contains("order by: 1 key(s)"), "{plan}");
     assert!(plan.contains("limit: 3"), "{plan}");
+}
+
+#[test]
+fn explain_reports_scan_mode() {
+    let db = scoring_db();
+    let names = sqlgen::x_cols(2);
+
+    // All-numeric aggregate pipeline, no predicates → block mode,
+    // over the 2 projected float columns.
+    let sql = format!(
+        "EXPLAIN {}",
+        sqlgen::nlq_udf_query(
+            "X",
+            &names,
+            MatrixShape::Triangular,
+            nlq_udf::ParamStyle::List
+        )
+    );
+    let plan = plan_text(&db, &sql);
+    assert!(
+        plan.contains("scan mode: block (1024-row column blocks over 2 float column(s))"),
+        "{plan}"
+    );
+
+    // A residual predicate forces the row path.
+    let plan = plan_text(&db, "EXPLAIN SELECT sum(X1) FROM X WHERE X2 > 1");
+    assert!(plan.contains("scan mode: row-at-a-time"), "{plan}");
+
+    // So does GROUP BY.
+    let plan = plan_text(&db, "EXPLAIN SELECT X2, sum(X1) FROM X GROUP BY X2");
+    assert!(plan.contains("scan mode: row-at-a-time"), "{plan}");
+
+    // So does disabling the block path on the connection.
+    let mut db = scoring_db();
+    db.set_block_scan(false);
+    let plan = plan_text(&db, "EXPLAIN SELECT sum(X1) FROM X");
+    assert!(plan.contains("scan mode: row-at-a-time"), "{plan}");
+}
+
+#[test]
+fn result_sets_carry_exec_stats() {
+    let db = scoring_db();
+    let rs = db.execute("SELECT sum(X1), min(X2) FROM X").unwrap();
+    assert!(rs.stats.block_path);
+    assert_eq!(rs.stats.rows_scanned, 100);
+    // 100 rows over 4 partitions: one (partial) block each.
+    assert_eq!(rs.stats.blocks_scanned, 4);
+
+    let mut db = scoring_db();
+    db.set_block_scan(false);
+    let rs = db.execute("SELECT sum(X1), min(X2) FROM X").unwrap();
+    assert!(!rs.stats.block_path);
+    assert_eq!(rs.stats.rows_scanned, 100);
+    assert_eq!(rs.stats.blocks_scanned, 0);
 }
 
 #[test]

@@ -7,7 +7,8 @@ use nlq_storage::Value;
 
 fn sample_db() -> Db {
     let db = Db::new(4);
-    db.execute("CREATE TABLE t (g INT, v FLOAT, s VARCHAR)").unwrap();
+    db.execute("CREATE TABLE t (g INT, v FLOAT, s VARCHAR)")
+        .unwrap();
     db.execute(
         "INSERT INTO t VALUES \
          (1, 5.0, 'e'), (1, 3.0, 'c'), (2, 8.0, 'h'), \
@@ -20,11 +21,15 @@ fn sample_db() -> Db {
 #[test]
 fn order_by_ascending_and_descending() {
     let db = sample_db();
-    let rs = db.execute("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v").unwrap();
+    let rs = db
+        .execute("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v")
+        .unwrap();
     let vals: Vec<f64> = rs.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
     assert_eq!(vals, vec![1.0, 2.0, 3.0, 5.0, 8.0, 9.0]);
 
-    let rs = db.execute("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v DESC").unwrap();
+    let rs = db
+        .execute("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v DESC")
+        .unwrap();
     let vals: Vec<f64> = rs.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
     assert_eq!(vals, vec![9.0, 8.0, 5.0, 3.0, 2.0, 1.0]);
 }
@@ -63,7 +68,9 @@ fn order_by_multiple_keys_and_expressions() {
     );
 
     // Expression key: order by -v equals descending v.
-    let rs = db.execute("SELECT v FROM t WHERE v > 0 ORDER BY -v").unwrap();
+    let rs = db
+        .execute("SELECT v FROM t WHERE v > 0 ORDER BY -v")
+        .unwrap();
     let vals: Vec<f64> = rs.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
     assert_eq!(vals, vec![9.0, 8.0, 5.0, 3.0, 2.0, 1.0]);
 }
@@ -143,7 +150,9 @@ fn having_without_group_rejected_on_scalar_queries() {
 #[test]
 fn group_by_with_limit_is_deterministic() {
     let db = sample_db();
-    let rs = db.execute("SELECT g, count(*) FROM t GROUP BY g LIMIT 2").unwrap();
+    let rs = db
+        .execute("SELECT g, count(*) FROM t GROUP BY g LIMIT 2")
+        .unwrap();
     // Without ORDER BY, grouped output is sorted by the whole row, so
     // LIMIT takes the two smallest group keys.
     assert_eq!(rs.value(0, 0), &Value::Int(1));

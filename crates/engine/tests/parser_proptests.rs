@@ -5,7 +5,7 @@
 use nlq_engine::{parse, sqlgen, Db};
 use nlq_models::MatrixShape;
 use nlq_storage::Value;
-use proptest::prelude::*;
+use nlq_testkit::{run_cases, Rng};
 use nlq_udf::ParamStyle;
 
 /// A random arithmetic expression over small integers, as both SQL
@@ -48,19 +48,26 @@ impl ExprTree {
     }
 }
 
-fn expr_tree() -> impl Strategy<Value = ExprTree> {
-    let leaf = (-50i32..=50).prop_map(ExprTree::Lit);
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprTree::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprTree::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprTree::Mul(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| ExprTree::Neg(Box::new(a))),
-        ]
-    })
+/// Builds a random expression tree of bounded depth.
+fn expr_tree(rng: &mut Rng, depth: usize) -> ExprTree {
+    if depth == 0 || rng.chance(0.3) {
+        return ExprTree::Lit(rng.range_i64(-50, 50) as i32);
+    }
+    match rng.range_usize(0, 3) {
+        0 => ExprTree::Add(
+            Box::new(expr_tree(rng, depth - 1)),
+            Box::new(expr_tree(rng, depth - 1)),
+        ),
+        1 => ExprTree::Sub(
+            Box::new(expr_tree(rng, depth - 1)),
+            Box::new(expr_tree(rng, depth - 1)),
+        ),
+        2 => ExprTree::Mul(
+            Box::new(expr_tree(rng, depth - 1)),
+            Box::new(expr_tree(rng, depth - 1)),
+        ),
+        _ => ExprTree::Neg(Box::new(expr_tree(rng, depth - 1))),
+    }
 }
 
 fn one_row_db() -> Db {
@@ -70,66 +77,92 @@ fn one_row_db() -> Db {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lexer_and_parser_never_panic(input in ".{0,200}") {
+#[test]
+fn lexer_and_parser_never_panic() {
+    run_cases(64, 0x9a51, |rng| {
         // Any outcome is fine; panics are not.
+        let input = rng.any_string(200);
         let _ = parse(&input);
-    }
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_ascii_soup(input in "[a-zA-Z0-9 ()*+,.<>='%;-]{0,120}") {
+#[test]
+fn parser_never_panics_on_ascii_soup() {
+    run_cases(64, 0x9a52, |rng| {
+        let input = rng.string_from("abcXYZselectfromwher0129 ()*+,.<>='%;-", 120);
         let _ = parse(&input);
-    }
+    });
+}
 
-    #[test]
-    fn arithmetic_precedence_matches_reference(tree in expr_tree()) {
-        let db = one_row_db();
+#[test]
+fn arithmetic_precedence_matches_reference() {
+    let db = one_row_db();
+    run_cases(64, 0x9a53, |rng| {
+        let tree = expr_tree(rng, 4);
         let sql = format!("SELECT {} FROM one", tree.sql());
         let rs = db.execute(&sql).unwrap();
-        prop_assert_eq!(rs.value(0, 0), &Value::Int(tree.eval()));
-    }
+        assert_eq!(rs.value(0, 0), &Value::Int(tree.eval()), "query: {sql}");
+    });
+}
 
-    #[test]
-    fn unparenthesized_precedence(a in -9i64..=9, b in -9i64..=9, c in 1i64..=9) {
+#[test]
+fn unparenthesized_precedence() {
+    let db = one_row_db();
+    run_cases(64, 0x9a54, |rng| {
+        let a = rng.range_i64(-9, 9);
+        let b = rng.range_i64(-9, 9);
+        let c = rng.range_i64(1, 9);
         // a + b * c must bind as a + (b * c).
-        let db = one_row_db();
         let rs = db
             .execute(&format!("SELECT {a} + {b} * {c} FROM one"))
             .unwrap();
-        prop_assert_eq!(rs.value(0, 0), &Value::Int(a + b * c));
+        assert_eq!(rs.value(0, 0), &Value::Int(a + b * c));
         // and a - b - c as (a - b) - c.
         let rs = db
             .execute(&format!("SELECT {a} - {b} - {c} FROM one"))
             .unwrap();
-        prop_assert_eq!(rs.value(0, 0), &Value::Int(a - b - c));
-    }
+        assert_eq!(rs.value(0, 0), &Value::Int(a - b - c));
+    });
+}
 
-    #[test]
-    fn generated_nlq_queries_always_parse(d in 1usize..=48) {
+#[test]
+fn generated_nlq_queries_always_parse() {
+    run_cases(48, 0x9a55, |rng| {
+        let d = rng.range_usize(1, 48);
         let cols = sqlgen::x_cols(d);
-        for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
-            prop_assert!(parse(&sqlgen::nlq_sql_query("X", &cols, shape)).is_ok());
+        for shape in [
+            MatrixShape::Diagonal,
+            MatrixShape::Triangular,
+            MatrixShape::Full,
+        ] {
+            assert!(parse(&sqlgen::nlq_sql_query("X", &cols, shape)).is_ok());
             for style in [ParamStyle::List, ParamStyle::String] {
-                prop_assert!(parse(&sqlgen::nlq_udf_query("X", &cols, shape, style)).is_ok());
+                assert!(parse(&sqlgen::nlq_udf_query("X", &cols, shape, style)).is_ok());
             }
         }
-        prop_assert!(parse(&sqlgen::nlq_grouped_query(
-            "X", &cols, "i % 4", MatrixShape::Diagonal, ParamStyle::List
-        )).is_ok());
+        assert!(parse(&sqlgen::nlq_grouped_query(
+            "X",
+            &cols,
+            "i % 4",
+            MatrixShape::Diagonal,
+            ParamStyle::List
+        ))
+        .is_ok());
         if d >= 2 {
-            prop_assert!(parse(&sqlgen::nlq_block_query("X", &cols, d / 2)).is_ok());
+            assert!(parse(&sqlgen::nlq_block_query("X", &cols, d / 2)).is_ok());
         }
-    }
+    });
+}
 
-    #[test]
-    fn generated_scoring_queries_always_parse(d in 1usize..=16, k in 1usize..=8) {
+#[test]
+fn generated_scoring_queries_always_parse() {
+    run_cases(48, 0x9a56, |rng| {
+        let d = rng.range_usize(1, 16);
+        let k = rng.range_usize(1, 8);
         let cols = sqlgen::x_cols(d);
-        prop_assert!(parse(&sqlgen::score_regression_udf("X", &cols, "BETA")).is_ok());
-        prop_assert!(parse(&sqlgen::score_pca_udf("X", &cols, k, "LAMBDA", "MU")).is_ok());
-        prop_assert!(parse(&sqlgen::score_cluster_udf("X", &cols, k, "C")).is_ok());
-        prop_assert!(parse(&sqlgen::score_cluster_sql_argmin("DIST", k)).is_ok());
-    }
+        assert!(parse(&sqlgen::score_regression_udf("X", &cols, "BETA")).is_ok());
+        assert!(parse(&sqlgen::score_pca_udf("X", &cols, k, "LAMBDA", "MU")).is_ok());
+        assert!(parse(&sqlgen::score_cluster_udf("X", &cols, k, "C")).is_ok());
+        assert!(parse(&sqlgen::score_cluster_sql_argmin("DIST", k)).is_ok());
+    });
 }

@@ -6,8 +6,10 @@ use nlq_storage::Value;
 
 fn db_one() -> Db {
     let db = Db::new(2);
-    db.execute("CREATE TABLE one (x FLOAT, n INT, s VARCHAR)").unwrap();
-    db.execute("INSERT INTO one VALUES (9.0, -5, 'mid')").unwrap();
+    db.execute("CREATE TABLE one (x FLOAT, n INT, s VARCHAR)")
+        .unwrap();
+    db.execute("INSERT INTO one VALUES (9.0, -5, 'mid')")
+        .unwrap();
     db
 }
 
@@ -53,12 +55,12 @@ fn null_arithmetic_propagates() {
 #[test]
 fn case_without_else_defaults_null() {
     let db = db_one();
+    assert_eq!(eval(&db, "CASE WHEN x > 100 THEN 1 END"), Value::Null);
     assert_eq!(
-        eval(&db, "CASE WHEN x > 100 THEN 1 END"),
-        Value::Null
-    );
-    assert_eq!(
-        eval(&db, "CASE WHEN x > 1 THEN 'big' WHEN x > 0 THEN 'small' END"),
+        eval(
+            &db,
+            "CASE WHEN x > 1 THEN 'big' WHEN x > 0 THEN 'small' END"
+        ),
         Value::from("big")
     );
 }
@@ -100,8 +102,11 @@ fn integer_overflow_wraps_not_panics() {
 fn aggregates_over_expressions_with_functions() {
     let db = Db::new(2);
     db.execute("CREATE TABLE t (v FLOAT)").unwrap();
-    db.execute("INSERT INTO t VALUES (1.0), (4.0), (9.0)").unwrap();
-    let rs = db.execute("SELECT sum(sqrt(v)), avg(v * 2) FROM t").unwrap();
+    db.execute("INSERT INTO t VALUES (1.0), (4.0), (9.0)")
+        .unwrap();
+    let rs = db
+        .execute("SELECT sum(sqrt(v)), avg(v * 2) FROM t")
+        .unwrap();
     assert_eq!(rs.value(0, 0), &Value::Float(6.0));
     assert_eq!(rs.value(0, 1), &Value::Float(28.0 / 3.0));
 }
@@ -110,11 +115,14 @@ fn aggregates_over_expressions_with_functions() {
 fn where_with_case_and_functions() {
     let db = Db::new(2);
     db.execute("CREATE TABLE t (v FLOAT)").unwrap();
-    db.execute("INSERT INTO t VALUES (-3.0), (2.0), (-1.0), (5.0)").unwrap();
+    db.execute("INSERT INTO t VALUES (-3.0), (2.0), (-1.0), (5.0)")
+        .unwrap();
     let rs = db
         .execute("SELECT count(*) FROM t WHERE CASE WHEN v < 0 THEN 1 ELSE 0 END = 1")
         .unwrap();
     assert_eq!(rs.value(0, 0), &Value::Int(2));
-    let rs = db.execute("SELECT count(*) FROM t WHERE abs(v) >= 2").unwrap();
+    let rs = db
+        .execute("SELECT count(*) FROM t WHERE abs(v) >= 2")
+        .unwrap();
     assert_eq!(rs.value(0, 0), &Value::Int(3));
 }

@@ -13,7 +13,9 @@ fn close(a: f64, b: f64) -> bool {
 
 /// y = 2 x + 1 exactly, x = 0..9.
 fn linear_db() -> (Db, Vec<Vec<f64>>) {
-    let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0]).collect();
+    let rows: Vec<Vec<f64>> = (0..10)
+        .map(|i| vec![i as f64, 2.0 * i as f64 + 1.0])
+        .collect();
     let db = Db::new(3);
     db.load_points("t", &rows, false).unwrap();
     (db, rows)
@@ -38,7 +40,9 @@ fn variance_and_stddev() {
 #[test]
 fn corr_matches_the_correlation_model() {
     let (db, rows) = linear_db();
-    let rs = db.execute("SELECT corr(X1, X2), covar_pop(X1, X2) FROM t").unwrap();
+    let rs = db
+        .execute("SELECT corr(X1, X2), covar_pop(X1, X2) FROM t")
+        .unwrap();
     // Perfect linear relationship: corr = 1.
     assert!(close(rs.f64(0, 0).unwrap(), 1.0));
     let nlq = Nlq::from_rows(2, MatrixShape::Triangular, &rows);
@@ -90,7 +94,8 @@ fn degenerate_inputs_yield_null() {
         assert_eq!(rs.value(0, c), &Value::Null, "column {c}");
     }
     // Constant column: corr undefined even with many rows.
-    db.execute("INSERT INTO t VALUES (5.0, 2.0), (5.0, 3.0)").unwrap();
+    db.execute("INSERT INTO t VALUES (5.0, 2.0), (5.0, 3.0)")
+        .unwrap();
     let rs = db.execute("SELECT corr(a, b) FROM t").unwrap();
     assert_eq!(rs.value(0, 0), &Value::Null);
 }

@@ -27,7 +27,10 @@ pub struct ExternalAnalyzer {
 impl ExternalAnalyzer {
     /// An analyzer computing triangular statistics over all fields.
     pub fn new(shape: MatrixShape) -> Self {
-        ExternalAnalyzer { shape, skip_fields: 0 }
+        ExternalAnalyzer {
+            shape,
+            skip_fields: 0,
+        }
     }
 
     /// Skips `n` leading fields per line.
@@ -124,9 +127,7 @@ mod tests {
             .collect();
         let text: String = rows
             .iter()
-            .map(|r| {
-                r.iter().map(f64::to_string).collect::<Vec<_>>().join(",") + "\n"
-            })
+            .map(|r| r.iter().map(f64::to_string).collect::<Vec<_>>().join(",") + "\n")
             .collect();
         let got = ExternalAnalyzer::new(MatrixShape::Full)
             .compute_nlq(Cursor::new(text))
@@ -167,7 +168,9 @@ mod tests {
             .map(|i| vec![i as f64, (i * i % 13) as f64])
             .collect();
         let path = std::env::temp_dir().join(format!("nlq_roundtrip_{}", std::process::id()));
-        OdbcChannel::unthrottled().export_rows(&rows, &path).unwrap();
+        OdbcChannel::unthrottled()
+            .export_rows(&rows, &path)
+            .unwrap();
         let got = ExternalAnalyzer::new(MatrixShape::Triangular)
             .compute_nlq_from_file(&path)
             .unwrap();

@@ -44,7 +44,10 @@ pub struct OdbcChannel {
 impl Default for OdbcChannel {
     /// The paper's setup: a 100 Mbps LAN.
     fn default() -> Self {
-        OdbcChannel { bandwidth_bits_per_sec: 100e6, row_overhead_bytes: 16 }
+        OdbcChannel {
+            bandwidth_bits_per_sec: 100e6,
+            row_overhead_bytes: 16,
+        }
     }
 }
 
@@ -52,7 +55,10 @@ impl OdbcChannel {
     /// An unthrottled channel (for tests and for isolating the
     /// serialization cost).
     pub fn unthrottled() -> Self {
-        OdbcChannel { bandwidth_bits_per_sec: f64::INFINITY, row_overhead_bytes: 0 }
+        OdbcChannel {
+            bandwidth_bits_per_sec: f64::INFINITY,
+            row_overhead_bytes: 0,
+        }
     }
 
     /// Exports selected columns of a table as comma-separated text,
@@ -155,8 +161,10 @@ mod tests {
     #[test]
     fn exports_selected_columns_as_csv() {
         let mut t = Table::new(Schema::points(2, false), 2);
-        t.insert(vec![Value::Int(1), Value::Float(1.5), Value::Float(2.5)]).unwrap();
-        t.insert(vec![Value::Int(2), Value::Float(3.0), Value::Float(4.0)]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Float(1.5), Value::Float(2.5)])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Float(3.0), Value::Float(4.0)])
+            .unwrap();
         let path = temp_path("cols");
         let stats = OdbcChannel::unthrottled()
             .export_table(&t, &[1, 2], &path)
@@ -176,7 +184,10 @@ mod tests {
         let path = temp_path("throttle");
         // Very slow channel: 40 kbit/s; ~2 KB payload + overhead
         // should take >= ~0.5s.
-        let channel = OdbcChannel { bandwidth_bits_per_sec: 40_000.0, row_overhead_bytes: 0 };
+        let channel = OdbcChannel {
+            bandwidth_bits_per_sec: 40_000.0,
+            row_overhead_bytes: 0,
+        };
         let stats = channel.export_rows(&rows, &path).unwrap();
         let expected = stats.wire_bytes as f64 * 8.0 / 40_000.0;
         assert!(
@@ -192,7 +203,10 @@ mod tests {
     fn wire_bytes_include_row_overhead() {
         let rows = vec![vec![1.0], vec![2.0]];
         let path = temp_path("overhead");
-        let channel = OdbcChannel { bandwidth_bits_per_sec: f64::INFINITY, row_overhead_bytes: 10 };
+        let channel = OdbcChannel {
+            bandwidth_bits_per_sec: f64::INFINITY,
+            row_overhead_bytes: 10,
+        };
         let stats = channel.export_rows(&rows, &path).unwrap();
         assert_eq!(stats.wire_bytes, stats.payload_bytes + 20);
         std::fs::remove_file(&path).ok();
@@ -203,7 +217,9 @@ mod tests {
         let mut t = Table::new(Schema::points(1, false), 1);
         t.insert(vec![Value::Int(1), Value::Null]).unwrap();
         let path = temp_path("nulls");
-        OdbcChannel::unthrottled().export_table(&t, &[0, 1], &path).unwrap();
+        OdbcChannel::unthrottled()
+            .export_table(&t, &[0, 1], &path)
+            .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "1,\n");
         std::fs::remove_file(&path).ok();

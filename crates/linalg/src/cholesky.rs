@@ -21,7 +21,10 @@ impl Cholesky {
     /// factorization itself.
     pub fn new(a: &Matrix) -> Result<Self> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let scale = a.max_abs().max(1.0);
         if !a.is_symmetric(1e-8 * scale) {
@@ -197,12 +200,21 @@ mod tests {
     #[test]
     fn rejects_non_spd() {
         let not_pd = Matrix::from_nested(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
-        assert_eq!(Cholesky::new(&not_pd).unwrap_err(), LinalgError::NotPositiveDefinite);
+        assert_eq!(
+            Cholesky::new(&not_pd).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
 
         let not_sym = Matrix::from_nested(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
-        assert_eq!(Cholesky::new(&not_sym).unwrap_err(), LinalgError::NotSymmetric);
+        assert_eq!(
+            Cholesky::new(&not_sym).unwrap_err(),
+            LinalgError::NotSymmetric
+        );
 
         let not_square = Matrix::zeros(2, 3);
-        assert!(matches!(Cholesky::new(&not_square), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            Cholesky::new(&not_square),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 }

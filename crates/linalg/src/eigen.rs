@@ -28,7 +28,10 @@ const MAX_SWEEPS: usize = 100;
 /// magnitude; `1e-12` is a good default.
 pub fn jacobi_eigen(a: &Matrix, tol: f64) -> Result<Eigen> {
     if !a.is_square() {
-        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let scale = a.max_abs().max(1.0);
     if !a.is_symmetric(1e-8 * scale) {
@@ -98,7 +101,11 @@ pub fn jacobi_eigen(a: &Matrix, tol: f64) -> Result<Eigen> {
 
     // Sort eigenpairs by descending eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("eigenvalues are finite"));
+    order.sort_by(|&i, &j| {
+        m[(j, j)]
+            .partial_cmp(&m[(i, i)])
+            .expect("eigenvalues are finite")
+    });
     let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
     let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
 
@@ -184,6 +191,9 @@ mod tests {
     #[test]
     fn rejects_asymmetric() {
         let a = Matrix::from_nested(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
-        assert_eq!(jacobi_eigen(&a, 1e-12).unwrap_err(), LinalgError::NotSymmetric);
+        assert_eq!(
+            jacobi_eigen(&a, 1e-12).unwrap_err(),
+            LinalgError::NotSymmetric
+        );
     }
 }

@@ -52,7 +52,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not positive definite")
             }
             LinalgError::NoConvergence { iterations } => {
-                write!(f, "algorithm did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "algorithm did not converge after {iterations} iterations"
+                )
             }
         }
     }

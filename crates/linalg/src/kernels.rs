@@ -1,0 +1,341 @@
+//! Flat-slice accumulation kernels for block-at-a-time scans.
+//!
+//! The Γ (`n`, `L`, `Q`) computation processes one point at a time in
+//! the row-wise path: a rank-1 update `Q += x xᵀ` per row. When the
+//! scan delivers a whole block of rows column-wise, the same work
+//! becomes a handful of reductions over contiguous `f64` slices —
+//! `L[a] += Σ col_a`, `Q[a][b] += col_a · col_b` — which the compiler
+//! auto-vectorizes. These free functions are that reduction layer:
+//! no `Matrix`/`Vector` wrappers, just slices, so both the UDF state
+//! (fixed `[f64; MAX_D]` arrays) and the engine can call them.
+//!
+//! Dense variants assume no NULLs; `*_masked` variants skip rows whose
+//! `skip` flag is set (the caller merges per-column null masks into
+//! one row mask first).
+
+/// Sum of a dense column.
+pub fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+/// Dot product of two equally long dense columns.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sum of squares of a dense column (`col · col`).
+pub fn sum_sq(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum()
+}
+
+/// Sum over rows where `skip` is clear.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn sum_masked(xs: &[f64], skip: &[bool]) -> f64 {
+    assert_eq!(xs.len(), skip.len(), "mask length mismatch");
+    xs.iter()
+        .zip(skip)
+        .map(|(x, &s)| if s { 0.0 } else { *x })
+        .sum()
+}
+
+/// Dot product over rows where `skip` is clear.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn dot_masked(a: &[f64], b: &[f64], skip: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    assert_eq!(a.len(), skip.len(), "mask length mismatch");
+    a.iter()
+        .zip(b)
+        .zip(skip)
+        .map(|((x, y), &s)| if s { 0.0 } else { x * y })
+        .sum()
+}
+
+/// Minimum and maximum of a dense column; `(∞, -∞)` when empty, so the
+/// result folds into running extrema as the identity.
+pub fn min_max(xs: &[f64]) -> (f64, f64) {
+    xs.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
+}
+
+/// Minimum and maximum over rows where `skip` is clear.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn min_max_masked(xs: &[f64], skip: &[bool]) -> (f64, f64) {
+    assert_eq!(xs.len(), skip.len(), "mask length mismatch");
+    xs.iter()
+        .zip(skip)
+        .filter(|(_, &s)| !s)
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (&x, _)| {
+            (lo.min(x), hi.max(x))
+        })
+}
+
+/// Rank-1 lower-triangular update `q[a][b] += x[a] * x[b]` for
+/// `b <= a`, on a row-major `d x d` buffer with row stride `stride`
+/// (the row-wise hot loop, shared so both paths agree bit-for-bit on
+/// operation order per row).
+///
+/// # Panics
+/// Panics if `q` is too short for `x.len()` rows of `stride`.
+pub fn rank1_triangular(q: &mut [f64], stride: usize, x: &[f64]) {
+    let d = x.len();
+    assert!(
+        d == 0 || (d - 1) * stride + d <= q.len(),
+        "q buffer too small"
+    );
+    for a in 0..d {
+        let xa = x[a];
+        let row = &mut q[a * stride..a * stride + a + 1];
+        for (b, cell) in row.iter_mut().enumerate() {
+            *cell += xa * x[b];
+        }
+    }
+}
+
+/// Block lower-triangular update: `q[a][b] += cols[a] · cols[b]` for
+/// `b <= a`, where each `cols[a]` is one column's values for the whole
+/// block. Equivalent to [`rank1_triangular`] applied row-by-row, but
+/// each cell is one contiguous dot product.
+///
+/// # Panics
+/// Panics if `q` is too small or the columns differ in length.
+pub fn block_triangular(q: &mut [f64], stride: usize, cols: &[&[f64]]) {
+    let d = cols.len();
+    assert!(
+        d == 0 || (d - 1) * stride + d <= q.len(),
+        "q buffer too small"
+    );
+    for a in 0..d {
+        for b in 0..=a {
+            q[a * stride + b] += dot(cols[a], cols[b]);
+        }
+    }
+}
+
+/// Masked [`block_triangular`]: rows with `skip` set contribute
+/// nothing to any cell.
+pub fn block_triangular_masked(q: &mut [f64], stride: usize, cols: &[&[f64]], skip: &[bool]) {
+    let d = cols.len();
+    assert!(
+        d == 0 || (d - 1) * stride + d <= q.len(),
+        "q buffer too small"
+    );
+    for a in 0..d {
+        for b in 0..=a {
+            q[a * stride + b] += dot_masked(cols[a], cols[b], skip);
+        }
+    }
+}
+
+/// Block diagonal update: `q[a][a] += cols[a] · cols[a]`.
+///
+/// # Panics
+/// Panics if `q` is too small.
+pub fn block_diagonal(q: &mut [f64], stride: usize, cols: &[&[f64]]) {
+    let d = cols.len();
+    assert!(
+        d == 0 || (d - 1) * stride + d <= q.len(),
+        "q buffer too small"
+    );
+    for (a, col) in cols.iter().enumerate() {
+        q[a * stride + a] += sum_sq(col);
+    }
+}
+
+/// Masked [`block_diagonal`].
+pub fn block_diagonal_masked(q: &mut [f64], stride: usize, cols: &[&[f64]], skip: &[bool]) {
+    let d = cols.len();
+    assert!(
+        d == 0 || (d - 1) * stride + d <= q.len(),
+        "q buffer too small"
+    );
+    for (a, col) in cols.iter().enumerate() {
+        q[a * stride + a] += dot_masked(col, col, skip);
+    }
+}
+
+/// Block full (symmetric, both halves materialized) update:
+/// `q[a][b] += cols[a] · cols[b]` for all `a, b`. The upper half is
+/// mirrored from the computed lower half so both halves stay
+/// bit-identical.
+///
+/// # Panics
+/// Panics if `q` is too small.
+pub fn block_full(q: &mut [f64], stride: usize, cols: &[&[f64]]) {
+    let d = cols.len();
+    assert!(
+        d == 0 || (d - 1) * stride + d <= q.len(),
+        "q buffer too small"
+    );
+    for a in 0..d {
+        for b in 0..=a {
+            let v = dot(cols[a], cols[b]);
+            q[a * stride + b] += v;
+            if a != b {
+                q[b * stride + a] += v;
+            }
+        }
+    }
+}
+
+/// Masked [`block_full`].
+pub fn block_full_masked(q: &mut [f64], stride: usize, cols: &[&[f64]], skip: &[bool]) {
+    let d = cols.len();
+    assert!(
+        d == 0 || (d - 1) * stride + d <= q.len(),
+        "q buffer too small"
+    );
+    for a in 0..d {
+        for b in 0..=a {
+            let v = dot_masked(cols[a], cols[b], skip);
+            q[a * stride + b] += v;
+            if a != b {
+                q[b * stride + a] += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols_fixture() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let c1: Vec<f64> = (0..9).map(|i| i as f64 - 4.0).collect();
+        let c2: Vec<f64> = (0..9).map(|i| (i as f64) * 0.5 + 1.0).collect();
+        let c3: Vec<f64> = (0..9).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        (c1, c2, c3)
+    }
+
+    #[test]
+    fn reductions_match_naive() {
+        let (c1, c2, _) = cols_fixture();
+        assert_eq!(sum(&c1), c1.iter().sum::<f64>());
+        assert_eq!(dot(&c1, &c2), c1.iter().zip(&c2).map(|(a, b)| a * b).sum());
+        assert_eq!(sum_sq(&c2), dot(&c2, &c2));
+        assert_eq!(min_max(&c1), (-4.0, 4.0));
+        assert_eq!(min_max(&[]), (f64::INFINITY, f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn masked_reductions_skip_rows() {
+        let (c1, c2, _) = cols_fixture();
+        let skip: Vec<bool> = (0..9).map(|i| i % 3 == 0).collect();
+        let expect_sum: f64 = c1
+            .iter()
+            .zip(&skip)
+            .filter(|(_, &s)| !s)
+            .map(|(x, _)| x)
+            .sum();
+        assert_eq!(sum_masked(&c1, &skip), expect_sum);
+        let expect_dot: f64 = c1
+            .iter()
+            .zip(&c2)
+            .zip(&skip)
+            .filter(|(_, &s)| !s)
+            .map(|((a, b), _)| a * b)
+            .sum();
+        assert_eq!(dot_masked(&c1, &c2, &skip), expect_dot);
+        assert_eq!(min_max_masked(&c1, &skip), (-3.0, 4.0));
+        let all = vec![true; 9];
+        assert_eq!(
+            min_max_masked(&c1, &all),
+            (f64::INFINITY, f64::NEG_INFINITY)
+        );
+    }
+
+    /// The block kernels must equal per-row rank-1 updates exactly —
+    /// same products, just reassociated sums, which for a reference
+    /// check means agreement to tight tolerance, and for identical
+    /// summation order (single column) agreement exactly.
+    #[test]
+    fn block_updates_match_rank1_loop() {
+        let (c1, c2, c3) = cols_fixture();
+        let cols: Vec<&[f64]> = vec![&c1, &c2, &c3];
+        let d = 3;
+        let stride = 4; // deliberately != d to exercise strides
+
+        let mut by_row = vec![0.0; stride * d];
+        for i in 0..c1.len() {
+            let x = [c1[i], c2[i], c3[i]];
+            rank1_triangular(&mut by_row, stride, &x);
+        }
+
+        let mut by_block = vec![0.0; stride * d];
+        block_triangular(&mut by_block, stride, &cols);
+        for (a, (r, b)) in by_row.iter().zip(&by_block).enumerate() {
+            assert!((r - b).abs() < 1e-12, "cell {a}: {r} vs {b}");
+        }
+
+        let mut diag = vec![0.0; stride * d];
+        block_diagonal(&mut diag, stride, &cols);
+        for a in 0..d {
+            assert!((diag[a * stride + a] - by_block[a * stride + a]).abs() < 1e-12);
+        }
+
+        let mut full = vec![0.0; stride * d];
+        block_full(&mut full, stride, &cols);
+        for a in 0..d {
+            for b in 0..d {
+                let expect = by_block[a.max(b) * stride + a.min(b)];
+                assert!((full[a * stride + b] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_block_updates_match_filtered_rank1() {
+        let (c1, c2, c3) = cols_fixture();
+        let cols: Vec<&[f64]> = vec![&c1, &c2, &c3];
+        let skip: Vec<bool> = (0..9).map(|i| i == 2 || i == 7).collect();
+        let stride = 3;
+
+        let mut by_row = vec![0.0; 9];
+        for i in 0..c1.len() {
+            if !skip[i] {
+                rank1_triangular(&mut by_row, stride, &[c1[i], c2[i], c3[i]]);
+            }
+        }
+        let mut tri = vec![0.0; 9];
+        block_triangular_masked(&mut tri, stride, &cols, &skip);
+        for (r, b) in by_row.iter().zip(&tri) {
+            assert!((r - b).abs() < 1e-12);
+        }
+
+        let mut diag = vec![0.0; 9];
+        block_diagonal_masked(&mut diag, stride, &cols, &skip);
+        let mut full = vec![0.0; 9];
+        block_full_masked(&mut full, stride, &cols, &skip);
+        for a in 0..3 {
+            assert!((diag[a * stride + a] - tri[a * stride + a]).abs() < 1e-12);
+            for b in 0..3 {
+                let expect = tri[a.max(b) * stride + a.min(b)];
+                assert!((full[a * stride + b] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn dot_checks_lengths() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "q buffer too small")]
+    fn triangular_checks_buffer() {
+        let mut q = [0.0; 3];
+        rank1_triangular(&mut q, 2, &[1.0, 2.0]);
+    }
+}

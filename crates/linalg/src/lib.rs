@@ -19,6 +19,7 @@
 mod cholesky;
 mod eigen;
 mod error;
+pub mod kernels;
 mod lu;
 mod matrix;
 mod qr;
@@ -29,8 +30,8 @@ pub use cholesky::Cholesky;
 pub use eigen::{jacobi_eigen, Eigen};
 pub use error::LinalgError;
 pub use lu::{invert, Lu};
-pub use qr::{least_squares, Qr};
 pub use matrix::Matrix;
+pub use qr::{least_squares, Qr};
 pub use svd::{svd, Svd};
 pub use vector::Vector;
 

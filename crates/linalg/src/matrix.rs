@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -46,8 +50,16 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_rows_slice(rows: usize, cols: usize, data: &[f64]) -> Self {
-        assert_eq!(data.len(), rows * cols, "flat data length must be rows*cols");
-        Matrix { rows, cols, data: data.to_vec() }
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat data length must be rows*cols"
+        );
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// Creates a matrix from nested row vectors.
@@ -62,7 +74,11 @@ impl Matrix {
             assert_eq!(row.len(), ncols, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: nrows, cols: ncols, data }
+        Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
     }
 
     /// Creates a diagonal matrix from the given diagonal entries.
@@ -117,7 +133,9 @@ impl Matrix {
 
     /// Copy of the main diagonal.
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Returns the transpose.
@@ -188,7 +206,12 @@ impl Matrix {
         self.zip_with(rhs, "sub", |a, b| a - b)
     }
 
-    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
             return Err(LinalgError::DimensionMismatch {
                 op,
@@ -202,7 +225,11 @@ impl Matrix {
             .zip(&rhs.data)
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Whether the matrix is symmetric within tolerance `tol`.
@@ -297,7 +324,8 @@ impl Sub for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.try_sub(rhs).expect("matrix subtraction shape mismatch")
+        self.try_sub(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 
@@ -305,7 +333,8 @@ impl Mul for &Matrix {
     type Output = Matrix;
 
     fn mul(self, rhs: &Matrix) -> Matrix {
-        self.matmul(rhs).expect("matrix multiplication shape mismatch")
+        self.matmul(rhs)
+            .expect("matrix multiplication shape mismatch")
     }
 }
 
@@ -361,7 +390,10 @@ mod tests {
         let a = Matrix::from_nested(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let b = Matrix::from_nested(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_nested(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+        assert_eq!(
+            c,
+            Matrix::from_nested(&[vec![19.0, 22.0], vec![43.0, 50.0]])
+        );
     }
 
     #[test]

@@ -253,20 +253,16 @@ mod tests {
     #[test]
     fn wide_matrix_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Qr::new(&a), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            Qr::new(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
     fn rank_deficient_solve_is_singular() {
-        let a = Matrix::from_nested(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ]);
+        let a = Matrix::from_nested(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
         let b = Vector::from_vec(vec![1.0, 2.0, 3.0]);
-        assert!(matches!(
-            least_squares(&a, &b),
-            Err(LinalgError::Singular)
-        ));
+        assert!(matches!(least_squares(&a, &b), Err(LinalgError::Singular)));
     }
 }

@@ -44,11 +44,19 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
                 }
             }
         }
-        Ok(Svd { u, singular_values: s, v })
+        Ok(Svd {
+            u,
+            singular_values: s,
+            v,
+        })
     } else {
         // Transpose, decompose, and swap U <-> V.
         let t = svd(&a.transpose())?;
-        Ok(Svd { u: t.v, singular_values: t.singular_values, v: t.u })
+        Ok(Svd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        })
     }
 }
 
@@ -80,11 +88,7 @@ mod tests {
 
     #[test]
     fn tall_matrix_reconstructs() {
-        let a = Matrix::from_nested(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let a = Matrix::from_nested(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let s = svd(&a).unwrap();
         let rec = reconstruct(&s);
         for r in 0..3 {

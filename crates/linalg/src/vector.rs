@@ -23,7 +23,9 @@ impl Vector {
 
     /// Copies a slice into a new vector.
     pub fn from_slice(data: &[f64]) -> Self {
-        Vector { data: data.to_vec() }
+        Vector {
+            data: data.to_vec(),
+        }
     }
 
     /// Length of the vector.
@@ -83,7 +85,9 @@ impl Vector {
 
     /// Returns `self * s`.
     pub fn scale(&self, s: f64) -> Vector {
-        Vector { data: self.data.iter().map(|v| v * s).collect() }
+        Vector {
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
     }
 
     /// Element-wise addition.
@@ -93,7 +97,12 @@ impl Vector {
     pub fn add(&self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "vector addition length mismatch");
         Vector {
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 
@@ -104,7 +113,12 @@ impl Vector {
     pub fn sub(&self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "vector subtraction length mismatch");
         Vector {
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 

@@ -5,184 +5,227 @@
 //! Cholesky and Jacobi reconstruction, and eigen/trace preservation.
 
 use nlq_linalg::{invert, jacobi_eigen, least_squares, Cholesky, Lu, Matrix, Vector};
-use proptest::prelude::*;
+use nlq_testkit::{run_cases, Rng};
 
-/// Strategy: a square matrix with entries in [-10, 10].
-fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-10.0_f64..10.0, n * n)
-        .prop_map(move |data| Matrix::from_rows_slice(n, n, &data))
+/// A square matrix with entries in [-10, 10].
+fn square_matrix(rng: &mut Rng, n: usize) -> Matrix {
+    let data = rng.vec_f64(n * n, -10.0, 10.0);
+    Matrix::from_rows_slice(n, n, &data)
 }
 
-/// Strategy: a random SPD matrix built as `B B^T + n*I` (guaranteed
-/// strictly positive definite).
-fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    square_matrix(n).prop_map(move |b| {
-        let g = b.matmul(&b.transpose()).unwrap();
-        let reg = Matrix::identity(n).scale(n as f64);
-        g.try_add(&reg).unwrap()
-    })
+/// A random SPD matrix built as `B B^T + n*I` (guaranteed strictly
+/// positive definite).
+fn spd_matrix(rng: &mut Rng, n: usize) -> Matrix {
+    let b = square_matrix(rng, n);
+    let g = b.matmul(&b.transpose()).unwrap();
+    let reg = Matrix::identity(n).scale(n as f64);
+    g.try_add(&reg).unwrap()
 }
 
-fn vec_of(n: usize) -> impl Strategy<Value = Vector> {
-    proptest::collection::vec(-10.0_f64..10.0, n).prop_map(Vector::from_vec)
+fn vec_of(rng: &mut Rng, n: usize) -> Vector {
+    Vector::from_vec(rng.vec_f64(n, -10.0, 10.0))
 }
 
 fn close(a: f64, b: f64, tol: f64) -> bool {
     (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
 }
 
-proptest! {
-    #[test]
-    fn transpose_is_involution(m in square_matrix(4)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
-    }
+#[test]
+fn transpose_is_involution() {
+    run_cases(64, 0x11a1, |rng| {
+        let m = square_matrix(rng, 4);
+        assert_eq!(m.transpose().transpose(), m);
+    });
+}
 
-    #[test]
-    fn transpose_of_product(a in square_matrix(3), b in square_matrix(3)) {
+#[test]
+fn transpose_of_product() {
+    run_cases(64, 0x11a2, |rng| {
+        let a = square_matrix(rng, 3);
+        let b = square_matrix(rng, 3);
         let lhs = a.matmul(&b).unwrap().transpose();
         let rhs = b.transpose().matmul(&a.transpose()).unwrap();
         for r in 0..3 {
             for c in 0..3 {
-                prop_assert!(close(lhs[(r, c)], rhs[(r, c)], 1e-10));
+                assert!(close(lhs[(r, c)], rhs[(r, c)], 1e-10));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_is_associative(
-        a in square_matrix(3),
-        b in square_matrix(3),
-        c in square_matrix(3),
-    ) {
+#[test]
+fn matmul_is_associative() {
+    run_cases(64, 0x11a3, |rng| {
+        let a = square_matrix(rng, 3);
+        let b = square_matrix(rng, 3);
+        let c = square_matrix(rng, 3);
         let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
         for r in 0..3 {
             for col in 0..3 {
-                prop_assert!(close(lhs[(r, col)], rhs[(r, col)], 1e-8));
+                assert!(close(lhs[(r, col)], rhs[(r, col)], 1e-8));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn lu_solve_satisfies_system(a in spd_matrix(4), b in vec_of(4)) {
+#[test]
+fn lu_solve_satisfies_system() {
+    run_cases(64, 0x11a4, |rng| {
+        let a = spd_matrix(rng, 4);
+        let b = vec_of(rng, 4);
         let lu = Lu::new(&a).unwrap();
         let x = lu.solve(&b).unwrap();
         let ax = a.matvec(&x).unwrap();
         for i in 0..4 {
-            prop_assert!(close(ax[i], b[i], 1e-7));
+            assert!(close(ax[i], b[i], 1e-7));
         }
-    }
+    });
+}
 
-    #[test]
-    fn inverse_roundtrip(a in spd_matrix(3)) {
+#[test]
+fn inverse_roundtrip() {
+    run_cases(64, 0x11a5, |rng| {
+        let a = spd_matrix(rng, 3);
         let inv = invert(&a).unwrap();
         let prod = a.matmul(&inv).unwrap();
         let id = Matrix::identity(3);
         for r in 0..3 {
             for c in 0..3 {
-                prop_assert!(close(prod[(r, c)], id[(r, c)], 1e-7));
+                assert!(close(prod[(r, c)], id[(r, c)], 1e-7));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cholesky_reconstructs(a in spd_matrix(4)) {
+#[test]
+fn cholesky_reconstructs() {
+    run_cases(64, 0x11a6, |rng| {
+        let a = spd_matrix(rng, 4);
         let ch = Cholesky::new(&a).unwrap();
         let rec = ch.factor().matmul(&ch.factor().transpose()).unwrap();
         for r in 0..4 {
             for c in 0..4 {
-                prop_assert!(close(rec[(r, c)], a[(r, c)], 1e-8));
+                assert!(close(rec[(r, c)], a[(r, c)], 1e-8));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cholesky_and_lu_solve_agree(a in spd_matrix(4), b in vec_of(4)) {
+#[test]
+fn cholesky_and_lu_solve_agree() {
+    run_cases(64, 0x11a7, |rng| {
+        let a = spd_matrix(rng, 4);
+        let b = vec_of(rng, 4);
         let x1 = Cholesky::new(&a).unwrap().solve(&b).unwrap();
         let x2 = Lu::new(&a).unwrap().solve(&b).unwrap();
         for i in 0..4 {
-            prop_assert!(close(x1[i], x2[i], 1e-7));
+            assert!(close(x1[i], x2[i], 1e-7));
         }
-    }
+    });
+}
 
-    #[test]
-    fn cholesky_determinant_matches_lu(a in spd_matrix(3)) {
+#[test]
+fn cholesky_determinant_matches_lu() {
+    run_cases(64, 0x11a8, |rng| {
+        let a = spd_matrix(rng, 3);
         let d1 = Cholesky::new(&a).unwrap().determinant();
         let d2 = Lu::new(&a).unwrap().determinant();
-        prop_assert!(close(d1, d2, 1e-6));
-    }
+        assert!(close(d1, d2, 1e-6));
+    });
+}
 
-    #[test]
-    fn eigen_preserves_trace_and_reconstructs(a in spd_matrix(4)) {
+#[test]
+fn eigen_preserves_trace_and_reconstructs() {
+    run_cases(48, 0x11a9, |rng| {
+        let a = spd_matrix(rng, 4);
         let e = jacobi_eigen(&a, 1e-13).unwrap();
         let sum: f64 = e.values.iter().sum();
-        prop_assert!(close(sum, a.trace(), 1e-8));
+        assert!(close(sum, a.trace(), 1e-8));
 
         // Eigenvalues of an SPD matrix are positive.
         for &v in &e.values {
-            prop_assert!(v > 0.0);
+            assert!(v > 0.0);
         }
 
         let d = Matrix::from_diagonal(&e.values);
-        let rec = e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        let rec = e
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
         for r in 0..4 {
             for c in 0..4 {
-                prop_assert!(close(rec[(r, c)], a[(r, c)], 1e-7));
+                assert!(close(rec[(r, c)], a[(r, c)], 1e-7));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn eigenvalues_are_sorted_descending(a in spd_matrix(5)) {
+#[test]
+fn eigenvalues_are_sorted_descending() {
+    run_cases(48, 0x11aa, |rng| {
+        let a = spd_matrix(rng, 5);
         let e = jacobi_eigen(&a, 1e-13).unwrap();
         for w in e.values.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-10);
+            assert!(w[0] >= w[1] - 1e-10);
         }
-    }
+    });
+}
 
-    #[test]
-    fn vector_distance_is_symmetric_and_nonnegative(
-        a in vec_of(6),
-        b in vec_of(6),
-    ) {
+#[test]
+fn vector_distance_is_symmetric_and_nonnegative() {
+    run_cases(64, 0x11ab, |rng| {
+        let a = vec_of(rng, 6);
+        let b = vec_of(rng, 6);
         let d1 = a.squared_distance(&b);
         let d2 = b.squared_distance(&a);
-        prop_assert!(close(d1, d2, 1e-12));
-        prop_assert!(d1 >= 0.0);
-        prop_assert_eq!(a.squared_distance(&a), 0.0);
-    }
+        assert!(close(d1, d2, 1e-12));
+        assert!(d1 >= 0.0);
+        assert_eq!(a.squared_distance(&a), 0.0);
+    });
+}
 
-    #[test]
-    fn qr_least_squares_residual_is_orthogonal_to_columns(
-        data in proptest::collection::vec(-10.0_f64..10.0, 8 * 3),
-        b in vec_of(8),
-    ) {
+#[test]
+fn qr_least_squares_residual_is_orthogonal_to_columns() {
+    run_cases(64, 0x11ac, |rng| {
+        let data = rng.vec_f64(8 * 3, -10.0, 10.0);
+        let b = vec_of(rng, 8);
         let a = Matrix::from_rows_slice(8, 3, &data);
         // Skip (numerically) rank-deficient draws.
-        let Ok(x) = least_squares(&a, &b) else { return Ok(()); };
+        let Ok(x) = least_squares(&a, &b) else { return };
         let ax = a.matvec(&x).unwrap();
         let residual = b.sub(&ax);
         // Normal equations optimality: A^T r = 0.
         let atr = a.transpose().matvec(&residual).unwrap();
         let scale = 1.0 + b.norm() * a.frobenius_norm();
         for i in 0..3 {
-            prop_assert!(atr[i].abs() <= 1e-7 * scale, "A^T r [{i}] = {}", atr[i]);
+            assert!(atr[i].abs() <= 1e-7 * scale, "A^T r [{i}] = {}", atr[i]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn qr_agrees_with_lu_on_square_systems(a in spd_matrix(4), b in vec_of(4)) {
+#[test]
+fn qr_agrees_with_lu_on_square_systems() {
+    run_cases(64, 0x11ad, |rng| {
+        let a = spd_matrix(rng, 4);
+        let b = vec_of(rng, 4);
         let via_qr = least_squares(&a, &b).unwrap();
         let via_lu = Lu::new(&a).unwrap().solve(&b).unwrap();
         for i in 0..4 {
-            prop_assert!(close(via_qr[i], via_lu[i], 1e-7));
+            assert!(close(via_qr[i], via_lu[i], 1e-7));
         }
-    }
+    });
+}
 
-    #[test]
-    fn cauchy_schwarz(a in vec_of(5), b in vec_of(5)) {
+#[test]
+fn cauchy_schwarz() {
+    run_cases(64, 0x11ae, |rng| {
+        let a = vec_of(rng, 5);
+        let b = vec_of(rng, 5);
         let lhs = a.dot(&b).abs();
         let rhs = a.norm() * b.norm();
-        prop_assert!(lhs <= rhs + 1e-9);
-    }
+        assert!(lhs <= rhs + 1e-9);
+    });
 }

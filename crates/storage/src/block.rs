@@ -1,0 +1,317 @@
+//! Block-at-a-time columnar scans.
+//!
+//! The row-wise scan path decodes every page into `Vec<Value>` rows —
+//! one allocation per row plus an enum dispatch per value. For the
+//! paper's Γ computation (`n`, `L`, `Q` in one scan over `d` float
+//! columns) that per-row overhead dominates: the aggregate itself is a
+//! handful of multiply-adds. This module provides the vectorized
+//! alternative: a scan that decodes a fixed-size batch of rows
+//! ([`BLOCK_ROWS`]) straight into per-column `f64` buffers with a
+//! sidecar null mask, so consumers can run tight columnar kernels
+//! (dot products, sums, min/max) over contiguous memory.
+//!
+//! Only numeric projections are supported — every projected column
+//! must be typed [`DataType::Float`](crate::DataType::Float) (stored
+//! integers widen transparently). Non-projected columns of any type
+//! are skipped in place without decoding.
+
+use crate::row::decode_row_numeric;
+use crate::{DataType, Page, Result, StorageError, Table};
+
+/// Rows per [`ColumnBlock`]: 1024 keeps a d=8 projection (8 columns ×
+/// 8 KB values + 1 KB nulls) comfortably inside L2 while amortizing
+/// per-block dispatch to noise.
+pub const BLOCK_ROWS: usize = 1024;
+
+/// One decoded column of a [`ColumnBlock`]: values plus a null mask.
+#[derive(Debug, Clone, Default)]
+pub struct FloatColumn {
+    /// Decoded values, one per block row. NULL slots hold `0.0`.
+    pub values: Vec<f64>,
+    /// Per-row null flags (`true` where the stored value was SQL NULL).
+    pub nulls: Vec<bool>,
+    /// Number of `true` entries in `nulls` (lets consumers pick the
+    /// dense kernel without rescanning the mask).
+    pub null_count: usize,
+}
+
+impl FloatColumn {
+    /// Whether the column has no NULLs in this block.
+    pub fn is_dense(&self) -> bool {
+        self.null_count == 0
+    }
+}
+
+/// A batch of up to [`BLOCK_ROWS`] rows decoded column-wise.
+///
+/// Column order matches the projection list passed to
+/// [`Table::scan_partition_blocks`], not the table schema.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnBlock {
+    len: usize,
+    columns: Vec<FloatColumn>,
+}
+
+impl ColumnBlock {
+    /// Number of rows in this block (the final block of a partition is
+    /// usually shorter than [`BLOCK_ROWS`]).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of projected columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The `i`-th projected column.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range of the projection.
+    pub fn column(&self, i: usize) -> &FloatColumn {
+        &self.columns[i]
+    }
+
+    /// Whether every projected column is NULL-free in this block.
+    pub fn is_dense(&self) -> bool {
+        self.columns.iter().all(FloatColumn::is_dense)
+    }
+}
+
+/// Streaming block decoder over one partition's pages.
+///
+/// Created by [`Table::scan_partition_blocks`]. Each call to
+/// [`BlockIter::next_block`] decodes up to [`BLOCK_ROWS`] rows into a
+/// reused [`ColumnBlock`]; blocks never straddle the caller's view —
+/// the returned reference is valid until the next call.
+pub struct BlockIter<'a> {
+    pages: &'a [Page],
+    /// Table column index -> projection slot.
+    slots: Vec<Option<usize>>,
+    page_idx: usize,
+    /// Unconsumed bytes of the current page.
+    remaining: &'a [u8],
+    rows_left_in_page: u32,
+    block: ColumnBlock,
+    /// Scratch row buffers the page decoder writes into.
+    row_values: Vec<f64>,
+    row_nulls: Vec<bool>,
+}
+
+impl<'a> BlockIter<'a> {
+    fn new(pages: &'a [Page], slots: Vec<Option<usize>>, width: usize) -> Self {
+        BlockIter {
+            pages,
+            slots,
+            page_idx: 0,
+            remaining: &[],
+            rows_left_in_page: 0,
+            block: ColumnBlock {
+                len: 0,
+                columns: vec![FloatColumn::default(); width],
+            },
+            row_values: vec![0.0; width],
+            row_nulls: vec![false; width],
+        }
+    }
+
+    /// Decodes the next block, returning `None` when the partition is
+    /// exhausted. The borrow ends at the next `next_block` call.
+    pub fn next_block(&mut self) -> Option<Result<&ColumnBlock>> {
+        self.block.len = 0;
+        for col in &mut self.block.columns {
+            col.values.clear();
+            col.nulls.clear();
+            col.null_count = 0;
+        }
+        while self.block.len < BLOCK_ROWS {
+            if self.rows_left_in_page == 0 {
+                if self.page_idx >= self.pages.len() {
+                    break;
+                }
+                let page = &self.pages[self.page_idx];
+                self.page_idx += 1;
+                self.remaining = page.raw_bytes();
+                self.rows_left_in_page = page.row_count() as u32;
+                continue;
+            }
+            self.rows_left_in_page -= 1;
+            if let Err(e) = decode_row_numeric(
+                &mut self.remaining,
+                &self.slots,
+                &mut self.row_values,
+                &mut self.row_nulls,
+            ) {
+                return Some(Err(e));
+            }
+            for (s, col) in self.block.columns.iter_mut().enumerate() {
+                col.values.push(self.row_values[s]);
+                let null = self.row_nulls[s];
+                col.nulls.push(null);
+                col.null_count += usize::from(null);
+            }
+            self.block.len += 1;
+        }
+        if self.block.len == 0 {
+            None
+        } else {
+            Some(Ok(&self.block))
+        }
+    }
+}
+
+impl Table {
+    /// Opens a block-at-a-time scan of partition `p` projecting the
+    /// given table columns (by schema index, in the order the caller
+    /// wants them in the block).
+    ///
+    /// Every projected column must be typed
+    /// [`DataType::Float`](crate::DataType::Float); other types report
+    /// [`StorageError::TypeMismatch`]. Out-of-range indices report
+    /// [`StorageError::Corrupt`].
+    pub fn scan_partition_blocks(&self, p: usize, cols: &[usize]) -> Result<BlockIter<'_>> {
+        let schema = self.schema();
+        let mut slots = vec![None; schema.len()];
+        for (slot, &c) in cols.iter().enumerate() {
+            if c >= schema.len() {
+                return Err(StorageError::Corrupt("projected column out of range"));
+            }
+            let column = schema.column(c);
+            if column.ty != DataType::Float {
+                return Err(StorageError::TypeMismatch {
+                    column: column.name.clone(),
+                    expected: DataType::Float,
+                });
+            }
+            if slots[c].is_some() {
+                return Err(StorageError::Corrupt("duplicate column in projection"));
+            }
+            slots[c] = Some(slot);
+        }
+        Ok(BlockIter::new(self.partition_pages(p), slots, cols.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Column, Schema, Value};
+
+    fn points_table(n: usize, partitions: usize) -> Table {
+        // X(i, X1, X2) with some NULLs and int-widened floats.
+        let mut t = Table::new(Schema::points(2, false), partitions);
+        for i in 0..n {
+            let x1 = if i % 7 == 3 {
+                Value::Null
+            } else {
+                Value::Float(i as f64)
+            };
+            let x2 = if i % 5 == 0 {
+                Value::Int(i as i64 * 2)
+            } else {
+                Value::Float(i as f64 * 0.5)
+            };
+            t.insert(vec![Value::Int(i as i64), x1, x2]).unwrap();
+        }
+        t
+    }
+
+    fn collect_blocks(t: &Table, p: usize, cols: &[usize]) -> (Vec<usize>, Vec<f64>, usize) {
+        let mut iter = t.scan_partition_blocks(p, cols).unwrap();
+        let mut sizes = Vec::new();
+        let mut values = Vec::new();
+        let mut nulls = 0;
+        while let Some(block) = iter.next_block() {
+            let block = block.unwrap();
+            assert_eq!(block.column_count(), cols.len());
+            sizes.push(block.len());
+            values.extend_from_slice(&block.column(0).values);
+            nulls += block.column(0).null_count;
+        }
+        (sizes, values, nulls)
+    }
+
+    #[test]
+    fn blocks_cover_every_row_in_order() {
+        let t = points_table(2600, 1);
+        let (sizes, values, _) = collect_blocks(&t, 0, &[1, 2]);
+        assert_eq!(sizes, vec![1024, 1024, 552]);
+        assert_eq!(values.len(), 2600);
+        // Non-NULL X1 values are the row index; NULL slots read 0.0.
+        assert_eq!(values[1], 1.0);
+        assert_eq!(values[3], 0.0, "NULL slot holds 0.0");
+        assert_eq!(values[2599], 2599.0);
+    }
+
+    #[test]
+    fn null_mask_counts_match() {
+        let t = points_table(700, 1);
+        let (_, _, nulls) = collect_blocks(&t, 0, &[1]);
+        assert_eq!(nulls, (0..700).filter(|i| i % 7 == 3).count());
+    }
+
+    #[test]
+    fn int_values_widen_in_float_columns() {
+        let t = points_table(10, 1);
+        let mut iter = t.scan_partition_blocks(0, &[2]).unwrap();
+        let block = iter.next_block().unwrap().unwrap();
+        assert_eq!(block.column(0).values[5], 10.0, "Int(10) widens");
+        assert!(block.column(0).is_dense());
+    }
+
+    #[test]
+    fn projection_order_is_caller_order() {
+        let t = points_table(4, 1);
+        let mut iter = t.scan_partition_blocks(0, &[2, 1]).unwrap();
+        let block = iter.next_block().unwrap().unwrap();
+        assert_eq!(block.column(0).values[1], 0.5, "X2 first");
+        assert_eq!(block.column(1).values[1], 1.0, "X1 second");
+    }
+
+    #[test]
+    fn empty_partition_yields_no_blocks() {
+        let t = points_table(3, 8); // partitions 3..7 stay empty
+        let mut iter = t.scan_partition_blocks(7, &[1]).unwrap();
+        assert!(iter.next_block().is_none());
+    }
+
+    #[test]
+    fn non_float_and_bad_projections_are_rejected() {
+        let t = points_table(5, 1);
+        assert!(matches!(
+            t.scan_partition_blocks(0, &[0]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(t.scan_partition_blocks(0, &[9]).is_err());
+        assert!(t.scan_partition_blocks(0, &[1, 1]).is_err());
+
+        let mut strs = Table::new(Schema::new(vec![Column::new("s", DataType::Str)]), 1);
+        strs.insert(vec![Value::Str("x".into())]).unwrap();
+        assert!(strs.scan_partition_blocks(0, &[0]).is_err());
+    }
+
+    #[test]
+    fn blocks_match_row_scan() {
+        let t = points_table(3000, 4);
+        for p in 0..4 {
+            let rows: Vec<Option<f64>> = t
+                .scan_partition(p)
+                .map(|r| r.unwrap()[1].as_f64())
+                .collect();
+            let mut via_blocks = Vec::new();
+            let mut iter = t.scan_partition_blocks(p, &[1]).unwrap();
+            while let Some(block) = iter.next_block() {
+                let col = block.unwrap().column(0);
+                for i in 0..col.values.len() {
+                    via_blocks.push((!col.nulls[i]).then_some(col.values[i]));
+                }
+            }
+            assert_eq!(rows, via_blocks, "partition {p}");
+        }
+    }
+}

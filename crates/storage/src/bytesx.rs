@@ -1,0 +1,149 @@
+//! Minimal byte-buffer read/write extension traits.
+//!
+//! A local stand-in for the small slice of the `bytes` crate's
+//! `Buf`/`BufMut` API the page and disk encoders use, so the workspace
+//! builds without registry access. All integers are little-endian.
+
+/// Append-side operations on a growable byte buffer.
+pub(crate) trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Consume-side operations on a byte slice cursor (`&mut &[u8]`).
+///
+/// Callers must check [`Buf::remaining`] before each `get_*`; the
+/// getters panic on underflow exactly like the `bytes` crate.
+pub(crate) trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+macro_rules! get_le {
+    ($self:ident, $ty:ty) => {{
+        const N: usize = std::mem::size_of::<$ty>();
+        let (head, tail) = $self.split_at(N);
+        let v = <$ty>::from_le_bytes(head.try_into().expect("split_at returned N bytes"));
+        *$self = tail;
+        v
+    }};
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        get_le!(self, u8)
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        get_le!(self, u16)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        get_le!(self, u32)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        get_le!(self, u64)
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        get_le!(self, i64)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        get_le!(self, f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xab);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(0x0123_4567_89ab_cdef);
+        buf.put_i64_le(-42);
+        buf.put_f64_le(1.5);
+        buf.put_slice(b"xyz");
+
+        let mut s = buf.as_slice();
+        assert_eq!(s.remaining(), 1 + 2 + 4 + 8 + 8 + 8 + 3);
+        assert_eq!(s.get_u8(), 0xab);
+        assert_eq!(s.get_u16_le(), 0x1234);
+        assert_eq!(s.get_u32_le(), 0xdead_beef);
+        assert_eq!(s.get_u64_le(), 0x0123_4567_89ab_cdef);
+        assert_eq!(s.get_i64_le(), -42);
+        assert_eq!(s.get_f64_le(), 1.5);
+        s.advance(1);
+        assert_eq!(s, b"yz");
+    }
+}

@@ -1,7 +1,7 @@
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use bytes::{Buf, BufMut};
+use crate::bytesx::{Buf, BufMut};
 
 use crate::{Page, Result, Row, Schema, StorageError, Table};
 
@@ -45,8 +45,7 @@ impl Table {
         // appending it with a trailing pointer.
         out.write_all(&header).map_err(StorageError::from_io)?;
         let mut offset = header.len() as u64;
-        let mut directory: Vec<Vec<(u64, u32, u32)>> =
-            Vec::with_capacity(self.partition_count());
+        let mut directory: Vec<Vec<(u64, u32, u32)>> = Vec::with_capacity(self.partition_count());
         for p in 0..self.partition_count() {
             let mut pages = Vec::new();
             for page in self.partition_pages(p) {
@@ -92,7 +91,8 @@ impl DiskTable {
         let mut header = Vec::new();
         // Read the remainder of the file once to parse schema + trailer
         // (the directory); page reads afterwards seek directly.
-        file.read_to_end(&mut header).map_err(StorageError::from_io)?;
+        file.read_to_end(&mut header)
+            .map_err(StorageError::from_io)?;
         let mut cursor = header.as_slice();
         let schema = decode_schema(&mut cursor)?;
         if cursor.remaining() < 4 {
@@ -130,7 +130,12 @@ impl DiskTable {
             }
             directory.push(dir);
         }
-        Ok(DiskTable { path: path.to_path_buf(), schema, directory, row_count })
+        Ok(DiskTable {
+            path: path.to_path_buf(),
+            schema,
+            directory,
+            row_count,
+        })
     }
 
     /// The table schema.
@@ -195,12 +200,11 @@ impl DiskPartitionIter<'_> {
         let (off, len, rows) = self.pages[self.page_idx];
         self.page_idx += 1;
         if self.file.is_none() {
-            self.file = Some(
-                std::fs::File::open(&self.table.path).map_err(StorageError::from_io)?,
-            );
+            self.file = Some(std::fs::File::open(&self.table.path).map_err(StorageError::from_io)?);
         }
         let file = self.file.as_mut().expect("just opened");
-        file.seek(SeekFrom::Start(off)).map_err(StorageError::from_io)?;
+        file.seek(SeekFrom::Start(off))
+            .map_err(StorageError::from_io)?;
         let mut buf = vec![0u8; len as usize];
         file.read_exact(&mut buf).map_err(StorageError::from_io)?;
         Ok(Some(Page::from_raw(buf, rows)))
@@ -368,7 +372,8 @@ mod tests {
             ]),
             2,
         );
-        t.insert(vec![Value::from("héllo, wörld"), Value::Null]).unwrap();
+        t.insert(vec![Value::from("héllo, wörld"), Value::Null])
+            .unwrap();
         t.insert(vec![Value::Null, Value::Float(2.5)]).unwrap();
         let path = temp("strings");
         let saved = t.save(&path).unwrap();

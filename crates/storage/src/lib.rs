@@ -13,6 +13,8 @@
 //! scanned by independent worker threads and merged by a master — the
 //! exact execution model the aggregate-UDF protocol is written against.
 
+mod block;
+mod bytesx;
 mod disk;
 mod page;
 mod parallel;
@@ -21,9 +23,10 @@ mod schema;
 mod table;
 mod value;
 
+pub use block::{BlockIter, ColumnBlock, FloatColumn, BLOCK_ROWS};
 pub use disk::{DiskPartitionIter, DiskTable};
 pub use page::{Page, PAGE_SIZE};
-pub use parallel::{parallel_scan, parallel_scan_indexed};
+pub use parallel::{parallel_scan, parallel_scan_indexed, parallel_scan_partitions};
 pub use row::Row;
 pub use schema::{Column, DataType, Schema};
 pub use table::{PartitionIter, Table};

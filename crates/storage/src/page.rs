@@ -59,7 +59,10 @@ impl Page {
 
     /// Iterates the rows of this page, decoding on the fly.
     pub fn iter(&self) -> PageIter<'_> {
-        PageIter { remaining: &self.buf, rows_left: self.rows }
+        PageIter {
+            remaining: &self.buf,
+            rows_left: self.rows,
+        }
     }
 }
 
@@ -113,7 +116,11 @@ mod tests {
         }
         assert!(p.bytes_used() <= PAGE_SIZE);
         // ~64 KB / ~1 KB rows: around 65 rows.
-        assert!(p.row_count() >= 60 && p.row_count() <= 66, "{}", p.row_count());
+        assert!(
+            p.row_count() >= 60 && p.row_count() <= 66,
+            "{}",
+            p.row_count()
+        );
     }
 
     #[test]

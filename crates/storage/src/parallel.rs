@@ -24,15 +24,24 @@ where
     R: Send,
     F: Fn(usize, &mut dyn Iterator<Item = Result<Row>>) -> R + Sync,
 {
+    parallel_scan_partitions(table, workers, |p| {
+        let mut iter = table.scan_partition(p);
+        worker(p, &mut iter)
+    })
+}
+
+/// Runs `worker(p)` once per partition index on the same thread pool,
+/// without pre-opening a row iterator — the worker chooses its own
+/// access path (row scan, [`Table::scan_partition_blocks`], ...).
+pub fn parallel_scan_partitions<R, F>(table: &Table, workers: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let parts = table.partition_count();
     let workers = workers.max(1).min(parts);
     if workers == 1 {
-        return (0..parts)
-            .map(|p| {
-                let mut iter = table.scan_partition(p);
-                worker(p, &mut iter)
-            })
-            .collect();
+        return (0..parts).map(worker).collect();
     }
 
     // One slot per partition; threads claim partitions via an atomic
@@ -47,16 +56,13 @@ where
         for _ in 0..workers {
             let next = &next;
             let slots = &slots;
-            handles.push(scope.spawn(move || {
-                loop {
-                    let p = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if p >= parts {
-                        break;
-                    }
-                    let mut iter = table.scan_partition(p);
-                    let r = worker_ref(p, &mut iter);
-                    *slots[p].lock().expect("slot lock") = Some(r);
+            handles.push(scope.spawn(move || loop {
+                let p = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if p >= parts {
+                    break;
                 }
+                let r = worker_ref(p);
+                *slots[p].lock().expect("slot lock") = Some(r);
             }));
         }
         for h in handles {
@@ -82,7 +88,8 @@ mod tests {
     fn table_with(n: usize, partitions: usize) -> Table {
         let mut t = Table::new(Schema::points(1, false), partitions);
         for i in 0..n {
-            t.insert(vec![Value::Int(i as i64), Value::Float(1.0)]).unwrap();
+            t.insert(vec![Value::Int(i as i64), Value::Float(1.0)])
+                .unwrap();
         }
         t
     }

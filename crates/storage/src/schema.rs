@@ -23,7 +23,10 @@ pub struct Column {
 impl Column {
     /// Creates a column.
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -151,7 +154,10 @@ mod tests {
         let s = Schema::points(2, false);
         assert!(matches!(
             s.validate(&[Value::Int(1)]),
-            Err(StorageError::ArityMismatch { expected: 3, got: 1 })
+            Err(StorageError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
         let row = vec![Value::Float(1.0), Value::Float(0.5), Value::Float(1.5)];
         assert!(matches!(

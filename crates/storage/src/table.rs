@@ -70,7 +70,10 @@ impl Table {
         if pages.last().is_none_or(|page| !page.fits(&row)) {
             pages.push(Page::new());
         }
-        pages.last_mut().expect("just ensured a page exists").push(&row);
+        pages
+            .last_mut()
+            .expect("just ensured a page exists")
+            .push(&row);
         self.row_count += 1;
         Ok(())
     }
@@ -140,7 +143,7 @@ impl<'a> Iterator for PartitionIter<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DataType, Column, Value};
+    use crate::{Column, DataType, Value};
 
     fn small_table(partitions: usize) -> Table {
         let schema = Schema::new(vec![
@@ -149,7 +152,8 @@ mod tests {
         ]);
         let mut t = Table::new(schema, partitions);
         for i in 0..10 {
-            t.insert(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
+            t.insert(vec![Value::Int(i), Value::Float(i as f64)])
+                .unwrap();
         }
         t
     }
@@ -193,7 +197,11 @@ mod tests {
         assert!(t
             .insert(vec![Value::Str("x".into()), Value::Float(0.0)])
             .is_err());
-        assert_eq!(t.row_count(), 10, "failed inserts must not change the table");
+        assert_eq!(
+            t.row_count(),
+            10,
+            "failed inserts must not change the table"
+        );
     }
 
     #[test]

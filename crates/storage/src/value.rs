@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn sql_cmp_three_valued() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
-        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(1.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
         assert_eq!(
             Value::Str("a".into()).sql_cmp(&Value::Str("b".into())),
             Some(Ordering::Less)

@@ -1,81 +1,71 @@
 //! Property-based tests for the storage layer: encode/decode
 //! roundtrips through pages, partitioning invariants, and parallel
-//! scan consistency.
+//! scan consistency. Cases are generated with the workspace's seeded
+//! [`nlq_testkit`] runner.
 
 use nlq_storage::{parallel_scan, Column, DataType, Schema, Table, Value};
-use proptest::prelude::*;
+use nlq_testkit::{run_cases, Rng};
 
-/// Strategy for an arbitrary value matching a column type.
-fn value_for(ty: DataType) -> BoxedStrategy<Value> {
+/// An arbitrary value matching a column type (NULL with 20 % odds).
+fn value_for(rng: &mut Rng, ty: DataType) -> Value {
+    if rng.chance(0.2) {
+        return Value::Null;
+    }
     match ty {
-        DataType::Int => prop_oneof![
-            Just(Value::Null),
-            any::<i64>().prop_map(Value::Int),
-        ]
-        .boxed(),
-        DataType::Float => prop_oneof![
-            Just(Value::Null),
-            (-1e15_f64..1e15).prop_map(Value::Float),
-        ]
-        .boxed(),
-        DataType::Str => prop_oneof![
-            Just(Value::Null),
-            "[a-zA-Z0-9 ,;'\"\\\\]{0,40}".prop_map(Value::Str),
-        ]
-        .boxed(),
+        DataType::Int => Value::Int(rng.any_i64()),
+        DataType::Float => Value::Float(rng.range_f64(-1e15, 1e15)),
+        DataType::Str => Value::Str(rng.string_from("abcXYZ019 ,;'\"\\", 40)),
     }
 }
 
-/// Strategy: a random schema of 1-5 columns.
-fn schema_strategy() -> impl Strategy<Value = Schema> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just(DataType::Int),
-            Just(DataType::Float),
-            Just(DataType::Str)
-        ],
-        1..=5,
+/// A random schema of 1-5 columns.
+fn random_schema(rng: &mut Rng) -> Schema {
+    let ncols = rng.range_usize(1, 5);
+    Schema::new(
+        (0..ncols)
+            .map(|i| {
+                let ty = match rng.range_usize(0, 2) {
+                    0 => DataType::Int,
+                    1 => DataType::Float,
+                    _ => DataType::Str,
+                };
+                Column::new(format!("c{i}"), ty)
+            })
+            .collect(),
     )
-    .prop_map(|types| {
-        Schema::new(
-            types
-                .into_iter()
-                .enumerate()
-                .map(|(i, ty)| Column::new(format!("c{i}"), ty))
-                .collect(),
-        )
-    })
 }
 
-/// Strategy: a schema plus rows that satisfy it.
-fn table_contents() -> impl Strategy<Value = (Schema, Vec<Vec<Value>>)> {
-    schema_strategy().prop_flat_map(|schema| {
-        let row_strategy: Vec<BoxedStrategy<Value>> = schema
-            .columns()
-            .iter()
-            .map(|c| value_for(c.ty))
-            .collect();
-        let rows = proptest::collection::vec(row_strategy, 0..60);
-        (Just(schema), rows)
-    })
+/// A random schema plus rows satisfying it.
+fn table_contents(rng: &mut Rng) -> (Schema, Vec<Vec<Value>>) {
+    let schema = random_schema(rng);
+    let nrows = rng.range_usize(0, 59);
+    let rows = (0..nrows)
+        .map(|_| {
+            schema
+                .columns()
+                .iter()
+                .map(|c| value_for(rng, c.ty))
+                .collect()
+        })
+        .collect();
+    (schema, rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn insert_scan_roundtrip((schema, rows) in table_contents(), partitions in 1usize..8) {
+#[test]
+fn insert_scan_roundtrip() {
+    run_cases(48, 0x5701, |rng| {
+        let (schema, rows) = table_contents(rng);
+        let partitions = rng.range_usize(1, 7);
         let mut table = Table::new(schema, partitions);
         for row in &rows {
             table.insert(row.clone()).unwrap();
         }
-        prop_assert_eq!(table.row_count(), rows.len());
+        assert_eq!(table.row_count(), rows.len());
 
         // Every row comes back exactly once (round-robin reorders
         // across partitions but preserves multiset and per-partition
         // order).
-        let mut scanned: Vec<Vec<Value>> =
-            table.collect_rows().unwrap();
+        let scanned: Vec<Vec<Value>> = table.collect_rows().unwrap();
         // Reconstruct insertion order from round-robin: partition p
         // receives rows p, p+partitions, ...
         let mut expected_by_partition: Vec<Vec<Vec<Value>>> = vec![Vec::new(); partitions];
@@ -83,38 +73,43 @@ proptest! {
             expected_by_partition[i % partitions].push(row.clone());
         }
         let expected: Vec<Vec<Value>> = expected_by_partition.concat();
-        prop_assert_eq!(scanned.len(), expected.len());
-        // Compare using grouping equality (NaN-free by construction).
-        for (a, b) in scanned.drain(..).zip(expected) {
-            prop_assert_eq!(a, b);
+        assert_eq!(scanned.len(), expected.len());
+        for (a, b) in scanned.into_iter().zip(expected) {
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn partition_counts_are_balanced((schema, rows) in table_contents(), partitions in 1usize..6) {
+#[test]
+fn partition_counts_are_balanced() {
+    run_cases(48, 0x5702, |rng| {
+        let (schema, rows) = table_contents(rng);
+        let partitions = rng.range_usize(1, 5);
         let mut table = Table::new(schema, partitions);
         for row in &rows {
             table.insert(row.clone()).unwrap();
         }
-        let counts: Vec<usize> =
-            (0..partitions).map(|p| table.partition_row_count(p)).collect();
-        prop_assert_eq!(counts.iter().sum::<usize>(), rows.len());
+        let counts: Vec<usize> = (0..partitions)
+            .map(|p| table.partition_row_count(p))
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), rows.len());
         let min = counts.iter().min().unwrap();
         let max = counts.iter().max().unwrap();
-        prop_assert!(max - min <= 1, "round robin must balance: {counts:?}");
-    }
+        assert!(max - min <= 1, "round robin must balance: {counts:?}");
+    });
+}
 
-    #[test]
-    fn parallel_scan_sees_every_row_once(
-        (schema, rows) in table_contents(),
-        partitions in 1usize..6,
-        workers in 1usize..6,
-    ) {
+#[test]
+fn parallel_scan_sees_every_row_once() {
+    run_cases(48, 0x5703, |rng| {
+        let (schema, rows) = table_contents(rng);
+        let partitions = rng.range_usize(1, 5);
+        let workers = rng.range_usize(1, 5);
         let mut table = Table::new(schema, partitions);
         for row in &rows {
             table.insert(row.clone()).unwrap();
         }
         let partials = parallel_scan(&table, workers, |iter| iter.count());
-        prop_assert_eq!(partials.iter().sum::<usize>(), rows.len());
-    }
+        assert_eq!(partials.iter().sum::<usize>(), rows.len());
+    });
 }

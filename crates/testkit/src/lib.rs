@@ -1,0 +1,177 @@
+#![warn(missing_docs)]
+
+//! Dependency-free property-testing support for the `nlq` workspace.
+//!
+//! The workspace builds in fully offline environments, so the test
+//! crates cannot pull `proptest`/`rand` from a registry. This crate
+//! provides the two pieces the property tests actually need: a small,
+//! fast, seedable PRNG and a case runner that reports the failing case
+//! index so failures are reproducible.
+
+/// A deterministic 64-bit PRNG (splitmix64 core).
+///
+/// Not cryptographic; statistical quality is more than sufficient for
+/// generating test inputs and synthetic data.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds produce equal
+    /// streams on every platform.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "range_usize: {lo} > {hi}");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "range_i64: {lo} > {hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        lo.wrapping_add((self.next_u64() as u128 % span) as i64)
+    }
+
+    /// Any `i64`, uniform over the whole domain.
+    pub fn any_i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A vector of `n` uniform floats in `[lo, hi)`.
+    pub fn vec_f64(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| self.range_f64(lo, hi)).collect()
+    }
+
+    /// A string of up to `max_len` chars drawn from `alphabet`.
+    pub fn string_from(&mut self, alphabet: &str, max_len: usize) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        let len = self.range_usize(0, max_len);
+        (0..len)
+            .map(|_| chars[self.range_usize(0, chars.len() - 1)])
+            .collect()
+    }
+
+    /// A random (possibly non-ASCII) string of up to `max_len` chars,
+    /// for never-panics fuzzing.
+    pub fn any_string(&mut self, max_len: usize) -> String {
+        let len = self.range_usize(0, max_len);
+        (0..len)
+            .map(|_| {
+                // Bias toward ASCII but include arbitrary scalars.
+                if self.chance(0.8) {
+                    char::from_u32(self.range_usize(0x20, 0x7e) as u32).unwrap()
+                } else {
+                    char::from_u32(self.next_u64() as u32 % 0xd800).unwrap_or('\u{fffd}')
+                }
+            })
+            .collect()
+    }
+}
+
+/// Runs `f` for `cases` independent pseudo-random cases derived from
+/// `seed`. On a panic, the failing case index and seed are printed so
+/// the case can be replayed in isolation with [`case_rng`].
+pub fn run_cases(cases: usize, seed: u64, f: impl Fn(&mut Rng)) {
+    for i in 0..cases {
+        let mut rng = case_rng(seed, i);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("property failed at case {i}/{cases} (seed {seed:#x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The RNG used for case `i` of [`run_cases`] with `seed`.
+pub fn case_rng(seed: u64, i: usize) -> Rng {
+    Rng::new(seed ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            let f = r.range_f64(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&f));
+            let u = r.range_usize(2, 9);
+            assert!((2..=9).contains(&u));
+            let i = r.range_i64(-4, 4);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn f64_covers_unit_interval() {
+        let mut r = Rng::new(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn run_cases_executes_every_case() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        run_cases(17, 0xabc, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 17);
+    }
+}

@@ -50,7 +50,10 @@ impl fmt::Display for UdfError {
                 write!(f, "{udf}: invalid argument: {message}")
             }
             UdfError::HeapExceeded { udf, needed, limit } => {
-                write!(f, "{udf}: aggregate state needs {needed} bytes, limit is {limit}")
+                write!(
+                    f,
+                    "{udf}: aggregate state needs {needed} bytes, limit is {limit}"
+                )
             }
             UdfError::MalformedPackedValue(msg) => {
                 write!(f, "malformed packed value: {msg}")

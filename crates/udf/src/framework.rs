@@ -1,6 +1,6 @@
 use std::any::Any;
 
-use nlq_storage::Value;
+use nlq_storage::{ColumnBlock, Value};
 
 use crate::{Result, UdfError};
 
@@ -46,10 +46,36 @@ pub trait AggregateUdf: Send + Sync {
     fn init(&self) -> Box<dyn AggregateState>;
 }
 
+/// Where one aggregate-call argument position comes from when a whole
+/// [`ColumnBlock`] is aggregated at once.
+///
+/// A call like `nlq_list(4, 'triang', X1, X2, X3, X4)` becomes the
+/// batch argument list `[Const(4), Const('triang'), Col(0), Col(1),
+/// Col(2), Col(3)]` where `Col(i)` indexes the block's projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchArg {
+    /// A literal argument, identical on every row of the block.
+    Const(Value),
+    /// Index of a float column within the block's projection.
+    Col(usize),
+}
+
 /// Mutable aggregation state for one group on one worker.
 pub trait AggregateState: Send {
     /// Phase 2: folds one row's argument values into the state.
     fn accumulate(&mut self, args: &[Value]) -> Result<()>;
+
+    /// Phase 2, vectorized: folds a whole column block into the state.
+    ///
+    /// `args[i]` describes where the `i`-th argument of each logical
+    /// [`AggregateState::accumulate`] call comes from. The default
+    /// implementation re-materializes per-row argument vectors and
+    /// delegates to `accumulate` — correct for every state, so
+    /// implementing it is optional; high-volume states override it
+    /// with columnar kernels (see the `nlq_list` state).
+    fn accumulate_batch(&mut self, block: &ColumnBlock, args: &[BatchArg]) -> Result<()> {
+        for_each_row_args(block, args, |row| self.accumulate(row))
+    }
 
     /// Phase 3: folds another worker's partial state into this one.
     ///
@@ -67,6 +93,37 @@ pub trait AggregateState: Send {
 
     /// Downcast support for [`AggregateState::merge`].
     fn as_any(&self) -> &dyn Any;
+}
+
+/// Replays a [`ColumnBlock`] row by row, materializing each row's
+/// argument vector per `args` and passing it to `f` — the row-wise
+/// fallback behind the default [`AggregateState::accumulate_batch`].
+/// States overriding that method can call this for argument shapes
+/// their columnar kernels do not cover.
+pub fn for_each_row_args(
+    block: &ColumnBlock,
+    args: &[BatchArg],
+    mut f: impl FnMut(&[Value]) -> Result<()>,
+) -> Result<()> {
+    let mut row_args: Vec<Value> = Vec::with_capacity(args.len());
+    for i in 0..block.len() {
+        row_args.clear();
+        for a in args {
+            row_args.push(match a {
+                BatchArg::Const(v) => v.clone(),
+                BatchArg::Col(c) => {
+                    let col = block.column(*c);
+                    if col.nulls[i] {
+                        Value::Null
+                    } else {
+                        Value::Float(col.values[i])
+                    }
+                }
+            });
+        }
+        f(&row_args)?;
+    }
+    Ok(())
 }
 
 /// Checks a freshly initialized state against the heap budget; call
@@ -93,10 +150,13 @@ pub(crate) fn float_arg(udf: &str, args: &[Value], idx: usize) -> Result<Option<
             got: args.len(),
         }),
         Some(Value::Null) => Ok(None),
-        Some(v) => v.as_f64().map(Some).ok_or_else(|| UdfError::InvalidArgument {
-            udf: udf.to_owned(),
-            message: format!("argument {} must be numeric, got {v:?}", idx + 1),
-        }),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| UdfError::InvalidArgument {
+                udf: udf.to_owned(),
+                message: format!("argument {} must be numeric, got {v:?}", idx + 1),
+            }),
     }
 }
 
@@ -109,7 +169,10 @@ pub(crate) fn usize_arg(udf: &str, args: &[Value], idx: usize) -> Result<usize> 
     if v < 0.0 || v.fract() != 0.0 {
         return Err(UdfError::InvalidArgument {
             udf: udf.to_owned(),
-            message: format!("argument {} must be a non-negative integer, got {v}", idx + 1),
+            message: format!(
+                "argument {} must be a non-negative integer, got {v}",
+                idx + 1
+            ),
         });
     }
     Ok(v as usize)
@@ -130,7 +193,10 @@ mod tests {
         }
         fn merge(&mut self, other: &dyn AggregateState) -> Result<()> {
             let other = other.as_any().downcast_ref::<CountState>().ok_or_else(|| {
-                UdfError::MergeMismatch { udf: "count".into(), message: "type".into() }
+                UdfError::MergeMismatch {
+                    udf: "count".into(),
+                    message: "type".into(),
+                }
             })?;
             self.n += other.n;
             Ok(())
@@ -159,6 +225,60 @@ mod tests {
         a.merge(&b).unwrap();
         let v = Box::new(a).finalize().unwrap();
         assert_eq!(v, Value::Int(7));
+    }
+
+    #[test]
+    fn default_accumulate_batch_matches_rowwise() {
+        use nlq_storage::{Column, DataType, Schema, Table};
+
+        struct SumState {
+            total: f64,
+            rows: usize,
+        }
+        impl AggregateState for SumState {
+            fn accumulate(&mut self, args: &[Value]) -> Result<()> {
+                self.rows += 1;
+                if let Some(v) = args[1].as_f64() {
+                    self.total += v + args[0].as_f64().unwrap_or(0.0);
+                }
+                Ok(())
+            }
+            fn merge(&mut self, _: &dyn AggregateState) -> Result<()> {
+                Ok(())
+            }
+            fn finalize(self: Box<Self>) -> Result<Value> {
+                Ok(Value::Float(self.total))
+            }
+            fn heap_bytes(&self) -> usize {
+                std::mem::size_of::<Self>()
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+
+        let mut t = Table::new(Schema::new(vec![Column::new("x", DataType::Float)]), 1);
+        for i in 0..5 {
+            let v = if i == 2 {
+                Value::Null
+            } else {
+                Value::Float(i as f64)
+            };
+            t.insert(vec![v]).unwrap();
+        }
+        let mut iter = t.scan_partition_blocks(0, &[0]).unwrap();
+        let block = iter.next_block().unwrap().unwrap();
+
+        let mut s = SumState {
+            total: 0.0,
+            rows: 0,
+        };
+        let args = [BatchArg::Const(Value::Float(10.0)), BatchArg::Col(0)];
+        s.accumulate_batch(block, &args).unwrap();
+        // Rows 0, 1, 3, 4 contribute value + 10; the NULL row is seen
+        // but contributes nothing.
+        assert_eq!(s.rows, 5);
+        assert_eq!(s.total, (0.0 + 1.0 + 3.0 + 4.0) + 4.0 * 10.0);
     }
 
     #[test]
@@ -197,7 +317,12 @@ mod tests {
 
     #[test]
     fn float_arg_handles_types() {
-        let args = vec![Value::Int(2), Value::Float(1.5), Value::Null, Value::from("x")];
+        let args = vec![
+            Value::Int(2),
+            Value::Float(1.5),
+            Value::Null,
+            Value::from("x"),
+        ];
         assert_eq!(float_arg("f", &args, 0).unwrap(), Some(2.0));
         assert_eq!(float_arg("f", &args, 1).unwrap(), Some(1.5));
         assert_eq!(float_arg("f", &args, 2).unwrap(), None);

@@ -40,7 +40,10 @@ mod registry;
 mod scoring_udfs;
 
 pub use error::UdfError;
-pub use framework::{check_heap, AggregateState, AggregateUdf, ScalarUdf, UDF_HEAP_LIMIT};
+pub use framework::{
+    check_heap, for_each_row_args, AggregateState, AggregateUdf, BatchArg, ScalarUdf,
+    UDF_HEAP_LIMIT,
+};
 pub use nlq_udf::{NlqBlockUdf, NlqUdf, ParamStyle, MAX_D};
 pub use registry::UdfRegistry;
 pub use scoring_udfs::{ClusterScoreUdf, DistanceUdf, FaScoreUdf, LinearRegScoreUdf};

@@ -1,10 +1,11 @@
 use std::any::Any;
 
+use nlq_linalg::kernels;
 use nlq_linalg::{Matrix, Vector};
 use nlq_models::{MatrixShape, Nlq};
-use nlq_storage::Value;
+use nlq_storage::{ColumnBlock, Value};
 
-use crate::framework::{usize_arg, AggregateState, AggregateUdf};
+use crate::framework::{for_each_row_args, usize_arg, AggregateState, AggregateUdf, BatchArg};
 use crate::pack::{pack_block, pack_nlq, unpack_vector, NlqBlock};
 use crate::{Result, UdfError};
 
@@ -100,6 +101,47 @@ impl NlqStorage {
         }
     }
 
+    /// Block-at-a-time aggregation: the same update as
+    /// [`NlqStorage::accumulate_point`] over every row at once, with
+    /// each `Q` cell computed as one contiguous dot product (the
+    /// `nlq_linalg::kernels` layer). `skip` marks rows excluded
+    /// because some coordinate is NULL; `kept` is the number of
+    /// contributing rows.
+    fn accumulate_block(&mut self, cols: &[&[f64]], skip: Option<&[bool]>, kept: usize) {
+        let d = self.d;
+        debug_assert_eq!(cols.len(), d);
+        self.n += kept as f64;
+        for (a, col) in cols.iter().enumerate() {
+            let (s, (lo, hi)) = match skip {
+                None => (kernels::sum(col), kernels::min_max(col)),
+                Some(skip) => (
+                    kernels::sum_masked(col, skip),
+                    kernels::min_max_masked(col, skip),
+                ),
+            };
+            self.l[a] += s;
+            if lo < self.min[a] {
+                self.min[a] = lo;
+            }
+            if hi > self.max[a] {
+                self.max[a] = hi;
+            }
+        }
+        let q = self.q.as_flattened_mut();
+        match (self.shape, skip) {
+            (MatrixShape::Diagonal, None) => kernels::block_diagonal(q, MAX_D, cols),
+            (MatrixShape::Diagonal, Some(skip)) => {
+                kernels::block_diagonal_masked(q, MAX_D, cols, skip);
+            }
+            (MatrixShape::Triangular, None) => kernels::block_triangular(q, MAX_D, cols),
+            (MatrixShape::Triangular, Some(skip)) => {
+                kernels::block_triangular_masked(q, MAX_D, cols, skip);
+            }
+            (MatrixShape::Full, None) => kernels::block_full(q, MAX_D, cols),
+            (MatrixShape::Full, Some(skip)) => kernels::block_full_masked(q, MAX_D, cols, skip),
+        }
+    }
+
     /// Binds (or checks) the dimensionality on the first row.
     fn bind_d(&mut self, udf: &str, d: usize) -> Result<()> {
         if d == 0 || d > MAX_D {
@@ -167,7 +209,11 @@ impl AggregateUdf for NlqUdf {
     }
 
     fn init(&self) -> Box<dyn AggregateState> {
-        Box::new(NlqState { storage: NlqStorage::new(MatrixShape::Triangular), style: self.style, shape_bound: false })
+        Box::new(NlqState {
+            storage: NlqStorage::new(MatrixShape::Triangular),
+            style: self.style,
+            shape_bound: false,
+        })
     }
 }
 
@@ -270,15 +316,74 @@ impl AggregateState for NlqState {
         Ok(())
     }
 
+    /// Columnar phase 2 for the list style: `d` and the shape are
+    /// block constants and every coordinate is a block column, so the
+    /// whole block reduces to sums, min/max folds, and one dot product
+    /// per `Q` cell. Any other argument shape (string style, literal
+    /// coordinates) replays the row-wise path, which is always
+    /// equivalent.
+    fn accumulate_batch(&mut self, block: &ColumnBlock, args: &[BatchArg]) -> Result<()> {
+        let name = self.udf_name();
+        let columnar = self.style == ParamStyle::List
+            && args.len() >= 2
+            && matches!(args[0], BatchArg::Const(_))
+            && matches!(args[1], BatchArg::Const(_))
+            && args[2..].iter().all(|a| matches!(a, BatchArg::Col(_)));
+        if !columnar {
+            return for_each_row_args(block, args, |row| self.accumulate(row));
+        }
+        let (BatchArg::Const(d_arg), BatchArg::Const(shape_arg)) = (&args[0], &args[1]) else {
+            unreachable!("checked above");
+        };
+        let d = usize_arg(name, std::slice::from_ref(d_arg), 0)?;
+        if args.len() != d + 2 {
+            return Err(UdfError::WrongArity {
+                udf: name.to_owned(),
+                expected: format!("{} (d + 2)", d + 2),
+                got: args.len(),
+            });
+        }
+        self.bind_shape(shape_arg)?;
+        self.storage.bind_d(name, d)?;
+        let cols: Vec<&[f64]> = args[2..]
+            .iter()
+            .map(|a| match a {
+                BatchArg::Col(c) => block.column(*c).values.as_slice(),
+                BatchArg::Const(_) => unreachable!("checked above"),
+            })
+            .collect();
+        // Rows with any NULL coordinate are skipped, as in the
+        // row-wise path; merge the per-column masks into one row mask.
+        let any_null = args[2..].iter().any(|a| match a {
+            BatchArg::Col(c) => !block.column(*c).is_dense(),
+            BatchArg::Const(_) => false,
+        });
+        if !any_null {
+            self.storage.accumulate_block(&cols, None, block.len());
+        } else {
+            let mut skip = vec![false; block.len()];
+            for a in &args[2..] {
+                let BatchArg::Col(c) = a else { unreachable!() };
+                for (s, &null) in skip.iter_mut().zip(&block.column(*c).nulls) {
+                    *s |= null;
+                }
+            }
+            let kept = skip.iter().filter(|&&s| !s).count();
+            self.storage.accumulate_block(&cols, Some(&skip), kept);
+        }
+        Ok(())
+    }
+
     fn merge(&mut self, other: &dyn AggregateState) -> Result<()> {
         let name = self.udf_name();
-        let other = other
-            .as_any()
-            .downcast_ref::<NlqState>()
-            .ok_or_else(|| UdfError::MergeMismatch {
-                udf: name.to_owned(),
-                message: "partial state has a different type".into(),
-            })?;
+        let other =
+            other
+                .as_any()
+                .downcast_ref::<NlqState>()
+                .ok_or_else(|| UdfError::MergeMismatch {
+                    udf: name.to_owned(),
+                    message: "partial state has a different type".into(),
+                })?;
         if other.storage.d == 0 {
             return Ok(()); // empty partial
         }
@@ -318,8 +423,12 @@ impl AggregateState for NlqState {
     }
 
     fn finalize(self: Box<Self>) -> Result<Value> {
-        if self.storage.d == 0 {
-            return Ok(Value::Null); // no rows aggregated
+        // `d == 0`: no rows seen at all. `n == 0`: rows were seen but
+        // every one had a NULL coordinate (the list style binds d
+        // before the NULL check, the string style after) — both cases
+        // aggregated nothing, so both return SQL NULL.
+        if self.storage.d == 0 || self.storage.n == 0.0 {
+            return Ok(Value::Null);
         }
         Ok(Value::Str(pack_nlq(&self.storage.to_nlq())))
     }
@@ -472,13 +581,14 @@ impl AggregateState for BlockState {
 
     fn merge(&mut self, other: &dyn AggregateState) -> Result<()> {
         const NAME: &str = "nlq_block";
-        let other = other
-            .as_any()
-            .downcast_ref::<BlockState>()
-            .ok_or_else(|| UdfError::MergeMismatch {
-                udf: NAME.into(),
-                message: "partial state has a different type".into(),
-            })?;
+        let other =
+            other
+                .as_any()
+                .downcast_ref::<BlockState>()
+                .ok_or_else(|| UdfError::MergeMismatch {
+                    udf: NAME.into(),
+                    message: "partial state has a different type".into(),
+                })?;
         if other.d == 0 {
             return Ok(());
         }
@@ -513,7 +623,11 @@ impl AggregateState for BlockState {
         for i in 0..rows {
             q.extend_from_slice(&self.q[i][..cols]);
         }
-        let l = if self.a0 == self.b0 { self.l[..rows].to_vec() } else { Vec::new() };
+        let l = if self.a0 == self.b0 {
+            self.l[..rows].to_vec()
+        } else {
+            Vec::new()
+        };
         Ok(Value::Str(pack_block(&NlqBlock {
             d: self.d,
             a0: self.a0,
@@ -648,10 +762,20 @@ mod tests {
         let udf = NlqUdf::new(ParamStyle::List);
         let mut state = udf.init();
         state
-            .accumulate(&[Value::Int(2), Value::from("diag"), Value::Float(1.0), Value::Float(2.0)])
+            .accumulate(&[
+                Value::Int(2),
+                Value::from("diag"),
+                Value::Float(1.0),
+                Value::Float(2.0),
+            ])
             .unwrap();
         state
-            .accumulate(&[Value::Int(2), Value::from("diag"), Value::Null, Value::Float(9.0)])
+            .accumulate(&[
+                Value::Int(2),
+                Value::from("diag"),
+                Value::Null,
+                Value::Float(9.0),
+            ])
             .unwrap();
         let out = unpack_nlq(state.finalize().unwrap().as_str().unwrap()).unwrap();
         assert_eq!(out.n(), 1.0);
@@ -662,6 +786,112 @@ mod tests {
     fn empty_aggregate_returns_null() {
         let udf = NlqUdf::new(ParamStyle::String);
         assert_eq!(udf.init().finalize().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn all_null_rows_return_null_in_both_styles() {
+        // Regression: the list style binds d/shape before the NULL
+        // check, so it used to finalize a packed n=0 result while the
+        // string style returned SQL NULL for the same input.
+        let udf = NlqUdf::new(ParamStyle::List);
+        let mut state = udf.init();
+        state
+            .accumulate(&[
+                Value::Int(2),
+                Value::from("diag"),
+                Value::Null,
+                Value::Float(1.0),
+            ])
+            .unwrap();
+        assert_eq!(state.finalize().unwrap(), Value::Null);
+
+        let udf = NlqUdf::new(ParamStyle::String);
+        let mut state = udf.init();
+        state
+            .accumulate(&[Value::from("diag"), Value::Null])
+            .unwrap();
+        assert_eq!(state.finalize().unwrap(), Value::Null);
+    }
+
+    /// Builds a table of float points (with optional NULL holes) and
+    /// aggregates it through `accumulate_batch`.
+    fn run_batched(data: &[Vec<f64>], nulls: &[(usize, usize)], shape: &str) -> Value {
+        use nlq_storage::{Schema, Table};
+        let d = data[0].len();
+        let mut t = Table::new(Schema::points(d, false), 1);
+        for (i, r) in data.iter().enumerate() {
+            let mut row = vec![Value::Int(i as i64)];
+            row.extend(r.iter().enumerate().map(|(a, &v)| {
+                if nulls.contains(&(i, a)) {
+                    Value::Null
+                } else {
+                    Value::Float(v)
+                }
+            }));
+            t.insert(row).unwrap();
+        }
+        let cols: Vec<usize> = (1..=d).collect();
+        let mut iter = t.scan_partition_blocks(0, &cols).unwrap();
+        let mut args = vec![
+            BatchArg::Const(Value::Int(d as i64)),
+            BatchArg::Const(Value::from(shape)),
+        ];
+        args.extend((0..d).map(BatchArg::Col));
+        let udf = NlqUdf::new(ParamStyle::List);
+        let mut state = udf.init();
+        while let Some(block) = iter.next_block() {
+            state.accumulate_batch(block.unwrap(), &args).unwrap();
+        }
+        state.finalize().unwrap()
+    }
+
+    #[test]
+    fn batched_accumulation_matches_rowwise() {
+        // Enough rows for multiple blocks, every shape.
+        let data = rows(2500, 5);
+        for shape in ["diag", "triang", "full"] {
+            let batched = unpack_nlq(run_batched(&data, &[], shape).as_str().unwrap()).unwrap();
+            let rowwise = unpack_nlq(run_list(&data, shape).as_str().unwrap()).unwrap();
+            assert_eq!(batched.n(), rowwise.n(), "shape {shape}");
+            assert_eq!(batched.min(), rowwise.min());
+            assert_eq!(batched.max(), rowwise.max());
+            for a in 0..5 {
+                let rel = (batched.l()[a] - rowwise.l()[a]).abs() / rowwise.l()[a].abs().max(1.0);
+                assert!(rel < 1e-12, "L[{a}] {shape}");
+            }
+            let (bq, rq) = (batched.q_raw(), rowwise.q_raw());
+            for a in 0..5 {
+                for b in 0..5 {
+                    let rel = (bq[(a, b)] - rq[(a, b)]).abs() / rq[(a, b)].abs().max(1.0);
+                    assert!(rel < 1e-12, "Q[{a}][{b}] {shape}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_accumulation_skips_null_rows() {
+        let data = rows(40, 3);
+        let nulls = [(3, 1), (17, 0), (17, 2), (39, 2)];
+        let batched = unpack_nlq(run_batched(&data, &nulls, "triang").as_str().unwrap()).unwrap();
+        // Row-wise reference over the same data with the NULL rows
+        // (3, 17, 39) removed entirely.
+        let kept: Vec<Vec<f64>> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ![3, 17, 39].contains(i))
+            .map(|(_, r)| r.clone())
+            .collect();
+        let expect = Nlq::from_rows(3, MatrixShape::Triangular, &kept);
+        assert_eq!(batched.n(), expect.n());
+        assert_eq!(batched.min(), expect.min());
+        assert_eq!(batched.max(), expect.max());
+        for a in 0..3 {
+            assert!((batched.l()[a] - expect.l()[a]).abs() < 1e-9);
+            for b in 0..=a {
+                assert!((batched.q_raw()[(a, b)] - expect.q_raw()[(a, b)]).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]

@@ -150,19 +150,22 @@ pub fn unpack_nlq(s: &str) -> Result<Nlq> {
             .ok_or_else(|| UdfError::MalformedPackedValue(format!("bad field {part:?}")))?;
         match key {
             "d" => {
-                d = Some(val.parse().map_err(|_| {
-                    UdfError::MalformedPackedValue(format!("bad d {val:?}"))
-                })?)
+                d = Some(
+                    val.parse()
+                        .map_err(|_| UdfError::MalformedPackedValue(format!("bad d {val:?}")))?,
+                )
             }
             "shape" => {
-                shape = Some(MatrixShape::parse(val).ok_or_else(|| {
-                    UdfError::MalformedPackedValue(format!("bad shape {val:?}"))
-                })?)
+                shape =
+                    Some(MatrixShape::parse(val).ok_or_else(|| {
+                        UdfError::MalformedPackedValue(format!("bad shape {val:?}"))
+                    })?)
             }
             "n" => {
-                n = Some(val.parse().map_err(|_| {
-                    UdfError::MalformedPackedValue(format!("bad n {val:?}"))
-                })?)
+                n = Some(
+                    val.parse()
+                        .map_err(|_| UdfError::MalformedPackedValue(format!("bad n {val:?}")))?,
+                )
             }
             "L" => l = Some(unpack_vector(val)?),
             "Q" => q_str = Some(val),
@@ -239,7 +242,9 @@ pub fn pack_block(block: &NlqBlock) -> String {
 pub fn unpack_block(s: &str) -> Result<NlqBlock> {
     let mut parts = s.split(';');
     if parts.next() != Some("NLQBLOCK") {
-        return Err(UdfError::MalformedPackedValue("missing NLQBLOCK header".into()));
+        return Err(UdfError::MalformedPackedValue(
+            "missing NLQBLOCK header".into(),
+        ));
     }
     let mut fields = std::collections::HashMap::new();
     for part in parts {
@@ -294,7 +299,9 @@ pub fn unpack_block(s: &str) -> Result<NlqBlock> {
 /// and are set to infinities.
 pub fn assemble_blocks(d: usize, blocks: &[NlqBlock]) -> Result<Nlq> {
     if blocks.is_empty() {
-        return Err(UdfError::MalformedPackedValue("no blocks to assemble".into()));
+        return Err(UdfError::MalformedPackedValue(
+            "no blocks to assemble".into(),
+        ));
     }
     let n = blocks[0].n;
     let mut l = vec![f64::NAN; d];
@@ -390,7 +397,11 @@ mod tests {
 
     #[test]
     fn nlq_roundtrip_all_shapes() {
-        for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
+        for shape in [
+            MatrixShape::Diagonal,
+            MatrixShape::Triangular,
+            MatrixShape::Full,
+        ] {
             let nlq = sample_nlq(shape);
             let packed = pack_nlq(&nlq);
             let back = unpack_nlq(&packed).unwrap();
@@ -450,7 +461,16 @@ mod tests {
                         }
                     }
                 }
-                blocks.push(NlqBlock { d: 4, a0, a1, b0, b1, n: 20.0, l, q });
+                blocks.push(NlqBlock {
+                    d: 4,
+                    a0,
+                    a1,
+                    b0,
+                    b1,
+                    n: 20.0,
+                    l,
+                    q,
+                });
             }
         }
         let assembled = assemble_blocks(4, &blocks).unwrap();

@@ -200,7 +200,9 @@ mod tests {
         assert_eq!(DistanceUdf.eval(&args).unwrap(), Value::Null);
 
         assert_eq!(
-            ClusterScoreUdf.eval(&[Value::Float(1.0), Value::Null]).unwrap(),
+            ClusterScoreUdf
+                .eval(&[Value::Float(1.0), Value::Null])
+                .unwrap(),
             Value::Null
         );
     }

@@ -5,17 +5,17 @@
 
 use nlq_models::{scoring, MatrixShape, Nlq};
 use nlq_storage::Value;
+use nlq_testkit::{run_cases, Rng};
 use nlq_udf::pack::{pack_vector, unpack_nlq};
 use nlq_udf::{
-    AggregateUdf, ClusterScoreUdf, DistanceUdf, FaScoreUdf, LinearRegScoreUdf, NlqUdf,
-    ParamStyle, ScalarUdf,
+    AggregateUdf, ClusterScoreUdf, DistanceUdf, FaScoreUdf, LinearRegScoreUdf, NlqUdf, ParamStyle,
+    ScalarUdf,
 };
-use proptest::prelude::*;
 
-fn rows_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    (1usize..=6, 1usize..=40).prop_flat_map(|(d, n)| {
-        proptest::collection::vec(proptest::collection::vec(-1e6_f64..1e6, d), n)
-    })
+fn random_rows(rng: &mut Rng) -> Vec<Vec<f64>> {
+    let d = rng.range_usize(1, 6);
+    let n = rng.range_usize(1, 40);
+    (0..n).map(|_| rng.vec_f64(d, -1e6, 1e6)).collect()
 }
 
 fn close(a: f64, b: f64) -> bool {
@@ -40,11 +40,10 @@ fn run_udf(style: ParamStyle, shape: &str, rows: &[Vec<f64>]) -> Nlq {
     unpack_nlq(state.finalize().unwrap().as_str().unwrap()).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn aggregate_udf_matches_direct(rows in rows_strategy()) {
+#[test]
+fn aggregate_udf_matches_direct() {
+    run_cases(32, 0xadf1, |rng| {
+        let rows = random_rows(rng);
         let d = rows[0].len();
         for (shape_name, shape) in [
             ("diag", MatrixShape::Diagonal),
@@ -54,13 +53,13 @@ proptest! {
             let direct = Nlq::from_rows(d, shape, &rows);
             for style in [ParamStyle::List, ParamStyle::String] {
                 let got = run_udf(style, shape_name, &rows);
-                prop_assert_eq!(got.n(), direct.n());
+                assert_eq!(got.n(), direct.n());
                 for a in 0..d {
-                    prop_assert!(close(got.l()[a], direct.l()[a]));
-                    prop_assert!(close(got.min()[a], direct.min()[a]));
-                    prop_assert!(close(got.max()[a], direct.max()[a]));
+                    assert!(close(got.l()[a], direct.l()[a]));
+                    assert!(close(got.min()[a], direct.min()[a]));
+                    assert!(close(got.max()[a], direct.max()[a]));
                     for b in 0..d {
-                        prop_assert!(
+                        assert!(
                             close(got.q_raw()[(a, b)], direct.q_raw()[(a, b)]),
                             "style {style:?} shape {shape_name} Q[{a}][{b}]"
                         );
@@ -68,12 +67,15 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn partial_merges_match_any_split(rows in rows_strategy(), cut_seed in 0usize..1000) {
+#[test]
+fn partial_merges_match_any_split() {
+    run_cases(32, 0xadf2, |rng| {
+        let rows = random_rows(rng);
         let d = rows[0].len();
-        let cut = cut_seed % (rows.len() + 1);
+        let cut = rng.range_usize(0, rows.len());
         let udf = NlqUdf::new(ParamStyle::List);
         let mut left = udf.init();
         let mut right = udf.init();
@@ -89,57 +91,61 @@ proptest! {
         left.merge(right.as_ref()).unwrap();
         let merged = unpack_nlq(left.finalize().unwrap().as_str().unwrap()).unwrap();
         let whole = run_udf(ParamStyle::List, "triang", &rows);
-        prop_assert_eq!(merged.n(), whole.n());
+        assert_eq!(merged.n(), whole.n());
         for a in 0..d {
-            prop_assert!(close(merged.l()[a], whole.l()[a]));
+            assert!(close(merged.l()[a], whole.l()[a]));
             for b in 0..=a {
-                prop_assert!(close(merged.q_raw()[(a, b)], whole.q_raw()[(a, b)]));
+                assert!(close(merged.q_raw()[(a, b)], whole.q_raw()[(a, b)]));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn scoring_udfs_match_pure_functions(
-        x in proptest::collection::vec(-1e3_f64..1e3, 1..8),
-        params in proptest::collection::vec(-1e3_f64..1e3, 8),
-        b0 in -1e3_f64..1e3,
-    ) {
-        let d = x.len();
+#[test]
+fn scoring_udfs_match_pure_functions() {
+    run_cases(48, 0xadf3, |rng| {
+        let d = rng.range_usize(1, 7);
+        let x = rng.vec_f64(d, -1e3, 1e3);
+        let params = rng.vec_f64(8, -1e3, 1e3);
+        let b0 = rng.range_f64(-1e3, 1e3);
         let beta = &params[..d];
         let mu = &params[..d];
         let lam = &params[..d];
-        let floats = |vals: &[f64]| -> Vec<Value> {
-            vals.iter().map(|&v| Value::Float(v)).collect()
-        };
+        let floats =
+            |vals: &[f64]| -> Vec<Value> { vals.iter().map(|&v| Value::Float(v)).collect() };
 
         // linearregscore
         let mut args = floats(&x);
         args.push(Value::Float(b0));
         args.extend(floats(beta));
         let got = LinearRegScoreUdf.eval(&args).unwrap();
-        prop_assert_eq!(got, Value::Float(scoring::linear_reg_score(&x, b0, beta)));
+        assert_eq!(got, Value::Float(scoring::linear_reg_score(&x, b0, beta)));
 
         // fascore
         let mut args = floats(&x);
         args.extend(floats(mu));
         args.extend(floats(lam));
         let got = FaScoreUdf.eval(&args).unwrap();
-        prop_assert_eq!(got, Value::Float(scoring::fa_score(&x, mu, lam)));
+        assert_eq!(got, Value::Float(scoring::fa_score(&x, mu, lam)));
 
         // distance
         let mut args = floats(&x);
         args.extend(floats(mu));
         let got = DistanceUdf.eval(&args).unwrap();
-        prop_assert_eq!(got, Value::Float(scoring::squared_distance(&x, mu)));
-    }
+        assert_eq!(got, Value::Float(scoring::squared_distance(&x, mu)));
+    });
+}
 
-    #[test]
-    fn clusterscore_matches_argmin(dists in proptest::collection::vec(0.0_f64..1e9, 1..20)) {
+#[test]
+fn clusterscore_matches_argmin() {
+    run_cases(48, 0xadf4, |rng| {
+        let k = rng.range_usize(1, 19);
+        let dists = rng.vec_f64(k, 0.0, 1e9);
         let args: Vec<Value> = dists.iter().map(|&v| Value::Float(v)).collect();
         let got = ClusterScoreUdf.eval(&args).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             got,
             Value::Int(scoring::nearest_centroid(&dists) as i64 + 1)
         );
-    }
+    });
 }

@@ -10,11 +10,10 @@
 //!
 //! Run with: `cargo run --release --example churn_classifier`
 
+use nlq::datagen::rng::StdRng;
 use nlq::engine::Db;
 use nlq::models::{GaussianNb, MatrixShape};
 use nlq::udf::ParamStyle;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Customers: [monthly_spend, support_calls, tenure_months] with a
 /// churn label. Churners spend less, call support more, and are newer.

@@ -14,11 +14,10 @@
 //!
 //! Run with: `cargo run --release --example customer_segmentation`
 
+use nlq::datagen::rng::StdRng;
 use nlq::engine::{sqlgen, Db};
 use nlq::models::{KMeans, KMeansConfig, MatrixShape};
 use nlq::udf::ParamStyle;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 fn main() {
     let db = Db::new(8);
@@ -27,7 +26,8 @@ fn main() {
     // --- Raw operational tables ----------------------------------------
     db.execute("CREATE TABLE customers (cid INT, state VARCHAR, age FLOAT, active INT)")
         .unwrap();
-    db.execute("CREATE TABLE orders (cid INT, amount FLOAT, items INT)").unwrap();
+    db.execute("CREATE TABLE orders (cid INT, amount FLOAT, items INT)")
+        .unwrap();
 
     let n_customers = 2_000;
     let states = ["TX", "CA", "NY"];
@@ -51,10 +51,15 @@ fn main() {
         }
     }
     for chunk in customer_rows.chunks(500) {
-        db.execute(&format!("INSERT INTO customers VALUES {}", chunk.join(", "))).unwrap();
+        db.execute(&format!(
+            "INSERT INTO customers VALUES {}",
+            chunk.join(", ")
+        ))
+        .unwrap();
     }
     for chunk in order_rows.chunks(500) {
-        db.execute(&format!("INSERT INTO orders VALUES {}", chunk.join(", "))).unwrap();
+        db.execute(&format!("INSERT INTO orders VALUES {}", chunk.join(", ")))
+            .unwrap();
     }
 
     // --- Derive the analysis data set X(i, X1..X4) ----------------------
@@ -133,5 +138,8 @@ fn main() {
     }
 
     // The generated SQL that did the scoring, for the curious:
-    println!("\nscoring SQL:\n{}", sqlgen::score_cluster_udf("X", &x_cols, 2, "C"));
+    println!(
+        "\nscoring SQL:\n{}",
+        sqlgen::score_cluster_udf("X", &x_cols, 2, "C")
+    );
 }

@@ -22,7 +22,12 @@ use nlq::models::{CorrelationModel, Histogram, MatrixShape, Nlq, OutlierDetector
 fn main() {
     let db = Db::new(8);
     let d = 4;
-    let spec = MixtureSpec { k: 3, sigma: 5.0, noise_fraction: 0.02, ..MixtureSpec::paper_defaults(d) };
+    let spec = MixtureSpec {
+        k: 3,
+        sigma: 5.0,
+        noise_fraction: 0.02,
+        ..MixtureSpec::paper_defaults(d)
+    };
     let mut generator = MixtureGenerator::new(spec);
     let rows = generator.generate(30_000);
     db.load_points("X", &rows, false).unwrap();
@@ -51,7 +56,11 @@ fn main() {
     println!("\nstrongest correlations (|r| >= 0.2), with p-values:");
     for (a, b, r) in corr.strong_pairs(0.2) {
         let (t, p) = correlation_t_test(r, nlq.n()).unwrap();
-        println!("  X{}-X{}: r = {r:+.3}  (t = {t:+.1}, p = {p:.2e})", a + 1, b + 1);
+        println!(
+            "  X{}-X{}: r = {r:+.3}  (t = {t:+.1}, p = {p:.2e})",
+            a + 1,
+            b + 1
+        );
     }
 
     // --- Histogram of the first dimension (min/max from the scan) ------
@@ -59,7 +68,10 @@ fn main() {
     for r in &rows {
         hist.add(r[0]);
     }
-    println!("\nhistogram of X1 ({} buckets over the observed range):", hist.buckets());
+    println!(
+        "\nhistogram of X1 ({} buckets over the observed range):",
+        hist.buckets()
+    );
     let peak = *hist.counts().iter().max().unwrap() as f64;
     for b in 0..hist.buckets() {
         let (lo, hi) = hist.bucket_range(b);
@@ -73,9 +85,16 @@ fn main() {
     let mut batch: Vec<Vec<f64>> = generator.generate(500);
     batch.push(vec![1e4, 0.0, 0.0, 0.0]); // corrupt record
     let flagged = detector.flag(batch.iter().map(Vec::as_slice));
-    println!("\nscreened a batch of {}: {} outlier(s) flagged", batch.len(), flagged.len());
+    println!(
+        "\nscreened a batch of {}: {} outlier(s) flagged",
+        batch.len(),
+        flagged.len()
+    );
     for i in &flagged {
-        println!("  row {i}: {:?}", detector.explain(&batch[*i]).first().unwrap());
+        println!(
+            "  row {i}: {:?}",
+            detector.explain(&batch[*i]).first().unwrap()
+        );
     }
 
     // --- Incremental maintenance: delete a batch without rescanning ----

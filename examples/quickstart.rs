@@ -25,7 +25,8 @@ fn main() {
     // y = 5 + 1*x1 + 2*x2 + 3*x3 (+ noise).
     let d = 3;
     let rows = RegressionGenerator::new(RegressionSpec::defaults(d)).generate_augmented(10_000);
-    db.load_points("X", &rows, true).expect("load X(i, X1..X3, Y)");
+    db.load_points("X", &rows, true)
+        .expect("load X(i, X1..X3, Y)");
 
     // --- One scan: n, L, Q via the aggregate UDF ------------------------
     let cols = ["X1", "X2", "X3", "Y"];
@@ -59,10 +60,15 @@ fn main() {
     // but each iteration uses the same diagonal n, L, Q machinery.
     let points: Vec<Vec<f64>> = rows.iter().map(|r| r[..d].to_vec()).collect();
     let km = KMeans::fit(&points, &KMeansConfig::new(4)).expect("kmeans");
-    println!("k-means: {} clusters, within-cluster SSE = {:.1}", km.k(), km.sse());
+    println!(
+        "k-means: {} clusters, within-cluster SSE = {:.1}",
+        km.k(),
+        km.sse()
+    );
 
     // --- Scoring back inside the DBMS, one scan, via scalar UDFs --------
-    db.register_beta("BETA", reg.intercept(), reg.coefficients()).expect("store model");
+    db.register_beta("BETA", reg.intercept(), reg.coefficients())
+        .expect("store model");
     let x_cols = sqlgen::x_cols(d);
     let scored = db
         .execute(&sqlgen::score_regression_udf("X", &x_cols, "BETA"))
@@ -71,5 +77,8 @@ fn main() {
         scored.value(0, 0).as_i64().unwrap(),
         scored.f64(0, 1).unwrap(),
     );
-    println!("\nscored {} rows in one scan; e.g. point {i}: y_hat = {yhat:.2}", scored.len());
+    println!(
+        "\nscored {} rows in one scan; e.g. point {i}: y_hat = {yhat:.2}",
+        scored.len()
+    );
 }

@@ -14,10 +14,9 @@
 //!
 //! Run with: `cargo run --release --example sensor_pca`
 
+use nlq::datagen::rng::StdRng;
 use nlq::engine::{sqlgen, Db};
 use nlq::models::{FactorAnalysis, FactorAnalysisConfig, MatrixShape, Pca, PcaInput};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Two latent processes drive 12 sensors with fixed mixing weights
 /// plus small independent noise.

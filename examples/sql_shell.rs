@@ -118,7 +118,10 @@ fn print_result(rs: &nlq::engine::ResultSet) {
             .join(" | ")
     };
     println!("{}", line(&rs.columns));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1))
+    );
     for row in &shown {
         println!("{}", line(row));
     }

@@ -18,7 +18,10 @@ fn main() {
     let d = 6;
 
     // Same generating process, disjoint samples.
-    let spec = RegressionSpec { noise_sigma: 25.0, ..RegressionSpec::defaults(d) };
+    let spec = RegressionSpec {
+        noise_sigma: 25.0,
+        ..RegressionSpec::defaults(d)
+    };
     let train = RegressionGenerator::new(spec.clone().with_seed(1)).generate_augmented(20_000);
     let test = RegressionGenerator::new(spec.clone().with_seed(2)).generate_augmented(5_000);
     db.load_points("train", &train, true).unwrap();
@@ -28,10 +31,15 @@ fn main() {
     let mut names = sqlgen::x_cols(d);
     names.push("Y".into());
     let cols: Vec<&str> = names.iter().map(String::as_str).collect();
-    let nlq = db.compute_nlq("train", &cols, MatrixShape::Triangular).unwrap();
+    let nlq = db
+        .compute_nlq("train", &cols, MatrixShape::Triangular)
+        .unwrap();
     let model = LinearRegression::fit(&nlq).unwrap();
 
-    println!("true model:   y = {} + {:?} . x", spec.intercept, spec.coefficients);
+    println!(
+        "true model:   y = {} + {:?} . x",
+        spec.intercept, spec.coefficients
+    );
     println!(
         "fitted model: y = {:.2} + {:?} . x",
         model.intercept(),
@@ -44,11 +52,17 @@ fn main() {
     );
     println!("train R^2 = {:.4}", model.r_squared());
     if let Some(se) = model.std_errors() {
-        println!("std errors: {:?}", se.iter().map(|s| (s * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+        println!(
+            "std errors: {:?}",
+            se.iter()
+                .map(|s| (s * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
     }
 
     // --- Score the test table with the scalar UDF -----------------------
-    db.register_beta("BETA", model.intercept(), model.coefficients()).unwrap();
+    db.register_beta("BETA", model.intercept(), model.coefficients())
+        .unwrap();
     let x_names = sqlgen::x_cols(d);
     let udf_scores = db
         .execute(&sqlgen::score_regression_udf("test", &x_names, "BETA"))
@@ -81,7 +95,10 @@ fn main() {
         .zip(&sql_sorted)
         .map(|((_, a), (_, b))| (a - b).abs())
         .fold(0.0_f64, f64::max);
-    println!("\nUDF vs SQL scoring: {} rows, max |difference| = {max_gap:.2e}", udf_sorted.len());
+    println!(
+        "\nUDF vs SQL scoring: {} rows, max |difference| = {max_gap:.2e}",
+        udf_sorted.len()
+    );
 
     // --- Test-set error metrics ------------------------------------------
     let mut sse = 0.0;
@@ -93,6 +110,9 @@ fn main() {
         sst += (y - y_mean) * (y - y_mean);
     }
     let mse = sse / test.len() as f64;
-    println!("test MSE  = {mse:.1} (noise variance was {:.1})", spec.noise_sigma.powi(2));
+    println!(
+        "test MSE  = {mse:.1} (noise variance was {:.1})",
+        spec.noise_sigma.powi(2)
+    );
     println!("test R^2  = {:.4}", 1.0 - sse / sst);
 }

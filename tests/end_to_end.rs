@@ -7,8 +7,8 @@ use nlq::datagen::{MixtureGenerator, MixtureSpec, RegressionGenerator, Regressio
 use nlq::engine::{sqlgen, Db, NlqMethod};
 use nlq::export::{ExternalAnalyzer, OdbcChannel};
 use nlq::models::{
-    CorrelationModel, FactorAnalysis, FactorAnalysisConfig, GaussianMixture,
-    GaussianMixtureConfig, KMeans, KMeansConfig, LinearRegression, MatrixShape, Pca, PcaInput,
+    CorrelationModel, FactorAnalysis, FactorAnalysisConfig, GaussianMixture, GaussianMixtureConfig,
+    KMeans, KMeansConfig, LinearRegression, MatrixShape, Pca, PcaInput,
 };
 
 fn close(a: f64, b: f64) -> bool {
@@ -39,7 +39,9 @@ fn all_three_paths_agree_and_models_match() {
     // Path 3: export through the (unthrottled) ODBC channel, analyze
     // with the external one-pass program.
     let path = std::env::temp_dir().join(format!("nlq_e2e_{}", std::process::id()));
-    OdbcChannel::unthrottled().export_rows(&rows, &path).unwrap();
+    OdbcChannel::unthrottled()
+        .export_rows(&rows, &path)
+        .unwrap();
     let via_ext = ExternalAnalyzer::new(MatrixShape::Triangular)
         .compute_nlq_from_file(&path)
         .unwrap();
@@ -63,7 +65,10 @@ fn all_three_paths_agree_and_models_match() {
     let corr_ext = CorrelationModel::fit(&via_ext).unwrap();
     for a in 0..d {
         for b in 0..d {
-            assert!(close(corr_sql.coefficient(a, b), corr_ext.coefficient(a, b)));
+            assert!(close(
+                corr_sql.coefficient(a, b),
+                corr_ext.coefficient(a, b)
+            ));
         }
     }
 
@@ -77,7 +82,10 @@ fn all_three_paths_agree_and_models_match() {
 #[test]
 fn regression_pipeline_recovers_the_generating_model() {
     let d = 4;
-    let spec = RegressionSpec { noise_sigma: 0.5, ..RegressionSpec::defaults(d) };
+    let spec = RegressionSpec {
+        noise_sigma: 0.5,
+        ..RegressionSpec::defaults(d)
+    };
     let rows = RegressionGenerator::new(spec.clone().with_seed(3)).generate_augmented(5_000);
     let db = Db::new(4);
     db.load_points("X", &rows, true).unwrap();
@@ -89,13 +97,19 @@ fn regression_pipeline_recovers_the_generating_model() {
     let model = LinearRegression::fit(&nlq).unwrap();
 
     assert!((model.intercept() - spec.intercept).abs() < 0.2);
-    for (got, want) in model.coefficients().as_slice().iter().zip(&spec.coefficients) {
+    for (got, want) in model
+        .coefficients()
+        .as_slice()
+        .iter()
+        .zip(&spec.coefficients)
+    {
         assert!((got - want).abs() < 0.01, "coefficient {got} vs {want}");
     }
     assert!(model.r_squared() > 0.999);
 
     // Score in-DBMS and verify against direct prediction.
-    db.register_beta("BETA", model.intercept(), model.coefficients()).unwrap();
+    db.register_beta("BETA", model.intercept(), model.coefficients())
+        .unwrap();
     let x_names = sqlgen::x_cols(d);
     let scored = db
         .execute(&sqlgen::score_regression_udf("X", &x_names, "BETA"))
@@ -207,7 +221,13 @@ fn grouped_statistics_reconstruct_global_statistics() {
 
     let global = db.compute_nlq("X", &cols, MatrixShape::Diagonal).unwrap();
     let groups = db
-        .compute_nlq_grouped("X", &cols, "i % 8", MatrixShape::Diagonal, nlq::udf::ParamStyle::List)
+        .compute_nlq_grouped(
+            "X",
+            &cols,
+            "i % 8",
+            MatrixShape::Diagonal,
+            nlq::udf::ParamStyle::List,
+        )
         .unwrap();
     assert_eq!(groups.len(), 8);
 

@@ -4,28 +4,25 @@
 
 use nlq::engine::{sqlgen, Db, NlqMethod};
 use nlq::models::{MatrixShape, Nlq};
+use nlq::storage::{Schema, Table, Value};
 use nlq::udf::pack::{pack_nlq, pack_vector, unpack_nlq, unpack_vector};
-use proptest::prelude::*;
+use nlq_testkit::{run_cases, Rng};
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-7 * (1.0 + a.abs().max(b.abs()))
 }
 
 /// Random small data set: 2-6 dimensions, 1-60 rows, moderate values.
-fn data_set() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    (2usize..=6, 1usize..=60).prop_flat_map(|(d, n)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-50.0_f64..50.0, d),
-            n,
-        )
-    })
+fn data_set(rng: &mut Rng) -> Vec<Vec<f64>> {
+    let d = rng.range_usize(2, 6);
+    let n = rng.range_usize(1, 60);
+    (0..n).map(|_| rng.vec_f64(d, -50.0, 50.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn engine_paths_match_reference(rows in data_set()) {
+#[test]
+fn engine_paths_match_reference() {
+    run_cases(24, 0xf001, |rng| {
+        let rows = data_set(rng);
         let d = rows[0].len();
         let reference = Nlq::from_rows(d, MatrixShape::Triangular, &rows);
         let db = Db::new(3);
@@ -36,72 +33,174 @@ proptest! {
             let got = db
                 .compute_nlq_with(method, "X", &cols, MatrixShape::Triangular)
                 .unwrap();
-            prop_assert_eq!(got.n(), reference.n());
+            assert_eq!(got.n(), reference.n());
             for a in 0..d {
-                prop_assert!(close(got.l()[a], reference.l()[a]));
+                assert!(close(got.l()[a], reference.l()[a]));
                 for b in 0..=a {
-                    prop_assert!(close(got.q_raw()[(a, b)], reference.q_raw()[(a, b)]));
+                    assert!(close(got.q_raw()[(a, b)], reference.q_raw()[(a, b)]));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn nlq_pack_roundtrip_is_lossless(rows in data_set()) {
+#[test]
+fn nlq_pack_roundtrip_is_lossless() {
+    run_cases(24, 0xf002, |rng| {
+        let rows = data_set(rng);
         let d = rows[0].len();
-        for shape in [MatrixShape::Diagonal, MatrixShape::Triangular, MatrixShape::Full] {
+        for shape in [
+            MatrixShape::Diagonal,
+            MatrixShape::Triangular,
+            MatrixShape::Full,
+        ] {
             let nlq = Nlq::from_rows(d, shape, &rows);
             let back = unpack_nlq(&pack_nlq(&nlq)).unwrap();
-            prop_assert_eq!(back, nlq);
+            assert_eq!(back, nlq);
         }
-    }
+    });
+}
 
-    #[test]
-    fn vector_pack_roundtrip_is_exact(xs in proptest::collection::vec(-1e12_f64..1e12, 0..40)) {
+#[test]
+fn vector_pack_roundtrip_is_exact() {
+    run_cases(24, 0xf003, |rng| {
+        let n = rng.range_usize(0, 39);
+        let xs = rng.vec_f64(n, -1e12, 1e12);
         let back = unpack_vector(&pack_vector(&xs)).unwrap();
-        prop_assert_eq!(back, xs);
-    }
+        assert_eq!(back, xs);
+    });
+}
 
-    #[test]
-    fn merge_is_associative_and_matches_single_pass(rows in data_set(), cut in 0usize..60) {
+#[test]
+fn merge_is_associative_and_matches_single_pass() {
+    run_cases(24, 0xf004, |rng| {
+        let rows = data_set(rng);
         let d = rows[0].len();
-        let cut = cut.min(rows.len());
+        let cut = rng.range_usize(0, rows.len());
         let whole = Nlq::from_rows(d, MatrixShape::Triangular, &rows);
         let mut left = Nlq::from_rows(d, MatrixShape::Triangular, &rows[..cut]);
         let right = Nlq::from_rows(d, MatrixShape::Triangular, &rows[cut..]);
         left.merge(&right);
-        prop_assert_eq!(left.n(), whole.n());
+        assert_eq!(left.n(), whole.n());
         for a in 0..d {
-            prop_assert!(close(left.l()[a], whole.l()[a]));
+            assert!(close(left.l()[a], whole.l()[a]));
             for b in 0..=a {
-                prop_assert!(close(left.q_raw()[(a, b)], whole.q_raw()[(a, b)]));
+                assert!(close(left.q_raw()[(a, b)], whole.q_raw()[(a, b)]));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn covariance_is_psd_and_correlation_bounded(rows in data_set()) {
-        prop_assume!(rows.len() >= 3);
+#[test]
+fn covariance_is_psd_and_correlation_bounded() {
+    run_cases(24, 0xf005, |rng| {
+        let rows = data_set(rng);
+        if rows.len() < 3 {
+            return;
+        }
         let d = rows[0].len();
         let nlq = Nlq::from_rows(d, MatrixShape::Triangular, &rows);
         let cov = nlq.covariance().unwrap();
         // PSD check via eigenvalues (tolerate tiny negative noise).
         let eig = nlq::linalg::jacobi_eigen(&cov, 1e-12).unwrap();
         for v in &eig.values {
-            prop_assert!(*v >= -1e-6 * (1.0 + cov.max_abs()), "eigenvalue {v}");
+            assert!(*v >= -1e-6 * (1.0 + cov.max_abs()), "eigenvalue {v}");
         }
         if let Ok(rho) = nlq.correlation() {
             for a in 0..d {
-                prop_assert!(close(rho[(a, a)], 1.0));
+                assert!(close(rho[(a, a)], 1.0));
                 for b in 0..d {
-                    prop_assert!(rho[(a, b)] >= -1.0 - 1e-9 && rho[(a, b)] <= 1.0 + 1e-9);
+                    assert!(rho[(a, b)] >= -1.0 - 1e-9 && rho[(a, b)] <= 1.0 + 1e-9);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn partition_count_does_not_change_results(rows in data_set(), workers in 1usize..8) {
+#[test]
+fn block_scan_matches_row_scan() {
+    // The block-at-a-time fast path must agree with row-at-a-time
+    // execution within reassociation noise (1e-12 relative), across
+    // row counts that are not multiples of the block size, tables
+    // smaller than the worker count (empty partitions), NULL holes,
+    // and every aggregate kind the block path handles.
+    run_cases(16, 0xf007, |rng| {
+        let d = rng.range_usize(2, 4);
+        // Bias towards small tables but cross the 1024-row block
+        // boundary in some cases; never a multiple of 1024 by luck
+        // alone, and 0 rows exercises the empty-input path.
+        let n = match rng.range_usize(0, 3) {
+            0 => rng.range_usize(0, 5),
+            1 => rng.range_usize(5, 300),
+            _ => rng.range_usize(1000, 2600),
+        };
+        let workers = rng.range_usize(1, 7);
+
+        let mut table = Table::new(Schema::points(d, false), workers);
+        for i in 0..n {
+            let mut row = vec![Value::Int(i as i64 + 1)];
+            for _ in 0..d {
+                // ~10% NULL holes so masked kernels are exercised.
+                if rng.range_usize(0, 10) == 0 {
+                    row.push(Value::Null);
+                } else {
+                    row.push(Value::Float(rng.range_f64(-50.0, 50.0)));
+                }
+            }
+            table.insert(row).unwrap();
+        }
+
+        let block_db = Db::new(workers);
+        block_db.register_table("X", table.clone()).unwrap();
+        let mut row_db = Db::new(workers);
+        row_db.set_block_scan(false);
+        row_db.register_table("X", table).unwrap();
+
+        let coords: Vec<String> = (1..=d).map(|a| format!("X{a}")).collect();
+        let sql = format!(
+            "SELECT count(*), sum(X1), avg(X2), min(X1), max(X2), \
+             count(X1), corr(X1, X2), sum(X1 * X2), \
+             nlq_list({d}, 'triangular', {}) FROM X",
+            coords.join(", ")
+        );
+
+        let via_blocks = block_db.execute(&sql).unwrap();
+        let via_rows = row_db.execute(&sql).unwrap();
+        assert!(via_blocks.stats.block_path);
+        assert!(!via_rows.stats.block_path);
+        assert_eq!(via_blocks.len(), via_rows.len());
+
+        let tight = |a: f64, b: f64| (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()));
+        for col in 0..8 {
+            let (a, b) = (via_blocks.value(0, col), via_rows.value(0, col));
+            match (a.as_f64(), b.as_f64()) {
+                (Some(a), Some(b)) => assert!(tight(a, b), "col {col}: {a} vs {b}"),
+                _ => assert_eq!(a, b, "col {col}"),
+            }
+        }
+        // The packed nlq strings may differ in their last digits from
+        // summation order; compare the unpacked statistics instead.
+        match (via_blocks.value(0, 8), via_rows.value(0, 8)) {
+            (Value::Str(a), Value::Str(b)) => {
+                let (a, b) = (unpack_nlq(a).unwrap(), unpack_nlq(b).unwrap());
+                assert_eq!(a.n(), b.n());
+                for i in 0..d {
+                    assert!(tight(a.l()[i], b.l()[i]));
+                    for j in 0..=i {
+                        assert!(tight(a.q_raw()[(i, j)], b.q_raw()[(i, j)]));
+                    }
+                }
+            }
+            (a, b) => assert_eq!(a, b, "nlq column"),
+        }
+    });
+}
+
+#[test]
+fn partition_count_does_not_change_results() {
+    run_cases(24, 0xf006, |rng| {
+        let rows = data_set(rng);
+        let workers = rng.range_usize(1, 7);
         let d = rows[0].len();
         let names = sqlgen::x_cols(d);
         let cols: Vec<&str> = names.iter().map(String::as_str).collect();
@@ -114,12 +213,12 @@ proptest! {
         dbw.load_points("X", &rows, false).unwrap();
         let many = dbw.compute_nlq("X", &cols, MatrixShape::Full).unwrap();
 
-        prop_assert_eq!(one.n(), many.n());
+        assert_eq!(one.n(), many.n());
         for a in 0..d {
-            prop_assert!(close(one.l()[a], many.l()[a]));
+            assert!(close(one.l()[a], many.l()[a]));
             for b in 0..d {
-                prop_assert!(close(one.q_raw()[(a, b)], many.q_raw()[(a, b)]));
+                assert!(close(one.q_raw()[(a, b)], many.q_raw()[(a, b)]));
             }
         }
-    }
+    });
 }
