@@ -1,0 +1,145 @@
+//! Γ summary-store benchmark: answers the same `nlq_list` aggregate
+//! three ways — from a materialized summary (no scan), from the
+//! vectorized block scan, and from the row-at-a-time scan — and emits
+//! the latencies as machine-readable JSON (`BENCH_summary.json`).
+//!
+//! Usage:
+//!
+//! ```text
+//! summary_bench [--out PATH] [--smoke] [--repeat R]
+//! ```
+//!
+//! `--smoke` shrinks the grid to one tiny configuration so CI can run
+//! the binary end-to-end in well under a second.
+
+use std::fmt::Write as _;
+
+use nlq_bench::{mixture_data, time_median};
+use nlq_engine::Db;
+
+struct Measurement {
+    n: usize,
+    d: usize,
+    summary_secs: f64,
+    block_secs: f64,
+    row_secs: f64,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_summary.json");
+    let mut smoke = false;
+    let mut repeat = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("--repeat count")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let grid: Vec<(usize, usize)> = if smoke {
+        vec![(2_000, 4)]
+    } else {
+        let mut g = Vec::new();
+        for &n in &[100_000usize, 1_000_000] {
+            for &d in &[4usize, 8, 16] {
+                g.push((n, d));
+            }
+        }
+        g
+    };
+
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let mut results = Vec::new();
+    for (n, d) in grid {
+        eprintln!("measuring n={n} d={d} ...");
+        results.push(measure(n, d, workers, repeat));
+    }
+
+    let json = render_json(workers, repeat, smoke, &results);
+    std::fs::write(&out_path, &json).expect("write BENCH_summary.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
+fn measure(n: usize, d: usize, workers: usize, repeat: usize) -> Measurement {
+    let rows = mixture_data(n, d, 0xbe5c + d as u64);
+    let mut db = Db::new(workers);
+    db.load_points("X", &rows, false).expect("load");
+    let cols = (1..=d).map(|a| format!("X{a}")).collect::<Vec<_>>();
+    let sql = format!("SELECT nlq_list({d}, 'triang', {}) FROM X", cols.join(", "));
+
+    // Row-at-a-time scan.
+    db.set_block_scan(false);
+    let (res, row_secs) = time_median(repeat, || db.execute(&sql).expect("row scan"));
+    assert!(!res.stats.block_path && !res.stats.summary_path);
+
+    // Vectorized block scan.
+    db.set_block_scan(true);
+    let (res, block_secs) = time_median(repeat, || db.execute(&sql).expect("block scan"));
+    assert!(res.stats.block_path, "block path should engage");
+
+    // Summary hit: materialize once, then answer with no scan at all.
+    db.execute(&format!(
+        "CREATE SUMMARY bench_s ON X ({}) SHAPE triang",
+        cols.join(", ")
+    ))
+    .expect("create summary");
+    // More repetitions: the hit is microseconds, so the median needs
+    // a larger sample to be stable.
+    let (res, summary_secs) = time_median(repeat.max(9), || db.execute(&sql).expect("summary hit"));
+    assert!(res.stats.summary_path, "summary should answer");
+    assert_eq!(res.stats.rows_scanned, 0);
+
+    Measurement {
+        n,
+        d,
+        summary_secs,
+        block_secs,
+        row_secs,
+    }
+}
+
+fn render_json(workers: usize, repeat: usize, smoke: bool, results: &[Measurement]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"summary_vs_scan\",");
+    let _ = writeln!(
+        s,
+        "  \"query\": \"SELECT nlq_list(d, 'triang', X1..Xd) FROM X\","
+    );
+    let _ = writeln!(s, "  \"workers\": {workers},");
+    let _ = writeln!(s, "  \"repeat\": {repeat},");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, m) in results.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"n\": {},", m.n);
+        let _ = writeln!(s, "      \"d\": {},", m.d);
+        let _ = writeln!(s, "      \"summary_hit_secs\": {:.9},", m.summary_secs);
+        let _ = writeln!(s, "      \"block_scan_secs\": {:.9},", m.block_secs);
+        let _ = writeln!(s, "      \"row_scan_secs\": {:.9},", m.row_secs);
+        let _ = writeln!(
+            s,
+            "      \"summary_speedup_vs_block\": {:.3},",
+            m.block_secs / m.summary_secs
+        );
+        let _ = writeln!(
+            s,
+            "      \"summary_speedup_vs_row\": {:.3}",
+            m.row_secs / m.summary_secs
+        );
+        let _ = writeln!(s, "    }}{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    s.push('}');
+    s.push('\n');
+    s
+}

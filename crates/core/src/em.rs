@@ -64,9 +64,6 @@ impl GaussianMixture {
                 got: data.len(),
             });
         }
-        let d = data[0].len();
-        let n = data.len() as f64;
-
         // Initialize from K-means.
         let km = KMeans::fit(
             data,
@@ -75,8 +72,8 @@ impl GaussianMixture {
                 ..KMeansConfig::new(k)
             },
         )?;
-        let mut means: Vec<Vector> = km.centroids().to_vec();
-        let mut variances: Vec<Vector> = km
+        let means: Vec<Vector> = km.centroids().to_vec();
+        let variances: Vec<Vector> = km
             .radii()
             .iter()
             .map(|r| {
@@ -90,6 +87,70 @@ impl GaussianMixture {
             .collect();
         let mut weights: Vec<f64> = km.weights().iter().map(|&w| w.max(1e-12)).collect();
         normalize(&mut weights);
+        Self::em(data, means, variances, weights, config)
+    }
+
+    /// Warm-started EM: skips the K-means initialization and starts
+    /// the EM iterations from the caller-provided `seeds` (typically
+    /// the means of a previous fit). Initial variances are the floored
+    /// global per-dimension variance and initial weights are uniform;
+    /// both are re-estimated by the first M-step.
+    ///
+    /// `seeds.len()` overrides `config.k`; every seed must match the
+    /// dimensionality of `data`.
+    pub fn fit_seeded(
+        data: &[Vec<f64>],
+        seeds: &[Vector],
+        config: &GaussianMixtureConfig,
+    ) -> Result<Self> {
+        let k = seeds.len();
+        if k == 0 {
+            return Err(ModelError::InvalidConfig(
+                "at least one seed mean is required".into(),
+            ));
+        }
+        if data.len() < k {
+            return Err(ModelError::NotEnoughData {
+                needed: k,
+                got: data.len(),
+            });
+        }
+        let d = data[0].len();
+        if seeds.iter().any(|s| s.len() != d) {
+            return Err(ModelError::InvalidConfig(format!(
+                "seed means must have dimension {d}"
+            )));
+        }
+
+        // Floored global per-dimension variance as the shared spread.
+        let mut global = Nlq::new(d, MatrixShape::Diagonal);
+        for x in data {
+            global.update(x);
+        }
+        let n = global.n();
+        let mut spread = Vector::zeros(d);
+        for a in 0..d {
+            let m = global.l()[a] / n;
+            spread[a] = (global.q_raw()[(a, a)] / n - m * m).max(config.min_variance);
+        }
+
+        let means = seeds.to_vec();
+        let variances = vec![spread; k];
+        let weights = vec![1.0 / k as f64; k];
+        Self::em(data, means, variances, weights, config)
+    }
+
+    /// The shared EM iteration, starting from the given parameters.
+    fn em(
+        data: &[Vec<f64>],
+        mut means: Vec<Vector>,
+        mut variances: Vec<Vector>,
+        mut weights: Vec<f64>,
+        config: &GaussianMixtureConfig,
+    ) -> Result<Self> {
+        let k = means.len();
+        let d = data[0].len();
+        let n = data.len() as f64;
 
         let mut prev_ll = f64::NEG_INFINITY;
         let mut log_likelihood = prev_ll;

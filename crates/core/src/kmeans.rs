@@ -136,8 +136,45 @@ impl KMeans {
                 got: data.len(),
             });
         }
+        let centroids = init_centroids(data, k, config.seed);
+        Self::lloyd(data, centroids, config)
+    }
+
+    /// Warm-started (Lloyd) K-means: skips the seeded initialization
+    /// and iterates from the caller-provided `seeds` — typically the
+    /// centroids of a previous fit, so a model can be refreshed after
+    /// the underlying Γ summaries change without re-deriving an
+    /// initialization from scratch.
+    ///
+    /// `seeds.len()` overrides `config.k`; every seed must match the
+    /// dimensionality of `data`.
+    pub fn fit_seeded(data: &[Vec<f64>], seeds: &[Vector], config: &KMeansConfig) -> Result<Self> {
+        let k = seeds.len();
+        if k == 0 {
+            return Err(ModelError::InvalidConfig(
+                "at least one seed centroid is required".into(),
+            ));
+        }
+        if data.len() < k {
+            return Err(ModelError::NotEnoughData {
+                needed: k,
+                got: data.len(),
+            });
+        }
         let d = data[0].len();
-        let mut centroids = init_centroids(data, k, config.seed);
+        if seeds.iter().any(|s| s.len() != d) {
+            return Err(ModelError::InvalidConfig(format!(
+                "seed centroids must have dimension {d}"
+            )));
+        }
+        Self::lloyd(data, seeds.to_vec(), config)
+    }
+
+    /// The shared Lloyd iteration: assignment + per-cluster diagonal
+    /// statistics in one scan per iteration, starting from `centroids`.
+    fn lloyd(data: &[Vec<f64>], mut centroids: Vec<Vector>, config: &KMeansConfig) -> Result<Self> {
+        let k = centroids.len();
+        let d = data[0].len();
         let mut iterations = 0;
         let mut converged = false;
         let mut per_cluster: Vec<Nlq> = Vec::new();

@@ -45,6 +45,7 @@ mod naive_bayes;
 mod nlq;
 mod outliers;
 mod pca;
+mod refresh;
 pub mod scoring;
 
 pub use correlation::CorrelationModel;
@@ -57,6 +58,7 @@ pub use naive_bayes::GaussianNb;
 pub use nlq::{MatrixShape, Nlq};
 pub use outliers::{OutlierDetector, OutlierReason};
 pub use pca::{Pca, PcaInput};
+pub use refresh::{refresh_kmeans, refresh_mixture, ClusterSeeds, GammaModelSet, RefreshSpec};
 
 use std::fmt;
 

@@ -1,0 +1,378 @@
+use nlq_linalg::Vector;
+
+use crate::{
+    CorrelationModel, GaussianMixture, GaussianMixtureConfig, KMeans, KMeansConfig,
+    LinearRegression, MatrixShape, ModelError, Nlq, Pca, PcaInput, Result,
+};
+
+/// Which closed-form models a [`GammaModelSet`] maintains from one Γ
+/// summary.
+///
+/// Every enabled model is rebuilt by each [`GammaModelSet::refresh`],
+/// so the set stays consistent with a single Γ version.
+#[derive(Debug, Clone, Copy)]
+pub struct RefreshSpec {
+    /// Maintain the d × d Pearson correlation matrix.
+    pub correlation: bool,
+    /// Maintain OLS regression, treating the **last** Γ dimension as
+    /// the dependent variable `Y` (the paper's `Z = (X, Y)` layout).
+    pub regression: bool,
+    /// Maintain PCA with this many components (`None` disables PCA).
+    pub pca_components: Option<usize>,
+    /// Which derived matrix PCA diagonalizes.
+    pub pca_input: PcaInput,
+}
+
+impl Default for RefreshSpec {
+    /// All closed-form models on, PCA keeping every component of the
+    /// correlation matrix (resolved against Γ's `d` at build time).
+    fn default() -> Self {
+        RefreshSpec {
+            correlation: true,
+            regression: true,
+            pca_components: None,
+            pca_input: PcaInput::Correlation,
+        }
+    }
+}
+
+impl RefreshSpec {
+    /// Everything enabled: correlation, regression, and `k`-component
+    /// PCA of the correlation matrix.
+    pub fn all(pca_components: usize) -> Self {
+        RefreshSpec {
+            correlation: true,
+            regression: true,
+            pca_components: Some(pca_components),
+            pca_input: PcaInput::Correlation,
+        }
+    }
+}
+
+/// Closed-form models derived from one Γ summary, rebuilt in place
+/// whenever the summary is refreshed.
+///
+/// This is the model-side half of the summary-store tentpole: the
+/// engine keeps `(n, L, Q)` current (folding insert deltas, rebuilding
+/// after deletes), and this set re-derives correlation / regression /
+/// PCA from the new statistics **without touching the data** — the
+/// models are closed forms over `n, L, Q` (§3.2), so a refresh costs
+/// `O(d³)` regardless of `n`. Iterative models warm-start instead: see
+/// [`refresh_kmeans`] and [`refresh_mixture`].
+#[derive(Debug, Clone)]
+pub struct GammaModelSet {
+    spec: RefreshSpec,
+    d: usize,
+    shape: MatrixShape,
+    correlation: Option<CorrelationModel>,
+    regression: Option<LinearRegression>,
+    pca: Option<Pca>,
+    refreshes: usize,
+}
+
+impl GammaModelSet {
+    /// Builds every model enabled in `spec` from the initial Γ.
+    ///
+    /// Requires triangular or full statistics (all three models need
+    /// cross-products). The Γ's dimensionality and shape are recorded;
+    /// later refreshes must match them.
+    pub fn build(gamma: &Nlq, spec: RefreshSpec) -> Result<Self> {
+        if gamma.shape() == MatrixShape::Diagonal {
+            return Err(ModelError::InvalidConfig(
+                "Γ model refresh needs cross-products; use triangular or full statistics".into(),
+            ));
+        }
+        let mut set = GammaModelSet {
+            spec,
+            d: gamma.d(),
+            shape: gamma.shape(),
+            correlation: None,
+            regression: None,
+            pca: None,
+            refreshes: 0,
+        };
+        set.rebuild(gamma)?;
+        Ok(set)
+    }
+
+    /// Rebuilds every enabled model from a refreshed Γ of the same
+    /// dimensionality and shape, and bumps [`GammaModelSet::refreshes`].
+    ///
+    /// All-or-nothing: if any model fails to rebuild (e.g. the new Γ
+    /// covers too few points), the set keeps its previous models and
+    /// the error is returned.
+    pub fn refresh(&mut self, gamma: &Nlq) -> Result<()> {
+        if gamma.d() != self.d {
+            return Err(ModelError::DimensionMismatch {
+                expected: self.d,
+                got: gamma.d(),
+            });
+        }
+        if gamma.shape() != self.shape {
+            return Err(ModelError::InvalidConfig(format!(
+                "refreshed Γ has shape {:?}, set was built from {:?}",
+                gamma.shape(),
+                self.shape
+            )));
+        }
+        self.rebuild(gamma)
+    }
+
+    fn rebuild(&mut self, gamma: &Nlq) -> Result<()> {
+        let correlation = if self.spec.correlation {
+            Some(CorrelationModel::fit(gamma)?)
+        } else {
+            None
+        };
+        let regression = if self.spec.regression {
+            Some(LinearRegression::fit(gamma)?)
+        } else {
+            None
+        };
+        let pca = match self.spec.pca_components {
+            Some(k) => Some(Pca::fit(
+                gamma,
+                k.min(gamma.d()).max(1),
+                self.spec.pca_input,
+            )?),
+            None => None,
+        };
+        self.correlation = correlation;
+        self.regression = regression;
+        self.pca = pca;
+        self.refreshes += 1;
+        Ok(())
+    }
+
+    /// Dimensionality of the underlying Γ.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The current correlation model, if enabled.
+    pub fn correlation(&self) -> Option<&CorrelationModel> {
+        self.correlation.as_ref()
+    }
+
+    /// The current regression model (last Γ dimension = Y), if enabled.
+    pub fn regression(&self) -> Option<&LinearRegression> {
+        self.regression.as_ref()
+    }
+
+    /// The current PCA model, if enabled.
+    pub fn pca(&self) -> Option<&Pca> {
+        self.pca.as_ref()
+    }
+
+    /// How many times the set has been (re)built, including the
+    /// initial build.
+    pub fn refreshes(&self) -> usize {
+        self.refreshes
+    }
+}
+
+/// Refreshes a K-means model after the data changed, seeding Lloyd
+/// iterations from the previous fit's centroids instead of running
+/// the seeded initialization again.
+///
+/// When the data shifted only modestly (the typical refresh after
+/// incremental maintenance), the previous centroids are already near
+/// the optimum and the warm start converges in a few scans.
+pub fn refresh_kmeans(prev: &KMeans, data: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeans> {
+    KMeans::fit_seeded(data, prev.centroids(), config)
+}
+
+/// Refreshes a Gaussian-mixture model after the data changed, seeding
+/// EM from the previous fit's component means (skipping the K-means
+/// initialization).
+pub fn refresh_mixture(
+    prev: &GaussianMixture,
+    data: &[Vec<f64>],
+    config: &GaussianMixtureConfig,
+) -> Result<GaussianMixture> {
+    GaussianMixture::fit_seeded(data, prev.means(), config)
+}
+
+/// Seeds for warm-starting clustering models, extracted from a prior
+/// fit so they can be stored (e.g. next to a summary-store entry) and
+/// reused after the model object itself is gone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSeeds {
+    centers: Vec<Vector>,
+}
+
+impl ClusterSeeds {
+    /// Captures a K-means model's centroids.
+    pub fn from_kmeans(model: &KMeans) -> Self {
+        ClusterSeeds {
+            centers: model.centroids().to_vec(),
+        }
+    }
+
+    /// Captures a mixture model's component means.
+    pub fn from_mixture(model: &GaussianMixture) -> Self {
+        ClusterSeeds {
+            centers: model.means().to_vec(),
+        }
+    }
+
+    /// The stored centers.
+    pub fn centers(&self) -> &[Vector] {
+        &self.centers
+    }
+
+    /// Warm-starts K-means from the stored centers.
+    pub fn fit_kmeans(&self, data: &[Vec<f64>], config: &KMeansConfig) -> Result<KMeans> {
+        KMeans::fit_seeded(data, &self.centers, config)
+    }
+
+    /// Warm-starts EM from the stored centers.
+    pub fn fit_mixture(
+        &self,
+        data: &[Vec<f64>],
+        config: &GaussianMixtureConfig,
+    ) -> Result<GaussianMixture> {
+        GaussianMixture::fit_seeded(data, &self.centers, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 2*x0 - x1 + 3 with deterministic pseudo-noise in x.
+    fn rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let x0 = ((i * 37) % 101) as f64 / 10.0;
+                let x1 = ((i * 53) % 97) as f64 / 10.0;
+                vec![x0, x1, 2.0 * x0 - x1 + 3.0]
+            })
+            .collect()
+    }
+
+    fn gamma(rows: &[Vec<f64>]) -> Nlq {
+        Nlq::from_rows(3, MatrixShape::Triangular, rows)
+    }
+
+    #[test]
+    fn build_populates_all_enabled_models() {
+        let set = GammaModelSet::build(&gamma(&rows(200)), RefreshSpec::all(2)).unwrap();
+        assert!(set.correlation().is_some());
+        assert!(set.regression().is_some());
+        assert!(set.pca().is_some());
+        assert_eq!(set.refreshes(), 1);
+        let reg = set.regression().unwrap();
+        assert!((reg.coefficients()[0] - 2.0).abs() < 1e-9);
+        assert!((reg.coefficients()[1] + 1.0).abs() < 1e-9);
+        assert!((reg.intercept() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refresh_matches_cold_rebuild_on_grown_gamma() {
+        let all = rows(300);
+        let mut set = GammaModelSet::build(&gamma(&all[..200]), RefreshSpec::all(3)).unwrap();
+        let grown = gamma(&all);
+        set.refresh(&grown).unwrap();
+        assert_eq!(set.refreshes(), 2);
+
+        let cold = GammaModelSet::build(&grown, RefreshSpec::all(3)).unwrap();
+        let (a, b) = (set.regression().unwrap(), cold.regression().unwrap());
+        assert!((a.intercept() - b.intercept()).abs() < 1e-12);
+        for i in 0..2 {
+            assert!((a.coefficients()[i] - b.coefficients()[i]).abs() < 1e-12);
+        }
+        let (ca, cb) = (set.correlation().unwrap(), cold.correlation().unwrap());
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((ca.matrix()[(r, c)] - cb.matrix()[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_rejects_mismatched_gamma() {
+        let mut set = GammaModelSet::build(&gamma(&rows(50)), RefreshSpec::default()).unwrap();
+        let wrong_d = Nlq::from_rows(
+            2,
+            MatrixShape::Triangular,
+            &rows(50).iter().map(|r| r[..2].to_vec()).collect::<Vec<_>>(),
+        );
+        assert!(matches!(
+            set.refresh(&wrong_d),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+        let wrong_shape = Nlq::from_rows(3, MatrixShape::Full, &rows(50));
+        assert!(set.refresh(&wrong_shape).is_err());
+    }
+
+    #[test]
+    fn diagonal_gamma_rejected_at_build() {
+        let diag = Nlq::from_rows(3, MatrixShape::Diagonal, &rows(50));
+        assert!(GammaModelSet::build(&diag, RefreshSpec::default()).is_err());
+    }
+
+    /// Two separated blobs; shifted variant moves both slightly.
+    fn blobs(shift: f64) -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..80 {
+            let t = ((i * 31) % 100) as f64 / 100.0 - 0.5;
+            data.push(vec![shift + t, shift + 0.5 * t]);
+            data.push(vec![20.0 + shift + 0.5 * t, 20.0 + shift + t]);
+        }
+        data
+    }
+
+    #[test]
+    fn warm_kmeans_matches_cold_fit_and_converges_faster() {
+        let config = KMeansConfig::new(2);
+        let cold = KMeans::fit(&blobs(0.0), &config).unwrap();
+
+        let shifted = blobs(0.4);
+        let warm = refresh_kmeans(&cold, &shifted, &config).unwrap();
+        let recold = KMeans::fit(&shifted, &config).unwrap();
+        assert!(warm.converged());
+        // Same clustering quality as a cold fit on the new data.
+        assert!((warm.sse() - recold.sse()).abs() <= 1e-6 * (1.0 + recold.sse()));
+        assert!(warm.iterations() <= recold.iterations());
+    }
+
+    #[test]
+    fn warm_mixture_tracks_shifted_blobs() {
+        let config = GaussianMixtureConfig::new(2);
+        let cold = GaussianMixture::fit(&blobs(0.0), &config).unwrap();
+        let warm = refresh_mixture(&cold, &blobs(0.5), &config).unwrap();
+        assert!(warm.log_likelihood().is_finite());
+        let near_low = warm.means().iter().any(|m| m[0] < 10.0);
+        let near_high = warm.means().iter().any(|m| m[0] > 10.0);
+        assert!(near_low && near_high, "means {:?}", warm.means());
+    }
+
+    #[test]
+    fn cluster_seeds_round_trip() {
+        let config = KMeansConfig::new(2);
+        let model = KMeans::fit(&blobs(0.0), &config).unwrap();
+        let seeds = ClusterSeeds::from_kmeans(&model);
+        assert_eq!(seeds.centers().len(), 2);
+        let refit = seeds.fit_kmeans(&blobs(0.1), &config).unwrap();
+        assert_eq!(refit.k(), 2);
+        let gm = GaussianMixture::fit(&blobs(0.0), &GaussianMixtureConfig::new(2)).unwrap();
+        let gm_seeds = ClusterSeeds::from_mixture(&gm);
+        let gm_refit = gm_seeds
+            .fit_mixture(&blobs(0.1), &GaussianMixtureConfig::new(2))
+            .unwrap();
+        assert_eq!(gm_refit.k(), 2);
+    }
+
+    #[test]
+    fn seeded_fit_validates_seeds() {
+        let data = blobs(0.0);
+        assert!(KMeans::fit_seeded(&data, &[], &KMeansConfig::new(2)).is_err());
+        let bad_dim = vec![Vector::from_vec(vec![1.0])];
+        assert!(KMeans::fit_seeded(&data, &bad_dim, &KMeansConfig::new(1)).is_err());
+        assert!(GaussianMixture::fit_seeded(&data, &[], &GaussianMixtureConfig::new(2)).is_err());
+        assert!(
+            GaussianMixture::fit_seeded(&data, &bad_dim, &GaussianMixtureConfig::new(1)).is_err()
+        );
+    }
+}

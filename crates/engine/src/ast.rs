@@ -171,6 +171,44 @@ pub enum Statement {
         /// Object to remove.
         name: String,
     },
+    /// `CREATE SUMMARY s ON t (X1, ...) [SHAPE diag|triang|full]
+    /// [GROUP BY g]`: register a materialized Γ summary.
+    CreateSummary {
+        /// Summary name.
+        name: String,
+        /// Base table.
+        table: String,
+        /// Summarized float columns.
+        columns: Vec<String>,
+        /// Optional shape name (`diag`/`triang`/`full`; default
+        /// triangular).
+        shape: Option<String>,
+        /// Optional single GROUP BY key column.
+        group_by: Option<String>,
+    },
+    /// `DROP SUMMARY s`.
+    DropSummary {
+        /// Summary to remove.
+        name: String,
+    },
+    /// `DELETE FROM t [WHERE predicate]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Rows matching the predicate are removed (all rows when
+        /// absent).
+        predicate: Option<Expr>,
+    },
+    /// `UPDATE t SET col = expr, ... [WHERE predicate]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Column assignments, applied left to right.
+        sets: Vec<(String, Expr)>,
+        /// Rows matching the predicate are updated (all rows when
+        /// absent).
+        predicate: Option<Expr>,
+    },
 }
 
 impl Expr {

@@ -3,6 +3,7 @@ use std::sync::Arc;
 use nlq_linalg::{Matrix, Vector};
 use nlq_models::{MatrixShape, Nlq};
 use nlq_storage::{Column, DataType, Row, Schema, Table, Value};
+use nlq_summary::{SummaryDef, SummaryStore};
 use nlq_udf::pack::{assemble_blocks, unpack_block, unpack_nlq};
 use nlq_udf::{ParamStyle, UdfRegistry};
 
@@ -36,6 +37,15 @@ pub struct ExecStats {
     pub blocks_scanned: u64,
     /// Whether the vectorized block path executed the scan.
     pub block_path: bool,
+    /// Whether a materialized Γ summary answered the query (no scan).
+    pub summary_path: bool,
+    /// Queries answered from a fresh (or just-rebuilt) summary.
+    pub summary_hits: u64,
+    /// Aggregate queries on a summarized table that no summary could
+    /// answer (fell back to a scan).
+    pub summary_misses: u64,
+    /// Stale summaries rebuilt on-demand while answering.
+    pub summary_stale_rebuilds: u64,
     /// Phase 2 (row/block aggregation) time, summed over workers.
     pub accumulate_nanos: u64,
     /// Phase 3 (partial-result merge) time on the master.
@@ -106,6 +116,7 @@ impl ResultSet {
 pub struct Db {
     catalog: Catalog,
     registry: UdfRegistry,
+    summaries: SummaryStore,
     workers: usize,
     block_scan: bool,
 }
@@ -117,6 +128,7 @@ impl Db {
         Db {
             catalog: Catalog::new(),
             registry: UdfRegistry::with_builtins(),
+            summaries: SummaryStore::new(),
             workers: workers.max(1),
             block_scan: true,
         }
@@ -145,10 +157,17 @@ impl Db {
         &mut self.registry
     }
 
+    /// The materialized Γ summary store (inspect registered summaries
+    /// and their freshness; DDL goes through [`Db::execute`]).
+    pub fn summaries(&self) -> &SummaryStore {
+        &self.summaries
+    }
+
     fn ctx(&self) -> ExecContext<'_> {
         ExecContext {
             catalog: &self.catalog,
             registry: &self.registry,
+            summaries: &self.summaries,
             workers: self.workers,
             block_scan: self.block_scan,
         }
@@ -214,8 +233,116 @@ impl Db {
             }
             Statement::Drop { name } => {
                 self.catalog.remove(&name)?;
+                // Summaries die with their base table.
+                self.summaries.drop_for_table(&name);
                 Ok(ResultSet::empty())
             }
+            Statement::CreateSummary {
+                name,
+                table,
+                columns,
+                shape,
+                group_by,
+            } => {
+                let t = self.base_table(&table)?;
+                let shape = match &shape {
+                    None => MatrixShape::Triangular,
+                    Some(s) => MatrixShape::parse(s).ok_or_else(|| {
+                        EngineError::Unsupported(format!(
+                            "unknown summary shape '{s}' (expected diag, triang, or full)"
+                        ))
+                    })?,
+                };
+                let def = SummaryDef {
+                    name,
+                    table: table.to_ascii_lowercase(),
+                    columns,
+                    shape,
+                    group_by,
+                };
+                self.summaries.create(def, &t)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::DropSummary { name } => {
+                self.summaries.remove(&name)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::Delete { table, predicate } => {
+                let t = self.base_table(&table)?;
+                let mut schema = BoundSchema::new();
+                schema.push_table(Some(&table), t.schema());
+                let pred = predicate
+                    .map(|p| Binder::scalar(&schema, &self.registry).bind(&p))
+                    .transpose()?;
+                let mut kept = Vec::new();
+                for row in t.scan_all() {
+                    let row = row?;
+                    let hit = match &pred {
+                        Some(p) => matches!(p.eval(&row, &[], &[])?, Value::Int(x) if x != 0),
+                        None => true,
+                    };
+                    if !hit {
+                        kept.push(row);
+                    }
+                }
+                self.replace_rows(&table, &t, kept)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                let t = self.base_table(&table)?;
+                let mut schema = BoundSchema::new();
+                schema.push_table(Some(&table), t.schema());
+                let pred = predicate
+                    .map(|p| Binder::scalar(&schema, &self.registry).bind(&p))
+                    .transpose()?;
+                let bound_sets: Vec<(usize, _)> = sets
+                    .iter()
+                    .map(|(col, e)| {
+                        let idx = t
+                            .schema()
+                            .index_of(col)
+                            .ok_or_else(|| EngineError::UnknownColumn(col.clone()))?;
+                        Ok((idx, Binder::scalar(&schema, &self.registry).bind(e)?))
+                    })
+                    .collect::<Result<_>>()?;
+                let mut rows = Vec::new();
+                for row in t.scan_all() {
+                    let mut row = row?;
+                    let hit = match &pred {
+                        Some(p) => matches!(p.eval(&row, &[], &[])?, Value::Int(x) if x != 0),
+                        None => true,
+                    };
+                    if hit {
+                        // All right-hand sides see the pre-update row.
+                        let news: Vec<Value> = bound_sets
+                            .iter()
+                            .map(|(_, e)| e.eval(&row, &[], &[]))
+                            .collect::<Result<_>>()?;
+                        for ((idx, _), v) in bound_sets.iter().zip(news) {
+                            row[*idx] = v;
+                        }
+                    }
+                    rows.push(row);
+                }
+                self.replace_rows(&table, &t, rows)?;
+                Ok(ResultSet::empty())
+            }
+        }
+    }
+
+    /// Resolves a name to a base table, rejecting views (DML and
+    /// summary DDL need real storage).
+    fn base_table(&self, name: &str) -> Result<Arc<Table>> {
+        match self.catalog.get(name) {
+            Some(CatalogEntry::Table(t)) => Ok(t),
+            Some(CatalogEntry::View(_)) => Err(EngineError::Unsupported(format!(
+                "'{name}' is a view; a base table is required"
+            ))),
+            None => Err(EngineError::UnknownTable(name.to_owned())),
         }
     }
 
@@ -225,10 +352,27 @@ impl Db {
         };
         // Copy-on-write: clone the table, append, swap back in.
         let mut table = (*arc).clone();
+        for row in &rows {
+            table.insert(row.clone())?;
+        }
+        self.catalog.replace_table(name, Arc::new(table));
+        // Incremental maintenance: fold the inserted batch into every
+        // fresh summary on this table (Γ additivity — no rescan).
+        self.summaries.fold_rows(name, arc.schema(), &rows);
+        Ok(())
+    }
+
+    /// Replaces a table's contents wholesale (DELETE/UPDATE). Sums are
+    /// subtractable but min/max are not, and the predicate may have
+    /// touched arbitrary rows — every summary on the table degrades to
+    /// stale and rebuilds on its next read.
+    fn replace_rows(&self, name: &str, old: &Table, rows: Vec<Row>) -> Result<()> {
+        let mut table = Table::new(old.schema().clone(), old.partition_count());
         for row in rows {
             table.insert(row)?;
         }
         self.catalog.replace_table(name, Arc::new(table));
+        self.summaries.mark_stale_for_table(name);
         Ok(())
     }
 
@@ -239,10 +383,12 @@ impl Db {
             .insert(name, CatalogEntry::Table(Arc::new(table)))
     }
 
-    /// Registers or replaces a pre-built table.
+    /// Registers or replaces a pre-built table. Any summaries on the
+    /// name degrade to stale: the new contents are arbitrary.
     pub fn register_or_replace_table(&self, name: &str, table: Table) {
         self.catalog
             .insert_or_replace(name, CatalogEntry::Table(Arc::new(table)));
+        self.summaries.mark_stale_for_table(name);
     }
 
     /// Fetches a table (views are materialized by execution).
@@ -250,9 +396,11 @@ impl Db {
         self.ctx().resolve_table(name)
     }
 
-    /// Drops a table or view if it exists.
+    /// Drops a table or view if it exists (with its summaries).
     pub fn drop_if_exists(&self, name: &str) {
-        let _ = self.catalog.remove(name);
+        if self.catalog.remove(name).is_ok() {
+            self.summaries.drop_for_table(name);
+        }
     }
 
     /// Persists a table to disk (see [`nlq_storage::DiskTable`]); the

@@ -29,6 +29,8 @@ pub enum EngineError {
     Udf(nlq_udf::UdfError),
     /// Model construction error (from the high-level helpers).
     Model(nlq_models::ModelError),
+    /// Γ summary store error (rendered message).
+    Summary(String),
     /// A cross join would materialize too many rows.
     JoinTooLarge {
         /// Rows the join product would contain.
@@ -55,6 +57,7 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
             EngineError::Udf(e) => write!(f, "UDF error: {e}"),
             EngineError::Model(e) => write!(f, "model error: {e}"),
+            EngineError::Summary(msg) => write!(f, "summary error: {msg}"),
             EngineError::JoinTooLarge { rows, limit } => {
                 write!(f, "cross join materializes {rows} rows, limit is {limit}")
             }
@@ -79,5 +82,11 @@ impl From<nlq_udf::UdfError> for EngineError {
 impl From<nlq_models::ModelError> for EngineError {
     fn from(e: nlq_models::ModelError) -> Self {
         EngineError::Model(e)
+    }
+}
+
+impl From<nlq_summary::SummaryError> for EngineError {
+    fn from(e: nlq_summary::SummaryError) -> Self {
+        EngineError::Summary(e.to_string())
     }
 }

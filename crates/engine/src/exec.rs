@@ -4,10 +4,15 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nlq_linalg::kernels;
+use nlq_models::{MatrixShape, Nlq};
 use nlq_storage::{
     parallel_scan, parallel_scan_partitions, Column, ColumnBlock, DataType, FloatColumn, Row,
     Schema, Table, Value, BLOCK_ROWS,
 };
+use nlq_summary::{
+    project_nlq, shape_covers, SummaryData, SummaryDef, SummarySnapshot, SummaryStore,
+};
+use nlq_udf::pack::pack_nlq;
 use nlq_udf::{check_heap, AggregateState, BatchArg, UdfRegistry};
 
 use crate::ast::{Expr, SelectStmt};
@@ -25,6 +30,8 @@ const JOIN_LIMIT: usize = 1_000_000;
 pub(crate) struct ExecContext<'a> {
     pub catalog: &'a Catalog,
     pub registry: &'a UdfRegistry,
+    /// Materialized Γ summaries the planner may answer from.
+    pub summaries: &'a SummaryStore,
     pub workers: usize,
     /// Whether eligible aggregates may use the block-at-a-time scan.
     pub block_scan: bool,
@@ -239,9 +246,16 @@ impl ExecContext<'_> {
                 agg_calls.len(),
                 stmt.group_by.len()
             ));
+            let trivial_join = plan.join_product.len() == 1 && plan.join_product[0].is_empty();
+            // Mirror the executor's summary rewrite (without rebuilding
+            // anything): report the summary that would answer.
+            let summary_line = if stmt.from.len() == 1 && trivial_join && plan.residual.is_empty() {
+                self.explain_summary_match(stmt, &plan.schema, &agg_calls)?
+            } else {
+                None
+            };
             // Mirror the executor's block-path eligibility test so the
             // plan shows which scan mode will run.
-            let trivial_join = plan.join_product.len() == 1 && plan.join_product[0].is_empty();
             let block_plan = if self.block_scan
                 && stmt.group_by.is_empty()
                 && plan.residual.is_empty()
@@ -256,12 +270,28 @@ impl ExecContext<'_> {
             } else {
                 None
             };
-            match block_plan {
-                Some(bp) => lines.push(format!(
+            match (summary_line, block_plan) {
+                (Some(line), _) => lines.push(line),
+                (None, Some(bp)) => lines.push(format!(
                     "scan mode: block ({BLOCK_ROWS}-row column blocks over {} float column(s))",
                     bp.cols.len()
                 )),
-                None => lines.push("scan mode: row-at-a-time".into()),
+                (None, None) => {
+                    // State why the vectorized path is ineligible, most
+                    // significant obstacle first.
+                    let reason = if !self.block_scan {
+                        "block scan disabled".to_owned()
+                    } else if !stmt.group_by.is_empty() {
+                        "GROUP BY requires row grouping".to_owned()
+                    } else if !plan.residual.is_empty() {
+                        format!("{} residual predicate(s)", plan.residual.len())
+                    } else if !trivial_join {
+                        "cross join".to_owned()
+                    } else {
+                        "aggregate arguments are not all float base-table columns".to_owned()
+                    };
+                    lines.push(format!("scan mode: row-at-a-time ({reason})"));
+                }
             }
             if stmt.having.is_some() {
                 lines.push("having: post-aggregation filter".into());
@@ -469,6 +499,33 @@ impl ExecContext<'_> {
             }
         }
 
+        let mut stats = ExecStats::default();
+
+        // Planner rewrite: answer the whole statement from a
+        // materialized Γ summary when one structurally matches — no
+        // scan at all, O(groups · d²) work.
+        let trivial_join = join_product.len() == 1 && join_product[0].is_empty();
+        if stmt.from.len() == 1 && trivial_join && residual.is_empty() {
+            if let Some(groups) = self.try_summary_answer(
+                &stmt.from[0].name,
+                base,
+                schema,
+                &group_bound,
+                &agg_calls,
+                &mut stats,
+            )? {
+                return finalize_groups(
+                    stmt,
+                    &proj_bound,
+                    names,
+                    &having_bound,
+                    &order_bound,
+                    groups,
+                    stats,
+                );
+            }
+        }
+
         // Recognize fast shapes for simple numeric aggregate terms
         // (the bulk of the paper's generated 1 + d + d² queries).
         let fast_args = compute_fast_args(schema, &agg_calls);
@@ -491,7 +548,6 @@ impl ExecContext<'_> {
             None
         };
 
-        let mut stats = ExecStats::default();
         type GroupMap = HashMap<GroupKey, Vec<AggAccum>>;
 
         // Phase 1-2: each worker accumulates per-group partial states
@@ -602,60 +658,392 @@ impl ExecContext<'_> {
             );
         }
 
-        // Phase 4: finalize each group, apply HAVING, and evaluate
-        // the projections and ORDER BY keys.
-        let finalize_start = Instant::now();
-        let mut keyed_rows = Vec::with_capacity(merged.len());
+        // Phase 4: finalize each group's accumulators, then the shared
+        // projection/HAVING/ORDER BY tail.
+        let mut groups = Vec::with_capacity(merged.len());
         for (key, accums) in merged {
             let agg_values: Vec<Value> = accums
                 .into_iter()
                 .map(AggAccum::finalize)
                 .collect::<Result<_>>()?;
-            if let Some(h) = &having_bound {
-                if !matches!(h.eval(&[], &agg_values, &key.0)?, Value::Int(x) if x != 0) {
+            groups.push((key, agg_values));
+        }
+        finalize_groups(
+            stmt,
+            &proj_bound,
+            names,
+            &having_bound,
+            &order_bound,
+            groups,
+            stats,
+        )
+    }
+
+    /// Attempts to answer an aggregate query from a materialized Γ
+    /// summary on `table`. A structurally matching stale summary is
+    /// rebuilt on the spot (the stale → fresh edge); returns the
+    /// finalized per-group aggregate values on a hit, `None` to fall
+    /// back to the scan paths.
+    fn try_summary_answer(
+        &self,
+        table: &str,
+        base: &Table,
+        schema: &BoundSchema,
+        group_bound: &[BoundExpr],
+        agg_calls: &[AggCall],
+        stats: &mut ExecStats,
+    ) -> Result<Option<GroupRows>> {
+        let candidates = self.summaries.for_table(table);
+        if candidates.is_empty() || agg_calls.is_empty() {
+            return Ok(None);
+        }
+        // The only group shape a keyed summary stores: one plain
+        // column reference.
+        let want_group = match group_bound {
+            [] => None,
+            [BoundExpr::ColumnRef(i)] => Some(schema.column_name(*i)),
+            _ => {
+                stats.summary_misses += 1;
+                return Ok(None);
+            }
+        };
+        for entry in &candidates {
+            let Some(recipes) = plan_summary_recipes(entry.def(), schema, agg_calls, want_group)
+            else {
+                continue;
+            };
+            if !entry.is_fresh() {
+                if entry.rebuild(base).is_err() {
+                    // E.g. the table was replaced with an incompatible
+                    // schema; the summary stays stale and unusable.
                     continue;
                 }
+                stats.summary_stale_rebuilds += 1;
             }
-            let mut out = Vec::with_capacity(proj_bound.len());
-            for b in &proj_bound {
-                out.push(b.eval(&[], &agg_values, &key.0)?);
+            let snap = entry.snapshot();
+            if !snap.fresh || !null_gate(entry.def(), &recipes, snap.null_rows_skipped) {
+                continue;
             }
-            let mut keys = Vec::with_capacity(order_bound.len());
-            for (eval, _) in &order_bound {
-                keys.push(match eval {
-                    OrderEval::Ordinal(i) => out[*i].clone(),
-                    OrderEval::Expr(e) => e.eval(&[], &agg_values, &key.0)?,
-                });
-            }
-            keyed_rows.push((keys, out));
+            let groups = summary_groups(&snap, &recipes)?;
+            stats.summary_path = true;
+            stats.summary_hits += 1;
+            return Ok(Some(groups));
         }
-        // With no ORDER BY, sort whole rows for deterministic grouped
-        // output; otherwise sort by the requested keys.
-        if stmt.order_by.is_empty() {
-            keyed_rows.sort_by(|(_, a), (_, b)| {
-                for (x, y) in a.iter().zip(b) {
-                    let ord = value_cmp(x, y);
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
+        // Summaries exist for this table but none could answer.
+        stats.summary_misses += 1;
+        Ok(None)
+    }
+
+    /// EXPLAIN's view of the summary rewrite: the `scan mode: summary`
+    /// line for the first summary that would answer this statement, or
+    /// `None`. Stale candidates are reported (they rebuild on execute)
+    /// but never rebuilt here.
+    fn explain_summary_match(
+        &self,
+        stmt: &SelectStmt,
+        schema: &BoundSchema,
+        agg_calls: &[AggCall],
+    ) -> Result<Option<String>> {
+        if agg_calls.is_empty() {
+            return Ok(None);
+        }
+        let group_bound: Vec<BoundExpr> = stmt
+            .group_by
+            .iter()
+            .map(|g| Binder::scalar(schema, self.registry).bind(g))
+            .collect::<Result<_>>()?;
+        let want_group = match group_bound.as_slice() {
+            [] => None,
+            [BoundExpr::ColumnRef(i)] => Some(schema.column_name(*i)),
+            _ => return Ok(None),
+        };
+        for entry in self.summaries.for_table(&stmt.from[0].name) {
+            let Some(recipes) = plan_summary_recipes(entry.def(), schema, agg_calls, want_group)
+            else {
+                continue;
+            };
+            let snap = entry.snapshot();
+            if snap.fresh && !null_gate(entry.def(), &recipes, snap.null_rows_skipped) {
+                continue;
+            }
+            let line = if snap.fresh {
+                format!("scan mode: summary ({}, fresh)", entry.def().name)
+            } else {
+                format!(
+                    "scan mode: summary ({}, stale; rebuilt on execute)",
+                    entry.def().name
+                )
+            };
+            return Ok(Some(line));
+        }
+        Ok(None)
+    }
+}
+
+/// Phase 4 of the aggregation protocol, shared by the scan paths and
+/// the summary answer path: apply HAVING, evaluate projections and
+/// ORDER BY keys per group, sort, and attach the counters.
+fn finalize_groups(
+    stmt: &SelectStmt,
+    proj_bound: &[BoundExpr],
+    names: Vec<String>,
+    having_bound: &Option<BoundExpr>,
+    order_bound: &[(OrderEval, bool)],
+    groups: GroupRows,
+    mut stats: ExecStats,
+) -> Result<ResultSet> {
+    let finalize_start = Instant::now();
+    let mut keyed_rows = Vec::with_capacity(groups.len());
+    for (key, agg_values) in groups {
+        if let Some(h) = having_bound {
+            if !matches!(h.eval(&[], &agg_values, &key.0)?, Value::Int(x) if x != 0) {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(proj_bound.len());
+        for b in proj_bound {
+            out.push(b.eval(&[], &agg_values, &key.0)?);
+        }
+        let mut keys = Vec::with_capacity(order_bound.len());
+        for (eval, _) in order_bound {
+            keys.push(match eval {
+                OrderEval::Ordinal(i) => out[*i].clone(),
+                OrderEval::Expr(e) => e.eval(&[], &agg_values, &key.0)?,
             });
-            let mut rows: Vec<Row> = keyed_rows.into_iter().map(|(_, r)| r).collect();
-            if let Some(limit) = stmt.limit {
-                rows.truncate(limit);
-            }
-            stats.finalize_nanos = finalize_start.elapsed().as_nanos() as u64;
-            let mut rs = ResultSet::new(names, rows);
-            rs.stats = stats;
-            return Ok(rs);
         }
-        let rows = finish_rows(keyed_rows, &stmt.order_by, stmt.limit);
+        keyed_rows.push((keys, out));
+    }
+    // With no ORDER BY, sort whole rows for deterministic grouped
+    // output; otherwise sort by the requested keys.
+    if stmt.order_by.is_empty() {
+        keyed_rows.sort_by(|(_, a), (_, b)| {
+            for (x, y) in a.iter().zip(b) {
+                let ord = value_cmp(x, y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut rows: Vec<Row> = keyed_rows.into_iter().map(|(_, r)| r).collect();
+        if let Some(limit) = stmt.limit {
+            rows.truncate(limit);
+        }
         stats.finalize_nanos = finalize_start.elapsed().as_nanos() as u64;
         let mut rs = ResultSet::new(names, rows);
         rs.stats = stats;
-        Ok(rs)
+        return Ok(rs);
     }
+    let rows = finish_rows(keyed_rows, &stmt.order_by, stmt.limit);
+    stats.finalize_nanos = finalize_start.elapsed().as_nanos() as u64;
+    let mut rs = ResultSet::new(names, rows);
+    rs.stats = stats;
+    Ok(rs)
+}
+
+/// How one aggregate call is answered from a summary's maintained Γ.
+enum SummaryRecipe {
+    /// `nlq_list(d, 'shape', cols...)`: project the state onto the
+    /// query's dimensions and re-pack it.
+    Nlq {
+        dims: Vec<usize>,
+        shape: MatrixShape,
+    },
+    /// `count(*)` / `count(col)`: the state's `n`.
+    Count,
+    /// `sum(col)`: `L[dim]` (summarized columns are float, so the
+    /// integer-sum rule never applies).
+    Sum { dim: usize },
+    /// `avg(col)`: `L[dim] / n`.
+    Avg { dim: usize },
+    /// `min(col)`: the maintained per-dimension minimum.
+    Min { dim: usize },
+    /// `max(col)`: the maintained per-dimension maximum.
+    Max { dim: usize },
+    /// Statistical builtin: the executor's 2-D formulas fed from L/Q.
+    Stat {
+        kind: StatAgg,
+        a: usize,
+        b: Option<usize>,
+    },
+}
+
+/// Structurally matches every aggregate call of a query against one
+/// summary definition, or `None` when the GROUP BY or any call falls
+/// outside what this summary's Γ can answer.
+fn plan_summary_recipes(
+    def: &SummaryDef,
+    schema: &BoundSchema,
+    agg_calls: &[AggCall],
+    want_group: Option<&str>,
+) -> Option<Vec<SummaryRecipe>> {
+    match (&def.group_by, want_group) {
+        (None, None) => {}
+        (Some(g), Some(w)) if g.eq_ignore_ascii_case(w) => {}
+        _ => return None,
+    }
+    let dim = |args: &[BoundExpr]| match args {
+        [BoundExpr::ColumnRef(i)] => def.dim_of(schema.column_name(*i)),
+        _ => None,
+    };
+    agg_calls
+        .iter()
+        .map(|call| match &call.kind {
+            AggKind::CountStar => Some(SummaryRecipe::Count),
+            AggKind::Count => dim(&call.args).map(|_| SummaryRecipe::Count),
+            AggKind::Sum => dim(&call.args).map(|dim| SummaryRecipe::Sum { dim }),
+            AggKind::Avg => dim(&call.args).map(|dim| SummaryRecipe::Avg { dim }),
+            AggKind::Min => dim(&call.args).map(|dim| SummaryRecipe::Min { dim }),
+            AggKind::Max => dim(&call.args).map(|dim| SummaryRecipe::Max { dim }),
+            AggKind::Stat(kind) => match (kind.arity(), call.args.as_slice()) {
+                (1, [_]) => dim(&call.args).map(|a| SummaryRecipe::Stat {
+                    kind: *kind,
+                    a,
+                    b: None,
+                }),
+                (2, [a, b]) => {
+                    let a = dim(std::slice::from_ref(a))?;
+                    let b = dim(std::slice::from_ref(b))?;
+                    // Cross moments need an off-diagonal Q entry.
+                    (a == b || def.shape != MatrixShape::Diagonal).then_some(SummaryRecipe::Stat {
+                        kind: *kind,
+                        a,
+                        b: Some(b),
+                    })
+                }
+                _ => None,
+            },
+            AggKind::Udf(udf) if udf.name() == "nlq_list" => {
+                plan_nlq_recipe(def, schema, &call.args)
+            }
+            AggKind::Udf(_) => None,
+        })
+        .collect()
+}
+
+/// Matches one `nlq_list(d, 'shape', cols...)` call against a summary:
+/// every coordinate must be a summarized column and the requested
+/// shape must be derivable from the maintained one.
+fn plan_nlq_recipe(
+    def: &SummaryDef,
+    schema: &BoundSchema,
+    args: &[BoundExpr],
+) -> Option<SummaryRecipe> {
+    let [BoundExpr::Literal(Value::Int(d)), BoundExpr::Literal(Value::Str(shape)), cols @ ..] =
+        args
+    else {
+        return None;
+    };
+    let shape = MatrixShape::parse(shape)?;
+    if !shape_covers(def.shape, shape) || cols.len() != *d as usize {
+        return None;
+    }
+    let dims = cols
+        .iter()
+        .map(|c| match c {
+            BoundExpr::ColumnRef(i) => def.dim_of(schema.column_name(*i)),
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(SummaryRecipe::Nlq { dims, shape })
+}
+
+/// Whether the summary's statistics cover the query despite skipped
+/// NULL rows: always when nothing was skipped; otherwise only full-Γ
+/// `nlq` answers whose dimensions cover every summarized column (the
+/// row-skip sets then coincide with a direct scan's).
+fn null_gate(def: &SummaryDef, recipes: &[SummaryRecipe], skipped: u64) -> bool {
+    if skipped == 0 {
+        return true;
+    }
+    recipes.iter().all(|r| match r {
+        SummaryRecipe::Nlq { dims, .. } => {
+            let mut seen = vec![false; def.d()];
+            for &d in dims {
+                seen[d] = true;
+            }
+            seen.iter().all(|&s| s)
+        }
+        _ => false,
+    })
+}
+
+/// Evaluates every recipe against each maintained group state.
+fn summary_groups(
+    snap: &SummarySnapshot,
+    recipes: &[SummaryRecipe],
+) -> Result<GroupRows> {
+    let answer =
+        |g: &Nlq| -> Result<Vec<Value>> { recipes.iter().map(|r| summary_value(g, r)).collect() };
+    Ok(match &snap.data {
+        SummaryData::Global(g) => vec![(GroupKey(Vec::new()), answer(g)?)],
+        SummaryData::Grouped(groups) => groups
+            .iter()
+            .map(|(k, g)| Ok((GroupKey(vec![k.clone()]), answer(g)?)))
+            .collect::<Result<Vec<_>>>()?,
+    })
+}
+
+/// One aggregate value from one Γ state, matching the executor's
+/// accumulator finalization (an empty state finalizes exactly like a
+/// zero-row scan).
+fn summary_value(g: &Nlq, recipe: &SummaryRecipe) -> Result<Value> {
+    let n = g.n();
+    Ok(match recipe {
+        SummaryRecipe::Nlq { dims, shape } => {
+            if n == 0.0 {
+                Value::Null
+            } else {
+                Value::Str(pack_nlq(&project_nlq(g, dims, *shape)?))
+            }
+        }
+        SummaryRecipe::Count => Value::Int(n as i64),
+        SummaryRecipe::Sum { dim } => {
+            if n == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(g.l()[*dim])
+            }
+        }
+        SummaryRecipe::Avg { dim } => {
+            if n == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(g.l()[*dim] / n)
+            }
+        }
+        SummaryRecipe::Min { dim } => {
+            if n == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(g.min()[*dim])
+            }
+        }
+        SummaryRecipe::Max { dim } => {
+            if n == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(g.max()[*dim])
+            }
+        }
+        SummaryRecipe::Stat { kind, a, b } => {
+            let (l, q) = (g.l(), g.q_full());
+            let (sb, sbb, sab) = match b {
+                Some(b) => (l[*b], q[(*b, *b)], q[(*a, *b)]),
+                None => (0.0, 0.0, 0.0),
+            };
+            AggAccum::Stat {
+                kind: *kind,
+                n,
+                sa: l[*a],
+                sb,
+                saa: q[(*a, *a)],
+                sbb,
+                sab,
+            }
+            .finalize()?
+        }
+    })
 }
 
 /// Recognizes fast shapes for simple numeric aggregate terms. Gated on
@@ -958,6 +1346,9 @@ pub(crate) fn result_to_table(rs: &ResultSet, partitions: usize) -> Result<Table
 /// Group key with SQL grouping semantics (NULLs group together).
 #[derive(Debug, Clone)]
 struct GroupKey(Vec<Value>);
+
+/// Finalized per-group aggregate values, ready for phase 4.
+type GroupRows = Vec<(GroupKey, Vec<Value>)>;
 
 impl PartialEq for GroupKey {
     fn eq(&self, other: &Self) -> bool {

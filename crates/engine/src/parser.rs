@@ -152,7 +152,10 @@ impl Parser {
                 let query = self.select()?;
                 return Ok(Statement::CreateView { name, query });
             }
-            return self.err("expected TABLE or VIEW after CREATE");
+            if self.eat_kw("SUMMARY") {
+                return self.create_summary();
+            }
+            return self.err("expected TABLE, VIEW, or SUMMARY after CREATE");
         }
         if self.eat_kw("INSERT") {
             self.expect_kw("INTO")?;
@@ -183,14 +186,86 @@ impl Parser {
             return self.err("expected VALUES or SELECT after INSERT INTO t");
         }
         if self.eat_kw("DROP") {
-            // DROP TABLE t / DROP VIEW v.
+            // DROP TABLE t / DROP VIEW v / DROP SUMMARY s.
+            if self.eat_kw("SUMMARY") {
+                let name = self.ident("summary name")?;
+                return Ok(Statement::DropSummary { name });
+            }
             if !(self.eat_kw("TABLE") || self.eat_kw("VIEW")) {
-                return self.err("expected TABLE or VIEW after DROP");
+                return self.err("expected TABLE, VIEW, or SUMMARY after DROP");
             }
             let name = self.ident("object name")?;
             return Ok(Statement::Drop { name });
         }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident("table name")?;
+            let predicate = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, predicate });
+        }
+        if self.eat_kw("UPDATE") {
+            let table = self.ident("table name")?;
+            self.expect_kw("SET")?;
+            let mut sets = Vec::new();
+            loop {
+                let col = self.ident("column name")?;
+                self.expect(&TokenKind::Eq, "=")?;
+                sets.push((col, self.expr()?));
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            let predicate = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                sets,
+                predicate,
+            });
+        }
         self.err(format!("unrecognized statement start: {:?}", self.peek()))
+    }
+
+    /// `CREATE SUMMARY` tail: `s ON t (c1, ...) [SHAPE name]
+    /// [GROUP BY g]` (the `SUMMARY` keyword is already consumed).
+    fn create_summary(&mut self) -> Result<Statement> {
+        let name = self.ident("summary name")?;
+        self.expect_kw("ON")?;
+        let table = self.ident("table name")?;
+        self.expect(&TokenKind::LParen, "(")?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident("column name")?);
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, ")")?;
+        let shape = if self.eat_kw("SHAPE") {
+            Some(self.ident("shape name ('diag', 'triang', or 'full')")?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            Some(self.ident("group column")?)
+        } else {
+            None
+        };
+        Ok(Statement::CreateSummary {
+            name,
+            table,
+            columns,
+            shape,
+            group_by,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStmt> {

@@ -1,0 +1,308 @@
+//! End-to-end tests for the materialized Γ summary store: DDL, the
+//! planner rewrite, incremental maintenance under INSERT, the
+//! stale/rebuild lifecycle under DELETE/UPDATE, and EXPLAIN output
+//! (including the block-path fallback reasons).
+
+use nlq_engine::Db;
+use nlq_models::Nlq;
+use nlq_udf::pack::unpack_nlq;
+
+fn plan_text(db: &Db, sql: &str) -> String {
+    let rs = db.execute(sql).unwrap();
+    rs.rows
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_owned())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn points_db(n: usize, d: usize) -> Db {
+    let db = Db::new(4);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|a| (i * (a + 1)) as f64 * 0.25 - (a as f64))
+                .collect()
+        })
+        .collect();
+    db.load_points("pts", &rows, false).unwrap();
+    db
+}
+
+fn unpack_cell(db: &Db, sql: &str) -> (Nlq, nlq_engine::ExecStats) {
+    let rs = db.execute(sql).unwrap();
+    let packed = rs.value(0, 0).as_str().expect("packed nLQ string");
+    (unpack_nlq(packed).unwrap(), rs.stats)
+}
+
+fn assert_nlq_close(a: &Nlq, b: &Nlq, tol: f64) {
+    assert_eq!(a.d(), b.d());
+    assert_eq!(a.n(), b.n());
+    for i in 0..a.d() {
+        let (x, y) = (a.l()[i], b.l()[i]);
+        assert!(
+            (x - y).abs() <= tol * y.abs().max(1.0),
+            "L[{i}]: {x} vs {y}"
+        );
+        for j in 0..a.d() {
+            let (x, y) = (a.q_full()[(i, j)], b.q_full()[(i, j)]);
+            assert!(
+                (x - y).abs() <= tol * y.abs().max(1.0),
+                "Q[{i},{j}]: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn summary_lifecycle_matches_block_scan() {
+    let db = points_db(5000, 4);
+    let q = "SELECT nlq_list(4, 'triang', X1, X2, X3, X4) FROM pts";
+
+    // Baseline: the block scan answers, no summary registered.
+    let (scan0, stats) = unpack_cell(&db, q);
+    assert!(stats.block_path && !stats.summary_path);
+
+    db.execute("CREATE SUMMARY s ON pts (X1, X2, X3, X4)")
+        .unwrap();
+    assert_eq!(
+        db.summaries().list(),
+        vec![("s".into(), "pts".into(), true)]
+    );
+
+    // Hit: answered from the summary with no scan at all, identical
+    // statistics to within 1e-12 relative.
+    let (hit, stats) = unpack_cell(&db, q);
+    assert!(stats.summary_path, "{stats:?}");
+    assert_eq!(stats.summary_hits, 1);
+    assert_eq!(stats.rows_scanned, 0);
+    assert_eq!(stats.blocks_scanned, 0);
+    assert_nlq_close(&hit, &scan0, 1e-12);
+    let plan = plan_text(&db, &format!("EXPLAIN {q}"));
+    assert!(plan.contains("scan mode: summary (s, fresh)"), "{plan}");
+
+    // INSERT folds the delta in: the summary stays fresh and keeps
+    // matching a from-scratch scan exactly.
+    db.execute(
+        "INSERT INTO pts VALUES (5001, 3.5, -1.25, 8.0, 0.5), \
+         (5002, -2.0, 4.75, 1.0, 9.5)",
+    )
+    .unwrap();
+    let (hit, stats) = unpack_cell(&db, q);
+    assert!(stats.summary_path && stats.summary_stale_rebuilds == 0);
+    assert_eq!(hit.n(), 5002.0);
+
+    // DELETE marks it stale; the next read rebuilds on the spot.
+    db.execute("DELETE FROM pts WHERE i <= 100").unwrap();
+    let plan = plan_text(&db, &format!("EXPLAIN {q}"));
+    assert!(
+        plan.contains("scan mode: summary (s, stale; rebuilt on execute)"),
+        "{plan}"
+    );
+    let (rebuilt, stats) = unpack_cell(&db, q);
+    assert!(stats.summary_path);
+    assert_eq!(stats.summary_stale_rebuilds, 1);
+    assert_eq!(rebuilt.n(), 4902.0);
+
+    // Drop the summary: the same query falls back to the block scan
+    // and agrees with the rebuilt answer to within 1e-12.
+    db.execute("DROP SUMMARY s").unwrap();
+    let (scan1, stats) = unpack_cell(&db, q);
+    assert!(!stats.summary_path && stats.block_path);
+    assert_nlq_close(&rebuilt, &scan1, 1e-12);
+}
+
+#[test]
+fn summary_answers_plain_aggregates_and_projections() {
+    let db = points_db(2000, 2);
+    db.execute("CREATE SUMMARY s2 ON pts (X1, X2) SHAPE full")
+        .unwrap();
+
+    let q = "SELECT count(*), avg(X1), sum(X2), min(X1), max(X2), \
+             var_pop(X1), covar_pop(X1, X2), corr(X1, X2) FROM pts";
+    let with = db.execute(q).unwrap();
+    assert!(with.stats.summary_path);
+    assert_eq!(with.stats.rows_scanned, 0);
+
+    db.execute("DROP SUMMARY s2").unwrap();
+    let without = db.execute(q).unwrap();
+    assert!(!without.stats.summary_path);
+
+    assert_eq!(with.value(0, 0), without.value(0, 0)); // count
+    for c in 1..8 {
+        let (a, b) = (with.f64(0, c).unwrap(), without.f64(0, c).unwrap());
+        assert!(
+            (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+            "col {c}: {a} vs {b}"
+        );
+    }
+
+    // A projected sub-Γ in a different column order also hits.
+    let (hit, stats) = unpack_cell(
+        &db2_with_summary(),
+        "SELECT nlq_list(1, 'diag', X2) FROM pts",
+    );
+    assert!(stats.summary_path);
+    assert_eq!(hit.d(), 1);
+}
+
+fn db2_with_summary() -> Db {
+    let db = points_db(2000, 2);
+    db.execute("CREATE SUMMARY s2 ON pts (X1, X2) SHAPE full")
+        .unwrap();
+    db
+}
+
+#[test]
+fn grouped_summary_answers_group_by() {
+    let db = Db::new(3);
+    let rows: Vec<Vec<f64>> = (0..600)
+        .map(|i| vec![(i as f64) * 0.5, (i % 5) as f64])
+        .collect();
+    // X(i, X1, Y): group on Y.
+    db.load_points("pts", &rows, true).unwrap();
+    db.execute("CREATE SUMMARY g ON pts (X1) SHAPE diag GROUP BY Y")
+        .unwrap();
+
+    let q = "SELECT Y, count(*), avg(X1), nlq_list(1, 'diag', X1) FROM pts GROUP BY Y";
+    let with = db.execute(q).unwrap();
+    assert!(with.stats.summary_path, "{:?}", with.stats);
+    assert_eq!(with.len(), 5);
+
+    db.execute("DROP SUMMARY g").unwrap();
+    let without = db.execute(q).unwrap();
+    assert!(!without.stats.summary_path);
+    assert_eq!(with.len(), without.len());
+    for r in 0..with.len() {
+        assert_eq!(with.value(r, 0), without.value(r, 0));
+        assert_eq!(with.value(r, 1), without.value(r, 1));
+        let (a, b) = (with.f64(r, 2).unwrap(), without.f64(r, 2).unwrap());
+        assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+        let x = unpack_nlq(with.value(r, 3).as_str().unwrap()).unwrap();
+        let y = unpack_nlq(without.value(r, 3).as_str().unwrap()).unwrap();
+        assert_nlq_close(&x, &y, 1e-12);
+    }
+}
+
+#[test]
+fn summary_misses_fall_back_to_scan() {
+    let db = points_db(500, 2);
+    db.execute("CREATE SUMMARY s ON pts (X1)").unwrap();
+
+    // X2 is not summarized: structural mismatch, counted as a miss.
+    let rs = db.execute("SELECT avg(X2) FROM pts").unwrap();
+    assert!(!rs.stats.summary_path);
+    assert_eq!(rs.stats.summary_misses, 1);
+
+    // A WHERE predicate disqualifies the rewrite outright (no miss:
+    // the summary was never a candidate for a filtered scan).
+    let rs = db.execute("SELECT avg(X1) FROM pts WHERE X2 > 0").unwrap();
+    assert!(!rs.stats.summary_path);
+    assert_eq!(rs.stats.summary_misses, 0);
+
+    // A triangular summary cannot serve a full-shape nLQ request.
+    let rs = db
+        .execute("SELECT nlq_list(1, 'full', X1) FROM pts")
+        .unwrap();
+    assert!(!rs.stats.summary_path);
+    assert_eq!(rs.stats.summary_misses, 1);
+}
+
+#[test]
+fn null_rows_restrict_plain_aggregates_but_not_full_nlq() {
+    let db = Db::new(2);
+    db.execute("CREATE TABLE t (x FLOAT, y FLOAT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1.0, 2.0), (NULL, 3.0), (4.0, 5.0)")
+        .unwrap();
+    db.execute("CREATE SUMMARY s ON t (x, y)").unwrap();
+
+    // count(*) counts the NULL-bearing row; the summary's n does not —
+    // it must NOT answer (and the scan result must stay correct).
+    let rs = db.execute("SELECT count(*) FROM t").unwrap();
+    assert!(!rs.stats.summary_path);
+    assert_eq!(rs.value(0, 0), &nlq_storage::Value::Int(3));
+
+    // The full-width nLQ has the same row-skip rule as the summary,
+    // so it still hits.
+    let rs = db
+        .execute("SELECT nlq_list(2, 'triang', x, y) FROM t")
+        .unwrap();
+    assert!(rs.stats.summary_path);
+    let nlq = unpack_nlq(rs.value(0, 0).as_str().unwrap()).unwrap();
+    assert_eq!(nlq.n(), 2.0);
+
+    // A strict-subset projection would have a different skip set: miss.
+    let rs = db.execute("SELECT nlq_list(1, 'diag', y) FROM t").unwrap();
+    assert!(!rs.stats.summary_path);
+}
+
+#[test]
+fn summary_ddl_errors() {
+    let db = points_db(10, 2);
+    db.execute("CREATE SUMMARY s ON pts (X1)").unwrap();
+    assert!(db.execute("CREATE SUMMARY s ON pts (X2)").is_err()); // duplicate
+    assert!(db.execute("CREATE SUMMARY t ON nope (X1)").is_err()); // unknown table
+    assert!(db.execute("CREATE SUMMARY t ON pts (zzz)").is_err()); // unknown column
+    assert!(db.execute("CREATE SUMMARY t ON pts (i)").is_err()); // not float
+    assert!(db
+        .execute("CREATE SUMMARY t ON pts (X1) SHAPE oval")
+        .is_err());
+    assert!(db.execute("DROP SUMMARY nope").is_err());
+    db.execute("DROP SUMMARY s").unwrap();
+    assert!(db.summaries().is_empty());
+
+    // DROP TABLE takes its summaries with it.
+    db.execute("CREATE SUMMARY s ON pts (X1)").unwrap();
+    db.execute("DROP TABLE pts").unwrap();
+    assert!(db.summaries().is_empty());
+}
+
+#[test]
+fn update_marks_stale_and_rebuild_reflects_new_values() {
+    let db = points_db(100, 2);
+    db.execute("CREATE SUMMARY s ON pts (X1, X2)").unwrap();
+    db.execute("UPDATE pts SET X1 = X1 + 100.0 WHERE i <= 50")
+        .unwrap();
+    let entry = db.summaries().get("s").unwrap();
+    assert!(!entry.is_fresh());
+
+    let q = "SELECT nlq_list(2, 'triang', X1, X2) FROM pts";
+    let (rebuilt, stats) = unpack_cell(&db, q);
+    assert_eq!(stats.summary_stale_rebuilds, 1);
+    db.execute("DROP SUMMARY s").unwrap();
+    let (scan, _) = unpack_cell(&db, q);
+    assert_nlq_close(&rebuilt, &scan, 1e-12);
+}
+
+#[test]
+fn explain_states_block_fallback_reason() {
+    let db = points_db(100, 2);
+
+    let plan = plan_text(&db, "EXPLAIN SELECT X2, sum(X1) FROM pts GROUP BY X2");
+    assert!(
+        plan.contains("scan mode: row-at-a-time (GROUP BY requires row grouping)"),
+        "{plan}"
+    );
+
+    let plan = plan_text(&db, "EXPLAIN SELECT sum(X1) FROM pts WHERE X2 > 1");
+    assert!(
+        plan.contains("scan mode: row-at-a-time (1 residual predicate(s))"),
+        "{plan}"
+    );
+
+    let plan = plan_text(&db, "EXPLAIN SELECT sum(i) FROM pts");
+    assert!(
+        plan.contains(
+            "scan mode: row-at-a-time (aggregate arguments are not all float base-table columns)"
+        ),
+        "{plan}"
+    );
+
+    let mut db = points_db(100, 2);
+    db.set_block_scan(false);
+    let plan = plan_text(&db, "EXPLAIN SELECT sum(X1) FROM pts");
+    assert!(
+        plan.contains("scan mode: row-at-a-time (block scan disabled)"),
+        "{plan}"
+    );
+}

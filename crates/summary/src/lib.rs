@@ -1,0 +1,881 @@
+#![warn(missing_docs)]
+
+//! Materialized Γ summary store: catalog-registered, incrementally
+//! maintained `(n, L, Q)` sufficient statistics.
+//!
+//! The paper's central observation is that correlation, linear
+//! regression, PCA, and clustering all reduce to the additive
+//! statistics `n, L, Q` (Γ). Additivity means Γ never has to be
+//! recomputed from scratch: a [`SummaryStore`] keeps one materialized
+//! [`Nlq`] state per registered summary (optionally keyed by one
+//! GROUP BY column) and maintains it under DML:
+//!
+//! * `CREATE SUMMARY` computes the initial state with the existing
+//!   block scan, one partial aggregate-UDF state per partition merged
+//!   through the UDF **partial-merge phase** (§3.4 step 3);
+//! * `INSERT` folds the new rows into a *delta* state built with the
+//!   same UDF row-aggregation machinery and merges it in — O(batch)
+//!   work, no rescan;
+//! * `DELETE`/`UPDATE` mark the summary **stale** (sums are
+//!   subtractable but min/max are not, and predicates may touch
+//!   arbitrary rows), forcing a rebuild on the next read;
+//! * `DROP TABLE` drops the table's summaries.
+//!
+//! The state machine per summary is `fresh → stale → (rebuilt) fresh`.
+//! Readers (the engine's planner rewrite) answer eligible statistical
+//! queries from a fresh summary in O(d²) with no scan at all.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+use nlq_linalg::{Matrix, Vector};
+use nlq_models::{MatrixShape, Nlq};
+use nlq_storage::{DataType, Row, Schema, Table, Value};
+use nlq_udf::pack::unpack_nlq;
+use nlq_udf::{AggregateState, AggregateUdf, BatchArg, NlqUdf, ParamStyle};
+
+/// Errors raised by the summary store.
+#[derive(Debug)]
+pub enum SummaryError {
+    /// A summary with this name already exists.
+    DuplicateSummary(String),
+    /// No summary with this name exists.
+    UnknownSummary(String),
+    /// A summarized column does not exist in the table.
+    UnknownColumn {
+        /// The missing column.
+        column: String,
+        /// The table it was looked up in.
+        table: String,
+    },
+    /// A summarized column is not a float column.
+    NotFloat {
+        /// The offending column.
+        column: String,
+    },
+    /// A summary needs at least one column.
+    NoColumns,
+    /// Error from the storage layer while scanning.
+    Storage(nlq_storage::StorageError),
+    /// Error from the UDF machinery while building a state.
+    Udf(nlq_udf::UdfError),
+    /// Error from the model layer while assembling statistics.
+    Model(nlq_models::ModelError),
+}
+
+impl fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SummaryError::DuplicateSummary(n) => write!(f, "summary '{n}' already exists"),
+            SummaryError::UnknownSummary(n) => write!(f, "unknown summary '{n}'"),
+            SummaryError::UnknownColumn { column, table } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            SummaryError::NotFloat { column } => {
+                write!(f, "summary column '{column}' must be a float column")
+            }
+            SummaryError::NoColumns => write!(f, "a summary needs at least one column"),
+            SummaryError::Storage(e) => write!(f, "storage error: {e}"),
+            SummaryError::Udf(e) => write!(f, "udf error: {e}"),
+            SummaryError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
+impl From<nlq_storage::StorageError> for SummaryError {
+    fn from(e: nlq_storage::StorageError) -> Self {
+        SummaryError::Storage(e)
+    }
+}
+
+impl From<nlq_udf::UdfError> for SummaryError {
+    fn from(e: nlq_udf::UdfError) -> Self {
+        SummaryError::Udf(e)
+    }
+}
+
+impl From<nlq_models::ModelError> for SummaryError {
+    fn from(e: nlq_models::ModelError) -> Self {
+        SummaryError::Model(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SummaryError>;
+
+/// The definition of one registered summary (the DDL part of
+/// `CREATE SUMMARY s ON t (X1, ..., Xd) [SHAPE ...] [GROUP BY g]`).
+#[derive(Debug, Clone)]
+pub struct SummaryDef {
+    /// Summary name (stored lowercase; matching is case-insensitive).
+    pub name: String,
+    /// Base table name (lowercase).
+    pub table: String,
+    /// Summarized float columns, in declaration order.
+    pub columns: Vec<String>,
+    /// Shape of the maintained `Q` matrix.
+    pub shape: MatrixShape,
+    /// Optional single GROUP BY key column.
+    pub group_by: Option<String>,
+}
+
+impl SummaryDef {
+    /// Dimensionality of the summarized statistics.
+    pub fn d(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of `column` among the summarized columns
+    /// (case-insensitive), if present.
+    pub fn dim_of(&self, column: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(column))
+    }
+
+    /// Resolves the summarized columns (and the group key, if any)
+    /// against a table schema, validating existence and float type.
+    fn resolve(&self, schema: &Schema) -> Result<(Vec<usize>, Option<usize>)> {
+        if self.columns.is_empty() {
+            return Err(SummaryError::NoColumns);
+        }
+        let mut cols = Vec::with_capacity(self.columns.len());
+        for c in &self.columns {
+            let idx = schema
+                .index_of(c)
+                .ok_or_else(|| SummaryError::UnknownColumn {
+                    column: c.clone(),
+                    table: self.table.clone(),
+                })?;
+            if schema.column(idx).ty != DataType::Float {
+                return Err(SummaryError::NotFloat { column: c.clone() });
+            }
+            cols.push(idx);
+        }
+        let group = match &self.group_by {
+            None => None,
+            Some(g) => Some(
+                schema
+                    .index_of(g)
+                    .ok_or_else(|| SummaryError::UnknownColumn {
+                        column: g.clone(),
+                        table: self.table.clone(),
+                    })?,
+            ),
+        };
+        Ok((cols, group))
+    }
+}
+
+/// The materialized statistics of one summary.
+#[derive(Debug, Clone)]
+pub enum SummaryData {
+    /// One global Γ state (no GROUP BY).
+    Global(Nlq),
+    /// One Γ state per group-key value. Keys follow SQL grouping
+    /// semantics (NULLs form one group); the list is small in practice
+    /// so lookup is a linear scan with [`Value::group_eq`].
+    Grouped(Vec<(Value, Nlq)>),
+}
+
+/// A point-in-time copy of a summary's maintained state, safe to use
+/// outside the store's locks.
+#[derive(Debug, Clone)]
+pub struct SummarySnapshot {
+    /// The summary definition.
+    pub def: SummaryDef,
+    /// The materialized statistics.
+    pub data: SummaryData,
+    /// Rows the builder dropped because a summarized coordinate was
+    /// NULL (the `nlq` UDF's row-skip rule). Non-zero means the
+    /// summary's `n`/`L`/`Q` cover a strict subset of the table's
+    /// rows, which restricts which plain aggregates it may answer.
+    pub null_rows_skipped: u64,
+    /// Whether the state reflects the current table contents.
+    pub fresh: bool,
+}
+
+/// Mutable maintained state behind each entry's lock.
+#[derive(Debug)]
+struct SummaryContent {
+    data: SummaryData,
+    null_rows_skipped: u64,
+    fresh: bool,
+}
+
+/// One registered summary: immutable definition plus lock-protected
+/// maintained state.
+#[derive(Debug)]
+pub struct SummaryEntry {
+    def: SummaryDef,
+    content: RwLock<SummaryContent>,
+}
+
+impl SummaryEntry {
+    /// The summary definition.
+    pub fn def(&self) -> &SummaryDef {
+        &self.def
+    }
+
+    /// Whether the maintained state is fresh.
+    pub fn is_fresh(&self) -> bool {
+        self.content.read().expect("summary lock").fresh
+    }
+
+    /// Copies the maintained state out of the lock.
+    pub fn snapshot(&self) -> SummarySnapshot {
+        let c = self.content.read().expect("summary lock");
+        SummarySnapshot {
+            def: self.def.clone(),
+            data: c.data.clone(),
+            null_rows_skipped: c.null_rows_skipped,
+            fresh: c.fresh,
+        }
+    }
+
+    /// Recomputes the state from the table (the stale → fresh edge).
+    pub fn rebuild(&self, table: &Table) -> Result<()> {
+        let content = build_content(&self.def, table)?;
+        *self.content.write().expect("summary lock") = content;
+        Ok(())
+    }
+
+    /// Marks the state stale (the fresh → stale edge).
+    pub fn mark_stale(&self) {
+        self.content.write().expect("summary lock").fresh = false;
+    }
+
+    /// Folds a batch of freshly inserted rows into the maintained
+    /// state: builds a delta state with the `nlq` UDF machinery and
+    /// merges it in. A stale summary stays stale (the delta would be
+    /// merged into an already-wrong base); any error also degrades to
+    /// stale rather than failing the caller's INSERT.
+    fn fold_rows(&self, schema: &Schema, rows: &[Row]) {
+        let mut c = self.content.write().expect("summary lock");
+        if !c.fresh {
+            return;
+        }
+        match fold_delta(&self.def, schema, rows, &mut c) {
+            Ok(()) => {}
+            Err(_) => c.fresh = false,
+        }
+    }
+}
+
+/// The catalog of registered summaries, keyed by lowercase name.
+///
+/// Interior mutability mirrors the engine's table catalog: readers
+/// executing queries hold `&SummaryStore` yet may trigger a
+/// stale-summary rebuild.
+#[derive(Debug, Default)]
+pub struct SummaryStore {
+    map: RwLock<HashMap<String, Arc<SummaryEntry>>>,
+}
+
+impl SummaryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SummaryStore::default()
+    }
+
+    /// Registers a summary and computes its initial state from the
+    /// table via the block scan + UDF merge phase.
+    pub fn create(&self, def: SummaryDef, table: &Table) -> Result<()> {
+        let key = def.name.to_ascii_lowercase();
+        // Validate and build before taking the write lock; the build
+        // is the expensive part.
+        let content = build_content(&def, table)?;
+        let mut map = self.map.write().expect("summary store lock");
+        if map.contains_key(&key) {
+            return Err(SummaryError::DuplicateSummary(def.name));
+        }
+        map.insert(
+            key,
+            Arc::new(SummaryEntry {
+                def,
+                content: RwLock::new(content),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Looks a summary up by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<Arc<SummaryEntry>> {
+        self.map
+            .read()
+            .expect("summary store lock")
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Removes a summary by name.
+    pub fn remove(&self, name: &str) -> Result<()> {
+        self.map
+            .write()
+            .expect("summary store lock")
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| SummaryError::UnknownSummary(name.to_owned()))
+    }
+
+    /// All summaries registered on `table`, in name order (name order
+    /// keeps planner choices deterministic).
+    pub fn for_table(&self, table: &str) -> Vec<Arc<SummaryEntry>> {
+        let table = table.to_ascii_lowercase();
+        let map = self.map.read().expect("summary store lock");
+        let mut v: Vec<_> = map
+            .values()
+            .filter(|e| e.def.table == table)
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| a.def.name.cmp(&b.def.name));
+        v
+    }
+
+    /// Whether any summary is registered on `table`.
+    pub fn has_any_for_table(&self, table: &str) -> bool {
+        let table = table.to_ascii_lowercase();
+        self.map
+            .read()
+            .expect("summary store lock")
+            .values()
+            .any(|e| e.def.table == table)
+    }
+
+    /// Marks every summary on `table` stale (DELETE/UPDATE hook).
+    pub fn mark_stale_for_table(&self, table: &str) {
+        for e in self.for_table(table) {
+            e.mark_stale();
+        }
+    }
+
+    /// Drops every summary on `table` (DROP TABLE hook).
+    pub fn drop_for_table(&self, table: &str) {
+        let table = table.to_ascii_lowercase();
+        self.map
+            .write()
+            .expect("summary store lock")
+            .retain(|_, e| e.def.table != table);
+    }
+
+    /// Folds freshly inserted rows into every fresh summary on
+    /// `table` (INSERT hook). Never fails: a summary that cannot
+    /// absorb the delta is marked stale instead.
+    pub fn fold_rows(&self, table: &str, schema: &Schema, rows: &[Row]) {
+        for e in self.for_table(table) {
+            e.fold_rows(schema, rows);
+        }
+    }
+
+    /// `(name, table, fresh)` for every registered summary, name-sorted.
+    pub fn list(&self) -> Vec<(String, String, bool)> {
+        let map = self.map.read().expect("summary store lock");
+        let mut v: Vec<_> = map
+            .values()
+            .map(|e| (e.def.name.clone(), e.def.table.clone(), e.is_fresh()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered summaries.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("summary store lock").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Whether a summary maintaining `have` can answer a query asking for
+/// `want`: full covers everything, triangular covers triangular and
+/// diagonal, diagonal only itself.
+pub fn shape_covers(have: MatrixShape, want: MatrixShape) -> bool {
+    match have {
+        MatrixShape::Full => true,
+        MatrixShape::Triangular => want != MatrixShape::Full,
+        MatrixShape::Diagonal => want == MatrixShape::Diagonal,
+    }
+}
+
+/// Projects a maintained Γ state onto the query's dimensions `dims`
+/// (indices into the summary's column list, in query order), re-packed
+/// in the query's `shape`. Valid only under [`shape_covers`] and, when
+/// `dims` is a strict subset, only if the summary skipped no NULL rows
+/// (the caller checks both).
+pub fn project_nlq(nlq: &Nlq, dims: &[usize], shape: MatrixShape) -> Result<Nlq> {
+    let d = dims.len();
+    let q_src = nlq.q_full();
+    let mut l = Vector::zeros(d);
+    let mut q = Matrix::zeros(d, d);
+    let mut min = vec![0.0; d];
+    let mut max = vec![0.0; d];
+    for (a, &sa) in dims.iter().enumerate() {
+        l[a] = nlq.l()[sa];
+        min[a] = nlq.min()[sa];
+        max[a] = nlq.max()[sa];
+        for (b, &sb) in dims.iter().enumerate() {
+            let keep = match shape {
+                MatrixShape::Diagonal => a == b,
+                MatrixShape::Triangular => b <= a,
+                MatrixShape::Full => true,
+            };
+            if keep {
+                q[(a, b)] = q_src[(sa, sb)];
+            }
+        }
+    }
+    Ok(Nlq::from_parts(shape, nlq.n(), l, q, min, max)?)
+}
+
+/// Builds the initial (or rebuilt) state for a definition.
+fn build_content(def: &SummaryDef, table: &Table) -> Result<SummaryContent> {
+    let (cols, group) = def.resolve(table.schema())?;
+    match group {
+        None => build_global(def, table, &cols),
+        Some(g) => build_grouped(def, table, &cols, g),
+    }
+}
+
+/// Ungrouped build: the existing vectorized block scan feeds one
+/// partial `nlq_list` UDF state per partition; partials are combined
+/// with the UDF merge phase and unpacked into the stored [`Nlq`].
+fn build_global(def: &SummaryDef, table: &Table, cols: &[usize]) -> Result<SummaryContent> {
+    let d = cols.len();
+    let udf = NlqUdf::new(ParamStyle::List);
+    let mut args: Vec<BatchArg> = Vec::with_capacity(d + 2);
+    args.push(BatchArg::Const(Value::Int(d as i64)));
+    args.push(BatchArg::Const(Value::from(def.shape.name())));
+    args.extend((0..d).map(BatchArg::Col));
+
+    let mut master = udf.init();
+    let mut skipped = 0u64;
+    for p in 0..table.partition_count() {
+        let mut state = udf.init();
+        let mut blocks = table.scan_partition_blocks(p, cols)?;
+        while let Some(block) = blocks.next_block() {
+            let block = block?;
+            state.accumulate_batch(block, &args)?;
+            skipped += rows_with_null(block, d);
+        }
+        master.merge(state.as_ref())?;
+    }
+    let nlq = match master.finalize()? {
+        // NULL: no row survived; keep an explicit empty state.
+        Value::Null => Nlq::new(d, def.shape),
+        Value::Str(packed) => unpack_nlq(&packed)?,
+        other => {
+            return Err(SummaryError::Udf(nlq_udf::UdfError::InvalidArgument {
+                udf: "nlq_list".into(),
+                message: format!("unexpected finalize result {other:?}"),
+            }))
+        }
+    };
+    Ok(SummaryContent {
+        data: SummaryData::Global(nlq),
+        null_rows_skipped: skipped,
+        fresh: true,
+    })
+}
+
+/// Rows of `block` with at least one NULL among its first `d` columns
+/// — exactly the rows the `nlq` UDF skips.
+fn rows_with_null(block: &nlq_storage::ColumnBlock, d: usize) -> u64 {
+    if (0..d).all(|c| block.column(c).is_dense()) {
+        return 0;
+    }
+    let mut skipped = 0u64;
+    for i in 0..block.len() {
+        if (0..d).any(|c| block.column(c).nulls[i]) {
+            skipped += 1;
+        }
+    }
+    skipped
+}
+
+/// Grouped build: a row scan partitions the statistics by the group
+/// key (SQL semantics: NULL keys form one group); rows with a NULL
+/// coordinate are skipped but still establish their group, matching
+/// `SELECT g, nlq_list(...) FROM t GROUP BY g`.
+fn build_grouped(
+    def: &SummaryDef,
+    table: &Table,
+    cols: &[usize],
+    g: usize,
+) -> Result<SummaryContent> {
+    let d = cols.len();
+    let mut groups: Vec<(Value, Nlq)> = Vec::new();
+    let mut skipped = 0u64;
+    let mut coords = vec![0.0f64; d];
+    for row in table.scan_all() {
+        let row = row?;
+        let slot = group_slot(&mut groups, &row[g], d, def.shape);
+        let mut any_null = false;
+        for (k, &c) in cols.iter().enumerate() {
+            match row[c].as_f64() {
+                Some(v) => coords[k] = v,
+                None => {
+                    any_null = true;
+                    break;
+                }
+            }
+        }
+        if any_null {
+            skipped += 1;
+        } else {
+            groups[slot].1.update(&coords);
+        }
+    }
+    Ok(SummaryContent {
+        data: SummaryData::Grouped(groups),
+        null_rows_skipped: skipped,
+        fresh: true,
+    })
+}
+
+/// Finds (or creates) the group entry for `key`.
+fn group_slot(groups: &mut Vec<(Value, Nlq)>, key: &Value, d: usize, shape: MatrixShape) -> usize {
+    if let Some(i) = groups.iter().position(|(k, _)| k.group_eq(key)) {
+        return i;
+    }
+    groups.push((key.clone(), Nlq::new(d, shape)));
+    groups.len() - 1
+}
+
+/// Folds an INSERT batch into fresh content: a delta state is built
+/// per group with the `nlq_list` UDF row-aggregation phase, finalized,
+/// unpacked, and merged into the maintained Γ (additivity of n, L, Q).
+fn fold_delta(
+    def: &SummaryDef,
+    schema: &Schema,
+    rows: &[Row],
+    content: &mut SummaryContent,
+) -> Result<()> {
+    let (cols, group) = def.resolve(schema)?;
+    let d = cols.len();
+    let udf = NlqUdf::new(ParamStyle::List);
+
+    // One delta UDF state per group key (a single anonymous group for
+    // the ungrouped case).
+    let mut deltas: Vec<(Value, Box<dyn AggregateState>)> = Vec::new();
+    let mut args: Vec<Value> = Vec::with_capacity(d + 2);
+    for row in rows {
+        let key = match group {
+            Some(g) => row[g].clone(),
+            None => Value::Null,
+        };
+        let slot = match deltas.iter().position(|(k, _)| k.group_eq(&key)) {
+            Some(i) => i,
+            None => {
+                deltas.push((key, udf.init()));
+                deltas.len() - 1
+            }
+        };
+        args.clear();
+        args.push(Value::Int(d as i64));
+        args.push(Value::from(def.shape.name()));
+        let mut any_null = false;
+        for &c in &cols {
+            if row[c].is_null() {
+                any_null = true;
+            }
+            args.push(match row[c].as_f64() {
+                Some(v) => Value::Float(v),
+                None => Value::Null,
+            });
+        }
+        if any_null {
+            content.null_rows_skipped += 1;
+        }
+        // The UDF state applies the same NULL-row skip itself; feeding
+        // it every row keeps this path byte-identical to a real
+        // `nlq_list` aggregation over the batch.
+        deltas[slot].1.accumulate(&args)?;
+    }
+
+    for (key, state) in deltas {
+        let delta = match state.finalize()? {
+            Value::Null => continue, // all rows of this group were skipped
+            Value::Str(packed) => unpack_nlq(&packed)?,
+            other => {
+                return Err(SummaryError::Udf(nlq_udf::UdfError::InvalidArgument {
+                    udf: "nlq_list".into(),
+                    message: format!("unexpected finalize result {other:?}"),
+                }))
+            }
+        };
+        match &mut content.data {
+            SummaryData::Global(nlq) => nlq.merge(&delta),
+            SummaryData::Grouped(groups) => {
+                let slot = group_slot(groups, &key, d, def.shape);
+                groups[slot].1.merge(&delta);
+            }
+        }
+    }
+
+    // Skipped rows must still establish their group, as the grouped
+    // build does.
+    if let (SummaryData::Grouped(groups), Some(g)) = (&mut content.data, group) {
+        for row in rows {
+            group_slot(groups, &row[g], d, def.shape);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def(name: &str, cols: &[&str], shape: MatrixShape, group: Option<&str>) -> SummaryDef {
+        SummaryDef {
+            name: name.into(),
+            table: "x".into(),
+            columns: cols.iter().map(|c| (*c).to_owned()).collect(),
+            shape,
+            group_by: group.map(str::to_owned),
+        }
+    }
+
+    fn points_table(rows: &[Vec<f64>], partitions: usize) -> Table {
+        let d = rows[0].len();
+        let mut t = Table::new(Schema::points(d, false), partitions);
+        for (i, r) in rows.iter().enumerate() {
+            let mut row = vec![Value::Int(i as i64 + 1)];
+            row.extend(r.iter().map(|&v| Value::Float(v)));
+            t.insert(row).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn create_matches_direct_scan() {
+        let rows: Vec<Vec<f64>> = (0..97)
+            .map(|i| vec![i as f64, (i * i) as f64 * 0.25])
+            .collect();
+        let t = points_table(&rows, 4);
+        let store = SummaryStore::new();
+        store
+            .create(def("s", &["X1", "X2"], MatrixShape::Triangular, None), &t)
+            .unwrap();
+        let snap = store.get("S").expect("case-insensitive lookup").snapshot();
+        let SummaryData::Global(nlq) = &snap.data else {
+            panic!("expected global data");
+        };
+        let expect = Nlq::from_rows(2, MatrixShape::Triangular, &rows);
+        assert_eq!(nlq.n(), expect.n());
+        for a in 0..2 {
+            assert!((nlq.l()[a] - expect.l()[a]).abs() <= 1e-9 * expect.l()[a].abs());
+            for b in 0..=a {
+                assert!(
+                    (nlq.q_raw()[(a, b)] - expect.q_raw()[(a, b)]).abs()
+                        <= 1e-9 * expect.q_raw()[(a, b)].abs()
+                );
+            }
+        }
+        assert!(snap.fresh);
+        assert_eq!(snap.null_rows_skipped, 0);
+    }
+
+    #[test]
+    fn fold_equals_rebuild() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, -0.5 * i as f64]).collect();
+        let mut t = points_table(&rows, 3);
+        let store = SummaryStore::new();
+        store
+            .create(def("s", &["X1", "X2"], MatrixShape::Full, None), &t)
+            .unwrap();
+
+        // Insert a batch through both the table and the fold hook.
+        let batch: Vec<Row> = (50..70)
+            .map(|i| {
+                vec![
+                    Value::Int(i + 1),
+                    Value::Float(i as f64),
+                    Value::Float(1.0 + i as f64),
+                ]
+            })
+            .collect();
+        for r in &batch {
+            t.insert(r.clone()).unwrap();
+        }
+        store.fold_rows("x", t.schema(), &batch);
+
+        let entry = store.get("s").unwrap();
+        assert!(entry.is_fresh());
+        let folded = entry.snapshot();
+        entry.rebuild(&t).unwrap();
+        let rebuilt = entry.snapshot();
+        let (SummaryData::Global(a), SummaryData::Global(b)) = (&folded.data, &rebuilt.data) else {
+            panic!("expected global data");
+        };
+        assert_eq!(a.n(), b.n());
+        for i in 0..2 {
+            for j in 0..2 {
+                let (x, y) = (a.q_raw()[(i, j)], b.q_raw()[(i, j)]);
+                assert!((x - y).abs() <= 1e-12 * y.abs().max(1.0), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn null_rows_are_counted_and_skipped() {
+        let mut t = Table::new(Schema::points(2, false), 2);
+        t.insert(vec![Value::Int(1), Value::Float(1.0), Value::Float(2.0)])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Null, Value::Float(3.0)])
+            .unwrap();
+        t.insert(vec![Value::Int(3), Value::Float(5.0), Value::Null])
+            .unwrap();
+        let store = SummaryStore::new();
+        store
+            .create(def("s", &["X1", "X2"], MatrixShape::Triangular, None), &t)
+            .unwrap();
+        let snap = store.get("s").unwrap().snapshot();
+        assert_eq!(snap.null_rows_skipped, 2);
+        let SummaryData::Global(nlq) = &snap.data else {
+            panic!()
+        };
+        assert_eq!(nlq.n(), 1.0);
+    }
+
+    #[test]
+    fn grouped_build_and_fold() {
+        let mut t = Table::new(Schema::points(1, true), 1);
+        // X(i, X1, Y): group on Y in {0, 1}.
+        for i in 0..10i64 {
+            t.insert(vec![
+                Value::Int(i + 1),
+                Value::Float(i as f64),
+                Value::Float((i % 2) as f64),
+            ])
+            .unwrap();
+        }
+        let store = SummaryStore::new();
+        store
+            .create(def("g", &["X1"], MatrixShape::Diagonal, Some("Y")), &t)
+            .unwrap();
+        let snap = store.get("g").unwrap().snapshot();
+        let SummaryData::Grouped(groups) = &snap.data else {
+            panic!()
+        };
+        assert_eq!(groups.len(), 2);
+        for (k, nlq) in groups {
+            assert_eq!(nlq.n(), 5.0, "group {k:?}");
+        }
+
+        // Fold three rows into group 0 and one into a new group 2.
+        let batch: Vec<Row> = vec![
+            vec![Value::Int(11), Value::Float(100.0), Value::Float(0.0)],
+            vec![Value::Int(12), Value::Float(101.0), Value::Float(0.0)],
+            vec![Value::Int(13), Value::Float(102.0), Value::Float(0.0)],
+            vec![Value::Int(14), Value::Float(7.0), Value::Float(2.0)],
+        ];
+        store.fold_rows("x", t.schema(), &batch);
+        let snap = store.get("g").unwrap().snapshot();
+        let SummaryData::Grouped(groups) = &snap.data else {
+            panic!()
+        };
+        assert_eq!(groups.len(), 3);
+        let g0 = groups
+            .iter()
+            .find(|(k, _)| k.group_eq(&Value::Float(0.0)))
+            .unwrap();
+        assert_eq!(g0.1.n(), 8.0);
+    }
+
+    #[test]
+    fn staleness_lifecycle() {
+        let t = points_table(&[vec![1.0], vec![2.0]], 1);
+        let store = SummaryStore::new();
+        store
+            .create(def("s", &["X1"], MatrixShape::Diagonal, None), &t)
+            .unwrap();
+        let entry = store.get("s").unwrap();
+        assert!(entry.is_fresh());
+        store.mark_stale_for_table("x");
+        assert!(!entry.is_fresh());
+        // Stale summaries ignore folds (the base is already wrong).
+        store.fold_rows("x", t.schema(), &[vec![Value::Int(3), Value::Float(9.0)]]);
+        assert!(!entry.is_fresh());
+        entry.rebuild(&t).unwrap();
+        assert!(entry.is_fresh());
+        let SummaryData::Global(nlq) = entry.snapshot().data else {
+            panic!()
+        };
+        assert_eq!(nlq.n(), 2.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let t = points_table(&[vec![1.0]], 1);
+        let store = SummaryStore::new();
+        assert!(matches!(
+            store.create(def("s", &["nope"], MatrixShape::Diagonal, None), &t),
+            Err(SummaryError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            store.create(def("s", &["i"], MatrixShape::Diagonal, None), &t),
+            Err(SummaryError::NotFloat { .. })
+        ));
+        assert!(matches!(
+            store.create(def("s", &[], MatrixShape::Diagonal, None), &t),
+            Err(SummaryError::NoColumns)
+        ));
+        store
+            .create(def("s", &["X1"], MatrixShape::Diagonal, None), &t)
+            .unwrap();
+        assert!(matches!(
+            store.create(def("S", &["X1"], MatrixShape::Diagonal, None), &t),
+            Err(SummaryError::DuplicateSummary(_))
+        ));
+        assert!(matches!(
+            store.remove("zzz"),
+            Err(SummaryError::UnknownSummary(_))
+        ));
+        store.remove("S").unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn projection_extracts_sub_gamma() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, 2.0 * i as f64, 3.0 + i as f64])
+            .collect();
+        let full = Nlq::from_rows(3, MatrixShape::Full, &rows);
+        // Project onto (X3, X1) as a triangular state.
+        let sub = project_nlq(&full, &[2, 0], MatrixShape::Triangular).unwrap();
+        let expect = Nlq::from_rows(
+            2,
+            MatrixShape::Triangular,
+            &rows.iter().map(|r| vec![r[2], r[0]]).collect::<Vec<_>>(),
+        );
+        assert_eq!(sub.n(), expect.n());
+        for a in 0..2 {
+            assert!((sub.l()[a] - expect.l()[a]).abs() < 1e-9);
+            for b in 0..2 {
+                assert!((sub.q_raw()[(a, b)] - expect.q_raw()[(a, b)]).abs() < 1e-9);
+            }
+        }
+        assert_eq!(sub.min()[0], 3.0);
+        assert_eq!(sub.max()[1], 19.0);
+    }
+
+    #[test]
+    fn shape_cover_matrix() {
+        use MatrixShape::*;
+        assert!(shape_covers(Full, Full));
+        assert!(shape_covers(Full, Triangular));
+        assert!(shape_covers(Full, Diagonal));
+        assert!(!shape_covers(Triangular, Full));
+        assert!(shape_covers(Triangular, Triangular));
+        assert!(shape_covers(Triangular, Diagonal));
+        assert!(!shape_covers(Diagonal, Triangular));
+        assert!(shape_covers(Diagonal, Diagonal));
+    }
+}

@@ -101,6 +101,101 @@ fn partial_merges_match_any_split() {
     });
 }
 
+/// The summary store's maintenance invariant: folding partition and
+/// delta states into a summary in *any* merge order and grouping must
+/// reproduce the single-scan state — including NULL-bearing rows
+/// (skipped identically everywhere) and empty partitions (identity
+/// elements for merge).
+#[test]
+fn merge_any_order_and_grouping_matches_single_scan() {
+    run_cases(64, 0xadf5, |rng| {
+        let d = rng.range_usize(1, 6);
+        let n = rng.range_usize(0, 60);
+        // Rows as SQL values; ~1 in 8 coordinates is NULL, which must
+        // drop the whole row from the statistics.
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        if rng.chance(0.125) {
+                            Value::Null
+                        } else {
+                            Value::Float(rng.range_f64(-1e3, 1e3))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let shape = ["diag", "triang", "full"][rng.range_usize(0, 2)];
+        let udf = NlqUdf::new(ParamStyle::List);
+        let args_for = |r: &[Value]| {
+            let mut a = vec![Value::Int(d as i64), Value::from(shape)];
+            a.extend(r.iter().cloned());
+            a
+        };
+
+        // Reference: one state, one scan.
+        let mut single = udf.init();
+        for r in &rows {
+            single.accumulate(&args_for(r)).unwrap();
+        }
+        let want_value = single.finalize().unwrap();
+
+        // Scatter rows across partitions (some end up empty), then add
+        // a couple of guaranteed-empty delta states.
+        let parts = rng.range_usize(1, 8);
+        let mut states: Vec<_> = (0..parts + 2).map(|_| udf.init()).collect();
+        for r in &rows {
+            let p = rng.range_usize(0, parts - 1);
+            states[p].accumulate(&args_for(r)).unwrap();
+        }
+
+        // Random merge tree: any pair, either direction, until one
+        // state remains. This covers arbitrary order *and* grouping.
+        while states.len() > 1 {
+            let i = rng.range_usize(0, states.len() - 1);
+            let mut a = states.swap_remove(i);
+            let j = rng.range_usize(0, states.len() - 1);
+            let b = states.swap_remove(j);
+            a.merge(b.as_ref()).unwrap();
+            states.push(a);
+        }
+        let merged = states.pop().unwrap().finalize().unwrap();
+        if want_value.is_null() {
+            // All rows NULL-skipped (or n = 0): both sides agree on
+            // the empty state.
+            assert!(merged.is_null(), "empty merge finalized {merged:?}");
+            return;
+        }
+        let want = unpack_nlq(want_value.as_str().unwrap()).unwrap();
+        let got = unpack_nlq(merged.as_str().unwrap()).unwrap();
+
+        // "Within 1e-12": relative to the accumulated L1 mass of each
+        // entry, the correct scale for reassociated sums.
+        let kept: Vec<Vec<f64>> = rows
+            .iter()
+            .filter(|r| r.iter().all(|v| !v.is_null()))
+            .map(|r| r.iter().map(|v| v.as_f64().unwrap()).collect())
+            .collect();
+        let close12 = |a: f64, b: f64, mass: f64| (a - b).abs() <= 1e-12 * (1.0 + mass);
+        assert_eq!(got.n(), want.n());
+        assert_eq!(got.d(), want.d());
+        for a in 0..d {
+            let mass_l: f64 = kept.iter().map(|r| r[a].abs()).sum();
+            assert!(close12(got.l()[a], want.l()[a], mass_l), "L[{a}]");
+            assert_eq!(got.min()[a], want.min()[a], "min[{a}] is merge-exact");
+            assert_eq!(got.max()[a], want.max()[a], "max[{a}] is merge-exact");
+            for b in 0..d {
+                let mass_q: f64 = kept.iter().map(|r| (r[a] * r[b]).abs()).sum();
+                assert!(
+                    close12(got.q_raw()[(a, b)], want.q_raw()[(a, b)], mass_q),
+                    "shape {shape} Q[{a}][{b}]"
+                );
+            }
+        }
+    });
+}
+
 #[test]
 fn scoring_udfs_match_pure_functions() {
     run_cases(48, 0xadf3, |rng| {
