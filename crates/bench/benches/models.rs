@@ -110,7 +110,7 @@ fn bench_row_vs_block_scan() {
         let rows = mixture_data(n, d, 0xc206 + d as u64);
         let names = col_names(d);
         let cols: Vec<&str> = names.iter().map(String::as_str).collect();
-        let mut db = db_with_points(4, &rows, false);
+        let db = db_with_points(4, &rows, false);
         drop(rows);
         for (mode, on) in [("row", false), ("block", true)] {
             db.set_block_scan(on);

@@ -1,0 +1,196 @@
+//! Network service benchmark: queries/second through `nlq-server` for
+//! the paper's two hot request shapes — scoring a data set with a
+//! scalar UDF, and answering the Γ aggregate from a materialized
+//! summary (no scan) — measured end-to-end over loopback TCP with
+//! concurrent client connections. Emits `BENCH_server.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! server_bench [--out PATH] [--smoke] [--clients C] [--queries Q]
+//! ```
+//!
+//! `--smoke` shrinks the data set and query counts so CI can run the
+//! binary end-to-end in about a second.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use nlq_bench::mixture_data;
+use nlq_client::Client;
+use nlq_engine::Db;
+use nlq_linalg::Vector;
+use nlq_server::{serve, ServerConfig};
+
+struct Measurement {
+    workload: &'static str,
+    clients: usize,
+    queries: usize,
+    secs: f64,
+    qps: f64,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_server.json");
+    let mut smoke = false;
+    let mut clients = 8usize;
+    let mut queries = 0usize; // 0 = pick per mode
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            "--clients" => {
+                clients = args
+                    .next()
+                    .expect("--clients needs a count")
+                    .parse()
+                    .expect("--clients count")
+            }
+            "--queries" => {
+                queries = args
+                    .next()
+                    .expect("--queries needs a count")
+                    .parse()
+                    .expect("--queries count")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let (n, d) = if smoke { (2_000, 4) } else { (100_000, 8) };
+    let per_client = if queries > 0 {
+        queries
+    } else if smoke {
+        10
+    } else {
+        100
+    };
+
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let db = Arc::new(Db::new(workers));
+    let rows = mixture_data(n, d, 0x5e12);
+    db.load_points("X", &rows, false).expect("load");
+    let cols = (1..=d).map(|a| format!("X{a}")).collect::<Vec<_>>();
+    db.execute(&format!(
+        "CREATE SUMMARY bench_s ON X ({}) SHAPE triang",
+        cols.join(", ")
+    ))
+    .expect("create summary");
+    let beta = Vector::from_vec((0..d).map(|a| 0.25 * (a as f64 + 1.0)).collect());
+    db.register_beta("BETA", 1.0, &beta).expect("register beta");
+
+    let mut handle = serve(
+        Arc::clone(&db),
+        ServerConfig {
+            workers,
+            max_connections: clients + 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    eprintln!("serving on {addr} (n={n}, d={d}, {clients} clients, {per_client} queries each)");
+
+    let xs: Vec<String> = cols.iter().map(|c| format!("x.{c}")).collect();
+    let bs: Vec<String> = (1..=d).map(|a| format!("b.b{a}")).collect();
+    // LIMIT keeps the response transfer bounded so the measurement
+    // tracks request throughput, not result-set streaming volume.
+    let scoring_sql = format!(
+        "SELECT x.i, linearregscore({}, b.b0, {}) FROM X x CROSS JOIN BETA b LIMIT 256",
+        xs.join(", "),
+        bs.join(", ")
+    );
+    let summary_sql = format!("SELECT nlq_list({d}, 'triang', {}) FROM X", cols.join(", "));
+
+    let mut results = Vec::new();
+    for (workload, sql, expect_summary) in [
+        ("scoring_udf", &scoring_sql, false),
+        ("summary_hit", &summary_sql, true),
+    ] {
+        eprintln!("measuring {workload} ...");
+        results.push(measure(
+            addr,
+            workload,
+            sql,
+            expect_summary,
+            clients,
+            per_client,
+        ));
+    }
+    handle.shutdown();
+
+    let json = render_json(workers, smoke, n, d, &results);
+    std::fs::write(&out_path, &json).expect("write BENCH_server.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
+fn measure(
+    addr: std::net::SocketAddr,
+    workload: &'static str,
+    sql: &str,
+    expect_summary: bool,
+    clients: usize,
+    per_client: usize,
+) -> Measurement {
+    // Warm up one connection (first-touch costs: page cache, summary
+    // freshness check) before timing the fleet.
+    {
+        let mut c = Client::connect(addr).expect("warmup connect");
+        let rs = c.execute(sql).expect("warmup query");
+        assert_eq!(rs.stats.summary_path, expect_summary, "{workload}");
+    }
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let sql = sql.to_owned();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("client connect");
+                for _ in 0..per_client {
+                    let rs = c.execute(&sql).expect("bench query");
+                    assert!(!rs.rows.is_empty());
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("bench client");
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let queries = clients * per_client;
+    Measurement {
+        workload,
+        clients,
+        queries,
+        secs,
+        qps: queries as f64 / secs,
+    }
+}
+
+fn render_json(workers: usize, smoke: bool, n: usize, d: usize, results: &[Measurement]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"server_qps\",");
+    let _ = writeln!(
+        s,
+        "  \"transport\": \"loopback tcp, length-prefixed frames\","
+    );
+    let _ = writeln!(s, "  \"workers\": {workers},");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    let _ = writeln!(s, "  \"n\": {n},");
+    let _ = writeln!(s, "  \"d\": {d},");
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, m) in results.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"workload\": \"{}\",", m.workload);
+        let _ = writeln!(s, "      \"clients\": {},", m.clients);
+        let _ = writeln!(s, "      \"queries\": {},", m.queries);
+        let _ = writeln!(s, "      \"total_secs\": {:.9},", m.secs);
+        let _ = writeln!(s, "      \"queries_per_sec\": {:.3}", m.qps);
+        let _ = writeln!(s, "    }}{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    s.push('}');
+    s.push('\n');
+    s
+}

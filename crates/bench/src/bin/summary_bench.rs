@@ -72,7 +72,7 @@ fn main() {
 
 fn measure(n: usize, d: usize, workers: usize, repeat: usize) -> Measurement {
     let rows = mixture_data(n, d, 0xbe5c + d as u64);
-    let mut db = Db::new(workers);
+    let db = Db::new(workers);
     db.load_points("X", &rows, false).expect("load");
     let cols = (1..=d).map(|a| format!("X{a}")).collect::<Vec<_>>();
     let sql = format!("SELECT nlq_list({d}, 'triang', {}) FROM X", cols.join(", "));

@@ -1,0 +1,118 @@
+//! Scripted end-to-end smoke session against a running `nlq-server`,
+//! used by CI: load → CREATE SUMMARY → summary-hit aggregate → scoring
+//! UDF query → METRICS → SHUTDOWN. Exits nonzero on the first
+//! mismatch.
+//!
+//! ```text
+//! server_smoke --addr HOST:PORT [--skip-shutdown]
+//! ```
+
+use std::process::ExitCode;
+
+use nlq_client::Client;
+
+fn run(addr: &str, skip_shutdown: bool) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    c.ping().map_err(|e| format!("ping: {e}"))?;
+    println!("session {} established", c.session_id());
+
+    let stmts = [
+        "CREATE TABLE X (i INT, X1 FLOAT, X2 FLOAT)",
+        "INSERT INTO X VALUES (1, 1.0, 2.0), (2, 2.0, 4.0), (3, 3.0, 6.0), (4, 4.0, 8.0)",
+        "CREATE SUMMARY s ON X (X1, X2)",
+        "CREATE TABLE BETA (b0 FLOAT, b1 FLOAT, b2 FLOAT)",
+        "INSERT INTO BETA VALUES (0.5, 2.0, -1.0)",
+    ];
+    for sql in stmts {
+        c.execute(sql).map_err(|e| format!("{sql}: {e}"))?;
+    }
+
+    // Summary hit: answered without scanning.
+    let rs = c
+        .execute("SELECT count(*), sum(X1), sum(X2) FROM X")
+        .map_err(|e| format!("aggregate: {e}"))?;
+    if !rs.stats.summary_path || rs.stats.rows_scanned != 0 {
+        return Err(format!("expected a summary hit, got {:?}", rs.stats));
+    }
+    let total_x1 = rs.value(0, 1).as_f64().unwrap_or(f64::NAN);
+    if (total_x1 - 10.0).abs() > 1e-12 {
+        return Err(format!("sum(X1) = {total_x1}, want 10"));
+    }
+    println!("summary hit ok (sum(X1) = {total_x1})");
+
+    // Scoring UDF query: y = 0.5 + 2*X1 - X2 == 0.5 exactly here.
+    let rs = c
+        .execute(
+            "SELECT x.i, linearregscore(x.X1, x.X2, b.b0, b.b1, b.b2) \
+             FROM X x CROSS JOIN BETA b",
+        )
+        .map_err(|e| format!("score: {e}"))?;
+    if rs.rows.len() != 4 {
+        return Err(format!("score returned {} rows, want 4", rs.rows.len()));
+    }
+    for (i, row) in rs.rows.iter().enumerate() {
+        let y = row[1].as_f64().unwrap_or(f64::NAN);
+        if (y - 0.5).abs() > 1e-12 {
+            return Err(format!("score row {i} = {y}, want 0.5"));
+        }
+    }
+    println!(
+        "scoring ok ({} rows, block_path={})",
+        rs.rows.len(),
+        rs.stats.block_path
+    );
+
+    // METRICS must reflect this very session.
+    let metrics = c.metrics().map_err(|e| format!("metrics: {e}"))?;
+    let executes = metrics
+        .lookup("command.execute.count")
+        .and_then(|v| v.as_i64())
+        .ok_or("metrics missing command.execute.count")?;
+    if executes < 7 {
+        return Err(format!("execute count {executes}, want >= 7"));
+    }
+    let hits = metrics
+        .lookup("summary_hits")
+        .and_then(|v| v.as_i64())
+        .ok_or("metrics missing summary_hits")?;
+    if hits < 1 {
+        return Err(format!("summary_hits {hits}, want >= 1"));
+    }
+    println!("metrics ok ({executes} executes, {hits} summary hits)");
+
+    if !skip_shutdown {
+        c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        println!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut addr = None;
+    let mut skip_shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => addr = args.next(),
+            "--skip-shutdown" => skip_shutdown = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: server_smoke --addr HOST:PORT [--skip-shutdown]");
+        return ExitCode::FAILURE;
+    };
+    match run(&addr, skip_shutdown) {
+        Ok(()) => {
+            println!("smoke session passed");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("smoke session FAILED: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

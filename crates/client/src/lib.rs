@@ -1,0 +1,230 @@
+#![warn(missing_docs)]
+
+//! Blocking client for the `nlq-server` wire protocol.
+//!
+//! ```no_run
+//! use nlq_client::Client;
+//!
+//! let mut c = Client::connect("127.0.0.1:7878").unwrap();
+//! c.execute("CREATE TABLE X (i INT, X1 FLOAT)").unwrap();
+//! c.execute("INSERT INTO X VALUES (1, 2.5)").unwrap();
+//! let r = c.execute("SELECT sum(X1) FROM X").unwrap();
+//! assert_eq!(r.rows.len(), 1);
+//! ```
+//!
+//! One [`Client`] is one server session: the connection carries the
+//! session id (from the server's `Hello`), per-session settings set
+//! via [`Client::set_option`], and the stats of the last statement
+//! (via [`Client::status`]). Requests are strictly serial per
+//! connection; use one client per thread for concurrency.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use nlq_server::wire::{
+    read_frame, write_frame, ErrorCode, Request, Response, WireStats, PROTOCOL_VERSION,
+};
+use nlq_storage::Value;
+
+/// A query result received over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Server-side execution counters.
+    pub stats: WireStats,
+}
+
+impl RemoteResult {
+    /// The value at (`row`, `col`).
+    ///
+    /// # Panics
+    /// Panics when out of range.
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.rows[row][col]
+    }
+
+    /// Looks up a `(name, value)`-shaped result (STATUS / METRICS) by
+    /// name.
+    pub fn lookup(&self, name: &str) -> Option<&Value> {
+        self.rows
+            .iter()
+            .find(|r| r.first().and_then(Value::as_str) == Some(name))
+            .and_then(|r| r.get(1))
+    }
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server refused or failed the request.
+    Server {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with an unexpected frame.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server { code, message } => write!(f, "server {code:?}: {message}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// One connection = one server session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session_id: u64,
+}
+
+impl Client {
+    /// Connects and consumes the server's `Hello`. Fails with the
+    /// server's error when admission control refuses the connection
+    /// (e.g. [`ErrorCode::Busy`] at max connections).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Like [`Client::connect`] with a TCP connect timeout.
+    pub fn connect_timeout(addr: &std::net::SocketAddr, timeout: Duration) -> Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Client::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client> {
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let mut client = Client {
+            reader,
+            writer,
+            session_id: 0,
+        };
+        match client.read_response()? {
+            Response::Hello {
+                session_id,
+                version,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ClientError::Protocol(format!(
+                        "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
+                    )));
+                }
+                client.session_id = session_id;
+                Ok(client)
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    fn read_response(&mut self) -> Result<Response> {
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("connection closed by server".into()))?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response> {
+        write_frame(&mut self.writer, &request.encode())?;
+        self.read_response()
+    }
+
+    fn expect_result(&mut self, request: &Request) -> Result<RemoteResult> {
+        match self.round_trip(request)? {
+            Response::Result {
+                columns,
+                rows,
+                stats,
+            } => Ok(RemoteResult {
+                columns,
+                rows,
+                stats,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Result, got {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<()> {
+        match self.round_trip(request)? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    /// Runs one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<RemoteResult> {
+        self.expect_result(&Request::Execute {
+            sql: sql.to_owned(),
+        })
+    }
+
+    /// Sets a per-session option (`block_scan` = `on`/`off`/`default`).
+    pub fn set_option(&mut self, name: &str, value: &str) -> Result<()> {
+        self.expect_ok(&Request::SetOption {
+            name: name.to_owned(),
+            value: value.to_owned(),
+        })
+    }
+
+    /// This session's settings and last-statement stats.
+    pub fn status(&mut self) -> Result<RemoteResult> {
+        self.expect_result(&Request::Status)
+    }
+
+    /// Server-wide metrics.
+    pub fn metrics(&mut self) -> Result<RemoteResult> {
+        self.expect_result(&Request::Metrics)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.expect_ok(&Request::Shutdown)
+    }
+}

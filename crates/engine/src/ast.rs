@@ -172,7 +172,7 @@ pub enum Statement {
         name: String,
     },
     /// `CREATE SUMMARY s ON t (X1, ...) [SHAPE diag|triang|full]
-    /// [GROUP BY g]`: register a materialized Γ summary.
+    /// [NO MINMAX] [GROUP BY g]`: register a materialized Γ summary.
     CreateSummary {
         /// Summary name.
         name: String,
@@ -183,6 +183,10 @@ pub enum Statement {
         /// Optional shape name (`diag`/`triang`/`full`; default
         /// triangular).
         shape: Option<String>,
+        /// Whether the summary answers min/max (`false` after
+        /// `NO MINMAX`). Forgoing min/max makes DELETE exactly
+        /// subtractable, so such summaries never go stale under it.
+        minmax: bool,
         /// Optional single GROUP BY key column.
         group_by: Option<String>,
     },

@@ -1,4 +1,5 @@
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use nlq_linalg::{Matrix, Vector};
 use nlq_models::{MatrixShape, Nlq};
@@ -110,15 +111,37 @@ impl ResultSet {
     }
 }
 
+/// Per-statement execution options, overriding the database-wide
+/// defaults. This is how a server session applies its own settings
+/// (e.g. `SET block_scan off`) to a shared [`Db`] without mutating
+/// global state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Overrides the block-at-a-time scan toggle for this statement
+    /// (`None` inherits [`Db::block_scan`]).
+    pub block_scan: Option<bool>,
+}
+
 /// An in-memory parallel database: catalog + worker pool + UDF
 /// registry. The Rust stand-in for the Teradata server the paper runs
 /// on (20 parallel threads by default in the experiments).
+///
+/// Every piece of mutable state sits behind interior mutability
+/// (lock-protected catalog, summary store, and registry; atomic
+/// settings), so one `Arc<Db>` can serve any number of concurrent
+/// sessions — the serving layer in `nlq-server` builds directly on
+/// this. DML statements additionally serialize on a single write lock:
+/// table replacement is copy-on-write, and without the lock two
+/// concurrent INSERTs into one table could both clone the same
+/// generation and lose one batch.
 pub struct Db {
     catalog: Catalog,
-    registry: UdfRegistry,
+    registry: RwLock<Arc<UdfRegistry>>,
     summaries: SummaryStore,
     workers: usize,
-    block_scan: bool,
+    block_scan: AtomicBool,
+    /// Serializes DML (INSERT/DELETE/UPDATE) read-modify-write cycles.
+    dml_lock: Mutex<()>,
 }
 
 impl Db {
@@ -127,10 +150,11 @@ impl Db {
     pub fn new(workers: usize) -> Self {
         Db {
             catalog: Catalog::new(),
-            registry: UdfRegistry::with_builtins(),
+            registry: RwLock::new(Arc::new(UdfRegistry::with_builtins())),
             summaries: SummaryStore::new(),
             workers: workers.max(1),
-            block_scan: true,
+            block_scan: AtomicBool::new(true),
+            dml_lock: Mutex::new(()),
         }
     }
 
@@ -142,19 +166,31 @@ impl Db {
     /// Enables or disables the block-at-a-time aggregation path
     /// (enabled by default). With it off, every eligible aggregate
     /// query runs row-at-a-time — the switch the row-vs-block
-    /// benchmarks and equivalence tests flip.
-    pub fn set_block_scan(&mut self, enabled: bool) {
-        self.block_scan = enabled;
+    /// benchmarks and equivalence tests flip. Per-statement overrides
+    /// go through [`Db::execute_with`] instead.
+    pub fn set_block_scan(&self, enabled: bool) {
+        self.block_scan.store(enabled, Ordering::Relaxed);
     }
 
     /// Whether the block-at-a-time aggregation path is enabled.
     pub fn block_scan(&self) -> bool {
-        self.block_scan
+        self.block_scan.load(Ordering::Relaxed)
     }
 
-    /// Mutable access to the UDF registry (to add custom UDFs).
-    pub fn registry_mut(&mut self) -> &mut UdfRegistry {
-        &mut self.registry
+    /// Applies a mutation to the UDF registry (to add custom UDFs).
+    /// Copy-on-write: statements already executing keep the registry
+    /// snapshot they started with; new statements see the update.
+    pub fn with_registry_mut<R>(&self, f: impl FnOnce(&mut UdfRegistry) -> R) -> R {
+        let mut guard = self.registry.write().expect("registry lock");
+        let mut next = (**guard).clone();
+        let out = f(&mut next);
+        *guard = Arc::new(next);
+        out
+    }
+
+    /// The current UDF registry snapshot.
+    pub fn registry(&self) -> Arc<UdfRegistry> {
+        self.registry.read().expect("registry lock").clone()
     }
 
     /// The materialized Γ summary store (inspect registered summaries
@@ -163,22 +199,28 @@ impl Db {
         &self.summaries
     }
 
-    fn ctx(&self) -> ExecContext<'_> {
+    fn ctx(&self, opts: &ExecOptions) -> ExecContext<'_> {
         ExecContext {
             catalog: &self.catalog,
-            registry: &self.registry,
+            registry: self.registry(),
             summaries: &self.summaries,
             workers: self.workers,
-            block_scan: self.block_scan,
+            block_scan: opts.block_scan.unwrap_or_else(|| self.block_scan()),
         }
     }
 
-    /// Parses and executes one SQL statement.
+    /// Parses and executes one SQL statement with default options.
     pub fn execute(&self, sql: &str) -> Result<ResultSet> {
+        self.execute_with(sql, &ExecOptions::default())
+    }
+
+    /// Parses and executes one SQL statement with per-statement
+    /// execution options (a server session's settings).
+    pub fn execute_with(&self, sql: &str, opts: &ExecOptions) -> Result<ResultSet> {
         match parse(sql)? {
-            Statement::Select(stmt) => self.ctx().execute_select(&stmt),
+            Statement::Select(stmt) => self.ctx(opts).execute_select(&stmt),
             Statement::Explain(stmt) => {
-                let lines = self.ctx().explain_select(&stmt)?;
+                let lines = self.ctx(opts).explain_select(&stmt)?;
                 Ok(ResultSet::new(
                     vec!["plan".into()],
                     lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
@@ -201,7 +243,7 @@ impl Db {
                 if self.catalog.contains(&name) {
                     return Err(EngineError::DuplicateTable(name));
                 }
-                let rs = self.ctx().execute_select(&query)?;
+                let rs = self.ctx(opts).execute_select(&query)?;
                 let table = result_to_table(&rs, self.workers)?;
                 self.catalog
                     .insert(&name, CatalogEntry::Table(Arc::new(table)))?;
@@ -213,21 +255,24 @@ impl Db {
                 Ok(ResultSet::empty())
             }
             Statement::Insert { table, rows } => {
+                let registry = self.registry();
                 let empty_schema = BoundSchema::new();
                 let mut values = Vec::with_capacity(rows.len());
                 for row in rows {
                     let mut out = Vec::with_capacity(row.len());
                     for expr in row {
-                        let bound = Binder::scalar(&empty_schema, &self.registry).bind(&expr)?;
+                        let bound = Binder::scalar(&empty_schema, &registry).bind(&expr)?;
                         out.push(bound.eval(&[], &[], &[])?);
                     }
                     values.push(out);
                 }
+                let _dml = self.dml_lock.lock().expect("dml lock");
                 self.append_rows(&table, values)?;
                 Ok(ResultSet::empty())
             }
             Statement::InsertSelect { table, query } => {
-                let rs = self.ctx().execute_select(&query)?;
+                let rs = self.ctx(opts).execute_select(&query)?;
+                let _dml = self.dml_lock.lock().expect("dml lock");
                 self.append_rows(&table, rs.rows)?;
                 Ok(ResultSet::empty())
             }
@@ -242,6 +287,7 @@ impl Db {
                 table,
                 columns,
                 shape,
+                minmax,
                 group_by,
             } => {
                 let t = self.base_table(&table)?;
@@ -258,6 +304,7 @@ impl Db {
                     table: table.to_ascii_lowercase(),
                     columns,
                     shape,
+                    minmax,
                     group_by,
                 };
                 self.summaries.create(def, &t)?;
@@ -268,24 +315,39 @@ impl Db {
                 Ok(ResultSet::empty())
             }
             Statement::Delete { table, predicate } => {
+                let registry = self.registry();
+                let _dml = self.dml_lock.lock().expect("dml lock");
                 let t = self.base_table(&table)?;
                 let mut schema = BoundSchema::new();
                 schema.push_table(Some(&table), t.schema());
                 let pred = predicate
-                    .map(|p| Binder::scalar(&schema, &self.registry).bind(&p))
+                    .map(|p| Binder::scalar(&schema, &registry).bind(&p))
                     .transpose()?;
                 let mut kept = Vec::new();
+                let mut deleted = Vec::new();
                 for row in t.scan_all() {
                     let row = row?;
                     let hit = match &pred {
                         Some(p) => matches!(p.eval(&row, &[], &[])?, Value::Int(x) if x != 0),
                         None => true,
                     };
-                    if !hit {
+                    if hit {
+                        deleted.push(row);
+                    } else {
                         kept.push(row);
                     }
                 }
-                self.replace_rows(&table, &t, kept)?;
+                let mut replacement = Table::new(t.schema().clone(), t.partition_count());
+                for row in kept {
+                    replacement.insert(row)?;
+                }
+                self.catalog.replace_table(&table, Arc::new(replacement));
+                // Γ is additive, so DELETE is a *subtraction*: summaries
+                // that track no min/max absorb the deleted batch exactly
+                // (min/max are not invertible from sums — those
+                // summaries degrade to stale and rebuild lazily).
+                self.summaries
+                    .fold_deleted_rows(&table, t.schema(), &deleted);
                 Ok(ResultSet::empty())
             }
             Statement::Update {
@@ -293,11 +355,13 @@ impl Db {
                 sets,
                 predicate,
             } => {
+                let registry = self.registry();
+                let _dml = self.dml_lock.lock().expect("dml lock");
                 let t = self.base_table(&table)?;
                 let mut schema = BoundSchema::new();
                 schema.push_table(Some(&table), t.schema());
                 let pred = predicate
-                    .map(|p| Binder::scalar(&schema, &self.registry).bind(&p))
+                    .map(|p| Binder::scalar(&schema, &registry).bind(&p))
                     .transpose()?;
                 let bound_sets: Vec<(usize, _)> = sets
                     .iter()
@@ -306,7 +370,7 @@ impl Db {
                             .schema()
                             .index_of(col)
                             .ok_or_else(|| EngineError::UnknownColumn(col.clone()))?;
-                        Ok((idx, Binder::scalar(&schema, &self.registry).bind(e)?))
+                        Ok((idx, Binder::scalar(&schema, &registry).bind(e)?))
                     })
                     .collect::<Result<_>>()?;
                 let mut rows = Vec::new();
@@ -362,10 +426,11 @@ impl Db {
         Ok(())
     }
 
-    /// Replaces a table's contents wholesale (DELETE/UPDATE). Sums are
-    /// subtractable but min/max are not, and the predicate may have
-    /// touched arbitrary rows — every summary on the table degrades to
-    /// stale and rebuilds on its next read.
+    /// Replaces a table's contents wholesale (UPDATE). The assignments
+    /// may have touched arbitrary rows and columns, so every summary on
+    /// the table degrades to stale and rebuilds on its next read.
+    /// (DELETE has its own path: the removed batch can be *subtracted*
+    /// from summaries that track no min/max.)
     fn replace_rows(&self, name: &str, old: &Table, rows: Vec<Row>) -> Result<()> {
         let mut table = Table::new(old.schema().clone(), old.partition_count());
         for row in rows {
@@ -393,7 +458,7 @@ impl Db {
 
     /// Fetches a table (views are materialized by execution).
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
-        self.ctx().resolve_table(name)
+        self.ctx(&ExecOptions::default()).resolve_table(name)
     }
 
     /// Drops a table or view if it exists (with its summaries).

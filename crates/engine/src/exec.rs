@@ -13,7 +13,7 @@ use nlq_summary::{
     project_nlq, shape_covers, SummaryData, SummaryDef, SummarySnapshot, SummaryStore,
 };
 use nlq_udf::pack::pack_nlq;
-use nlq_udf::{check_heap, AggregateState, BatchArg, UdfRegistry};
+use nlq_udf::{check_heap, AggregateState, BatchArg, ScalarUdf, UdfRegistry};
 
 use crate::ast::{Expr, SelectStmt};
 use crate::catalog::{Catalog, CatalogEntry};
@@ -29,7 +29,9 @@ const JOIN_LIMIT: usize = 1_000_000;
 /// Execution context shared by all statements of one [`crate::Db`].
 pub(crate) struct ExecContext<'a> {
     pub catalog: &'a Catalog,
-    pub registry: &'a UdfRegistry,
+    /// Registry snapshot taken when the statement began (copy-on-write
+    /// registration means a shared `Db` can add UDFs concurrently).
+    pub registry: Arc<UdfRegistry>,
     /// Materialized Γ summaries the planner may answer from.
     pub summaries: &'a SummaryStore,
     pub workers: usize,
@@ -104,7 +106,7 @@ impl ExecContext<'_> {
             let mut conjuncts = Vec::new();
             split_conjuncts(w, &mut conjuncts);
             for conj in conjuncts {
-                let bound = Binder::scalar(&schema, self.registry).bind(conj)?;
+                let bound = Binder::scalar(&schema, &self.registry).bind(conj)?;
                 let mut cols = Vec::new();
                 bound.collect_columns(&mut cols);
                 match (cols.iter().min(), cols.iter().max()) {
@@ -167,7 +169,7 @@ impl ExecContext<'_> {
             "all join-only predicates applied"
         );
 
-        let is_agg_name = |n: &str| AggKind::is_aggregate_name(n, self.registry);
+        let is_agg_name = |n: &str| AggKind::is_aggregate_name(n, &self.registry);
         let aggregate_mode = !stmt.group_by.is_empty()
             || stmt
                 .projections
@@ -220,7 +222,7 @@ impl ExecContext<'_> {
             for p in &stmt.projections {
                 let mut binder = Binder {
                     schema: &plan.schema,
-                    registry: self.registry,
+                    registry: &self.registry,
                     group_exprs: &stmt.group_by,
                     aggs: Some(&mut agg_calls),
                 };
@@ -229,7 +231,7 @@ impl ExecContext<'_> {
             if let Some(h) = &stmt.having {
                 let mut binder = Binder {
                     schema: &plan.schema,
-                    registry: self.registry,
+                    registry: &self.registry,
                     group_exprs: &stmt.group_by,
                     aggs: Some(&mut agg_calls),
                 };
@@ -301,6 +303,47 @@ impl ExecContext<'_> {
                 "project: {} expression(s) per row",
                 stmt.projections.len()
             ));
+            // Mirror the executor's scalar block-path eligibility test
+            // (scoring queries decode column blocks instead of rows).
+            let mut bound = Vec::new();
+            for p in &stmt.projections {
+                if p.expr == Expr::Wildcard {
+                    for c in 0..plan.schema.len() {
+                        bound.push(BoundExpr::ColumnRef(c));
+                    }
+                } else {
+                    bound.push(Binder::scalar(&plan.schema, &self.registry).bind(&p.expr)?);
+                }
+            }
+            let block_plan =
+                if self.block_scan && stmt.order_by.is_empty() && plan.residual.is_empty() {
+                    plan_scalar_block(
+                        &plan.schema,
+                        plan.base.schema().len(),
+                        &plan.join_product,
+                        &bound,
+                    )
+                } else {
+                    None
+                };
+            match block_plan {
+                Some(bp) => lines.push(format!(
+                    "scan mode: block ({BLOCK_ROWS}-row column blocks over {} numeric column(s))",
+                    bp.cols.len()
+                )),
+                None => {
+                    let reason = if !self.block_scan {
+                        "block scan disabled".to_owned()
+                    } else if !plan.residual.is_empty() {
+                        format!("{} residual predicate(s)", plan.residual.len())
+                    } else if !stmt.order_by.is_empty() {
+                        "ORDER BY requires row materialization".to_owned()
+                    } else {
+                        "projections are not all block-computable".to_owned()
+                    };
+                    lines.push(format!("scan mode: row-at-a-time ({reason})"));
+                }
+            }
         }
         if !stmt.order_by.is_empty() {
             lines.push(format!("order by: {} key(s)", stmt.order_by.len()));
@@ -346,7 +389,7 @@ impl ExecContext<'_> {
                     names.push(schema.column_name(c).to_owned());
                 }
             } else {
-                bound.push(Binder::scalar(schema, self.registry).bind(&p.expr)?);
+                bound.push(Binder::scalar(schema, &self.registry).bind(&p.expr)?);
                 names.push(projection_name(p, i));
             }
         }
@@ -364,11 +407,35 @@ impl ExecContext<'_> {
                             EngineError::Unsupported(format!("ORDER BY ordinal {k} out of range"))
                         })?)
                     }
-                    e => OrderEval::Expr(Binder::scalar(schema, self.registry).bind(e)?),
+                    e => OrderEval::Expr(Binder::scalar(schema, &self.registry).bind(e)?),
                 };
                 Ok((eval, key.descending))
             })
             .collect::<Result<_>>()?;
+
+        // Vectorized alternative to the row loop: scoring-style
+        // projections (scalar UDFs over float base columns plus
+        // model-table constants from a single join combination) decode
+        // column blocks instead of materializing full rows.
+        if self.block_scan && stmt.order_by.is_empty() && residual.is_empty() {
+            if let Some(plan) = plan_scalar_block(schema, base.schema().len(), join_product, &bound)
+            {
+                let rows = self.run_scalar_block(base, &plan)?;
+                let mut stats = ExecStats {
+                    block_path: true,
+                    ..ExecStats::default()
+                };
+                stats.rows_scanned = rows.1;
+                stats.blocks_scanned = rows.2;
+                let mut out = rows.0;
+                if let Some(limit) = stmt.limit {
+                    out.truncate(limit);
+                }
+                let mut rs = ResultSet::new(names, out);
+                rs.stats = stats;
+                return Ok(rs);
+            }
+        }
 
         let bound_ref = &bound;
         let order_ref = &order_bound;
@@ -419,6 +486,45 @@ impl ExecContext<'_> {
         Ok(ResultSet::new(names, rows))
     }
 
+    /// Executes a planned block-path scalar projection: decode column
+    /// blocks per partition, evaluate each projection per row. Returns
+    /// `(rows, rows_scanned, blocks_scanned)`; row order matches the
+    /// row path's (partition-major).
+    fn run_scalar_block(
+        &self,
+        base: &Table,
+        plan: &ScalarBlockPlan,
+    ) -> Result<(Vec<Row>, u64, u64)> {
+        let partials: Vec<Result<(Vec<Row>, u64, u64)>> =
+            parallel_scan_partitions(base, self.workers, |p| {
+                let mut out = Vec::new();
+                let mut iter = base.scan_partition_blocks_numeric(p, &plan.cols)?;
+                let (mut rows, mut blocks) = (0u64, 0u64);
+                while let Some(block) = iter.next_block() {
+                    let block = block?;
+                    rows += block.len() as u64;
+                    blocks += 1;
+                    for i in 0..block.len() {
+                        let mut row = Vec::with_capacity(plan.exprs.len());
+                        for e in &plan.exprs {
+                            row.push(e.eval(block, &plan.int_slots, i)?);
+                        }
+                        out.push(row);
+                    }
+                }
+                Ok((out, rows, blocks))
+            });
+        let mut all = Vec::new();
+        let (mut rows, mut blocks) = (0u64, 0u64);
+        for p in partials {
+            let (o, r, b) = p?;
+            all.extend(o);
+            rows += r;
+            blocks += b;
+        }
+        Ok((all, rows, blocks))
+    }
+
     fn execute_aggregate(
         &self,
         stmt: &SelectStmt,
@@ -431,7 +537,7 @@ impl ExecContext<'_> {
         let group_bound: Vec<BoundExpr> = stmt
             .group_by
             .iter()
-            .map(|g| Binder::scalar(schema, self.registry).bind(g))
+            .map(|g| Binder::scalar(schema, &self.registry).bind(g))
             .collect::<Result<_>>()?;
 
         // Bind projections in aggregate mode, extracting agg calls.
@@ -441,7 +547,7 @@ impl ExecContext<'_> {
         for (i, p) in stmt.projections.iter().enumerate() {
             let mut binder = Binder {
                 schema,
-                registry: self.registry,
+                registry: &self.registry,
                 group_exprs: &stmt.group_by,
                 aggs: Some(&mut agg_calls),
             };
@@ -456,7 +562,7 @@ impl ExecContext<'_> {
             Some(h) => {
                 let mut binder = Binder {
                     schema,
-                    registry: self.registry,
+                    registry: &self.registry,
                     group_exprs: &stmt.group_by,
                     aggs: Some(&mut agg_calls),
                 };
@@ -480,7 +586,7 @@ impl ExecContext<'_> {
                     e => {
                         let mut binder = Binder {
                             schema,
-                            registry: self.registry,
+                            registry: &self.registry,
                             group_exprs: &stmt.group_by,
                             aggs: Some(&mut agg_calls),
                         };
@@ -750,7 +856,7 @@ impl ExecContext<'_> {
         let group_bound: Vec<BoundExpr> = stmt
             .group_by
             .iter()
-            .map(|g| Binder::scalar(schema, self.registry).bind(g))
+            .map(|g| Binder::scalar(schema, &self.registry).bind(g))
             .collect::<Result<_>>()?;
         let want_group = match group_bound.as_slice() {
             [] => None,
@@ -893,8 +999,13 @@ fn plan_summary_recipes(
             AggKind::Count => dim(&call.args).map(|_| SummaryRecipe::Count),
             AggKind::Sum => dim(&call.args).map(|dim| SummaryRecipe::Sum { dim }),
             AggKind::Avg => dim(&call.args).map(|dim| SummaryRecipe::Avg { dim }),
-            AggKind::Min => dim(&call.args).map(|dim| SummaryRecipe::Min { dim }),
-            AggKind::Max => dim(&call.args).map(|dim| SummaryRecipe::Max { dim }),
+            // A `NO MINMAX` summary stores no bounds to answer from.
+            AggKind::Min => dim(&call.args)
+                .filter(|_| def.minmax)
+                .map(|dim| SummaryRecipe::Min { dim }),
+            AggKind::Max => dim(&call.args)
+                .filter(|_| def.minmax)
+                .map(|dim| SummaryRecipe::Max { dim }),
             AggKind::Stat(kind) => match (kind.arity(), call.args.as_slice()) {
                 (1, [_]) => dim(&call.args).map(|a| SummaryRecipe::Stat {
                     kind: *kind,
@@ -969,10 +1080,7 @@ fn null_gate(def: &SummaryDef, recipes: &[SummaryRecipe], skipped: u64) -> bool 
 }
 
 /// Evaluates every recipe against each maintained group state.
-fn summary_groups(
-    snap: &SummarySnapshot,
-    recipes: &[SummaryRecipe],
-) -> Result<GroupRows> {
+fn summary_groups(snap: &SummarySnapshot, recipes: &[SummaryRecipe]) -> Result<GroupRows> {
     let answer =
         |g: &Nlq| -> Result<Vec<Value>> { recipes.iter().map(|r| summary_value(g, r)).collect() };
     Ok(match &snap.data {
@@ -1182,6 +1290,137 @@ fn plan_block_calls(
         calls.push(planned);
     }
     Some(BlockPlan { cols, calls })
+}
+
+/// One block-compilable scalar projection: a decoded block column (by
+/// slot), a per-scan constant (a literal, or a value from the single
+/// join combination — the scoring pattern's model coefficients), or a
+/// scalar UDF over those (nested calls included: `clusterscore` takes
+/// `distance(...)` arguments).
+enum ScalarBlockExpr {
+    Col(usize),
+    Const(Value),
+    Udf {
+        udf: Arc<dyn ScalarUdf>,
+        args: Vec<ScalarBlockExpr>,
+    },
+}
+
+impl ScalarBlockExpr {
+    /// Evaluates against row `i` of a decoded block.
+    fn eval(&self, block: &ColumnBlock, int_slots: &[bool], i: usize) -> Result<Value> {
+        Ok(match self {
+            ScalarBlockExpr::Const(v) => v.clone(),
+            ScalarBlockExpr::Col(s) => block_value(block, *s, int_slots[*s], i),
+            ScalarBlockExpr::Udf { udf, args } => {
+                let mut buf = Vec::with_capacity(args.len());
+                for a in args {
+                    buf.push(a.eval(block, int_slots, i)?);
+                }
+                udf.eval(&buf)?
+            }
+        })
+    }
+}
+
+/// The outcome of planning a block-at-a-time scalar projection: which
+/// base-table numeric columns to decode (`int_slots` marks the ones to
+/// narrow back to `Int` on output) and how each output column is
+/// computed from them.
+struct ScalarBlockPlan {
+    cols: Vec<usize>,
+    int_slots: Vec<bool>,
+    exprs: Vec<ScalarBlockExpr>,
+}
+
+/// Plans the block path for a non-aggregate SELECT, or `None` when any
+/// projection needs the general row machinery. Eligibility: exactly
+/// one join combination (so joined-column references are constants),
+/// and every projection is a numeric base column, a constant, or a
+/// scalar UDF over those — the paper's scoring queries
+/// (`linearregscore`, `clusterscore`, ...) exactly.
+fn plan_scalar_block(
+    schema: &BoundSchema,
+    base_width: usize,
+    join_product: &[Row],
+    bound: &[BoundExpr],
+) -> Option<ScalarBlockPlan> {
+    let [suffix] = join_product else {
+        return None;
+    };
+    let mut cols: Vec<usize> = Vec::new();
+    let mut int_slots: Vec<bool> = Vec::new();
+    let mut slot_of: HashMap<usize, usize> = HashMap::new();
+    fn compile(
+        e: &BoundExpr,
+        schema: &BoundSchema,
+        base_width: usize,
+        suffix: &Row,
+        cols: &mut Vec<usize>,
+        int_slots: &mut Vec<bool>,
+        slot_of: &mut HashMap<usize, usize>,
+    ) -> Option<ScalarBlockExpr> {
+        match e {
+            BoundExpr::Literal(v) => Some(ScalarBlockExpr::Const(v.clone())),
+            BoundExpr::ColumnRef(i) if *i < base_width => {
+                let ty = schema.column_type(*i);
+                (ty == DataType::Float || ty == DataType::Int).then(|| {
+                    let slot = *slot_of.entry(*i).or_insert_with(|| {
+                        cols.push(*i);
+                        int_slots.push(ty == DataType::Int);
+                        cols.len() - 1
+                    });
+                    ScalarBlockExpr::Col(slot)
+                })
+            }
+            BoundExpr::ColumnRef(i) => {
+                Some(ScalarBlockExpr::Const(suffix[*i - base_width].clone()))
+            }
+            BoundExpr::ScalarUdf { udf, args } => {
+                let args = args
+                    .iter()
+                    .map(|a| compile(a, schema, base_width, suffix, cols, int_slots, slot_of))
+                    .collect::<Option<Vec<_>>>()?;
+                Some(ScalarBlockExpr::Udf {
+                    udf: udf.clone(),
+                    args,
+                })
+            }
+            _ => None,
+        }
+    }
+    let mut exprs = Vec::with_capacity(bound.len());
+    for b in bound {
+        exprs.push(compile(
+            b,
+            schema,
+            base_width,
+            suffix,
+            &mut cols,
+            &mut int_slots,
+            &mut slot_of,
+        )?);
+    }
+    // With no block column at all there is nothing to decode (and no
+    // row count to drive constant projections).
+    (!cols.is_empty()).then_some(ScalarBlockPlan {
+        cols,
+        int_slots,
+        exprs,
+    })
+}
+
+/// A block cell as a [`Value`] (NULL-mask aware; `Int` columns narrow
+/// back from their widened block representation).
+fn block_value(block: &ColumnBlock, slot: usize, is_int: bool, i: usize) -> Value {
+    let col = block.column(slot);
+    if col.nulls[i] {
+        Value::Null
+    } else if is_int {
+        Value::Int(col.values[i] as i64)
+    } else {
+        Value::Float(col.values[i])
+    }
 }
 
 /// Reduces one term over a block: `(sum of contributing products,

@@ -42,7 +42,7 @@ pub mod sqlgen;
 mod token;
 
 pub use ast::{Expr, SelectStmt, Statement};
-pub use db::{Db, ExecStats, NlqMethod, ResultSet};
+pub use db::{Db, ExecOptions, ExecStats, NlqMethod, ResultSet};
 pub use error::EngineError;
 pub use parser::parse;
 

@@ -234,7 +234,8 @@ impl Parser {
     }
 
     /// `CREATE SUMMARY` tail: `s ON t (c1, ...) [SHAPE name]
-    /// [GROUP BY g]` (the `SUMMARY` keyword is already consumed).
+    /// [NO MINMAX] [GROUP BY g]` (the `SUMMARY` keyword is already
+    /// consumed).
     fn create_summary(&mut self) -> Result<Statement> {
         let name = self.ident("summary name")?;
         self.expect_kw("ON")?;
@@ -253,6 +254,12 @@ impl Parser {
         } else {
             None
         };
+        let minmax = if self.eat_kw("NO") {
+            self.expect_kw("MINMAX")?;
+            false
+        } else {
+            true
+        };
         let group_by = if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
             Some(self.ident("group column")?)
@@ -264,6 +271,7 @@ impl Parser {
             table,
             columns,
             shape,
+            minmax,
             group_by,
         })
     }

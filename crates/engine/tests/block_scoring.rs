@@ -1,0 +1,142 @@
+//! Block-decoded scalar scoring (§3.5): the all-numeric scoring
+//! queries (`linearregscore`, `clusterscore`) must take the
+//! block-at-a-time path and produce results identical to the
+//! row-at-a-time interpreter to within 1e-12.
+
+use nlq_engine::{sqlgen, Db, ExecOptions, ResultSet};
+use nlq_linalg::Vector;
+
+fn scoring_db(n: usize, d: usize) -> Db {
+    let db = Db::new(4);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|a| ((i * 31 + a * 7) % 97) as f64 * 0.5 - 20.0)
+                .collect()
+        })
+        .collect();
+    db.load_points("X", &rows, false).unwrap();
+    db
+}
+
+fn assert_rows_close(block: &ResultSet, row: &ResultSet, tol: f64) {
+    assert_eq!(block.rows.len(), row.rows.len());
+    for (i, (b, r)) in block.rows.iter().zip(&row.rows).enumerate() {
+        assert_eq!(b.len(), r.len(), "row {i} width");
+        for (j, (x, y)) in b.iter().zip(r).enumerate() {
+            match (x.as_f64(), y.as_f64()) {
+                (Some(x), Some(y)) => assert!(
+                    (x - y).abs() <= tol * y.abs().max(1.0),
+                    "row {i} col {j}: {x} vs {y}"
+                ),
+                _ => assert_eq!(x, y, "row {i} col {j}"),
+            }
+        }
+    }
+}
+
+/// Runs `sql` once on the block path and once on the row path (via the
+/// per-statement override) and checks both stats and values.
+fn block_vs_row(db: &Db, sql: &str) -> (ResultSet, ResultSet) {
+    let block = db.execute(sql).unwrap();
+    assert!(block.stats.block_path, "expected block path: {sql}");
+    assert!(block.stats.blocks_scanned > 0);
+    let row = db
+        .execute_with(
+            sql,
+            &ExecOptions {
+                block_scan: Some(false),
+            },
+        )
+        .unwrap();
+    assert!(!row.stats.block_path);
+    assert_eq!(row.stats.blocks_scanned, 0);
+    assert_rows_close(&block, &row, 1e-12);
+    (block, row)
+}
+
+#[test]
+fn linearregscore_matches_row_path() {
+    let db = scoring_db(3000, 4);
+    let beta = Vector::from_vec(vec![0.25, -1.5, 3.0, 0.125]);
+    db.register_beta("BETA", 2.5, &beta).unwrap();
+    let names = sqlgen::x_cols(4);
+    let sql = sqlgen::score_regression_udf("X", &names, "BETA");
+
+    let (block, _) = block_vs_row(&db, &sql);
+    assert_eq!(block.rows.len(), 3000);
+    // The id column survives the block path as a real Int.
+    assert_eq!(block.value(0, 0), &nlq_storage::Value::Int(1));
+}
+
+#[test]
+fn clusterscore_matches_row_path() {
+    let db = scoring_db(2000, 2);
+    let centroids: Vec<Vector> = (0..8)
+        .map(|j| Vector::from_vec(vec![j as f64 * 3.0 - 10.0, 5.0 - j as f64]))
+        .collect();
+    db.register_centroids("C", &centroids).unwrap();
+    let names = sqlgen::x_cols(2);
+    // Nested calls: clusterscore(distance(...), ...) — the pushdown
+    // collapses the 8-way centroid join to one combination, so the
+    // centroid coordinates compile to per-scan constants.
+    let sql = sqlgen::score_cluster_udf("X", &names, 8, "C");
+    block_vs_row(&db, &sql);
+}
+
+#[test]
+fn block_path_handles_nulls_and_limit() {
+    let db = Db::new(2);
+    db.execute("CREATE TABLE X (i INT, X1 FLOAT, X2 FLOAT)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO X VALUES (1, 1.0, 2.0), (2, NULL, 3.0), \
+         (3, 4.0, NULL), (4, 2.0, 1.0)",
+    )
+    .unwrap();
+    db.register_beta("BETA", 1.0, &Vector::from_vec(vec![2.0, -1.0]))
+        .unwrap();
+    let names = sqlgen::x_cols(2);
+    let sql = sqlgen::score_regression_udf("X", &names, "BETA");
+
+    let (block, row) = block_vs_row(&db, &sql);
+    assert_eq!(block.rows.len(), 4);
+    assert_eq!(block.rows[1][1], row.rows[1][1], "NULL rows agree");
+
+    let limited = db.execute(&format!("{sql} LIMIT 2")).unwrap();
+    assert!(limited.stats.block_path);
+    assert_eq!(limited.rows.len(), 2);
+}
+
+#[test]
+fn explain_reports_block_mode_for_scoring() {
+    let db = scoring_db(100, 2);
+    db.register_beta("BETA", 0.0, &Vector::from_vec(vec![1.0, 1.0]))
+        .unwrap();
+    let names = sqlgen::x_cols(2);
+    let sql = sqlgen::score_regression_udf("X", &names, "BETA");
+
+    let plan: Vec<String> = db
+        .execute(&format!("EXPLAIN {sql}"))
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_owned())
+        .collect();
+    let plan = plan.join("\n");
+    assert!(
+        plan.contains("scan mode: block (1024-row column blocks over 3 numeric column(s))"),
+        "{plan}"
+    );
+
+    // ORDER BY forces the row interpreter (and EXPLAIN says so).
+    let plan_row = db
+        .execute(&format!("EXPLAIN {sql} ORDER BY 1 DESC"))
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_owned())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(plan_row.contains("scan mode: row-at-a-time"), "{plan_row}");
+}

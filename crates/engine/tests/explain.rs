@@ -132,7 +132,7 @@ fn explain_reports_scan_mode() {
     assert!(plan.contains("scan mode: row-at-a-time"), "{plan}");
 
     // So does disabling the block path on the connection.
-    let mut db = scoring_db();
+    let db = scoring_db();
     db.set_block_scan(false);
     let plan = plan_text(&db, "EXPLAIN SELECT sum(X1) FROM X");
     assert!(plan.contains("scan mode: row-at-a-time"), "{plan}");
@@ -147,7 +147,7 @@ fn result_sets_carry_exec_stats() {
     // 100 rows over 4 partitions: one (partial) block each.
     assert_eq!(rs.stats.blocks_scanned, 4);
 
-    let mut db = scoring_db();
+    let db = scoring_db();
     db.set_block_scan(false);
     let rs = db.execute("SELECT sum(X1), min(X2) FROM X").unwrap();
     assert!(!rs.stats.block_path);

@@ -298,11 +298,100 @@ fn explain_states_block_fallback_reason() {
         "{plan}"
     );
 
-    let mut db = points_db(100, 2);
+    let db = points_db(100, 2);
     db.set_block_scan(false);
     let plan = plan_text(&db, "EXPLAIN SELECT sum(X1) FROM pts");
     assert!(
         plan.contains("scan mode: row-at-a-time (block scan disabled)"),
         "{plan}"
     );
+}
+
+#[test]
+fn delete_folds_into_no_minmax_summary() {
+    let db = points_db(400, 2);
+    db.execute("CREATE SUMMARY s ON pts (X1, X2) SHAPE diag NO MINMAX")
+        .unwrap();
+
+    // DELETE subtracts the removed rows' Γ contribution instead of
+    // marking the summary stale: no min/max means exact inversion.
+    db.execute("DELETE FROM pts WHERE i <= 150").unwrap();
+    let entry = db.summaries().get("s").unwrap();
+    assert!(entry.is_fresh(), "NO MINMAX summary must stay fresh");
+
+    let q = "SELECT nlq_list(2, 'diag', X1, X2) FROM pts";
+    let (folded, stats) = unpack_cell(&db, q);
+    assert!(stats.summary_path, "{stats:?}");
+    assert_eq!(stats.rows_scanned, 0, "DELETE must not force a rescan");
+    assert_eq!(stats.summary_stale_rebuilds, 0);
+    assert_eq!(folded.n(), 250.0);
+
+    // Plain aggregates also answer scan-free from the folded summary.
+    let rs = db
+        .execute("SELECT count(*), sum(X1), avg(X2) FROM pts")
+        .unwrap();
+    assert!(rs.stats.summary_path);
+    assert_eq!(rs.stats.rows_scanned, 0);
+
+    // Both agree with a from-scratch block scan.
+    db.execute("DROP SUMMARY s").unwrap();
+    let (scan, stats) = unpack_cell(&db, q);
+    assert!(stats.block_path);
+    assert_nlq_close(&folded, &scan, 1e-12);
+}
+
+#[test]
+fn no_minmax_summary_does_not_answer_min_max() {
+    let db = points_db(100, 2);
+    db.execute("CREATE SUMMARY s ON pts (X1, X2) NO MINMAX")
+        .unwrap();
+
+    // min/max recipes are gated off: these fall back to the scan.
+    let rs = db.execute("SELECT min(X1), max(X2) FROM pts").unwrap();
+    assert!(!rs.stats.summary_path, "{:?}", rs.stats);
+    assert!(rs.stats.rows_scanned > 0);
+
+    // ... while moment aggregates still hit the summary.
+    let rs = db.execute("SELECT sum(X1), count(X2) FROM pts").unwrap();
+    assert!(rs.stats.summary_path);
+}
+
+#[test]
+fn delete_still_marks_minmax_summary_stale() {
+    let db = points_db(100, 2);
+    db.execute("CREATE SUMMARY s ON pts (X1, X2)").unwrap();
+    db.execute("DELETE FROM pts WHERE i <= 10").unwrap();
+    let entry = db.summaries().get("s").unwrap();
+    assert!(
+        !entry.is_fresh(),
+        "min/max summaries cannot invert DELETE and must go stale"
+    );
+}
+
+#[test]
+fn delete_with_null_coordinates_folds_exactly() {
+    let db = Db::new(2);
+    db.execute("CREATE TABLE pts (i INT, X1 FLOAT, X2 FLOAT)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO pts VALUES (1, 1.0, 2.0), (2, NULL, 3.0), \
+         (3, 4.0, 5.0), (4, 2.5, NULL), (5, -1.0, 0.5)",
+    )
+    .unwrap();
+    db.execute("CREATE SUMMARY s ON pts (X1, X2) NO MINMAX")
+        .unwrap();
+
+    // Deleted batch mixes complete rows and NULL-coordinate rows; the
+    // latter only decrement the null-skip counter.
+    db.execute("DELETE FROM pts WHERE i <= 2").unwrap();
+    assert!(db.summaries().get("s").unwrap().is_fresh());
+
+    let q = "SELECT nlq_list(2, 'triang', X1, X2) FROM pts";
+    let (folded, stats) = unpack_cell(&db, q);
+    assert!(stats.summary_path && stats.rows_scanned == 0);
+    assert_eq!(folded.n(), 2.0); // rows 3 and 5; row 4 has a NULL
+
+    db.execute("DROP SUMMARY s").unwrap();
+    let (scan, _) = unpack_cell(&db, q);
+    assert_nlq_close(&folded, &scan, 1e-12);
 }

@@ -1,0 +1,86 @@
+//! `nlq-server`: serve the SQL + scoring engine over TCP.
+//!
+//! ```text
+//! nlq-server [--addr HOST:PORT] [--workers N] [--max-connections N]
+//!            [--queue N] [--timeout-ms N] [--max-result-rows N]
+//! ```
+//!
+//! The process runs until a client issues `SHUTDOWN` (or the process
+//! is killed). The bound address is printed on stdout as
+//! `listening on HOST:PORT` once the listener is ready, so scripts
+//! can bind port 0 and discover the port.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nlq_engine::Db;
+use nlq_server::{serve, ServerConfig};
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value ({what})"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = take("host:port")?,
+            "--workers" => {
+                config.workers = take("count")?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--max-connections" => {
+                config.max_connections =
+                    take("count")?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--queue" => {
+                config.queue_capacity =
+                    take("count")?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--timeout-ms" => {
+                config.query_timeout = Duration::from_millis(
+                    take("millis")?
+                        .parse()
+                        .map_err(|e| format!("{flag}: {e}"))?,
+                )
+            }
+            "--max-result-rows" => {
+                config.max_result_rows =
+                    take("count")?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: nlq-server [--addr HOST:PORT] [--workers N] [--max-connections N] \
+                     [--queue N] [--timeout-ms N] [--max-result-rows N]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = config.workers;
+    let db = Arc::new(Db::new(workers));
+    let mut handle = match serve(db, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.addr());
+    handle.join();
+    println!("shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,237 @@
+//! Server-wide counters, gauges, and latency histograms.
+//!
+//! Everything here is updated from connection and pool threads and
+//! rendered on demand by the `METRICS` command as a two-column
+//! `(metric, value)` result set. Latencies go into equi-width
+//! [`Histogram`]s over `log10(microseconds)` in `[0, 7)` — bucket `b`
+//! covers `[10^(b/2), 10^((b+1)/2))` µs, spanning 1 µs to 10 s in 14
+//! buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use nlq_models::Histogram;
+use nlq_storage::Value;
+
+/// Commands tracked separately in the metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// `Execute` requests.
+    Execute,
+    /// `SetOption` requests.
+    SetOption,
+    /// `Status` requests.
+    Status,
+    /// `Metrics` requests.
+    Metrics,
+    /// `Ping` requests.
+    Ping,
+    /// `Shutdown` requests.
+    Shutdown,
+}
+
+const COMMANDS: [(Command, &str); 6] = [
+    (Command::Execute, "execute"),
+    (Command::SetOption, "set_option"),
+    (Command::Status, "status"),
+    (Command::Metrics, "metrics"),
+    (Command::Ping, "ping"),
+    (Command::Shutdown, "shutdown"),
+];
+
+fn slot(cmd: Command) -> usize {
+    COMMANDS
+        .iter()
+        .position(|(c, _)| *c == cmd)
+        .expect("command registered")
+}
+
+/// Histogram domain: log10 of the latency in microseconds.
+const LAT_LO: f64 = 0.0;
+const LAT_HI: f64 = 7.0;
+const LAT_BUCKETS: usize = 14;
+
+/// All server metrics; cheap to share behind an `Arc`.
+pub struct Metrics {
+    counts: [AtomicU64; 6],
+    errors: [AtomicU64; 6],
+    latency: [Mutex<Histogram>; 6],
+    /// Connections refused by admission control.
+    pub connections_rejected: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: AtomicU64,
+    /// Currently open sessions.
+    pub sessions_active: AtomicU64,
+    /// Queries that hit the per-query wall-clock limit.
+    pub query_timeouts: AtomicU64,
+    /// Queries refused because the pool queue was full.
+    pub queue_rejections: AtomicU64,
+    /// Results dropped for exceeding row/byte limits.
+    pub results_too_large: AtomicU64,
+    /// Summary-store hits accumulated across statements.
+    pub summary_hits: AtomicU64,
+    /// Summary-store misses accumulated across statements.
+    pub summary_misses: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Metrics {
+        Metrics {
+            counts: Default::default(),
+            errors: Default::default(),
+            latency: std::array::from_fn(|_| {
+                Mutex::new(Histogram::new(LAT_LO, LAT_HI, LAT_BUCKETS).expect("latency histogram"))
+            }),
+            connections_rejected: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            sessions_active: AtomicU64::new(0),
+            query_timeouts: AtomicU64::new(0),
+            queue_rejections: AtomicU64::new(0),
+            results_too_large: AtomicU64::new(0),
+            summary_hits: AtomicU64::new(0),
+            summary_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one completed command with its wall-clock latency.
+    pub fn record(&self, cmd: Command, latency: Duration, ok: bool) {
+        let s = slot(cmd);
+        self.counts[s].fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors[s].fetch_add(1, Ordering::Relaxed);
+        }
+        let micros = latency.as_micros().max(1) as f64;
+        self.latency[s]
+            .lock()
+            .expect("latency histogram")
+            .add(micros.log10());
+    }
+
+    /// Folds one statement's summary-store counters in.
+    pub fn record_summary(&self, hits: u64, misses: u64) {
+        self.summary_hits.fetch_add(hits, Ordering::Relaxed);
+        self.summary_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Renders every metric as `(name, value)` rows. `queue_depth` is
+    /// sampled by the caller (the pool owns it).
+    pub fn render(&self, queue_depth: usize) -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        let mut gauge = |name: &str, v: u64| {
+            rows.push(vec![Value::Str(name.to_owned()), Value::Int(v as i64)]);
+        };
+        gauge("queue_depth", queue_depth as u64);
+        gauge(
+            "connections_accepted",
+            self.connections_accepted.load(Ordering::Relaxed),
+        );
+        gauge(
+            "connections_rejected",
+            self.connections_rejected.load(Ordering::Relaxed),
+        );
+        gauge(
+            "sessions_active",
+            self.sessions_active.load(Ordering::Relaxed),
+        );
+        gauge(
+            "query_timeouts",
+            self.query_timeouts.load(Ordering::Relaxed),
+        );
+        gauge(
+            "queue_rejections",
+            self.queue_rejections.load(Ordering::Relaxed),
+        );
+        gauge(
+            "results_too_large",
+            self.results_too_large.load(Ordering::Relaxed),
+        );
+        gauge("summary_hits", self.summary_hits.load(Ordering::Relaxed));
+        gauge(
+            "summary_misses",
+            self.summary_misses.load(Ordering::Relaxed),
+        );
+        for (i, (_, name)) in COMMANDS.iter().enumerate() {
+            let count = self.counts[i].load(Ordering::Relaxed);
+            rows.push(vec![
+                Value::Str(format!("command.{name}.count")),
+                Value::Int(count as i64),
+            ]);
+            rows.push(vec![
+                Value::Str(format!("command.{name}.errors")),
+                Value::Int(self.errors[i].load(Ordering::Relaxed) as i64),
+            ]);
+            if count == 0 {
+                continue;
+            }
+            let hist = self.latency[i].lock().expect("latency histogram");
+            for (b, &n) in hist.counts().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let (lo, hi) = hist.bucket_range(b);
+                rows.push(vec![
+                    Value::Str(format!(
+                        "command.{name}.latency_us[{:.0},{:.0})",
+                        10f64.powf(lo),
+                        10f64.powf(hi)
+                    )),
+                    Value::Int(n as i64),
+                ]);
+            }
+            if hist.above() > 0 {
+                rows.push(vec![
+                    Value::Str(format!("command.{name}.latency_us[10s,inf)")),
+                    Value::Int(hist.above() as i64),
+                ]);
+            }
+        }
+        rows
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_render() {
+        let m = Metrics::new();
+        m.record(Command::Execute, Duration::from_micros(50), true);
+        m.record(Command::Execute, Duration::from_millis(20), false);
+        m.record(Command::Ping, Duration::from_micros(2), true);
+        m.record_summary(3, 1);
+
+        let rows = m.render(5);
+        let get = |name: &str| -> i64 {
+            rows.iter()
+                .find(|r| r[0].as_str() == Some(name))
+                .unwrap_or_else(|| panic!("missing metric {name}"))[1]
+                .as_i64()
+                .unwrap()
+        };
+        assert_eq!(get("queue_depth"), 5);
+        assert_eq!(get("command.execute.count"), 2);
+        assert_eq!(get("command.execute.errors"), 1);
+        assert_eq!(get("command.ping.count"), 1);
+        assert_eq!(get("summary_hits"), 3);
+        assert_eq!(get("summary_misses"), 1);
+        // Both execute latencies landed in some histogram bucket.
+        let hist_total: i64 = rows
+            .iter()
+            .filter(|r| {
+                r[0].as_str()
+                    .is_some_and(|s| s.starts_with("command.execute.latency_us["))
+            })
+            .map(|r| r[1].as_i64().unwrap())
+            .sum();
+        assert_eq!(hist_total, 2);
+    }
+}

@@ -1,0 +1,511 @@
+//! The TCP server: accept loop, per-connection sessions, admission
+//! control, and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One accept thread owns the listener and every connection
+//! `JoinHandle`. Each accepted connection gets a session thread that
+//! reads frames and answers them; `Execute` requests are handed to the
+//! shared [`WorkerPool`] and the session thread waits on a one-shot
+//! channel with the per-query wall-clock limit. On timeout the session
+//! marks the job abandoned (the pool worker drops the result instead
+//! of sending it — queries are not interrupted mid-flight, the slot
+//! frees when the statement finishes) and reports
+//! [`ErrorCode::Timeout`].
+//!
+//! ## Admission control
+//!
+//! * At most `max_connections` sessions: the `(max+1)`-th connection
+//!   is answered with one [`ErrorCode::Busy`] error frame and closed.
+//! * The pool queue is bounded: when full, `Execute` answers `Busy`
+//!   without queueing.
+//! * Results larger than `max_result_rows` rows or whose encoding
+//!   exceeds `max_result_bytes` answer [`ErrorCode::TooLarge`].
+//!
+//! ## Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a client `SHUTDOWN` command) flips
+//! the drain flag and wakes the accept thread with a self-connection.
+//! The accept thread stops accepting, half-closes every session's read
+//! side (in-flight responses still go out), joins the sessions, drains
+//! the pool, and exits. Every query admitted before the flag flipped
+//! completes and its response is delivered.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nlq_engine::{Db, ExecOptions, ExecStats};
+use nlq_storage::Value;
+
+use crate::metrics::{Command, Metrics};
+use crate::pool::{SubmitError, WorkerPool};
+use crate::wire::{
+    read_frame, write_frame, ErrorCode, Request, Response, WireStats, MAX_FRAME, PROTOCOL_VERSION,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Pool worker threads executing statements.
+    pub workers: usize,
+    /// Bounded pool queue capacity.
+    pub queue_capacity: usize,
+    /// Maximum concurrent sessions.
+    pub max_connections: usize,
+    /// Per-query wall-clock limit.
+    pub query_timeout: Duration,
+    /// Per-result row limit.
+    pub max_result_rows: usize,
+    /// Per-result encoded-byte limit.
+    pub max_result_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+            max_connections: 32,
+            query_timeout: Duration::from_secs(30),
+            max_result_rows: 1_000_000,
+            max_result_bytes: MAX_FRAME,
+        }
+    }
+}
+
+struct Shared {
+    db: Arc<Db>,
+    pool: WorkerPool,
+    metrics: Arc<Metrics>,
+    config: ServerConfig,
+    /// The bound listener address (for shutdown self-wakes).
+    addr: SocketAddr,
+    shutting_down: AtomicBool,
+    next_session: AtomicU64,
+    /// Read-halves of live sessions, closed on shutdown to unblock
+    /// their frame reads.
+    live: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+/// Running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Starts a server for `db` per `config`, returning once the listener
+/// is bound.
+pub fn serve(db: Arc<Db>, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        pool: WorkerPool::new(config.workers, config.queue_capacity),
+        metrics: Arc::new(Metrics::new()),
+        db,
+        config,
+        addr,
+        shutting_down: AtomicBool::new(false),
+        next_session: AtomicU64::new(1),
+        live: Mutex::new(Vec::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("nlq-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server metrics (shared with the sessions).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Initiates a graceful shutdown and blocks until every in-flight
+    /// query has completed and all threads exited.
+    pub fn shutdown(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the accept thread; it owns the rest of the drain.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server exits (e.g. a client sent `SHUTDOWN`).
+    pub fn join(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        sessions.retain(|s| !s.is_finished());
+        let active = shared.metrics.sessions_active.load(Ordering::SeqCst);
+        if active as usize >= shared.config.max_connections {
+            shared
+                .metrics
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            refuse(stream, ErrorCode::Busy, "server at max connections");
+            continue;
+        }
+        shared
+            .metrics
+            .sessions_active
+            .fetch_add(1, Ordering::SeqCst);
+        shared
+            .metrics
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        if let Ok(read_half) = stream.try_clone() {
+            shared.live.lock().expect("live list").push((id, read_half));
+        }
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("nlq-session-{id}"))
+            .spawn(move || {
+                session_loop(stream, id, &conn_shared);
+                conn_shared
+                    .metrics
+                    .sessions_active
+                    .fetch_sub(1, Ordering::SeqCst);
+                conn_shared
+                    .live
+                    .lock()
+                    .expect("live list")
+                    .retain(|(sid, _)| *sid != id);
+            })
+            .expect("spawn session thread");
+        sessions.push(handle);
+    }
+    // Drain: unblock session reads, let in-flight work finish.
+    for (_, s) in shared.live.lock().expect("live list").iter() {
+        let _ = s.shutdown(Shutdown::Read);
+    }
+    for s in sessions {
+        let _ = s.join();
+    }
+}
+
+fn refuse(stream: TcpStream, code: ErrorCode, message: &str) {
+    let mut w = BufWriter::new(stream);
+    let _ = write_frame(
+        &mut w,
+        &Response::Error {
+            code,
+            message: message.into(),
+        }
+        .encode(),
+    );
+    let _ = w.flush();
+}
+
+/// Per-session mutable state.
+struct Session {
+    id: u64,
+    /// `None` = server default; `Some` = per-session override.
+    block_scan: Option<bool>,
+    last_stats: Option<ExecStats>,
+    statements: u64,
+}
+
+fn session_loop(stream: TcpStream, id: u64, shared: &Arc<Shared>) {
+    let Ok(read_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_stream);
+    let mut writer = BufWriter::new(stream);
+    let mut session = Session {
+        id,
+        block_scan: None,
+        last_stats: None,
+        statements: 0,
+    };
+    if write_frame(
+        &mut writer,
+        &Response::Hello {
+            session_id: id,
+            version: PROTOCOL_VERSION,
+        }
+        .encode(),
+    )
+    .is_err()
+    {
+        return;
+    }
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        let started = Instant::now();
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    }
+                    .encode(),
+                );
+                continue;
+            }
+        };
+        let cmd = command_of(&request);
+        let shutdown_requested = request == Request::Shutdown;
+        let response = handle_request(request, &mut session, shared);
+        let ok = !matches!(response, Response::Error { .. });
+        shared.metrics.record(cmd, started.elapsed(), ok);
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            break;
+        }
+        if shutdown_requested {
+            // Trigger the server drain from inside a session: flip the
+            // flag and nudge the accept loop awake.
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(shared.addr);
+            break;
+        }
+    }
+}
+
+fn command_of(req: &Request) -> Command {
+    match req {
+        Request::Execute { .. } => Command::Execute,
+        Request::SetOption { .. } => Command::SetOption,
+        Request::Status => Command::Status,
+        Request::Metrics => Command::Metrics,
+        Request::Ping => Command::Ping,
+        Request::Shutdown => Command::Shutdown,
+    }
+}
+
+fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::Ok,
+        Request::SetOption { name, value } => set_option(session, &name, &value),
+        Request::Status => status(session),
+        Request::Metrics => {
+            let rows = shared.metrics.render(shared.pool.queue_depth());
+            Response::Result {
+                columns: vec!["metric".into(), "value".into()],
+                rows,
+                stats: WireStats::default(),
+            }
+        }
+        Request::Execute { sql } => execute(sql, session, shared),
+    }
+}
+
+fn set_option(session: &mut Session, name: &str, value: &str) -> Response {
+    match (name, value) {
+        ("block_scan", "on") => session.block_scan = Some(true),
+        ("block_scan", "off") => session.block_scan = Some(false),
+        ("block_scan", "default") => session.block_scan = None,
+        _ => {
+            return Response::Error {
+                code: ErrorCode::Protocol,
+                message: format!("unknown option {name}={value}"),
+            }
+        }
+    }
+    Response::Ok
+}
+
+fn status(session: &Session) -> Response {
+    let mut rows = vec![
+        vec![
+            Value::Str("session_id".into()),
+            Value::Int(session.id as i64),
+        ],
+        vec![
+            Value::Str("block_scan".into()),
+            Value::Str(
+                match session.block_scan {
+                    None => "default",
+                    Some(true) => "on",
+                    Some(false) => "off",
+                }
+                .into(),
+            ),
+        ],
+        vec![
+            Value::Str("statements".into()),
+            Value::Int(session.statements as i64),
+        ],
+    ];
+    if let Some(s) = &session.last_stats {
+        rows.push(vec![
+            Value::Str("last.rows_scanned".into()),
+            Value::Int(s.rows_scanned as i64),
+        ]);
+        rows.push(vec![
+            Value::Str("last.blocks_scanned".into()),
+            Value::Int(s.blocks_scanned as i64),
+        ]);
+        rows.push(vec![
+            Value::Str("last.block_path".into()),
+            Value::Int(i64::from(s.block_path)),
+        ]);
+        rows.push(vec![
+            Value::Str("last.summary_path".into()),
+            Value::Int(i64::from(s.summary_path)),
+        ]);
+    }
+    Response::Result {
+        columns: vec!["property".into(), "value".into()],
+        rows,
+        stats: WireStats::default(),
+    }
+}
+
+fn execute(sql: String, session: &mut Session, shared: &Arc<Shared>) -> Response {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".into(),
+        };
+    }
+    let opts = ExecOptions {
+        block_scan: session.block_scan,
+    };
+    let db = Arc::clone(&shared.db);
+    let abandoned = Arc::new(AtomicBool::new(false));
+    let job_abandoned = Arc::clone(&abandoned);
+    let (tx, rx) = mpsc::sync_channel(1);
+    let submitted = shared.pool.submit(Box::new(move || {
+        if job_abandoned.load(Ordering::SeqCst) {
+            return;
+        }
+        let started = Instant::now();
+        let result = db.execute_with(&sql, &opts);
+        let elapsed = started.elapsed();
+        if !job_abandoned.load(Ordering::SeqCst) {
+            let _ = tx.send((result, elapsed));
+        }
+    }));
+    match submitted {
+        Ok(()) => {}
+        Err(SubmitError::Full) => {
+            shared
+                .metrics
+                .queue_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::Error {
+                code: ErrorCode::Busy,
+                message: "query queue is full".into(),
+            };
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is draining".into(),
+            };
+        }
+    }
+    let (result, elapsed) = match rx.recv_timeout(shared.config.query_timeout) {
+        Ok(r) => r,
+        Err(_) => {
+            abandoned.store(true, Ordering::SeqCst);
+            shared
+                .metrics
+                .query_timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::Error {
+                code: ErrorCode::Timeout,
+                message: format!(
+                    "query exceeded {} ms",
+                    shared.config.query_timeout.as_millis()
+                ),
+            };
+        }
+    };
+    session.statements += 1;
+    match result {
+        Err(e) => Response::Error {
+            code: ErrorCode::Sql,
+            message: e.to_string(),
+        },
+        Ok(rs) => {
+            session.last_stats = Some(rs.stats);
+            shared
+                .metrics
+                .record_summary(rs.stats.summary_hits, rs.stats.summary_misses);
+            if rs.rows.len() > shared.config.max_result_rows {
+                shared
+                    .metrics
+                    .results_too_large
+                    .fetch_add(1, Ordering::Relaxed);
+                return Response::Error {
+                    code: ErrorCode::TooLarge,
+                    message: format!(
+                        "result has {} rows (limit {})",
+                        rs.rows.len(),
+                        shared.config.max_result_rows
+                    ),
+                };
+            }
+            let response = Response::Result {
+                columns: rs.columns,
+                rows: rs.rows,
+                stats: WireStats {
+                    rows_scanned: rs.stats.rows_scanned,
+                    blocks_scanned: rs.stats.blocks_scanned,
+                    block_path: rs.stats.block_path,
+                    summary_path: rs.stats.summary_path,
+                    summary_hits: rs.stats.summary_hits,
+                    summary_misses: rs.stats.summary_misses,
+                    summary_stale_rebuilds: rs.stats.summary_stale_rebuilds,
+                    elapsed_micros: elapsed.as_micros() as u64,
+                },
+            };
+            let encoded = response.encode();
+            if encoded.len() > shared.config.max_result_bytes.min(MAX_FRAME) {
+                shared
+                    .metrics
+                    .results_too_large
+                    .fetch_add(1, Ordering::Relaxed);
+                return Response::Error {
+                    code: ErrorCode::TooLarge,
+                    message: format!(
+                        "result encodes to {} bytes (limit {})",
+                        encoded.len(),
+                        shared.config.max_result_bytes.min(MAX_FRAME)
+                    ),
+                };
+            }
+            response
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame is a 4-byte big-endian payload length followed by the
+//! payload. The first payload byte is a tag; the rest is a sequence of
+//! fixed-width big-endian integers and length-prefixed UTF-8 strings.
+//! Frames are capped at [`MAX_FRAME`] bytes in both directions — a
+//! peer announcing a larger frame is a protocol error, and a result
+//! set that would encode past the cap is reported as
+//! [`ErrorCode::TooLarge`] instead of sent.
+//!
+//! The protocol is strictly request/response: the server sends exactly
+//! one [`Response`] per [`Request`], after an initial unprompted
+//! [`Response::Hello`] that carries the session id.
+
+use std::io::{self, Read, Write};
+
+use nlq_storage::Value;
+
+/// Hard ceiling on a frame payload (64 MiB).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Protocol version spoken by this build (in `Hello`).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+// Request tags.
+const REQ_EXECUTE: u8 = 0x01;
+const REQ_SET_OPTION: u8 = 0x02;
+const REQ_STATUS: u8 = 0x03;
+const REQ_METRICS: u8 = 0x04;
+const REQ_PING: u8 = 0x05;
+const REQ_SHUTDOWN: u8 = 0x06;
+
+// Response tags.
+const RESP_HELLO: u8 = 0x80;
+const RESP_RESULT: u8 = 0x81;
+const RESP_ERROR: u8 = 0x82;
+const RESP_OK: u8 = 0x83;
+const RESP_PONG: u8 = 0x84;
+
+// Value tags.
+const VAL_NULL: u8 = 0;
+const VAL_INT: u8 = 1;
+const VAL_FLOAT: u8 = 2;
+const VAL_STR: u8 = 3;
+
+/// A client-to-server command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one SQL statement.
+    Execute {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Set a per-session option (`block_scan` = `on`/`off`/`default`).
+    SetOption {
+        /// Option name.
+        name: String,
+        /// Option value.
+        value: String,
+    },
+    /// Describe this session (id, settings, last statement's stats).
+    Status,
+    /// Server-wide counters, latency histograms, and gauges.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to shut down gracefully (drain, then exit).
+    Shutdown,
+}
+
+/// Why a request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control: connection or queue capacity exhausted.
+    Busy = 1,
+    /// The query exceeded the per-query wall-clock limit.
+    Timeout = 2,
+    /// The result exceeded the per-query row or byte limit.
+    TooLarge = 3,
+    /// The SQL failed (parse, bind, or execution error).
+    Sql = 4,
+    /// Malformed frame or unknown option.
+    Protocol = 5,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::Busy,
+            2 => ErrorCode::Timeout,
+            3 => ErrorCode::TooLarge,
+            4 => ErrorCode::Sql,
+            5 => ErrorCode::Protocol,
+            6 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// Execution counters carried alongside a result frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Base-table rows read.
+    pub rows_scanned: u64,
+    /// Column blocks decoded.
+    pub blocks_scanned: u64,
+    /// Whether the vectorized block path ran the scan.
+    pub block_path: bool,
+    /// Whether a materialized Γ summary answered the query.
+    pub summary_path: bool,
+    /// Summary hits while answering.
+    pub summary_hits: u64,
+    /// Summary misses (fell back to a scan).
+    pub summary_misses: u64,
+    /// Stale summaries rebuilt on demand.
+    pub summary_stale_rebuilds: u64,
+    /// Server-side wall-clock for the statement, microseconds.
+    pub elapsed_micros: u64,
+}
+
+/// A server-to-client reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// First frame on every accepted connection.
+    Hello {
+        /// Session identifier (unique per server process).
+        session_id: u64,
+        /// Protocol version the server speaks.
+        version: u32,
+    },
+    /// A query result.
+    Result {
+        /// Output column names.
+        columns: Vec<String>,
+        /// Output rows.
+        rows: Vec<Vec<Value>>,
+        /// Execution counters.
+        stats: WireStats,
+    },
+    /// The request was refused or failed.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Command acknowledged, no data.
+    Ok,
+    /// Reply to [`Request::Ping`].
+    Pong,
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders
+// ---------------------------------------------------------------------------
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(VAL_NULL),
+        Value::Int(i) => {
+            buf.push(VAL_INT);
+            buf.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(VAL_FLOAT);
+            buf.extend_from_slice(&f.to_be_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(VAL_STR);
+            put_str(buf, s);
+        }
+    }
+}
+
+/// A cursor over a received payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(bad("truncated frame"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid utf-8 in string"))
+    }
+
+    fn value(&mut self) -> io::Result<Value> {
+        Ok(match self.u8()? {
+            VAL_NULL => Value::Null,
+            VAL_INT => Value::Int(self.u64()? as i64),
+            VAL_FLOAT => Value::Float(f64::from_bits(self.u64()?)),
+            VAL_STR => Value::Str(self.str()?),
+            _ => return Err(bad("unknown value tag")),
+        })
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes in frame"))
+        }
+    }
+}
+
+fn bad(msg: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(bad("frame exceeds MAX_FRAME"));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame, `None` on clean EOF at a frame
+/// boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(bad("peer announced an oversized frame"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Request encode/decode
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Encodes this request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Execute { sql } => {
+                buf.push(REQ_EXECUTE);
+                put_str(&mut buf, sql);
+            }
+            Request::SetOption { name, value } => {
+                buf.push(REQ_SET_OPTION);
+                put_str(&mut buf, name);
+                put_str(&mut buf, value);
+            }
+            Request::Status => buf.push(REQ_STATUS),
+            Request::Metrics => buf.push(REQ_METRICS),
+            Request::Ping => buf.push(REQ_PING),
+            Request::Shutdown => buf.push(REQ_SHUTDOWN),
+        }
+        buf
+    }
+
+    /// Decodes a frame payload into a request.
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        let mut r = Reader { buf: payload };
+        let req = match r.u8()? {
+            REQ_EXECUTE => Request::Execute { sql: r.str()? },
+            REQ_SET_OPTION => Request::SetOption {
+                name: r.str()?,
+                value: r.str()?,
+            },
+            REQ_STATUS => Request::Status,
+            REQ_METRICS => Request::Metrics,
+            REQ_PING => Request::Ping,
+            REQ_SHUTDOWN => Request::Shutdown,
+            _ => return Err(bad("unknown request tag")),
+        };
+        r.done()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response encode/decode
+// ---------------------------------------------------------------------------
+
+fn put_stats(buf: &mut Vec<u8>, s: &WireStats) {
+    buf.extend_from_slice(&s.rows_scanned.to_be_bytes());
+    buf.extend_from_slice(&s.blocks_scanned.to_be_bytes());
+    buf.push(u8::from(s.block_path) | (u8::from(s.summary_path) << 1));
+    buf.extend_from_slice(&s.summary_hits.to_be_bytes());
+    buf.extend_from_slice(&s.summary_misses.to_be_bytes());
+    buf.extend_from_slice(&s.summary_stale_rebuilds.to_be_bytes());
+    buf.extend_from_slice(&s.elapsed_micros.to_be_bytes());
+}
+
+impl Response {
+    /// Encodes this response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Hello {
+                session_id,
+                version,
+            } => {
+                buf.push(RESP_HELLO);
+                buf.extend_from_slice(&session_id.to_be_bytes());
+                buf.extend_from_slice(&version.to_be_bytes());
+            }
+            Response::Result {
+                columns,
+                rows,
+                stats,
+            } => {
+                buf.push(RESP_RESULT);
+                buf.extend_from_slice(&(columns.len() as u32).to_be_bytes());
+                for c in columns {
+                    put_str(&mut buf, c);
+                }
+                buf.extend_from_slice(&(rows.len() as u64).to_be_bytes());
+                for row in rows {
+                    for v in row {
+                        put_value(&mut buf, v);
+                    }
+                }
+                put_stats(&mut buf, stats);
+            }
+            Response::Error { code, message } => {
+                buf.push(RESP_ERROR);
+                buf.push(*code as u8);
+                put_str(&mut buf, message);
+            }
+            Response::Ok => buf.push(RESP_OK),
+            Response::Pong => buf.push(RESP_PONG),
+        }
+        buf
+    }
+
+    /// Decodes a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        let mut r = Reader { buf: payload };
+        let resp = match r.u8()? {
+            RESP_HELLO => Response::Hello {
+                session_id: r.u64()?,
+                version: r.u32()?,
+            },
+            RESP_RESULT => {
+                let ncols = r.u32()? as usize;
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(r.str()?);
+                }
+                let nrows = r.u64()? as usize;
+                // Each value is at least one tag byte: reject row
+                // counts the remaining payload cannot possibly hold.
+                if nrows.saturating_mul(ncols.max(1)) > payload.len() {
+                    return Err(bad("row count exceeds frame size"));
+                }
+                let mut rows = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(ncols);
+                    for _ in 0..ncols {
+                        row.push(r.value()?);
+                    }
+                    rows.push(row);
+                }
+                let rows_scanned = r.u64()?;
+                let blocks_scanned = r.u64()?;
+                let flags = r.u8()?;
+                let stats = WireStats {
+                    rows_scanned,
+                    blocks_scanned,
+                    block_path: flags & 1 != 0,
+                    summary_path: flags & 2 != 0,
+                    summary_hits: r.u64()?,
+                    summary_misses: r.u64()?,
+                    summary_stale_rebuilds: r.u64()?,
+                    elapsed_micros: r.u64()?,
+                };
+                Response::Result {
+                    columns,
+                    rows,
+                    stats,
+                }
+            }
+            RESP_ERROR => Response::Error {
+                code: ErrorCode::from_u8(r.u8()?).ok_or_else(|| bad("unknown error code"))?,
+                message: r.str()?,
+            },
+            RESP_OK => Response::Ok,
+            RESP_PONG => Response::Pong,
+            _ => return Err(bad("unknown response tag")),
+        };
+        r.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: Request) {
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    fn round_trip_resp(resp: Response) {
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_req(Request::Execute {
+            sql: "SELECT 1".into(),
+        });
+        round_trip_req(Request::SetOption {
+            name: "block_scan".into(),
+            value: "off".into(),
+        });
+        round_trip_req(Request::Status);
+        round_trip_req(Request::Metrics);
+        round_trip_req(Request::Ping);
+        round_trip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_resp(Response::Hello {
+            session_id: 42,
+            version: PROTOCOL_VERSION,
+        });
+        round_trip_resp(Response::Result {
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec![Value::Int(-7), Value::Float(2.5)],
+                vec![Value::Null, Value::Str("x".into())],
+            ],
+            stats: WireStats {
+                rows_scanned: 10,
+                blocks_scanned: 2,
+                block_path: true,
+                summary_path: true,
+                summary_hits: 1,
+                summary_misses: 0,
+                summary_stale_rebuilds: 3,
+                elapsed_micros: 1234,
+            },
+        });
+        round_trip_resp(Response::Error {
+            code: ErrorCode::Busy,
+            message: "server at capacity".into(),
+        });
+        round_trip_resp(Response::Ok);
+        round_trip_resp(Response::Pong);
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        // Header says 100 bytes, stream has 3.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut cursor = &buf[..];
+        assert!(read_frame(&mut cursor).is_err());
+
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&((MAX_FRAME + 1) as u32).to_be_bytes());
+        let mut cursor = &huge[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xFF]).is_err());
+        assert!(Response::decode(&[0x55]).is_err());
+        // Trailing garbage after a valid Ping.
+        assert!(Request::decode(&[REQ_PING, 0]).is_err());
+        // Absurd row count in a tiny frame.
+        let mut buf = vec![RESP_RESULT];
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        put_str(&mut buf, "c");
+        buf.extend_from_slice(&u64::MAX.to_be_bytes());
+        assert!(Response::decode(&buf).is_err());
+    }
+}

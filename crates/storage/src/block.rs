@@ -175,6 +175,19 @@ impl Table {
     /// [`StorageError::TypeMismatch`]. Out-of-range indices report
     /// [`StorageError::Corrupt`].
     pub fn scan_partition_blocks(&self, p: usize, cols: &[usize]) -> Result<BlockIter<'_>> {
+        self.blocks_impl(p, cols, false)
+    }
+
+    /// Like [`Table::scan_partition_blocks`], but also accepts
+    /// [`DataType::Int`](crate::DataType::Int) columns, whose values
+    /// widen to `f64` in the block (exact below 2⁵³ — row ids and the
+    /// like). Callers that must reproduce the original `Int` values
+    /// narrow them back with `as i64`.
+    pub fn scan_partition_blocks_numeric(&self, p: usize, cols: &[usize]) -> Result<BlockIter<'_>> {
+        self.blocks_impl(p, cols, true)
+    }
+
+    fn blocks_impl(&self, p: usize, cols: &[usize], allow_int: bool) -> Result<BlockIter<'_>> {
         let schema = self.schema();
         let mut slots = vec![None; schema.len()];
         for (slot, &c) in cols.iter().enumerate() {
@@ -182,7 +195,8 @@ impl Table {
                 return Err(StorageError::Corrupt("projected column out of range"));
             }
             let column = schema.column(c);
-            if column.ty != DataType::Float {
+            let ok = column.ty == DataType::Float || (allow_int && column.ty == DataType::Int);
+            if !ok {
                 return Err(StorageError::TypeMismatch {
                     column: column.name.clone(),
                     expected: DataType::Float,

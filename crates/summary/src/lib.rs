@@ -16,9 +16,12 @@
 //! * `INSERT` folds the new rows into a *delta* state built with the
 //!   same UDF row-aggregation machinery and merges it in — O(batch)
 //!   work, no rescan;
-//! * `DELETE`/`UPDATE` mark the summary **stale** (sums are
-//!   subtractable but min/max are not, and predicates may touch
-//!   arbitrary rows), forcing a rebuild on the next read;
+//! * `DELETE` *subtracts* the removed batch from global summaries
+//!   declared `NO MINMAX` (Γ additivity runs both ways; min/max are
+//!   the one non-invertible part, so summaries that keep them mark
+//!   **stale** instead and rebuild on the next read);
+//! * `UPDATE` marks the summary **stale** (assignments may rewrite
+//!   arbitrary rows and columns);
 //! * `DROP TABLE` drops the table's summaries.
 //!
 //! The state machine per summary is `fresh → stale → (rebuilt) fresh`.
@@ -118,6 +121,11 @@ pub struct SummaryDef {
     pub columns: Vec<String>,
     /// Shape of the maintained `Q` matrix.
     pub shape: MatrixShape,
+    /// Whether the summary answers per-dimension min/max queries
+    /// (`false` for `NO MINMAX` summaries). Min/max are not invertible
+    /// from sums, so forgoing them buys exact DELETE subtraction: a
+    /// `NO MINMAX` global summary stays fresh under DELETE.
+    pub minmax: bool,
     /// Optional single GROUP BY key column.
     pub group_by: Option<String>,
 }
@@ -263,6 +271,27 @@ impl SummaryEntry {
             Err(_) => c.fresh = false,
         }
     }
+
+    /// Folds a batch of deleted rows *out* of the maintained state by
+    /// Γ subtraction. Only a fresh, global, `NO MINMAX` summary
+    /// qualifies: min/max are not invertible from sums, and a grouped
+    /// state cannot tell a drained group (which a rebuild would drop)
+    /// from one that only ever held NULL-coordinate rows. Everything
+    /// else marks stale, as before.
+    fn fold_deleted(&self, schema: &Schema, rows: &[Row]) {
+        let mut c = self.content.write().expect("summary lock");
+        if !c.fresh {
+            return;
+        }
+        if self.def.minmax || self.def.group_by.is_some() {
+            c.fresh = false;
+            return;
+        }
+        match subtract_delta(&self.def, schema, rows, &mut c) {
+            Ok(()) => {}
+            Err(_) => c.fresh = false,
+        }
+    }
 }
 
 /// The catalog of registered summaries, keyed by lowercase name.
@@ -345,10 +374,19 @@ impl SummaryStore {
             .any(|e| e.def.table == table)
     }
 
-    /// Marks every summary on `table` stale (DELETE/UPDATE hook).
+    /// Marks every summary on `table` stale (UPDATE/replace hook).
     pub fn mark_stale_for_table(&self, table: &str) {
         for e in self.for_table(table) {
             e.mark_stale();
+        }
+    }
+
+    /// Subtracts a deleted batch from every summary on `table` that
+    /// can absorb it exactly (fresh, global, `NO MINMAX`); the rest
+    /// mark stale (DELETE hook). Never fails.
+    pub fn fold_deleted_rows(&self, table: &str, schema: &Schema, rows: &[Row]) {
+        for e in self.for_table(table) {
+            e.fold_deleted(schema, rows);
         }
     }
 
@@ -436,10 +474,79 @@ pub fn project_nlq(nlq: &Nlq, dims: &[usize], shape: MatrixShape) -> Result<Nlq>
 /// Builds the initial (or rebuilt) state for a definition.
 fn build_content(def: &SummaryDef, table: &Table) -> Result<SummaryContent> {
     let (cols, group) = def.resolve(table.schema())?;
-    match group {
-        None => build_global(def, table, &cols),
-        Some(g) => build_grouped(def, table, &cols, g),
+    let mut content = match group {
+        None => build_global(def, table, &cols)?,
+        Some(g) => build_grouped(def, table, &cols, g)?,
+    };
+    // A `NO MINMAX` summary stores no bounds: the −∞/+∞ sentinels the
+    // pure-SQL path also uses. With no bounds to maintain, the state
+    // is exactly subtractable and DELETE never makes it stale.
+    if !def.minmax {
+        match &mut content.data {
+            SummaryData::Global(nlq) => *nlq = strip_bounds(nlq)?,
+            SummaryData::Grouped(groups) => {
+                for (_, nlq) in groups {
+                    *nlq = strip_bounds(nlq)?;
+                }
+            }
+        }
     }
+    Ok(content)
+}
+
+/// Replaces a state's min/max with the "not computed" sentinels.
+fn strip_bounds(nlq: &Nlq) -> Result<Nlq> {
+    let d = nlq.d();
+    Ok(Nlq::from_parts(
+        nlq.shape(),
+        nlq.n(),
+        nlq.l().clone(),
+        nlq.q_raw().clone(),
+        vec![f64::NEG_INFINITY; d],
+        vec![f64::INFINITY; d],
+    )?)
+}
+
+/// Subtracts the Γ of a deleted batch from a fresh global state (the
+/// `NO MINMAX` DELETE fast path). Deleted rows with a NULL coordinate
+/// were never folded in, so they only decrement the skip counter.
+fn subtract_delta(
+    def: &SummaryDef,
+    schema: &Schema,
+    rows: &[Row],
+    content: &mut SummaryContent,
+) -> Result<()> {
+    let (cols, _) = def.resolve(schema)?;
+    let d = cols.len();
+    let mut delta = Nlq::new(d, def.shape);
+    let mut coords = vec![0.0f64; d];
+    let mut skipped = 0u64;
+    for row in rows {
+        let mut any_null = false;
+        for (k, &c) in cols.iter().enumerate() {
+            match row[c].as_f64() {
+                Some(v) => coords[k] = v,
+                None => {
+                    any_null = true;
+                    break;
+                }
+            }
+        }
+        if any_null {
+            skipped += 1;
+        } else {
+            delta.update(&coords);
+        }
+    }
+    let SummaryData::Global(nlq) = &mut content.data else {
+        return Err(SummaryError::Udf(nlq_udf::UdfError::InvalidArgument {
+            udf: "nlq_list".into(),
+            message: "DELETE subtraction requires a global state".into(),
+        }));
+    };
+    nlq.subtract(&delta);
+    content.null_rows_skipped = content.null_rows_skipped.saturating_sub(skipped);
+    Ok(())
 }
 
 /// Ungrouped build: the existing vectorized block scan feeds one
@@ -638,6 +745,7 @@ mod tests {
             table: "x".into(),
             columns: cols.iter().map(|c| (*c).to_owned()).collect(),
             shape,
+            minmax: true,
             group_by: group.map(str::to_owned),
         }
     }

@@ -32,7 +32,7 @@
 //! use nlq::models::{CorrelationModel, MatrixShape};
 //!
 //! // An in-memory parallel database with 4 worker threads.
-//! let mut db = Db::new(4);
+//! let db = Db::new(4);
 //!
 //! // A tiny 2-dimensional data set X(i, X1, X2).
 //! db.execute("CREATE TABLE X (i INT, X1 FLOAT, X2 FLOAT)").unwrap();
@@ -46,10 +46,12 @@
 //! assert!(corr.matrix()[(0, 1)] > 0.99); // X2 ~ 2 * X1
 //! ```
 
+pub use nlq_client as client;
 pub use nlq_datagen as datagen;
 pub use nlq_engine as engine;
 pub use nlq_export as export;
 pub use nlq_linalg as linalg;
 pub use nlq_models as models;
+pub use nlq_server as server;
 pub use nlq_storage as storage;
 pub use nlq_udf as udf;

@@ -152,7 +152,7 @@ fn block_scan_matches_row_scan() {
 
         let block_db = Db::new(workers);
         block_db.register_table("X", table.clone()).unwrap();
-        let mut row_db = Db::new(workers);
+        let row_db = Db::new(workers);
         row_db.set_block_scan(false);
         row_db.register_table("X", table).unwrap();
 
@@ -221,4 +221,113 @@ fn partition_count_does_not_change_results() {
             }
         }
     });
+}
+
+#[test]
+fn concurrent_mixed_sessions_match_serial_replay() {
+    // N threads hammer one shared `Db` with interleaved DDL, INSERTs,
+    // summary builds, aggregates, and scoring queries. Each thread
+    // owns its tables, so the answers it observes must be exactly the
+    // answers a serial replay of that thread's script produces —
+    // regardless of how the threads interleave on the shared catalog,
+    // registry, and summary store.
+    use std::sync::Arc;
+
+    const THREADS: usize = 6;
+
+    /// Deterministic per-thread statement script. SELECT statements
+    /// are the observation points.
+    fn script(k: usize) -> Vec<String> {
+        let mut rng = Rng::new(0xc0c0 + k as u64);
+        let t = format!("T{k}");
+        let mut out = vec![
+            format!("CREATE TABLE {t} (i INT, X1 FLOAT, X2 FLOAT)"),
+            format!("CREATE TABLE B{k} (b0 FLOAT, b1 FLOAT, b2 FLOAT)"),
+            format!(
+                "INSERT INTO B{k} VALUES ({:.3}, {:.3}, {:.3})",
+                rng.range_f64(-2.0, 2.0),
+                rng.range_f64(-2.0, 2.0),
+                rng.range_f64(-2.0, 2.0)
+            ),
+        ];
+        let summary_round = rng.range_usize(0, 6);
+        let mut next_id = 1;
+        for round in 0..8 {
+            if round == summary_round {
+                out.push(format!("CREATE SUMMARY s{k} ON {t} (X1, X2)"));
+            }
+            let inserts = rng.range_usize(1, 4);
+            for _ in 0..inserts {
+                out.push(format!(
+                    "INSERT INTO {t} VALUES ({next_id}, {:.3}, {:.3})",
+                    rng.range_f64(-50.0, 50.0),
+                    rng.range_f64(-50.0, 50.0)
+                ));
+                next_id += 1;
+            }
+            match rng.range_usize(0, 3) {
+                0 => out.push(format!("SELECT count(*), sum(X1), sum(X2) FROM {t}")),
+                1 => out.push(format!("SELECT nlq_list(2, 'triang', X1, X2) FROM {t}")),
+                _ => out.push(format!(
+                    "SELECT x.i, linearregscore(x.X1, x.X2, b.b0, b.b1, b.b2) \
+                     FROM {t} x CROSS JOIN B{k} b"
+                )),
+            }
+        }
+        out
+    }
+
+    /// Runs a script, returning each SELECT's (columns, rows).
+    fn observe(db: &Db, stmts: &[String]) -> Vec<(Vec<String>, Vec<Vec<Value>>)> {
+        let mut seen = Vec::new();
+        for sql in stmts {
+            let rs = db.execute(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            if sql.starts_with("SELECT") {
+                seen.push((rs.columns, rs.rows));
+            }
+        }
+        seen
+    }
+
+    let shared = Arc::new(Db::new(4));
+    let concurrent: Vec<_> = (0..THREADS)
+        .map(|k| {
+            let db = Arc::clone(&shared);
+            std::thread::spawn(move || observe(&db, &script(k)))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("session thread"))
+        .collect();
+
+    // Serial replay on a fresh engine: identical observations.
+    let serial_db = Db::new(4);
+    for (k, seen) in concurrent.iter().enumerate() {
+        let replay = observe(&serial_db, &script(k));
+        assert_eq!(seen.len(), replay.len(), "thread {k}");
+        for (i, (a, b)) in seen.iter().zip(&replay).enumerate() {
+            assert_eq!(a.0, b.0, "thread {k} select {i}: columns");
+            assert_eq!(a.1.len(), b.1.len(), "thread {k} select {i}: rows");
+            for (ra, rb) in a.1.iter().zip(&b.1) {
+                for (va, vb) in ra.iter().zip(rb) {
+                    match (va, vb) {
+                        // Packed nlq strings and float cells may pick
+                        // up reassociation noise across partitioned
+                        // scans; everything else must be identical.
+                        (Value::Str(sa), Value::Str(sb))
+                            if sa.starts_with("NLQ;") && sb.starts_with("NLQ;") =>
+                        {
+                            let (na, nb) = (unpack_nlq(sa).unwrap(), unpack_nlq(sb).unwrap());
+                            assert_eq!(na.n(), nb.n(), "thread {k} select {i}");
+                        }
+                        (Value::Float(fa), Value::Float(fb)) => assert!(
+                            (fa - fb).abs() <= 1e-9 * (1.0 + fa.abs().max(fb.abs())),
+                            "thread {k} select {i}: {fa} vs {fb}"
+                        ),
+                        _ => assert_eq!(va, vb, "thread {k} select {i}"),
+                    }
+                }
+            }
+        }
+    }
 }
