@@ -1,8 +1,10 @@
 //! Network service benchmark: queries/second through `nlq-server` for
-//! the paper's two hot request shapes — scoring a data set with a
-//! scalar UDF, and answering the Γ aggregate from a materialized
-//! summary (no scan) — measured end-to-end over loopback TCP with
-//! concurrent client connections. Emits `BENCH_server.json`.
+//! the paper's hot request shapes — scoring a data set with a scalar
+//! UDF (bounded response), the same scoring query streamed in full
+//! (every scored row chunked over the wire), and answering the Γ
+//! aggregate from a materialized summary (no scan) — measured
+//! end-to-end over loopback TCP with concurrent client connections.
+//! Emits `BENCH_server.json`.
 //!
 //! Usage:
 //!
@@ -85,6 +87,9 @@ fn main() {
         ServerConfig {
             workers,
             max_connections: clients + 4,
+            // Small enough that the streamed workload really exercises
+            // multi-chunk result delivery.
+            chunk_bytes: 256 << 10,
             ..ServerConfig::default()
         },
     )
@@ -101,12 +106,28 @@ fn main() {
         xs.join(", "),
         bs.join(", ")
     );
+    // The same scoring shape with no LIMIT: all n scored rows come
+    // back, chunk frame by chunk frame — the streaming data path.
+    let streamed_sql = format!(
+        "SELECT x.i, linearregscore({}, b.b0, {}) FROM X x CROSS JOIN BETA b",
+        xs.join(", "),
+        bs.join(", ")
+    );
     let summary_sql = format!("SELECT nlq_list({d}, 'triang', {}) FROM X", cols.join(", "));
 
+    // Streamed queries move ~n rows of payload each; run fewer of
+    // them so the workload finishes in the same ballpark.
+    let per_client_streamed = (per_client / 4).max(2);
     let mut results = Vec::new();
-    for (workload, sql, expect_summary) in [
-        ("scoring_udf", &scoring_sql, false),
-        ("summary_hit", &summary_sql, true),
+    for (workload, sql, expect_summary, queries_each) in [
+        ("scoring_udf", &scoring_sql, false, per_client),
+        (
+            "streamed_scoring",
+            &streamed_sql,
+            false,
+            per_client_streamed,
+        ),
+        ("summary_hit", &summary_sql, true, per_client),
     ] {
         eprintln!("measuring {workload} ...");
         results.push(measure(
@@ -115,7 +136,7 @@ fn main() {
             sql,
             expect_summary,
             clients,
-            per_client,
+            queries_each,
         ));
     }
     handle.shutdown();

@@ -1,17 +1,20 @@
 //! Scripted end-to-end smoke session against a running `nlq-server`,
 //! used by CI: load → CREATE SUMMARY → summary-hit aggregate → scoring
-//! UDF query → METRICS → SHUTDOWN. Exits nonzero on the first
-//! mismatch.
+//! UDF query → chunked streaming → client-initiated cancel → METRICS
+//! → SHUTDOWN. Exits nonzero on the first mismatch.
 //!
 //! ```text
-//! server_smoke --addr HOST:PORT [--skip-shutdown]
+//! server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N]
 //! ```
+//!
+//! `--expect-chunks N` asserts the large streamed query arrives in at
+//! least `N` chunk frames (pair it with the server's `--chunk-bytes`).
 
 use std::process::ExitCode;
 
 use nlq_client::Client;
 
-fn run(addr: &str, skip_shutdown: bool) -> Result<(), String> {
+fn run(addr: &str, skip_shutdown: bool, expect_chunks: u64) -> Result<(), String> {
     let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
     c.ping().map_err(|e| format!("ping: {e}"))?;
     println!("session {} established", c.session_id());
@@ -62,6 +65,63 @@ fn run(addr: &str, skip_shutdown: bool) -> Result<(), String> {
         rs.stats.block_path
     );
 
+    // Streamed delivery: a result big enough to span several chunk
+    // frames must arrive complete, in order, with a verified trailer.
+    c.execute("CREATE TABLE BIG (i INT, X1 FLOAT)")
+        .map_err(|e| format!("create BIG: {e}"))?;
+    let values: Vec<String> = (0..1000).map(|i| format!("({i}, {i}.25)")).collect();
+    for batch in values.chunks(250) {
+        c.execute(&format!("INSERT INTO BIG VALUES {}", batch.join(", ")))
+            .map_err(|e| format!("fill BIG: {e}"))?;
+    }
+    let mut stream = c
+        .query("SELECT i, X1 FROM BIG")
+        .map_err(|e| format!("stream: {e}"))?;
+    // Scan order follows the table's partitions, not insertion order;
+    // verify the stream is complete and self-consistent instead.
+    let mut seen_i = Vec::new();
+    for (n, row) in stream.by_ref().enumerate() {
+        let row = row.map_err(|e| format!("stream row {n}: {e}"))?;
+        let i = row[0]
+            .as_i64()
+            .ok_or_else(|| format!("stream row {n} has no int key: {row:?}"))?;
+        let x1 = row[1].as_f64().unwrap_or(f64::NAN);
+        if (x1 - (i as f64 + 0.25)).abs() > 1e-12 {
+            return Err(format!("stream row {n} torn: {row:?}"));
+        }
+        seen_i.push(i);
+    }
+    let streamed_rows = seen_i.len() as u64;
+    seen_i.sort_unstable();
+    seen_i.dedup();
+    if seen_i.len() as u64 != streamed_rows {
+        return Err("stream delivered duplicate rows".into());
+    }
+    let chunks = stream.chunks_received();
+    if stream.stats().is_none() {
+        return Err("stream ended without a verified trailer".into());
+    }
+    drop(stream);
+    if streamed_rows != 1000 {
+        return Err(format!("streamed {streamed_rows} rows, want 1000"));
+    }
+    if expect_chunks > 0 && chunks < expect_chunks {
+        return Err(format!(
+            "result arrived in {chunks} chunks, want >= {expect_chunks}"
+        ));
+    }
+    println!("streaming ok ({streamed_rows} rows in {chunks} chunks)");
+
+    // Client-initiated cancel: abandon a stream mid-flight. The drop
+    // sends Cancel and drains to the terminal frame, whichever side
+    // wins the race — the session must stay usable either way.
+    let stream = c
+        .query("SELECT i, X1 FROM BIG")
+        .map_err(|e| format!("cancel stream: {e}"))?;
+    drop(stream);
+    c.ping().map_err(|e| format!("ping after cancel: {e}"))?;
+    println!("cancel ok (session survives an abandoned stream)");
+
     // METRICS must reflect this very session.
     let metrics = c.metrics().map_err(|e| format!("metrics: {e}"))?;
     let executes = metrics
@@ -70,6 +130,20 @@ fn run(addr: &str, skip_shutdown: bool) -> Result<(), String> {
         .ok_or("metrics missing command.execute.count")?;
     if executes < 7 {
         return Err(format!("execute count {executes}, want >= 7"));
+    }
+    let cancels = metrics
+        .lookup("cancel_requests")
+        .and_then(|v| v.as_i64())
+        .ok_or("metrics missing cancel_requests")?;
+    if cancels < 1 {
+        return Err(format!("cancel_requests {cancels}, want >= 1"));
+    }
+    let streamed = metrics
+        .lookup("chunks_streamed")
+        .and_then(|v| v.as_i64())
+        .ok_or("metrics missing chunks_streamed")?;
+    if streamed < chunks as i64 {
+        return Err(format!("chunks_streamed {streamed}, want >= {chunks}"));
     }
     let hits = metrics
         .lookup("summary_hits")
@@ -90,11 +164,21 @@ fn run(addr: &str, skip_shutdown: bool) -> Result<(), String> {
 fn main() -> ExitCode {
     let mut addr = None;
     let mut skip_shutdown = false;
+    let mut expect_chunks = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--addr" => addr = args.next(),
             "--skip-shutdown" => skip_shutdown = true,
+            "--expect-chunks" => {
+                expect_chunks = match args.next().map(|v| v.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        eprintln!("--expect-chunks requires a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::FAILURE;
@@ -102,10 +186,10 @@ fn main() -> ExitCode {
         }
     }
     let Some(addr) = addr else {
-        eprintln!("usage: server_smoke --addr HOST:PORT [--skip-shutdown]");
+        eprintln!("usage: server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N]");
         return ExitCode::FAILURE;
     };
-    match run(&addr, skip_shutdown) {
+    match run(&addr, skip_shutdown, expect_chunks) {
         Ok(()) => {
             println!("smoke session passed");
             ExitCode::SUCCESS

@@ -17,14 +17,24 @@
 //! via [`Client::set_option`], and the stats of the last statement
 //! (via [`Client::status`]). Requests are strictly serial per
 //! connection; use one client per thread for concurrency.
+//!
+//! ## Streaming
+//!
+//! Results arrive as a stream of chunk frames. [`Client::query`]
+//! exposes that directly: it returns a [`RowStream`] that yields rows
+//! as chunks come off the wire, verifies the stream trailer, and can
+//! cancel the statement mid-flight via [`RowStream::cancel`] (or by
+//! being dropped early). [`Client::execute`] is the collect-it-all
+//! convenience built on top.
 
 use std::fmt;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use nlq_server::wire::{
-    read_frame, write_frame, ErrorCode, Request, Response, WireStats, PROTOCOL_VERSION,
+    read_frame, write_frame, ErrorCode, Request, Response, WireStats, CHUNK_OVERHEAD,
+    PROTOCOL_VERSION,
 };
 use nlq_storage::Value;
 
@@ -100,6 +110,10 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     session_id: u64,
+    /// 1-based count of `Execute` requests sent. Mirrors the server's
+    /// count for this session, so both sides agree on the sequence
+    /// number a `Cancel { seq }` names without any handshake.
+    execute_seq: u64,
 }
 
 impl Client {
@@ -118,12 +132,16 @@ impl Client {
     }
 
     fn from_stream(stream: TcpStream) -> Result<Client> {
+        // Requests (Execute, Cancel) are tiny frames that must reach
+        // the server immediately, not sit in a Nagle buffer.
+        let _ = stream.set_nodelay(true);
         let reader = BufReader::new(stream.try_clone()?);
         let writer = BufWriter::new(stream);
         let mut client = Client {
             reader,
             writer,
             session_id: 0,
+            execute_seq: 0,
         };
         match client.read_response()? {
             Response::Hello {
@@ -187,10 +205,52 @@ impl Client {
         }
     }
 
-    /// Runs one SQL statement.
+    /// Runs one SQL statement and collects the whole streamed result.
     pub fn execute(&mut self, sql: &str) -> Result<RemoteResult> {
-        self.expect_result(&Request::Execute {
-            sql: sql.to_owned(),
+        let mut stream = self.query(sql)?;
+        let columns = stream.columns()?.to_vec();
+        let mut rows = Vec::new();
+        for row in &mut stream {
+            rows.push(row?);
+        }
+        let stats = *stream.stats().ok_or_else(|| {
+            ClientError::Protocol("stream ended without a RowsDone trailer".into())
+        })?;
+        Ok(RemoteResult {
+            columns,
+            rows,
+            stats,
+        })
+    }
+
+    /// Runs one SQL statement, returning the result as a row stream.
+    ///
+    /// The request is sent immediately but nothing is read until the
+    /// first [`RowStream`] access, so the caller can hold the handle
+    /// and [`RowStream::cancel`] before ever blocking on the result.
+    /// Dropping the stream early cancels the statement and drains the
+    /// connection back to a clean request boundary.
+    pub fn query(&mut self, sql: &str) -> Result<RowStream<'_>> {
+        self.execute_seq += 1;
+        let seq = self.execute_seq;
+        write_frame(
+            &mut self.writer,
+            &Request::Execute {
+                sql: sql.to_owned(),
+            }
+            .encode(),
+        )?;
+        Ok(RowStream {
+            client: self,
+            seq,
+            columns: Vec::new(),
+            started: false,
+            terminal: false,
+            buffered: Vec::new().into_iter(),
+            rows_yielded: 0,
+            row_bytes: 0,
+            chunks_received: 0,
+            stats: None,
         })
     }
 
@@ -226,5 +286,213 @@ impl Client {
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<()> {
         self.expect_ok(&Request::Shutdown)
+    }
+}
+
+/// A streamed query result.
+///
+/// Rows are yielded as chunk frames come off the wire; the stream
+/// ends at the server's `RowsDone` trailer, whose row/byte totals are
+/// verified against what was actually received. An error frame (SQL
+/// error, `Cancelled`, `Timeout`, `TooLarge` mid-stream) surfaces as
+/// one `Err` item and ends the stream.
+///
+/// Dropping a stream that has not reached its terminal frame sends a
+/// `Cancel` for the statement and drains the remaining frames, so the
+/// underlying [`Client`] stays at a clean request boundary.
+pub struct RowStream<'a> {
+    client: &'a mut Client,
+    seq: u64,
+    columns: Vec<String>,
+    started: bool,
+    /// Reached a terminal frame (or the connection broke): nothing
+    /// left to read for this statement.
+    terminal: bool,
+    buffered: std::vec::IntoIter<Vec<Value>>,
+    rows_yielded: u64,
+    /// Encoded row bytes received, per the chunk framing (payload
+    /// minus the fixed chunk header) — checked against the trailer.
+    row_bytes: u64,
+    chunks_received: u64,
+    stats: Option<WireStats>,
+}
+
+impl RowStream<'_> {
+    /// The statement's stream sequence number (what a `Cancel` names).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Chunk frames received so far.
+    pub fn chunks_received(&self) -> u64 {
+        self.chunks_received
+    }
+
+    /// The trailer's execution stats; `Some` once the stream finished
+    /// successfully.
+    pub fn stats(&self) -> Option<&WireStats> {
+        self.stats.as_ref()
+    }
+
+    /// Asks the server to cancel this statement. Fire-and-forget: the
+    /// acknowledgment is the stream's terminal frame, which will be
+    /// either `Cancelled` or — if the statement won the race — a
+    /// normal completion.
+    pub fn cancel(&mut self) -> Result<()> {
+        write_frame(
+            &mut self.client.writer,
+            &Request::Cancel { seq: self.seq }.encode(),
+        )?;
+        self.client.writer.flush()?;
+        Ok(())
+    }
+
+    /// The result's column names (reads up to the stream header).
+    pub fn columns(&mut self) -> Result<&[String]> {
+        self.ensure_started()?;
+        Ok(&self.columns)
+    }
+
+    fn read_payload(&mut self) -> Result<Vec<u8>> {
+        match read_frame(&mut self.client.reader) {
+            Ok(Some(p)) => Ok(p),
+            Ok(None) => {
+                self.terminal = true;
+                Err(ClientError::Protocol("connection closed mid-stream".into()))
+            }
+            Err(e) => {
+                self.terminal = true;
+                Err(ClientError::Io(e))
+            }
+        }
+    }
+
+    /// Reads frames up to this stream's `RowsHeader` (or its terminal
+    /// error).
+    fn ensure_started(&mut self) -> Result<()> {
+        if self.started {
+            return Ok(());
+        }
+        if self.terminal {
+            return Err(ClientError::Protocol("stream already ended".into()));
+        }
+        let payload = self.read_payload()?;
+        let response = Response::decode(&payload).inspect_err(|_| self.terminal = true)?;
+        match response {
+            Response::RowsHeader { seq, columns } if seq == self.seq => {
+                self.columns = columns;
+                self.started = true;
+                Ok(())
+            }
+            Response::Error { code, message } => {
+                self.terminal = true;
+                Err(ClientError::Server { code, message })
+            }
+            other => {
+                self.terminal = true;
+                Err(ClientError::Protocol(format!(
+                    "stream {} expected RowsHeader, got {other:?}",
+                    self.seq
+                )))
+            }
+        }
+    }
+
+    /// Reads the next chunk into the row buffer. `Ok(false)` means the
+    /// stream finished cleanly.
+    fn refill(&mut self) -> Result<bool> {
+        loop {
+            let payload = self.read_payload()?;
+            let response = Response::decode(&payload).inspect_err(|_| self.terminal = true)?;
+            match response {
+                Response::RowsChunk { seq, ncols, rows } => {
+                    if seq != self.seq || ncols as usize != self.columns.len() {
+                        self.terminal = true;
+                        return Err(ClientError::Protocol(format!(
+                            "stream {} got mismatched chunk (seq {seq}, {ncols} cols)",
+                            self.seq
+                        )));
+                    }
+                    self.chunks_received += 1;
+                    self.row_bytes += (payload.len() - CHUNK_OVERHEAD) as u64;
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    self.buffered = rows.into_iter();
+                    return Ok(true);
+                }
+                Response::RowsDone {
+                    seq,
+                    total_rows,
+                    total_bytes,
+                    stats,
+                } => {
+                    self.terminal = true;
+                    if seq != self.seq
+                        || total_rows != self.rows_yielded
+                        || total_bytes != self.row_bytes
+                    {
+                        return Err(ClientError::Protocol(format!(
+                            "stream {} trailer mismatch: server says {total_rows} rows / \
+                             {total_bytes} bytes, received {} rows / {} bytes",
+                            self.seq, self.rows_yielded, self.row_bytes
+                        )));
+                    }
+                    self.stats = Some(stats);
+                    return Ok(false);
+                }
+                Response::Error { code, message } => {
+                    self.terminal = true;
+                    return Err(ClientError::Server { code, message });
+                }
+                other => {
+                    self.terminal = true;
+                    return Err(ClientError::Protocol(format!(
+                        "stream {} expected RowsChunk/RowsDone, got {other:?}",
+                        self.seq
+                    )));
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for RowStream<'_> {
+    type Item = Result<Vec<Value>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(row) = self.buffered.next() {
+            self.rows_yielded += 1;
+            return Some(Ok(row));
+        }
+        if self.terminal {
+            return None;
+        }
+        if let Err(e) = self.ensure_started() {
+            return Some(Err(e));
+        }
+        match self.refill() {
+            Ok(true) => {
+                let row = self.buffered.next().expect("refill buffered rows");
+                self.rows_yielded += 1;
+                Some(Ok(row))
+            }
+            Ok(false) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+impl Drop for RowStream<'_> {
+    fn drop(&mut self) {
+        if self.terminal {
+            return;
+        }
+        // Abandoned mid-stream: cancel the statement and drain to its
+        // terminal frame so the next request starts clean. Every error
+        // path inside `next` marks the stream terminal, so this always
+        // terminates.
+        let _ = self.cancel();
+        while self.next().is_some() {}
     }
 }

@@ -10,7 +10,7 @@ use nlq_udf::{ParamStyle, UdfRegistry};
 
 use crate::ast::Statement;
 use crate::catalog::{Catalog, CatalogEntry};
-use crate::exec::{result_to_table, ExecContext};
+use crate::exec::{check_cancelled, result_to_table, ExecContext};
 use crate::expr::{Binder, BoundSchema};
 use crate::parser::parse;
 use crate::{sqlgen, EngineError, Result};
@@ -53,6 +53,12 @@ pub struct ExecStats {
     pub merge_nanos: u64,
     /// Phase 4 (finalize + HAVING + projection) time on the master.
     pub finalize_nanos: u64,
+    /// Whether the statement was cancelled mid-execution. The engine
+    /// never returns a [`ResultSet`] for a cancelled statement (it
+    /// returns [`EngineError::Cancelled`]); this flag exists so
+    /// serving layers can report "last statement was cancelled after
+    /// `rows_scanned` rows" through the same stats struct.
+    pub cancelled: bool,
 }
 
 /// Rows returned by a query.
@@ -115,11 +121,24 @@ impl ResultSet {
 /// defaults. This is how a server session applies its own settings
 /// (e.g. `SET block_scan off`) to a shared [`Db`] without mutating
 /// global state.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecOptions {
     /// Overrides the block-at-a-time scan toggle for this statement
     /// (`None` inherits [`Db::block_scan`]).
     pub block_scan: Option<bool>,
+    /// Cooperative cancellation token. Flip it to `true` from any
+    /// thread and the statement stops at the next block/row check,
+    /// returning [`EngineError::Cancelled`] with partial state
+    /// discarded. `None` means the statement cannot be interrupted.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl ExecOptions {
+    /// The statement's cancel token as the borrowed form the scan
+    /// loops check.
+    pub(crate) fn cancel_flag(&self) -> Option<&AtomicBool> {
+        self.cancel.as_deref()
+    }
 }
 
 /// An in-memory parallel database: catalog + worker pool + UDF
@@ -206,6 +225,7 @@ impl Db {
             summaries: &self.summaries,
             workers: self.workers,
             block_scan: opts.block_scan.unwrap_or_else(|| self.block_scan()),
+            cancel: opts.cancel.clone(),
         }
     }
 
@@ -217,6 +237,13 @@ impl Db {
     /// Parses and executes one SQL statement with per-statement
     /// execution options (a server session's settings).
     pub fn execute_with(&self, sql: &str, opts: &ExecOptions) -> Result<ResultSet> {
+        // A token that flipped before execution began cancels the
+        // whole statement up front — nothing has run, nothing mutated.
+        if let Some(c) = opts.cancel_flag() {
+            if c.load(Ordering::Relaxed) {
+                return Err(EngineError::Cancelled { rows_scanned: 0 });
+            }
+        }
         match parse(sql)? {
             Statement::Select(stmt) => self.ctx(opts).execute_select(&stmt),
             Statement::Explain(stmt) => {
@@ -325,7 +352,8 @@ impl Db {
                     .transpose()?;
                 let mut kept = Vec::new();
                 let mut deleted = Vec::new();
-                for row in t.scan_all() {
+                for (scanned, row) in t.scan_all().enumerate() {
+                    check_cancelled(opts.cancel_flag(), scanned as u64)?;
                     let row = row?;
                     let hit = match &pred {
                         Some(p) => matches!(p.eval(&row, &[], &[])?, Value::Int(x) if x != 0),
@@ -374,7 +402,8 @@ impl Db {
                     })
                     .collect::<Result<_>>()?;
                 let mut rows = Vec::new();
-                for row in t.scan_all() {
+                for (scanned, row) in t.scan_all().enumerate() {
+                    check_cancelled(opts.cancel_flag(), scanned as u64)?;
                     let mut row = row?;
                     let hit = match &pred {
                         Some(p) => matches!(p.eval(&row, &[], &[])?, Value::Int(x) if x != 0),

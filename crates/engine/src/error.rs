@@ -38,6 +38,14 @@ pub enum EngineError {
         /// The configured limit.
         limit: usize,
     },
+    /// The statement was cooperatively cancelled mid-execution (the
+    /// [`crate::ExecOptions`] cancel token flipped). Partial state is
+    /// discarded; `rows_scanned` counts base-table rows read before
+    /// the workers noticed the flip (best effort).
+    Cancelled {
+        /// Rows scanned before the cancellation took effect.
+        rows_scanned: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -60,6 +68,9 @@ impl fmt::Display for EngineError {
             EngineError::Summary(msg) => write!(f, "summary error: {msg}"),
             EngineError::JoinTooLarge { rows, limit } => {
                 write!(f, "cross join materializes {rows} rows, limit is {limit}")
+            }
+            EngineError::Cancelled { rows_scanned } => {
+                write!(f, "query cancelled after {rows_scanned} rows")
             }
         }
     }
@@ -87,6 +98,13 @@ impl From<nlq_models::ModelError> for EngineError {
 
 impl From<nlq_summary::SummaryError> for EngineError {
     fn from(e: nlq_summary::SummaryError) -> Self {
-        EngineError::Summary(e.to_string())
+        match e {
+            // A cancelled rebuild is the statement's own cancellation,
+            // not a summary failure.
+            nlq_summary::SummaryError::Cancelled { rows_scanned } => {
+                EngineError::Cancelled { rows_scanned }
+            }
+            other => EngineError::Summary(other.to_string()),
+        }
     }
 }

@@ -1,5 +1,6 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -37,6 +38,44 @@ pub(crate) struct ExecContext<'a> {
     pub workers: usize,
     /// Whether eligible aggregates may use the block-at-a-time scan.
     pub block_scan: bool,
+    /// Cooperative cancellation token (see
+    /// [`crate::ExecOptions::cancel`]); checked per row/block in every
+    /// scan loop.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+/// Returns [`EngineError::Cancelled`] when the statement's cancel
+/// token has flipped. Scan loops call this once per row or block; a
+/// relaxed atomic load keeps the check effectively free.
+pub(crate) fn check_cancelled(cancel: Option<&AtomicBool>, rows_scanned: u64) -> Result<()> {
+    if let Some(c) = cancel {
+        if c.load(Ordering::Relaxed) {
+            return Err(EngineError::Cancelled { rows_scanned });
+        }
+    }
+    Ok(())
+}
+
+/// Folds worker partials, giving any non-cancellation error priority
+/// and otherwise collapsing cancelled workers into one
+/// [`EngineError::Cancelled`] whose `rows_scanned` sums their
+/// best-effort counts.
+fn merge_partial_errors<T>(partials: Vec<Result<T>>) -> Result<Vec<T>> {
+    let mut out = Vec::with_capacity(partials.len());
+    let mut cancelled_rows: Option<u64> = None;
+    for p in partials {
+        match p {
+            Ok(v) => out.push(v),
+            Err(EngineError::Cancelled { rows_scanned }) => {
+                *cancelled_rows.get_or_insert(0) += rows_scanned;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    match cancelled_rows {
+        Some(rows_scanned) => Err(EngineError::Cancelled { rows_scanned }),
+        None => Ok(out),
+    }
 }
 
 /// The outcome of planning a SELECT: everything both the executor and
@@ -439,10 +478,12 @@ impl ExecContext<'_> {
 
         let bound_ref = &bound;
         let order_ref = &order_bound;
+        let cancel = self.cancel.as_deref();
         let partials: Vec<Result<Vec<(Row, Row)>>> = parallel_scan(base, self.workers, |iter| {
             let mut out = Vec::new();
             let mut combined_buf: Row = Vec::new();
-            for row in iter {
+            for (scanned, row) in iter.enumerate() {
+                check_cancelled(cancel, scanned as u64)?;
                 let left = row?;
                 'suffixes: for suffix in join_product {
                     // Borrow the base row directly when there is no join.
@@ -479,8 +520,8 @@ impl ExecContext<'_> {
         });
 
         let mut keyed_rows = Vec::new();
-        for p in partials {
-            keyed_rows.extend(p?);
+        for p in merge_partial_errors(partials)? {
+            keyed_rows.extend(p);
         }
         let rows = finish_rows(keyed_rows, &stmt.order_by, stmt.limit);
         Ok(ResultSet::new(names, rows))
@@ -495,12 +536,14 @@ impl ExecContext<'_> {
         base: &Table,
         plan: &ScalarBlockPlan,
     ) -> Result<(Vec<Row>, u64, u64)> {
+        let cancel = self.cancel.as_deref();
         let partials: Vec<Result<(Vec<Row>, u64, u64)>> =
             parallel_scan_partitions(base, self.workers, |p| {
                 let mut out = Vec::new();
                 let mut iter = base.scan_partition_blocks_numeric(p, &plan.cols)?;
                 let (mut rows, mut blocks) = (0u64, 0u64);
                 while let Some(block) = iter.next_block() {
+                    check_cancelled(cancel, rows)?;
                     let block = block?;
                     rows += block.len() as u64;
                     blocks += 1;
@@ -516,8 +559,7 @@ impl ExecContext<'_> {
             });
         let mut all = Vec::new();
         let (mut rows, mut blocks) = (0u64, 0u64);
-        for p in partials {
-            let (o, r, b) = p?;
+        for (o, r, b) in merge_partial_errors(partials)? {
             all.extend(o);
             rows += r;
             blocks += b;
@@ -639,6 +681,7 @@ impl ExecContext<'_> {
         let group_ref = &group_bound;
         let calls_ref = &agg_calls;
         let fast_ref = &fast_args;
+        let cancel = self.cancel.as_deref();
 
         // Vectorized alternative to the row loop: when the whole
         // statement is a global aggregate over numeric columns of the
@@ -666,6 +709,7 @@ impl ExecContext<'_> {
                 let mut iter = base.scan_partition_blocks(p, &plan.cols)?;
                 let (mut rows, mut blocks) = (0u64, 0u64);
                 while let Some(block) = iter.next_block() {
+                    check_cancelled(cancel, rows)?;
                     let block = block?;
                     rows += block.len() as u64;
                     blocks += 1;
@@ -687,6 +731,7 @@ impl ExecContext<'_> {
                 let mut combined_buf: Row = Vec::new();
                 let mut rows = 0u64;
                 for row in iter {
+                    check_cancelled(cancel, rows)?;
                     let left = row?;
                     rows += 1;
                     'suffixes: for suffix in join_product {
@@ -736,8 +781,7 @@ impl ExecContext<'_> {
         // Phase 3: master merges the partials.
         let merge_start = Instant::now();
         let mut merged: GroupMap = HashMap::new();
-        for partial in partials {
-            let (groups, rows, blocks, nanos) = partial?;
+        for (groups, rows, blocks, nanos) in merge_partial_errors(partials)? {
             stats.rows_scanned += rows;
             stats.blocks_scanned += blocks;
             stats.accumulate_nanos += nanos;
@@ -819,12 +863,15 @@ impl ExecContext<'_> {
                 continue;
             };
             if !entry.is_fresh() {
-                if entry.rebuild(base).is_err() {
+                match entry.rebuild_with_cancel(base, self.cancel.as_deref()) {
+                    Ok(()) => stats.summary_stale_rebuilds += 1,
+                    // A cancelled rebuild cancels the statement; the
+                    // entry stays stale for the next reader.
+                    Err(e @ nlq_summary::SummaryError::Cancelled { .. }) => return Err(e.into()),
                     // E.g. the table was replaced with an incompatible
                     // schema; the summary stays stale and unusable.
-                    continue;
+                    Err(_) => continue,
                 }
-                stats.summary_stale_rebuilds += 1;
             }
             let snap = entry.snapshot();
             if !snap.fresh || !null_gate(entry.def(), &recipes, snap.null_rows_skipped) {

@@ -46,6 +46,7 @@ fn block_vs_row(db: &Db, sql: &str) -> (ResultSet, ResultSet) {
             sql,
             &ExecOptions {
                 block_scan: Some(false),
+                ..ExecOptions::default()
             },
         )
         .unwrap();

@@ -1,0 +1,218 @@
+//! Cooperative cancellation at the engine layer: a flipped token must
+//! surface as `EngineError::Cancelled` at the next row/block check,
+//! and a cancelled statement must leave no partial state behind — no
+//! half-applied DML, no half-built summary.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nlq_engine::{Db, EngineError, ExecOptions};
+use nlq_models::MatrixShape;
+use nlq_storage::{Column, DataType, Schema, Table, Value};
+use nlq_summary::{SummaryDef, SummaryError, SummaryStore};
+use nlq_udf::ScalarUdf;
+
+/// `trip(x)`: returns `x`, flipping the captured cancel token once it
+/// has been called `after` times — a deterministic mid-scan cancel.
+#[derive(Debug)]
+struct TripAfter {
+    token: Arc<AtomicBool>,
+    after: u64,
+    calls: AtomicU64,
+}
+
+impl ScalarUdf for TripAfter {
+    fn name(&self) -> &str {
+        "trip"
+    }
+    fn eval(&self, args: &[Value]) -> nlq_udf::Result<Value> {
+        if self.calls.fetch_add(1, Ordering::SeqCst) + 1 >= self.after {
+            self.token.store(true, Ordering::SeqCst);
+        }
+        Ok(args[0].clone())
+    }
+}
+
+fn cancel_opts(token: &Arc<AtomicBool>) -> ExecOptions {
+    ExecOptions {
+        cancel: Some(Arc::clone(token)),
+        ..ExecOptions::default()
+    }
+}
+
+/// A single-partition Db (deterministic scan order) with `n` rows and
+/// a `trip` UDF wired to `token`.
+fn tripping_db(n: usize, token: &Arc<AtomicBool>, after: u64) -> Db {
+    let db = Db::new(1);
+    db.with_registry_mut(|r| {
+        r.register_scalar(Arc::new(TripAfter {
+            token: Arc::clone(token),
+            after,
+            calls: AtomicU64::new(0),
+        }))
+    });
+    db.execute("CREATE TABLE T (i INT, X1 FLOAT)").unwrap();
+    let values: Vec<String> = (0..n).map(|i| format!("({i}, {i}.5)")).collect();
+    db.execute(&format!("INSERT INTO T VALUES {}", values.join(", ")))
+        .unwrap();
+    db
+}
+
+#[test]
+fn pre_flipped_token_fails_before_any_work() {
+    let token = Arc::new(AtomicBool::new(true));
+    let db = tripping_db(10, &token, u64::MAX);
+    match db.execute_with("SELECT sum(X1) FROM T", &cancel_opts(&token)) {
+        Err(EngineError::Cancelled { rows_scanned }) => assert_eq!(rows_scanned, 0),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // The same statement without a token still runs.
+    let rs = db.execute("SELECT count(*) FROM T").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(10));
+}
+
+#[test]
+fn mid_scan_flip_cancels_a_select() {
+    let token = Arc::new(AtomicBool::new(false));
+    let db = tripping_db(100, &token, 5);
+    let opts = ExecOptions {
+        block_scan: Some(false), // row path: the token check is per row
+        ..cancel_opts(&token)
+    };
+    match db.execute_with("SELECT trip(X1) FROM T", &opts) {
+        Err(EngineError::Cancelled { rows_scanned }) => {
+            assert!(
+                (5..100).contains(&rows_scanned),
+                "cancel landed mid-scan, scanned {rows_scanned}"
+            );
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn mid_scan_flip_cancels_the_block_path() {
+    // 5000 rows = several 1024-row blocks; the flip in block 1 is
+    // caught by the per-block check before block 2.
+    let token = Arc::new(AtomicBool::new(false));
+    let db = tripping_db(5000, &token, 5);
+    match db.execute_with("SELECT trip(X1) FROM T", &cancel_opts(&token)) {
+        Err(EngineError::Cancelled { rows_scanned }) => {
+            assert!(rows_scanned < 5000, "scanned {rows_scanned}");
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancelled_update_mutates_nothing() {
+    let token = Arc::new(AtomicBool::new(false));
+    let db = tripping_db(50, &token, 3);
+    db.execute("CREATE SUMMARY s ON T (X1)").unwrap();
+    let before = db.execute("SELECT sum(X1) FROM T").unwrap();
+
+    match db.execute_with("UPDATE T SET X1 = trip(X1) + 1.0", &cancel_opts(&token)) {
+        Err(EngineError::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+
+    // Neither the table nor the summary saw any of the update.
+    let after = db.execute("SELECT sum(X1) FROM T").unwrap();
+    assert_eq!(before.value(0, 0), after.value(0, 0));
+    assert!(
+        after.stats.summary_path && after.stats.rows_scanned == 0,
+        "summary must still answer without a scan: {:?}",
+        after.stats
+    );
+
+    // The statement itself was fine — it succeeds without a token.
+    db.execute("UPDATE T SET X1 = X1 + 1.0").unwrap();
+    let bumped = db.execute("SELECT sum(X1) FROM T").unwrap();
+    let want = before.value(0, 0).as_f64().unwrap() + 50.0;
+    assert!((bumped.value(0, 0).as_f64().unwrap() - want).abs() < 1e-9);
+}
+
+#[test]
+fn cancelled_delete_removes_nothing() {
+    let token = Arc::new(AtomicBool::new(false));
+    let db = tripping_db(50, &token, 2);
+    match db.execute_with("DELETE FROM T WHERE trip(X1) >= 0.0", &cancel_opts(&token)) {
+        Err(EngineError::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    let rs = db.execute("SELECT count(*) FROM T").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(50));
+}
+
+#[test]
+fn stale_summary_rebuild_honors_the_token() {
+    // Direct summary-store check: a cancelled rebuild reports
+    // `SummaryError::Cancelled` and leaves the entry stale.
+    let schema = Schema::new(vec![
+        Column::new("i", DataType::Int),
+        Column::new("x1", DataType::Float),
+    ]);
+    let mut table = Table::new(schema, 1);
+    for i in 0..2000 {
+        table
+            .insert(vec![Value::Int(i), Value::Float(i as f64 * 0.5)])
+            .unwrap();
+    }
+    let store = SummaryStore::new();
+    store
+        .create(
+            SummaryDef {
+                name: "s".into(),
+                table: "t".into(),
+                columns: vec!["x1".into()],
+                shape: MatrixShape::Triangular,
+                minmax: true,
+                group_by: None,
+            },
+            &table,
+        )
+        .unwrap();
+    let entry = store.get("s").unwrap();
+    entry.mark_stale();
+    assert!(!entry.is_fresh());
+
+    let flipped = AtomicBool::new(true);
+    match entry.rebuild_with_cancel(&table, Some(&flipped)) {
+        Err(SummaryError::Cancelled { rows_scanned }) => assert_eq!(rows_scanned, 0),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert!(!entry.is_fresh(), "cancelled rebuild must stay stale");
+
+    // Without the token the same rebuild completes.
+    entry.rebuild_with_cancel(&table, None).unwrap();
+    assert!(entry.is_fresh());
+}
+
+#[test]
+fn stale_rebuild_through_the_query_path_respects_cancel() {
+    // DELETE makes a minmax summary stale; the next aggregate wants a
+    // rebuild. With a pre-flipped token the statement dies before
+    // touching the entry, which must remain stale.
+    let token = Arc::new(AtomicBool::new(false));
+    let db = tripping_db(50, &token, u64::MAX);
+    db.execute("CREATE SUMMARY s ON T (X1)").unwrap();
+    db.execute("DELETE FROM T WHERE i = 0").unwrap();
+    let entry = db.summaries().get("s").unwrap();
+    assert!(!entry.is_fresh(), "DELETE must stale a minmax summary");
+
+    token.store(true, Ordering::SeqCst);
+    match db.execute_with("SELECT count(*), sum(X1) FROM T", &cancel_opts(&token)) {
+        Err(EngineError::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert!(!entry.is_fresh(), "cancelled statement must not rebuild");
+
+    // Cleared token: the query rebuilds and answers from the summary.
+    token.store(false, Ordering::SeqCst);
+    let rs = db
+        .execute_with("SELECT count(*), sum(X1) FROM T", &cancel_opts(&token))
+        .unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(49));
+    assert!(rs.stats.summary_stale_rebuilds >= 1 || rs.stats.summary_path);
+    assert!(entry.is_fresh());
+}

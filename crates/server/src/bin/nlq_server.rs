@@ -3,6 +3,8 @@
 //! ```text
 //! nlq-server [--addr HOST:PORT] [--workers N] [--max-connections N]
 //!            [--queue N] [--timeout-ms N] [--max-result-rows N]
+//!            [--max-result-bytes N] [--chunk-bytes N]
+//!            [--drain-grace-ms N]
 //! ```
 //!
 //! The process runs until a client issues `SHUTDOWN` (or the process
@@ -49,10 +51,25 @@ fn parse_args() -> Result<ServerConfig, String> {
                 config.max_result_rows =
                     take("count")?.parse().map_err(|e| format!("{flag}: {e}"))?
             }
+            "--max-result-bytes" => {
+                config.max_result_bytes =
+                    take("bytes")?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--chunk-bytes" => {
+                config.chunk_bytes = take("bytes")?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--drain-grace-ms" => {
+                config.drain_grace = Duration::from_millis(
+                    take("millis")?
+                        .parse()
+                        .map_err(|e| format!("{flag}: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: nlq-server [--addr HOST:PORT] [--workers N] [--max-connections N] \
-                     [--queue N] [--timeout-ms N] [--max-result-rows N]"
+                     [--queue N] [--timeout-ms N] [--max-result-rows N] [--max-result-bytes N] \
+                     [--chunk-bytes N] [--drain-grace-ms N]"
                         .into(),
                 )
             }

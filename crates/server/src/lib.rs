@@ -24,4 +24,5 @@ pub mod pool;
 mod server;
 pub mod wire;
 
+pub use metrics::Metrics;
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -29,15 +29,18 @@ pub enum Command {
     Ping,
     /// `Shutdown` requests.
     Shutdown,
+    /// `Cancel` requests (handled inline by session readers).
+    Cancel,
 }
 
-const COMMANDS: [(Command, &str); 6] = [
+const COMMANDS: [(Command, &str); 7] = [
     (Command::Execute, "execute"),
     (Command::SetOption, "set_option"),
     (Command::Status, "status"),
     (Command::Metrics, "metrics"),
     (Command::Ping, "ping"),
     (Command::Shutdown, "shutdown"),
+    (Command::Cancel, "cancel"),
 ];
 
 fn slot(cmd: Command) -> usize {
@@ -54,9 +57,9 @@ const LAT_BUCKETS: usize = 14;
 
 /// All server metrics; cheap to share behind an `Arc`.
 pub struct Metrics {
-    counts: [AtomicU64; 6],
-    errors: [AtomicU64; 6],
-    latency: [Mutex<Histogram>; 6],
+    counts: [AtomicU64; 7],
+    errors: [AtomicU64; 7],
+    latency: [Mutex<Histogram>; 7],
     /// Connections refused by admission control.
     pub connections_rejected: AtomicU64,
     /// Connections accepted over the server's lifetime.
@@ -69,6 +72,15 @@ pub struct Metrics {
     pub queue_rejections: AtomicU64,
     /// Results dropped for exceeding row/byte limits.
     pub results_too_large: AtomicU64,
+    /// Queries that ended with a client- or drain-initiated cancel.
+    pub queries_cancelled: AtomicU64,
+    /// `Cancel` request frames received (whether or not they landed
+    /// on a live statement).
+    pub cancel_requests: AtomicU64,
+    /// Total `RowsChunk` payload bytes written to sockets.
+    pub bytes_streamed: AtomicU64,
+    /// Total `RowsChunk` frames written to sockets.
+    pub chunks_streamed: AtomicU64,
     /// Summary-store hits accumulated across statements.
     pub summary_hits: AtomicU64,
     /// Summary-store misses accumulated across statements.
@@ -90,6 +102,10 @@ impl Metrics {
             query_timeouts: AtomicU64::new(0),
             queue_rejections: AtomicU64::new(0),
             results_too_large: AtomicU64::new(0),
+            queries_cancelled: AtomicU64::new(0),
+            cancel_requests: AtomicU64::new(0),
+            bytes_streamed: AtomicU64::new(0),
+            chunks_streamed: AtomicU64::new(0),
             summary_hits: AtomicU64::new(0),
             summary_misses: AtomicU64::new(0),
         }
@@ -115,14 +131,15 @@ impl Metrics {
         self.summary_misses.fetch_add(misses, Ordering::Relaxed);
     }
 
-    /// Renders every metric as `(name, value)` rows. `queue_depth` is
-    /// sampled by the caller (the pool owns it).
-    pub fn render(&self, queue_depth: usize) -> Vec<Vec<Value>> {
+    /// Renders every metric as `(name, value)` rows. `queue_depth` and
+    /// `workers_busy` are sampled by the caller (the pool owns them).
+    pub fn render(&self, queue_depth: usize, workers_busy: usize) -> Vec<Vec<Value>> {
         let mut rows = Vec::new();
         let mut gauge = |name: &str, v: u64| {
             rows.push(vec![Value::Str(name.to_owned()), Value::Int(v as i64)]);
         };
         gauge("queue_depth", queue_depth as u64);
+        gauge("workers_busy", workers_busy as u64);
         gauge(
             "connections_accepted",
             self.connections_accepted.load(Ordering::Relaxed),
@@ -146,6 +163,22 @@ impl Metrics {
         gauge(
             "results_too_large",
             self.results_too_large.load(Ordering::Relaxed),
+        );
+        gauge(
+            "queries_cancelled",
+            self.queries_cancelled.load(Ordering::Relaxed),
+        );
+        gauge(
+            "cancel_requests",
+            self.cancel_requests.load(Ordering::Relaxed),
+        );
+        gauge(
+            "bytes_streamed",
+            self.bytes_streamed.load(Ordering::Relaxed),
+        );
+        gauge(
+            "chunks_streamed",
+            self.chunks_streamed.load(Ordering::Relaxed),
         );
         gauge("summary_hits", self.summary_hits.load(Ordering::Relaxed));
         gauge(
@@ -207,9 +240,13 @@ mod tests {
         m.record(Command::Execute, Duration::from_micros(50), true);
         m.record(Command::Execute, Duration::from_millis(20), false);
         m.record(Command::Ping, Duration::from_micros(2), true);
+        m.record(Command::Cancel, Duration::from_micros(3), true);
         m.record_summary(3, 1);
+        m.queries_cancelled.fetch_add(1, Ordering::Relaxed);
+        m.bytes_streamed.fetch_add(4096, Ordering::Relaxed);
+        m.chunks_streamed.fetch_add(2, Ordering::Relaxed);
 
-        let rows = m.render(5);
+        let rows = m.render(5, 2);
         let get = |name: &str| -> i64 {
             rows.iter()
                 .find(|r| r[0].as_str() == Some(name))
@@ -218,6 +255,11 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(get("queue_depth"), 5);
+        assert_eq!(get("workers_busy"), 2);
+        assert_eq!(get("queries_cancelled"), 1);
+        assert_eq!(get("bytes_streamed"), 4096);
+        assert_eq!(get("chunks_streamed"), 2);
+        assert_eq!(get("command.cancel.count"), 1);
         assert_eq!(get("command.execute.count"), 2);
         assert_eq!(get("command.execute.errors"), 1);
         assert_eq!(get("command.ping.count"), 1);

@@ -12,6 +12,7 @@
 //! delivered.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -28,6 +29,8 @@ struct Shared {
     /// Signaled when a job arrives or shutdown begins.
     available: Condvar,
     capacity: usize,
+    /// Workers currently inside a job.
+    busy: AtomicUsize,
 }
 
 /// Fixed worker threads pulling from one bounded queue.
@@ -56,6 +59,7 @@ impl WorkerPool {
             }),
             available: Condvar::new(),
             capacity: capacity.max(1),
+            busy: AtomicUsize::new(0),
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -87,6 +91,13 @@ impl WorkerPool {
     /// Number of jobs waiting (not yet picked up by a worker).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.lock().expect("pool queue").jobs.len()
+    }
+
+    /// Number of workers currently executing a job. A cancelled query
+    /// shows up here as the count dropping once the scan notices the
+    /// token.
+    pub fn workers_busy(&self) -> usize {
+        self.shared.busy.load(Ordering::Relaxed)
     }
 
     /// Stops admission, drains every queued job, and joins the
@@ -126,7 +137,9 @@ fn worker_loop(shared: &Shared) {
                 q = shared.available.wait(q).expect("pool queue");
             }
         };
+        shared.busy.fetch_add(1, Ordering::Relaxed);
         job();
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

@@ -1,17 +1,31 @@
 //! The TCP server: accept loop, per-connection sessions, admission
-//! control, and graceful shutdown.
+//! control, streamed results, cooperative cancellation, and graceful
+//! shutdown.
 //!
 //! ## Threading model
 //!
 //! One accept thread owns the listener and every connection
-//! `JoinHandle`. Each accepted connection gets a session thread that
-//! reads frames and answers them; `Execute` requests are handed to the
-//! shared [`WorkerPool`] and the session thread waits on a one-shot
-//! channel with the per-query wall-clock limit. On timeout the session
-//! marks the job abandoned (the pool worker drops the result instead
-//! of sending it — queries are not interrupted mid-flight, the slot
-//! frees when the statement finishes) and reports
-//! [`ErrorCode::Timeout`].
+//! `JoinHandle`. Each accepted connection gets a **session thread**
+//! (owns the write side, answers requests strictly in order) and a
+//! **frame-reader thread** (decodes incoming frames). The reader
+//! forwards ordinary requests to the session over a channel and
+//! handles [`Request::Cancel`] inline — flipping the targeted
+//! statement's cancel token the moment the frame arrives, even while
+//! the session thread is busy streaming that statement's result.
+//!
+//! `Execute` requests are handed to the shared [`WorkerPool`]. The
+//! worker runs the statement with a cancellation token threaded into
+//! the engine's scan loops and streams the result back through a
+//! small bounded channel — [`Response::RowsHeader`], pre-encoded
+//! [`Response::RowsChunk`] payloads, then a [`Response::RowsDone`]
+//! trailer — which the session thread relays to the socket. The
+//! bounded channel is the backpressure: a slow client stalls its own
+//! worker instead of buffering an unbounded result in memory.
+//!
+//! On deadline the session flips the token (the scan stops at its
+//! next per-row/per-block check and the worker frees up) and reports
+//! [`ErrorCode::Timeout`]; a client `Cancel` ends the stream with
+//! [`ErrorCode::Cancelled`].
 //!
 //! ## Admission control
 //!
@@ -19,17 +33,22 @@
 //!   is answered with one [`ErrorCode::Busy`] error frame and closed.
 //! * The pool queue is bounded: when full, `Execute` answers `Busy`
 //!   without queueing.
-//! * Results larger than `max_result_rows` rows or whose encoding
-//!   exceeds `max_result_bytes` answer [`ErrorCode::TooLarge`].
+//! * `max_result_rows` and `max_result_bytes` are streaming budgets:
+//!   the row budget is checked before the stream opens, the byte
+//!   budget incrementally as rows are encoded — a result that exceeds
+//!   it terminates the stream with [`ErrorCode::TooLarge`] without
+//!   ever encoding the remainder.
 //!
 //! ## Graceful shutdown
 //!
 //! [`ServerHandle::shutdown`] (or a client `SHUTDOWN` command) flips
 //! the drain flag and wakes the accept thread with a self-connection.
-//! The accept thread stops accepting, half-closes every session's read
-//! side (in-flight responses still go out), joins the sessions, drains
-//! the pool, and exits. Every query admitted before the flag flipped
-//! completes and its response is delivered.
+//! The accept thread stops accepting and half-closes every session's
+//! read side; in-flight statements keep streaming. Sessions still
+//! running `drain_grace` later get their statements cancelled; after
+//! a second grace their sockets are force-closed (a client that
+//! stopped reading its stream could otherwise block the drain
+//! forever).
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -38,13 +57,14 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use nlq_engine::{Db, ExecOptions, ExecStats};
+use nlq_engine::{Db, EngineError, ExecOptions, ExecStats};
 use nlq_storage::Value;
 
 use crate::metrics::{Command, Metrics};
 use crate::pool::{SubmitError, WorkerPool};
 use crate::wire::{
-    read_frame, write_frame, ErrorCode, Request, Response, WireStats, MAX_FRAME, PROTOCOL_VERSION,
+    read_frame, write_frame, ChunkEncoder, ErrorCode, Request, Response, WireStats,
+    PROTOCOL_VERSION,
 };
 
 /// Server tuning knobs.
@@ -58,12 +78,20 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Maximum concurrent sessions.
     pub max_connections: usize,
-    /// Per-query wall-clock limit.
+    /// Per-query wall-clock limit; on expiry the statement is
+    /// cancelled (the worker frees up) and the client gets
+    /// [`ErrorCode::Timeout`].
     pub query_timeout: Duration,
-    /// Per-result row limit.
+    /// Per-result row budget, checked before the stream opens.
     pub max_result_rows: usize,
-    /// Per-result encoded-byte limit.
+    /// Per-result byte budget over total encoded row bytes, enforced
+    /// incrementally while streaming (`usize::MAX` = unlimited).
     pub max_result_bytes: usize,
+    /// Target encoded row bytes per `RowsChunk` frame.
+    pub chunk_bytes: usize,
+    /// How long a drain waits for in-flight statements before
+    /// cancelling them (and force-closing sockets after twice this).
+    pub drain_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -75,9 +103,76 @@ impl Default for ServerConfig {
             max_connections: 32,
             query_timeout: Duration::from_secs(30),
             max_result_rows: 1_000_000,
-            max_result_bytes: MAX_FRAME,
+            max_result_bytes: usize::MAX,
+            chunk_bytes: 1 << 20,
+            drain_grace: Duration::from_secs(5),
         }
     }
+}
+
+/// Cancellation registry for one session. The frame-reader thread
+/// flips tokens through it while the session thread is busy; sequence
+/// numbers (the session's 1-based `Execute` count, mirrored by the
+/// client) make sure a `Cancel` is never misdelivered to a different
+/// statement, whichever side of the race it lands on.
+#[derive(Default)]
+struct ActiveQuery {
+    inner: Mutex<ActiveInner>,
+}
+
+#[derive(Default)]
+struct ActiveInner {
+    /// The in-flight statement's `(seq, cancel token)`.
+    current: Option<(u64, Arc<AtomicBool>)>,
+    /// Highest sequence number that has begun executing.
+    last_seq: u64,
+    /// A cancel that arrived before its statement began.
+    pending_cancel: Option<u64>,
+}
+
+impl ActiveQuery {
+    /// Registers statement `seq` as in-flight. A cancel already
+    /// recorded against this sequence number flips the token
+    /// immediately (the cancel raced ahead of the execute).
+    fn begin(&self, seq: u64, token: &Arc<AtomicBool>) {
+        let mut inner = self.inner.lock().expect("active query");
+        inner.last_seq = seq;
+        if inner.pending_cancel == Some(seq) {
+            inner.pending_cancel = None;
+            token.store(true, Ordering::SeqCst);
+        }
+        inner.current = Some((seq, Arc::clone(token)));
+    }
+
+    /// Unregisters the in-flight statement.
+    fn end(&self) {
+        self.inner.lock().expect("active query").current = None;
+    }
+
+    /// Delivers a client cancel for `seq`: flips the matching live
+    /// token, remembers a future sequence number, ignores the past.
+    fn cancel(&self, seq: u64) {
+        let mut inner = self.inner.lock().expect("active query");
+        match &inner.current {
+            Some((cur, token)) if *cur == seq => token.store(true, Ordering::SeqCst),
+            _ if seq > inner.last_seq => inner.pending_cancel = Some(seq),
+            _ => {} // Already finished; the stream's terminal frame answered it.
+        }
+    }
+
+    /// Cancels whatever is in flight (the drain path).
+    fn cancel_current(&self) {
+        if let Some((_, token)) = &self.inner.lock().expect("active query").current {
+            token.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A live session as the accept thread tracks it for the drain.
+struct LiveSession {
+    id: u64,
+    read_half: TcpStream,
+    active: Arc<ActiveQuery>,
 }
 
 struct Shared {
@@ -89,9 +184,9 @@ struct Shared {
     addr: SocketAddr,
     shutting_down: AtomicBool,
     next_session: AtomicU64,
-    /// Read-halves of live sessions, closed on shutdown to unblock
-    /// their frame reads.
-    live: Mutex<Vec<(u64, TcpStream)>>,
+    /// Live sessions: read-halves (closed on shutdown to unblock
+    /// their frame reads) and cancellation registries.
+    live: Mutex<Vec<LiveSession>>,
 }
 
 /// Running server; dropping it shuts the server down.
@@ -139,7 +234,8 @@ impl ServerHandle {
     }
 
     /// Initiates a graceful shutdown and blocks until every in-flight
-    /// query has completed and all threads exited.
+    /// query has completed (or was cancelled past the drain grace)
+    /// and all threads exited.
     pub fn shutdown(&mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         // Wake the accept thread; it owns the rest of the drain.
@@ -170,9 +266,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // A response is several small frames (header, chunks, trailer);
+        // Nagle + delayed ACK would serialize them at ~40 ms apiece.
+        let _ = stream.set_nodelay(true);
         sessions.retain(|s| !s.is_finished());
-        let active = shared.metrics.sessions_active.load(Ordering::SeqCst);
-        if active as usize >= shared.config.max_connections {
+        let active_sessions = shared.metrics.sessions_active.load(Ordering::SeqCst);
+        if active_sessions as usize >= shared.config.max_connections {
             shared
                 .metrics
                 .connections_rejected
@@ -189,14 +288,19 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             .connections_accepted
             .fetch_add(1, Ordering::Relaxed);
         let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let active = Arc::new(ActiveQuery::default());
         if let Ok(read_half) = stream.try_clone() {
-            shared.live.lock().expect("live list").push((id, read_half));
+            shared.live.lock().expect("live list").push(LiveSession {
+                id,
+                read_half,
+                active: Arc::clone(&active),
+            });
         }
         let conn_shared = Arc::clone(shared);
         let handle = std::thread::Builder::new()
             .name(format!("nlq-session-{id}"))
             .spawn(move || {
-                session_loop(stream, id, &conn_shared);
+                session_loop(stream, id, &active, &conn_shared);
                 conn_shared
                     .metrics
                     .sessions_active
@@ -205,17 +309,49 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     .live
                     .lock()
                     .expect("live list")
-                    .retain(|(sid, _)| *sid != id);
+                    .retain(|s| s.id != id);
             })
             .expect("spawn session thread");
         sessions.push(handle);
     }
-    // Drain: unblock session reads, let in-flight work finish.
-    for (_, s) in shared.live.lock().expect("live list").iter() {
-        let _ = s.shutdown(Shutdown::Read);
+    // Drain, in up to three phases. Phase 1: unblock session reads and
+    // give in-flight statements a grace period to stream out.
+    for s in shared.live.lock().expect("live list").iter() {
+        let _ = s.read_half.shutdown(Shutdown::Read);
+    }
+    let grace = shared.config.drain_grace;
+    if !wait_sessions(&sessions, grace) {
+        // Phase 2: cancel whatever is still running; the scan loops
+        // notice within a row/block and the streams terminate with
+        // `Cancelled`.
+        for s in shared.live.lock().expect("live list").iter() {
+            s.active.cancel_current();
+        }
+        if !wait_sessions(&sessions, grace) {
+            // Phase 3: force-close the sockets. A session blocked
+            // writing to a client that stopped reading can only be
+            // freed by failing the write.
+            for s in shared.live.lock().expect("live list").iter() {
+                let _ = s.read_half.shutdown(Shutdown::Both);
+            }
+        }
     }
     for s in sessions {
         let _ = s.join();
+    }
+}
+
+/// Polls until every session thread finished or `grace` elapsed.
+fn wait_sessions(sessions: &[JoinHandle<()>], grace: Duration) -> bool {
+    let deadline = Instant::now() + grace;
+    loop {
+        if sessions.iter().all(|s| s.is_finished()) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
     }
 }
 
@@ -239,19 +375,32 @@ struct Session {
     block_scan: Option<bool>,
     last_stats: Option<ExecStats>,
     statements: u64,
+    /// 1-based count of `Execute` requests received; its value for
+    /// the current statement is the stream's sequence number. The
+    /// client keeps the same count, which is how both sides agree on
+    /// what a `Cancel { seq }` targets without extra round trips.
+    execute_seq: u64,
 }
 
-fn session_loop(stream: TcpStream, id: u64, shared: &Arc<Shared>) {
-    let Ok(read_stream) = stream.try_clone() else {
+/// What the frame-reader thread forwards to the session thread.
+enum Incoming {
+    Req(Request),
+    /// An undecodable frame; the session answers with a protocol
+    /// error to keep the request/response ledger aligned.
+    Bad(String),
+}
+
+fn session_loop(stream: TcpStream, id: u64, active: &Arc<ActiveQuery>, shared: &Arc<Shared>) {
+    let (Ok(read_stream), Ok(write_stream)) = (stream.try_clone(), stream.try_clone()) else {
         return;
     };
-    let mut reader = BufReader::new(read_stream);
-    let mut writer = BufWriter::new(stream);
+    let mut writer = BufWriter::new(write_stream);
     let mut session = Session {
         id,
         block_scan: None,
         last_stats: None,
         statements: 0,
+        execute_seq: 0,
     };
     if write_frame(
         &mut writer,
@@ -265,38 +414,105 @@ fn session_loop(stream: TcpStream, id: u64, shared: &Arc<Shared>) {
     {
         return;
     }
-    while let Ok(Some(payload)) = read_frame(&mut reader) {
+
+    // The reader decodes frames as they arrive. Cancels are handled
+    // here — the session thread may be blocked streaming the very
+    // statement being cancelled — and everything else is forwarded in
+    // order.
+    let (tx, rx) = mpsc::channel::<Incoming>();
+    let reader_active = Arc::clone(active);
+    let reader_shared = Arc::clone(shared);
+    let reader = std::thread::Builder::new()
+        .name(format!("nlq-session-{id}-reader"))
+        .spawn(move || {
+            let mut reader = BufReader::new(read_stream);
+            while let Ok(Some(payload)) = read_frame(&mut reader) {
+                match Request::decode(&payload) {
+                    Ok(Request::Cancel { seq }) => {
+                        let started = Instant::now();
+                        reader_active.cancel(seq);
+                        // Counted only after delivery, so the counter
+                        // doubles as an is-the-token-flipped signal.
+                        reader_shared
+                            .metrics
+                            .cancel_requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        reader_shared
+                            .metrics
+                            .record(Command::Cancel, started.elapsed(), true);
+                    }
+                    Ok(req) => {
+                        if tx.send(Incoming::Req(req)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        if tx.send(Incoming::Bad(e.to_string())).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn session reader");
+
+    while let Ok(incoming) = rx.recv() {
         let started = Instant::now();
-        let request = match Request::decode(&payload) {
-            Ok(r) => r,
-            Err(e) => {
-                let _ = write_frame(
+        let request = match incoming {
+            Incoming::Req(r) => r,
+            Incoming::Bad(message) => {
+                if write_frame(
                     &mut writer,
                     &Response::Error {
                         code: ErrorCode::Protocol,
-                        message: e.to_string(),
+                        message,
                     }
                     .encode(),
-                );
+                )
+                .is_err()
+                {
+                    break;
+                }
                 continue;
             }
         };
-        let cmd = command_of(&request);
-        let shutdown_requested = request == Request::Shutdown;
-        let response = handle_request(request, &mut session, shared);
-        let ok = !matches!(response, Response::Error { .. });
-        shared.metrics.record(cmd, started.elapsed(), ok);
-        if write_frame(&mut writer, &response.encode()).is_err() {
-            break;
-        }
-        if shutdown_requested {
-            // Trigger the server drain from inside a session: flip the
-            // flag and nudge the accept loop awake.
-            shared.shutting_down.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(shared.addr);
-            break;
+        match request {
+            Request::Execute { sql } => {
+                match execute_streaming(sql, &mut session, active, shared, &mut writer) {
+                    Ok(ok) => shared
+                        .metrics
+                        .record(Command::Execute, started.elapsed(), ok),
+                    Err(_) => break,
+                }
+            }
+            // Cancels never reach this channel (the reader intercepts
+            // them); tolerate one anyway as fire-and-forget.
+            Request::Cancel { .. } => {}
+            Request::Shutdown => {
+                shared
+                    .metrics
+                    .record(Command::Shutdown, started.elapsed(), true);
+                let _ = write_frame(&mut writer, &Response::Ok.encode());
+                // Trigger the server drain from inside a session: flip
+                // the flag and nudge the accept loop awake.
+                shared.shutting_down.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(shared.addr);
+                break;
+            }
+            other => {
+                let cmd = command_of(&other);
+                let response = handle_request(other, &mut session, shared);
+                let ok = !matches!(response, Response::Error { .. });
+                shared.metrics.record(cmd, started.elapsed(), ok);
+                if write_frame(&mut writer, &response.encode()).is_err() {
+                    break;
+                }
+            }
         }
     }
+    // Unblock the reader (it may be parked in read_frame) and reap it.
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = reader.join();
 }
 
 fn command_of(req: &Request) -> Command {
@@ -307,24 +523,31 @@ fn command_of(req: &Request) -> Command {
         Request::Metrics => Command::Metrics,
         Request::Ping => Command::Ping,
         Request::Shutdown => Command::Shutdown,
+        Request::Cancel { .. } => Command::Cancel,
     }
 }
 
 fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>) -> Response {
     match request {
         Request::Ping => Response::Pong,
-        Request::Shutdown => Response::Ok,
         Request::SetOption { name, value } => set_option(session, &name, &value),
         Request::Status => status(session),
         Request::Metrics => {
-            let rows = shared.metrics.render(shared.pool.queue_depth());
+            let rows = shared
+                .metrics
+                .render(shared.pool.queue_depth(), shared.pool.workers_busy());
             Response::Result {
                 columns: vec!["metric".into(), "value".into()],
                 rows,
                 stats: WireStats::default(),
             }
         }
-        Request::Execute { sql } => execute(sql, session, shared),
+        // Execute, Shutdown, and Cancel are handled in the session
+        // loop (they need the writer, the drain flag, or the reader).
+        Request::Execute { .. } | Request::Shutdown | Request::Cancel { .. } => Response::Error {
+            code: ErrorCode::Protocol,
+            message: "request not routable here".into(),
+        },
     }
 }
 
@@ -382,6 +605,10 @@ fn status(session: &Session) -> Response {
             Value::Str("last.summary_path".into()),
             Value::Int(i64::from(s.summary_path)),
         ]);
+        rows.push(vec![
+            Value::Str("last.cancelled".into()),
+            Value::Int(i64::from(s.cancelled)),
+        ]);
     }
     Response::Result {
         columns: vec!["property".into(), "value".into()],
@@ -390,122 +617,319 @@ fn status(session: &Session) -> Response {
     }
 }
 
-fn execute(sql: String, session: &mut Session, shared: &Arc<Shared>) -> Response {
+/// What the pool worker streams back to the session thread. Chunk
+/// payloads are pre-encoded so the session does pure frame relay.
+enum StreamMsg {
+    Header {
+        columns: Vec<String>,
+    },
+    Chunk(Vec<u8>),
+    Done {
+        payload: Vec<u8>,
+        stats: ExecStats,
+    },
+    Failed {
+        code: ErrorCode,
+        message: String,
+        stats: Option<ExecStats>,
+    },
+}
+
+/// How many chunks may sit between worker and session before the
+/// worker blocks — the streaming backpressure bound.
+const STREAM_BUFFER: usize = 4;
+
+/// Runs one `Execute` to its terminal frame. `Ok(ok)` reports whether
+/// the statement succeeded (for command metrics); `Err` means the
+/// socket died and the session should end.
+fn execute_streaming(
+    sql: String,
+    session: &mut Session,
+    active: &Arc<ActiveQuery>,
+    shared: &Arc<Shared>,
+    writer: &mut BufWriter<TcpStream>,
+) -> io::Result<bool> {
+    // Every Execute consumes a sequence number, even refused ones —
+    // the client counts its own sends and the two ledgers must agree.
+    session.execute_seq += 1;
+    let seq = session.execute_seq;
     if shared.shutting_down.load(Ordering::SeqCst) {
-        return Response::Error {
-            code: ErrorCode::ShuttingDown,
-            message: "server is draining".into(),
-        };
+        write_error(writer, ErrorCode::ShuttingDown, "server is draining")?;
+        return Ok(false);
     }
-    let opts = ExecOptions {
-        block_scan: session.block_scan,
-    };
-    let db = Arc::clone(&shared.db);
-    let abandoned = Arc::new(AtomicBool::new(false));
-    let job_abandoned = Arc::clone(&abandoned);
-    let (tx, rx) = mpsc::sync_channel(1);
-    let submitted = shared.pool.submit(Box::new(move || {
-        if job_abandoned.load(Ordering::SeqCst) {
-            return;
-        }
-        let started = Instant::now();
-        let result = db.execute_with(&sql, &opts);
-        let elapsed = started.elapsed();
-        if !job_abandoned.load(Ordering::SeqCst) {
-            let _ = tx.send((result, elapsed));
-        }
-    }));
-    match submitted {
+
+    let token = Arc::new(AtomicBool::new(false));
+    active.begin(seq, &token);
+    let (tx, rx) = mpsc::sync_channel::<StreamMsg>(STREAM_BUFFER);
+    let job = stream_job(
+        sql,
+        seq,
+        ExecOptions {
+            block_scan: session.block_scan,
+            cancel: Some(Arc::clone(&token)),
+        },
+        Arc::clone(&shared.db),
+        shared.config.clone(),
+        tx,
+    );
+    match shared.pool.submit(Box::new(job)) {
         Ok(()) => {}
         Err(SubmitError::Full) => {
             shared
                 .metrics
                 .queue_rejections
                 .fetch_add(1, Ordering::Relaxed);
-            return Response::Error {
-                code: ErrorCode::Busy,
-                message: "query queue is full".into(),
-            };
+            active.end();
+            write_error(writer, ErrorCode::Busy, "query queue is full")?;
+            return Ok(false);
         }
         Err(SubmitError::ShuttingDown) => {
-            return Response::Error {
-                code: ErrorCode::ShuttingDown,
-                message: "server is draining".into(),
-            };
+            active.end();
+            write_error(writer, ErrorCode::ShuttingDown, "server is draining")?;
+            return Ok(false);
         }
     }
-    let (result, elapsed) = match rx.recv_timeout(shared.config.query_timeout) {
-        Ok(r) => r,
-        Err(_) => {
-            abandoned.store(true, Ordering::SeqCst);
-            shared
-                .metrics
-                .query_timeouts
-                .fetch_add(1, Ordering::Relaxed);
-            return Response::Error {
-                code: ErrorCode::Timeout,
+
+    let out = relay_stream(seq, session, shared, &token, &rx, writer);
+    if out.is_err() {
+        // The socket died mid-stream; free the worker.
+        token.store(true, Ordering::SeqCst);
+    }
+    active.end();
+    // `rx` drops here: a worker still streaming fails its next send
+    // and abandons the statement.
+    out
+}
+
+/// The pool-worker half of a streamed execute: run the statement,
+/// then encode and push frames until done, cancelled, over budget, or
+/// the session stopped listening (send failure).
+fn stream_job(
+    sql: String,
+    seq: u64,
+    opts: ExecOptions,
+    db: Arc<Db>,
+    config: ServerConfig,
+    tx: mpsc::SyncSender<StreamMsg>,
+) -> impl FnOnce() + Send + 'static {
+    move || {
+        let started = Instant::now();
+        let token = opts.cancel.as_ref().expect("stream job has a token");
+        let result = db.execute_with(&sql, &opts);
+        let rs = match result {
+            Err(EngineError::Cancelled { rows_scanned }) => {
+                let stats = ExecStats {
+                    rows_scanned,
+                    cancelled: true,
+                    ..ExecStats::default()
+                };
+                let _ = tx.send(StreamMsg::Failed {
+                    code: ErrorCode::Cancelled,
+                    message: format!("query cancelled after {rows_scanned} rows"),
+                    stats: Some(stats),
+                });
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(StreamMsg::Failed {
+                    code: ErrorCode::Sql,
+                    message: e.to_string(),
+                    stats: None,
+                });
+                return;
+            }
+            Ok(rs) => rs,
+        };
+        if rs.rows.len() > config.max_result_rows {
+            let _ = tx.send(StreamMsg::Failed {
+                code: ErrorCode::TooLarge,
                 message: format!(
-                    "query exceeded {} ms",
-                    shared.config.query_timeout.as_millis()
+                    "result has {} rows (limit {})",
+                    rs.rows.len(),
+                    config.max_result_rows
                 ),
-            };
+                stats: Some(rs.stats),
+            });
+            return;
         }
-    };
-    session.statements += 1;
-    match result {
-        Err(e) => Response::Error {
-            code: ErrorCode::Sql,
-            message: e.to_string(),
-        },
-        Ok(rs) => {
-            session.last_stats = Some(rs.stats);
-            shared
-                .metrics
-                .record_summary(rs.stats.summary_hits, rs.stats.summary_misses);
-            if rs.rows.len() > shared.config.max_result_rows {
-                shared
-                    .metrics
-                    .results_too_large
-                    .fetch_add(1, Ordering::Relaxed);
-                return Response::Error {
-                    code: ErrorCode::TooLarge,
-                    message: format!(
-                        "result has {} rows (limit {})",
-                        rs.rows.len(),
-                        shared.config.max_result_rows
-                    ),
-                };
-            }
-            let response = Response::Result {
+        let ncols = rs.columns.len();
+        if tx
+            .send(StreamMsg::Header {
                 columns: rs.columns,
-                rows: rs.rows,
-                stats: WireStats {
-                    rows_scanned: rs.stats.rows_scanned,
-                    blocks_scanned: rs.stats.blocks_scanned,
-                    block_path: rs.stats.block_path,
-                    summary_path: rs.stats.summary_path,
-                    summary_hits: rs.stats.summary_hits,
-                    summary_misses: rs.stats.summary_misses,
-                    summary_stale_rebuilds: rs.stats.summary_stale_rebuilds,
-                    elapsed_micros: elapsed.as_micros() as u64,
-                },
-            };
-            let encoded = response.encode();
-            if encoded.len() > shared.config.max_result_bytes.min(MAX_FRAME) {
-                shared
-                    .metrics
-                    .results_too_large
-                    .fetch_add(1, Ordering::Relaxed);
-                return Response::Error {
+            })
+            .is_err()
+        {
+            return;
+        }
+        let mut enc = ChunkEncoder::new(seq, ncols, config.chunk_bytes);
+        for row in &rs.rows {
+            // The engine finished, but the stream is still
+            // cancellable between chunks.
+            if token.load(Ordering::Relaxed) {
+                let _ = tx.send(StreamMsg::Failed {
+                    code: ErrorCode::Cancelled,
+                    message: format!("query cancelled after streaming {} rows", enc.total_rows()),
+                    stats: Some(ExecStats {
+                        cancelled: true,
+                        ..rs.stats
+                    }),
+                });
+                return;
+            }
+            let chunk = enc.push_row(row);
+            // Incremental byte budget: refuse as soon as the encoded
+            // size crosses the line, never after materializing the
+            // whole encoding.
+            if enc.total_bytes() > config.max_result_bytes as u64 {
+                let _ = tx.send(StreamMsg::Failed {
                     code: ErrorCode::TooLarge,
                     message: format!(
-                        "result encodes to {} bytes (limit {})",
-                        encoded.len(),
-                        shared.config.max_result_bytes.min(MAX_FRAME)
+                        "result exceeds {} encoded bytes (limit reached after {} rows)",
+                        config.max_result_bytes,
+                        enc.total_rows()
                     ),
-                };
+                    stats: Some(rs.stats),
+                });
+                return;
             }
-            response
+            if let Some(payload) = chunk {
+                if tx.send(StreamMsg::Chunk(payload)).is_err() {
+                    return;
+                }
+            }
+        }
+        if let Some(payload) = enc.finish() {
+            if tx.send(StreamMsg::Chunk(payload)).is_err() {
+                return;
+            }
+        }
+        let wire = WireStats {
+            rows_scanned: rs.stats.rows_scanned,
+            blocks_scanned: rs.stats.blocks_scanned,
+            block_path: rs.stats.block_path,
+            summary_path: rs.stats.summary_path,
+            summary_hits: rs.stats.summary_hits,
+            summary_misses: rs.stats.summary_misses,
+            summary_stale_rebuilds: rs.stats.summary_stale_rebuilds,
+            elapsed_micros: started.elapsed().as_micros() as u64,
+            cancelled: false,
+        };
+        let _ = tx.send(StreamMsg::Done {
+            payload: enc.done_payload(&wire),
+            stats: rs.stats,
+        });
+    }
+}
+
+/// The session half of a streamed execute: relay worker messages to
+/// the socket until a terminal frame, enforcing the query deadline.
+fn relay_stream(
+    seq: u64,
+    session: &mut Session,
+    shared: &Arc<Shared>,
+    token: &Arc<AtomicBool>,
+    rx: &mpsc::Receiver<StreamMsg>,
+    writer: &mut BufWriter<TcpStream>,
+) -> io::Result<bool> {
+    let deadline = Instant::now() + shared.config.query_timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(remaining) {
+            Ok(StreamMsg::Header { columns }) => {
+                write_frame(writer, &Response::RowsHeader { seq, columns }.encode())?;
+            }
+            Ok(StreamMsg::Chunk(payload)) => {
+                shared
+                    .metrics
+                    .bytes_streamed
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .chunks_streamed
+                    .fetch_add(1, Ordering::Relaxed);
+                write_frame(writer, &payload)?;
+            }
+            Ok(StreamMsg::Done { payload, stats }) => {
+                session.statements += 1;
+                session.last_stats = Some(stats);
+                shared
+                    .metrics
+                    .record_summary(stats.summary_hits, stats.summary_misses);
+                write_frame(writer, &payload)?;
+                return Ok(true);
+            }
+            Ok(StreamMsg::Failed {
+                code,
+                message,
+                stats,
+            }) => {
+                session.statements += 1;
+                if let Some(stats) = stats {
+                    session.last_stats = Some(stats);
+                    shared
+                        .metrics
+                        .record_summary(stats.summary_hits, stats.summary_misses);
+                }
+                match code {
+                    ErrorCode::Cancelled => {
+                        shared
+                            .metrics
+                            .queries_cancelled
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    ErrorCode::TooLarge => {
+                        shared
+                            .metrics
+                            .results_too_large
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                write_error(writer, code, &message)?;
+                return Ok(false);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Deadline: cancel the statement (the worker stops at
+                // its next check and frees up) and report Timeout.
+                // The caller drops `rx`, so any frame the worker
+                // already queued dies with it.
+                token.store(true, Ordering::SeqCst);
+                session.statements += 1;
+                shared
+                    .metrics
+                    .query_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                write_error(
+                    writer,
+                    ErrorCode::Timeout,
+                    &format!(
+                        "query exceeded {} ms",
+                        shared.config.query_timeout.as_millis()
+                    ),
+                )?;
+                return Ok(false);
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The worker died without a terminal message (pool
+                // shutdown mid-statement).
+                write_error(writer, ErrorCode::ShuttingDown, "query aborted")?;
+                return Ok(false);
+            }
         }
     }
+}
+
+fn write_error(
+    writer: &mut BufWriter<TcpStream>,
+    code: ErrorCode,
+    message: &str,
+) -> io::Result<()> {
+    write_frame(
+        writer,
+        &Response::Error {
+            code,
+            message: message.into(),
+        }
+        .encode(),
+    )
 }

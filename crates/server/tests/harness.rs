@@ -1,0 +1,456 @@
+//! Deterministic in-process server harness.
+//!
+//! Every test boots a real [`serve`] instance on an OS-assigned port
+//! with a scripted [`ServerConfig`] and drives it through
+//! [`nlq_client::Client`]. Race windows are synchronized on condition
+//! variables and observable server state (the shared
+//! [`nlq_server::Metrics`] counters), never on bare sleeps, so the
+//! chunk-boundary, cancel-race, and drain tests are reproducible.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nlq_client::{Client, ClientError};
+use nlq_engine::Db;
+use nlq_server::wire::{ErrorCode, MAX_FRAME};
+use nlq_server::{serve, Metrics, ServerConfig, ServerHandle};
+use nlq_storage::Value;
+use nlq_udf::ScalarUdf;
+
+/// An in-process server over its own single-partition `Db`
+/// (single-partition keeps scan order, and therefore chunk contents,
+/// deterministic).
+struct TestServer {
+    db: Arc<Db>,
+    handle: ServerHandle,
+}
+
+impl TestServer {
+    fn start(config: ServerConfig) -> TestServer {
+        TestServer::start_with(Arc::new(Db::new(1)), config)
+    }
+
+    fn start_with(db: Arc<Db>, config: ServerConfig) -> TestServer {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..config
+        };
+        let handle = serve(Arc::clone(&db), config).expect("bind test server");
+        TestServer { db, handle }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.handle.addr()).expect("connect to test server")
+    }
+
+    fn metrics(&self) -> Arc<Metrics> {
+        self.handle.metrics()
+    }
+}
+
+/// Loads `n` rows `(i, i + 0.5)` into table `t`.
+fn load_rows(c: &mut Client, t: &str, n: usize) {
+    c.execute(&format!("CREATE TABLE {t} (i INT, X1 FLOAT)"))
+        .unwrap();
+    let values: Vec<String> = (0..n).map(|i| format!("({i}, {i}.5)")).collect();
+    c.execute(&format!("INSERT INTO {t} VALUES {}", values.join(", ")))
+        .unwrap();
+}
+
+/// Condvar-backed gate shared with the `gate`/`stall` UDFs: tests wait
+/// for a scan to provably be inside an eval (`wait_entered`) before
+/// acting, and decide when blocked evals may proceed (`release`).
+#[derive(Debug, Default)]
+struct GateState {
+    entered: Mutex<u64>,
+    entered_cv: Condvar,
+    open: Mutex<bool>,
+    open_cv: Condvar,
+}
+
+impl GateState {
+    fn note_entered(&self) {
+        *self.entered.lock().unwrap() += 1;
+        self.entered_cv.notify_all();
+    }
+
+    fn wait_entered(&self, n: u64) {
+        let mut e = self.entered.lock().unwrap();
+        while *e < n {
+            e = self.entered_cv.wait(e).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.open_cv.notify_all();
+    }
+}
+
+/// `gate(x)`: signals entry, then blocks until the test releases it.
+#[derive(Debug)]
+struct GateUdf(Arc<GateState>);
+
+impl ScalarUdf for GateUdf {
+    fn name(&self) -> &str {
+        "gate"
+    }
+    fn eval(&self, args: &[Value]) -> nlq_udf::Result<Value> {
+        self.0.note_entered();
+        let mut open = self.0.open.lock().unwrap();
+        while !*open {
+            open = self.0.open_cv.wait(open).unwrap();
+        }
+        Ok(args[0].clone())
+    }
+}
+
+/// `stall(x)`: signals entry and takes 10 ms per call — a query long
+/// enough to still be running when a drain grace period expires.
+#[derive(Debug)]
+struct StallUdf(Arc<GateState>);
+
+impl ScalarUdf for StallUdf {
+    fn name(&self) -> &str {
+        "stall"
+    }
+    fn eval(&self, args: &[Value]) -> nlq_udf::Result<Value> {
+        self.0.note_entered();
+        std::thread::sleep(Duration::from_millis(10));
+        Ok(args[0].clone())
+    }
+}
+
+/// Polls an observable condition to true within a hard deadline.
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+/// Encoded size of one `Value::Int` row cell: 1 tag byte + 8 payload
+/// bytes. `SELECT i FROM t` rows are exactly this big on the wire,
+/// which is what makes the boundary tests exact.
+const INT_ROW_BYTES: usize = 9;
+
+#[test]
+fn large_result_streams_chunked_and_matches_direct_execution() {
+    let ts = TestServer::start(ServerConfig {
+        chunk_bytes: 64,
+        ..ServerConfig::default()
+    });
+    let mut c = ts.client();
+    load_rows(&mut c, "R", 500);
+
+    let direct = ts.db.execute("SELECT i, X1 FROM R").unwrap();
+    let mut stream = c.query("SELECT i, X1 FROM R").unwrap();
+    assert_eq!(stream.columns().unwrap(), ["i", "X1"]);
+    let rows: Vec<Vec<Value>> = stream.by_ref().map(|r| r.unwrap()).collect();
+    assert!(
+        stream.chunks_received() >= 4,
+        "expected a many-chunk stream, got {}",
+        stream.chunks_received()
+    );
+    assert!(stream.stats().is_some(), "trailer must be verified");
+    assert_eq!(rows, direct.rows, "streamed rows must be identical");
+    drop(stream);
+
+    // The collecting convenience API sees the same result.
+    let collected = c.execute("SELECT i, X1 FROM R").unwrap();
+    assert_eq!(collected.rows, direct.rows);
+    assert!(ts.metrics().chunks_streamed.load(Ordering::Relaxed) >= 8);
+    assert!(ts.metrics().bytes_streamed.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn chunks_cut_exactly_at_the_configured_boundary() {
+    // chunk = 4 int rows exactly; 8 rows → 2 full chunks, 9 rows → 3.
+    let ts = TestServer::start(ServerConfig {
+        chunk_bytes: 4 * INT_ROW_BYTES,
+        ..ServerConfig::default()
+    });
+    let mut c = ts.client();
+    load_rows(&mut c, "B", 9);
+
+    let mut stream = c.query("SELECT i FROM B WHERE i < 8").unwrap();
+    let rows: Vec<_> = stream.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(rows.len(), 8);
+    assert_eq!(stream.chunks_received(), 2, "8 rows = exactly 2 chunks");
+    drop(stream);
+
+    let mut stream = c.query("SELECT i FROM B").unwrap();
+    let rows: Vec<_> = stream.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(rows.len(), 9);
+    assert_eq!(stream.chunks_received(), 3, "one past the boundary spills");
+}
+
+#[test]
+fn byte_budget_exactly_at_passes_one_past_refuses_mid_stream() {
+    const N: usize = 10;
+    // Exactly at the budget: all rows stream.
+    let at = TestServer::start(ServerConfig {
+        max_result_bytes: N * INT_ROW_BYTES,
+        chunk_bytes: INT_ROW_BYTES, // one row per chunk
+        ..ServerConfig::default()
+    });
+    let mut c = at.client();
+    load_rows(&mut c, "E", N);
+    let rs = c.execute("SELECT i FROM E").unwrap();
+    assert_eq!(rs.rows.len(), N);
+
+    // One byte short: the stream opens, five chunks arrive, then the
+    // budget trips mid-stream as a terminal TooLarge — not after
+    // encoding everything.
+    let past = TestServer::start(ServerConfig {
+        max_result_bytes: 5 * INT_ROW_BYTES,
+        chunk_bytes: INT_ROW_BYTES,
+        ..ServerConfig::default()
+    });
+    let mut c = past.client();
+    load_rows(&mut c, "E", N);
+    let mut stream = c.query("SELECT i FROM E").unwrap();
+    let mut delivered = 0;
+    let mut failure = None;
+    for item in stream.by_ref() {
+        match item {
+            Ok(_) => delivered += 1,
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+    assert_eq!(delivered, 5, "rows inside the budget still stream");
+    match failure {
+        Some(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::TooLarge),
+        other => panic!("expected mid-stream TooLarge, got {other:?}"),
+    }
+    drop(stream);
+    assert_eq!(past.metrics().results_too_large.load(Ordering::Relaxed), 1);
+    // The session survives the refused statement.
+    c.ping().unwrap();
+}
+
+/// `pad(x)`: a 64 KiB string per row, to build results bigger than
+/// any single frame is allowed to be.
+#[derive(Debug)]
+struct Pad;
+
+impl ScalarUdf for Pad {
+    fn name(&self) -> &str {
+        "pad"
+    }
+    fn eval(&self, _args: &[Value]) -> nlq_udf::Result<Value> {
+        Ok(Value::Str("x".repeat(1 << 16)))
+    }
+}
+
+#[test]
+fn results_larger_than_max_frame_stream_to_completion() {
+    let db = Arc::new(Db::new(1));
+    db.with_registry_mut(|r| r.register_scalar(Arc::new(Pad)));
+    let ts = TestServer::start_with(db, ServerConfig::default());
+    let mut c = ts.client();
+    // 1100 × 64 KiB ≈ 68.8 MiB encoded — beyond the 64 MiB frame cap
+    // that used to bound a whole result.
+    load_rows(&mut c, "P", 1100);
+    c.set_option("block_scan", "off").unwrap();
+
+    let mut stream = c.query("SELECT pad(i) FROM P").unwrap();
+    let mut rows = 0usize;
+    for item in stream.by_ref() {
+        let row = item.unwrap();
+        assert_eq!(row[0].as_str().map(str::len), Some(1 << 16));
+        rows += 1;
+    }
+    assert_eq!(rows, 1100);
+    assert!(stream.stats().is_some(), "trailer totals verified");
+    assert!(
+        stream.chunks_received() > 64,
+        "got {} chunks",
+        stream.chunks_received()
+    );
+    drop(stream);
+    let streamed = ts.metrics().bytes_streamed.load(Ordering::Relaxed);
+    assert!(
+        streamed as usize > MAX_FRAME,
+        "streamed {streamed} bytes, frame cap is {MAX_FRAME}"
+    );
+}
+
+#[test]
+fn cancel_wins_the_race_against_a_blocked_scan() {
+    let gate = Arc::new(GateState::default());
+    let db = Arc::new(Db::new(1));
+    db.with_registry_mut(|r| r.register_scalar(Arc::new(GateUdf(Arc::clone(&gate)))));
+    let ts = TestServer::start_with(db, ServerConfig::default());
+    let metrics = ts.metrics();
+
+    let mut c = ts.client();
+    load_rows(&mut c, "G", 2);
+    c.set_option("block_scan", "off").unwrap();
+
+    let mut stream = c.query("SELECT gate(X1) FROM G").unwrap();
+    // The scan is provably inside row 1's eval...
+    gate.wait_entered(1);
+    // ...cancel it, and wait until the server has actually flipped the
+    // token (the reader counts the request only after delivering it).
+    stream.cancel().unwrap();
+    wait_until("cancel delivery", || {
+        metrics.cancel_requests.load(Ordering::Relaxed) == 1
+    });
+    // Only now may the scan proceed: the next per-row check cancels.
+    gate.release();
+    match stream.next() {
+        Some(Err(ClientError::Server { code, .. })) => assert_eq!(code, ErrorCode::Cancelled),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    drop(stream);
+
+    assert_eq!(metrics.queries_cancelled.load(Ordering::Relaxed), 1);
+    // The session outlives its cancelled statement, and reports it.
+    c.ping().unwrap();
+    let status = c.status().unwrap();
+    assert_eq!(status.lookup("last.cancelled"), Some(&Value::Int(1)));
+}
+
+#[test]
+fn cancel_mid_scan_at_one_million_rows_frees_the_worker_fast() {
+    let gate = Arc::new(GateState::default());
+    let db = Arc::new(Db::new(1));
+    db.with_registry_mut(|r| r.register_scalar(Arc::new(GateUdf(Arc::clone(&gate)))));
+    let points: Vec<Vec<f64>> = (0..1_000_000).map(|i| vec![i as f64]).collect();
+    db.load_points("M", &points, false).unwrap();
+    let ts = TestServer::start_with(
+        db,
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let metrics = ts.metrics();
+
+    let mut c = ts.client();
+    c.set_option("block_scan", "off").unwrap();
+    let mut stream = c.query("SELECT gate(X1) FROM M").unwrap();
+    // The scan is provably inside row 1 of 1M; cancel it and wait for
+    // the token to be flipped before letting the eval return.
+    gate.wait_entered(1);
+    stream.cancel().unwrap();
+    wait_until("cancel delivery", || {
+        metrics.cancel_requests.load(Ordering::Relaxed) == 1
+    });
+
+    // 999,999 rows remain. Reaction time is one per-row check, not the
+    // tail of the scan: the terminal frame must arrive within 100 ms.
+    let t0 = Instant::now();
+    gate.release();
+    match stream.next() {
+        Some(Err(ClientError::Server { code, .. })) => assert_eq!(code, ErrorCode::Cancelled),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    let reacted_in = t0.elapsed();
+    drop(stream);
+    assert!(
+        reacted_in < Duration::from_millis(100),
+        "cancel took {reacted_in:?} to end a 1M-row scan"
+    );
+    assert_eq!(metrics.queries_cancelled.load(Ordering::Relaxed), 1);
+
+    // The lone worker really is back in the pool: live METRICS report
+    // it idle over an empty queue.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = c.metrics().unwrap();
+        if m.lookup("workers_busy") == Some(&Value::Int(0))
+            && m.lookup("queue_depth") == Some(&Value::Int(0))
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker never freed: {:?} busy, {:?} queued",
+            m.lookup("workers_busy"),
+            m.lookup("queue_depth")
+        );
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn completion_wins_the_race_against_a_late_cancel() {
+    let gate = Arc::new(GateState::default());
+    let db = Arc::new(Db::new(1));
+    db.with_registry_mut(|r| r.register_scalar(Arc::new(GateUdf(Arc::clone(&gate)))));
+    let ts = TestServer::start_with(db, ServerConfig::default());
+    let metrics = ts.metrics();
+
+    let mut c = ts.client();
+    load_rows(&mut c, "G", 1);
+    c.set_option("block_scan", "off").unwrap();
+
+    let mut stream = c.query("SELECT gate(X1) FROM G").unwrap();
+    gate.wait_entered(1);
+    gate.release();
+    // The statement completes normally...
+    let rows: Vec<_> = stream.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(rows, vec![vec![Value::Float(0.5)]]);
+    // ...and a cancel arriving after its terminal frame must be a
+    // no-op: acknowledged by nothing, misdelivered to no one.
+    stream.cancel().unwrap();
+    drop(stream);
+    wait_until("late cancel delivery", || {
+        metrics.cancel_requests.load(Ordering::Relaxed) == 1
+    });
+
+    // The next statement on the session is NOT the cancel's victim.
+    let rs = c.execute("SELECT count(*) FROM G").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(1));
+    assert_eq!(metrics.queries_cancelled.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn drain_cancels_streaming_queries_past_the_grace_period() {
+    let gate = Arc::new(GateState::default());
+    let db = Arc::new(Db::new(1));
+    db.with_registry_mut(|r| r.register_scalar(Arc::new(StallUdf(Arc::clone(&gate)))));
+    let mut ts = TestServer::start_with(
+        db,
+        ServerConfig {
+            drain_grace: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    );
+    let metrics = ts.metrics();
+    let addr = ts.handle.addr();
+
+    {
+        let mut c = ts.client();
+        load_rows(&mut c, "S", 500);
+    }
+    // ~5 s of single-partition scan: still in flight when the 100 ms
+    // grace expires, so the drain's second phase must cancel it.
+    let worker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_option("block_scan", "off").unwrap();
+        c.execute("SELECT stall(X1) FROM S")
+    });
+    gate.wait_entered(1);
+
+    let t0 = Instant::now();
+    ts.handle.shutdown();
+    let drained_in = t0.elapsed();
+    assert!(
+        drained_in < Duration::from_secs(3),
+        "drain waited {drained_in:?} — it must cancel, not sit out a 5 s scan"
+    );
+
+    match worker.join().expect("client thread") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Cancelled),
+        other => panic!("expected Cancelled from the drain, got {other:?}"),
+    }
+    assert_eq!(metrics.queries_cancelled.load(Ordering::Relaxed), 1);
+}

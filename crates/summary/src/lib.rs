@@ -30,6 +30,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
 use nlq_linalg::{Matrix, Vector};
@@ -65,6 +66,12 @@ pub enum SummaryError {
     Udf(nlq_udf::UdfError),
     /// Error from the model layer while assembling statistics.
     Model(nlq_models::ModelError),
+    /// A rebuild was cooperatively cancelled mid-scan. The entry's
+    /// maintained state is untouched (it stays stale).
+    Cancelled {
+        /// Rows scanned before the cancellation took effect.
+        rows_scanned: u64,
+    },
 }
 
 impl fmt::Display for SummaryError {
@@ -82,6 +89,9 @@ impl fmt::Display for SummaryError {
             SummaryError::Storage(e) => write!(f, "storage error: {e}"),
             SummaryError::Udf(e) => write!(f, "udf error: {e}"),
             SummaryError::Model(e) => write!(f, "model error: {e}"),
+            SummaryError::Cancelled { rows_scanned } => {
+                write!(f, "summary build cancelled after {rows_scanned} rows")
+            }
         }
     }
 }
@@ -108,6 +118,18 @@ impl From<nlq_models::ModelError> for SummaryError {
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, SummaryError>;
+
+/// Returns [`SummaryError::Cancelled`] when a build's cancel token
+/// has flipped; a relaxed atomic load keeps the per-row/per-block
+/// check effectively free.
+fn check_cancelled(cancel: Option<&AtomicBool>, rows_scanned: u64) -> Result<()> {
+    if let Some(c) = cancel {
+        if c.load(Ordering::Relaxed) {
+            return Err(SummaryError::Cancelled { rows_scanned });
+        }
+    }
+    Ok(())
+}
 
 /// The definition of one registered summary (the DDL part of
 /// `CREATE SUMMARY s ON t (X1, ..., Xd) [SHAPE ...] [GROUP BY g]`).
@@ -246,7 +268,16 @@ impl SummaryEntry {
 
     /// Recomputes the state from the table (the stale → fresh edge).
     pub fn rebuild(&self, table: &Table) -> Result<()> {
-        let content = build_content(&self.def, table)?;
+        self.rebuild_with_cancel(table, None)
+    }
+
+    /// [`SummaryEntry::rebuild`] with a cooperative cancellation
+    /// token, checked per block (global builds) or per row (grouped
+    /// builds). A cancelled rebuild returns
+    /// [`SummaryError::Cancelled`] before the maintained state is
+    /// touched — the entry stays stale for the next reader.
+    pub fn rebuild_with_cancel(&self, table: &Table, cancel: Option<&AtomicBool>) -> Result<()> {
+        let content = build_content(&self.def, table, cancel)?;
         *self.content.write().expect("summary lock") = content;
         Ok(())
     }
@@ -316,7 +347,7 @@ impl SummaryStore {
         let key = def.name.to_ascii_lowercase();
         // Validate and build before taking the write lock; the build
         // is the expensive part.
-        let content = build_content(&def, table)?;
+        let content = build_content(&def, table, None)?;
         let mut map = self.map.write().expect("summary store lock");
         if map.contains_key(&key) {
             return Err(SummaryError::DuplicateSummary(def.name));
@@ -472,11 +503,15 @@ pub fn project_nlq(nlq: &Nlq, dims: &[usize], shape: MatrixShape) -> Result<Nlq>
 }
 
 /// Builds the initial (or rebuilt) state for a definition.
-fn build_content(def: &SummaryDef, table: &Table) -> Result<SummaryContent> {
+fn build_content(
+    def: &SummaryDef,
+    table: &Table,
+    cancel: Option<&AtomicBool>,
+) -> Result<SummaryContent> {
     let (cols, group) = def.resolve(table.schema())?;
     let mut content = match group {
-        None => build_global(def, table, &cols)?,
-        Some(g) => build_grouped(def, table, &cols, g)?,
+        None => build_global(def, table, &cols, cancel)?,
+        Some(g) => build_grouped(def, table, &cols, g, cancel)?,
     };
     // A `NO MINMAX` summary stores no bounds: the −∞/+∞ sentinels the
     // pure-SQL path also uses. With no bounds to maintain, the state
@@ -552,7 +587,12 @@ fn subtract_delta(
 /// Ungrouped build: the existing vectorized block scan feeds one
 /// partial `nlq_list` UDF state per partition; partials are combined
 /// with the UDF merge phase and unpacked into the stored [`Nlq`].
-fn build_global(def: &SummaryDef, table: &Table, cols: &[usize]) -> Result<SummaryContent> {
+fn build_global(
+    def: &SummaryDef,
+    table: &Table,
+    cols: &[usize],
+    cancel: Option<&AtomicBool>,
+) -> Result<SummaryContent> {
     let d = cols.len();
     let udf = NlqUdf::new(ParamStyle::List);
     let mut args: Vec<BatchArg> = Vec::with_capacity(d + 2);
@@ -562,11 +602,14 @@ fn build_global(def: &SummaryDef, table: &Table, cols: &[usize]) -> Result<Summa
 
     let mut master = udf.init();
     let mut skipped = 0u64;
+    let mut scanned = 0u64;
     for p in 0..table.partition_count() {
         let mut state = udf.init();
         let mut blocks = table.scan_partition_blocks(p, cols)?;
         while let Some(block) = blocks.next_block() {
+            check_cancelled(cancel, scanned)?;
             let block = block?;
+            scanned += block.len() as u64;
             state.accumulate_batch(block, &args)?;
             skipped += rows_with_null(block, d);
         }
@@ -614,12 +657,14 @@ fn build_grouped(
     table: &Table,
     cols: &[usize],
     g: usize,
+    cancel: Option<&AtomicBool>,
 ) -> Result<SummaryContent> {
     let d = cols.len();
     let mut groups: Vec<(Value, Nlq)> = Vec::new();
     let mut skipped = 0u64;
     let mut coords = vec![0.0f64; d];
-    for row in table.scan_all() {
+    for (scanned, row) in table.scan_all().enumerate() {
+        check_cancelled(cancel, scanned as u64)?;
         let row = row?;
         let slot = group_slot(&mut groups, &row[g], d, def.shape);
         let mut any_null = false;
