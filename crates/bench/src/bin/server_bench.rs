@@ -15,12 +15,13 @@
 //! `--smoke` shrinks the data set and query counts so CI can run the
 //! binary end-to-end in about a second.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
 use nlq_bench::mixture_data;
-use nlq_client::Client;
+use nlq_client::{Client, TraceRecord};
 use nlq_engine::Db;
 use nlq_linalg::Vector;
 use nlq_server::{serve, ServerConfig};
@@ -31,6 +32,9 @@ struct Measurement {
     queries: usize,
     secs: f64,
     qps: f64,
+    /// Fraction of total statement wall time spent in each phase,
+    /// aggregated from the server's trace ring for this workload.
+    phase_shares: Vec<(String, f64)>,
 }
 
 fn main() {
@@ -90,6 +94,9 @@ fn main() {
             // Small enough that the streamed workload really exercises
             // multi-chunk result delivery.
             chunk_bytes: 256 << 10,
+            // Large enough to retain every statement of the biggest
+            // workload, so phase shares aggregate the whole run.
+            trace_ring: 4096,
             ..ServerConfig::default()
         },
     )
@@ -119,6 +126,7 @@ fn main() {
     // them so the workload finishes in the same ballpark.
     let per_client_streamed = (per_client / 4).max(2);
     let mut results = Vec::new();
+    let mut last_trace_id = 0u64;
     for (workload, sql, expect_summary, queries_each) in [
         ("scoring_udf", &scoring_sql, false, per_client),
         (
@@ -130,14 +138,13 @@ fn main() {
         ("summary_hit", &summary_sql, true, per_client),
     ] {
         eprintln!("measuring {workload} ...");
-        results.push(measure(
-            addr,
-            workload,
-            sql,
-            expect_summary,
-            clients,
-            queries_each,
-        ));
+        let mut m = measure(addr, workload, sql, expect_summary, clients, queries_each);
+        // Where did the time go? Aggregate this workload's per-phase
+        // wall time out of the server's trace ring.
+        let (records, next_after) = drain_traces(addr, last_trace_id);
+        last_trace_id = next_after;
+        m.phase_shares = phase_shares(&records);
+        results.push(m);
     }
     handle.shutdown();
 
@@ -186,7 +193,47 @@ fn measure(
         queries,
         secs,
         qps: queries as f64 / secs,
+        phase_shares: Vec::new(),
     }
+}
+
+/// Pages every trace record with id greater than `after` out of the
+/// server's recent-query ring; returns them with the new high-water id.
+fn drain_traces(addr: std::net::SocketAddr, after: u64) -> (Vec<TraceRecord>, u64) {
+    let mut c = Client::connect(addr).expect("trace connect");
+    let mut all = Vec::new();
+    let mut after = after;
+    loop {
+        let page = c.trace(false, after, 256).expect("trace page");
+        let Some(last) = page.last() else { break };
+        after = last.id;
+        all.extend(page);
+    }
+    (all, after)
+}
+
+/// Fraction of total statement wall time attributable to each phase.
+/// Span gaps (queueing, relay waits) are reported as `other`, so the
+/// shares sum to 1 over the workload.
+fn phase_shares(records: &[TraceRecord]) -> Vec<(String, f64)> {
+    let mut by_phase: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for r in records {
+        total += r.total_nanos;
+        let mut spanned = 0u64;
+        for s in &r.spans {
+            *by_phase.entry(s.phase.name()).or_default() += s.dur_nanos;
+            spanned += s.dur_nanos;
+        }
+        *by_phase.entry("other").or_default() += r.total_nanos.saturating_sub(spanned);
+    }
+    if total == 0 {
+        return Vec::new();
+    }
+    by_phase
+        .into_iter()
+        .map(|(name, nanos)| (name.to_string(), nanos as f64 / total as f64))
+        .collect()
 }
 
 fn render_json(workers: usize, smoke: bool, n: usize, d: usize, results: &[Measurement]) -> String {
@@ -207,7 +254,20 @@ fn render_json(workers: usize, smoke: bool, n: usize, d: usize, results: &[Measu
         let _ = writeln!(s, "      \"clients\": {},", m.clients);
         let _ = writeln!(s, "      \"queries\": {},", m.queries);
         let _ = writeln!(s, "      \"total_secs\": {:.9},", m.secs);
-        let _ = writeln!(s, "      \"queries_per_sec\": {:.3}", m.qps);
+        let _ = writeln!(s, "      \"queries_per_sec\": {:.3},", m.qps);
+        let _ = writeln!(s, "      \"phase_shares\": {{");
+        for (j, (name, share)) in m.phase_shares.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "        \"{name}\": {share:.6}{}",
+                if j + 1 < m.phase_shares.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(s, "      }}");
         let _ = writeln!(s, "    }}{}", if i + 1 < results.len() { "," } else { "" });
     }
     let _ = writeln!(s, "  ]");

@@ -5,16 +5,24 @@
 //!
 //! ```text
 //! server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N]
+//!              [--expect-slow]
 //! ```
 //!
 //! `--expect-chunks N` asserts the large streamed query arrives in at
 //! least `N` chunk frames (pair it with the server's `--chunk-bytes`).
+//! `--expect-slow` asserts the slow-query ring is non-empty afterward
+//! (pair it with the server's `--slow-query-ms 0`).
 
 use std::process::ExitCode;
 
 use nlq_client::Client;
 
-fn run(addr: &str, skip_shutdown: bool, expect_chunks: u64) -> Result<(), String> {
+fn run(
+    addr: &str,
+    skip_shutdown: bool,
+    expect_chunks: u64,
+    expect_slow: bool,
+) -> Result<(), String> {
     let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
     c.ping().map_err(|e| format!("ping: {e}"))?;
     println!("session {} established", c.session_id());
@@ -154,6 +162,84 @@ fn run(addr: &str, skip_shutdown: bool, expect_chunks: u64) -> Result<(), String
     }
     println!("metrics ok ({executes} executes, {hits} summary hits)");
 
+    // EXPLAIN ANALYZE executes the statement and reports the phase
+    // breakdown, scan mode, and rows scanned.
+    let rs = c
+        .execute("EXPLAIN ANALYZE SELECT i, X1 FROM BIG")
+        .map_err(|e| format!("explain analyze: {e}"))?;
+    let plan: Vec<String> = rs
+        .rows
+        .iter()
+        .filter_map(|row| row.first().map(|v| v.to_string()))
+        .collect();
+    if !plan.iter().any(|l| l.starts_with("total: ")) {
+        return Err(format!("EXPLAIN ANALYZE missing total line: {plan:?}"));
+    }
+    if !plan.iter().any(|l| l.starts_with("phase ")) {
+        return Err(format!("EXPLAIN ANALYZE missing phase lines: {plan:?}"));
+    }
+    if !plan.iter().any(|l| l.starts_with("scan mode: ")) {
+        return Err(format!("EXPLAIN ANALYZE missing scan mode: {plan:?}"));
+    }
+    println!("explain analyze ok ({} plan lines)", plan.len());
+
+    // TRACE pages the server's recent-query ring: every statement this
+    // session ran should be retained with its phase spans.
+    let records = c.trace(false, 0, 256).map_err(|e| format!("trace: {e}"))?;
+    if records.is_empty() {
+        return Err("TRACE returned no records".into());
+    }
+    if !records.iter().any(|r| !r.spans.is_empty()) {
+        return Err("TRACE records carry no spans".into());
+    }
+    if !records.iter().any(|r| r.sql.contains("FROM BIG")) {
+        return Err("TRACE missing this session's queries".into());
+    }
+    // Paging: asking after the last id returns nothing new.
+    let last_id = records.iter().map(|r| r.id).max().unwrap_or(0);
+    let page2 = c
+        .trace(false, last_id, 256)
+        .map_err(|e| format!("trace page 2: {e}"))?;
+    if page2.iter().any(|r| r.id <= last_id) {
+        return Err("TRACE paging returned stale records".into());
+    }
+    println!("trace ok ({} records retained)", records.len());
+
+    if expect_slow {
+        let slow = c
+            .trace(true, 0, 256)
+            .map_err(|e| format!("slow trace: {e}"))?;
+        if slow.is_empty() {
+            return Err("slow-query ring is empty under --expect-slow".into());
+        }
+        if !slow.iter().all(|r| r.slow) {
+            return Err("slow ring contains records not marked slow".into());
+        }
+        println!("slow log ok ({} slow queries retained)", slow.len());
+    }
+
+    // Prometheus exposition must parse and must cover the latency
+    // histogram and counters this session just exercised.
+    let prom = c
+        .metrics_prometheus()
+        .map_err(|e| format!("metrics prometheus: {e}"))?;
+    nlq_client::validate_exposition(&prom)
+        .map_err(|e| format!("malformed Prometheus exposition: {e}\n{prom}"))?;
+    for needle in [
+        "nlq_command_requests_total",
+        "nlq_command_latency_seconds_bucket",
+        "nlq_summary_hits",
+        "nlq_cancel_requests",
+    ] {
+        if !prom.contains(needle) {
+            return Err(format!("Prometheus output missing {needle}"));
+        }
+    }
+    println!(
+        "prometheus ok ({} lines)",
+        prom.lines().filter(|l| !l.is_empty()).count()
+    );
+
     if !skip_shutdown {
         c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
         println!("server acknowledged shutdown");
@@ -165,11 +251,13 @@ fn main() -> ExitCode {
     let mut addr = None;
     let mut skip_shutdown = false;
     let mut expect_chunks = 0u64;
+    let mut expect_slow = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--addr" => addr = args.next(),
             "--skip-shutdown" => skip_shutdown = true,
+            "--expect-slow" => expect_slow = true,
             "--expect-chunks" => {
                 expect_chunks = match args.next().map(|v| v.parse()) {
                     Some(Ok(n)) => n,
@@ -186,10 +274,13 @@ fn main() -> ExitCode {
         }
     }
     let Some(addr) = addr else {
-        eprintln!("usage: server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N]");
+        eprintln!(
+            "usage: server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N] \
+             [--expect-slow]"
+        );
         return ExitCode::FAILURE;
     };
-    match run(&addr, skip_shutdown, expect_chunks) {
+    match run(&addr, skip_shutdown, expect_chunks, expect_slow) {
         Ok(()) => {
             println!("smoke session passed");
             ExitCode::SUCCESS

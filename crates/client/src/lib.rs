@@ -38,6 +38,8 @@ use nlq_server::wire::{
 };
 use nlq_storage::Value;
 
+pub use nlq_obs::{validate_exposition, Outcome, Phase, Span, TraceRecord};
+
 /// A query result received over the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RemoteResult {
@@ -270,6 +272,41 @@ impl Client {
     /// Server-wide metrics.
     pub fn metrics(&mut self) -> Result<RemoteResult> {
         self.expect_result(&Request::Metrics)
+    }
+
+    /// Server-wide metrics as Prometheus text exposition.
+    pub fn metrics_prometheus(&mut self) -> Result<String> {
+        match self.round_trip(&Request::MetricsProm)? {
+            Response::MetricsText { text } => Ok(text),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected MetricsText, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One page of the server's retained query traces: records with
+    /// id greater than `after_id`, oldest first, at most `limit`.
+    /// `slow_only` reads the slow-query ring instead of the
+    /// recent-trace ring. Page forward by passing the last record's
+    /// `id` back as `after_id`.
+    pub fn trace(
+        &mut self,
+        slow_only: bool,
+        after_id: u64,
+        limit: u32,
+    ) -> Result<Vec<TraceRecord>> {
+        match self.round_trip(&Request::Trace {
+            slow_only,
+            after_id,
+            limit,
+        })? {
+            Response::Trace { records } => Ok(records),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected Trace, got {other:?}"
+            ))),
+        }
     }
 
     /// Liveness probe.

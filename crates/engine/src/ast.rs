@@ -131,6 +131,10 @@ pub enum Statement {
     Select(SelectStmt),
     /// `EXPLAIN SELECT ...`: describe the plan without executing it.
     Explain(SelectStmt),
+    /// `EXPLAIN ANALYZE SELECT ...`: execute the statement and render
+    /// its phase spans (wall times, rows scanned, scan mode, summary
+    /// hit/miss) instead of its rows.
+    ExplainAnalyze(SelectStmt),
     /// `CREATE TABLE name (col TYPE, ...)`.
     CreateTable {
         /// New table name.

@@ -1,8 +1,10 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use nlq_linalg::{Matrix, Vector};
 use nlq_models::{MatrixShape, Nlq};
+use nlq_obs::{render_spans, Phase, Span, Trace};
 use nlq_storage::{Column, DataType, Row, Schema, Table, Value};
 use nlq_summary::{SummaryDef, SummaryStore};
 use nlq_udf::pack::{assemble_blocks, unpack_block, unpack_nlq};
@@ -47,7 +49,19 @@ pub struct ExecStats {
     pub summary_misses: u64,
     /// Stale summaries rebuilt on-demand while answering.
     pub summary_stale_rebuilds: u64,
-    /// Phase 2 (row/block aggregation) time, summed over workers.
+    /// Wall-clock time parsing the SQL text.
+    pub parse_nanos: u64,
+    /// Wall-clock time planning (table resolution, predicate
+    /// classification, join-product construction).
+    pub plan_nanos: u64,
+    /// Wall-clock time probing the Γ summary store, including any
+    /// on-demand stale rebuild.
+    pub summary_nanos: u64,
+    /// Wall-clock time of the row/block scan (workers running in
+    /// parallel plus the partial merge).
+    pub scan_nanos: u64,
+    /// Phase 2 (row/block aggregation) time, summed over workers —
+    /// exceeds [`ExecStats::scan_nanos`] when workers overlap.
     pub accumulate_nanos: u64,
     /// Phase 3 (partial-result merge) time on the master.
     pub merge_nanos: u64,
@@ -131,6 +145,11 @@ pub struct ExecOptions {
     /// returning [`EngineError::Cancelled`] with partial state
     /// discarded. `None` means the statement cannot be interrupted.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Observability trace for this statement. When present, the
+    /// engine records one [`nlq_obs::Span`] per completed phase
+    /// (parse, plan, summary-lookup, scan, finalize) into it; serving
+    /// layers append their own encode/stream spans to the same trace.
+    pub trace: Option<Trace>,
 }
 
 impl ExecOptions {
@@ -244,7 +263,10 @@ impl Db {
                 return Err(EngineError::Cancelled { rows_scanned: 0 });
             }
         }
-        match parse(sql)? {
+        let parse_started = Instant::now();
+        let stmt = parse(sql)?;
+        let parse_nanos = parse_started.elapsed().as_nanos() as u64;
+        let result: Result<ResultSet> = match stmt {
             Statement::Select(stmt) => self.ctx(opts).execute_select(&stmt),
             Statement::Explain(stmt) => {
                 let lines = self.ctx(opts).explain_select(&stmt)?;
@@ -252,6 +274,22 @@ impl Db {
                     vec!["plan".into()],
                     lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
                 ))
+            }
+            Statement::ExplainAnalyze(stmt) => {
+                let exec_started = Instant::now();
+                let inner = self.ctx(opts).execute_select(&stmt)?;
+                let mut stats = inner.stats;
+                stats.parse_nanos = parse_nanos;
+                let total_nanos = parse_nanos + exec_started.elapsed().as_nanos() as u64;
+                let mut rs = ResultSet::new(
+                    vec!["plan".into()],
+                    render_analyze(total_nanos, &stats)
+                        .into_iter()
+                        .map(|l| vec![Value::Str(l)])
+                        .collect(),
+                );
+                rs.stats = stats;
+                Ok(rs)
             }
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(
@@ -424,7 +462,15 @@ impl Db {
                 self.replace_rows(&table, &t, rows)?;
                 Ok(ResultSet::empty())
             }
+        };
+        let mut rs = result?;
+        rs.stats.parse_nanos = parse_nanos;
+        if let Some(trace) = &opts.trace {
+            for span in phase_spans(&rs.stats) {
+                trace.record(span);
+            }
         }
+        Ok(rs)
     }
 
     /// Resolves a name to a base table, rejecting views (DML and
@@ -724,4 +770,50 @@ fn parse_wide_nlq(rs: &ResultSet, d: usize, shape: MatrixShape) -> Result<Nlq> {
         vec![f64::NEG_INFINITY; d],
         vec![f64::INFINITY; d],
     )?)
+}
+
+/// The engine-side phase spans one statement's stats describe. Parse
+/// is always present; downstream phases appear once they did work.
+fn phase_spans(stats: &ExecStats) -> Vec<Span> {
+    let mut spans = vec![Span::new(Phase::Parse, stats.parse_nanos)];
+    if stats.plan_nanos > 0 {
+        spans.push(Span::new(Phase::Plan, stats.plan_nanos));
+    }
+    if stats.summary_nanos > 0 || stats.summary_path {
+        spans.push(Span::new(Phase::SummaryLookup, stats.summary_nanos));
+    }
+    if stats.scan_nanos > 0 || stats.rows_scanned > 0 {
+        spans.push(
+            Span::new(Phase::Scan, stats.scan_nanos)
+                .rows(stats.rows_scanned)
+                .blocks(stats.blocks_scanned),
+        );
+    }
+    if stats.finalize_nanos > 0 {
+        spans.push(Span::new(Phase::Finalize, stats.finalize_nanos));
+    }
+    spans
+}
+
+/// The `EXPLAIN ANALYZE` rendering: the span list (wall times summing
+/// exactly to `total_nanos` via the trailing `other` line) followed by
+/// the scan-mode and summary verdicts for the executed statement.
+fn render_analyze(total_nanos: u64, stats: &ExecStats) -> Vec<String> {
+    let mut lines = render_spans(total_nanos, &phase_spans(stats));
+    let mode = if stats.summary_path {
+        "summary (answered from materialized Γ, no scan)".to_owned()
+    } else if stats.block_path {
+        format!("block ({} column blocks decoded)", stats.blocks_scanned)
+    } else {
+        "row-at-a-time".to_owned()
+    };
+    lines.push(format!("scan mode: {mode}"));
+    lines.push(format!("rows scanned: {}", stats.rows_scanned));
+    if stats.summary_hits + stats.summary_misses + stats.summary_stale_rebuilds > 0 {
+        lines.push(format!(
+            "summary: {} hit(s), {} miss(es), {} stale rebuild(s)",
+            stats.summary_hits, stats.summary_misses, stats.summary_stale_rebuilds
+        ));
+    }
+    lines
 }

@@ -93,15 +93,17 @@ pub(crate) struct PlannedSelect {
 impl ExecContext<'_> {
     /// Executes a SELECT statement to completion.
     pub fn execute_select(&self, stmt: &SelectStmt) -> Result<ResultSet> {
+        let plan_started = Instant::now();
         let plan = self.plan_select(stmt)?;
-        if plan.aggregate_mode {
+        let plan_nanos = plan_started.elapsed().as_nanos() as u64;
+        let mut rs = if plan.aggregate_mode {
             self.execute_aggregate(
                 stmt,
                 &plan.base,
                 &plan.schema,
                 &plan.join_product,
                 &plan.residual,
-            )
+            )?
         } else {
             self.execute_scalar(
                 stmt,
@@ -109,8 +111,10 @@ impl ExecContext<'_> {
                 &plan.schema,
                 &plan.join_product,
                 &plan.residual,
-            )
-        }
+            )?
+        };
+        rs.stats.plan_nanos = plan_nanos;
+        Ok(rs)
     }
 
     /// Plans a SELECT: resolves tables, binds and classifies WHERE
@@ -459,11 +463,13 @@ impl ExecContext<'_> {
         if self.block_scan && stmt.order_by.is_empty() && residual.is_empty() {
             if let Some(plan) = plan_scalar_block(schema, base.schema().len(), join_product, &bound)
             {
+                let scan_started = Instant::now();
                 let rows = self.run_scalar_block(base, &plan)?;
                 let mut stats = ExecStats {
                     block_path: true,
                     ..ExecStats::default()
                 };
+                stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
                 stats.rows_scanned = rows.1;
                 stats.blocks_scanned = rows.2;
                 let mut out = rows.0;
@@ -479,11 +485,17 @@ impl ExecContext<'_> {
         let bound_ref = &bound;
         let order_ref = &order_bound;
         let cancel = self.cancel.as_deref();
-        let partials: Vec<Result<Vec<(Row, Row)>>> = parallel_scan(base, self.workers, |iter| {
+        let scan_started = Instant::now();
+        // Each worker returns its keyed projections plus how many base
+        // rows it scanned.
+        type KeyedPartial = (Vec<(Row, Row)>, u64);
+        let partials: Vec<Result<KeyedPartial>> = parallel_scan(base, self.workers, |iter| {
             let mut out = Vec::new();
             let mut combined_buf: Row = Vec::new();
+            let mut scanned_rows = 0u64;
             for (scanned, row) in iter.enumerate() {
                 check_cancelled(cancel, scanned as u64)?;
+                scanned_rows += 1;
                 let left = row?;
                 'suffixes: for suffix in join_product {
                     // Borrow the base row directly when there is no join.
@@ -516,15 +528,21 @@ impl ExecContext<'_> {
                     out.push((keys, projected));
                 }
             }
-            Ok(out)
+            Ok((out, scanned_rows))
         });
 
         let mut keyed_rows = Vec::new();
-        for p in merge_partial_errors(partials)? {
+        let mut rows_scanned = 0u64;
+        for (p, scanned) in merge_partial_errors(partials)? {
             keyed_rows.extend(p);
+            rows_scanned += scanned;
         }
+        let scan_nanos = scan_started.elapsed().as_nanos() as u64;
         let rows = finish_rows(keyed_rows, &stmt.order_by, stmt.limit);
-        Ok(ResultSet::new(names, rows))
+        let mut rs = ResultSet::new(names, rows);
+        rs.stats.rows_scanned = rows_scanned;
+        rs.stats.scan_nanos = scan_nanos;
+        Ok(rs)
     }
 
     /// Executes a planned block-path scalar projection: decode column
@@ -654,14 +672,17 @@ impl ExecContext<'_> {
         // scan at all, O(groups · d²) work.
         let trivial_join = join_product.len() == 1 && join_product[0].is_empty();
         if stmt.from.len() == 1 && trivial_join && residual.is_empty() {
-            if let Some(groups) = self.try_summary_answer(
+            let summary_started = Instant::now();
+            let answer = self.try_summary_answer(
                 &stmt.from[0].name,
                 base,
                 schema,
                 &group_bound,
                 &agg_calls,
                 &mut stats,
-            )? {
+            )?;
+            stats.summary_nanos = summary_started.elapsed().as_nanos() as u64;
+            if let Some(groups) = answer {
                 return finalize_groups(
                     stmt,
                     &proj_bound,
@@ -701,6 +722,7 @@ impl ExecContext<'_> {
 
         // Phase 1-2: each worker accumulates per-group partial states
         // over its partition (the UDF protocol's init + row steps).
+        let scan_started = Instant::now();
         let partials: Vec<Result<(GroupMap, u64, u64, u64)>> = if let Some(plan) = &block_plan {
             stats.block_path = true;
             parallel_scan_partitions(base, self.workers, |p| {
@@ -799,6 +821,7 @@ impl ExecContext<'_> {
             }
         }
         stats.merge_nanos = merge_start.elapsed().as_nanos() as u64;
+        stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
 
         // A global aggregate over zero rows still yields one row.
         if merged.is_empty() && stmt.group_by.is_empty() {

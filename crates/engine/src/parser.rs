@@ -102,6 +102,9 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("EXPLAIN") {
+            if self.eat_kw("ANALYZE") {
+                return Ok(Statement::ExplainAnalyze(self.select()?));
+            }
             return Ok(Statement::Explain(self.select()?));
         }
         if self.peek_kw("SELECT") {

@@ -156,6 +156,66 @@ fn result_sets_carry_exec_stats() {
 }
 
 #[test]
+fn explain_analyze_executes_and_reports_phases() {
+    let db = scoring_db();
+    let plan = plan_text(&db, "EXPLAIN ANALYZE SELECT sum(X1), min(X2) FROM X");
+    assert!(plan.starts_with("total: "), "{plan}");
+    assert!(plan.contains("phase parse: "), "{plan}");
+    assert!(plan.contains("phase plan: "), "{plan}");
+    assert!(plan.contains("phase scan: "), "{plan}");
+    assert!(plan.contains("rows=100"), "{plan}");
+    // The trailing remainder phase makes the listed times sum exactly
+    // to the reported total.
+    assert!(plan.contains("phase other: "), "{plan}");
+    assert!(plan.contains("scan mode: block"), "{plan}");
+    assert!(plan.contains("rows scanned: 100"), "{plan}");
+
+    // EXPLAIN ANALYZE really executes: stats carry the scan counters.
+    let rs = db.execute("EXPLAIN ANALYZE SELECT sum(X1) FROM X").unwrap();
+    assert_eq!(rs.stats.rows_scanned, 100);
+    assert!(rs.stats.block_path);
+}
+
+#[test]
+fn explain_analyze_reports_summary_answers() {
+    let db = scoring_db();
+    db.execute("CREATE SUMMARY sx ON X (X1, X2)").unwrap();
+    let plan = plan_text(&db, "EXPLAIN ANALYZE SELECT sum(X1) FROM X");
+    assert!(plan.contains("phase summary-lookup: "), "{plan}");
+    assert!(
+        plan.contains("scan mode: summary (answered from materialized Γ, no scan)"),
+        "{plan}"
+    );
+    assert!(plan.contains("rows scanned: 0"), "{plan}");
+    assert!(plan.contains("summary: 1 hit(s)"), "{plan}");
+}
+
+#[test]
+fn trace_option_records_engine_phase_spans() {
+    use nlq_engine::ExecOptions;
+    use nlq_obs::{Phase, Trace};
+
+    let db = scoring_db();
+    let trace = Trace::new();
+    let opts = ExecOptions {
+        trace: Some(trace.clone()),
+        ..ExecOptions::default()
+    };
+    db.execute_with("SELECT sum(X1) FROM X", &opts).unwrap();
+    let spans = trace.spans();
+    let phases: Vec<Phase> = spans.iter().map(|s| s.phase).collect();
+    assert!(phases.contains(&Phase::Parse), "{phases:?}");
+    assert!(phases.contains(&Phase::Plan), "{phases:?}");
+    assert!(phases.contains(&Phase::Scan), "{phases:?}");
+    let scan = spans.iter().find(|s| s.phase == Phase::Scan).unwrap();
+    assert_eq!(scan.rows, 100);
+    // Spans are laid out sequentially from the statement start.
+    for pair in spans.windows(2) {
+        assert!(pair[1].start_nanos >= pair[0].start_nanos + pair[0].dur_nanos);
+    }
+}
+
+#[test]
 fn explain_does_not_execute_the_scan() {
     // EXPLAIN of a query with a failing UDF argument must still work:
     // the scan never runs, so per-row errors never happen.

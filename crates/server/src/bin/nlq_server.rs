@@ -4,7 +4,7 @@
 //! nlq-server [--addr HOST:PORT] [--workers N] [--max-connections N]
 //!            [--queue N] [--timeout-ms N] [--max-result-rows N]
 //!            [--max-result-bytes N] [--chunk-bytes N]
-//!            [--drain-grace-ms N]
+//!            [--drain-grace-ms N] [--slow-query-ms N] [--trace-ring N]
 //! ```
 //!
 //! The process runs until a client issues `SHUTDOWN` (or the process
@@ -65,11 +65,21 @@ fn parse_args() -> Result<ServerConfig, String> {
                         .map_err(|e| format!("{flag}: {e}"))?,
                 )
             }
+            "--slow-query-ms" => {
+                config.slow_query = Duration::from_millis(
+                    take("millis")?
+                        .parse()
+                        .map_err(|e| format!("{flag}: {e}"))?,
+                )
+            }
+            "--trace-ring" => {
+                config.trace_ring = take("count")?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: nlq-server [--addr HOST:PORT] [--workers N] [--max-connections N] \
                      [--queue N] [--timeout-ms N] [--max-result-rows N] [--max-result-bytes N] \
-                     [--chunk-bytes N] [--drain-grace-ms N]"
+                     [--chunk-bytes N] [--drain-grace-ms N] [--slow-query-ms N] [--trace-ring N]"
                         .into(),
                 )
             }

@@ -1,17 +1,19 @@
 //! Server-wide counters, gauges, and latency histograms.
 //!
 //! Everything here is updated from connection and pool threads and
-//! rendered on demand by the `METRICS` command as a two-column
-//! `(metric, value)` result set. Latencies go into equi-width
-//! [`Histogram`]s over `log10(microseconds)` in `[0, 7)` — bucket `b`
-//! covers `[10^(b/2), 10^((b+1)/2))` µs, spanning 1 µs to 10 s in 14
-//! buckets.
+//! rendered on demand by the `METRICS` command — either as a
+//! two-column `(metric, value)` result set or as Prometheus text
+//! exposition. Latencies go into fixed `AtomicHistogram`s over
+//! `log10(microseconds)` in `[0, 7)` — bucket `b` covers
+//! `[10^(b/2), 10^((b+1)/2))` µs, spanning 1 µs to 10 s in 14
+//! buckets. Recording is lock-free: a bucket index is computed from
+//! the latency and a single atomic increment lands the sample, so
+//! worker threads never serialize on a histogram mutex.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
-use nlq_models::Histogram;
+use nlq_obs::PromText;
 use nlq_storage::Value;
 
 /// Commands tracked separately in the metrics.
@@ -23,7 +25,7 @@ pub enum Command {
     SetOption,
     /// `Status` requests.
     Status,
-    /// `Metrics` requests.
+    /// `Metrics` requests (both result-set and Prometheus forms).
     Metrics,
     /// `Ping` requests.
     Ping,
@@ -31,9 +33,11 @@ pub enum Command {
     Shutdown,
     /// `Cancel` requests (handled inline by session readers).
     Cancel,
+    /// `Trace` requests (recent/slow query trace pages).
+    Trace,
 }
 
-const COMMANDS: [(Command, &str); 7] = [
+const COMMANDS: [(Command, &str); 8] = [
     (Command::Execute, "execute"),
     (Command::SetOption, "set_option"),
     (Command::Status, "status"),
@@ -41,6 +45,7 @@ const COMMANDS: [(Command, &str); 7] = [
     (Command::Ping, "ping"),
     (Command::Shutdown, "shutdown"),
     (Command::Cancel, "cancel"),
+    (Command::Trace, "trace"),
 ];
 
 fn slot(cmd: Command) -> usize {
@@ -54,12 +59,104 @@ fn slot(cmd: Command) -> usize {
 const LAT_LO: f64 = 0.0;
 const LAT_HI: f64 = 7.0;
 const LAT_BUCKETS: usize = 14;
+const LAT_WIDTH: f64 = (LAT_HI - LAT_LO) / LAT_BUCKETS as f64;
+
+/// Lower bound of bucket `b` in microseconds: `10^(b/2)`.
+fn bucket_bound_micros(b: usize) -> f64 {
+    10f64.powf(LAT_LO + b as f64 * LAT_WIDTH)
+}
+
+/// Where one latency sample lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BucketIndex {
+    Below,
+    In(usize),
+    Above,
+}
+
+/// Maps a latency in microseconds to its histogram bucket, preserving
+/// the legacy `Histogram` semantics exactly: `log10(µs) < 0` falls
+/// below, `> 7` falls above, and exactly `10^7` µs clamps into the
+/// last bucket. The floating-point `log10` is boundary-corrected
+/// against the exact bucket bounds so a sample of exactly `10^(b/2)`
+/// µs always lands in bucket `b`.
+fn bucket_index(micros: f64) -> BucketIndex {
+    let x = micros.log10();
+    if x < LAT_LO {
+        return BucketIndex::Below;
+    }
+    if x > LAT_HI && micros > bucket_bound_micros(LAT_BUCKETS) {
+        return BucketIndex::Above;
+    }
+    let mut b = (((x - LAT_LO) / LAT_WIDTH) as usize).min(LAT_BUCKETS - 1);
+    // log10 rounding can land a boundary value one bucket off; nudge
+    // against the exact bounds.
+    while b + 1 < LAT_BUCKETS && micros >= bucket_bound_micros(b + 1) {
+        b += 1;
+    }
+    while b > 0 && micros < bucket_bound_micros(b) {
+        b -= 1;
+    }
+    BucketIndex::In(b)
+}
+
+/// A fixed-bucket latency histogram updated with plain atomic
+/// increments — no mutex, so concurrent recorders never contend
+/// beyond the cache line.
+struct AtomicHistogram {
+    buckets: [AtomicU64; LAT_BUCKETS],
+    below: AtomicU64,
+    above: AtomicU64,
+    /// Sum of recorded latencies in microseconds (for Prometheus
+    /// `_sum`).
+    sum_micros: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn new() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: Default::default(),
+            below: AtomicU64::new(0),
+            above: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, micros: u64) {
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        match bucket_index(micros.max(1) as f64) {
+            BucketIndex::Below => self.below.fetch_add(1, Ordering::Relaxed),
+            BucketIndex::In(b) => self.buckets[b].fetch_add(1, Ordering::Relaxed),
+            BucketIndex::Above => self.above.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    fn counts(&self) -> [u64; LAT_BUCKETS] {
+        std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed))
+    }
+
+    fn below(&self) -> u64 {
+        self.below.load(Ordering::Relaxed)
+    }
+
+    fn above(&self) -> u64 {
+        self.above.load(Ordering::Relaxed)
+    }
+
+    fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    fn total(&self) -> u64 {
+        self.below() + self.counts().iter().sum::<u64>() + self.above()
+    }
+}
 
 /// All server metrics; cheap to share behind an `Arc`.
 pub struct Metrics {
-    counts: [AtomicU64; 7],
-    errors: [AtomicU64; 7],
-    latency: [Mutex<Histogram>; 7],
+    counts: [AtomicU64; 8],
+    errors: [AtomicU64; 8],
+    latency: [AtomicHistogram; 8],
     /// Connections refused by admission control.
     pub connections_rejected: AtomicU64,
     /// Connections accepted over the server's lifetime.
@@ -74,6 +171,9 @@ pub struct Metrics {
     pub results_too_large: AtomicU64,
     /// Queries that ended with a client- or drain-initiated cancel.
     pub queries_cancelled: AtomicU64,
+    /// Queries cancelled while still queued — the worker skipped them
+    /// at dequeue without executing anything.
+    pub queries_cancelled_queued: AtomicU64,
     /// `Cancel` request frames received (whether or not they landed
     /// on a live statement).
     pub cancel_requests: AtomicU64,
@@ -85,6 +185,10 @@ pub struct Metrics {
     pub summary_hits: AtomicU64,
     /// Summary-store misses accumulated across statements.
     pub summary_misses: AtomicU64,
+    /// Stale summaries rebuilt on demand across statements.
+    pub summary_stale_rebuilds: AtomicU64,
+    /// Completed queries slower than the slow-query threshold.
+    pub slow_queries: AtomicU64,
 }
 
 impl Metrics {
@@ -93,9 +197,7 @@ impl Metrics {
         Metrics {
             counts: Default::default(),
             errors: Default::default(),
-            latency: std::array::from_fn(|_| {
-                Mutex::new(Histogram::new(LAT_LO, LAT_HI, LAT_BUCKETS).expect("latency histogram"))
-            }),
+            latency: std::array::from_fn(|_| AtomicHistogram::new()),
             connections_rejected: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
             sessions_active: AtomicU64::new(0),
@@ -103,11 +205,14 @@ impl Metrics {
             queue_rejections: AtomicU64::new(0),
             results_too_large: AtomicU64::new(0),
             queries_cancelled: AtomicU64::new(0),
+            queries_cancelled_queued: AtomicU64::new(0),
             cancel_requests: AtomicU64::new(0),
             bytes_streamed: AtomicU64::new(0),
             chunks_streamed: AtomicU64::new(0),
             summary_hits: AtomicU64::new(0),
             summary_misses: AtomicU64::new(0),
+            summary_stale_rebuilds: AtomicU64::new(0),
+            slow_queries: AtomicU64::new(0),
         }
     }
 
@@ -118,73 +223,87 @@ impl Metrics {
         if !ok {
             self.errors[s].fetch_add(1, Ordering::Relaxed);
         }
-        let micros = latency.as_micros().max(1) as f64;
-        self.latency[s]
-            .lock()
-            .expect("latency histogram")
-            .add(micros.log10());
+        self.latency[s].record(latency.as_micros() as u64);
     }
 
     /// Folds one statement's summary-store counters in.
-    pub fn record_summary(&self, hits: u64, misses: u64) {
+    pub fn record_summary(&self, hits: u64, misses: u64, stale_rebuilds: u64) {
         self.summary_hits.fetch_add(hits, Ordering::Relaxed);
         self.summary_misses.fetch_add(misses, Ordering::Relaxed);
+        self.summary_stale_rebuilds
+            .fetch_add(stale_rebuilds, Ordering::Relaxed);
+    }
+
+    /// The named gauges/counters as `(name, value)` pairs, in render
+    /// order.
+    fn named(&self, queue_depth: usize, workers_busy: usize) -> Vec<(&'static str, u64)> {
+        vec![
+            ("queue_depth", queue_depth as u64),
+            ("workers_busy", workers_busy as u64),
+            (
+                "connections_accepted",
+                self.connections_accepted.load(Ordering::Relaxed),
+            ),
+            (
+                "connections_rejected",
+                self.connections_rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "sessions_active",
+                self.sessions_active.load(Ordering::Relaxed),
+            ),
+            (
+                "query_timeouts",
+                self.query_timeouts.load(Ordering::Relaxed),
+            ),
+            (
+                "queue_rejections",
+                self.queue_rejections.load(Ordering::Relaxed),
+            ),
+            (
+                "results_too_large",
+                self.results_too_large.load(Ordering::Relaxed),
+            ),
+            (
+                "queries_cancelled",
+                self.queries_cancelled.load(Ordering::Relaxed),
+            ),
+            (
+                "queries_cancelled_queued",
+                self.queries_cancelled_queued.load(Ordering::Relaxed),
+            ),
+            (
+                "cancel_requests",
+                self.cancel_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "bytes_streamed",
+                self.bytes_streamed.load(Ordering::Relaxed),
+            ),
+            (
+                "chunks_streamed",
+                self.chunks_streamed.load(Ordering::Relaxed),
+            ),
+            ("summary_hits", self.summary_hits.load(Ordering::Relaxed)),
+            (
+                "summary_misses",
+                self.summary_misses.load(Ordering::Relaxed),
+            ),
+            (
+                "summary_stale_rebuilds",
+                self.summary_stale_rebuilds.load(Ordering::Relaxed),
+            ),
+            ("slow_queries", self.slow_queries.load(Ordering::Relaxed)),
+        ]
     }
 
     /// Renders every metric as `(name, value)` rows. `queue_depth` and
     /// `workers_busy` are sampled by the caller (the pool owns them).
     pub fn render(&self, queue_depth: usize, workers_busy: usize) -> Vec<Vec<Value>> {
         let mut rows = Vec::new();
-        let mut gauge = |name: &str, v: u64| {
+        for (name, v) in self.named(queue_depth, workers_busy) {
             rows.push(vec![Value::Str(name.to_owned()), Value::Int(v as i64)]);
-        };
-        gauge("queue_depth", queue_depth as u64);
-        gauge("workers_busy", workers_busy as u64);
-        gauge(
-            "connections_accepted",
-            self.connections_accepted.load(Ordering::Relaxed),
-        );
-        gauge(
-            "connections_rejected",
-            self.connections_rejected.load(Ordering::Relaxed),
-        );
-        gauge(
-            "sessions_active",
-            self.sessions_active.load(Ordering::Relaxed),
-        );
-        gauge(
-            "query_timeouts",
-            self.query_timeouts.load(Ordering::Relaxed),
-        );
-        gauge(
-            "queue_rejections",
-            self.queue_rejections.load(Ordering::Relaxed),
-        );
-        gauge(
-            "results_too_large",
-            self.results_too_large.load(Ordering::Relaxed),
-        );
-        gauge(
-            "queries_cancelled",
-            self.queries_cancelled.load(Ordering::Relaxed),
-        );
-        gauge(
-            "cancel_requests",
-            self.cancel_requests.load(Ordering::Relaxed),
-        );
-        gauge(
-            "bytes_streamed",
-            self.bytes_streamed.load(Ordering::Relaxed),
-        );
-        gauge(
-            "chunks_streamed",
-            self.chunks_streamed.load(Ordering::Relaxed),
-        );
-        gauge("summary_hits", self.summary_hits.load(Ordering::Relaxed));
-        gauge(
-            "summary_misses",
-            self.summary_misses.load(Ordering::Relaxed),
-        );
+        }
         for (i, (_, name)) in COMMANDS.iter().enumerate() {
             let count = self.counts[i].load(Ordering::Relaxed);
             rows.push(vec![
@@ -198,17 +317,16 @@ impl Metrics {
             if count == 0 {
                 continue;
             }
-            let hist = self.latency[i].lock().expect("latency histogram");
-            for (b, &n) in hist.counts().iter().enumerate() {
+            let hist = &self.latency[i];
+            for (b, n) in hist.counts().into_iter().enumerate() {
                 if n == 0 {
                     continue;
                 }
-                let (lo, hi) = hist.bucket_range(b);
                 rows.push(vec![
                     Value::Str(format!(
                         "command.{name}.latency_us[{:.0},{:.0})",
-                        10f64.powf(lo),
-                        10f64.powf(hi)
+                        bucket_bound_micros(b),
+                        bucket_bound_micros(b + 1)
                     )),
                     Value::Int(n as i64),
                 ]);
@@ -222,6 +340,87 @@ impl Metrics {
         }
         rows
     }
+
+    /// Renders every metric in the Prometheus text exposition format:
+    /// the named gauges/counters as `nlq_<name>` families, per-command
+    /// request/error counters with a `command` label, and per-command
+    /// latency histograms with cumulative `_bucket` series (in
+    /// seconds, as Prometheus convention wants).
+    pub fn render_prometheus(&self, queue_depth: usize, workers_busy: usize) -> String {
+        let mut p = PromText::new();
+        for (name, v) in self.named(queue_depth, workers_busy) {
+            let kind = match name {
+                "queue_depth" | "workers_busy" | "sessions_active" => "gauge",
+                _ => "counter",
+            };
+            let full = format!("nlq_{name}");
+            p.family(&full, kind, name);
+            p.sample(&full, &[], v as f64);
+        }
+
+        p.family(
+            "nlq_command_requests_total",
+            "counter",
+            "Requests handled, by command",
+        );
+        for (i, (_, name)) in COMMANDS.iter().enumerate() {
+            p.sample(
+                "nlq_command_requests_total",
+                &[("command", name)],
+                self.counts[i].load(Ordering::Relaxed) as f64,
+            );
+        }
+        p.family(
+            "nlq_command_errors_total",
+            "counter",
+            "Requests that failed, by command",
+        );
+        for (i, (_, name)) in COMMANDS.iter().enumerate() {
+            p.sample(
+                "nlq_command_errors_total",
+                &[("command", name)],
+                self.errors[i].load(Ordering::Relaxed) as f64,
+            );
+        }
+
+        p.family(
+            "nlq_command_latency_seconds",
+            "histogram",
+            "Request wall-clock latency, by command",
+        );
+        for (i, (_, name)) in COMMANDS.iter().enumerate() {
+            let hist = &self.latency[i];
+            let counts = hist.counts();
+            // Cumulative buckets: everything at or under the bucket's
+            // upper bound, which includes the legacy "below" samples.
+            let mut cumulative = hist.below();
+            for (b, n) in counts.into_iter().enumerate() {
+                cumulative += n;
+                let le = format!("{}", bucket_bound_micros(b + 1) / 1e6);
+                p.sample(
+                    "nlq_command_latency_seconds_bucket",
+                    &[("command", name), ("le", &le)],
+                    cumulative as f64,
+                );
+            }
+            p.sample(
+                "nlq_command_latency_seconds_bucket",
+                &[("command", name), ("le", "+Inf")],
+                hist.total() as f64,
+            );
+            p.sample(
+                "nlq_command_latency_seconds_sum",
+                &[("command", name)],
+                hist.sum_micros() as f64 / 1e6,
+            );
+            p.sample(
+                "nlq_command_latency_seconds_count",
+                &[("command", name)],
+                hist.total() as f64,
+            );
+        }
+        p.finish()
+    }
 }
 
 impl Default for Metrics {
@@ -233,6 +432,7 @@ impl Default for Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn record_and_render() {
@@ -241,7 +441,7 @@ mod tests {
         m.record(Command::Execute, Duration::from_millis(20), false);
         m.record(Command::Ping, Duration::from_micros(2), true);
         m.record(Command::Cancel, Duration::from_micros(3), true);
-        m.record_summary(3, 1);
+        m.record_summary(3, 1, 2);
         m.queries_cancelled.fetch_add(1, Ordering::Relaxed);
         m.bytes_streamed.fetch_add(4096, Ordering::Relaxed);
         m.chunks_streamed.fetch_add(2, Ordering::Relaxed);
@@ -265,6 +465,7 @@ mod tests {
         assert_eq!(get("command.ping.count"), 1);
         assert_eq!(get("summary_hits"), 3);
         assert_eq!(get("summary_misses"), 1);
+        assert_eq!(get("summary_stale_rebuilds"), 2);
         // Both execute latencies landed in some histogram bucket.
         let hist_total: i64 = rows
             .iter()
@@ -275,5 +476,130 @@ mod tests {
             .map(|r| r[1].as_i64().unwrap())
             .sum();
         assert_eq!(hist_total, 2);
+    }
+
+    #[test]
+    fn bucket_boundaries_land_in_their_documented_bucket() {
+        // A latency of exactly 10^(b/2) µs is the documented lower
+        // bound of bucket b and must land there, not one off due to
+        // floating-point log10.
+        for b in 0..LAT_BUCKETS {
+            let micros = bucket_bound_micros(b);
+            assert_eq!(
+                bucket_index(micros),
+                BucketIndex::In(b),
+                "boundary 10^({b}/2) = {micros} µs"
+            );
+            // Integer microsecond just below the boundary stays in the
+            // previous bucket.
+            if b > 0 {
+                let just_below = (micros - 1.0).max(1.0);
+                match bucket_index(just_below) {
+                    BucketIndex::In(idx) => assert!(idx < b || just_below >= micros),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        // Exactly 10^7 µs (10 s) clamps into the last bucket, like the
+        // legacy histogram; anything beyond falls above.
+        assert_eq!(
+            bucket_index(bucket_bound_micros(LAT_BUCKETS)),
+            BucketIndex::In(LAT_BUCKETS - 1)
+        );
+        assert_eq!(bucket_index(2e7), BucketIndex::Above);
+        assert_eq!(bucket_index(0.5), BucketIndex::Below);
+    }
+
+    #[test]
+    fn concurrent_recording_matches_serial_replay() {
+        // A deterministic latency workload recorded by 8 threads
+        // concurrently must produce exactly the same buckets as the
+        // same samples replayed serially.
+        let samples: Vec<u64> = (0..4000u64).map(|i| (i * 2503 + 7) % 20_000_000).collect();
+        let concurrent = Arc::new(Metrics::new());
+        let threads: Vec<_> = samples
+            .chunks(500)
+            .map(|chunk| {
+                let m = Arc::clone(&concurrent);
+                let chunk = chunk.to_vec();
+                std::thread::spawn(move || {
+                    for micros in chunk {
+                        m.record(Command::Execute, Duration::from_micros(micros), true);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        let serial = Metrics::new();
+        for &micros in &samples {
+            serial.record(Command::Execute, Duration::from_micros(micros), true);
+        }
+
+        let s = slot(Command::Execute);
+        assert_eq!(concurrent.latency[s].counts(), serial.latency[s].counts());
+        assert_eq!(concurrent.latency[s].below(), serial.latency[s].below());
+        assert_eq!(concurrent.latency[s].above(), serial.latency[s].above());
+        assert_eq!(
+            concurrent.latency[s].sum_micros(),
+            serial.latency[s].sum_micros()
+        );
+        assert_eq!(concurrent.latency[s].total() as usize, samples.len());
+    }
+
+    #[test]
+    fn prometheus_rendering_round_trips_cumulative_buckets() {
+        let m = Metrics::new();
+        let samples = [1u64, 3, 10, 999, 50_000, 2_000_000, 20_000_000];
+        for &micros in &samples {
+            m.record(Command::Execute, Duration::from_micros(micros), true);
+        }
+        let text = m.render_prometheus(0, 0);
+        nlq_obs::validate_exposition(&text).expect("valid exposition");
+
+        // Parse the execute command's bucket series back out and check
+        // it is cumulative, monotonic, and consistent with the raw
+        // bucket counts.
+        let mut cumulative = Vec::new();
+        let mut inf = None;
+        let mut count = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("nlq_command_latency_seconds_bucket{") {
+                if !rest.contains("command=\"execute\"") {
+                    continue;
+                }
+                let value: f64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+                if rest.contains("le=\"+Inf\"") {
+                    inf = Some(value as u64);
+                } else {
+                    cumulative.push(value as u64);
+                }
+            } else if let Some(rest) =
+                line.strip_prefix("nlq_command_latency_seconds_count{command=\"execute\"}")
+            {
+                count = Some(rest.trim().parse::<f64>().unwrap() as u64);
+            }
+        }
+        assert_eq!(cumulative.len(), LAT_BUCKETS);
+        assert!(
+            cumulative.windows(2).all(|w| w[0] <= w[1]),
+            "{cumulative:?}"
+        );
+        // Reconstruct per-bucket counts by differencing and compare
+        // with the histogram's own view.
+        let s = slot(Command::Execute);
+        let raw = m.latency[s].counts();
+        let mut prev = m.latency[s].below();
+        for (b, &c) in cumulative.iter().enumerate() {
+            assert_eq!(c - prev, raw[b], "bucket {b}");
+            prev = c;
+        }
+        assert_eq!(inf, Some(samples.len() as u64));
+        assert_eq!(count, Some(samples.len() as u64));
+        // One 20 s sample fell past the last bucket: +Inf exceeds the
+        // last finite bucket by exactly that overflow.
+        assert_eq!(inf.unwrap() - cumulative[LAT_BUCKETS - 1], 1);
     }
 }

@@ -12,15 +12,25 @@
 //! delivered.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// A unit of work for the pool.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued unit of work, optionally guarded by a cancel token.
+struct QueuedJob {
+    job: Job,
+    /// When set and already flipped by the time a worker dequeues the
+    /// job, the worker runs `on_skip` instead of `job` — the query is
+    /// answered as cancelled without ever occupying the worker.
+    token: Option<Arc<AtomicBool>>,
+    on_skip: Option<Job>,
+}
+
 struct Queue {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<QueuedJob>,
     shutting_down: bool,
 }
 
@@ -75,6 +85,32 @@ impl WorkerPool {
 
     /// Enqueues a job, refusing when full or shutting down.
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        self.enqueue(QueuedJob {
+            job,
+            token: None,
+            on_skip: None,
+        })
+    }
+
+    /// Enqueues a job guarded by a cancel token. If the token is
+    /// already flipped when a worker dequeues the job, the worker runs
+    /// the cheap `on_skip` instead — a queued-but-not-started query
+    /// answers its cancel without burning the worker on a scan it
+    /// would immediately abandon.
+    pub fn submit_with_token(
+        &self,
+        token: Arc<AtomicBool>,
+        job: Job,
+        on_skip: Job,
+    ) -> Result<(), SubmitError> {
+        self.enqueue(QueuedJob {
+            job,
+            token: Some(token),
+            on_skip: Some(on_skip),
+        })
+    }
+
+    fn enqueue(&self, queued: QueuedJob) -> Result<(), SubmitError> {
         let mut q = self.shared.queue.lock().expect("pool queue");
         if q.shutting_down {
             return Err(SubmitError::ShuttingDown);
@@ -82,7 +118,7 @@ impl WorkerPool {
         if q.jobs.len() >= self.shared.capacity {
             return Err(SubmitError::Full);
         }
-        q.jobs.push_back(job);
+        q.jobs.push_back(queued);
         drop(q);
         self.shared.available.notify_one();
         Ok(())
@@ -125,11 +161,11 @@ impl Drop for WorkerPool {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let queued = {
             let mut q = shared.queue.lock().expect("pool queue");
             loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break job;
+                if let Some(queued) = q.jobs.pop_front() {
+                    break queued;
                 }
                 if q.shutting_down {
                     return;
@@ -137,8 +173,18 @@ fn worker_loop(shared: &Shared) {
                 q = shared.available.wait(q).expect("pool queue");
             }
         };
+        // A job whose cancel token flipped while it sat in the queue
+        // never starts: answer it with the cheap skip path instead.
+        if let Some(token) = &queued.token {
+            if token.load(Ordering::SeqCst) {
+                if let Some(on_skip) = queued.on_skip {
+                    on_skip();
+                }
+                continue;
+            }
+        }
         shared.busy.fetch_add(1, Ordering::Relaxed);
-        job();
+        (queued.job)();
         shared.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -183,6 +229,50 @@ mod tests {
         }
         assert!(refused >= 1, "third queued job must be refused");
         gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn pre_cancelled_queued_job_is_skipped_at_dequeue() {
+        let pool = WorkerPool::new(1, 8);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        // Occupy the single worker and wait until it is really inside
+        // the job, so the next submit definitely sits in the queue.
+        pool.submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            let _ = gate_rx.recv();
+        }))
+        .unwrap();
+        started_rx.recv().unwrap();
+
+        let token = Arc::new(AtomicBool::new(false));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let skipped = Arc::new(AtomicUsize::new(0));
+        let (ran2, skipped2) = (Arc::clone(&ran), Arc::clone(&skipped));
+        pool.submit_with_token(
+            Arc::clone(&token),
+            Box::new(move || {
+                ran2.fetch_add(1, Ordering::SeqCst);
+            }),
+            Box::new(move || {
+                skipped2.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+
+        // Cancel while queued, then release the worker.
+        token.store(true, Ordering::SeqCst);
+        gate_tx.send(()).unwrap();
+
+        // The skip path must run; the job body must not.
+        for _ in 0..200 {
+            if skipped.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(skipped.load(Ordering::SeqCst), 1);
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
     }
 
     #[test]

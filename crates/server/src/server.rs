@@ -58,6 +58,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nlq_engine::{Db, EngineError, ExecOptions, ExecStats};
+use nlq_obs::{Outcome, Phase, Span, Trace, TraceRecord, TraceRing};
 use nlq_storage::Value;
 
 use crate::metrics::{Command, Metrics};
@@ -92,6 +93,12 @@ pub struct ServerConfig {
     /// How long a drain waits for in-flight statements before
     /// cancelling them (and force-closing sockets after twice this).
     pub drain_grace: Duration,
+    /// Completed queries at or above this wall-clock duration are
+    /// written to the slow-query log (stderr) and retained in the
+    /// slow-trace ring.
+    pub slow_query: Duration,
+    /// Capacity of each trace ring (recent and slow).
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +113,8 @@ impl Default for ServerConfig {
             max_result_bytes: usize::MAX,
             chunk_bytes: 1 << 20,
             drain_grace: Duration::from_secs(5),
+            slow_query: Duration::from_millis(500),
+            trace_ring: 256,
         }
     }
 }
@@ -187,6 +196,12 @@ struct Shared {
     /// Live sessions: read-halves (closed on shutdown to unblock
     /// their frame reads) and cancellation registries.
     live: Mutex<Vec<LiveSession>>,
+    /// Ring of the most recently completed query traces.
+    traces: TraceRing,
+    /// Ring of queries that crossed the slow-query threshold.
+    slow_traces: TraceRing,
+    /// Server-wide monotone trace id (the `TRACE` paging cursor).
+    next_trace_id: AtomicU64,
 }
 
 /// Running server; dropping it shuts the server down.
@@ -205,11 +220,14 @@ pub fn serve(db: Arc<Db>, config: ServerConfig) -> io::Result<ServerHandle> {
         pool: WorkerPool::new(config.workers, config.queue_capacity),
         metrics: Arc::new(Metrics::new()),
         db,
-        config,
         addr,
         shutting_down: AtomicBool::new(false),
         next_session: AtomicU64::new(1),
         live: Mutex::new(Vec::new()),
+        traces: TraceRing::new(config.trace_ring),
+        slow_traces: TraceRing::new(config.trace_ring),
+        next_trace_id: AtomicU64::new(1),
+        config,
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
@@ -520,10 +538,11 @@ fn command_of(req: &Request) -> Command {
         Request::Execute { .. } => Command::Execute,
         Request::SetOption { .. } => Command::SetOption,
         Request::Status => Command::Status,
-        Request::Metrics => Command::Metrics,
+        Request::Metrics | Request::MetricsProm => Command::Metrics,
         Request::Ping => Command::Ping,
         Request::Shutdown => Command::Shutdown,
         Request::Cancel { .. } => Command::Cancel,
+        Request::Trace { .. } => Command::Trace,
     }
 }
 
@@ -540,6 +559,28 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
                 columns: vec!["metric".into(), "value".into()],
                 rows,
                 stats: WireStats::default(),
+            }
+        }
+        Request::MetricsProm => Response::MetricsText {
+            text: shared
+                .metrics
+                .render_prometheus(shared.pool.queue_depth(), shared.pool.workers_busy()),
+        },
+        Request::Trace {
+            slow_only,
+            after_id,
+            limit,
+        } => {
+            let ring = if slow_only {
+                &shared.slow_traces
+            } else {
+                &shared.traces
+            };
+            // Clamp the page so the reply always fits one frame even
+            // with long SQL texts.
+            let limit = (limit as usize).clamp(1, 256);
+            Response::Trace {
+                records: ring.page(after_id, limit),
             }
         }
         // Execute, Shutdown, and Cancel are handled in the session
@@ -632,6 +673,9 @@ enum StreamMsg {
         code: ErrorCode,
         message: String,
         stats: Option<ExecStats>,
+        /// The statement was cancelled while still queued — the
+        /// worker skipped it at dequeue without executing anything.
+        cancelled_queued: bool,
     },
 }
 
@@ -660,19 +704,35 @@ fn execute_streaming(
 
     let token = Arc::new(AtomicBool::new(false));
     active.begin(seq, &token);
+    let trace = Trace::new();
     let (tx, rx) = mpsc::sync_channel::<StreamMsg>(STREAM_BUFFER);
     let job = stream_job(
-        sql,
+        sql.clone(),
         seq,
         ExecOptions {
             block_scan: session.block_scan,
             cancel: Some(Arc::clone(&token)),
+            trace: Some(trace.clone()),
         },
         Arc::clone(&shared.db),
         shared.config.clone(),
-        tx,
+        tx.clone(),
     );
-    match shared.pool.submit(Box::new(job)) {
+    // A cancel that lands while the job still sits in the pool queue
+    // skips execution entirely: the worker answers through this cheap
+    // path instead of starting a scan it would immediately abandon.
+    let on_skip = move || {
+        let _ = tx.send(StreamMsg::Failed {
+            code: ErrorCode::Cancelled,
+            message: "query cancelled while queued".into(),
+            stats: None,
+            cancelled_queued: true,
+        });
+    };
+    match shared
+        .pool
+        .submit_with_token(Arc::clone(&token), Box::new(job), Box::new(on_skip))
+    {
         Ok(()) => {}
         Err(SubmitError::Full) => {
             shared
@@ -690,15 +750,75 @@ fn execute_streaming(
         }
     }
 
-    let out = relay_stream(seq, session, shared, &token, &rx, writer);
+    let out = relay_stream(seq, session, shared, &token, &trace, &rx, writer);
     if out.is_err() {
         // The socket died mid-stream; free the worker.
         token.store(true, Ordering::SeqCst);
     }
     active.end();
+    let end = match &out {
+        Ok(end) => (end.outcome, end.detail.clone()),
+        Err(e) => (Outcome::Error, e.to_string()),
+    };
+    finish_trace(session, shared, seq, &sql, trace, end.0, end.1);
     // `rx` drops here: a worker still streaming fails its next send
     // and abandons the statement.
-    out
+    out.map(|end| end.ok)
+}
+
+/// Retains one completed statement's trace: assign the server-wide
+/// id, push into the recent ring, and — past the slow threshold —
+/// into the slow ring plus the stderr slow-query log.
+fn finish_trace(
+    session: &Session,
+    shared: &Arc<Shared>,
+    seq: u64,
+    sql: &str,
+    trace: Trace,
+    outcome: Outcome,
+    detail: String,
+) {
+    let total_nanos = trace.elapsed_nanos();
+    let slow = Duration::from_nanos(total_nanos) >= shared.config.slow_query;
+    let record = TraceRecord {
+        id: shared.next_trace_id.fetch_add(1, Ordering::Relaxed),
+        session: session.id,
+        seq,
+        sql: sql.to_owned(),
+        outcome,
+        detail,
+        total_nanos,
+        slow,
+        spans: trace.spans(),
+    };
+    if slow {
+        shared.metrics.slow_queries.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "slow query: session={} seq={} total={} outcome={} sql={:?}{}",
+            record.session,
+            record.seq,
+            nlq_obs::fmt_nanos(record.total_nanos),
+            record.outcome.name(),
+            record.sql,
+            if record.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" detail={:?}", record.detail)
+            }
+        );
+        shared.slow_traces.push(record.clone());
+    }
+    shared.traces.push(record);
+}
+
+/// How `relay_stream` saw the statement end.
+struct StreamEnd {
+    /// Whether the statement succeeded (for command metrics).
+    ok: bool,
+    /// The trace-record outcome.
+    outcome: Outcome,
+    /// Detail for non-`Ok` outcomes.
+    detail: String,
 }
 
 /// The pool-worker half of a streamed execute: run the statement,
@@ -715,6 +835,7 @@ fn stream_job(
     move || {
         let started = Instant::now();
         let token = opts.cancel.as_ref().expect("stream job has a token");
+        let trace = opts.trace.clone();
         let result = db.execute_with(&sql, &opts);
         let rs = match result {
             Err(EngineError::Cancelled { rows_scanned }) => {
@@ -727,6 +848,7 @@ fn stream_job(
                     code: ErrorCode::Cancelled,
                     message: format!("query cancelled after {rows_scanned} rows"),
                     stats: Some(stats),
+                    cancelled_queued: false,
                 });
                 return;
             }
@@ -735,6 +857,7 @@ fn stream_job(
                     code: ErrorCode::Sql,
                     message: e.to_string(),
                     stats: None,
+                    cancelled_queued: false,
                 });
                 return;
             }
@@ -749,6 +872,7 @@ fn stream_job(
                     config.max_result_rows
                 ),
                 stats: Some(rs.stats),
+                cancelled_queued: false,
             });
             return;
         }
@@ -762,6 +886,7 @@ fn stream_job(
             return;
         }
         let mut enc = ChunkEncoder::new(seq, ncols, config.chunk_bytes);
+        let encode_started = Instant::now();
         for row in &rs.rows {
             // The engine finished, but the stream is still
             // cancellable between chunks.
@@ -773,6 +898,7 @@ fn stream_job(
                         cancelled: true,
                         ..rs.stats
                     }),
+                    cancelled_queued: false,
                 });
                 return;
             }
@@ -789,6 +915,7 @@ fn stream_job(
                         enc.total_rows()
                     ),
                     stats: Some(rs.stats),
+                    cancelled_queued: false,
                 });
                 return;
             }
@@ -802,6 +929,15 @@ fn stream_job(
             if tx.send(StreamMsg::Chunk(payload)).is_err() {
                 return;
             }
+        }
+        if let Some(trace) = &trace {
+            // Encode covers chunking plus any backpressure stalls
+            // waiting on the relay (the channel send blocks).
+            trace.record(
+                Span::new(Phase::Encode, encode_started.elapsed().as_nanos() as u64)
+                    .rows(enc.total_rows())
+                    .bytes(enc.total_bytes()),
+            );
         }
         let wire = WireStats {
             rows_scanned: rs.stats.rows_scanned,
@@ -823,20 +959,38 @@ fn stream_job(
 
 /// The session half of a streamed execute: relay worker messages to
 /// the socket until a terminal frame, enforcing the query deadline.
+#[allow(clippy::too_many_arguments)]
 fn relay_stream(
     seq: u64,
     session: &mut Session,
     shared: &Arc<Shared>,
     token: &Arc<AtomicBool>,
+    trace: &Trace,
     rx: &mpsc::Receiver<StreamMsg>,
     writer: &mut BufWriter<TcpStream>,
-) -> io::Result<bool> {
+) -> io::Result<StreamEnd> {
     let deadline = Instant::now() + shared.config.query_timeout;
+    // Socket time only — excludes waiting on the worker, so the
+    // stream span reflects relay cost rather than query runtime.
+    let write_nanos = std::cell::Cell::new(0u64);
+    let stream_bytes = std::cell::Cell::new(0u64);
+    let timed_write = |writer: &mut BufWriter<TcpStream>, payload: &[u8]| -> io::Result<()> {
+        let started = Instant::now();
+        let out = write_frame(writer, payload);
+        write_nanos.set(write_nanos.get() + started.elapsed().as_nanos() as u64);
+        stream_bytes.set(stream_bytes.get() + payload.len() as u64);
+        out
+    };
+    let finish = |session: &mut Session, end: StreamEnd| -> StreamEnd {
+        session.statements += 1;
+        trace.record(Span::new(Phase::Stream, write_nanos.get()).bytes(stream_bytes.get()));
+        end
+    };
     loop {
         let remaining = deadline.saturating_duration_since(Instant::now());
         match rx.recv_timeout(remaining) {
             Ok(StreamMsg::Header { columns }) => {
-                write_frame(writer, &Response::RowsHeader { seq, columns }.encode())?;
+                timed_write(writer, &Response::RowsHeader { seq, columns }.encode())?;
             }
             Ok(StreamMsg::Chunk(payload)) => {
                 shared
@@ -847,46 +1001,72 @@ fn relay_stream(
                     .metrics
                     .chunks_streamed
                     .fetch_add(1, Ordering::Relaxed);
-                write_frame(writer, &payload)?;
+                timed_write(writer, &payload)?;
             }
             Ok(StreamMsg::Done { payload, stats }) => {
-                session.statements += 1;
                 session.last_stats = Some(stats);
-                shared
-                    .metrics
-                    .record_summary(stats.summary_hits, stats.summary_misses);
-                write_frame(writer, &payload)?;
-                return Ok(true);
+                shared.metrics.record_summary(
+                    stats.summary_hits,
+                    stats.summary_misses,
+                    stats.summary_stale_rebuilds,
+                );
+                timed_write(writer, &payload)?;
+                return Ok(finish(
+                    session,
+                    StreamEnd {
+                        ok: true,
+                        outcome: Outcome::Ok,
+                        detail: String::new(),
+                    },
+                ));
             }
             Ok(StreamMsg::Failed {
                 code,
                 message,
                 stats,
+                cancelled_queued,
             }) => {
-                session.statements += 1;
                 if let Some(stats) = stats {
                     session.last_stats = Some(stats);
-                    shared
-                        .metrics
-                        .record_summary(stats.summary_hits, stats.summary_misses);
+                    shared.metrics.record_summary(
+                        stats.summary_hits,
+                        stats.summary_misses,
+                        stats.summary_stale_rebuilds,
+                    );
                 }
-                match code {
+                let outcome = match code {
+                    ErrorCode::Cancelled if cancelled_queued => {
+                        shared
+                            .metrics
+                            .queries_cancelled_queued
+                            .fetch_add(1, Ordering::Relaxed);
+                        Outcome::CancelledQueued
+                    }
                     ErrorCode::Cancelled => {
                         shared
                             .metrics
                             .queries_cancelled
                             .fetch_add(1, Ordering::Relaxed);
+                        Outcome::Cancelled
                     }
                     ErrorCode::TooLarge => {
                         shared
                             .metrics
                             .results_too_large
                             .fetch_add(1, Ordering::Relaxed);
+                        Outcome::Error
                     }
-                    _ => {}
-                }
+                    _ => Outcome::Error,
+                };
                 write_error(writer, code, &message)?;
-                return Ok(false);
+                return Ok(finish(
+                    session,
+                    StreamEnd {
+                        ok: false,
+                        outcome,
+                        detail: message,
+                    },
+                ));
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 // Deadline: cancel the statement (the worker stops at
@@ -894,26 +1074,36 @@ fn relay_stream(
                 // The caller drops `rx`, so any frame the worker
                 // already queued dies with it.
                 token.store(true, Ordering::SeqCst);
-                session.statements += 1;
                 shared
                     .metrics
                     .query_timeouts
                     .fetch_add(1, Ordering::Relaxed);
-                write_error(
-                    writer,
-                    ErrorCode::Timeout,
-                    &format!(
-                        "query exceeded {} ms",
-                        shared.config.query_timeout.as_millis()
-                    ),
-                )?;
-                return Ok(false);
+                let message = format!(
+                    "query exceeded {} ms",
+                    shared.config.query_timeout.as_millis()
+                );
+                write_error(writer, ErrorCode::Timeout, &message)?;
+                return Ok(finish(
+                    session,
+                    StreamEnd {
+                        ok: false,
+                        outcome: Outcome::Timeout,
+                        detail: message,
+                    },
+                ));
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 // The worker died without a terminal message (pool
                 // shutdown mid-statement).
                 write_error(writer, ErrorCode::ShuttingDown, "query aborted")?;
-                return Ok(false);
+                return Ok(finish(
+                    session,
+                    StreamEnd {
+                        ok: false,
+                        outcome: Outcome::Error,
+                        detail: "query aborted".into(),
+                    },
+                ));
             }
         }
     }

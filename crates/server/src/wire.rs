@@ -30,14 +30,16 @@
 
 use std::io::{self, Read, Write};
 
+use nlq_obs::{Outcome, Phase, Span, TraceRecord};
 use nlq_storage::Value;
 
 /// Hard ceiling on a frame payload (64 MiB).
 pub const MAX_FRAME: usize = 64 << 20;
 
 /// Protocol version spoken by this build (in `Hello`).
-/// Version 2 added streamed results and cancellation.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 2 added streamed results and cancellation; version 3 added
+/// trace retrieval (`TRACE`) and Prometheus-format metrics.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 // Request tags.
 const REQ_EXECUTE: u8 = 0x01;
@@ -47,6 +49,8 @@ const REQ_METRICS: u8 = 0x04;
 const REQ_PING: u8 = 0x05;
 const REQ_SHUTDOWN: u8 = 0x06;
 const REQ_CANCEL: u8 = 0x07;
+const REQ_TRACE: u8 = 0x08;
+const REQ_METRICS_PROM: u8 = 0x09;
 
 // Response tags.
 const RESP_HELLO: u8 = 0x80;
@@ -57,6 +61,8 @@ const RESP_PONG: u8 = 0x84;
 const RESP_ROWS_HEADER: u8 = 0x85;
 const RESP_ROWS_CHUNK: u8 = 0x86;
 const RESP_ROWS_DONE: u8 = 0x87;
+const RESP_METRICS_TEXT: u8 = 0x88;
+const RESP_TRACE: u8 = 0x89;
 
 // Value tags.
 const VAL_NULL: u8 = 0;
@@ -98,6 +104,19 @@ pub enum Request {
         /// 1-based `Execute` count identifying the statement.
         seq: u64,
     },
+    /// Page through the server's retained query traces (the recent
+    /// ring, or the slow-query ring).
+    Trace {
+        /// Read the slow-query ring instead of the recent-trace ring.
+        slow_only: bool,
+        /// Return only records with id strictly greater than this
+        /// (paging cursor; 0 starts from the oldest retained record).
+        after_id: u64,
+        /// Maximum records to return (the server may clamp further).
+        limit: u32,
+    },
+    /// Server-wide metrics in the Prometheus text exposition format.
+    MetricsProm,
 }
 
 /// Why a request was refused.
@@ -219,6 +238,17 @@ pub enum Response {
         /// Execution counters.
         stats: WireStats,
     },
+    /// Reply to [`Request::MetricsProm`]: the exposition text.
+    MetricsText {
+        /// Prometheus text exposition.
+        text: String,
+    },
+    /// Reply to [`Request::Trace`]: a page of retained trace records
+    /// in ascending id order.
+    Trace {
+        /// The page of records.
+        records: Vec<TraceRecord>,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +319,10 @@ impl<'a> Reader<'a> {
             VAL_STR => Value::Str(self.str()?),
             _ => return Err(bad("unknown value tag")),
         })
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
     }
 
     fn done(&self) -> io::Result<()> {
@@ -362,6 +396,17 @@ impl Request {
                 buf.push(REQ_CANCEL);
                 buf.extend_from_slice(&seq.to_be_bytes());
             }
+            Request::Trace {
+                slow_only,
+                after_id,
+                limit,
+            } => {
+                buf.push(REQ_TRACE);
+                buf.push(u8::from(*slow_only));
+                buf.extend_from_slice(&after_id.to_be_bytes());
+                buf.extend_from_slice(&limit.to_be_bytes());
+            }
+            Request::MetricsProm => buf.push(REQ_METRICS_PROM),
         }
         buf
     }
@@ -380,6 +425,12 @@ impl Request {
             REQ_PING => Request::Ping,
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_CANCEL => Request::Cancel { seq: r.u64()? },
+            REQ_TRACE => Request::Trace {
+                slow_only: r.u8()? != 0,
+                after_id: r.u64()?,
+                limit: r.u32()?,
+            },
+            REQ_METRICS_PROM => Request::MetricsProm,
             _ => return Err(bad("unknown request tag")),
         };
         r.done()?;
@@ -401,6 +452,74 @@ fn put_stats(buf: &mut Vec<u8>, s: &WireStats) {
     buf.extend_from_slice(&s.summary_misses.to_be_bytes());
     buf.extend_from_slice(&s.summary_stale_rebuilds.to_be_bytes());
     buf.extend_from_slice(&s.elapsed_micros.to_be_bytes());
+}
+
+fn put_span(buf: &mut Vec<u8>, s: &Span) {
+    buf.push(s.phase.as_u8());
+    buf.extend_from_slice(&s.start_nanos.to_be_bytes());
+    buf.extend_from_slice(&s.dur_nanos.to_be_bytes());
+    buf.extend_from_slice(&s.rows.to_be_bytes());
+    buf.extend_from_slice(&s.bytes.to_be_bytes());
+    buf.extend_from_slice(&s.blocks.to_be_bytes());
+}
+
+fn read_span(r: &mut Reader<'_>) -> io::Result<Span> {
+    let phase = Phase::from_u8(r.u8()?).ok_or_else(|| bad("unknown phase tag"))?;
+    Ok(Span {
+        phase,
+        start_nanos: r.u64()?,
+        dur_nanos: r.u64()?,
+        rows: r.u64()?,
+        bytes: r.u64()?,
+        blocks: r.u64()?,
+    })
+}
+
+fn put_trace_record(buf: &mut Vec<u8>, t: &TraceRecord) {
+    buf.extend_from_slice(&t.id.to_be_bytes());
+    buf.extend_from_slice(&t.session.to_be_bytes());
+    buf.extend_from_slice(&t.seq.to_be_bytes());
+    put_str(buf, &t.sql);
+    buf.push(t.outcome.as_u8());
+    put_str(buf, &t.detail);
+    buf.extend_from_slice(&t.total_nanos.to_be_bytes());
+    buf.push(u8::from(t.slow));
+    buf.extend_from_slice(&(t.spans.len() as u32).to_be_bytes());
+    for span in &t.spans {
+        put_span(buf, span);
+    }
+}
+
+fn read_trace_record(r: &mut Reader<'_>) -> io::Result<TraceRecord> {
+    let id = r.u64()?;
+    let session = r.u64()?;
+    let seq = r.u64()?;
+    let sql = r.str()?;
+    let outcome = Outcome::from_u8(r.u8()?).ok_or_else(|| bad("unknown outcome tag"))?;
+    let detail = r.str()?;
+    let total_nanos = r.u64()?;
+    let slow = r.u8()? != 0;
+    let nspans = r.u32()? as usize;
+    // Each span costs a fixed 41 bytes: reject counts the remaining
+    // payload cannot hold.
+    if nspans.saturating_mul(41) > r.remaining() {
+        return Err(bad("span count exceeds frame size"));
+    }
+    let mut spans = Vec::with_capacity(nspans);
+    for _ in 0..nspans {
+        spans.push(read_span(r)?);
+    }
+    Ok(TraceRecord {
+        id,
+        session,
+        seq,
+        sql,
+        outcome,
+        detail,
+        total_nanos,
+        slow,
+        spans,
+    })
 }
 
 fn read_stats(r: &mut Reader<'_>) -> io::Result<WireStats> {
@@ -488,6 +607,17 @@ impl Response {
                 buf.extend_from_slice(&total_rows.to_be_bytes());
                 buf.extend_from_slice(&total_bytes.to_be_bytes());
                 put_stats(&mut buf, stats);
+            }
+            Response::MetricsText { text } => {
+                buf.push(RESP_METRICS_TEXT);
+                put_str(&mut buf, text);
+            }
+            Response::Trace { records } => {
+                buf.push(RESP_TRACE);
+                buf.extend_from_slice(&(records.len() as u32).to_be_bytes());
+                for record in records {
+                    put_trace_record(&mut buf, record);
+                }
             }
         }
         buf
@@ -578,6 +708,20 @@ impl Response {
                     total_bytes,
                     stats,
                 }
+            }
+            RESP_METRICS_TEXT => Response::MetricsText { text: r.str()? },
+            RESP_TRACE => {
+                let nrecords = r.u32()? as usize;
+                // Each record costs at least its fixed-width fields
+                // (43 bytes): reject counts the payload cannot hold.
+                if nrecords.saturating_mul(43) > payload.len() {
+                    return Err(bad("record count exceeds frame size"));
+                }
+                let mut records = Vec::with_capacity(nrecords);
+                for _ in 0..nrecords {
+                    records.push(read_trace_record(&mut r)?);
+                }
+                Response::Trace { records }
             }
             _ => return Err(bad("unknown response tag")),
         };
@@ -793,6 +937,39 @@ mod tests {
         round_trip_req(Request::Ping);
         round_trip_req(Request::Shutdown);
         round_trip_req(Request::Cancel { seq: 17 });
+        round_trip_req(Request::Trace {
+            slow_only: true,
+            after_id: 99,
+            limit: 32,
+        });
+        round_trip_req(Request::MetricsProm);
+    }
+
+    #[test]
+    fn trace_responses_round_trip() {
+        round_trip_resp(Response::MetricsText {
+            text: "# HELP nlq_up up\n# TYPE nlq_up gauge\nnlq_up 1\n".into(),
+        });
+        round_trip_resp(Response::Trace {
+            records: Vec::new(),
+        });
+        round_trip_resp(Response::Trace {
+            records: vec![TraceRecord {
+                id: 7,
+                session: 3,
+                seq: 2,
+                sql: "SELECT sum(X1) FROM X".into(),
+                outcome: Outcome::Cancelled,
+                detail: "query cancelled after 42 rows".into(),
+                total_nanos: 1_234_567,
+                slow: true,
+                spans: vec![
+                    Span::new(Phase::Parse, 1_000),
+                    Span::new(Phase::Scan, 900_000).rows(42).blocks(3),
+                    Span::new(Phase::Stream, 50_000).bytes(4096),
+                ],
+            }],
+        });
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use nlq_client::{Client, ClientError};
+use nlq_client::{Client, ClientError, Outcome, Phase};
 use nlq_engine::Db;
 use nlq_server::wire::{ErrorCode, MAX_FRAME};
 use nlq_server::{serve, Metrics, ServerConfig, ServerHandle};
@@ -453,4 +453,119 @@ fn drain_cancels_streaming_queries_past_the_grace_period() {
         other => panic!("expected Cancelled from the drain, got {other:?}"),
     }
     assert_eq!(metrics.queries_cancelled.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn trace_ring_pages_completed_queries_over_the_wire() {
+    let ts = TestServer::start(ServerConfig {
+        // Everything is slow at a zero threshold, so the slow ring
+        // retains this test's queries too.
+        slow_query: Duration::from_millis(0),
+        ..ServerConfig::default()
+    });
+    let mut c = ts.client();
+    load_rows(&mut c, "T", 100);
+    c.execute("SELECT sum(X1) FROM T").unwrap();
+    let _ = c.execute("SELECT nope FROM T");
+
+    let records = c.trace(false, 0, 256).unwrap();
+    // CREATE, INSERT, the aggregate, and the failed statement — every
+    // completed statement is retained, in completion order.
+    assert!(records.len() >= 4, "got {} trace records", records.len());
+    assert!(records.windows(2).all(|w| w[0].id < w[1].id));
+
+    let agg = records
+        .iter()
+        .find(|r| r.sql == "SELECT sum(X1) FROM T")
+        .expect("aggregate query traced");
+    assert_eq!(agg.outcome, Outcome::Ok);
+    assert_eq!(agg.session, c.session_id());
+    assert!(agg.total_nanos > 0);
+    let phases: Vec<&str> = agg.spans.iter().map(|s| s.phase.name()).collect();
+    for want in ["parse", "scan", "encode", "stream"] {
+        assert!(phases.contains(&want), "missing {want} span in {phases:?}");
+    }
+    let scan = agg.spans.iter().find(|s| s.phase == Phase::Scan).unwrap();
+    assert_eq!(scan.rows, 100);
+    // Spans never claim more time than the statement took end to end.
+    assert!(agg.spans.iter().map(|s| s.dur_nanos).sum::<u64>() <= agg.total_nanos);
+
+    let failed = records
+        .iter()
+        .find(|r| r.sql.contains("nope"))
+        .expect("failed query traced");
+    assert_eq!(failed.outcome, Outcome::Error);
+    assert!(!failed.detail.is_empty(), "error detail retained");
+
+    // Paging: after the last id there is nothing; the slow ring (zero
+    // threshold) retained the same statements, all marked slow.
+    let last_id = records.last().unwrap().id;
+    assert!(c.trace(false, last_id, 256).unwrap().is_empty());
+    let slow = c.trace(true, 0, 256).unwrap();
+    assert!(slow.len() >= 4);
+    assert!(slow.iter().all(|r| r.slow));
+    assert!(ts.metrics().slow_queries.load(Ordering::Relaxed) >= 4);
+}
+
+#[test]
+fn cancel_of_a_queued_statement_skips_execution_entirely() {
+    let gate = Arc::new(GateState::default());
+    let db = Arc::new(Db::new(1));
+    db.with_registry_mut(|r| r.register_scalar(Arc::new(GateUdf(Arc::clone(&gate)))));
+    let ts = TestServer::start_with(
+        db,
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let metrics = ts.metrics();
+
+    let mut c1 = ts.client();
+    load_rows(&mut c1, "Q", 2);
+    c1.set_option("block_scan", "off").unwrap();
+
+    // Occupy the lone worker with a gated scan...
+    let mut blocked = c1.query("SELECT gate(X1) FROM Q").unwrap();
+    gate.wait_entered(1);
+
+    // ...queue a second statement behind it, and cancel it while it is
+    // provably still waiting (the worker is inside the gated eval).
+    let mut c2 = ts.client();
+    let mut queued = c2.query("SELECT X1 FROM Q").unwrap();
+    queued.cancel().unwrap();
+    wait_until("queued cancel delivery", || {
+        metrics.cancel_requests.load(Ordering::Relaxed) >= 1
+    });
+
+    // Release the worker. It finishes the first statement, dequeues the
+    // second, sees the flipped token, and answers Cancelled without
+    // ever starting the scan.
+    gate.release();
+    let rows: Vec<_> = blocked.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(rows.len(), 2);
+    drop(blocked);
+
+    match queued.next() {
+        Some(Err(ClientError::Server { code, .. })) => assert_eq!(code, ErrorCode::Cancelled),
+        other => panic!("expected Cancelled for the queued statement, got {other:?}"),
+    }
+    drop(queued);
+
+    // The skip path is accounted separately from mid-scan cancels.
+    assert_eq!(metrics.queries_cancelled_queued.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.queries_cancelled.load(Ordering::Relaxed), 0);
+
+    // The trace ring records the distinct outcome.
+    let records = c2.trace(false, 0, 256).unwrap();
+    let skipped = records
+        .iter()
+        .find(|r| r.outcome == Outcome::CancelledQueued)
+        .expect("queued-cancel outcome traced");
+    assert_eq!(skipped.sql, "SELECT X1 FROM Q");
+    assert_eq!(skipped.session, c2.session_id());
+
+    // Both sessions remain usable.
+    c1.ping().unwrap();
+    c2.ping().unwrap();
 }
