@@ -1,7 +1,8 @@
 //! Network service benchmark: queries/second through `nlq-server` for
 //! the paper's hot request shapes — scoring a data set with a scalar
 //! UDF (bounded response), the same scoring query streamed in full
-//! (every scored row chunked over the wire), and answering the Γ
+//! (every scored row chunked over the wire), scoring restricted by a
+//! `WHERE` clause (selection-bitmap block scan), and answering the Γ
 //! aggregate from a materialized summary (no scan) — measured
 //! end-to-end over loopback TCP with concurrent client connections.
 //! Emits `BENCH_server.json`.
@@ -120,7 +121,35 @@ fn main() {
         xs.join(", "),
         bs.join(", ")
     );
+    // Scoring restricted by a WHERE clause: the predicate compiles to
+    // a selection bitmap, so the UDF only sees the qualifying rows.
+    let filtered_sql = format!(
+        "SELECT x.i, linearregscore({}, b.b0, {}) FROM X x CROSS JOIN BETA b \
+         WHERE x.X1 > 0 OR x.X2 > 0 LIMIT 256",
+        xs.join(", "),
+        bs.join(", ")
+    );
     let summary_sql = format!("SELECT nlq_list({d}, 'triang', {}) FROM X", cols.join(", "));
+
+    // The filtered scoring query must ride the vectorized block path;
+    // guard the bench (and the CI smoke run) against silently
+    // regressing to the row interpreter.
+    {
+        let mut c = Client::connect(addr).expect("explain connect");
+        let rs = c
+            .execute(&format!("EXPLAIN {filtered_sql}"))
+            .expect("explain filtered scoring");
+        let plan = rs
+            .rows
+            .iter()
+            .filter_map(|r| r[0].as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            plan.contains("scan mode: block") && plan.contains("predicate(s) as selection bitmap"),
+            "filtered scoring must stay on the block path:\n{plan}"
+        );
+    }
 
     // Streamed queries move ~n rows of payload each; run fewer of
     // them so the workload finishes in the same ballpark.
@@ -135,6 +164,7 @@ fn main() {
             false,
             per_client_streamed,
         ),
+        ("filtered_scoring", &filtered_sql, false, per_client),
         ("summary_hit", &summary_sql, true, per_client),
     ] {
         eprintln!("measuring {workload} ...");

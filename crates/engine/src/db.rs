@@ -49,6 +49,10 @@ pub struct ExecStats {
     pub summary_misses: u64,
     /// Stale summaries rebuilt on-demand while answering.
     pub summary_stale_rebuilds: u64,
+    /// Base-table rows scanned by on-demand stale-summary rebuilds
+    /// (also counted into [`ExecStats::rows_scanned`] — the rebuild is
+    /// a real scan, not free work).
+    pub summary_rebuild_rows: u64,
     /// Wall-clock time parsing the SQL text.
     pub parse_nanos: u64,
     /// Wall-clock time planning (table resolution, predicate
@@ -780,9 +784,13 @@ fn phase_spans(stats: &ExecStats) -> Vec<Span> {
         spans.push(Span::new(Phase::Plan, stats.plan_nanos));
     }
     if stats.summary_nanos > 0 || stats.summary_path {
-        spans.push(Span::new(Phase::SummaryLookup, stats.summary_nanos));
+        spans.push(
+            Span::new(Phase::SummaryLookup, stats.summary_nanos).rows(stats.summary_rebuild_rows),
+        );
     }
-    if stats.scan_nanos > 0 || stats.rows_scanned > 0 {
+    // Rows scanned by a stale-summary rebuild belong to the
+    // summary-lookup span above, not to a (never-run) scan phase.
+    if stats.scan_nanos > 0 || stats.rows_scanned > stats.summary_rebuild_rows {
         spans.push(
             Span::new(Phase::Scan, stats.scan_nanos)
                 .rows(stats.rows_scanned)
@@ -801,7 +809,11 @@ fn phase_spans(stats: &ExecStats) -> Vec<Span> {
 fn render_analyze(total_nanos: u64, stats: &ExecStats) -> Vec<String> {
     let mut lines = render_spans(total_nanos, &phase_spans(stats));
     let mode = if stats.summary_path {
-        "summary (answered from materialized Γ, no scan)".to_owned()
+        if stats.summary_stale_rebuilds > 0 {
+            "summary (stale; rebuilt by scanning the base table, then answered from Γ)".to_owned()
+        } else {
+            "summary (answered from materialized Γ, no scan)".to_owned()
+        }
     } else if stats.block_path {
         format!("block ({} column blocks decoded)", stats.blocks_scanned)
     } else {

@@ -7,19 +7,20 @@ use std::time::Instant;
 use nlq_linalg::kernels;
 use nlq_models::{MatrixShape, Nlq};
 use nlq_storage::{
-    parallel_scan, parallel_scan_partitions, Column, ColumnBlock, DataType, FloatColumn, Row,
-    Schema, Table, Value, BLOCK_ROWS,
+    bitmap_count_ones, bitmap_mask_tail, bitmap_words, parallel_scan, parallel_scan_partitions,
+    Column, ColumnBlock, DataType, Row, Schema, Table, Value, BLOCK_ROWS,
 };
 use nlq_summary::{
     project_nlq, shape_covers, SummaryData, SummaryDef, SummarySnapshot, SummaryStore,
 };
 use nlq_udf::pack::pack_nlq;
-use nlq_udf::{check_heap, AggregateState, BatchArg, ScalarUdf, UdfRegistry};
+use nlq_udf::{check_heap, AggregateState, BatchArg, ScalarBatchArg, ScalarUdf, UdfRegistry};
 
 use crate::ast::{Expr, SelectStmt};
 use crate::catalog::{Catalog, CatalogEntry};
 use crate::db::{ExecStats, ResultSet};
 use crate::expr::{AggCall, AggKind, Binder, BoundExpr, BoundSchema, FastArg, StatAgg};
+use crate::predicate::{compile_residual, CompiledPredicates, PredScratch};
 use crate::{EngineError, Result};
 
 /// Upper bound on materialized cross-join products, protecting against
@@ -301,26 +302,20 @@ impl ExecContext<'_> {
             };
             // Mirror the executor's block-path eligibility test so the
             // plan shows which scan mode will run.
-            let block_plan = if self.block_scan
-                && stmt.group_by.is_empty()
-                && plan.residual.is_empty()
-                && trivial_join
-            {
+            let block_plan = if self.block_scan && stmt.group_by.is_empty() && trivial_join {
                 plan_block_calls(
                     &plan.schema,
                     plan.base.schema().len(),
                     &agg_calls,
                     &fast_args,
+                    &plan.residual,
                 )
             } else {
                 None
             };
             match (summary_line, block_plan) {
                 (Some(line), _) => lines.push(line),
-                (None, Some(bp)) => lines.push(format!(
-                    "scan mode: block ({BLOCK_ROWS}-row column blocks over {} float column(s))",
-                    bp.cols.len()
-                )),
+                (None, Some(bp)) => lines.push(block_agg_line(&bp)),
                 (None, None) => {
                     // State why the vectorized path is ineligible, most
                     // significant obstacle first.
@@ -328,12 +323,23 @@ impl ExecContext<'_> {
                         "block scan disabled".to_owned()
                     } else if !stmt.group_by.is_empty() {
                         "GROUP BY requires row grouping".to_owned()
-                    } else if !plan.residual.is_empty() {
-                        format!("{} residual predicate(s)", plan.residual.len())
                     } else if !trivial_join {
                         "cross join".to_owned()
-                    } else {
+                    } else if plan_block_calls(
+                        &plan.schema,
+                        plan.base.schema().len(),
+                        &agg_calls,
+                        &fast_args,
+                        &[],
+                    )
+                    .is_none()
+                    {
                         "aggregate arguments are not all float base-table columns".to_owned()
+                    } else {
+                        format!(
+                            "{} residual predicate(s) not block-compilable",
+                            plan.residual.len()
+                        )
                     };
                     lines.push(format!("scan mode: row-at-a-time ({reason})"));
                 }
@@ -358,31 +364,26 @@ impl ExecContext<'_> {
                     bound.push(Binder::scalar(&plan.schema, &self.registry).bind(&p.expr)?);
                 }
             }
-            let block_plan =
-                if self.block_scan && stmt.order_by.is_empty() && plan.residual.is_empty() {
-                    plan_scalar_block(
-                        &plan.schema,
-                        plan.base.schema().len(),
-                        &plan.join_product,
-                        &bound,
-                    )
-                } else {
-                    None
-                };
+            let block_plan = if self.block_scan && stmt.order_by.is_empty() {
+                plan_scalar_block(
+                    &plan.schema,
+                    &plan.base,
+                    &plan.join_product,
+                    &bound,
+                    &plan.residual,
+                )
+            } else {
+                Err(String::new())
+            };
             match block_plan {
-                Some(bp) => lines.push(format!(
-                    "scan mode: block ({BLOCK_ROWS}-row column blocks over {} numeric column(s))",
-                    bp.cols.len()
-                )),
-                None => {
+                Ok(bp) => lines.push(block_scalar_line(&bp)),
+                Err(why) => {
                     let reason = if !self.block_scan {
                         "block scan disabled".to_owned()
-                    } else if !plan.residual.is_empty() {
-                        format!("{} residual predicate(s)", plan.residual.len())
                     } else if !stmt.order_by.is_empty() {
                         "ORDER BY requires row materialization".to_owned()
                     } else {
-                        "projections are not all block-computable".to_owned()
+                        why
                     };
                     lines.push(format!("scan mode: row-at-a-time ({reason})"));
                 }
@@ -459,12 +460,13 @@ impl ExecContext<'_> {
         // Vectorized alternative to the row loop: scoring-style
         // projections (scalar UDFs over float base columns plus
         // model-table constants from a single join combination) decode
-        // column blocks instead of materializing full rows.
-        if self.block_scan && stmt.order_by.is_empty() && residual.is_empty() {
-            if let Some(plan) = plan_scalar_block(schema, base.schema().len(), join_product, &bound)
-            {
+        // column blocks instead of materializing full rows. Residual
+        // predicates ride along as per-block selection bitmaps, and a
+        // LIMIT stops each worker early.
+        if self.block_scan && stmt.order_by.is_empty() {
+            if let Ok(plan) = plan_scalar_block(schema, base, join_product, &bound, residual) {
                 let scan_started = Instant::now();
-                let rows = self.run_scalar_block(base, &plan)?;
+                let rows = self.run_scalar_block(base, &plan, stmt.limit)?;
                 let mut stats = ExecStats {
                     block_path: true,
                     ..ExecStats::default()
@@ -553,6 +555,7 @@ impl ExecContext<'_> {
         &self,
         base: &Table,
         plan: &ScalarBlockPlan,
+        limit: Option<usize>,
     ) -> Result<(Vec<Row>, u64, u64)> {
         let cancel = self.cancel.as_deref();
         let partials: Vec<Result<(Vec<Row>, u64, u64)>> =
@@ -560,17 +563,95 @@ impl ExecContext<'_> {
                 let mut out = Vec::new();
                 let mut iter = base.scan_partition_blocks_numeric(p, &plan.cols)?;
                 let (mut rows, mut blocks) = (0u64, 0u64);
+                let mut sel = Vec::new();
+                let mut pred_scratch = PredScratch::default();
+                let mut arg_pool: Vec<Vec<Value>> = Vec::new();
+                let mut batch_out: Vec<Vec<Value>> = vec![Vec::new(); plan.exprs.len()];
+                let mut batch_ok = vec![false; plan.exprs.len()];
+                // The final output keeps the first `limit` rows in
+                // partition-major order, so no worker ever needs more
+                // than `limit` rows of its own.
+                let done = |out: &Vec<Row>| limit.is_some_and(|l| out.len() >= l);
                 while let Some(block) = iter.next_block() {
                     check_cancelled(cancel, rows)?;
                     let block = block?;
                     rows += block.len() as u64;
                     blocks += 1;
-                    for i in 0..block.len() {
+                    let selection: Option<&[u64]> = match &plan.predicate {
+                        None => None,
+                        Some(pred) => {
+                            pred.selection(&block, &mut sel, &mut pred_scratch);
+                            Some(sel.as_slice())
+                        }
+                    };
+                    // Columnar projections: a flat UDF call (all args
+                    // columns or constants) evaluates once over the
+                    // whole block instead of once per row — unless a
+                    // small LIMIT makes per-row early exit cheaper
+                    // than computing rows nobody will read.
+                    let batch_worthwhile = limit.is_none_or(|l| l >= block.len());
+                    for (k, e) in plan.exprs.iter().enumerate() {
+                        batch_ok[k] = false;
+                        if !batch_worthwhile || !plan.batched[k] {
+                            continue;
+                        }
+                        let ScalarBlockExpr::Udf { udf, args } = e else {
+                            continue;
+                        };
+                        let bargs: Vec<ScalarBatchArg> = args
+                            .iter()
+                            .map(|a| match a {
+                                ScalarBlockExpr::Col(s) => {
+                                    let col = block.column(*s);
+                                    ScalarBatchArg::Col {
+                                        values: col.values,
+                                        validity: col.validity(),
+                                    }
+                                }
+                                ScalarBlockExpr::Const(v) => ScalarBatchArg::Const(v),
+                                ScalarBlockExpr::Udf { .. } => unreachable!("flat_udf"),
+                            })
+                            .collect();
+                        batch_out[k].clear();
+                        batch_ok[k] = udf.eval_batch(&bargs, block.len(), &mut batch_out[k])?;
+                    }
+                    let mut emit = |out: &mut Vec<Row>, i: usize| -> Result<()> {
                         let mut row = Vec::with_capacity(plan.exprs.len());
-                        for e in &plan.exprs {
-                            row.push(e.eval(block, &plan.int_slots, i)?);
+                        for (k, e) in plan.exprs.iter().enumerate() {
+                            row.push(if batch_ok[k] {
+                                batch_out[k][i].clone()
+                            } else {
+                                e.eval(&block, &plan.int_slots, i, &mut arg_pool, 0)?
+                            });
                         }
                         out.push(row);
+                        Ok(())
+                    };
+                    match selection {
+                        None => {
+                            for i in 0..block.len() {
+                                emit(&mut out, i)?;
+                                if done(&out) {
+                                    break;
+                                }
+                            }
+                        }
+                        Some(words) => {
+                            'words: for (w, &word) in words.iter().enumerate() {
+                                let mut m = word;
+                                while m != 0 {
+                                    let i = (w << 6) | m.trailing_zeros() as usize;
+                                    m &= m - 1;
+                                    emit(&mut out, i)?;
+                                    if done(&out) {
+                                        break 'words;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if done(&out) {
+                        break;
                     }
                 }
                 Ok((out, rows, blocks))
@@ -707,13 +788,16 @@ impl ExecContext<'_> {
         // Vectorized alternative to the row loop: when the whole
         // statement is a global aggregate over numeric columns of the
         // base table, scan fixed-size column blocks instead of rows.
-        let block_plan = if self.block_scan
-            && group_bound.is_empty()
-            && residual.is_empty()
-            && join_product.len() == 1
-            && join_product[0].is_empty()
-        {
-            plan_block_calls(schema, base.schema().len(), &agg_calls, &fast_args)
+        // Compilable residual predicates become per-block selection
+        // bitmaps rather than forcing the row path.
+        let block_plan = if self.block_scan && group_bound.is_empty() && trivial_join {
+            plan_block_calls(
+                schema,
+                base.schema().len(),
+                &agg_calls,
+                &fast_args,
+                residual,
+            )
         } else {
             None
         };
@@ -728,15 +812,25 @@ impl ExecContext<'_> {
             parallel_scan_partitions(base, self.workers, |p| {
                 let start = Instant::now();
                 let mut accums: Vec<AggAccum> = calls_ref.iter().map(AggAccum::init).collect();
-                let mut iter = base.scan_partition_blocks(p, &plan.cols)?;
+                let mut iter = base.scan_partition_blocks_numeric(p, &plan.cols)?;
                 let (mut rows, mut blocks) = (0u64, 0u64);
+                let mut sel = Vec::new();
+                let mut pred_scratch = PredScratch::default();
+                let mut active_buf = Vec::new();
                 while let Some(block) = iter.next_block() {
                     check_cancelled(cancel, rows)?;
                     let block = block?;
                     rows += block.len() as u64;
                     blocks += 1;
+                    let selection: Option<&[u64]> = match &plan.predicate {
+                        None => None,
+                        Some(pred) => {
+                            pred.selection(&block, &mut sel, &mut pred_scratch);
+                            Some(sel.as_slice())
+                        }
+                    };
                     for (accum, call) in accums.iter_mut().zip(&plan.calls) {
-                        accum.update_block(block, call)?;
+                        accum.update_block(&block, call, selection, &mut active_buf)?;
                     }
                 }
                 let mut groups: GroupMap = HashMap::new();
@@ -887,7 +981,13 @@ impl ExecContext<'_> {
             };
             if !entry.is_fresh() {
                 match entry.rebuild_with_cancel(base, self.cancel.as_deref()) {
-                    Ok(()) => stats.summary_stale_rebuilds += 1,
+                    // The rebuild scanned the table for real; account
+                    // its rows so EXPLAIN ANALYZE shows the work.
+                    Ok(rebuild_rows) => {
+                        stats.summary_stale_rebuilds += 1;
+                        stats.summary_rebuild_rows += rebuild_rows;
+                        stats.rows_scanned += rebuild_rows;
+                    }
                     // A cancelled rebuild cancels the statement; the
                     // entry stays stale for the next reader.
                     Err(e @ nlq_summary::SummaryError::Cancelled { .. }) => return Err(e.into()),
@@ -1279,21 +1379,59 @@ enum BlockCall {
 }
 
 /// The outcome of planning a block-at-a-time aggregate scan: which
-/// base-table columns to project and how each call consumes them.
+/// base-table columns to project, how each call consumes them, and
+/// the compiled residual predicate (if any) evaluated into a
+/// selection bitmap per block. Predicate-only columns sit after the
+/// call columns in `cols`.
 struct BlockPlan {
     cols: Vec<usize>,
     calls: Vec<BlockCall>,
+    predicate: Option<CompiledPredicates>,
+}
+
+/// The EXPLAIN line for an eligible block-path aggregate.
+fn block_agg_line(bp: &BlockPlan) -> String {
+    match &bp.predicate {
+        None => format!(
+            "scan mode: block ({BLOCK_ROWS}-row column blocks over {} float column(s))",
+            bp.cols.len()
+        ),
+        Some(p) => format!(
+            "scan mode: block ({BLOCK_ROWS}-row column blocks over {} numeric column(s); \
+             {} predicate(s) as selection bitmap)",
+            bp.cols.len(),
+            p.len()
+        ),
+    }
+}
+
+/// The EXPLAIN line for an eligible block-path scalar projection.
+fn block_scalar_line(bp: &ScalarBlockPlan) -> String {
+    match &bp.predicate {
+        None => format!(
+            "scan mode: block ({BLOCK_ROWS}-row column blocks over {} numeric column(s))",
+            bp.cols.len()
+        ),
+        Some(p) => format!(
+            "scan mode: block ({BLOCK_ROWS}-row column blocks over {} numeric column(s); \
+             {} predicate(s) as selection bitmap)",
+            bp.cols.len(),
+            p.len()
+        ),
+    }
 }
 
 /// Plans the block path for a global aggregate, or returns `None` when
-/// any call needs the general row-at-a-time machinery. Eligibility per
-/// call: every operand is a float column of the base table (indices
-/// below `base_width`), a product of two such columns, or a literal.
+/// any call (or any residual predicate) needs the general
+/// row-at-a-time machinery. Eligibility per call: every operand is a
+/// float column of the base table (indices below `base_width`), a
+/// product of two such columns, or a literal.
 fn plan_block_calls(
     schema: &BoundSchema,
     base_width: usize,
     agg_calls: &[AggCall],
     fast_args: &[Option<FastArg>],
+    residual: &[BoundExpr],
 ) -> Option<BlockPlan> {
     let mut cols: Vec<usize> = Vec::new();
     let mut slot_of: HashMap<usize, usize> = HashMap::new();
@@ -1359,7 +1497,21 @@ fn plan_block_calls(
         };
         calls.push(planned);
     }
-    Some(BlockPlan { cols, calls })
+    // Residual predicates must compile to selection bitmaps; their
+    // columns (possibly Int — the numeric scan widens them) append
+    // after the call columns.
+    let predicate = if residual.is_empty() {
+        None
+    } else {
+        Some(compile_residual(
+            residual, schema, base_width, None, &mut cols, None,
+        )?)
+    };
+    Some(BlockPlan {
+        cols,
+        calls,
+        predicate,
+    })
 }
 
 /// One block-compilable scalar projection: a decoded block column (by
@@ -1377,46 +1529,81 @@ enum ScalarBlockExpr {
 }
 
 impl ScalarBlockExpr {
-    /// Evaluates against row `i` of a decoded block.
-    fn eval(&self, block: &ColumnBlock, int_slots: &[bool], i: usize) -> Result<Value> {
+    /// Evaluates against row `i` of a decoded block. `pool` supplies
+    /// reusable argument buffers (one per UDF nesting depth) so the
+    /// per-row hot path allocates nothing.
+    fn eval(
+        &self,
+        block: &ColumnBlock,
+        int_slots: &[bool],
+        i: usize,
+        pool: &mut Vec<Vec<Value>>,
+        depth: usize,
+    ) -> Result<Value> {
         Ok(match self {
             ScalarBlockExpr::Const(v) => v.clone(),
             ScalarBlockExpr::Col(s) => block_value(block, *s, int_slots[*s], i),
             ScalarBlockExpr::Udf { udf, args } => {
-                let mut buf = Vec::with_capacity(args.len());
-                for a in args {
-                    buf.push(a.eval(block, int_slots, i)?);
+                if pool.len() <= depth {
+                    pool.resize_with(depth + 1, Vec::new);
                 }
-                udf.eval(&buf)?
+                let mut buf = std::mem::take(&mut pool[depth]);
+                buf.clear();
+                for a in args {
+                    buf.push(a.eval(block, int_slots, i, pool, depth + 1)?);
+                }
+                let v = udf.eval(&buf)?;
+                pool[depth] = buf;
+                v
             }
         })
+    }
+
+    /// Whether this is a UDF call over plain columns and constants —
+    /// the shape [`ScalarUdf::eval_batch`] accepts whole blocks of.
+    fn flat_udf(&self) -> bool {
+        matches!(self, ScalarBlockExpr::Udf { args, .. }
+        if args.iter().all(|a| {
+            matches!(a, ScalarBlockExpr::Col(_) | ScalarBlockExpr::Const(_))
+        }))
     }
 }
 
 /// The outcome of planning a block-at-a-time scalar projection: which
 /// base-table numeric columns to decode (`int_slots` marks the ones to
-/// narrow back to `Int` on output) and how each output column is
-/// computed from them.
+/// narrow back to `Int` on output), how each output column is computed
+/// from them, and the compiled residual predicate (if any) evaluated
+/// into a selection bitmap per block.
 struct ScalarBlockPlan {
     cols: Vec<usize>,
     int_slots: Vec<bool>,
     exprs: Vec<ScalarBlockExpr>,
+    /// Per projection: eligible for the once-per-block
+    /// [`ScalarUdf::eval_batch`] columnar path.
+    batched: Vec<bool>,
+    predicate: Option<CompiledPredicates>,
 }
 
-/// Plans the block path for a non-aggregate SELECT, or `None` when any
-/// projection needs the general row machinery. Eligibility: exactly
-/// one join combination (so joined-column references are constants),
-/// and every projection is a numeric base column, a constant, or a
-/// scalar UDF over those — the paper's scoring queries
-/// (`linearregscore`, `clusterscore`, ...) exactly.
+/// Plans the block path for a non-aggregate SELECT; `Err` carries the
+/// EXPLAIN fallback reason when the general row machinery is needed.
+/// Eligibility: exactly one join combination (so joined-column
+/// references are constants), every projection a numeric base column,
+/// a constant, or a scalar UDF over those — the paper's scoring
+/// queries (`linearregscore`, `clusterscore`, ...) exactly — every
+/// projected Int column exactly representable as `f64` (the block
+/// scan widens and narrows back), and every residual predicate
+/// compilable to a selection bitmap.
 fn plan_scalar_block(
     schema: &BoundSchema,
-    base_width: usize,
+    base: &Table,
     join_product: &[Row],
     bound: &[BoundExpr],
-) -> Option<ScalarBlockPlan> {
+    residual: &[BoundExpr],
+) -> std::result::Result<ScalarBlockPlan, String> {
+    let base_width = base.schema().len();
+    let not_block = || "projections are not all block-computable".to_owned();
     let [suffix] = join_product else {
-        return None;
+        return Err(not_block());
     };
     let mut cols: Vec<usize> = Vec::new();
     let mut int_slots: Vec<bool> = Vec::new();
@@ -1461,30 +1648,76 @@ fn plan_scalar_block(
     }
     let mut exprs = Vec::with_capacity(bound.len());
     for b in bound {
-        exprs.push(compile(
-            b,
-            schema,
-            base_width,
-            suffix,
-            &mut cols,
-            &mut int_slots,
-            &mut slot_of,
-        )?);
+        exprs.push(
+            compile(
+                b,
+                schema,
+                base_width,
+                suffix,
+                &mut cols,
+                &mut int_slots,
+                &mut slot_of,
+            )
+            .ok_or_else(not_block)?,
+        );
     }
+    // Int columns ride the block path widened to f64 and narrowed back
+    // on output; beyond ±2^53 that round trip loses precision, so such
+    // columns force the row path (tracked per column from observed
+    // values).
+    if let Some((&col, _)) = cols
+        .iter()
+        .zip(&int_slots)
+        .find(|&(&c, &is_int)| is_int && !base.int_widening_exact(c))
+    {
+        return Err(format!(
+            "integer column {} exceeds the exact f64 range (±2^53)",
+            schema.column_name(col)
+        ));
+    }
+    // Residual predicates must compile to selection bitmaps; their
+    // columns append after the projection columns.
+    let predicate = if residual.is_empty() {
+        None
+    } else {
+        Some(
+            compile_residual(
+                residual,
+                schema,
+                base_width,
+                Some(suffix),
+                &mut cols,
+                Some(&mut int_slots),
+            )
+            .ok_or_else(|| {
+                format!(
+                    "{} residual predicate(s) not block-compilable",
+                    residual.len()
+                )
+            })?,
+        )
+    };
     // With no block column at all there is nothing to decode (and no
     // row count to drive constant projections).
-    (!cols.is_empty()).then_some(ScalarBlockPlan {
+    if cols.is_empty() {
+        return Err(not_block());
+    }
+    let batched = exprs.iter().map(ScalarBlockExpr::flat_udf).collect();
+    Ok(ScalarBlockPlan {
         cols,
         int_slots,
         exprs,
+        batched,
+        predicate,
     })
 }
 
-/// A block cell as a [`Value`] (NULL-mask aware; `Int` columns narrow
-/// back from their widened block representation).
+/// A block cell as a [`Value`] (validity-aware; `Int` columns narrow
+/// back from their widened block representation — the planner only
+/// admits columns whose observed values survive that round trip).
 fn block_value(block: &ColumnBlock, slot: usize, is_int: bool, i: usize) -> Value {
     let col = block.column(slot);
-    if col.nulls[i] {
+    if col.is_null(i) {
         Value::Null
     } else if is_int {
         Value::Int(col.values[i] as i64)
@@ -1493,44 +1726,78 @@ fn block_value(block: &ColumnBlock, slot: usize, is_int: bool, i: usize) -> Valu
     }
 }
 
+/// Composes the predicate selection with the validity bitmaps of the
+/// given column slots into one active-row bitmap. Returns `None` when
+/// every row is active (no selection, all columns dense) — the dense
+/// kernels apply; otherwise fills `buf` (`bitmap_words(len)` words,
+/// bits past the block length zero) and returns it.
+fn build_active<'a>(
+    block: &ColumnBlock,
+    slots: &[usize],
+    selection: Option<&[u64]>,
+    buf: &'a mut Vec<u64>,
+) -> Option<&'a [u64]> {
+    let any_null = slots.iter().any(|&s| !block.column(s).is_dense());
+    if selection.is_none() && !any_null {
+        return None;
+    }
+    let len = block.len();
+    buf.clear();
+    match selection {
+        Some(sel) => buf.extend_from_slice(sel),
+        None => {
+            buf.resize(bitmap_words(len), !0u64);
+            bitmap_mask_tail(buf, len);
+        }
+    }
+    for &s in slots {
+        if let Some(validity) = block.column(s).validity() {
+            for (w, v) in buf.iter_mut().zip(validity) {
+                *w &= v;
+            }
+        }
+    }
+    Some(buf)
+}
+
 /// Reduces one term over a block: `(sum of contributing products,
-/// number of contributing rows)`.
-fn reduce_term(block: &ColumnBlock, term: &BlockTerm) -> (f64, u64) {
+/// number of contributing rows)`. `selection` restricts the
+/// contributing rows; NULLs in the term's columns drop out on top.
+fn reduce_term(
+    block: &ColumnBlock,
+    term: &BlockTerm,
+    selection: Option<&[u64]>,
+    buf: &mut Vec<u64>,
+) -> (f64, u64) {
     match term {
-        BlockTerm::Const(c) => (*c * block.len() as f64, block.len() as u64),
+        BlockTerm::Const(c) => {
+            let n = match selection {
+                Some(sel) => bitmap_count_ones(sel),
+                None => block.len(),
+            };
+            (*c * n as f64, n as u64)
+        }
         BlockTerm::Col(s) => {
             let col = block.column(*s);
-            if col.is_dense() {
-                (kernels::sum(&col.values), block.len() as u64)
-            } else {
-                (
-                    kernels::sum_masked(&col.values, &col.nulls),
-                    (block.len() - col.null_count) as u64,
-                )
+            match build_active(block, &[*s], selection, buf) {
+                None => (kernels::sum(col.values), block.len() as u64),
+                Some(active) => (
+                    kernels::sum_selected(col.values, active),
+                    bitmap_count_ones(active) as u64,
+                ),
             }
         }
         BlockTerm::Prod(a, b) => {
             let (ca, cb) = (block.column(*a), block.column(*b));
-            if ca.is_dense() && cb.is_dense() {
-                (kernels::dot(&ca.values, &cb.values), block.len() as u64)
-            } else {
-                let skip = union_mask(&[ca, cb]);
-                let kept = skip.iter().filter(|&&s| !s).count() as u64;
-                (kernels::dot_masked(&ca.values, &cb.values, &skip), kept)
+            match build_active(block, &[*a, *b], selection, buf) {
+                None => (kernels::dot(ca.values, cb.values), block.len() as u64),
+                Some(active) => (
+                    kernels::dot_selected(ca.values, cb.values, active),
+                    bitmap_count_ones(active) as u64,
+                ),
             }
         }
     }
-}
-
-/// ORs the null masks of several columns into one row-skip mask.
-fn union_mask(cols: &[&FloatColumn]) -> Vec<bool> {
-    let mut skip = vec![false; cols.first().map_or(0, |c| c.nulls.len())];
-    for col in cols {
-        for (s, &null) in skip.iter_mut().zip(&col.nulls) {
-            *s |= null;
-        }
-    }
-    skip
 }
 
 /// How one ORDER BY key is computed for a result row.
@@ -1773,11 +2040,24 @@ impl AggAccum {
     /// Folds a whole column block into the accumulator per the planned
     /// [`BlockCall`] — the vectorized counterpart of calling
     /// [`AggAccum::update`]/[`AggAccum::update_fast`] once per row.
-    fn update_block(&mut self, block: &ColumnBlock, call: &BlockCall) -> Result<()> {
+    /// `selection` (the compiled `WHERE` bitmap) restricts the
+    /// contributing rows; `buf` is reusable active-bitmap scratch.
+    fn update_block(
+        &mut self,
+        block: &ColumnBlock,
+        call: &BlockCall,
+        selection: Option<&[u64]>,
+        buf: &mut Vec<u64>,
+    ) -> Result<()> {
         match (self, call) {
-            (AggAccum::CountStar { n }, BlockCall::CountStar) => *n += block.len() as i64,
+            (AggAccum::CountStar { n }, BlockCall::CountStar) => {
+                *n += match selection {
+                    Some(sel) => bitmap_count_ones(sel) as i64,
+                    None => block.len() as i64,
+                }
+            }
             (AggAccum::Sum { acc, any, int_only }, BlockCall::Fast(term)) => {
-                let (s, kept) = reduce_term(block, term);
+                let (s, kept) = reduce_term(block, term, selection, buf);
                 if kept > 0 {
                     *acc += s;
                     *any = true;
@@ -1785,51 +2065,53 @@ impl AggAccum {
                 }
             }
             (AggAccum::Avg { sum, n }, BlockCall::Fast(term)) => {
-                let (s, kept) = reduce_term(block, term);
+                let (s, kept) = reduce_term(block, term, selection, buf);
                 *sum += s;
                 *n += kept as i64;
             }
             (AggAccum::Count { n }, BlockCall::Fast(term)) => {
-                let (_, kept) = reduce_term(block, term);
+                let (_, kept) = reduce_term(block, term, selection, buf);
                 *n += kept as i64;
-            }
-            (AggAccum::Min { best } | AggAccum::Max { best }, BlockCall::Extremum(s))
-                if block.len() == block.column(*s).null_count =>
-            {
-                let _ = best; // all-NULL block contributes nothing
             }
             (AggAccum::Min { best }, BlockCall::Extremum(s)) => {
                 let col = block.column(*s);
-                let (lo, _) = if col.is_dense() {
-                    kernels::min_max(&col.values)
-                } else {
-                    kernels::min_max_masked(&col.values, &col.nulls)
+                let lo = match build_active(block, &[*s], selection, buf) {
+                    None => Some(kernels::min_max(col.values).0),
+                    Some(active) => (bitmap_count_ones(active) > 0)
+                        .then(|| kernels::min_max_selected(col.values, active).0),
                 };
-                if best.as_ref().and_then(Value::as_f64).is_none_or(|b| lo < b) {
-                    *best = Some(Value::Float(lo));
+                if let Some(lo) = lo {
+                    if best.as_ref().and_then(Value::as_f64).is_none_or(|b| lo < b) {
+                        *best = Some(Value::Float(lo));
+                    }
                 }
             }
             (AggAccum::Max { best }, BlockCall::Extremum(s)) => {
                 let col = block.column(*s);
-                let (_, hi) = if col.is_dense() {
-                    kernels::min_max(&col.values)
-                } else {
-                    kernels::min_max_masked(&col.values, &col.nulls)
+                let hi = match build_active(block, &[*s], selection, buf) {
+                    None => Some(kernels::min_max(col.values).1),
+                    Some(active) => (bitmap_count_ones(active) > 0)
+                        .then(|| kernels::min_max_selected(col.values, active).1),
                 };
-                if best.as_ref().and_then(Value::as_f64).is_none_or(|b| hi > b) {
-                    *best = Some(Value::Float(hi));
+                if let Some(hi) = hi {
+                    if best.as_ref().and_then(Value::as_f64).is_none_or(|b| hi > b) {
+                        *best = Some(Value::Float(hi));
+                    }
                 }
             }
             (AggAccum::Stat { n, sa, saa, .. }, BlockCall::Stat { a, b: None }) => {
                 let col = block.column(*a);
-                if col.is_dense() {
-                    *n += block.len() as f64;
-                    *sa += kernels::sum(&col.values);
-                    *saa += kernels::sum_sq(&col.values);
-                } else {
-                    *n += (block.len() - col.null_count) as f64;
-                    *sa += kernels::sum_masked(&col.values, &col.nulls);
-                    *saa += kernels::dot_masked(&col.values, &col.values, &col.nulls);
+                match build_active(block, &[*a], selection, buf) {
+                    None => {
+                        *n += block.len() as f64;
+                        *sa += kernels::sum(col.values);
+                        *saa += kernels::sum_sq(col.values);
+                    }
+                    Some(active) => {
+                        *n += bitmap_count_ones(active) as f64;
+                        *sa += kernels::sum_selected(col.values, active);
+                        *saa += kernels::dot_selected(col.values, col.values, active);
+                    }
                 }
             }
             (
@@ -1845,27 +2127,29 @@ impl AggAccum {
                 BlockCall::Stat { a, b: Some(b) },
             ) => {
                 let (ca, cb) = (block.column(*a), block.column(*b));
-                if ca.is_dense() && cb.is_dense() {
-                    *n += block.len() as f64;
-                    *sa += kernels::sum(&ca.values);
-                    *sb += kernels::sum(&cb.values);
-                    *saa += kernels::sum_sq(&ca.values);
-                    *sbb += kernels::sum_sq(&cb.values);
-                    *sab += kernels::dot(&ca.values, &cb.values);
-                } else {
+                match build_active(block, &[*a, *b], selection, buf) {
+                    None => {
+                        *n += block.len() as f64;
+                        *sa += kernels::sum(ca.values);
+                        *sb += kernels::sum(cb.values);
+                        *saa += kernels::sum_sq(ca.values);
+                        *sbb += kernels::sum_sq(cb.values);
+                        *sab += kernels::dot(ca.values, cb.values);
+                    }
                     // A NULL in either argument skips the row for every
                     // running sum, per SQL.
-                    let skip = union_mask(&[ca, cb]);
-                    *n += skip.iter().filter(|&&s| !s).count() as f64;
-                    *sa += kernels::sum_masked(&ca.values, &skip);
-                    *sb += kernels::sum_masked(&cb.values, &skip);
-                    *saa += kernels::dot_masked(&ca.values, &ca.values, &skip);
-                    *sbb += kernels::dot_masked(&cb.values, &cb.values, &skip);
-                    *sab += kernels::dot_masked(&ca.values, &cb.values, &skip);
+                    Some(active) => {
+                        *n += bitmap_count_ones(active) as f64;
+                        *sa += kernels::sum_selected(ca.values, active);
+                        *sb += kernels::sum_selected(cb.values, active);
+                        *saa += kernels::dot_selected(ca.values, ca.values, active);
+                        *sbb += kernels::dot_selected(cb.values, cb.values, active);
+                        *sab += kernels::dot_selected(ca.values, cb.values, active);
+                    }
                 }
             }
             (AggAccum::Udf { state }, BlockCall::Udf(args)) => {
-                state.accumulate_batch(block, args)?;
+                state.accumulate_batch(block, args, selection)?;
             }
             _ => {
                 return Err(EngineError::Unsupported(

@@ -38,6 +38,7 @@ mod error;
 mod exec;
 mod expr;
 mod parser;
+mod predicate;
 pub mod sqlgen;
 mod token;
 

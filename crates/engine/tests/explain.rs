@@ -123,11 +123,23 @@ fn explain_reports_scan_mode() {
         "{plan}"
     );
 
-    // A residual predicate forces the row path.
+    // A compilable residual predicate stays on the block path as a
+    // selection bitmap.
     let plan = plan_text(&db, "EXPLAIN SELECT sum(X1) FROM X WHERE X2 > 1");
-    assert!(plan.contains("scan mode: row-at-a-time"), "{plan}");
+    assert!(
+        plan.contains("scan mode: block") && plan.contains("1 predicate(s) as selection bitmap"),
+        "{plan}"
+    );
 
-    // So does GROUP BY.
+    // A predicate outside the compilable subset (arithmetic) forces
+    // the row path.
+    let plan = plan_text(&db, "EXPLAIN SELECT sum(X1) FROM X WHERE X1 + X2 > 1");
+    assert!(
+        plan.contains("scan mode: row-at-a-time (1 residual predicate(s) not block-compilable)"),
+        "{plan}"
+    );
+
+    // GROUP BY forces the row path.
     let plan = plan_text(&db, "EXPLAIN SELECT X2, sum(X1) FROM X GROUP BY X2");
     assert!(plan.contains("scan mode: row-at-a-time"), "{plan}");
 

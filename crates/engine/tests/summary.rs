@@ -284,9 +284,16 @@ fn explain_states_block_fallback_reason() {
         "{plan}"
     );
 
+    // A comparison predicate compiles to a selection bitmap and stays
+    // on the block path; an arithmetic one does not and falls back.
     let plan = plan_text(&db, "EXPLAIN SELECT sum(X1) FROM pts WHERE X2 > 1");
     assert!(
-        plan.contains("scan mode: row-at-a-time (1 residual predicate(s))"),
+        plan.contains("1 predicate(s) as selection bitmap"),
+        "{plan}"
+    );
+    let plan = plan_text(&db, "EXPLAIN SELECT sum(X1) FROM pts WHERE X1 * X2 > 1");
+    assert!(
+        plan.contains("scan mode: row-at-a-time (1 residual predicate(s) not block-compilable)"),
         "{plan}"
     );
 

@@ -97,7 +97,7 @@ impl OdbcChannel {
                                 line.push(',');
                             }
                             let col = block.column(k);
-                            if !col.nulls[r] {
+                            if !col.is_null(r) {
                                 // Float -> text: the honest ODBC cost.
                                 let v = col.values[r];
                                 line.push_str(&format!("{v}"));

@@ -9,9 +9,13 @@
 //! no `Matrix`/`Vector` wrappers, just slices, so both the UDF state
 //! (fixed `[f64; MAX_D]` arrays) and the engine can call them.
 //!
-//! Dense variants assume no NULLs; `*_masked` variants skip rows whose
-//! `skip` flag is set (the caller merges per-column null masks into
-//! one row mask first).
+//! Dense variants assume every row participates. `*_selected` variants
+//! take an LSB-ordered **active bitmap** — `u64` words where bit
+//! `i % 64` of word `i / 64` is set when row `i` contributes (the
+//! storage crate's validity/selection convention: the caller ANDs the
+//! `WHERE` selection with each column's validity words first, and bits
+//! at positions `>= len` are zero). Selected kernels iterate set bits
+//! only, so sparse selections cost proportional to the rows kept.
 
 /// Sum of a dense column.
 pub fn sum(xs: &[f64]) -> f64 {
@@ -32,30 +36,51 @@ pub fn sum_sq(xs: &[f64]) -> f64 {
     xs.iter().map(|x| x * x).sum()
 }
 
-/// Sum over rows where `skip` is clear.
-///
-/// # Panics
-/// Panics if the slices differ in length.
-pub fn sum_masked(xs: &[f64], skip: &[bool]) -> f64 {
-    assert_eq!(xs.len(), skip.len(), "mask length mismatch");
-    xs.iter()
-        .zip(skip)
-        .map(|(x, &s)| if s { 0.0 } else { *x })
-        .sum()
+#[inline]
+fn check_active(len: usize, active: &[u64]) {
+    assert_eq!(
+        active.len(),
+        len.div_ceil(64),
+        "active bitmap length mismatch"
+    );
 }
 
-/// Dot product over rows where `skip` is clear.
+/// Sum over rows whose `active` bit is set.
 ///
 /// # Panics
-/// Panics if the slices differ in length.
-pub fn dot_masked(a: &[f64], b: &[f64], skip: &[bool]) -> f64 {
+/// Panics if `active` does not cover `xs.len()` bits exactly.
+pub fn sum_selected(xs: &[f64], active: &[u64]) -> f64 {
+    check_active(xs.len(), active);
+    let mut s = 0.0;
+    for (w, &word) in active.iter().enumerate() {
+        let mut m = word;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            s += xs[(w << 6) | b];
+            m &= m - 1;
+        }
+    }
+    s
+}
+
+/// Dot product over rows whose `active` bit is set.
+///
+/// # Panics
+/// Panics if the slices differ in length or `active` does not cover them.
+pub fn dot_selected(a: &[f64], b: &[f64], active: &[u64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot of unequal lengths");
-    assert_eq!(a.len(), skip.len(), "mask length mismatch");
-    a.iter()
-        .zip(b)
-        .zip(skip)
-        .map(|((x, y), &s)| if s { 0.0 } else { x * y })
-        .sum()
+    check_active(a.len(), active);
+    let mut s = 0.0;
+    for (w, &word) in active.iter().enumerate() {
+        let mut m = word;
+        while m != 0 {
+            let b_idx = m.trailing_zeros() as usize;
+            let i = (w << 6) | b_idx;
+            s += a[i] * b[i];
+            m &= m - 1;
+        }
+    }
+    s
 }
 
 /// Minimum and maximum of a dense column; `(∞, -∞)` when empty, so the
@@ -67,18 +92,26 @@ pub fn min_max(xs: &[f64]) -> (f64, f64) {
         })
 }
 
-/// Minimum and maximum over rows where `skip` is clear.
+/// Minimum and maximum over rows whose `active` bit is set; `(∞, -∞)`
+/// when no bit is set.
 ///
 /// # Panics
-/// Panics if the slices differ in length.
-pub fn min_max_masked(xs: &[f64], skip: &[bool]) -> (f64, f64) {
-    assert_eq!(xs.len(), skip.len(), "mask length mismatch");
-    xs.iter()
-        .zip(skip)
-        .filter(|(_, &s)| !s)
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (&x, _)| {
-            (lo.min(x), hi.max(x))
-        })
+/// Panics if `active` does not cover `xs.len()` bits exactly.
+pub fn min_max_selected(xs: &[f64], active: &[u64]) -> (f64, f64) {
+    check_active(xs.len(), active);
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (w, &word) in active.iter().enumerate() {
+        let mut m = word;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            let x = xs[(w << 6) | b];
+            lo = lo.min(x);
+            hi = hi.max(x);
+            m &= m - 1;
+        }
+    }
+    (lo, hi)
 }
 
 /// Rank-1 lower-triangular update `q[a][b] += x[a] * x[b]` for
@@ -123,9 +156,9 @@ pub fn block_triangular(q: &mut [f64], stride: usize, cols: &[&[f64]]) {
     }
 }
 
-/// Masked [`block_triangular`]: rows with `skip` set contribute
-/// nothing to any cell.
-pub fn block_triangular_masked(q: &mut [f64], stride: usize, cols: &[&[f64]], skip: &[bool]) {
+/// Selected [`block_triangular`]: rows with a clear `active` bit
+/// contribute nothing to any cell.
+pub fn block_triangular_selected(q: &mut [f64], stride: usize, cols: &[&[f64]], active: &[u64]) {
     let d = cols.len();
     assert!(
         d == 0 || (d - 1) * stride + d <= q.len(),
@@ -133,7 +166,7 @@ pub fn block_triangular_masked(q: &mut [f64], stride: usize, cols: &[&[f64]], sk
     );
     for a in 0..d {
         for b in 0..=a {
-            q[a * stride + b] += dot_masked(cols[a], cols[b], skip);
+            q[a * stride + b] += dot_selected(cols[a], cols[b], active);
         }
     }
 }
@@ -153,15 +186,15 @@ pub fn block_diagonal(q: &mut [f64], stride: usize, cols: &[&[f64]]) {
     }
 }
 
-/// Masked [`block_diagonal`].
-pub fn block_diagonal_masked(q: &mut [f64], stride: usize, cols: &[&[f64]], skip: &[bool]) {
+/// Selected [`block_diagonal`].
+pub fn block_diagonal_selected(q: &mut [f64], stride: usize, cols: &[&[f64]], active: &[u64]) {
     let d = cols.len();
     assert!(
         d == 0 || (d - 1) * stride + d <= q.len(),
         "q buffer too small"
     );
     for (a, col) in cols.iter().enumerate() {
-        q[a * stride + a] += dot_masked(col, col, skip);
+        q[a * stride + a] += dot_selected(col, col, active);
     }
 }
 
@@ -189,8 +222,8 @@ pub fn block_full(q: &mut [f64], stride: usize, cols: &[&[f64]]) {
     }
 }
 
-/// Masked [`block_full`].
-pub fn block_full_masked(q: &mut [f64], stride: usize, cols: &[&[f64]], skip: &[bool]) {
+/// Selected [`block_full`].
+pub fn block_full_selected(q: &mut [f64], stride: usize, cols: &[&[f64]], active: &[u64]) {
     let d = cols.len();
     assert!(
         d == 0 || (d - 1) * stride + d <= q.len(),
@@ -198,7 +231,7 @@ pub fn block_full_masked(q: &mut [f64], stride: usize, cols: &[&[f64]], skip: &[
     );
     for a in 0..d {
         for b in 0..=a {
-            let v = dot_masked(cols[a], cols[b], skip);
+            let v = dot_selected(cols[a], cols[b], active);
             q[a * stride + b] += v;
             if a != b {
                 q[b * stride + a] += v;
@@ -218,6 +251,17 @@ mod tests {
         (c1, c2, c3)
     }
 
+    /// Active bitmap keeping rows where `keep(i)` is true.
+    fn active_words(len: usize, keep: impl Fn(usize) -> bool) -> Vec<u64> {
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for i in 0..len {
+            if keep(i) {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+
     #[test]
     fn reductions_match_naive() {
         let (c1, c2, _) = cols_fixture();
@@ -229,30 +273,44 @@ mod tests {
     }
 
     #[test]
-    fn masked_reductions_skip_rows() {
+    fn selected_reductions_keep_only_active_rows() {
         let (c1, c2, _) = cols_fixture();
-        let skip: Vec<bool> = (0..9).map(|i| i % 3 == 0).collect();
+        let active = active_words(9, |i| i % 3 != 0);
         let expect_sum: f64 = c1
             .iter()
-            .zip(&skip)
-            .filter(|(_, &s)| !s)
-            .map(|(x, _)| x)
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, x)| x)
             .sum();
-        assert_eq!(sum_masked(&c1, &skip), expect_sum);
+        assert_eq!(sum_selected(&c1, &active), expect_sum);
         let expect_dot: f64 = c1
             .iter()
             .zip(&c2)
-            .zip(&skip)
-            .filter(|(_, &s)| !s)
-            .map(|((a, b), _)| a * b)
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, (a, b))| a * b)
             .sum();
-        assert_eq!(dot_masked(&c1, &c2, &skip), expect_dot);
-        assert_eq!(min_max_masked(&c1, &skip), (-3.0, 4.0));
-        let all = vec![true; 9];
+        assert_eq!(dot_selected(&c1, &c2, &active), expect_dot);
+        assert_eq!(min_max_selected(&c1, &active), (-3.0, 4.0));
+        let none = active_words(9, |_| false);
         assert_eq!(
-            min_max_masked(&c1, &all),
+            min_max_selected(&c1, &none),
             (f64::INFINITY, f64::NEG_INFINITY)
         );
+        // All-active equals the dense kernels exactly... if summation
+        // order matches, which it does (ascending row index).
+        let all = active_words(9, |_| true);
+        assert_eq!(sum_selected(&c1, &all), sum(&c1));
+        assert_eq!(dot_selected(&c1, &c2, &all), dot(&c1, &c2));
+    }
+
+    #[test]
+    fn selected_kernels_handle_multiword_bitmaps() {
+        let xs: Vec<f64> = (0..150).map(|i| i as f64).collect();
+        let active = active_words(150, |i| i % 2 == 0);
+        let expect: f64 = (0..150).filter(|i| i % 2 == 0).map(|i| i as f64).sum();
+        assert_eq!(sum_selected(&xs, &active), expect);
+        assert_eq!(min_max_selected(&xs, &active), (0.0, 148.0));
     }
 
     /// The block kernels must equal per-row rank-1 updates exactly —
@@ -295,28 +353,28 @@ mod tests {
     }
 
     #[test]
-    fn masked_block_updates_match_filtered_rank1() {
+    fn selected_block_updates_match_filtered_rank1() {
         let (c1, c2, c3) = cols_fixture();
         let cols: Vec<&[f64]> = vec![&c1, &c2, &c3];
-        let skip: Vec<bool> = (0..9).map(|i| i == 2 || i == 7).collect();
+        let active = active_words(9, |i| i != 2 && i != 7);
         let stride = 3;
 
         let mut by_row = vec![0.0; 9];
         for i in 0..c1.len() {
-            if !skip[i] {
+            if i != 2 && i != 7 {
                 rank1_triangular(&mut by_row, stride, &[c1[i], c2[i], c3[i]]);
             }
         }
         let mut tri = vec![0.0; 9];
-        block_triangular_masked(&mut tri, stride, &cols, &skip);
+        block_triangular_selected(&mut tri, stride, &cols, &active);
         for (r, b) in by_row.iter().zip(&tri) {
             assert!((r - b).abs() < 1e-12);
         }
 
         let mut diag = vec![0.0; 9];
-        block_diagonal_masked(&mut diag, stride, &cols, &skip);
+        block_diagonal_selected(&mut diag, stride, &cols, &active);
         let mut full = vec![0.0; 9];
-        block_full_masked(&mut full, stride, &cols, &skip);
+        block_full_selected(&mut full, stride, &cols, &active);
         for a in 0..3 {
             assert!((diag[a * stride + a] - tri[a * stride + a]).abs() < 1e-12);
             for b in 0..3 {
@@ -330,6 +388,12 @@ mod tests {
     #[should_panic(expected = "unequal lengths")]
     fn dot_checks_lengths() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "active bitmap length mismatch")]
+    fn selected_checks_bitmap_length() {
+        let _ = sum_selected(&[1.0; 65], &[0u64]);
     }
 
     #[test]

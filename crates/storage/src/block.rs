@@ -1,59 +1,97 @@
 //! Block-at-a-time columnar scans.
 //!
-//! The row-wise scan path decodes every page into `Vec<Value>` rows —
-//! one allocation per row plus an enum dispatch per value. For the
-//! paper's Γ computation (`n`, `L`, `Q` in one scan over `d` float
-//! columns) that per-row overhead dominates: the aggregate itself is a
-//! handful of multiply-adds. This module provides the vectorized
-//! alternative: a scan that decodes a fixed-size batch of rows
-//! ([`BLOCK_ROWS`]) straight into per-column `f64` buffers with a
-//! sidecar null mask, so consumers can run tight columnar kernels
-//! (dot products, sums, min/max) over contiguous memory.
+//! With column-major sealed segments (see [`crate::segment`]), the
+//! block scan no longer decodes pages into scratch rows: each
+//! [`ColumnBlock`] is a set of *borrowed*, fixed-stride `f64` slices
+//! pointing straight into the partition's sealed column vectors, with
+//! the segment's LSB-ordered validity bitmap alongside. Only two cases
+//! still materialize data per block, both into iterator-owned scratch:
+//!
+//! - Int columns under [`Table::scan_partition_blocks_numeric`] widen
+//!   `i64 → f64` (exact below 2⁵³ — see
+//!   [`Table::int_widening_exact`]); and
+//! - the partition's row-paged tail (at most
+//!   [`crate::segment::SEGMENT_ROWS`] freshly inserted rows) decodes
+//!   row-wise, exactly as the whole scan used to.
 //!
 //! Only numeric projections are supported — every projected column
-//! must be typed [`DataType::Float`](crate::DataType::Float) (stored
-//! integers widen transparently). Non-projected columns of any type
-//! are skipped in place without decoding.
+//! must be typed [`DataType::Float`](crate::DataType::Float) (or
+//! [`DataType::Int`](crate::DataType::Int) in `_numeric` mode).
+//! Blocks never straddle the sealed/tail boundary, and sealed blocks
+//! are always full [`BLOCK_ROWS`] windows whose validity slices stay
+//! 64-bit-word aligned.
 
 use crate::row::decode_row_numeric;
+use crate::segment::{bitmap_count_ones, bitmap_get, bitmap_words, Segment};
 use crate::{DataType, Page, Result, StorageError, Table};
 
 /// Rows per [`ColumnBlock`]: 1024 keeps a d=8 projection (8 columns ×
-/// 8 KB values + 1 KB nulls) comfortably inside L2 while amortizing
-/// per-block dispatch to noise.
+/// 8 KB values + 2 KB validity words) comfortably inside L2 while
+/// amortizing per-block dispatch to noise. Equal to
+/// [`crate::segment::SEGMENT_ROWS`] so sealed blocks are always full.
 pub const BLOCK_ROWS: usize = 1024;
 
-/// One decoded column of a [`ColumnBlock`]: values plus a null mask.
-#[derive(Debug, Clone, Default)]
-pub struct FloatColumn {
-    /// Decoded values, one per block row. NULL slots hold `0.0`.
-    pub values: Vec<f64>,
-    /// Per-row null flags (`true` where the stored value was SQL NULL).
-    pub nulls: Vec<bool>,
-    /// Number of `true` entries in `nulls` (lets consumers pick the
-    /// dense kernel without rescanning the mask).
-    pub null_count: usize,
+/// One projected column of a [`ColumnBlock`]: a borrowed value slice
+/// plus an optional borrowed validity bitmap.
+#[derive(Debug, Clone, Copy)]
+pub struct FloatColumn<'a> {
+    /// Column values, one per block row. NULL slots hold `0.0` (Int
+    /// columns: the widened value).
+    pub values: &'a [f64],
+    /// LSB-ordered validity words covering the block's rows (bit set =
+    /// valid, bits past the block length are zero). `None` when the
+    /// block has no NULLs in this column.
+    validity: Option<&'a [u64]>,
+    null_count: usize,
 }
 
-impl FloatColumn {
+impl<'a> FloatColumn<'a> {
+    pub(crate) fn new(values: &'a [f64], validity: Option<&'a [u64]>, null_count: usize) -> Self {
+        FloatColumn {
+            values,
+            validity: if null_count == 0 { None } else { validity },
+            null_count,
+        }
+    }
+
+    /// Whether row `i` of this block is SQL NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self.validity {
+            None => false,
+            Some(words) => !bitmap_get(words, i),
+        }
+    }
+
+    /// The validity bitmap (`None` means every row is valid).
+    #[inline]
+    pub fn validity(&self) -> Option<&'a [u64]> {
+        self.validity
+    }
+
+    /// Number of NULL rows in this block.
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
     /// Whether the column has no NULLs in this block.
     pub fn is_dense(&self) -> bool {
         self.null_count == 0
     }
 }
 
-/// A batch of up to [`BLOCK_ROWS`] rows decoded column-wise.
+/// A batch of up to [`BLOCK_ROWS`] rows viewed column-wise.
 ///
 /// Column order matches the projection list passed to
 /// [`Table::scan_partition_blocks`], not the table schema.
-#[derive(Debug, Clone, Default)]
-pub struct ColumnBlock {
+#[derive(Debug, Clone)]
+pub struct ColumnBlock<'a> {
     len: usize,
-    columns: Vec<FloatColumn>,
+    columns: Vec<FloatColumn<'a>>,
 }
 
-impl ColumnBlock {
-    /// Number of rows in this block (the final block of a partition is
+impl<'a> ColumnBlock<'a> {
+    /// Number of rows in this block (the final block of a region is
     /// usually shorter than [`BLOCK_ROWS`]).
     pub fn len(&self) -> usize {
         self.len
@@ -73,7 +111,7 @@ impl ColumnBlock {
     ///
     /// # Panics
     /// Panics if `i` is out of range of the projection.
-    pub fn column(&self, i: usize) -> &FloatColumn {
+    pub fn column(&self, i: usize) -> &FloatColumn<'a> {
         &self.columns[i]
     }
 
@@ -83,13 +121,40 @@ impl ColumnBlock {
     }
 }
 
-/// Streaming block decoder over one partition's pages.
+/// Source of one projection slot within the sealed segment.
+enum ColSource<'a> {
+    Float {
+        values: &'a [f64],
+        validity: Option<&'a [u64]>,
+    },
+    Int {
+        values: &'a [i64],
+        validity: Option<&'a [u64]>,
+    },
+}
+
+/// Iterator-owned buffers for the two materializing cases (Int
+/// widening, tail decode).
+#[derive(Default)]
+struct ScratchCol {
+    values: Vec<f64>,
+    validity: Vec<u64>,
+    null_count: usize,
+}
+
+/// Streaming block reader over one partition (sealed segment first,
+/// then the row-paged tail).
 ///
 /// Created by [`Table::scan_partition_blocks`]. Each call to
-/// [`BlockIter::next_block`] decodes up to [`BLOCK_ROWS`] rows into a
-/// reused [`ColumnBlock`]; blocks never straddle the caller's view —
-/// the returned reference is valid until the next call.
+/// [`BlockIter::next_block`] yields a [`ColumnBlock`] of slice views;
+/// the views borrow either the table's sealed columns or this
+/// iterator's scratch, so they are valid until the next call.
 pub struct BlockIter<'a> {
+    sources: Vec<ColSource<'a>>,
+    sealed_len: usize,
+    /// Next sealed row to hand out.
+    pos: usize,
+    // --- tail decoding state (same machinery as the old full scan) ---
     pages: &'a [Page],
     /// Table column index -> projection slot.
     slots: Vec<Option<usize>>,
@@ -97,39 +162,109 @@ pub struct BlockIter<'a> {
     /// Unconsumed bytes of the current page.
     remaining: &'a [u8],
     rows_left_in_page: u32,
-    block: ColumnBlock,
     /// Scratch row buffers the page decoder writes into.
     row_values: Vec<f64>,
     row_nulls: Vec<bool>,
+    scratch: Vec<ScratchCol>,
 }
 
 impl<'a> BlockIter<'a> {
-    fn new(pages: &'a [Page], slots: Vec<Option<usize>>, width: usize) -> Self {
+    fn new(
+        sealed: &'a Segment,
+        pages: &'a [Page],
+        cols: &[usize],
+        slots: Vec<Option<usize>>,
+    ) -> Self {
+        let sources = cols
+            .iter()
+            .map(|&c| match sealed.float_values(c) {
+                Some(values) => ColSource::Float {
+                    values,
+                    validity: sealed.validity(c),
+                },
+                None => ColSource::Int {
+                    values: sealed.int_values(c).expect("numeric column"),
+                    validity: sealed.validity(c),
+                },
+            })
+            .collect();
         BlockIter {
+            sources,
+            sealed_len: sealed.len(),
+            pos: 0,
             pages,
             slots,
             page_idx: 0,
             remaining: &[],
             rows_left_in_page: 0,
-            block: ColumnBlock {
-                len: 0,
-                columns: vec![FloatColumn::default(); width],
-            },
-            row_values: vec![0.0; width],
-            row_nulls: vec![false; width],
+            row_values: vec![0.0; cols.len()],
+            row_nulls: vec![false; cols.len()],
+            scratch: (0..cols.len()).map(|_| ScratchCol::default()).collect(),
         }
     }
 
-    /// Decodes the next block, returning `None` when the partition is
+    /// Produces the next block, returning `None` when the partition is
     /// exhausted. The borrow ends at the next `next_block` call.
-    pub fn next_block(&mut self) -> Option<Result<&ColumnBlock>> {
-        self.block.len = 0;
-        for col in &mut self.block.columns {
-            col.values.clear();
-            col.nulls.clear();
-            col.null_count = 0;
+    pub fn next_block(&mut self) -> Option<Result<ColumnBlock<'_>>> {
+        if self.pos < self.sealed_len {
+            return Some(Ok(self.sealed_block()));
         }
-        while self.block.len < BLOCK_ROWS {
+        match self.tail_block() {
+            Err(e) => Some(Err(e)),
+            Ok(None) => None,
+            Ok(Some(block)) => Some(Ok(block)),
+        }
+    }
+
+    /// A window straight over the sealed column vectors; Int columns
+    /// widen into scratch, everything else is borrowed in place.
+    fn sealed_block(&mut self) -> ColumnBlock<'_> {
+        let start = self.pos;
+        let n = BLOCK_ROWS.min(self.sealed_len - start);
+        debug_assert_eq!(start % 64, 0, "sealed windows stay word-aligned");
+        self.pos += n;
+        let w0 = start / 64;
+        let w1 = w0 + bitmap_words(n);
+        for (src, sc) in self.sources.iter().zip(&mut self.scratch) {
+            if let ColSource::Int { values, .. } = src {
+                sc.values.clear();
+                sc.values
+                    .extend(values[start..start + n].iter().map(|&v| v as f64));
+            }
+        }
+        let columns = self
+            .sources
+            .iter()
+            .zip(&self.scratch)
+            .map(|(src, sc)| {
+                let (values, validity): (&[f64], Option<&[u64]>) = match src {
+                    ColSource::Float { values, validity } => {
+                        (&values[start..start + n], validity.map(|v| &v[w0..w1]))
+                    }
+                    ColSource::Int { validity, .. } => {
+                        (sc.values.as_slice(), validity.map(|v| &v[w0..w1]))
+                    }
+                };
+                let null_count = match validity {
+                    None => 0,
+                    Some(words) => n - bitmap_count_ones(words),
+                };
+                FloatColumn::new(values, validity, null_count)
+            })
+            .collect();
+        ColumnBlock { len: n, columns }
+    }
+
+    /// Decodes up to [`BLOCK_ROWS`] tail rows into scratch columns.
+    fn tail_block(&mut self) -> Result<Option<ColumnBlock<'_>>> {
+        for sc in &mut self.scratch {
+            sc.values.clear();
+            sc.validity.clear();
+            sc.validity.resize(bitmap_words(BLOCK_ROWS), 0);
+            sc.null_count = 0;
+        }
+        let mut n = 0usize;
+        while n < BLOCK_ROWS {
             if self.rows_left_in_page == 0 {
                 if self.page_idx >= self.pages.len() {
                     break;
@@ -141,27 +276,32 @@ impl<'a> BlockIter<'a> {
                 continue;
             }
             self.rows_left_in_page -= 1;
-            if let Err(e) = decode_row_numeric(
+            decode_row_numeric(
                 &mut self.remaining,
                 &self.slots,
                 &mut self.row_values,
                 &mut self.row_nulls,
-            ) {
-                return Some(Err(e));
+            )?;
+            for (s, sc) in self.scratch.iter_mut().enumerate() {
+                sc.values.push(self.row_values[s]);
+                if self.row_nulls[s] {
+                    sc.null_count += 1;
+                } else {
+                    sc.validity[n / 64] |= 1 << (n % 64);
+                }
             }
-            for (s, col) in self.block.columns.iter_mut().enumerate() {
-                col.values.push(self.row_values[s]);
-                let null = self.row_nulls[s];
-                col.nulls.push(null);
-                col.null_count += usize::from(null);
-            }
-            self.block.len += 1;
+            n += 1;
         }
-        if self.block.len == 0 {
-            None
-        } else {
-            Some(Ok(&self.block))
+        if n == 0 {
+            return Ok(None);
         }
+        let words = bitmap_words(n);
+        let columns = self
+            .scratch
+            .iter()
+            .map(|sc| FloatColumn::new(&sc.values[..n], Some(&sc.validity[..words]), sc.null_count))
+            .collect();
+        Ok(Some(ColumnBlock { len: n, columns }))
     }
 }
 
@@ -180,9 +320,11 @@ impl Table {
 
     /// Like [`Table::scan_partition_blocks`], but also accepts
     /// [`DataType::Int`](crate::DataType::Int) columns, whose values
-    /// widen to `f64` in the block (exact below 2⁵³ — row ids and the
-    /// like). Callers that must reproduce the original `Int` values
-    /// narrow them back with `as i64`.
+    /// widen to `f64` in the block. The widening is exact iff every
+    /// stored magnitude is ≤ 2⁵³ — callers that must reproduce `Int`
+    /// values (narrowing back with `as i64`) check
+    /// [`Table::int_widening_exact`] first and fall back to the row
+    /// scan otherwise.
     pub fn scan_partition_blocks_numeric(&self, p: usize, cols: &[usize]) -> Result<BlockIter<'_>> {
         self.blocks_impl(p, cols, true)
     }
@@ -207,7 +349,8 @@ impl Table {
             }
             slots[c] = Some(slot);
         }
-        Ok(BlockIter::new(self.partition_pages(p), slots, cols.len()))
+        let (sealed, pages) = self.partition_parts(p);
+        Ok(BlockIter::new(sealed, pages, cols, slots))
     }
 }
 
@@ -244,14 +387,15 @@ mod tests {
             let block = block.unwrap();
             assert_eq!(block.column_count(), cols.len());
             sizes.push(block.len());
-            values.extend_from_slice(&block.column(0).values);
-            nulls += block.column(0).null_count;
+            values.extend_from_slice(block.column(0).values);
+            nulls += block.column(0).null_count();
         }
         (sizes, values, nulls)
     }
 
     #[test]
     fn blocks_cover_every_row_in_order() {
+        // 2600 rows in one partition: 2 sealed blocks + a 552-row tail.
         let t = points_table(2600, 1);
         let (sizes, values, _) = collect_blocks(&t, 0, &[1, 2]);
         assert_eq!(sizes, vec![1024, 1024, 552]);
@@ -270,12 +414,49 @@ mod tests {
     }
 
     #[test]
+    fn sealed_blocks_borrow_segment_columns() {
+        // Two full sealed blocks and no tail: the float views must
+        // point into the segment's own vectors (zero-decode).
+        let t = points_table(2048, 1);
+        let (sealed, pages) = t.partition_parts(0);
+        assert_eq!(sealed.len(), 2048);
+        assert!(pages.is_empty());
+        let seg_values = sealed.float_values(1).unwrap();
+        let mut iter = t.scan_partition_blocks(0, &[1]).unwrap();
+        let block = iter.next_block().unwrap().unwrap();
+        assert!(std::ptr::eq(
+            block.column(0).values.as_ptr(),
+            seg_values.as_ptr()
+        ));
+        let block = iter.next_block().unwrap().unwrap();
+        assert!(std::ptr::eq(
+            block.column(0).values.as_ptr(),
+            seg_values[1024..].as_ptr()
+        ));
+        assert!(iter.next_block().is_none());
+    }
+
+    #[test]
     fn int_values_widen_in_float_columns() {
         let t = points_table(10, 1);
         let mut iter = t.scan_partition_blocks(0, &[2]).unwrap();
         let block = iter.next_block().unwrap().unwrap();
         assert_eq!(block.column(0).values[5], 10.0, "Int(10) widens");
         assert!(block.column(0).is_dense());
+    }
+
+    #[test]
+    fn numeric_scan_widens_int_columns_in_both_regions() {
+        let t = points_table(1500, 1); // 1024 sealed + 476 tail
+        let mut iter = t.scan_partition_blocks_numeric(0, &[0]).unwrap();
+        let mut seen = Vec::new();
+        while let Some(block) = iter.next_block() {
+            let block = block.unwrap();
+            assert!(block.column(0).is_dense());
+            seen.extend_from_slice(block.column(0).values);
+        }
+        let expect: Vec<f64> = (0..1500).map(|i| i as f64).collect();
+        assert_eq!(seen, expect);
     }
 
     #[test]
@@ -307,11 +488,13 @@ mod tests {
         let mut strs = Table::new(Schema::new(vec![Column::new("s", DataType::Str)]), 1);
         strs.insert(vec![Value::Str("x".into())]).unwrap();
         assert!(strs.scan_partition_blocks(0, &[0]).is_err());
+        assert!(strs.scan_partition_blocks_numeric(0, &[0]).is_err());
     }
 
     #[test]
     fn blocks_match_row_scan() {
-        let t = points_table(3000, 4);
+        // Big enough that every partition has sealed blocks and a tail.
+        let t = points_table(9000, 4);
         for p in 0..4 {
             let rows: Vec<Option<f64>> = t
                 .scan_partition(p)
@@ -320,9 +503,10 @@ mod tests {
             let mut via_blocks = Vec::new();
             let mut iter = t.scan_partition_blocks(p, &[1]).unwrap();
             while let Some(block) = iter.next_block() {
-                let col = block.unwrap().column(0);
+                let block = block.unwrap();
+                let col = block.column(0);
                 for i in 0..col.values.len() {
-                    via_blocks.push((!col.nulls[i]).then_some(col.values[i]));
+                    via_blocks.push((!col.is_null(i)).then_some(col.values[i]));
                 }
             }
             assert_eq!(rows, via_blocks, "partition {p}");

@@ -46,13 +46,32 @@ impl Table {
         out.write_all(&header).map_err(StorageError::from_io)?;
         let mut offset = header.len() as u64;
         let mut directory: Vec<Vec<(u64, u32, u32)>> = Vec::with_capacity(self.partition_count());
+        // In-memory partitions are column-major segments plus a paged
+        // tail; the on-disk format stays row-paged, so each partition
+        // re-encodes its rows into transient pages while writing.
+        let flush = |out: &mut BufWriter<std::fs::File>,
+                     offset: &mut u64,
+                     page: &Page|
+         -> Result<(u64, u32, u32)> {
+            let bytes = page.raw_bytes();
+            out.write_all(bytes).map_err(StorageError::from_io)?;
+            let entry = (*offset, bytes.len() as u32, page.row_count() as u32);
+            *offset += bytes.len() as u64;
+            Ok(entry)
+        };
         for p in 0..self.partition_count() {
             let mut pages = Vec::new();
-            for page in self.partition_pages(p) {
-                let bytes = page.raw_bytes();
-                out.write_all(bytes).map_err(StorageError::from_io)?;
-                pages.push((offset, bytes.len() as u32, page.row_count() as u32));
-                offset += bytes.len() as u64;
+            let mut page = Page::new();
+            for row in self.scan_partition(p) {
+                let row = row?;
+                if !page.fits(&row) && page.row_count() > 0 {
+                    pages.push(flush(&mut out, &mut offset, &page)?);
+                    page = Page::new();
+                }
+                page.push(&row);
+            }
+            if page.row_count() > 0 {
+                pages.push(flush(&mut out, &mut offset, &page)?);
             }
             directory.push(pages);
         }

@@ -7,11 +7,15 @@
 //! data set `X` is "horizontally partitioned evenly among threads,
 //! where each thread was responsible for processing 1/20th of X" (§4).
 //!
-//! Tables hold rows encoded into 64 KB pages (so every scan pays a
-//! realistic decode cost, mirroring the paper's observation that UDFs
-//! are ultimately I/O bound), split across `p` partitions that are
-//! scanned by independent worker threads and merged by a master — the
-//! exact execution model the aggregate-UDF protocol is written against.
+//! Tables are split across `p` partitions that are scanned by
+//! independent worker threads and merged by a master — the exact
+//! execution model the aggregate-UDF protocol is written against.
+//! Each partition stores its steady-state rows in a **column-major
+//! sealed segment** (per-column value vectors plus LSB-ordered
+//! validity bitmaps, see [`SEGMENT_ROWS`]) that block scans borrow
+//! zero-decode slices from, while freshly inserted rows accumulate in
+//! a row-paged 64 KB-page tail until the next seal — so DML keeps the
+//! paper's row-at-a-time write path and reads get vectorized columns.
 
 mod block;
 mod bytesx;
@@ -20,6 +24,7 @@ mod page;
 mod parallel;
 mod row;
 mod schema;
+mod segment;
 mod table;
 mod value;
 
@@ -29,6 +34,7 @@ pub use page::{Page, PAGE_SIZE};
 pub use parallel::{parallel_scan, parallel_scan_indexed, parallel_scan_partitions};
 pub use row::Row;
 pub use schema::{Column, DataType, Schema};
+pub use segment::{bitmap_count_ones, bitmap_get, bitmap_mask_tail, bitmap_words, SEGMENT_ROWS};
 pub use table::{PartitionIter, Table};
 pub use value::Value;
 

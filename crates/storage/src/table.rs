@@ -1,19 +1,59 @@
 use crate::page::PageIter;
-use crate::{Page, Result, Row, Schema};
+use crate::segment::{Segment, SEGMENT_ROWS};
+use crate::{Page, Result, Row, Schema, Value};
+
+/// Largest integer magnitude `f64` represents exactly (2⁵³). Int
+/// values beyond this widen lossily in numeric block scans; planners
+/// consult [`Table::int_widening_exact`] before trusting the widened
+/// view.
+const F64_EXACT_INT: i64 = 1 << 53;
 
 /// A horizontally partitioned table.
 ///
 /// Rows are distributed round-robin across `p` partitions, matching
 /// the paper's setup where the data set is "horizontally partitioned
-/// evenly among threads". Each partition is a list of pages and is
-/// scanned independently by one worker.
+/// evenly among threads". Each partition is scanned independently by
+/// one worker and stores its rows in two regions:
+///
+/// - a **sealed column-major [`Segment`]** — per-column value vectors
+///   plus validity bitmaps, the zero-decode source for
+///   [`Table::scan_partition_blocks`]; and
+/// - a **row-paged tail** — the INSERT/UPDATE write path. Every
+///   [`SEGMENT_ROWS`] rows the tail is decoded once and sealed into
+///   the segment, so steady-state scans are columnar and only the
+///   freshest sliver of a partition pays per-row decoding.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
-    partitions: Vec<Vec<Page>>,
+    partitions: Vec<Partition>,
     /// Next partition to receive a row (round-robin cursor).
     next_partition: usize,
     row_count: usize,
+    /// Observed `(min, max)` of non-NULL values per Int-typed column
+    /// (None until one is seen). Grows monotonically under INSERT;
+    /// DML rebuilds recompute it from scratch.
+    int_bounds: Vec<Option<(i64, i64)>>,
+}
+
+#[derive(Debug, Clone)]
+struct Partition {
+    sealed: Segment,
+    tail: Vec<Page>,
+    tail_rows: usize,
+}
+
+impl Partition {
+    fn new(schema: &Schema) -> Self {
+        Partition {
+            sealed: Segment::new(schema),
+            tail: Vec::new(),
+            tail_rows: 0,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.sealed.len() + self.tail_rows
+    }
 }
 
 impl Table {
@@ -23,11 +63,13 @@ impl Table {
     /// Panics if `partitions == 0`.
     pub fn new(schema: Schema, partitions: usize) -> Self {
         assert!(partitions > 0, "a table needs at least one partition");
+        let int_bounds = vec![None; schema.len()];
         Table {
+            partitions: (0..partitions).map(|_| Partition::new(&schema)).collect(),
             schema,
-            partitions: vec![Vec::new(); partitions],
             next_partition: 0,
             row_count: 0,
+            int_bounds,
         }
     }
 
@@ -48,33 +90,73 @@ impl Table {
 
     /// Number of rows in one partition.
     pub fn partition_row_count(&self, p: usize) -> usize {
-        self.partitions[p].iter().map(Page::row_count).sum()
+        self.partitions[p].rows()
     }
 
-    /// Total bytes of encoded row data across all pages.
+    /// Approximate bytes of stored data: sealed column vectors plus
+    /// encoded tail pages.
     pub fn bytes_used(&self) -> usize {
         self.partitions
             .iter()
-            .flat_map(|pages| pages.iter())
-            .map(Page::bytes_used)
+            .map(|p| p.sealed.bytes_used() + p.tail.iter().map(Page::bytes_used).sum::<usize>())
             .sum()
     }
 
+    /// Whether every Int value ever stored in column `col` survives
+    /// the `i64 → f64` widening of
+    /// [`Table::scan_partition_blocks_numeric`] exactly (magnitude
+    /// ≤ 2⁵³). Vacuously true for columns with no observed ints.
+    pub fn int_widening_exact(&self, col: usize) -> bool {
+        match self.int_bounds.get(col).copied().flatten() {
+            None => true,
+            Some((lo, hi)) => lo >= -F64_EXACT_INT && hi <= F64_EXACT_INT,
+        }
+    }
+
     /// Validates and appends one row, assigning it round-robin to the
-    /// next partition.
+    /// next partition. The row lands in the partition's paged tail;
+    /// every [`SEGMENT_ROWS`] tail rows seal into the columnar
+    /// segment.
     pub fn insert(&mut self, row: Row) -> Result<()> {
         self.schema.validate(&row)?;
+        for (bounds, v) in self.int_bounds.iter_mut().zip(&row) {
+            if let Value::Int(i) = v {
+                *bounds = Some(match *bounds {
+                    None => (*i, *i),
+                    Some((lo, hi)) => (lo.min(*i), hi.max(*i)),
+                });
+            }
+        }
         let p = self.next_partition;
         self.next_partition = (self.next_partition + 1) % self.partitions.len();
-        let pages = &mut self.partitions[p];
-        if pages.last().is_none_or(|page| !page.fits(&row)) {
-            pages.push(Page::new());
+        let part = &mut self.partitions[p];
+        if part.tail.last().is_none_or(|page| !page.fits(&row)) {
+            part.tail.push(Page::new());
         }
-        pages
+        part.tail
             .last_mut()
             .expect("just ensured a page exists")
             .push(&row);
+        part.tail_rows += 1;
         self.row_count += 1;
+        if part.tail_rows == SEGMENT_ROWS {
+            Self::seal_tail(part)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes the partition's tail pages once and appends them to the
+    /// sealed segment column-wise.
+    fn seal_tail(part: &mut Partition) -> Result<()> {
+        let mut rows = Vec::with_capacity(part.tail_rows);
+        for page in &part.tail {
+            for row in page.iter() {
+                rows.push(row?);
+            }
+        }
+        part.sealed.append_rows(&rows);
+        part.tail.clear();
+        part.tail_rows = 0;
         Ok(())
     }
 
@@ -86,15 +168,22 @@ impl Table {
         Ok(())
     }
 
-    /// The pages of partition `p` (for persistence).
-    pub(crate) fn partition_pages(&self, p: usize) -> &[Page] {
-        &self.partitions[p]
+    /// The two storage regions of partition `p` (block scans and
+    /// persistence read both).
+    pub(crate) fn partition_parts(&self, p: usize) -> (&Segment, &[Page]) {
+        let part = &self.partitions[p];
+        (&part.sealed, &part.tail)
     }
 
-    /// Iterates the rows of partition `p` in insertion order.
+    /// Iterates the rows of partition `p` in insertion order: sealed
+    /// rows (reconstructed from the column vectors) first, then the
+    /// paged tail.
     pub fn scan_partition(&self, p: usize) -> PartitionIter<'_> {
+        let part = &self.partitions[p];
         PartitionIter {
-            pages: &self.partitions[p],
+            sealed: &part.sealed,
+            next_sealed: 0,
+            pages: &part.tail,
             page_idx: 0,
             current: None,
         }
@@ -113,8 +202,10 @@ impl Table {
     }
 }
 
-/// Iterator over the decoded rows of one partition.
+/// Iterator over the rows of one partition (sealed region, then tail).
 pub struct PartitionIter<'a> {
+    sealed: &'a Segment,
+    next_sealed: usize,
     pages: &'a [Page],
     page_idx: usize,
     current: Option<PageIter<'a>>,
@@ -124,6 +215,11 @@ impl<'a> Iterator for PartitionIter<'a> {
     type Item = Result<Row>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.next_sealed < self.sealed.len() {
+            let row = self.sealed.row(self.next_sealed);
+            self.next_sealed += 1;
+            return Some(Ok(row));
+        }
         loop {
             if let Some(iter) = &mut self.current {
                 if let Some(row) = iter.next() {
@@ -212,9 +308,62 @@ mod tests {
         for _ in 0..200 {
             t.insert(row.clone()).unwrap();
         }
-        // 200 KB of rows in 64 KB pages: at least 3 pages.
-        assert!(t.partitions[0].len() >= 3);
+        // 200 KB of rows in 64 KB pages, none sealed yet: >= 3 pages.
+        assert!(t.partitions[0].tail.len() >= 3);
         assert_eq!(t.scan_partition(0).count(), 200);
+    }
+
+    #[test]
+    fn tail_seals_into_segment_at_threshold() {
+        let schema = Schema::new(vec![
+            Column::new("i", DataType::Int),
+            Column::new("x", DataType::Float),
+            Column::new("s", DataType::Str),
+        ]);
+        let mut t = Table::new(schema, 1);
+        let n = SEGMENT_ROWS * 2 + 37;
+        let make = |i: usize| {
+            vec![
+                if i.is_multiple_of(7) {
+                    Value::Null
+                } else {
+                    Value::Int(i as i64)
+                },
+                if i.is_multiple_of(5) {
+                    Value::Int(i as i64 * 3) // int in a float column
+                } else {
+                    Value::Float(i as f64 * 0.5)
+                },
+                Value::Str(format!("r{i}")),
+            ]
+        };
+        for i in 0..n {
+            t.insert(make(i)).unwrap();
+        }
+        assert_eq!(t.partitions[0].sealed.len(), SEGMENT_ROWS * 2);
+        assert_eq!(t.partitions[0].tail_rows, 37);
+        // Sealed + tail reads back every row exactly, in order.
+        let rows: Vec<Row> = t.scan_partition(0).map(|r| r.unwrap()).collect();
+        assert_eq!(rows.len(), n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row, &make(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn int_widening_exactness_tracks_bounds() {
+        let schema = Schema::new(vec![Column::new("i", DataType::Int)]);
+        let mut t = Table::new(schema, 1);
+        assert!(t.int_widening_exact(0), "no ints seen yet");
+        t.insert(vec![Value::Int(1 << 53)]).unwrap();
+        assert!(t.int_widening_exact(0), "2^53 itself is exact");
+        t.insert(vec![Value::Int((1 << 53) + 1)]).unwrap();
+        assert!(!t.int_widening_exact(0), "2^53 + 1 is not");
+
+        let schema = Schema::new(vec![Column::new("i", DataType::Int)]);
+        let mut t = Table::new(schema, 1);
+        t.insert(vec![Value::Int(-((1 << 53) + 1))]).unwrap();
+        assert!(!t.int_widening_exact(0), "negative overflow detected");
     }
 
     #[test]

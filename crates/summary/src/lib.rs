@@ -266,8 +266,9 @@ impl SummaryEntry {
         }
     }
 
-    /// Recomputes the state from the table (the stale → fresh edge).
-    pub fn rebuild(&self, table: &Table) -> Result<()> {
+    /// Recomputes the state from the table (the stale → fresh edge),
+    /// returning the number of rows scanned.
+    pub fn rebuild(&self, table: &Table) -> Result<u64> {
         self.rebuild_with_cancel(table, None)
     }
 
@@ -275,11 +276,13 @@ impl SummaryEntry {
     /// token, checked per block (global builds) or per row (grouped
     /// builds). A cancelled rebuild returns
     /// [`SummaryError::Cancelled`] before the maintained state is
-    /// touched — the entry stays stale for the next reader.
-    pub fn rebuild_with_cancel(&self, table: &Table, cancel: Option<&AtomicBool>) -> Result<()> {
-        let content = build_content(&self.def, table, cancel)?;
+    /// touched — the entry stays stale for the next reader. On success
+    /// the returned row count lets callers account the hidden scan
+    /// (e.g. into `EXPLAIN ANALYZE` statistics).
+    pub fn rebuild_with_cancel(&self, table: &Table, cancel: Option<&AtomicBool>) -> Result<u64> {
+        let (content, scanned) = build_content(&self.def, table, cancel)?;
         *self.content.write().expect("summary lock") = content;
-        Ok(())
+        Ok(scanned)
     }
 
     /// Marks the state stale (the fresh → stale edge).
@@ -347,7 +350,7 @@ impl SummaryStore {
         let key = def.name.to_ascii_lowercase();
         // Validate and build before taking the write lock; the build
         // is the expensive part.
-        let content = build_content(&def, table, None)?;
+        let (content, _scanned) = build_content(&def, table, None)?;
         let mut map = self.map.write().expect("summary store lock");
         if map.contains_key(&key) {
             return Err(SummaryError::DuplicateSummary(def.name));
@@ -502,14 +505,15 @@ pub fn project_nlq(nlq: &Nlq, dims: &[usize], shape: MatrixShape) -> Result<Nlq>
     Ok(Nlq::from_parts(shape, nlq.n(), l, q, min, max)?)
 }
 
-/// Builds the initial (or rebuilt) state for a definition.
+/// Builds the initial (or rebuilt) state for a definition, returning
+/// it with the number of rows scanned.
 fn build_content(
     def: &SummaryDef,
     table: &Table,
     cancel: Option<&AtomicBool>,
-) -> Result<SummaryContent> {
+) -> Result<(SummaryContent, u64)> {
     let (cols, group) = def.resolve(table.schema())?;
-    let mut content = match group {
+    let (mut content, scanned) = match group {
         None => build_global(def, table, &cols, cancel)?,
         Some(g) => build_grouped(def, table, &cols, g, cancel)?,
     };
@@ -526,7 +530,7 @@ fn build_content(
             }
         }
     }
-    Ok(content)
+    Ok((content, scanned))
 }
 
 /// Replaces a state's min/max with the "not computed" sentinels.
@@ -592,7 +596,7 @@ fn build_global(
     table: &Table,
     cols: &[usize],
     cancel: Option<&AtomicBool>,
-) -> Result<SummaryContent> {
+) -> Result<(SummaryContent, u64)> {
     let d = cols.len();
     let udf = NlqUdf::new(ParamStyle::List);
     let mut args: Vec<BatchArg> = Vec::with_capacity(d + 2);
@@ -610,8 +614,8 @@ fn build_global(
             check_cancelled(cancel, scanned)?;
             let block = block?;
             scanned += block.len() as u64;
-            state.accumulate_batch(block, &args)?;
-            skipped += rows_with_null(block, d);
+            state.accumulate_batch(&block, &args, None)?;
+            skipped += rows_with_null(&block, d);
         }
         master.merge(state.as_ref())?;
     }
@@ -626,26 +630,36 @@ fn build_global(
             }))
         }
     };
-    Ok(SummaryContent {
-        data: SummaryData::Global(nlq),
-        null_rows_skipped: skipped,
-        fresh: true,
-    })
+    Ok((
+        SummaryContent {
+            data: SummaryData::Global(nlq),
+            null_rows_skipped: skipped,
+            fresh: true,
+        },
+        scanned,
+    ))
 }
 
 /// Rows of `block` with at least one NULL among its first `d` columns
-/// — exactly the rows the `nlq` UDF skips.
+/// — exactly the rows the `nlq` UDF skips. Computed by AND-ing the
+/// validity bitmaps and popcounting the result.
 fn rows_with_null(block: &nlq_storage::ColumnBlock, d: usize) -> u64 {
-    if (0..d).all(|c| block.column(c).is_dense()) {
-        return 0;
-    }
-    let mut skipped = 0u64;
-    for i in 0..block.len() {
-        if (0..d).any(|c| block.column(c).nulls[i]) {
-            skipped += 1;
+    let n = block.len();
+    let mut valid = vec![!0u64; nlq_storage::bitmap_words(n)];
+    nlq_storage::bitmap_mask_tail(&mut valid, n);
+    let mut any = false;
+    for c in 0..d {
+        if let Some(validity) = block.column(c).validity() {
+            any = true;
+            for (w, v) in valid.iter_mut().zip(validity) {
+                *w &= v;
+            }
         }
     }
-    skipped
+    if !any {
+        return 0;
+    }
+    (n - nlq_storage::bitmap_count_ones(&valid)) as u64
 }
 
 /// Grouped build: a row scan partitions the statistics by the group
@@ -658,13 +672,15 @@ fn build_grouped(
     cols: &[usize],
     g: usize,
     cancel: Option<&AtomicBool>,
-) -> Result<SummaryContent> {
+) -> Result<(SummaryContent, u64)> {
     let d = cols.len();
     let mut groups: Vec<(Value, Nlq)> = Vec::new();
     let mut skipped = 0u64;
+    let mut total = 0u64;
     let mut coords = vec![0.0f64; d];
     for (scanned, row) in table.scan_all().enumerate() {
         check_cancelled(cancel, scanned as u64)?;
+        total += 1;
         let row = row?;
         let slot = group_slot(&mut groups, &row[g], d, def.shape);
         let mut any_null = false;
@@ -683,11 +699,14 @@ fn build_grouped(
             groups[slot].1.update(&coords);
         }
     }
-    Ok(SummaryContent {
-        data: SummaryData::Grouped(groups),
-        null_rows_skipped: skipped,
-        fresh: true,
-    })
+    Ok((
+        SummaryContent {
+            data: SummaryData::Grouped(groups),
+            null_rows_skipped: skipped,
+            fresh: true,
+        },
+        total,
+    ))
 }
 
 /// Finds (or creates) the group entry for `key`.

@@ -23,6 +23,57 @@ pub trait ScalarUdf: Send + Sync {
     /// Following SQL convention, implementations return `Value::Null`
     /// when any input argument is NULL.
     fn eval(&self, args: &[Value]) -> Result<Value>;
+
+    /// Optional columnar fast path: evaluates the function over a
+    /// whole block of `rows` rows at once, pushing one result per row
+    /// onto `out`. Returns `Ok(false)` to decline (the caller then
+    /// falls back to row-at-a-time [`ScalarUdf::eval`]); `Ok(true)`
+    /// after filling `out`.
+    ///
+    /// Implementations must produce, for every row `i`, exactly the
+    /// value `eval` would return for that row's materialized
+    /// arguments, and may only raise errors that are uniform across
+    /// rows (arity, argument types) — callers may evaluate rows a
+    /// `WHERE` predicate would have excluded.
+    fn eval_batch(
+        &self,
+        args: &[ScalarBatchArg<'_>],
+        rows: usize,
+        out: &mut Vec<Value>,
+    ) -> Result<bool> {
+        let _ = (args, rows, out);
+        Ok(false)
+    }
+}
+
+/// One argument position of a columnar [`ScalarUdf::eval_batch`] call.
+#[derive(Debug, Clone, Copy)]
+pub enum ScalarBatchArg<'a> {
+    /// Per-row values, one per block row. `validity` is an LSB-ordered
+    /// bitmap (set bit = valid, bits past the row count are zero);
+    /// `None` means no NULLs. NULL slots hold an arbitrary value.
+    Col {
+        /// The dense per-row values.
+        values: &'a [f64],
+        /// Validity bitmap; `None` when every row is valid.
+        validity: Option<&'a [u64]>,
+    },
+    /// A literal argument, identical on every row.
+    Const(&'a Value),
+}
+
+impl ScalarBatchArg<'_> {
+    /// The argument's numeric value on row `i`; `None` for SQL NULL.
+    #[inline]
+    pub fn at(&self, i: usize) -> Option<f64> {
+        match self {
+            ScalarBatchArg::Col { values, validity } => match validity {
+                Some(words) => nlq_storage::bitmap_get(words, i).then(|| values[i]),
+                None => Some(values[i]),
+            },
+            ScalarBatchArg::Const(v) => v.as_f64(),
+        }
+    }
 }
 
 /// An aggregate UDF: definition object that creates per-group,
@@ -68,13 +119,21 @@ pub trait AggregateState: Send {
     /// Phase 2, vectorized: folds a whole column block into the state.
     ///
     /// `args[i]` describes where the `i`-th argument of each logical
-    /// [`AggregateState::accumulate`] call comes from. The default
+    /// [`AggregateState::accumulate`] call comes from. `selection` is
+    /// an optional LSB-ordered bitmap over the block's rows (set bit =
+    /// row passed the `WHERE` predicate, bits past `block.len()` are
+    /// zero); `None` means every row participates. The default
     /// implementation re-materializes per-row argument vectors and
     /// delegates to `accumulate` — correct for every state, so
     /// implementing it is optional; high-volume states override it
     /// with columnar kernels (see the `nlq_list` state).
-    fn accumulate_batch(&mut self, block: &ColumnBlock, args: &[BatchArg]) -> Result<()> {
-        for_each_row_args(block, args, |row| self.accumulate(row))
+    fn accumulate_batch(
+        &mut self,
+        block: &ColumnBlock,
+        args: &[BatchArg],
+        selection: Option<&[u64]>,
+    ) -> Result<()> {
+        for_each_row_args(block, args, selection, |row| self.accumulate(row))
     }
 
     /// Phase 3: folds another worker's partial state into this one.
@@ -95,25 +154,33 @@ pub trait AggregateState: Send {
     fn as_any(&self) -> &dyn Any;
 }
 
-/// Replays a [`ColumnBlock`] row by row, materializing each row's
-/// argument vector per `args` and passing it to `f` — the row-wise
-/// fallback behind the default [`AggregateState::accumulate_batch`].
+/// Replays a [`ColumnBlock`] row by row, materializing each selected
+/// row's argument vector per `args` and passing it to `f` — the
+/// row-wise fallback behind the default
+/// [`AggregateState::accumulate_batch`]. Rows whose `selection` bit is
+/// clear are skipped entirely (they failed the `WHERE` predicate).
 /// States overriding that method can call this for argument shapes
 /// their columnar kernels do not cover.
 pub fn for_each_row_args(
     block: &ColumnBlock,
     args: &[BatchArg],
+    selection: Option<&[u64]>,
     mut f: impl FnMut(&[Value]) -> Result<()>,
 ) -> Result<()> {
     let mut row_args: Vec<Value> = Vec::with_capacity(args.len());
     for i in 0..block.len() {
+        if let Some(sel) = selection {
+            if !nlq_storage::bitmap_get(sel, i) {
+                continue;
+            }
+        }
         row_args.clear();
         for a in args {
             row_args.push(match a {
                 BatchArg::Const(v) => v.clone(),
                 BatchArg::Col(c) => {
                     let col = block.column(*c);
-                    if col.nulls[i] {
+                    if col.is_null(i) {
                         Value::Null
                     } else {
                         Value::Float(col.values[i])
@@ -274,11 +341,22 @@ mod tests {
             rows: 0,
         };
         let args = [BatchArg::Const(Value::Float(10.0)), BatchArg::Col(0)];
-        s.accumulate_batch(block, &args).unwrap();
+        s.accumulate_batch(&block, &args, None).unwrap();
         // Rows 0, 1, 3, 4 contribute value + 10; the NULL row is seen
         // but contributes nothing.
         assert_eq!(s.rows, 5);
         assert_eq!(s.total, (0.0 + 1.0 + 3.0 + 4.0) + 4.0 * 10.0);
+
+        // With a selection keeping rows 1 and 3 only, unselected rows
+        // are never even presented to the state.
+        let mut s = SumState {
+            total: 0.0,
+            rows: 0,
+        };
+        let selection = [0b01010u64];
+        s.accumulate_batch(&block, &args, Some(&selection)).unwrap();
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.total, (1.0 + 3.0) + 2.0 * 10.0);
     }
 
     #[test]

@@ -104,19 +104,20 @@ impl NlqStorage {
     /// Block-at-a-time aggregation: the same update as
     /// [`NlqStorage::accumulate_point`] over every row at once, with
     /// each `Q` cell computed as one contiguous dot product (the
-    /// `nlq_linalg::kernels` layer). `skip` marks rows excluded
-    /// because some coordinate is NULL; `kept` is the number of
-    /// contributing rows.
-    fn accumulate_block(&mut self, cols: &[&[f64]], skip: Option<&[bool]>, kept: usize) {
+    /// `nlq_linalg::kernels` layer). `active` is an LSB-ordered bitmap
+    /// of contributing rows (`None` = all rows; a clear bit means the
+    /// row has a NULL coordinate or failed the `WHERE` selection);
+    /// `kept` is the number of contributing rows.
+    fn accumulate_block(&mut self, cols: &[&[f64]], active: Option<&[u64]>, kept: usize) {
         let d = self.d;
         debug_assert_eq!(cols.len(), d);
         self.n += kept as f64;
         for (a, col) in cols.iter().enumerate() {
-            let (s, (lo, hi)) = match skip {
+            let (s, (lo, hi)) = match active {
                 None => (kernels::sum(col), kernels::min_max(col)),
-                Some(skip) => (
-                    kernels::sum_masked(col, skip),
-                    kernels::min_max_masked(col, skip),
+                Some(active) => (
+                    kernels::sum_selected(col, active),
+                    kernels::min_max_selected(col, active),
                 ),
             };
             self.l[a] += s;
@@ -128,17 +129,19 @@ impl NlqStorage {
             }
         }
         let q = self.q.as_flattened_mut();
-        match (self.shape, skip) {
+        match (self.shape, active) {
             (MatrixShape::Diagonal, None) => kernels::block_diagonal(q, MAX_D, cols),
-            (MatrixShape::Diagonal, Some(skip)) => {
-                kernels::block_diagonal_masked(q, MAX_D, cols, skip);
+            (MatrixShape::Diagonal, Some(active)) => {
+                kernels::block_diagonal_selected(q, MAX_D, cols, active);
             }
             (MatrixShape::Triangular, None) => kernels::block_triangular(q, MAX_D, cols),
-            (MatrixShape::Triangular, Some(skip)) => {
-                kernels::block_triangular_masked(q, MAX_D, cols, skip);
+            (MatrixShape::Triangular, Some(active)) => {
+                kernels::block_triangular_selected(q, MAX_D, cols, active);
             }
             (MatrixShape::Full, None) => kernels::block_full(q, MAX_D, cols),
-            (MatrixShape::Full, Some(skip)) => kernels::block_full_masked(q, MAX_D, cols, skip),
+            (MatrixShape::Full, Some(active)) => {
+                kernels::block_full_selected(q, MAX_D, cols, active);
+            }
         }
     }
 
@@ -322,7 +325,12 @@ impl AggregateState for NlqState {
     /// per `Q` cell. Any other argument shape (string style, literal
     /// coordinates) replays the row-wise path, which is always
     /// equivalent.
-    fn accumulate_batch(&mut self, block: &ColumnBlock, args: &[BatchArg]) -> Result<()> {
+    fn accumulate_batch(
+        &mut self,
+        block: &ColumnBlock,
+        args: &[BatchArg],
+        selection: Option<&[u64]>,
+    ) -> Result<()> {
         let name = self.udf_name();
         let columnar = self.style == ParamStyle::List
             && args.len() >= 2
@@ -330,7 +338,7 @@ impl AggregateState for NlqState {
             && matches!(args[1], BatchArg::Const(_))
             && args[2..].iter().all(|a| matches!(a, BatchArg::Col(_)));
         if !columnar {
-            return for_each_row_args(block, args, |row| self.accumulate(row));
+            return for_each_row_args(block, args, selection, |row| self.accumulate(row));
         }
         let (BatchArg::Const(d_arg), BatchArg::Const(shape_arg)) = (&args[0], &args[1]) else {
             unreachable!("checked above");
@@ -348,29 +356,42 @@ impl AggregateState for NlqState {
         let cols: Vec<&[f64]> = args[2..]
             .iter()
             .map(|a| match a {
-                BatchArg::Col(c) => block.column(*c).values.as_slice(),
+                BatchArg::Col(c) => block.column(*c).values,
                 BatchArg::Const(_) => unreachable!("checked above"),
             })
             .collect();
-        // Rows with any NULL coordinate are skipped, as in the
-        // row-wise path; merge the per-column masks into one row mask.
+        // A row contributes iff it passed the WHERE selection and no
+        // coordinate is NULL: AND the selection words with every
+        // column's validity words. Fully dense + unfiltered blocks
+        // keep `active = None` and ride the dense kernels.
         let any_null = args[2..].iter().any(|a| match a {
             BatchArg::Col(c) => !block.column(*c).is_dense(),
             BatchArg::Const(_) => false,
         });
-        if !any_null {
+        if selection.is_none() && !any_null {
             self.storage.accumulate_block(&cols, None, block.len());
-        } else {
-            let mut skip = vec![false; block.len()];
-            for a in &args[2..] {
-                let BatchArg::Col(c) = a else { unreachable!() };
-                for (s, &null) in skip.iter_mut().zip(&block.column(*c).nulls) {
-                    *s |= null;
+            return Ok(());
+        }
+        let n = block.len();
+        let words = nlq_storage::bitmap_words(n);
+        let mut active = match selection {
+            Some(sel) => sel.to_vec(),
+            None => {
+                let mut all = vec![!0u64; words];
+                nlq_storage::bitmap_mask_tail(&mut all, n);
+                all
+            }
+        };
+        for a in &args[2..] {
+            let BatchArg::Col(c) = a else { unreachable!() };
+            if let Some(validity) = block.column(*c).validity() {
+                for (w, v) in active.iter_mut().zip(validity) {
+                    *w &= v;
                 }
             }
-            let kept = skip.iter().filter(|&&s| !s).count();
-            self.storage.accumulate_block(&cols, Some(&skip), kept);
         }
+        let kept = nlq_storage::bitmap_count_ones(&active);
+        self.storage.accumulate_block(&cols, Some(&active), kept);
         Ok(())
     }
 
@@ -840,7 +861,9 @@ mod tests {
         let udf = NlqUdf::new(ParamStyle::List);
         let mut state = udf.init();
         while let Some(block) = iter.next_block() {
-            state.accumulate_batch(block.unwrap(), &args).unwrap();
+            state
+                .accumulate_batch(&block.unwrap(), &args, None)
+                .unwrap();
         }
         state.finalize().unwrap()
     }

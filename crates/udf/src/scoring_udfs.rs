@@ -1,7 +1,7 @@
 use nlq_models::scoring;
-use nlq_storage::Value;
+use nlq_storage::{bitmap_get, Value};
 
-use crate::framework::{float_arg, ScalarUdf};
+use crate::framework::{float_arg, ScalarBatchArg, ScalarUdf};
 use crate::{Result, UdfError};
 
 /// Collects `count` float arguments starting at `from`; `Ok(None)`
@@ -15,6 +15,80 @@ fn float_slice(udf: &str, args: &[Value], from: usize, count: usize) -> Result<O
         }
     }
     Ok(Some(out))
+}
+
+/// One [`ScalarBatchArg`] lowered for the per-row hot loop: constants
+/// resolved to plain floats once, columns as raw slices.
+enum BatchSrc<'a> {
+    Dense(&'a [f64]),
+    Masked(&'a [f64], &'a [u64]),
+    Lit(f64),
+    Null,
+}
+
+impl BatchSrc<'_> {
+    #[inline]
+    fn at(&self, i: usize) -> Option<f64> {
+        match self {
+            BatchSrc::Dense(v) => Some(v[i]),
+            BatchSrc::Masked(v, m) => bitmap_get(m, i).then(|| v[i]),
+            BatchSrc::Lit(c) => Some(*c),
+            BatchSrc::Null => None,
+        }
+    }
+}
+
+/// Lowers batch arguments, raising the per-constant type errors the
+/// row path's [`float_arg`] would raise on every row.
+fn lower<'a>(udf: &str, args: &'a [ScalarBatchArg<'a>]) -> Result<Vec<BatchSrc<'a>>> {
+    args.iter()
+        .enumerate()
+        .map(|(i, a)| {
+            Ok(match a {
+                ScalarBatchArg::Col {
+                    values,
+                    validity: None,
+                } => BatchSrc::Dense(values),
+                ScalarBatchArg::Col {
+                    values,
+                    validity: Some(m),
+                } => BatchSrc::Masked(values, m),
+                ScalarBatchArg::Const(Value::Null) => BatchSrc::Null,
+                ScalarBatchArg::Const(v) => {
+                    BatchSrc::Lit(v.as_f64().ok_or_else(|| UdfError::InvalidArgument {
+                        udf: udf.to_owned(),
+                        message: format!("argument {} must be numeric, got {v:?}", i + 1),
+                    })?)
+                }
+            })
+        })
+        .collect()
+}
+
+/// Shared `eval_batch` kernel: gathers `args` row by row into a reused
+/// buffer and maps it through `f`, emitting NULL whenever any argument
+/// is NULL — exactly the scoring UDFs' row semantics with the per-row
+/// allocation, argument re-boxing, and dynamic dispatch stripped out.
+fn batch_map(
+    srcs: &[BatchSrc<'_>],
+    rows: usize,
+    out: &mut Vec<Value>,
+    mut f: impl FnMut(&[f64]) -> Value,
+) {
+    let mut gathered = vec![0.0f64; srcs.len()];
+    out.reserve(rows);
+    'rows: for i in 0..rows {
+        for (g, s) in gathered.iter_mut().zip(srcs) {
+            match s.at(i) {
+                Some(v) => *g = v,
+                None => {
+                    out.push(Value::Null);
+                    continue 'rows;
+                }
+            }
+        }
+        out.push(f(&gathered));
+    }
 }
 
 /// `linearregscore(X1..Xd, β0, β1..βd)` — the regression scoring UDF
@@ -50,6 +124,27 @@ impl ScalarUdf for LinearRegScoreUdf {
         };
         Ok(Value::Float(scoring::linear_reg_score(&x, b0, &beta)))
     }
+
+    fn eval_batch(
+        &self,
+        args: &[ScalarBatchArg<'_>],
+        rows: usize,
+        out: &mut Vec<Value>,
+    ) -> Result<bool> {
+        if args.len() < 3 || args.len().is_multiple_of(2) {
+            return Err(UdfError::WrongArity {
+                udf: self.name().into(),
+                expected: "2d + 1 (X1..Xd, b0, b1..bd)".into(),
+                got: args.len(),
+            });
+        }
+        let d = (args.len() - 1) / 2;
+        let srcs = lower(self.name(), args)?;
+        batch_map(&srcs, rows, out, |g| {
+            Value::Float(scoring::linear_reg_score(&g[..d], g[d], &g[d + 1..]))
+        });
+        Ok(true)
+    }
 }
 
 /// `fascore(X1..Xd, μ1..μd, Λ1j..Λdj)` — the PCA / factor analysis
@@ -84,6 +179,27 @@ impl ScalarUdf for FaScoreUdf {
         };
         Ok(Value::Float(scoring::fa_score(&x, &mu, &lam)))
     }
+
+    fn eval_batch(
+        &self,
+        args: &[ScalarBatchArg<'_>],
+        rows: usize,
+        out: &mut Vec<Value>,
+    ) -> Result<bool> {
+        if args.is_empty() || !args.len().is_multiple_of(3) {
+            return Err(UdfError::WrongArity {
+                udf: self.name().into(),
+                expected: "3d (X1..Xd, mu1..mud, l1..ld)".into(),
+                got: args.len(),
+            });
+        }
+        let d = args.len() / 3;
+        let srcs = lower(self.name(), args)?;
+        batch_map(&srcs, rows, out, |g| {
+            Value::Float(scoring::fa_score(&g[..d], &g[d..2 * d], &g[2 * d..]))
+        });
+        Ok(true)
+    }
 }
 
 /// `distance(X1..Xd, C1j..Cdj)` — squared Euclidean distance to one
@@ -112,6 +228,27 @@ impl ScalarUdf for DistanceUdf {
             return Ok(Value::Null);
         };
         Ok(Value::Float(scoring::squared_distance(&x, &c)))
+    }
+
+    fn eval_batch(
+        &self,
+        args: &[ScalarBatchArg<'_>],
+        rows: usize,
+        out: &mut Vec<Value>,
+    ) -> Result<bool> {
+        if args.is_empty() || !args.len().is_multiple_of(2) {
+            return Err(UdfError::WrongArity {
+                udf: self.name().into(),
+                expected: "2d (X1..Xd, C1..Cd)".into(),
+                got: args.len(),
+            });
+        }
+        let d = args.len() / 2;
+        let srcs = lower(self.name(), args)?;
+        batch_map(&srcs, rows, out, |g| {
+            Value::Float(scoring::squared_distance(&g[..d], &g[d..]))
+        });
+        Ok(true)
     }
 }
 
@@ -211,5 +348,73 @@ mod tests {
     fn non_numeric_inputs_error() {
         let args = vec![Value::from("x"), Value::Float(1.0), Value::Float(1.0)];
         assert!(LinearRegScoreUdf.eval(&args).is_err());
+    }
+
+    #[test]
+    fn eval_batch_matches_row_eval() {
+        // Mixed argument shapes: a dense column, a column with a NULL
+        // hole, and constants — the batch result must equal calling
+        // `eval` on each row's materialized arguments.
+        let x1 = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let x2 = [0.5, -1.0, 2.5, 0.0, 9.0];
+        let validity = [0b10111u64]; // row 3 of x2 is NULL
+        let (b0, b1, b2) = (Value::Float(10.0), Value::Float(3.0), Value::Float(-2.0));
+        let args = [
+            ScalarBatchArg::Col {
+                values: &x1,
+                validity: None,
+            },
+            ScalarBatchArg::Col {
+                values: &x2,
+                validity: Some(&validity),
+            },
+            ScalarBatchArg::Const(&b0),
+            ScalarBatchArg::Const(&b1),
+            ScalarBatchArg::Const(&b2),
+        ];
+        let mut out = Vec::new();
+        assert!(LinearRegScoreUdf
+            .eval_batch(&args, x1.len(), &mut out)
+            .unwrap());
+        assert_eq!(out.len(), x1.len());
+        for i in 0..x1.len() {
+            let row = vec![
+                Value::Float(x1[i]),
+                if i == 3 {
+                    Value::Null
+                } else {
+                    Value::Float(x2[i])
+                },
+                b0.clone(),
+                b1.clone(),
+                b2.clone(),
+            ];
+            assert_eq!(out[i], LinearRegScoreUdf.eval(&row).unwrap(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn eval_batch_checks_arity_and_const_types() {
+        let x = [1.0, 2.0];
+        let col = ScalarBatchArg::Col {
+            values: &x,
+            validity: None,
+        };
+        let mut out = Vec::new();
+        assert!(matches!(
+            LinearRegScoreUdf.eval_batch(&[col, col], 2, &mut out),
+            Err(UdfError::WrongArity { .. })
+        ));
+        let s = Value::from("oops");
+        assert!(LinearRegScoreUdf
+            .eval_batch(&[col, ScalarBatchArg::Const(&s), col], 2, &mut out)
+            .is_err());
+        // A NULL constant turns every row NULL, same as the row path.
+        let null = Value::Null;
+        out.clear();
+        assert!(DistanceUdf
+            .eval_batch(&[col, ScalarBatchArg::Const(&null)], 2, &mut out)
+            .unwrap());
+        assert_eq!(out, vec![Value::Null, Value::Null]);
     }
 }

@@ -197,6 +197,118 @@ fn block_scan_matches_row_scan() {
 }
 
 #[test]
+fn filtered_block_scan_matches_row_scan() {
+    // Random WHERE predicates drawn from the block-compilable subset
+    // (comparisons, IS [NOT] NULL, NOT/AND/OR) evaluated as selection
+    // bitmaps must keep exactly the rows the row-at-a-time interpreter
+    // keeps — including SQL three-valued logic over NULL coordinates —
+    // for both scalar projections and aggregates, across empty tables,
+    // empty partitions, and the Int id column.
+    fn predicate(rng: &mut Rng, d: usize, depth: usize) -> String {
+        if depth == 0 || rng.range_usize(0, 3) > 0 {
+            let col = rng.range_usize(1, d);
+            match rng.range_usize(0, 5) {
+                0 => format!("X{col} IS NULL"),
+                1 => format!("X{col} IS NOT NULL"),
+                2 => {
+                    let other = rng.range_usize(1, d);
+                    format!("X{col} <= X{other}")
+                }
+                3 => format!("i > {}", rng.range_usize(0, 2000)),
+                _ => {
+                    let ops = [">", ">=", "<", "<=", "=", "<>"];
+                    format!(
+                        "X{col} {} {:.2}",
+                        ops[rng.range_usize(0, ops.len() - 1)],
+                        rng.range_f64(-40.0, 40.0)
+                    )
+                }
+            }
+        } else {
+            match rng.range_usize(0, 2) {
+                0 => format!("NOT ({})", predicate(rng, d, depth - 1)),
+                1 => format!(
+                    "({} AND {})",
+                    predicate(rng, d, depth - 1),
+                    predicate(rng, d, depth - 1)
+                ),
+                _ => format!(
+                    "({} OR {})",
+                    predicate(rng, d, depth - 1),
+                    predicate(rng, d, depth - 1)
+                ),
+            }
+        }
+    }
+
+    run_cases(16, 0xf008, |rng| {
+        let d = rng.range_usize(2, 4);
+        let n = match rng.range_usize(0, 3) {
+            0 => rng.range_usize(0, 5),
+            1 => rng.range_usize(5, 300),
+            _ => rng.range_usize(1000, 2600),
+        };
+        let workers = rng.range_usize(1, 7);
+
+        let mut table = Table::new(Schema::points(d, false), workers);
+        for i in 0..n {
+            let mut row = vec![Value::Int(i as i64 + 1)];
+            for _ in 0..d {
+                if rng.range_usize(0, 10) == 0 {
+                    row.push(Value::Null);
+                } else {
+                    row.push(Value::Float(rng.range_f64(-50.0, 50.0)));
+                }
+            }
+            table.insert(row).unwrap();
+        }
+
+        let block_db = Db::new(workers);
+        block_db.register_table("X", table.clone()).unwrap();
+        let row_db = Db::new(workers);
+        row_db.set_block_scan(false);
+        row_db.register_table("X", table).unwrap();
+
+        let along = predicate(rng, d, 2);
+        let tight = |a: f64, b: f64| (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()));
+        for sql in [
+            format!("SELECT i, X1, X2 FROM X WHERE {along}"),
+            format!("SELECT count(*), count(X1), sum(X1), min(X2), max(X2) FROM X WHERE {along}"),
+        ] {
+            let via_blocks = block_db.execute(&sql).unwrap();
+            let via_rows = row_db.execute(&sql).unwrap();
+            assert!(via_blocks.stats.block_path, "{sql}");
+            assert!(!via_rows.stats.block_path);
+            assert_eq!(via_blocks.len(), via_rows.len(), "{sql}");
+            for r in 0..via_blocks.len() {
+                for c in 0..via_blocks.columns.len() {
+                    let (a, b) = (via_blocks.value(r, c), via_rows.value(r, c));
+                    match (a.as_f64(), b.as_f64()) {
+                        (Some(a), Some(b)) => {
+                            assert!(tight(a, b), "{sql}: row {r} col {c}: {a} vs {b}")
+                        }
+                        _ => assert_eq!(a, b, "{sql}: row {r} col {c}"),
+                    }
+                }
+            }
+            // The plan must advertise the selection-bitmap block scan.
+            let plan = block_db.execute(&format!("EXPLAIN {sql}")).unwrap();
+            let text: Vec<String> = plan
+                .rows
+                .iter()
+                .map(|r| r[0].as_str().unwrap().to_owned())
+                .collect();
+            let text = text.join("\n");
+            assert!(text.contains("scan mode: block"), "{sql}\n{text}");
+            assert!(
+                text.contains("predicate(s) as selection bitmap"),
+                "{sql}\n{text}"
+            );
+        }
+    });
+}
+
+#[test]
 fn partition_count_does_not_change_results() {
     run_cases(24, 0xf006, |rng| {
         let rows = data_set(rng);
