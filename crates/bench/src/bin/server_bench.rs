@@ -5,12 +5,17 @@
 //! `WHERE` clause (selection-bitmap block scan), and answering the Γ
 //! aggregate from a materialized summary (no scan) — measured
 //! end-to-end over loopback TCP with concurrent client connections.
+//! A second server backed by a sharded engine (`--shards S`) measures
+//! scatter/gather scoring (`sharded_scoring`) and repeated-text
+//! statement throughput through the prepared-plan cache
+//! (`plan_cache`), and an in-process scaling run times the same
+//! block-scan Γ aggregate at 1 shard vs S shards.
 //! Emits `BENCH_server.json`.
 //!
 //! Usage:
 //!
 //! ```text
-//! server_bench [--out PATH] [--smoke] [--clients C] [--queries Q]
+//! server_bench [--out PATH] [--smoke] [--clients C] [--queries Q] [--shards S]
 //! ```
 //!
 //! `--smoke` shrinks the data set and query counts so CI can run the
@@ -26,6 +31,7 @@ use nlq_client::{Client, TraceRecord};
 use nlq_engine::Db;
 use nlq_linalg::Vector;
 use nlq_server::{serve, ServerConfig};
+use nlq_shard::ShardedDb;
 
 struct Measurement {
     workload: &'static str,
@@ -43,6 +49,7 @@ fn main() {
     let mut smoke = false;
     let mut clients = 8usize;
     let mut queries = 0usize; // 0 = pick per mode
+    let mut shards = 4usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -61,6 +68,13 @@ fn main() {
                     .expect("--queries needs a count")
                     .parse()
                     .expect("--queries count")
+            }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("--shards count")
             }
             other => panic!("unknown argument {other:?}"),
         }
@@ -88,7 +102,7 @@ fn main() {
     db.register_beta("BETA", 1.0, &beta).expect("register beta");
 
     let mut handle = serve(
-        Arc::clone(&db),
+        Arc::clone(&db) as Arc<dyn nlq_engine::SqlEngine>,
         ServerConfig {
             workers,
             max_connections: clients + 4,
@@ -178,7 +192,64 @@ fn main() {
     }
     handle.shutdown();
 
-    let json = render_json(workers, smoke, n, d, &results);
+    // ---- Sharded server: scatter/gather scoring and the plan cache ----
+    //
+    // A fresh server backed by `ShardedDb`: the same points round-robin
+    // partitioned over `shards` engine shards, BETA replicated to all of
+    // them. Scoring scatters to every shard and concatenates; repeated
+    // statement text after the first request is served from the
+    // prepared-plan cache (no parse phase).
+    eprintln!("booting sharded server ({shards} shards) ...");
+    let sdb = Arc::new(ShardedDb::new(shards, 1));
+    sdb.load_points("X", &rows, false).expect("sharded load");
+    sdb.register_beta("BETA", 1.0, &beta)
+        .expect("sharded register beta");
+    let mut shandle = serve(
+        Arc::clone(&sdb) as Arc<dyn nlq_engine::SqlEngine>,
+        ServerConfig {
+            workers,
+            max_connections: clients + 4,
+            chunk_bytes: 256 << 10,
+            trace_ring: 4096,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind sharded loopback");
+    let saddr = shandle.addr();
+    // Repeated identical text: every request after the first is a plan
+    // cache hit, so the workload isolates cached-plan dispatch.
+    let cached_sql = format!(
+        "SELECT count(*), avg(X1), nlq_list({d}, 'triang', {}) FROM X",
+        cols.join(", ")
+    );
+    let mut last_sharded_trace = 0u64;
+    for (workload, sql, queries_each) in [
+        ("sharded_scoring", &scoring_sql, per_client),
+        ("plan_cache", &cached_sql, per_client),
+    ] {
+        eprintln!("measuring {workload} ...");
+        let mut m = measure(saddr, workload, sql, false, clients, queries_each);
+        let (records, next_after) = drain_traces(saddr, last_sharded_trace);
+        last_sharded_trace = next_after;
+        m.phase_shares = phase_shares(&records);
+        results.push(m);
+    }
+    let cache_stats = sdb.plan_cache_stats();
+    shandle.shutdown();
+
+    // ---- Shard scaling: the same Γ block-scan aggregate, 1 vs S shards ----
+    let scaling = measure_scaling(if smoke { 20_000 } else { 1_000_000 }, d, shards, smoke);
+
+    let json = render_json(
+        workers,
+        smoke,
+        n,
+        d,
+        shards,
+        (cache_stats.hits, cache_stats.misses),
+        &results,
+        &scaling,
+    );
     std::fs::write(&out_path, &json).expect("write BENCH_server.json");
     println!("{json}");
     eprintln!("wrote {out_path}");
@@ -227,6 +298,47 @@ fn measure(
     }
 }
 
+struct ScaleSample {
+    shards: usize,
+    queries: usize,
+    secs: f64,
+}
+
+/// Times the block-scan Γ aggregate (`nlq_list` over every row, no
+/// summary registered so the scan really runs) against an in-process
+/// `ShardedDb` at 1 shard and at `shards` shards, one worker per
+/// shard. Each shard scans its own n/S partition; the gather merges S
+/// Γ partials, so on a host with ≥ S cores the wall time drops toward
+/// n/S. The host core count is recorded alongside so single-core runs
+/// read as what they are.
+fn measure_scaling(n: usize, d: usize, shards: usize, smoke: bool) -> Vec<ScaleSample> {
+    eprintln!("measuring shard scaling (n={n}, 1 vs {shards} shards) ...");
+    let rows = mixture_data(n, d, 0x7a31);
+    let cols = (1..=d)
+        .map(|a| format!("X{a}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let sql = format!("SELECT nlq_list({d}, 'triang', {cols}) FROM S");
+    let iters = if smoke { 3 } else { 8 };
+    let mut out = Vec::new();
+    for s in [1usize, shards] {
+        let db = ShardedDb::new(s, 1);
+        db.load_points("S", &rows, false).expect("scaling load");
+        let rs = db.execute(&sql).expect("scaling warmup");
+        assert_eq!(rs.stats.rows_scanned, n as u64, "scan must run");
+        let started = Instant::now();
+        for _ in 0..iters {
+            db.execute(&sql).expect("scaling query");
+        }
+        out.push(ScaleSample {
+            shards: s,
+            queries: iters,
+            secs: started.elapsed().as_secs_f64(),
+        });
+    }
+    out
+}
+
 /// Pages every trace record with id greater than `after` out of the
 /// server's recent-query ring; returns them with the new high-water id.
 fn drain_traces(addr: std::net::SocketAddr, after: u64) -> (Vec<TraceRecord>, u64) {
@@ -266,7 +378,17 @@ fn phase_shares(records: &[TraceRecord]) -> Vec<(String, f64)> {
         .collect()
 }
 
-fn render_json(workers: usize, smoke: bool, n: usize, d: usize, results: &[Measurement]) -> String {
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    workers: usize,
+    smoke: bool,
+    n: usize,
+    d: usize,
+    shards: usize,
+    plan_cache: (u64, u64),
+    results: &[Measurement],
+    scaling: &[ScaleSample],
+) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"bench\": \"server_qps\",");
     let _ = writeln!(
@@ -274,6 +396,13 @@ fn render_json(workers: usize, smoke: bool, n: usize, d: usize, results: &[Measu
         "  \"transport\": \"loopback tcp, length-prefixed frames\","
     );
     let _ = writeln!(s, "  \"workers\": {workers},");
+    let _ = writeln!(s, "  \"host_cpus\": {},", host_cpus());
+    let _ = writeln!(s, "  \"shards\": {shards},");
+    let _ = writeln!(
+        s,
+        "  \"plan_cache\": {{ \"hits\": {}, \"misses\": {} }},",
+        plan_cache.0, plan_cache.1
+    );
     let _ = writeln!(s, "  \"smoke\": {smoke},");
     let _ = writeln!(s, "  \"n\": {n},");
     let _ = writeln!(s, "  \"d\": {d},");
@@ -300,8 +429,21 @@ fn render_json(workers: usize, smoke: bool, n: usize, d: usize, results: &[Measu
         let _ = writeln!(s, "      }}");
         let _ = writeln!(s, "    }}{}", if i + 1 < results.len() { "," } else { "" });
     }
-    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"shard_scaling\": {{");
+    let _ = writeln!(s, "    \"workload\": \"nlq_list block scan\",");
+    if let [one, many] = scaling {
+        let _ = writeln!(s, "    \"queries_each\": {},", one.queries);
+        let _ = writeln!(s, "    \"secs_{}_shard\": {:.9},", one.shards, one.secs);
+        let _ = writeln!(s, "    \"secs_{}_shards\": {:.9},", many.shards, many.secs);
+        let _ = writeln!(s, "    \"speedup\": {:.3}", one.secs / many.secs);
+    }
+    let _ = writeln!(s, "  }}");
     s.push('}');
     s.push('\n');
     s
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
 }

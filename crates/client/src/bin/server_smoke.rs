@@ -5,13 +5,17 @@
 //!
 //! ```text
 //! server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N]
-//!              [--expect-slow]
+//!              [--expect-slow] [--sharded N]
 //! ```
 //!
 //! `--expect-chunks N` asserts the large streamed query arrives in at
 //! least `N` chunk frames (pair it with the server's `--chunk-bytes`).
 //! `--expect-slow` asserts the slow-query ring is non-empty afterward
 //! (pair it with the server's `--slow-query-ms 0`).
+//! `--sharded N` runs the scatter/gather script instead (pair it with
+//! the server's `--shards N`): a Γ-merged aggregate across shards, a
+//! cancelled sharded stream, a plan-cache hit surfaced by `EXPLAIN`,
+//! and per-shard metrics.
 
 use std::process::ExitCode;
 
@@ -247,17 +251,170 @@ fn run(
     Ok(())
 }
 
+/// Scripted session against a server running with `--shards N`:
+/// scatter/gather correctness and observability end-to-end.
+fn run_sharded(addr: &str, skip_shutdown: bool, shards: usize) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    c.ping().map_err(|e| format!("ping: {e}"))?;
+    println!("sharded session {} established", c.session_id());
+
+    // A partitioned table whose rows spread round-robin over shards.
+    c.execute("CREATE TABLE X (i INT, X1 FLOAT)")
+        .map_err(|e| format!("create X: {e}"))?;
+    let values: Vec<String> = (1..=1000).map(|i| format!("({i}, {i}.0)")).collect();
+    for batch in values.chunks(200) {
+        c.execute(&format!("INSERT INTO X VALUES {}", batch.join(", ")))
+            .map_err(|e| format!("fill X: {e}"))?;
+    }
+
+    // Merged aggregate: every shard scans its own slice and the gather
+    // merges the Γ partials into one exact answer.
+    let rs = c
+        .execute("SELECT count(*), sum(X1), avg(X1) FROM X")
+        .map_err(|e| format!("merged aggregate: {e}"))?;
+    let count = rs.value(0, 0).as_i64().unwrap_or(-1);
+    let sum = rs.value(0, 1).as_f64().unwrap_or(f64::NAN);
+    let avg = rs.value(0, 2).as_f64().unwrap_or(f64::NAN);
+    if count != 1000 || (sum - 500_500.0).abs() > 1e-9 || (avg - 500.5).abs() > 1e-9 {
+        return Err(format!(
+            "merged aggregate wrong: count={count} sum={sum} avg={avg}"
+        ));
+    }
+    if rs.stats.rows_scanned != 1000 {
+        return Err(format!(
+            "expected all 1000 rows scanned across shards, got {}",
+            rs.stats.rows_scanned
+        ));
+    }
+    println!("merged aggregate ok (count={count}, sum={sum}, scanned across {shards} shards)");
+
+    // EXPLAIN surfaces the scatter/gather route and the plan-cache
+    // probe: first sight of this text is a miss, the repeat is a hit.
+    let explain_sql = "EXPLAIN SELECT count(*), sum(X1) FROM X";
+    let plan_of = |rs: &nlq_client::RemoteResult| {
+        rs.rows
+            .iter()
+            .filter_map(|r| r.first().map(|v| v.to_string()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let first = c
+        .execute(explain_sql)
+        .map_err(|e| format!("explain: {e}"))?;
+    let first_plan = plan_of(&first);
+    let scatter_line = format!("scatter: {shards} shards, gather: merge");
+    if !first_plan.contains(&scatter_line) {
+        return Err(format!("EXPLAIN missing \"{scatter_line}\":\n{first_plan}"));
+    }
+    if !first_plan.contains("plan cache: miss") {
+        return Err(format!(
+            "first EXPLAIN should miss the cache:\n{first_plan}"
+        ));
+    }
+    let second = c
+        .execute(explain_sql)
+        .map_err(|e| format!("explain 2: {e}"))?;
+    let second_plan = plan_of(&second);
+    if !second_plan.contains("plan cache: hit") {
+        return Err(format!(
+            "repeated EXPLAIN should hit the cache:\n{second_plan}"
+        ));
+    }
+    println!("explain ok ({scatter_line}; plan cache miss then hit)");
+
+    // Cancelled sharded query: abandon a scatter stream mid-flight.
+    // The cancel token is shared by every shard, so the whole fan-out
+    // stops and the session stays usable.
+    let stream = c
+        .query("SELECT i, X1 FROM X")
+        .map_err(|e| format!("cancel stream: {e}"))?;
+    drop(stream);
+    c.ping().map_err(|e| format!("ping after cancel: {e}"))?;
+    println!("cancel ok (abandoned sharded stream, session survives)");
+
+    // Per-shard metrics and the plan-cache counters must be exported.
+    let metrics = c.metrics().map_err(|e| format!("metrics: {e}"))?;
+    let reported = metrics
+        .lookup("shards")
+        .and_then(|v| v.as_i64())
+        .ok_or("metrics missing shards")?;
+    if reported != shards as i64 {
+        return Err(format!("metrics report {reported} shards, want {shards}"));
+    }
+    let mut scanned_total = 0i64;
+    for shard in 0..shards {
+        let key = format!("shard.{shard}.queries");
+        let q = metrics
+            .lookup(&key)
+            .and_then(|v| v.as_i64())
+            .ok_or_else(|| format!("metrics missing {key}"))?;
+        if q < 1 {
+            return Err(format!("{key} = {q}, want >= 1"));
+        }
+        scanned_total += metrics
+            .lookup(&format!("shard.{shard}.rows_scanned"))
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0);
+    }
+    if scanned_total < 1000 {
+        return Err(format!(
+            "per-shard rows_scanned sums to {scanned_total}, want >= 1000"
+        ));
+    }
+    let hits = metrics
+        .lookup("plan_cache.hits")
+        .and_then(|v| v.as_i64())
+        .ok_or("metrics missing plan_cache.hits")?;
+    if hits < 1 {
+        return Err(format!("plan_cache.hits = {hits}, want >= 1"));
+    }
+    println!("shard metrics ok ({shards} shards, {scanned_total} rows scanned, {hits} cache hits)");
+
+    let prom = c
+        .metrics_prometheus()
+        .map_err(|e| format!("metrics prometheus: {e}"))?;
+    nlq_client::validate_exposition(&prom)
+        .map_err(|e| format!("malformed Prometheus exposition: {e}\n{prom}"))?;
+    for needle in [
+        "nlq_shards",
+        "nlq_shard_queries_total",
+        "nlq_shard_rows_scanned_total",
+        "nlq_plan_cache_hits_total",
+    ] {
+        if !prom.contains(needle) {
+            return Err(format!("Prometheus output missing {needle}"));
+        }
+    }
+    println!("prometheus ok (per-shard families present)");
+
+    if !skip_shutdown {
+        c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        println!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut addr = None;
     let mut skip_shutdown = false;
     let mut expect_chunks = 0u64;
     let mut expect_slow = false;
+    let mut sharded = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--addr" => addr = args.next(),
             "--skip-shutdown" => skip_shutdown = true,
             "--expect-slow" => expect_slow = true,
+            "--sharded" => {
+                sharded = match args.next().map(|v| v.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        eprintln!("--sharded requires a shard count");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--expect-chunks" => {
                 expect_chunks = match args.next().map(|v| v.parse()) {
                     Some(Ok(n)) => n,
@@ -276,11 +433,16 @@ fn main() -> ExitCode {
     let Some(addr) = addr else {
         eprintln!(
             "usage: server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N] \
-             [--expect-slow]"
+             [--expect-slow] [--sharded N]"
         );
         return ExitCode::FAILURE;
     };
-    match run(&addr, skip_shutdown, expect_chunks, expect_slow) {
+    let outcome = if sharded > 0 {
+        run_sharded(&addr, skip_shutdown, sharded)
+    } else {
+        run(&addr, skip_shutdown, expect_chunks, expect_slow)
+    };
+    match outcome {
         Ok(()) => {
             println!("smoke session passed");
             ExitCode::SUCCESS

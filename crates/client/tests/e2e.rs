@@ -5,14 +5,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nlq_client::{Client, ClientError};
-use nlq_engine::Db;
+use nlq_engine::{Db, SqlEngine};
 use nlq_server::wire::ErrorCode;
 use nlq_server::{serve, ServerConfig, ServerHandle};
 use nlq_storage::Value;
 
 fn start(config: ServerConfig) -> (Arc<Db>, ServerHandle) {
     let db = Arc::new(Db::new(4));
-    let handle = serve(Arc::clone(&db), config).expect("bind");
+    let handle = serve(Arc::clone(&db) as Arc<dyn SqlEngine>, config).expect("bind");
     (db, handle)
 }
 

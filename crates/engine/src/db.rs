@@ -71,6 +71,13 @@ pub struct ExecStats {
     pub merge_nanos: u64,
     /// Phase 4 (finalize + HAVING + projection) time on the master.
     pub finalize_nanos: u64,
+    /// Wall-clock time a sharded engine spent fanned out — covers the
+    /// slowest shard's local execution. Always 0 on a single `Db`.
+    pub scatter_nanos: u64,
+    /// Wall-clock time a sharded engine spent collecting shard results
+    /// and merging Γ/aggregate partials (or concatenating row
+    /// streams). Always 0 on a single `Db`.
+    pub gather_nanos: u64,
     /// Whether the statement was cancelled mid-execution. The engine
     /// never returns a [`ResultSet`] for a cancelled statement (it
     /// returns [`EngineError::Cancelled`]); this flag exists so
@@ -270,6 +277,44 @@ impl Db {
         let parse_started = Instant::now();
         let stmt = parse(sql)?;
         let parse_nanos = parse_started.elapsed().as_nanos() as u64;
+        let mut rs = self.execute_stmt_inner(stmt, opts, parse_nanos)?;
+        rs.stats.parse_nanos = parse_nanos;
+        if let Some(trace) = &opts.trace {
+            for span in phase_spans(&rs.stats) {
+                trace.record(span);
+            }
+        }
+        Ok(rs)
+    }
+
+    /// Executes an already-parsed statement (the entry point for plan
+    /// caches and sharded engines, which parse once and execute the
+    /// same AST many times). Equivalent to [`Db::execute_with`] except
+    /// that no parsing happens, so `parse_nanos` stays 0.
+    pub fn execute_statement(&self, stmt: Statement, opts: &ExecOptions) -> Result<ResultSet> {
+        if let Some(c) = opts.cancel_flag() {
+            if c.load(Ordering::Relaxed) {
+                return Err(EngineError::Cancelled { rows_scanned: 0 });
+            }
+        }
+        let rs = self.execute_stmt_inner(stmt, opts, 0)?;
+        if let Some(trace) = &opts.trace {
+            for span in phase_spans(&rs.stats) {
+                trace.record(span);
+            }
+        }
+        Ok(rs)
+    }
+
+    /// The statement dispatch shared by [`Db::execute_with`] and
+    /// [`Db::execute_statement`]. `parse_nanos` is only consulted by
+    /// `EXPLAIN ANALYZE` (whose rendering accounts total wall time).
+    fn execute_stmt_inner(
+        &self,
+        stmt: Statement,
+        opts: &ExecOptions,
+        parse_nanos: u64,
+    ) -> Result<ResultSet> {
         let result: Result<ResultSet> = match stmt {
             Statement::Select(stmt) => self.ctx(opts).execute_select(&stmt),
             Statement::Explain(stmt) => {
@@ -467,14 +512,57 @@ impl Db {
                 Ok(ResultSet::empty())
             }
         };
-        let mut rs = result?;
-        rs.stats.parse_nanos = parse_nanos;
-        if let Some(trace) = &opts.trace {
-            for span in phase_spans(&rs.stats) {
-                trace.record(span);
-            }
-        }
-        Ok(rs)
+        result
+    }
+
+    /// Whether a SELECT runs in aggregate mode (GROUP BY present or
+    /// any projection contains an aggregate call). Aggregate selects
+    /// are the ones a sharded engine can gather by merging partial
+    /// accumulator states; everything else concatenates rows.
+    pub fn select_is_aggregate(&self, stmt: &crate::ast::SelectStmt) -> bool {
+        let registry = self.registry();
+        let is_agg = |n: &str| crate::expr::AggKind::is_aggregate_name(n, &registry);
+        !stmt.group_by.is_empty()
+            || stmt
+                .projections
+                .iter()
+                .any(|p| p.expr.contains_aggregate(&is_agg))
+    }
+
+    /// Runs phases 1–3 of an aggregate SELECT (scan or summary lookup,
+    /// partial merge) and returns the *unfinalized* per-group
+    /// accumulator states. A sharded engine calls this on every shard
+    /// and combines the partials with
+    /// [`Db::finalize_select_partials`] — the paper's AMP dataflow
+    /// with the gather step hoisted out of the database.
+    pub fn execute_select_partial(
+        &self,
+        stmt: &crate::ast::SelectStmt,
+        opts: &ExecOptions,
+    ) -> Result<crate::exec::AggPartial> {
+        self.ctx(opts).execute_select_partial(stmt)
+    }
+
+    /// Merges aggregate partials from [`Db::execute_select_partial`]
+    /// (typically one per shard) and runs phase 4 — finalize, HAVING,
+    /// projection, ORDER BY — producing the statement's final result.
+    /// The catalog of the `Db` this is called on must resolve the same
+    /// schema the partials were produced against.
+    pub fn finalize_select_partials(
+        &self,
+        stmt: &crate::ast::SelectStmt,
+        partials: Vec<crate::exec::AggPartial>,
+        opts: &ExecOptions,
+    ) -> Result<ResultSet> {
+        self.ctx(opts).finalize_select_partials(stmt, partials)
+    }
+
+    /// Appends pre-evaluated rows to a table under the DML lock (the
+    /// row-distribution path of a sharded engine). Fresh summaries on
+    /// the table absorb the batch incrementally, like SQL INSERT.
+    pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<()> {
+        let _dml = self.dml_lock.lock().expect("dml lock");
+        self.append_rows(table, rows)
     }
 
     /// Resolves a name to a base table, rejecting views (DML and
@@ -777,8 +865,27 @@ fn parse_wide_nlq(rs: &ResultSet, d: usize, shape: MatrixShape) -> Result<Nlq> {
 }
 
 /// The engine-side phase spans one statement's stats describe. Parse
-/// is always present; downstream phases appear once they did work.
-fn phase_spans(stats: &ExecStats) -> Vec<Span> {
+/// is always present (except on a plan-cache hit, when no parse ran);
+/// downstream phases appear once they did work.
+///
+/// Sharded statements (`scatter_nanos`/`gather_nanos` nonzero) render
+/// as parse → scatter → gather: the shard-local phase times summed
+/// into the stats overlap in wall time, so listing them next to the
+/// scatter span that already covers them would double-count.
+pub fn phase_spans(stats: &ExecStats) -> Vec<Span> {
+    if stats.scatter_nanos > 0 || stats.gather_nanos > 0 {
+        let mut spans = Vec::with_capacity(3);
+        if stats.parse_nanos > 0 {
+            spans.push(Span::new(Phase::Parse, stats.parse_nanos));
+        }
+        spans.push(
+            Span::new(Phase::Scatter, stats.scatter_nanos)
+                .rows(stats.rows_scanned)
+                .blocks(stats.blocks_scanned),
+        );
+        spans.push(Span::new(Phase::Gather, stats.gather_nanos));
+        return spans;
+    }
     let mut spans = vec![Span::new(Phase::Parse, stats.parse_nanos)];
     if stats.plan_nanos > 0 {
         spans.push(Span::new(Phase::Plan, stats.plan_nanos));
@@ -803,11 +910,11 @@ fn phase_spans(stats: &ExecStats) -> Vec<Span> {
     spans
 }
 
-/// The `EXPLAIN ANALYZE` rendering: the span list (wall times summing
-/// exactly to `total_nanos` via the trailing `other` line) followed by
-/// the scan-mode and summary verdicts for the executed statement.
-fn render_analyze(total_nanos: u64, stats: &ExecStats) -> Vec<String> {
-    let mut lines = render_spans(total_nanos, &phase_spans(stats));
+/// The scan-mode / rows-scanned / summary verdict lines that follow
+/// the span list in `EXPLAIN ANALYZE` output (shared with sharded
+/// engines, which append their own scatter/gather verdicts).
+pub fn explain_analyze_footer(stats: &ExecStats) -> Vec<String> {
+    let mut lines = Vec::new();
     let mode = if stats.summary_path {
         if stats.summary_stale_rebuilds > 0 {
             "summary (stale; rebuilt by scanning the base table, then answered from Γ)".to_owned()
@@ -828,4 +935,76 @@ fn render_analyze(total_nanos: u64, stats: &ExecStats) -> Vec<String> {
         ));
     }
     lines
+}
+
+/// The `EXPLAIN ANALYZE` rendering: the span list (wall times summing
+/// exactly to `total_nanos` via the trailing `other` line) followed by
+/// the scan-mode and summary verdicts for the executed statement.
+fn render_analyze(total_nanos: u64, stats: &ExecStats) -> Vec<String> {
+    let mut lines = render_spans(total_nanos, &phase_spans(stats));
+    lines.extend(explain_analyze_footer(stats));
+    lines
+}
+
+/// Snapshot of one shard's cumulative activity, as reported through
+/// [`SqlEngine::shard_metrics`] into METRICS and the Prometheus
+/// export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardMetricsSnapshot {
+    /// Shard index, `0..shards`.
+    pub shard: usize,
+    /// Statements (or statement fragments) this shard has executed.
+    pub queries: u64,
+    /// Base-table rows this shard has scanned.
+    pub rows_scanned: u64,
+    /// Jobs currently queued on (or running in) the shard's executor.
+    pub queue_depth: u64,
+    /// Cumulative wall time the shard's executor spent running jobs.
+    pub busy_nanos: u64,
+}
+
+/// Counters of a SQL-text-keyed prepared-plan cache
+/// ([`SqlEngine::plan_cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Statements answered from a cached parse (no parse ran).
+    pub hits: u64,
+    /// Statements that had to parse (and populated the cache).
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: u64,
+}
+
+/// The SQL execution surface a serving layer needs: one entry point
+/// plus observability hooks. Implemented by [`Db`] (a single engine)
+/// and by sharded engines that scatter statements across many `Db`
+/// instances — the server holds an `Arc<dyn SqlEngine>` and cannot
+/// tell the difference.
+pub trait SqlEngine: Send + Sync {
+    /// Parses and executes one SQL statement with per-statement
+    /// execution options.
+    fn execute_with(&self, sql: &str, opts: &ExecOptions) -> Result<ResultSet>;
+
+    /// Number of independent shards behind this engine (1 when
+    /// unsharded).
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// Per-shard activity counters (empty when unsharded).
+    fn shard_metrics(&self) -> Vec<ShardMetricsSnapshot> {
+        Vec::new()
+    }
+
+    /// Prepared-plan cache counters (`None` when the engine keeps no
+    /// cache).
+    fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        None
+    }
+}
+
+impl SqlEngine for Db {
+    fn execute_with(&self, sql: &str, opts: &ExecOptions) -> Result<ResultSet> {
+        Db::execute_with(self, sql, opts)
+    }
 }

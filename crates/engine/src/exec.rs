@@ -13,7 +13,6 @@ use nlq_storage::{
 use nlq_summary::{
     project_nlq, shape_covers, SummaryData, SummaryDef, SummarySnapshot, SummaryStore,
 };
-use nlq_udf::pack::pack_nlq;
 use nlq_udf::{check_heap, AggregateState, BatchArg, ScalarBatchArg, ScalarUdf, UdfRegistry};
 
 use crate::ast::{Expr, SelectStmt};
@@ -674,6 +673,26 @@ impl ExecContext<'_> {
         join_product: &[Row],
         residual: &[BoundExpr],
     ) -> Result<ResultSet> {
+        let bindings = self.bind_aggregate(stmt, schema)?;
+        let mut stats = ExecStats::default();
+        let merged = self.aggregate_partials(
+            stmt,
+            base,
+            schema,
+            join_product,
+            residual,
+            &bindings,
+            &mut stats,
+        )?;
+        finalize_merged(stmt, &bindings, merged, stats)
+    }
+
+    /// Binds everything an aggregate SELECT evaluates — GROUP BY keys,
+    /// projections, HAVING, ORDER BY — collecting the aggregate calls
+    /// they contain. Binding is deterministic, so two engines with the
+    /// same catalog and registry produce the same call list (the
+    /// property shard gather relies on to line partials up).
+    fn bind_aggregate(&self, stmt: &SelectStmt, schema: &BoundSchema) -> Result<AggBindings> {
         // Bind GROUP BY keys (scalar mode).
         let group_bound: Vec<BoundExpr> = stmt
             .group_by
@@ -746,11 +765,40 @@ impl ExecContext<'_> {
             }
         }
 
-        let mut stats = ExecStats::default();
+        Ok(AggBindings {
+            group_bound,
+            agg_calls,
+            proj_bound,
+            names,
+            having_bound,
+            order_bound,
+        })
+    }
+
+    /// Phases 1–3 of the aggregation protocol: summary rewrite or
+    /// parallel scan, then the per-engine partial merge. Returns the
+    /// merged (but unfinalized) per-group accumulator states, so the
+    /// caller can either finalize locally ([`finalize_merged`]) or
+    /// ship them to a gather step that merges across shards first.
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate_partials(
+        &self,
+        stmt: &SelectStmt,
+        base: &Table,
+        schema: &BoundSchema,
+        join_product: &[Row],
+        residual: &[BoundExpr],
+        bindings: &AggBindings,
+        stats: &mut ExecStats,
+    ) -> Result<GroupMap> {
+        let group_bound = &bindings.group_bound;
+        let agg_calls = &bindings.agg_calls;
 
         // Planner rewrite: answer the whole statement from a
         // materialized Γ summary when one structurally matches — no
-        // scan at all, O(groups · d²) work.
+        // scan at all, O(groups · d²) work. The summary yields
+        // *accumulator* states (not finalized values), so a summary
+        // answer merges with other engines' partials like any scan.
         let trivial_join = join_product.len() == 1 && join_product[0].is_empty();
         if stmt.from.len() == 1 && trivial_join && residual.is_empty() {
             let summary_started = Instant::now();
@@ -758,30 +806,22 @@ impl ExecContext<'_> {
                 &stmt.from[0].name,
                 base,
                 schema,
-                &group_bound,
-                &agg_calls,
-                &mut stats,
+                group_bound,
+                agg_calls,
+                stats,
             )?;
             stats.summary_nanos = summary_started.elapsed().as_nanos() as u64;
             if let Some(groups) = answer {
-                return finalize_groups(
-                    stmt,
-                    &proj_bound,
-                    names,
-                    &having_bound,
-                    &order_bound,
-                    groups,
-                    stats,
-                );
+                return Ok(groups);
             }
         }
 
         // Recognize fast shapes for simple numeric aggregate terms
         // (the bulk of the paper's generated 1 + d + d² queries).
-        let fast_args = compute_fast_args(schema, &agg_calls);
+        let fast_args = compute_fast_args(schema, agg_calls);
 
-        let group_ref = &group_bound;
-        let calls_ref = &agg_calls;
+        let group_ref = group_bound;
+        let calls_ref = agg_calls;
         let fast_ref = &fast_args;
         let cancel = self.cancel.as_deref();
 
@@ -791,18 +831,10 @@ impl ExecContext<'_> {
         // Compilable residual predicates become per-block selection
         // bitmaps rather than forcing the row path.
         let block_plan = if self.block_scan && group_bound.is_empty() && trivial_join {
-            plan_block_calls(
-                schema,
-                base.schema().len(),
-                &agg_calls,
-                &fast_args,
-                residual,
-            )
+            plan_block_calls(schema, base.schema().len(), agg_calls, &fast_args, residual)
         } else {
             None
         };
-
-        type GroupMap = HashMap<GroupKey, Vec<AggAccum>>;
 
         // Phase 1-2: each worker accumulates per-group partial states
         // over its partition (the UDF protocol's init + row steps).
@@ -916,41 +948,99 @@ impl ExecContext<'_> {
         }
         stats.merge_nanos = merge_start.elapsed().as_nanos() as u64;
         stats.scan_nanos = scan_started.elapsed().as_nanos() as u64;
+        Ok(merged)
+    }
 
-        // A global aggregate over zero rows still yields one row.
-        if merged.is_empty() && stmt.group_by.is_empty() {
-            merged.insert(
-                GroupKey(Vec::new()),
-                agg_calls.iter().map(AggAccum::init).collect(),
-            );
+    /// Runs phases 1–3 of an aggregate SELECT and packages the result
+    /// as a shippable [`AggPartial`] (the scatter half of a sharded
+    /// aggregate).
+    pub fn execute_select_partial(&self, stmt: &SelectStmt) -> Result<AggPartial> {
+        let plan_started = Instant::now();
+        let plan = self.plan_select(stmt)?;
+        if !plan.aggregate_mode {
+            return Err(EngineError::Unsupported(
+                "partial execution requires an aggregate SELECT".into(),
+            ));
         }
-
-        // Phase 4: finalize each group's accumulators, then the shared
-        // projection/HAVING/ORDER BY tail.
-        let mut groups = Vec::with_capacity(merged.len());
-        for (key, accums) in merged {
-            let agg_values: Vec<Value> = accums
-                .into_iter()
-                .map(AggAccum::finalize)
-                .collect::<Result<_>>()?;
-            groups.push((key, agg_values));
-        }
-        finalize_groups(
+        let bindings = self.bind_aggregate(stmt, &plan.schema)?;
+        let mut stats = ExecStats {
+            plan_nanos: plan_started.elapsed().as_nanos() as u64,
+            ..ExecStats::default()
+        };
+        let merged = self.aggregate_partials(
             stmt,
-            &proj_bound,
-            names,
-            &having_bound,
-            &order_bound,
-            groups,
+            &plan.base,
+            &plan.schema,
+            &plan.join_product,
+            &plan.residual,
+            &bindings,
+            &mut stats,
+        )?;
+        Ok(AggPartial {
+            groups: merged.into_iter().collect(),
             stats,
-        )
+        })
+    }
+
+    /// The gather half of a sharded aggregate: merges partials from
+    /// [`ExecContext::execute_select_partial`] group-by-group through
+    /// the accumulator merge protocol, then finalizes. Statement
+    /// counters are summed; `summary_path` survives only when *every*
+    /// partial was answered from a summary.
+    pub fn finalize_select_partials(
+        &self,
+        stmt: &SelectStmt,
+        partials: Vec<AggPartial>,
+    ) -> Result<ResultSet> {
+        let plan = self.plan_select(stmt)?;
+        if !plan.aggregate_mode {
+            return Err(EngineError::Unsupported(
+                "partial execution requires an aggregate SELECT".into(),
+            ));
+        }
+        let bindings = self.bind_aggregate(stmt, &plan.schema)?;
+        let mut stats = ExecStats::default();
+        let mut all_summary = !partials.is_empty();
+        let merge_start = Instant::now();
+        let mut merged: GroupMap = HashMap::new();
+        for partial in partials {
+            let s = &partial.stats;
+            stats.rows_scanned += s.rows_scanned;
+            stats.blocks_scanned += s.blocks_scanned;
+            stats.block_path |= s.block_path;
+            stats.summary_hits += s.summary_hits;
+            stats.summary_misses += s.summary_misses;
+            stats.summary_stale_rebuilds += s.summary_stale_rebuilds;
+            stats.summary_rebuild_rows += s.summary_rebuild_rows;
+            stats.plan_nanos += s.plan_nanos;
+            stats.summary_nanos += s.summary_nanos;
+            stats.scan_nanos += s.scan_nanos;
+            stats.accumulate_nanos += s.accumulate_nanos;
+            stats.merge_nanos += s.merge_nanos;
+            all_summary &= s.summary_path;
+            for (key, accums) in partial.groups {
+                match merged.get_mut(&key) {
+                    None => {
+                        merged.insert(key, accums);
+                    }
+                    Some(existing) => {
+                        for (e, a) in existing.iter_mut().zip(accums) {
+                            e.merge(a)?;
+                        }
+                    }
+                }
+            }
+        }
+        stats.summary_path = all_summary;
+        stats.merge_nanos += merge_start.elapsed().as_nanos() as u64;
+        finalize_merged(stmt, &bindings, merged, stats)
     }
 
     /// Attempts to answer an aggregate query from a materialized Γ
     /// summary on `table`. A structurally matching stale summary is
-    /// rebuilt on the spot (the stale → fresh edge); returns the
-    /// finalized per-group aggregate values on a hit, `None` to fall
-    /// back to the scan paths.
+    /// rebuilt on the spot (the stale → fresh edge); returns per-group
+    /// accumulator states seeded from Γ on a hit (merge-compatible
+    /// with scan partials), `None` to fall back to the scan paths.
     fn try_summary_answer(
         &self,
         table: &str,
@@ -959,7 +1049,7 @@ impl ExecContext<'_> {
         group_bound: &[BoundExpr],
         agg_calls: &[AggCall],
         stats: &mut ExecStats,
-    ) -> Result<Option<GroupRows>> {
+    ) -> Result<Option<GroupMap>> {
         let candidates = self.summaries.for_table(table);
         if candidates.is_empty() || agg_calls.is_empty() {
             return Ok(None);
@@ -1000,7 +1090,7 @@ impl ExecContext<'_> {
             if !snap.fresh || !null_gate(entry.def(), &recipes, snap.null_rows_skipped) {
                 continue;
             }
-            let groups = summary_groups(&snap, &recipes)?;
+            let groups = summary_accum_groups(&snap, &recipes, agg_calls)?;
             stats.summary_path = true;
             stats.summary_hits += 1;
             return Ok(Some(groups));
@@ -1249,61 +1339,68 @@ fn null_gate(def: &SummaryDef, recipes: &[SummaryRecipe], skipped: u64) -> bool 
     })
 }
 
-/// Evaluates every recipe against each maintained group state.
-fn summary_groups(snap: &SummarySnapshot, recipes: &[SummaryRecipe]) -> Result<GroupRows> {
-    let answer =
-        |g: &Nlq| -> Result<Vec<Value>> { recipes.iter().map(|r| summary_value(g, r)).collect() };
+/// Evaluates every recipe against each maintained group state,
+/// producing accumulator states rather than finalized values: a
+/// summary answer is just another partial, so a sharded gather can
+/// merge a shard's summary hit with another shard's scan through the
+/// same [`AggAccum::merge`] protocol. Finalizing these states yields
+/// exactly the values a direct summary answer used to produce.
+fn summary_accum_groups(
+    snap: &SummarySnapshot,
+    recipes: &[SummaryRecipe],
+    agg_calls: &[AggCall],
+) -> Result<GroupMap> {
+    let answer = |g: &Nlq| -> Result<Vec<AggAccum>> {
+        recipes
+            .iter()
+            .zip(agg_calls)
+            .map(|(r, c)| summary_accum(g, r, c))
+            .collect()
+    };
     Ok(match &snap.data {
-        SummaryData::Global(g) => vec![(GroupKey(Vec::new()), answer(g)?)],
+        SummaryData::Global(g) => {
+            let mut m = GroupMap::new();
+            m.insert(GroupKey(Vec::new()), answer(g)?);
+            m
+        }
         SummaryData::Grouped(groups) => groups
             .iter()
             .map(|(k, g)| Ok((GroupKey(vec![k.clone()]), answer(g)?)))
-            .collect::<Result<Vec<_>>>()?,
+            .collect::<Result<GroupMap>>()?,
     })
 }
 
-/// One aggregate value from one Γ state, matching the executor's
-/// accumulator finalization (an empty state finalizes exactly like a
-/// zero-row scan).
-fn summary_value(g: &Nlq, recipe: &SummaryRecipe) -> Result<Value> {
+/// One accumulator state from one Γ state. The variant mirrors what
+/// the scan path builds for the same call (so cross-engine merges
+/// line up), and an empty Γ (`n = 0`) seeds the same neutral state as
+/// [`AggAccum::init`] — finalizing it matches a zero-row scan.
+fn summary_accum(g: &Nlq, recipe: &SummaryRecipe, call: &AggCall) -> Result<AggAccum> {
     let n = g.n();
     Ok(match recipe {
-        SummaryRecipe::Nlq { dims, shape } => {
-            if n == 0.0 {
-                Value::Null
-            } else {
-                Value::Str(pack_nlq(&project_nlq(g, dims, *shape)?))
-            }
-        }
-        SummaryRecipe::Count => Value::Int(n as i64),
-        SummaryRecipe::Sum { dim } => {
-            if n == 0.0 {
-                Value::Null
-            } else {
-                Value::Float(g.l()[*dim])
-            }
-        }
-        SummaryRecipe::Avg { dim } => {
-            if n == 0.0 {
-                Value::Null
-            } else {
-                Value::Float(g.l()[*dim] / n)
-            }
-        }
-        SummaryRecipe::Min { dim } => {
-            if n == 0.0 {
-                Value::Null
-            } else {
-                Value::Float(g.min()[*dim])
-            }
-        }
-        SummaryRecipe::Max { dim } => {
-            if n == 0.0 {
-                Value::Null
-            } else {
-                Value::Float(g.max()[*dim])
-            }
-        }
+        SummaryRecipe::Nlq { dims, shape } => AggAccum::Udf {
+            state: nlq_udf::seeded_nlq_state(&project_nlq(g, dims, *shape)?),
+        },
+        SummaryRecipe::Count => match call.kind {
+            AggKind::CountStar => AggAccum::CountStar { n: n as i64 },
+            _ => AggAccum::Count { n: n as i64 },
+        },
+        // Summarized columns are float, so the integer-sum rule never
+        // applies; an empty state keeps `int_only` neutral for merges.
+        SummaryRecipe::Sum { dim } => AggAccum::Sum {
+            acc: g.l()[*dim],
+            any: n > 0.0,
+            int_only: n == 0.0,
+        },
+        SummaryRecipe::Avg { dim } => AggAccum::Avg {
+            sum: g.l()[*dim],
+            n: n as i64,
+        },
+        SummaryRecipe::Min { dim } => AggAccum::Min {
+            best: (n > 0.0).then(|| Value::Float(g.min()[*dim])),
+        },
+        SummaryRecipe::Max { dim } => AggAccum::Max {
+            best: (n > 0.0).then(|| Value::Float(g.max()[*dim])),
+        },
         SummaryRecipe::Stat { kind, a, b } => {
             let (l, q) = (g.l(), g.q_full());
             let (sb, sbb, sab) = match b {
@@ -1319,7 +1416,6 @@ fn summary_value(g: &Nlq, recipe: &SummaryRecipe) -> Result<Value> {
                 sbb,
                 sab,
             }
-            .finalize()?
         }
     })
 }
@@ -1888,7 +1984,7 @@ fn projection_name(p: &crate::ast::Projection, idx: usize) -> String {
 /// Materializes a result set into a table, inferring column types from
 /// the first non-NULL value in each column (all-NULL columns become
 /// FLOAT).
-pub(crate) fn result_to_table(rs: &ResultSet, partitions: usize) -> Result<Table> {
+pub fn result_to_table(rs: &ResultSet, partitions: usize) -> Result<Table> {
     let mut types = vec![None; rs.columns.len()];
     for row in &rs.rows {
         for (c, v) in row.iter().enumerate() {
@@ -1925,6 +2021,69 @@ struct GroupKey(Vec<Value>);
 
 /// Finalized per-group aggregate values, ready for phase 4.
 type GroupRows = Vec<(GroupKey, Vec<Value>)>;
+
+/// Per-group accumulator states during phases 1–3.
+type GroupMap = HashMap<GroupKey, Vec<AggAccum>>;
+
+/// Everything an aggregate SELECT evaluates, bound once per engine:
+/// GROUP BY keys, projections, HAVING, ORDER BY, and the aggregate
+/// calls they collectively contain.
+struct AggBindings {
+    group_bound: Vec<BoundExpr>,
+    agg_calls: Vec<AggCall>,
+    proj_bound: Vec<BoundExpr>,
+    names: Vec<String>,
+    having_bound: Option<BoundExpr>,
+    order_bound: Vec<(OrderEval, bool)>,
+}
+
+/// A merge-ready aggregate partial: the per-group accumulator states
+/// one engine produced by running phases 1–3 of an aggregate SELECT
+/// over its share of the data (or its local Γ summary). Opaque outside
+/// the engine — a sharded gather collects one per shard and feeds them
+/// to [`crate::Db::finalize_select_partials`].
+pub struct AggPartial {
+    groups: Vec<(GroupKey, Vec<AggAccum>)>,
+    /// Counters for the engine-local portion of the statement. A
+    /// summary-answered partial keeps `rows_scanned` at 0 (plus any
+    /// stale-rebuild rows): the whole point of shard-local Γ.
+    pub stats: ExecStats,
+}
+
+/// Inserts the zero-row global group if needed, finalizes every
+/// accumulator (phase 4), and runs the shared
+/// projection/HAVING/ORDER BY tail.
+fn finalize_merged(
+    stmt: &SelectStmt,
+    bindings: &AggBindings,
+    mut merged: GroupMap,
+    stats: ExecStats,
+) -> Result<ResultSet> {
+    // A global aggregate over zero rows still yields one row.
+    if merged.is_empty() && stmt.group_by.is_empty() {
+        merged.insert(
+            GroupKey(Vec::new()),
+            bindings.agg_calls.iter().map(AggAccum::init).collect(),
+        );
+    }
+    let mut groups = Vec::with_capacity(merged.len());
+    for (key, accums) in merged {
+        let agg_values: Vec<Value> = accums
+            .into_iter()
+            .map(AggAccum::finalize)
+            .collect::<Result<_>>()?;
+        groups.push((key, agg_values));
+    }
+    finalize_groups(
+        stmt,
+        &bindings.proj_bound,
+        bindings.names.clone(),
+        &bindings.having_bound,
+        &bindings.order_bound,
+        groups,
+        stats,
+    )
+}
 
 impl PartialEq for GroupKey {
     fn eq(&self, other: &Self) -> bool {

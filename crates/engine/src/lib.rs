@@ -42,9 +42,13 @@ mod predicate;
 pub mod sqlgen;
 mod token;
 
-pub use ast::{Expr, SelectStmt, Statement};
-pub use db::{Db, ExecOptions, ExecStats, NlqMethod, ResultSet};
+pub use ast::{Expr, OrderKey, Projection, SelectStmt, Statement, TableRef};
+pub use db::{
+    explain_analyze_footer, phase_spans, Db, ExecOptions, ExecStats, NlqMethod, PlanCacheStats,
+    ResultSet, ShardMetricsSnapshot, SqlEngine,
+};
 pub use error::EngineError;
+pub use exec::{result_to_table, AggPartial};
 pub use parser::parse;
 
 /// Convenience result alias for engine operations.

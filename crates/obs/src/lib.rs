@@ -43,17 +43,25 @@ pub enum Phase {
     Encode,
     /// Relaying encoded frames to the client socket.
     Stream,
+    /// Fanning a statement out to the shards of a sharded engine
+    /// (covers each shard's local execution of its partial).
+    Scatter,
+    /// Collecting shard results and merging Γ/aggregate partials (or
+    /// concatenating row streams) into the final result.
+    Gather,
     /// Wall time not attributed to any other phase.
     Other,
 }
 
 /// Every phase, in pipeline order (the render order).
-pub const PHASES: [Phase; 8] = [
+pub const PHASES: [Phase; 10] = [
     Phase::Parse,
     Phase::Plan,
     Phase::SummaryLookup,
+    Phase::Scatter,
     Phase::Scan,
     Phase::Finalize,
+    Phase::Gather,
     Phase::Encode,
     Phase::Stream,
     Phase::Other,
@@ -70,6 +78,8 @@ impl Phase {
             Phase::Finalize => "finalize",
             Phase::Encode => "encode",
             Phase::Stream => "stream",
+            Phase::Scatter => "scatter",
+            Phase::Gather => "gather",
             Phase::Other => "other",
         }
     }
@@ -85,6 +95,8 @@ impl Phase {
             Phase::Encode => 5,
             Phase::Stream => 6,
             Phase::Other => 7,
+            Phase::Scatter => 8,
+            Phase::Gather => 9,
         }
     }
 

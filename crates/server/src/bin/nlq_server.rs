@@ -1,7 +1,7 @@
 //! `nlq-server`: serve the SQL + scoring engine over TCP.
 //!
 //! ```text
-//! nlq-server [--addr HOST:PORT] [--workers N] [--max-connections N]
+//! nlq-server [--addr HOST:PORT] [--workers N] [--shards N] [--max-connections N]
 //!            [--queue N] [--timeout-ms N] [--max-result-rows N]
 //!            [--max-result-bytes N] [--chunk-bytes N]
 //!            [--drain-grace-ms N] [--slow-query-ms N] [--trace-ring N]
@@ -16,11 +16,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use nlq_engine::Db;
+use nlq_engine::{Db, SqlEngine};
 use nlq_server::{serve, ServerConfig};
+use nlq_shard::ShardedDb;
 
-fn parse_args() -> Result<ServerConfig, String> {
+fn parse_args() -> Result<(ServerConfig, usize), String> {
     let mut config = ServerConfig::default();
+    let mut shards = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut take = |what: &str| {
@@ -32,6 +34,7 @@ fn parse_args() -> Result<ServerConfig, String> {
             "--workers" => {
                 config.workers = take("count")?.parse().map_err(|e| format!("{flag}: {e}"))?
             }
+            "--shards" => shards = take("count")?.parse().map_err(|e| format!("{flag}: {e}"))?,
             "--max-connections" => {
                 config.max_connections =
                     take("count")?.parse().map_err(|e| format!("{flag}: {e}"))?
@@ -77,20 +80,21 @@ fn parse_args() -> Result<ServerConfig, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: nlq-server [--addr HOST:PORT] [--workers N] [--max-connections N] \
-                     [--queue N] [--timeout-ms N] [--max-result-rows N] [--max-result-bytes N] \
-                     [--chunk-bytes N] [--drain-grace-ms N] [--slow-query-ms N] [--trace-ring N]"
+                    "usage: nlq-server [--addr HOST:PORT] [--workers N] [--shards N] \
+                     [--max-connections N] [--queue N] [--timeout-ms N] [--max-result-rows N] \
+                     [--max-result-bytes N] [--chunk-bytes N] [--drain-grace-ms N] \
+                     [--slow-query-ms N] [--trace-ring N]"
                         .into(),
                 )
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(config)
+    Ok((config, shards))
 }
 
 fn main() -> ExitCode {
-    let config = match parse_args() {
+    let (config, shards) = match parse_args() {
         Ok(c) => c,
         Err(msg) => {
             eprintln!("{msg}");
@@ -98,7 +102,14 @@ fn main() -> ExitCode {
         }
     };
     let workers = config.workers;
-    let db = Arc::new(Db::new(workers));
+    // With --shards S, statements scatter over S independent engine
+    // shards (each with its own slice of the scan workers); otherwise
+    // a single Db serves every statement.
+    let db: Arc<dyn SqlEngine> = if shards > 1 {
+        Arc::new(ShardedDb::new(shards, (workers / shards).max(1)))
+    } else {
+        Arc::new(Db::new(workers))
+    };
     let mut handle = match serve(db, config) {
         Ok(h) => h,
         Err(e) => {

@@ -429,6 +429,134 @@ impl Default for Metrics {
     }
 }
 
+/// Renders the engine-side gauges — shard count, per-shard counters,
+/// and plan-cache state — as `(name, value)` METRICS rows. A plain
+/// single-`Db` engine reports `shards = 1` with no per-shard rows and
+/// no plan cache.
+pub fn render_engine_rows(
+    shard_count: usize,
+    shards: &[nlq_engine::ShardMetricsSnapshot],
+    plan_cache: Option<nlq_engine::PlanCacheStats>,
+) -> Vec<Vec<Value>> {
+    let mut rows = vec![vec![
+        Value::Str("shards".into()),
+        Value::Int(shard_count as i64),
+    ]];
+    for s in shards {
+        let i = s.shard;
+        rows.push(vec![
+            Value::Str(format!("shard.{i}.queries")),
+            Value::Int(s.queries as i64),
+        ]);
+        rows.push(vec![
+            Value::Str(format!("shard.{i}.rows_scanned")),
+            Value::Int(s.rows_scanned as i64),
+        ]);
+        rows.push(vec![
+            Value::Str(format!("shard.{i}.queue_depth")),
+            Value::Int(s.queue_depth as i64),
+        ]);
+        rows.push(vec![
+            Value::Str(format!("shard.{i}.busy_us")),
+            Value::Int((s.busy_nanos / 1_000) as i64),
+        ]);
+    }
+    if let Some(c) = plan_cache {
+        rows.push(vec![
+            Value::Str("plan_cache.hits".into()),
+            Value::Int(c.hits as i64),
+        ]);
+        rows.push(vec![
+            Value::Str("plan_cache.misses".into()),
+            Value::Int(c.misses as i64),
+        ]);
+        rows.push(vec![
+            Value::Str("plan_cache.entries".into()),
+            Value::Int(c.entries as i64),
+        ]);
+    }
+    rows
+}
+
+/// Renders the engine-side gauges as Prometheus text exposition
+/// families (appended after the server families by the caller).
+pub fn render_engine_prometheus(
+    shard_count: usize,
+    shards: &[nlq_engine::ShardMetricsSnapshot],
+    plan_cache: Option<nlq_engine::PlanCacheStats>,
+) -> String {
+    let mut p = PromText::new();
+    p.family("nlq_shards", "gauge", "Number of engine shards");
+    p.sample("nlq_shards", &[], shard_count as f64);
+    if !shards.is_empty() {
+        p.family(
+            "nlq_shard_queries_total",
+            "counter",
+            "Statements executed, by shard",
+        );
+        for s in shards {
+            let label = s.shard.to_string();
+            p.sample(
+                "nlq_shard_queries_total",
+                &[("shard", &label)],
+                s.queries as f64,
+            );
+        }
+        p.family(
+            "nlq_shard_rows_scanned_total",
+            "counter",
+            "Base-table rows scanned, by shard",
+        );
+        for s in shards {
+            let label = s.shard.to_string();
+            p.sample(
+                "nlq_shard_rows_scanned_total",
+                &[("shard", &label)],
+                s.rows_scanned as f64,
+            );
+        }
+        p.family(
+            "nlq_shard_queue_depth",
+            "gauge",
+            "Jobs waiting on the shard's executor, by shard",
+        );
+        for s in shards {
+            let label = s.shard.to_string();
+            p.sample(
+                "nlq_shard_queue_depth",
+                &[("shard", &label)],
+                s.queue_depth as f64,
+            );
+        }
+        p.family(
+            "nlq_shard_busy_seconds_total",
+            "counter",
+            "Executor-thread busy time, by shard",
+        );
+        for s in shards {
+            let label = s.shard.to_string();
+            p.sample(
+                "nlq_shard_busy_seconds_total",
+                &[("shard", &label)],
+                s.busy_nanos as f64 / 1e9,
+            );
+        }
+    }
+    if let Some(c) = plan_cache {
+        p.family("nlq_plan_cache_hits_total", "counter", "Plan-cache hits");
+        p.sample("nlq_plan_cache_hits_total", &[], c.hits as f64);
+        p.family(
+            "nlq_plan_cache_misses_total",
+            "counter",
+            "Plan-cache misses",
+        );
+        p.sample("nlq_plan_cache_misses_total", &[], c.misses as f64);
+        p.family("nlq_plan_cache_entries", "gauge", "Plans currently cached");
+        p.sample("nlq_plan_cache_entries", &[], c.entries as f64);
+    }
+    p.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,7 +57,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use nlq_engine::{Db, EngineError, ExecOptions, ExecStats};
+use nlq_engine::{EngineError, ExecOptions, ExecStats, SqlEngine};
 use nlq_obs::{Outcome, Phase, Span, Trace, TraceRecord, TraceRing};
 use nlq_storage::Value;
 
@@ -185,7 +185,7 @@ struct LiveSession {
 }
 
 struct Shared {
-    db: Arc<Db>,
+    db: Arc<dyn SqlEngine>,
     pool: WorkerPool,
     metrics: Arc<Metrics>,
     config: ServerConfig,
@@ -213,7 +213,7 @@ pub struct ServerHandle {
 
 /// Starts a server for `db` per `config`, returning once the listener
 /// is bound.
-pub fn serve(db: Arc<Db>, config: ServerConfig) -> io::Result<ServerHandle> {
+pub fn serve(db: Arc<dyn SqlEngine>, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
@@ -552,20 +552,31 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
         Request::SetOption { name, value } => set_option(session, &name, &value),
         Request::Status => status(session),
         Request::Metrics => {
-            let rows = shared
+            let mut rows = shared
                 .metrics
                 .render(shared.pool.queue_depth(), shared.pool.workers_busy());
+            rows.extend(crate::metrics::render_engine_rows(
+                shared.db.shard_count(),
+                &shared.db.shard_metrics(),
+                shared.db.plan_cache_stats(),
+            ));
             Response::Result {
                 columns: vec!["metric".into(), "value".into()],
                 rows,
                 stats: WireStats::default(),
             }
         }
-        Request::MetricsProm => Response::MetricsText {
-            text: shared
+        Request::MetricsProm => {
+            let mut text = shared
                 .metrics
-                .render_prometheus(shared.pool.queue_depth(), shared.pool.workers_busy()),
-        },
+                .render_prometheus(shared.pool.queue_depth(), shared.pool.workers_busy());
+            text.push_str(&crate::metrics::render_engine_prometheus(
+                shared.db.shard_count(),
+                &shared.db.shard_metrics(),
+                shared.db.plan_cache_stats(),
+            ));
+            Response::MetricsText { text }
+        }
         Request::Trace {
             slow_only,
             after_id,
@@ -828,7 +839,7 @@ fn stream_job(
     sql: String,
     seq: u64,
     opts: ExecOptions,
-    db: Arc<Db>,
+    db: Arc<dyn SqlEngine>,
     config: ServerConfig,
     tx: mpsc::SyncSender<StreamMsg>,
 ) -> impl FnOnce() + Send + 'static {

@@ -12,7 +12,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use nlq_client::{Client, ClientError, Outcome, Phase};
-use nlq_engine::Db;
+use nlq_engine::{Db, SqlEngine};
 use nlq_server::wire::{ErrorCode, MAX_FRAME};
 use nlq_server::{serve, Metrics, ServerConfig, ServerHandle};
 use nlq_storage::Value;
@@ -36,7 +36,8 @@ impl TestServer {
             addr: "127.0.0.1:0".into(),
             ..config
         };
-        let handle = serve(Arc::clone(&db), config).expect("bind test server");
+        let handle =
+            serve(Arc::clone(&db) as Arc<dyn SqlEngine>, config).expect("bind test server");
         TestServer { db, handle }
     }
 

@@ -1,0 +1,109 @@
+//! Per-shard executor: one long-lived worker thread per shard.
+//!
+//! Each shard owns a dedicated thread (pinned to the shard's core
+//! slice) that drains a FIFO job queue. Statements scattered to a
+//! shard run *on that shard's thread*, never on the serving layer's
+//! connection pool — so a gather can block on every shard without any
+//! risk of pool-exhaustion deadlock, and shard-local parallel scans
+//! (scoped threads spawned by the `Db` inside the job) inherit the
+//! executor's CPU affinity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::affinity;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A single shard's worker thread plus its job queue.
+pub struct ShardExecutor {
+    tx: Option<mpsc::Sender<Job>>,
+    queue_depth: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ShardExecutor {
+    /// Spawns the worker thread for `shard`, pinned to `cores`.
+    pub fn new(shard: usize, cores: Vec<usize>) -> ShardExecutor {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let handle = std::thread::Builder::new()
+            .name(format!("shard-{shard}"))
+            .spawn(move || {
+                affinity::pin_current_thread(&cores);
+                for job in rx {
+                    job();
+                }
+            })
+            .expect("spawn shard worker");
+        ShardExecutor {
+            tx: Some(tx),
+            queue_depth: Arc::new(AtomicU64::new(0)),
+            handle: Some(handle),
+        }
+    }
+
+    /// Jobs submitted but not yet started (the scatter backlog).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues `job` and returns a receiver for its result together
+    /// with the job's on-thread wall time in nanoseconds.
+    pub fn submit<R, F>(&self, job: F) -> mpsc::Receiver<(R, u64)>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let (done_tx, done_rx) = mpsc::sync_channel(1);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let depth = Arc::clone(&self.queue_depth);
+        let wrapped: Job = Box::new(move || {
+            depth.fetch_sub(1, Ordering::Relaxed);
+            let started = Instant::now();
+            let out = job();
+            // The gather side may have given up (error on another
+            // shard); a closed receiver is not an error here.
+            let _ = done_tx.send((out, started.elapsed().as_nanos() as u64));
+        });
+        self.tx
+            .as_ref()
+            .expect("executor alive")
+            .send(wrapped)
+            .expect("shard worker alive");
+        done_rx
+    }
+}
+
+impl Drop for ShardExecutor {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker's loop.
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_jobs_in_submission_order() {
+        let ex = ShardExecutor::new(0, Vec::new());
+        let a = ex.submit(|| 1);
+        let b = ex.submit(|| 2);
+        assert_eq!(a.recv().unwrap().0, 1);
+        assert_eq!(b.recv().unwrap().0, 2);
+    }
+
+    #[test]
+    fn queue_depth_drains() {
+        let ex = ShardExecutor::new(0, Vec::new());
+        let rx = ex.submit(|| std::thread::sleep(std::time::Duration::from_millis(5)));
+        rx.recv().unwrap();
+        assert_eq!(ex.queue_depth(), 0);
+    }
+}

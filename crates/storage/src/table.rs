@@ -15,11 +15,11 @@ const F64_EXACT_INT: i64 = 1 << 53;
 /// evenly among threads". Each partition is scanned independently by
 /// one worker and stores its rows in two regions:
 ///
-/// - a **sealed column-major [`Segment`]** — per-column value vectors
+/// - a **sealed column-major `Segment`** — per-column value vectors
 ///   plus validity bitmaps, the zero-decode source for
 ///   [`Table::scan_partition_blocks`]; and
 /// - a **row-paged tail** — the INSERT/UPDATE write path. Every
-///   [`SEGMENT_ROWS`] rows the tail is decoded once and sealed into
+///   `SEGMENT_ROWS` rows the tail is decoded once and sealed into
 ///   the segment, so steady-state scans are columnar and only the
 ///   freshest sliver of a partition pays per-row decoding.
 #[derive(Debug, Clone)]
@@ -115,7 +115,7 @@ impl Table {
 
     /// Validates and appends one row, assigning it round-robin to the
     /// next partition. The row lands in the partition's paged tail;
-    /// every [`SEGMENT_ROWS`] tail rows seal into the columnar
+    /// every `SEGMENT_ROWS` tail rows seal into the columnar
     /// segment.
     pub fn insert(&mut self, row: Row) -> Result<()> {
         self.schema.validate(&row)?;

@@ -227,6 +227,40 @@ struct NlqState {
     shape_bound: bool,
 }
 
+/// Builds a list-style `nlq` aggregate state pre-seeded from an
+/// existing Γ statistic, as if the state had already aggregated every
+/// row that Γ summarizes.
+///
+/// The engine uses this to turn a materialized-summary hit into a
+/// *mergeable* partial: a shard answers from its local Γ (zero rows
+/// scanned) and the gather step still combines shard partials through
+/// the ordinary [`AggregateState::merge`] protocol. An empty Γ
+/// (`n = 0`) seeds an empty state, which merges as a no-op and
+/// finalizes to SQL NULL — the same convention as aggregating zero
+/// rows.
+pub fn seeded_nlq_state(nlq: &Nlq) -> Box<dyn AggregateState> {
+    let mut storage = NlqStorage::new(nlq.shape());
+    let d = nlq.d();
+    if d > 0 && nlq.n() > 0.0 {
+        storage.d = d;
+        storage.n = nlq.n();
+        let q = nlq.q_raw();
+        for a in 0..d {
+            storage.l[a] = nlq.l()[a];
+            storage.min[a] = nlq.min()[a];
+            storage.max[a] = nlq.max()[a];
+            for b in 0..d {
+                storage.q[a][b] = q[(a, b)];
+            }
+        }
+    }
+    Box::new(NlqState {
+        storage,
+        style: ParamStyle::List,
+        shape_bound: true,
+    })
+}
+
 impl NlqState {
     fn udf_name(&self) -> &'static str {
         match self.style {
