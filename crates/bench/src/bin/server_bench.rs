@@ -9,7 +9,12 @@
 //! scatter/gather scoring (`sharded_scoring`) and repeated-text
 //! statement throughput through the prepared-plan cache
 //! (`plan_cache`), and an in-process scaling run times the same
-//! block-scan Γ aggregate at 1 shard vs S shards.
+//! block-scan Γ aggregate at 1 shard vs S shards. Feature-serving
+//! workloads cover streaming ingest (`ingest`, per-envelope
+//! header→ack latency), keyed batch scoring through the PK index
+//! (`batch_score`, Zipf-skewed keys), and reads under concurrent
+//! ingest (`read_while_ingest`, asserting the summary and block fast
+//! paths hold); every workload reports client-observed p50/p99.
 //! Emits `BENCH_server.json`.
 //!
 //! Usage:
@@ -23,6 +28,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -32,6 +38,7 @@ use nlq_engine::Db;
 use nlq_linalg::Vector;
 use nlq_server::{serve, ServerConfig};
 use nlq_shard::ShardedDb;
+use nlq_storage::Value;
 
 struct Measurement {
     workload: &'static str,
@@ -39,9 +46,60 @@ struct Measurement {
     queries: usize,
     secs: f64,
     qps: f64,
+    /// Client-observed per-request latency percentiles, microseconds.
+    p50_micros: f64,
+    p99_micros: f64,
+    /// Workload-specific scalars (rows/sec for ingest, keys/request for
+    /// batch scoring) rendered as extra JSON fields.
+    extra: Vec<(&'static str, f64)>,
     /// Fraction of total statement wall time spent in each phase,
     /// aggregated from the server's trace ring for this workload.
     phase_shares: Vec<(String, f64)>,
+}
+
+/// Deterministic Zipf-style key sampler over `1..=n` (exponent ~1.1):
+/// cumulative harmonic weights + xorshift64* inverse-CDF lookup, so the
+/// batch-scoring workload hammers a skewed hot set the way a feature
+/// store serving production traffic does.
+struct Zipf {
+    cum: Vec<f64>,
+    state: u64,
+}
+
+impl Zipf {
+    fn new(n: usize, seed: u64) -> Zipf {
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(1.1);
+            cum.push(total);
+        }
+        Zipf {
+            cum,
+            state: seed.max(1),
+        }
+    }
+
+    fn sample(&mut self) -> i64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+        let target = u * self.cum.last().copied().unwrap_or(1.0);
+        let idx = self.cum.partition_point(|&c| c < target);
+        (idx.min(self.cum.len() - 1) + 1) as i64
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
 }
 
 fn main() {
@@ -190,6 +248,41 @@ fn main() {
         m.phase_shares = phase_shares(&records);
         results.push(m);
     }
+
+    // ---- Feature-serving workloads: streaming ingest, batch scoring
+    // over the PK index (Zipf keys), and reads under concurrent ingest.
+    let per_client_ingest = (per_client / 4).max(2);
+    let keys_per_request = if smoke { 64 } else { 256 };
+    eprintln!("measuring ingest ...");
+    results.push(measure_ingest(
+        addr,
+        "X",
+        d,
+        clients,
+        per_client_ingest,
+        100_000_000,
+    ));
+    eprintln!("measuring batch_score ...");
+    results.push(measure_batch_score(
+        addr,
+        "X",
+        "BETA",
+        n,
+        clients,
+        per_client,
+        keys_per_request,
+    ));
+    eprintln!("measuring read_while_ingest ...");
+    results.push(measure_read_while_ingest(
+        addr,
+        "X",
+        d,
+        &summary_sql,
+        &filtered_sql,
+        clients,
+        per_client,
+        500_000_000,
+    ));
     handle.shutdown();
 
     // ---- Sharded server: scatter/gather scoring and the plan cache ----
@@ -276,24 +369,275 @@ fn measure(
             let sql = sql.to_owned();
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr).expect("client connect");
+                let mut lat = Vec::with_capacity(per_client);
                 for _ in 0..per_client {
+                    let t0 = Instant::now();
                     let rs = c.execute(&sql).expect("bench query");
+                    lat.push(t0.elapsed().as_secs_f64() * 1e6);
                     assert!(!rs.rows.is_empty());
                 }
+                lat
             })
         })
         .collect();
+    let mut lat = Vec::new();
     for t in threads {
-        t.join().expect("bench client");
+        lat.extend(t.join().expect("bench client"));
     }
     let secs = started.elapsed().as_secs_f64();
     let queries = clients * per_client;
+    lat.sort_by(f64::total_cmp);
     Measurement {
         workload,
         clients,
         queries,
         secs,
         qps: queries as f64 / secs,
+        p50_micros: percentile(&lat, 0.50),
+        p99_micros: percentile(&lat, 0.99),
+        extra: Vec::new(),
+        phase_shares: Vec::new(),
+    }
+}
+
+/// One synthetic feature row keyed by `key`: `d` floats derived from
+/// the key so repeated runs ingest identical bytes.
+fn feature_row(key: i64, d: usize) -> Vec<Value> {
+    let mut row = Vec::with_capacity(d + 1);
+    row.push(Value::Int(key));
+    for a in 1..=d {
+        row.push(Value::Float(((key * a as i64) % 997) as f64 * 0.125));
+    }
+    row
+}
+
+/// Streaming-ingest throughput: each client drives `per_client`
+/// envelopes of `chunks × rows_per_chunk` feature rows through the
+/// chunked INSERT grammar into the (summarized) points table, timing
+/// each header→ack round trip. Key ranges are disjoint per client so
+/// the PK index grows without collisions.
+fn measure_ingest(
+    addr: std::net::SocketAddr,
+    table: &'static str,
+    d: usize,
+    clients: usize,
+    per_client: usize,
+    key_base: i64,
+) -> Measurement {
+    let chunks = 4usize;
+    let rows_per_chunk = 128usize;
+    let columns: Vec<String> = std::iter::once("i".to_string())
+        .chain((1..=d).map(|a| format!("X{a}")))
+        .collect();
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|t| {
+            let columns = columns.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("ingest connect");
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                let mut key = key_base + t as i64 * 10_000_000;
+                let mut lat = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let t0 = Instant::now();
+                    let mut ing = c.begin_ingest(table, &cols).expect("begin ingest");
+                    for _ in 0..chunks {
+                        let rows: Vec<Vec<Value>> = (0..rows_per_chunk)
+                            .map(|_| {
+                                key += 1;
+                                feature_row(key, d)
+                            })
+                            .collect();
+                        ing.chunk(rows).expect("ingest chunk");
+                    }
+                    let acked = ing.finish().expect("ingest ack");
+                    lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                    assert_eq!(acked, (chunks * rows_per_chunk) as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat = Vec::new();
+    for t in threads {
+        lat.extend(t.join().expect("ingest client"));
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let envelopes = clients * per_client;
+    let rows = envelopes * chunks * rows_per_chunk;
+    lat.sort_by(f64::total_cmp);
+    Measurement {
+        workload: "ingest",
+        clients,
+        queries: envelopes,
+        secs,
+        qps: envelopes as f64 / secs,
+        p50_micros: percentile(&lat, 0.50),
+        p99_micros: percentile(&lat, 0.99),
+        extra: vec![
+            ("rows_per_envelope", (chunks * rows_per_chunk) as f64),
+            ("rows_per_sec", rows as f64 / secs),
+        ],
+        phase_shares: Vec::new(),
+    }
+}
+
+/// Batch-scoring latency: every request scores `keys_per_request`
+/// Zipf-distributed keys against the published coefficients in one
+/// round trip through the PK index (no table scan).
+fn measure_batch_score(
+    addr: std::net::SocketAddr,
+    table: &'static str,
+    model: &'static str,
+    n: usize,
+    clients: usize,
+    per_client: usize,
+    keys_per_request: usize,
+) -> Measurement {
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("score connect");
+                let mut zipf = Zipf::new(n, 0x9e37_79b9 ^ (t as u64 + 1));
+                let mut lat = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let keys: Vec<i64> = (0..keys_per_request).map(|_| zipf.sample()).collect();
+                    let t0 = Instant::now();
+                    let rs = c
+                        .batch_score(table, model, &keys, false)
+                        .expect("batch score");
+                    lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                    assert_eq!(rs.rows.len(), keys.len());
+                    // Point lookups, not a scan: the server may touch at
+                    // most one stored row per requested key.
+                    assert!(rs.stats.rows_scanned <= keys.len() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat = Vec::new();
+    for t in threads {
+        lat.extend(t.join().expect("score client"));
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let requests = clients * per_client;
+    lat.sort_by(f64::total_cmp);
+    Measurement {
+        workload: "batch_score",
+        clients,
+        queries: requests,
+        secs,
+        qps: requests as f64 / secs,
+        p50_micros: percentile(&lat, 0.50),
+        p99_micros: percentile(&lat, 0.99),
+        extra: vec![
+            ("keys_per_request", keys_per_request as f64),
+            ("keys_per_sec", (requests * keys_per_request) as f64 / secs),
+        ],
+        phase_shares: Vec::new(),
+    }
+}
+
+/// Mixed serving: one writer streams ingest envelopes into the table
+/// without pause while reader clients alternate the summary-answered Γ
+/// aggregate and the filtered block-scan scoring query. Every reader
+/// response is asserted to stay on its fast path — the Γ aggregate on
+/// the summary (folds keep it fresh mid-ingest), the scan on the
+/// vectorized block path — so concurrent ingest demonstrably never
+/// degrades reads to a row-interpreted or rebuild path.
+#[allow(clippy::too_many_arguments)]
+fn measure_read_while_ingest(
+    addr: std::net::SocketAddr,
+    table: &'static str,
+    d: usize,
+    summary_sql: &str,
+    filtered_sql: &str,
+    clients: usize,
+    per_client: usize,
+    key_base: i64,
+) -> Measurement {
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("writer connect");
+            let columns: Vec<String> = std::iter::once("i".to_string())
+                .chain((1..=d).map(|a| format!("X{a}")))
+                .collect();
+            let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+            let mut key = key_base;
+            let mut rows_sent = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let mut ing = c.begin_ingest(table, &cols).expect("begin ingest");
+                for _ in 0..2 {
+                    let rows: Vec<Vec<Value>> = (0..128)
+                        .map(|_| {
+                            key += 1;
+                            feature_row(key, d)
+                        })
+                        .collect();
+                    ing.chunk(rows).expect("writer chunk");
+                }
+                rows_sent += ing.finish().expect("writer ack");
+            }
+            rows_sent
+        })
+    };
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let summary_sql = summary_sql.to_owned();
+            let filtered_sql = filtered_sql.to_owned();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("reader connect");
+                let mut lat = Vec::with_capacity(per_client);
+                for q in 0..per_client {
+                    let on_summary = q % 2 == 0;
+                    let sql = if on_summary {
+                        &summary_sql
+                    } else {
+                        &filtered_sql
+                    };
+                    let t0 = Instant::now();
+                    let rs = c.execute(sql).expect("reader query");
+                    lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                    if on_summary {
+                        assert!(
+                            rs.stats.summary_path,
+                            "Γ aggregate fell off the summary path mid-ingest"
+                        );
+                    } else {
+                        assert!(
+                            rs.stats.block_path,
+                            "filtered scoring fell off the block path mid-ingest"
+                        );
+                    }
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat = Vec::new();
+    for t in threads {
+        lat.extend(t.join().expect("reader client"));
+    }
+    let secs = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let rows_ingested = writer.join().expect("writer");
+    assert!(rows_ingested > 0, "writer never committed an envelope");
+    let queries = clients * per_client;
+    lat.sort_by(f64::total_cmp);
+    Measurement {
+        workload: "read_while_ingest",
+        clients,
+        queries,
+        secs,
+        qps: queries as f64 / secs,
+        p50_micros: percentile(&lat, 0.50),
+        p99_micros: percentile(&lat, 0.99),
+        extra: vec![("rows_ingested_concurrently", rows_ingested as f64)],
         phase_shares: Vec::new(),
     }
 }
@@ -414,6 +758,11 @@ fn render_json(
         let _ = writeln!(s, "      \"queries\": {},", m.queries);
         let _ = writeln!(s, "      \"total_secs\": {:.9},", m.secs);
         let _ = writeln!(s, "      \"queries_per_sec\": {:.3},", m.qps);
+        let _ = writeln!(s, "      \"p50_micros\": {:.3},", m.p50_micros);
+        let _ = writeln!(s, "      \"p99_micros\": {:.3},", m.p99_micros);
+        for (name, value) in &m.extra {
+            let _ = writeln!(s, "      \"{name}\": {value:.3},");
+        }
         let _ = writeln!(s, "      \"phase_shares\": {{");
         for (j, (name, share)) in m.phase_shares.iter().enumerate() {
             let _ = writeln!(

@@ -5,21 +5,28 @@
 //!
 //! ```text
 //! server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N]
-//!              [--expect-slow] [--sharded N]
+//!              [--expect-slow] [--ingest] [--sharded N]
 //! ```
 //!
 //! `--expect-chunks N` asserts the large streamed query arrives in at
 //! least `N` chunk frames (pair it with the server's `--chunk-bytes`).
 //! `--expect-slow` asserts the slow-query ring is non-empty afterward
 //! (pair it with the server's `--slow-query-ms 0`).
+//! `--ingest` runs the feature-serving script instead (pair it with a
+//! low server `--refresh-ms`): stream 10k rows through the chunked
+//! INSERT grammar, wait for the refresh daemon to publish a model,
+//! batch-score 1k keys through the PK index, abort an envelope
+//! mid-stream, and check the serving counters down to Prometheus.
 //! `--sharded N` runs the scatter/gather script instead (pair it with
 //! the server's `--shards N`): a Γ-merged aggregate across shards, a
 //! cancelled sharded stream, a plan-cache hit surfaced by `EXPLAIN`,
 //! and per-shard metrics.
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use nlq_client::Client;
+use nlq_storage::Value;
 
 fn run(
     addr: &str,
@@ -394,11 +401,194 @@ fn run_sharded(addr: &str, skip_shutdown: bool, shards: usize) -> Result<(), Str
     Ok(())
 }
 
+/// Scripted feature-serving session (pair with the server's
+/// `--refresh-ms` set low): stream 10k rows through the chunked INSERT
+/// grammar, wait for the refresh daemon to publish a model from the
+/// folded summary, batch-score 1k keys in one round trip through the
+/// PK index, abort an envelope mid-stream, and check the serving
+/// counters all the way out to the Prometheus exposition.
+fn run_ingest(addr: &str, skip_shutdown: bool) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    c.ping().map_err(|e| format!("ping: {e}"))?;
+    println!("ingest session {} established", c.session_id());
+
+    c.execute("CREATE TABLE F (i INT, X1 FLOAT, X2 FLOAT, Y FLOAT)")
+        .map_err(|e| format!("create F: {e}"))?;
+    c.execute("CREATE SUMMARY sf ON F (X1, X2, Y) NO MINMAX")
+        .map_err(|e| format!("create summary: {e}"))?;
+
+    // Exactly linear, full-rank data: Y = 1 + 0.25·X1 − 0.5·X2, with X2
+    // decorrelated from X1 so the closed-form refit is well-posed and
+    // the published coefficients reproduce Y to float precision.
+    let row = |i: i64| {
+        let x1 = i as f64 * 0.5;
+        let x2 = ((i * 37) % 101) as f64 * 0.1;
+        vec![
+            Value::Int(i),
+            Value::Float(x1),
+            Value::Float(x2),
+            Value::Float(1.0 + 0.25 * x1 - 0.5 * x2),
+        ]
+    };
+
+    // 10k rows in 10 envelopes of 4 chunks × 250 rows.
+    let total_rows = 10_000i64;
+    let mut next = 1i64;
+    while next <= total_rows {
+        let mut ing = c
+            .begin_ingest("F", &["i", "X1", "X2", "Y"])
+            .map_err(|e| format!("begin ingest: {e}"))?;
+        for _ in 0..4 {
+            let rows: Vec<Vec<Value>> = (0..250)
+                .map(|_| {
+                    let r = row(next);
+                    next += 1;
+                    r
+                })
+                .collect();
+            ing.chunk(rows).map_err(|e| format!("ingest chunk: {e}"))?;
+        }
+        let acked = ing.finish().map_err(|e| format!("ingest ack: {e}"))?;
+        if acked != 1000 {
+            return Err(format!("envelope acked {acked} rows, want 1000"));
+        }
+    }
+    let rs = c
+        .execute("SELECT count(*) FROM F")
+        .map_err(|e| format!("count: {e}"))?;
+    let count = rs.value(0, 0).as_i64().unwrap_or(-1);
+    if count != total_rows {
+        return Err(format!(
+            "table holds {count} rows after ingest, want {total_rows}"
+        ));
+    }
+    println!("ingest ok ({total_rows} rows streamed and committed)");
+
+    // The refresh daemon watches the summary's version counter; after
+    // the folds above it must refit and publish `sf_beta` on its own.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let refreshes = loop {
+        let metrics = c.metrics().map_err(|e| format!("metrics: {e}"))?;
+        let n = metrics
+            .lookup("model_refreshes_total")
+            .and_then(|v| v.as_i64())
+            .ok_or("metrics missing model_refreshes_total")?;
+        if n >= 1 {
+            break n;
+        }
+        if Instant::now() >= deadline {
+            return Err("refresh counter never advanced (is --refresh-ms set?)".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    println!("refresh ok (daemon published {refreshes} model(s))");
+
+    // Batch-score 1k keys in one round trip. Keyed rows resolve through
+    // the PK index, so the server touches at most one row per key.
+    let keys: Vec<i64> = (1..=1000).collect();
+    let rs = c
+        .batch_score("F", "sf_beta", &keys, false)
+        .map_err(|e| format!("batch score: {e}"))?;
+    if rs.rows.len() != keys.len() {
+        return Err(format!(
+            "batch score returned {} rows, want 1000",
+            rs.rows.len()
+        ));
+    }
+    if rs.stats.rows_scanned > keys.len() as u64 {
+        return Err(format!(
+            "batch score scanned {} rows for 1000 keys — not point lookups",
+            rs.stats.rows_scanned
+        ));
+    }
+    for (k, r) in keys.iter().zip(&rs.rows) {
+        let want = {
+            let x1 = *k as f64 * 0.5;
+            let x2 = ((k * 37) % 101) as f64 * 0.1;
+            1.0 + 0.25 * x1 - 0.5 * x2
+        };
+        let got = r[1].as_f64().unwrap_or(f64::NAN);
+        if (got - want).abs() > 1e-6 {
+            return Err(format!("key {k} scored {got}, want {want}"));
+        }
+    }
+    let rs = c
+        .batch_score("F", "sf_beta", &[1, 2, 3], true)
+        .map_err(|e| format!("explain batch score: {e}"))?;
+    let plan: Vec<String> = rs
+        .rows
+        .iter()
+        .filter_map(|r| r.first().map(|v| v.to_string()))
+        .collect();
+    if !plan.iter().any(|l| l.contains("point lookup: pk index")) {
+        return Err(format!(
+            "batch-score EXPLAIN missing pk-index line: {plan:?}"
+        ));
+    }
+    println!("batch score ok (1000 keys, scores match the published model)");
+
+    // An envelope abandoned mid-stream must commit nothing.
+    let mut ing = c
+        .begin_ingest("F", &["i", "X1", "X2", "Y"])
+        .map_err(|e| format!("begin abort ingest: {e}"))?;
+    ing.chunk((20_001..20_101).map(row).collect())
+        .map_err(|e| format!("abort chunk: {e}"))?;
+    ing.abort().map_err(|e| format!("abort: {e}"))?;
+    let rs = c
+        .execute("SELECT count(*) FROM F")
+        .map_err(|e| format!("count after abort: {e}"))?;
+    let count = rs.value(0, 0).as_i64().unwrap_or(-1);
+    if count != total_rows {
+        return Err(format!(
+            "aborted envelope leaked rows: count {count}, want {total_rows}"
+        ));
+    }
+    println!("abort ok (mid-envelope abort committed nothing)");
+
+    // Serving counters, both over METRICS and the Prometheus scrape.
+    let metrics = c.metrics().map_err(|e| format!("metrics: {e}"))?;
+    for (key, floor) in [
+        ("ingest_rows_total", total_rows),
+        ("batch_score_keys_total", 1003),
+        ("model_refreshes_total", 1),
+    ] {
+        let v = metrics
+            .lookup(key)
+            .and_then(|v| v.as_i64())
+            .ok_or_else(|| format!("metrics missing {key}"))?;
+        if v < floor {
+            return Err(format!("{key} = {v}, want >= {floor}"));
+        }
+    }
+    let prom = c
+        .metrics_prometheus()
+        .map_err(|e| format!("metrics prometheus: {e}"))?;
+    nlq_client::validate_exposition(&prom)
+        .map_err(|e| format!("malformed Prometheus exposition: {e}\n{prom}"))?;
+    for needle in [
+        "nlq_ingest_rows_total",
+        "nlq_batch_score_keys_total",
+        "nlq_model_refreshes_total",
+    ] {
+        if !prom.contains(needle) {
+            return Err(format!("Prometheus output missing {needle}"));
+        }
+    }
+    println!("serving metrics ok (ingest/batch-score/refresh counters exported)");
+
+    if !skip_shutdown {
+        c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        println!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut addr = None;
     let mut skip_shutdown = false;
     let mut expect_chunks = 0u64;
     let mut expect_slow = false;
+    let mut ingest = false;
     let mut sharded = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -406,6 +596,7 @@ fn main() -> ExitCode {
             "--addr" => addr = args.next(),
             "--skip-shutdown" => skip_shutdown = true,
             "--expect-slow" => expect_slow = true,
+            "--ingest" => ingest = true,
             "--sharded" => {
                 sharded = match args.next().map(|v| v.parse()) {
                     Some(Ok(n)) => n,
@@ -433,11 +624,13 @@ fn main() -> ExitCode {
     let Some(addr) = addr else {
         eprintln!(
             "usage: server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N] \
-             [--expect-slow] [--sharded N]"
+             [--expect-slow] [--ingest] [--sharded N]"
         );
         return ExitCode::FAILURE;
     };
-    let outcome = if sharded > 0 {
+    let outcome = if ingest {
+        run_ingest(&addr, skip_shutdown)
+    } else if sharded > 0 {
         run_sharded(&addr, skip_shutdown, sharded)
     } else {
         run(&addr, skip_shutdown, expect_chunks, expect_slow)

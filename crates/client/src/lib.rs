@@ -309,6 +309,53 @@ impl Client {
         }
     }
 
+    /// Opens a streamed INSERT envelope into `table`. `columns` names
+    /// the frame columns (empty = all table columns in schema order);
+    /// unnamed table columns are filled with NULL.
+    ///
+    /// The envelope is pipelined: the header and every
+    /// [`Ingest::chunk`] go out without waiting for a reply, and the
+    /// server acknowledges exactly once, at [`Ingest::finish`] —
+    /// which is also where any validation error from the header or an
+    /// earlier chunk surfaces. Nothing is visible to readers until
+    /// `finish` commits the whole stream atomically; dropping or
+    /// [`Ingest::abort`]ing the handle commits nothing.
+    pub fn begin_ingest(&mut self, table: &str, columns: &[&str]) -> Result<Ingest<'_>> {
+        write_frame(
+            &mut self.writer,
+            &Request::InsertHeader {
+                table: table.to_owned(),
+                columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            }
+            .encode(),
+        )?;
+        Ok(Ingest {
+            client: self,
+            next_seq: 0,
+            rows_sent: 0,
+            finished: false,
+        })
+    }
+
+    /// Scores `keys` against `model` over `table`'s feature rows in
+    /// one round trip: one `(key, score)` row per key in request
+    /// order, NULL score for absent keys. With `explain`, returns the
+    /// plan instead of executing.
+    pub fn batch_score(
+        &mut self,
+        table: &str,
+        model: &str,
+        keys: &[i64],
+        explain: bool,
+    ) -> Result<RemoteResult> {
+        self.expect_result(&Request::BatchScore {
+            table: table.to_owned(),
+            model: model.to_owned(),
+            keys: keys.to_vec(),
+            explain,
+        })
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<()> {
         match self.round_trip(&Request::Ping)? {
@@ -323,6 +370,75 @@ impl Client {
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<()> {
         self.expect_ok(&Request::Shutdown)
+    }
+}
+
+/// An open streamed-INSERT envelope (see [`Client::begin_ingest`]).
+///
+/// Chunks are pipelined — no per-chunk acknowledgment — and the whole
+/// stream commits atomically at [`Ingest::finish`]. Dropping the
+/// handle without finishing sends an abort, so the server discards
+/// the buffered rows and the session stays at a clean request
+/// boundary.
+pub struct Ingest<'a> {
+    client: &'a mut Client,
+    next_seq: u32,
+    rows_sent: u64,
+    finished: bool,
+}
+
+impl Ingest<'_> {
+    /// Sends one chunk of rows, each with one value per header column.
+    /// Unacknowledged: a validation failure surfaces at
+    /// [`Ingest::finish`], not here.
+    pub fn chunk(&mut self, rows: Vec<Vec<Value>>) -> Result<()> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.rows_sent += rows.len() as u64;
+        write_frame(
+            &mut self.client.writer,
+            &Request::InsertChunk { seq, rows }.encode(),
+        )?;
+        Ok(())
+    }
+
+    /// Rows sent so far (not yet committed).
+    pub fn rows_sent(&self) -> u64 {
+        self.rows_sent
+    }
+
+    /// Commits the envelope and waits for the server's one reply:
+    /// the rows accepted, or the error that poisoned the stream.
+    pub fn finish(mut self) -> Result<u64> {
+        self.finished = true;
+        write_frame(&mut self.client.writer, &Request::InsertDone.encode())?;
+        self.client.writer.flush()?;
+        match self.client.read_response()? {
+            Response::InsertAck { rows } => Ok(rows),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected InsertAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Abandons the envelope; the server discards every buffered row.
+    /// Fire-and-forget: there is no reply to wait for.
+    pub fn abort(mut self) -> Result<()> {
+        self.finished = true;
+        write_frame(&mut self.client.writer, &Request::InsertAbort.encode())?;
+        self.client.writer.flush()?;
+        Ok(())
+    }
+}
+
+impl Drop for Ingest<'_> {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        let _ = write_frame(&mut self.client.writer, &Request::InsertAbort.encode());
+        let _ = self.client.writer.flush();
     }
 }
 

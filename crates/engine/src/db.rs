@@ -6,7 +6,7 @@ use nlq_linalg::{Matrix, Vector};
 use nlq_models::{MatrixShape, Nlq};
 use nlq_obs::{render_spans, Phase, Span, Trace};
 use nlq_storage::{Column, DataType, Row, Schema, Table, Value};
-use nlq_summary::{SummaryDef, SummaryStore};
+use nlq_summary::{SummaryData, SummaryDef, SummaryStore};
 use nlq_udf::pack::{assemble_blocks, unpack_block, unpack_nlq};
 use nlq_udf::{ParamStyle, UdfRegistry};
 
@@ -812,6 +812,21 @@ impl Db {
         self.register_table(name, table)
     }
 
+    /// Scores a batch of primary keys against a registered model table
+    /// in one call: keyed rows resolve through the storage PK hash
+    /// index (no scan) and run through the scalar scoring UDFs
+    /// columnar-style. See [`crate::serve`] for the exact semantics.
+    pub fn batch_score(
+        &self,
+        table: &str,
+        model: &str,
+        keys: &[i64],
+        explain: bool,
+        opts: &ExecOptions,
+    ) -> Result<ResultSet> {
+        crate::serve::batch_score(self, table, model, keys, explain, opts)
+    }
+
     /// Stores cluster centroids as `name(j, X1..Xd)`, `j = 1..k`.
     pub fn register_centroids(&self, name: &str, centroids: &[Vector]) -> Result<()> {
         let d = centroids.first().map_or(0, Vector::len);
@@ -975,11 +990,45 @@ pub struct PlanCacheStats {
     pub entries: u64,
 }
 
+/// Point-in-time refresh signal for one registered Γ summary, as a
+/// refresh daemon polls it through
+/// [`SqlEngine::summary_refresh_states`]: the monotone counters say
+/// *whether* the maintained state moved, the definition fields say
+/// whether a closed-form model refresh is even possible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRefreshState {
+    /// Summary name (lowercase).
+    pub name: String,
+    /// Base table name (lowercase).
+    pub table: String,
+    /// Summarized float columns, in declaration order (a refresh
+    /// daemon projects these to warm-start iterative models).
+    pub columns: Vec<String>,
+    /// Monotonic change counter (folds, subtractions, stale edges,
+    /// rebuilds). On a sharded engine, the sum across shards.
+    pub version: u64,
+    /// Cumulative rows folded in or subtracted out. On a sharded
+    /// engine, the sum across shards.
+    pub rows_folded: u64,
+    /// Whether the maintained state is fresh (on a sharded engine:
+    /// fresh on every shard).
+    pub fresh: bool,
+    /// Dimensionality of the summarized statistics.
+    pub d: usize,
+    /// Shape of the maintained `Q` matrix (a Diagonal state cannot
+    /// drive correlated model refreshes).
+    pub shape: MatrixShape,
+    /// Whether the summary is grouped (grouped states cannot feed a
+    /// single global model refresh).
+    pub grouped: bool,
+}
+
 /// The SQL execution surface a serving layer needs: one entry point
-/// plus observability hooks. Implemented by [`Db`] (a single engine)
-/// and by sharded engines that scatter statements across many `Db`
-/// instances — the server holds an `Arc<dyn SqlEngine>` and cannot
-/// tell the difference.
+/// plus the feature-serving loop (streamed ingest, batch scoring,
+/// model publication) and observability hooks. Implemented by [`Db`]
+/// (a single engine) and by sharded engines that scatter statements
+/// across many `Db` instances — the server holds an
+/// `Arc<dyn SqlEngine>` and cannot tell the difference.
 pub trait SqlEngine: Send + Sync {
     /// Parses and executes one SQL statement with per-statement
     /// execution options.
@@ -1001,10 +1050,115 @@ pub trait SqlEngine: Send + Sync {
     fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
         None
     }
+
+    /// Appends pre-evaluated rows to a table (the streamed-ingest
+    /// commit). The batch is atomic from the reader's point of view:
+    /// the table generation swaps once, after every row validated.
+    /// Fresh Γ summaries on the table fold the delta in incrementally.
+    /// Returns the number of rows accepted.
+    fn ingest_rows(&self, table: &str, rows: Vec<Row>) -> Result<u64>;
+
+    /// The schema of a base table (ingest headers validate against it
+    /// before any chunk is accepted).
+    fn table_schema(&self, name: &str) -> Result<Schema>;
+
+    /// Scores `keys` against the registered model table `model` in one
+    /// call, via PK point lookups and the scalar scoring UDFs. One
+    /// output row per key, in request order; NULL score for absent
+    /// keys. With `explain`, returns the plan instead of executing.
+    fn batch_score(
+        &self,
+        table: &str,
+        model: &str,
+        keys: &[i64],
+        explain: bool,
+        opts: &ExecOptions,
+    ) -> Result<ResultSet>;
+
+    /// Refresh signals for every registered summary, name-sorted.
+    fn summary_refresh_states(&self) -> Vec<SummaryRefreshState>;
+
+    /// The maintained global Γ state of one summary, rebuilding it
+    /// first if stale. Errors for grouped summaries (no single global
+    /// state exists). On a sharded engine, the merge of every shard's
+    /// state — exact by Γ additivity.
+    fn summary_gamma(&self, name: &str) -> Result<Nlq>;
+
+    /// Publishes (or replaces) a regression model as the one-row table
+    /// `name(b0, b1..bd)` — on a sharded engine, replicated
+    /// everywhere, like any model table.
+    fn publish_beta(&self, name: &str, intercept: f64, beta: &Vector) -> Result<()>;
+
+    /// Publishes (or replaces) cluster centroids as `name(j, X1..Xd)`.
+    fn publish_centroids(&self, name: &str, centroids: &[Vector]) -> Result<()>;
 }
 
 impl SqlEngine for Db {
     fn execute_with(&self, sql: &str, opts: &ExecOptions) -> Result<ResultSet> {
         Db::execute_with(self, sql, opts)
+    }
+
+    fn ingest_rows(&self, table: &str, rows: Vec<Row>) -> Result<u64> {
+        let n = rows.len() as u64;
+        self.insert_rows(table, rows)?;
+        Ok(n)
+    }
+
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        Ok(self.base_table(name)?.schema().clone())
+    }
+
+    fn batch_score(
+        &self,
+        table: &str,
+        model: &str,
+        keys: &[i64],
+        explain: bool,
+        opts: &ExecOptions,
+    ) -> Result<ResultSet> {
+        Db::batch_score(self, table, model, keys, explain, opts)
+    }
+
+    fn summary_refresh_states(&self) -> Vec<SummaryRefreshState> {
+        self.summaries
+            .entries()
+            .iter()
+            .map(|e| SummaryRefreshState {
+                name: e.def().name.clone(),
+                table: e.def().table.clone(),
+                columns: e.def().columns.clone(),
+                version: e.version(),
+                rows_folded: e.rows_folded(),
+                fresh: e.is_fresh(),
+                d: e.def().d(),
+                shape: e.def().shape,
+                grouped: e.def().group_by.is_some(),
+            })
+            .collect()
+    }
+
+    fn summary_gamma(&self, name: &str) -> Result<Nlq> {
+        let entry = self
+            .summaries
+            .get(name)
+            .ok_or_else(|| EngineError::Summary(format!("unknown summary '{name}'")))?;
+        if !entry.is_fresh() {
+            let t = self.base_table(&entry.def().table)?;
+            entry.rebuild(&t)?;
+        }
+        match entry.snapshot().data {
+            SummaryData::Global(nlq) => Ok(nlq),
+            SummaryData::Grouped(_) => Err(EngineError::Unsupported(format!(
+                "summary '{name}' is grouped; model refresh needs a global state"
+            ))),
+        }
+    }
+
+    fn publish_beta(&self, name: &str, intercept: f64, beta: &Vector) -> Result<()> {
+        self.register_beta(name, intercept, beta)
+    }
+
+    fn publish_centroids(&self, name: &str, centroids: &[Vector]) -> Result<()> {
+        self.register_centroids(name, centroids)
     }
 }

@@ -39,17 +39,19 @@ mod exec;
 mod expr;
 mod parser;
 mod predicate;
+pub mod serve;
 pub mod sqlgen;
 mod token;
 
 pub use ast::{Expr, OrderKey, Projection, SelectStmt, Statement, TableRef};
 pub use db::{
     explain_analyze_footer, phase_spans, Db, ExecOptions, ExecStats, NlqMethod, PlanCacheStats,
-    ResultSet, ShardMetricsSnapshot, SqlEngine,
+    ResultSet, ShardMetricsSnapshot, SqlEngine, SummaryRefreshState,
 };
 pub use error::EngineError;
 pub use exec::{result_to_table, AggPartial};
 pub use parser::parse;
+pub use serve::MAX_SCORE_KEYS;
 
 /// Convenience result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

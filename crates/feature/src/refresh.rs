@@ -1,0 +1,364 @@
+//! Continuous Γ-driven model refresh.
+//!
+//! The refresh loop closes the feature-store circle: streamed ingest
+//! keeps each summary's `(n, L, Q)` current by folding deltas, the
+//! summary's monotone `version` / `rows_folded` counters say *that* it
+//! moved, and this loop turns those signals into fresh model tables —
+//! a closed-form `O(d³)` refit for regression (no data scan at all),
+//! a warm-started Lloyd pass for K-means — published atomically via
+//! the engine's replicated model-table registration. Readers scoring
+//! against the model table never block: they see the old coefficients
+//! until the publish swaps the table.
+//!
+//! [`RefreshLoop`] is the synchronous core (one [`RefreshLoop::tick`]
+//! per cadence interval, directly testable); [`RefreshDaemon`] wraps
+//! it in a background thread with a stop flag.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use nlq_engine::{ExecOptions, SqlEngine, SummaryRefreshState};
+use nlq_linalg::Vector;
+use nlq_models::{GammaModelSet, KMeans, KMeansConfig, MatrixShape, PcaInput, RefreshSpec};
+use nlq_storage::Value;
+
+use crate::Result;
+
+/// Which model a binding maintains from its summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingKind {
+    /// Closed-form OLS over the summary's Γ, treating the **last**
+    /// summarized column as `Y`. Published as the one-row coefficient
+    /// table `model(b0, b1..bd)` — the exact layout
+    /// `linearregscore` expects.
+    Regression,
+    /// K-means over the summarized columns, warm-started from the
+    /// previous refresh's centroids. Published as
+    /// `model(j, X1..Xd)` for `clusterscore`.
+    Kmeans {
+        /// Number of clusters.
+        k: usize,
+    },
+}
+
+/// One watched summary → published model-table pair.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// The summary whose refresh signals drive this binding.
+    pub summary: String,
+    /// The model table to publish into (replaced on every refresh).
+    pub model: String,
+    /// What to refit.
+    pub kind: BindingKind,
+}
+
+impl Binding {
+    /// A regression binding publishing to `<summary>_beta`.
+    pub fn regression(summary: &str) -> Binding {
+        Binding {
+            summary: summary.to_ascii_lowercase(),
+            model: format!("{}_beta", summary.to_ascii_lowercase()),
+            kind: BindingKind::Regression,
+        }
+    }
+
+    /// A `k`-means binding publishing to `<summary>_centroids`.
+    pub fn kmeans(summary: &str, k: usize) -> Binding {
+        Binding {
+            summary: summary.to_ascii_lowercase(),
+            model: format!("{}_centroids", summary.to_ascii_lowercase()),
+            kind: BindingKind::Kmeans { k },
+        }
+    }
+}
+
+/// Cadence and trigger thresholds for the loop.
+#[derive(Debug, Clone, Copy)]
+pub struct RefreshConfig {
+    /// How long the daemon sleeps between ticks.
+    pub cadence: Duration,
+    /// Minimum `rows_folded` advance since the last refresh before a
+    /// fold-driven version bump triggers a refit. Structural changes
+    /// (deletes, rebuilds — version moved without new folded rows)
+    /// always trigger. `0` refreshes on any movement.
+    pub min_delta_rows: u64,
+    /// Automatically add a [`Binding::regression`] for every eligible
+    /// summary (global, non-diagonal, `d ≥ 2`) the engine reports.
+    pub auto_discover: bool,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig {
+            cadence: Duration::from_millis(250),
+            min_delta_rows: 0,
+            auto_discover: false,
+        }
+    }
+}
+
+/// Per-binding memory between ticks.
+struct BindingState {
+    /// (version, rows_folded) at the last successful refresh.
+    last: Option<(u64, u64)>,
+    /// Warm regression state (rebuilt in place each refresh).
+    models: Option<GammaModelSet>,
+    /// Previous centroids for the K-means warm start.
+    seeds: Option<Vec<Vector>>,
+}
+
+/// The synchronous refresh core: polls refresh signals, refits and
+/// publishes what moved. Drive it from your own scheduler or wrap it
+/// in a [`RefreshDaemon`].
+pub struct RefreshLoop {
+    engine: Arc<dyn SqlEngine>,
+    config: RefreshConfig,
+    bindings: Vec<Binding>,
+    state: HashMap<String, BindingState>,
+    refreshes: u64,
+}
+
+impl RefreshLoop {
+    /// Builds a loop over `engine` with explicit bindings (more may be
+    /// auto-discovered per tick when the config says so).
+    pub fn new(
+        engine: Arc<dyn SqlEngine>,
+        bindings: Vec<Binding>,
+        config: RefreshConfig,
+    ) -> RefreshLoop {
+        RefreshLoop {
+            engine,
+            config,
+            bindings,
+            state: HashMap::new(),
+            refreshes: 0,
+        }
+    }
+
+    /// Models published over the loop's lifetime.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// The bindings currently maintained (explicit + discovered).
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    fn eligible(st: &SummaryRefreshState) -> bool {
+        !st.grouped && st.shape != MatrixShape::Diagonal && st.d >= 2
+    }
+
+    /// One pass: discover, check triggers, refit, publish. Returns how
+    /// many models were published this tick. An engine or model error
+    /// aborts the tick; already-published models stay published and
+    /// un-refreshed bindings retrigger next tick.
+    pub fn tick(&mut self) -> Result<u64> {
+        // Summary names are case-insensitive engine-side (the store keys
+        // by lowercase but reports the name as written), so normalize
+        // here or bindings would never match a summary created as `S`.
+        let states: HashMap<String, SummaryRefreshState> = self
+            .engine
+            .summary_refresh_states()
+            .into_iter()
+            .map(|st| (st.name.to_ascii_lowercase(), st))
+            .collect();
+        if self.config.auto_discover {
+            for st in states.values() {
+                let bound = self
+                    .bindings
+                    .iter()
+                    .any(|b| b.summary.eq_ignore_ascii_case(&st.name));
+                if !bound && Self::eligible(st) {
+                    self.bindings.push(Binding::regression(&st.name));
+                }
+            }
+        }
+        let mut published = 0u64;
+        for bi in 0..self.bindings.len() {
+            let b = self.bindings[bi].clone();
+            let Some(st) = states.get(&b.summary) else {
+                continue; // summary dropped; binding goes dormant
+            };
+            if st.grouped || (b.kind == BindingKind::Regression && !Self::eligible(st)) {
+                continue;
+            }
+            let entry = self.state.entry(b.model.clone()).or_insert(BindingState {
+                last: None,
+                models: None,
+                seeds: None,
+            });
+            let due = match entry.last {
+                None => true,
+                Some((v, rows)) => {
+                    st.version != v
+                        && (st.rows_folded.saturating_sub(rows) >= self.config.min_delta_rows
+                            || st.rows_folded == rows)
+                }
+            };
+            if !due {
+                continue;
+            }
+            match b.kind {
+                BindingKind::Regression => self.refresh_regression(&b)?,
+                BindingKind::Kmeans { k } => self.refresh_kmeans(&b, st, k)?,
+            }
+            let entry = self.state.get_mut(&b.model).expect("binding state");
+            entry.last = Some((st.version, st.rows_folded));
+            self.refreshes += 1;
+            published += 1;
+        }
+        Ok(published)
+    }
+
+    fn refresh_regression(&mut self, b: &Binding) -> Result<()> {
+        let gamma = self.engine.summary_gamma(&b.summary)?;
+        let entry = self.state.get_mut(&b.model).expect("binding state");
+        let set = match &mut entry.models {
+            Some(set) => {
+                set.refresh(&gamma)?;
+                set
+            }
+            None => {
+                let spec = RefreshSpec {
+                    correlation: false,
+                    regression: true,
+                    pca_components: None,
+                    pca_input: PcaInput::Correlation,
+                };
+                entry.models.insert(GammaModelSet::build(&gamma, spec)?)
+            }
+        };
+        let reg = set.regression().expect("regression enabled");
+        self.engine
+            .publish_beta(&b.model, reg.intercept(), reg.coefficients())?;
+        Ok(())
+    }
+
+    /// K-means needs the points themselves (Lloyd iterations are not a
+    /// closed form over Γ), so this scans the summarized columns once —
+    /// but seeds from the previous centroids, which converges in a few
+    /// passes when the data only drifted.
+    fn refresh_kmeans(&mut self, b: &Binding, st: &SummaryRefreshState, k: usize) -> Result<()> {
+        let cols = st.columns.join(", ");
+        let sql = format!("SELECT {cols} FROM {}", st.table);
+        let rs = self.engine.execute_with(&sql, &ExecOptions::default())?;
+        let data: Vec<Vec<f64>> = rs
+            .rows
+            .iter()
+            .filter_map(|row| {
+                row.iter()
+                    .map(|v| match v {
+                        Value::Float(x) => Some(*x),
+                        Value::Int(i) => Some(*i as f64),
+                        _ => None, // NULL-bearing rows don't vote
+                    })
+                    .collect()
+            })
+            .collect();
+        let config = KMeansConfig::new(k);
+        let entry = self.state.get_mut(&b.model).expect("binding state");
+        let model = match &entry.seeds {
+            Some(seeds) => KMeans::fit_seeded(&data, seeds, &config)?,
+            None => KMeans::fit(&data, &config)?,
+        };
+        entry.seeds = Some(model.centroids().to_vec());
+        self.engine.publish_centroids(&b.model, model.centroids())?;
+        Ok(())
+    }
+}
+
+/// A [`RefreshLoop`] on a background thread: tick, sleep `cadence`,
+/// repeat until stopped. Tick errors are swallowed (the un-refreshed
+/// binding simply retriggers next tick), so a transiently short table
+/// cannot kill the daemon.
+pub struct RefreshDaemon {
+    stop: Arc<AtomicBool>,
+    refreshes: Arc<AtomicU64>,
+    ticks: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RefreshDaemon {
+    /// Spawns the daemon.
+    pub fn spawn(
+        engine: Arc<dyn SqlEngine>,
+        bindings: Vec<Binding>,
+        config: RefreshConfig,
+    ) -> RefreshDaemon {
+        let stop = Arc::new(AtomicBool::new(false));
+        let refreshes = Arc::new(AtomicU64::new(0));
+        let ticks = Arc::new(AtomicU64::new(0));
+        let (stop2, refreshes2, ticks2) = (stop.clone(), refreshes.clone(), ticks.clone());
+        let handle = std::thread::Builder::new()
+            .name("nlq-refresh".into())
+            .spawn(move || {
+                let mut lp = RefreshLoop::new(engine, bindings, config);
+                while !stop2.load(Ordering::Relaxed) {
+                    if let Ok(n) = lp.tick() {
+                        refreshes2.fetch_add(n, Ordering::Relaxed);
+                    }
+                    ticks2.fetch_add(1, Ordering::Relaxed);
+                    // Sleep in short slices so stop() returns promptly
+                    // even under a long cadence.
+                    let mut left = config.cadence;
+                    while !left.is_zero() && !stop2.load(Ordering::Relaxed) {
+                        let nap = left.min(Duration::from_millis(10));
+                        std::thread::sleep(nap);
+                        left -= nap;
+                    }
+                }
+            })
+            .expect("spawn refresh daemon");
+        RefreshDaemon {
+            stop,
+            refreshes,
+            ticks,
+            handle: Some(handle),
+        }
+    }
+
+    /// Models published so far.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// Poll passes completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the daemon has completed at least `n` ticks (test
+    /// aid: "the daemon has definitely seen the rows I just streamed").
+    pub fn wait_ticks(&self, n: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.ticks() < n {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Signals the thread and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RefreshDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

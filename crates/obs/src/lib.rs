@@ -49,17 +49,25 @@ pub enum Phase {
     /// Collecting shard results and merging Γ/aggregate partials (or
     /// concatenating row streams) into the final result.
     Gather,
+    /// Resolving keyed rows through the primary-key hash index (batch
+    /// scoring's gather step; replaces the scan phase entirely).
+    PointLookup,
+    /// Appending a streamed INSERT batch through the segment write
+    /// path and folding it into eligible Γ summaries.
+    Ingest,
     /// Wall time not attributed to any other phase.
     Other,
 }
 
 /// Every phase, in pipeline order (the render order).
-pub const PHASES: [Phase; 10] = [
+pub const PHASES: [Phase; 12] = [
     Phase::Parse,
     Phase::Plan,
     Phase::SummaryLookup,
+    Phase::PointLookup,
     Phase::Scatter,
     Phase::Scan,
+    Phase::Ingest,
     Phase::Finalize,
     Phase::Gather,
     Phase::Encode,
@@ -80,6 +88,8 @@ impl Phase {
             Phase::Stream => "stream",
             Phase::Scatter => "scatter",
             Phase::Gather => "gather",
+            Phase::PointLookup => "point-lookup",
+            Phase::Ingest => "ingest",
             Phase::Other => "other",
         }
     }
@@ -97,6 +107,8 @@ impl Phase {
             Phase::Other => 7,
             Phase::Scatter => 8,
             Phase::Gather => 9,
+            Phase::PointLookup => 10,
+            Phase::Ingest => 11,
         }
     }
 

@@ -5,7 +5,12 @@
 //!            [--queue N] [--timeout-ms N] [--max-result-rows N]
 //!            [--max-result-bytes N] [--chunk-bytes N]
 //!            [--drain-grace-ms N] [--slow-query-ms N] [--trace-ring N]
+//!            [--refresh-ms N] [--refresh-delta N]
 //! ```
+//!
+//! `--refresh-ms` sets the model-refresh daemon's cadence (0 disables
+//! the daemon); `--refresh-delta` sets the minimum folded-row delta
+//! before an ingest-driven summary change triggers a model refit.
 //!
 //! The process runs until a client issues `SHUTDOWN` (or the process
 //! is killed). The bound address is printed on stdout as
@@ -78,12 +83,22 @@ fn parse_args() -> Result<(ServerConfig, usize), String> {
             "--trace-ring" => {
                 config.trace_ring = take("count")?.parse().map_err(|e| format!("{flag}: {e}"))?
             }
+            "--refresh-ms" => {
+                let millis: u64 = take("millis")?
+                    .parse()
+                    .map_err(|e| format!("{flag}: {e}"))?;
+                config.refresh_cadence = (millis > 0).then(|| Duration::from_millis(millis));
+            }
+            "--refresh-delta" => {
+                config.refresh_delta_rows =
+                    take("rows")?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: nlq-server [--addr HOST:PORT] [--workers N] [--shards N] \
                      [--max-connections N] [--queue N] [--timeout-ms N] [--max-result-rows N] \
                      [--max-result-bytes N] [--chunk-bytes N] [--drain-grace-ms N] \
-                     [--slow-query-ms N] [--trace-ring N]"
+                     [--slow-query-ms N] [--trace-ring N] [--refresh-ms N] [--refresh-delta N]"
                         .into(),
                 )
             }

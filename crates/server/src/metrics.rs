@@ -35,9 +35,17 @@ pub enum Command {
     Cancel,
     /// `Trace` requests (recent/slow query trace pages).
     Trace,
+    /// Streamed-ingest envelopes (`InsertDone` commits; the header and
+    /// chunk frames are unacknowledged and fold into this command).
+    Ingest,
+    /// `BatchScore` requests (keyed point-lookup scoring).
+    BatchScore,
 }
 
-const COMMANDS: [(Command, &str); 8] = [
+/// How many commands the metrics arrays track.
+const NCOMMANDS: usize = 10;
+
+const COMMANDS: [(Command, &str); NCOMMANDS] = [
     (Command::Execute, "execute"),
     (Command::SetOption, "set_option"),
     (Command::Status, "status"),
@@ -46,6 +54,8 @@ const COMMANDS: [(Command, &str); 8] = [
     (Command::Shutdown, "shutdown"),
     (Command::Cancel, "cancel"),
     (Command::Trace, "trace"),
+    (Command::Ingest, "ingest"),
+    (Command::BatchScore, "batch_score"),
 ];
 
 fn slot(cmd: Command) -> usize {
@@ -154,9 +164,9 @@ impl AtomicHistogram {
 
 /// All server metrics; cheap to share behind an `Arc`.
 pub struct Metrics {
-    counts: [AtomicU64; 8],
-    errors: [AtomicU64; 8],
-    latency: [AtomicHistogram; 8],
+    counts: [AtomicU64; NCOMMANDS],
+    errors: [AtomicU64; NCOMMANDS],
+    latency: [AtomicHistogram; NCOMMANDS],
     /// Connections refused by admission control.
     pub connections_rejected: AtomicU64,
     /// Connections accepted over the server's lifetime.
@@ -189,6 +199,13 @@ pub struct Metrics {
     pub summary_stale_rebuilds: AtomicU64,
     /// Completed queries slower than the slow-query threshold.
     pub slow_queries: AtomicU64,
+    /// Rows committed through streamed-ingest envelopes.
+    pub ingest_rows: AtomicU64,
+    /// Keys scored through `BatchScore` requests.
+    pub batch_score_keys: AtomicU64,
+    /// Models published by the refresh daemon (mirrored from the
+    /// daemon's own counter at render time).
+    pub model_refreshes: AtomicU64,
 }
 
 impl Metrics {
@@ -213,6 +230,9 @@ impl Metrics {
             summary_misses: AtomicU64::new(0),
             summary_stale_rebuilds: AtomicU64::new(0),
             slow_queries: AtomicU64::new(0),
+            ingest_rows: AtomicU64::new(0),
+            batch_score_keys: AtomicU64::new(0),
+            model_refreshes: AtomicU64::new(0),
         }
     }
 
@@ -294,6 +314,18 @@ impl Metrics {
                 self.summary_stale_rebuilds.load(Ordering::Relaxed),
             ),
             ("slow_queries", self.slow_queries.load(Ordering::Relaxed)),
+            (
+                "ingest_rows_total",
+                self.ingest_rows.load(Ordering::Relaxed),
+            ),
+            (
+                "batch_score_keys_total",
+                self.batch_score_keys.load(Ordering::Relaxed),
+            ),
+            (
+                "model_refreshes_total",
+                self.model_refreshes.load(Ordering::Relaxed),
+            ),
         ]
     }
 

@@ -58,6 +58,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nlq_engine::{EngineError, ExecOptions, ExecStats, SqlEngine};
+use nlq_feature::{IngestStream, RefreshConfig, RefreshDaemon};
 use nlq_obs::{Outcome, Phase, Span, Trace, TraceRecord, TraceRing};
 use nlq_storage::Value;
 
@@ -99,6 +100,15 @@ pub struct ServerConfig {
     pub slow_query: Duration,
     /// Capacity of each trace ring (recent and slow).
     pub trace_ring: usize,
+    /// Cadence of the continuous model-refresh daemon; `None` runs
+    /// the server without one. The daemon auto-discovers a regression
+    /// binding for every eligible summary and republishes its model
+    /// table whenever the summary's Γ moved far enough.
+    pub refresh_cadence: Option<Duration>,
+    /// Minimum folded-row delta since the last refresh before a
+    /// fold-driven summary change triggers a refit (structural
+    /// changes always trigger).
+    pub refresh_delta_rows: u64,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +125,8 @@ impl Default for ServerConfig {
             drain_grace: Duration::from_secs(5),
             slow_query: Duration::from_millis(500),
             trace_ring: 256,
+            refresh_cadence: Some(Duration::from_millis(250)),
+            refresh_delta_rows: 0,
         }
     }
 }
@@ -202,6 +214,22 @@ struct Shared {
     slow_traces: TraceRing,
     /// Server-wide monotone trace id (the `TRACE` paging cursor).
     next_trace_id: AtomicU64,
+    /// The continuous model-refresh daemon (when configured); taken
+    /// and joined on shutdown.
+    daemon: Mutex<Option<RefreshDaemon>>,
+}
+
+impl Shared {
+    /// Mirrors the refresh daemon's publish counter into the metrics
+    /// so `METRICS` / Prometheus scrapes see it without holding the
+    /// daemon lock longer than a load.
+    fn sync_refresh_metrics(&self) {
+        if let Some(d) = self.daemon.lock().expect("daemon").as_ref() {
+            self.metrics
+                .model_refreshes
+                .store(d.refreshes(), Ordering::Relaxed);
+        }
+    }
 }
 
 /// Running server; dropping it shuts the server down.
@@ -216,6 +244,17 @@ pub struct ServerHandle {
 pub fn serve(db: Arc<dyn SqlEngine>, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let daemon = config.refresh_cadence.map(|cadence| {
+        RefreshDaemon::spawn(
+            Arc::clone(&db),
+            Vec::new(),
+            RefreshConfig {
+                cadence,
+                min_delta_rows: config.refresh_delta_rows,
+                auto_discover: true,
+            },
+        )
+    });
     let shared = Arc::new(Shared {
         pool: WorkerPool::new(config.workers, config.queue_capacity),
         metrics: Arc::new(Metrics::new()),
@@ -227,6 +266,7 @@ pub fn serve(db: Arc<dyn SqlEngine>, config: ServerConfig) -> io::Result<ServerH
         traces: TraceRing::new(config.trace_ring),
         slow_traces: TraceRing::new(config.trace_ring),
         next_trace_id: AtomicU64::new(1),
+        daemon: Mutex::new(daemon),
         config,
     });
     let accept_shared = Arc::clone(&shared);
@@ -255,6 +295,9 @@ impl ServerHandle {
     /// query has completed (or was cancelled past the drain grace)
     /// and all threads exited.
     pub fn shutdown(&mut self) {
+        if let Some(d) = self.shared.daemon.lock().expect("daemon").take() {
+            d.stop();
+        }
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         // Wake the accept thread; it owns the rest of the drain.
         let _ = TcpStream::connect(self.addr);
@@ -398,6 +441,21 @@ struct Session {
     /// client keeps the same count, which is how both sides agree on
     /// what a `Cancel { seq }` targets without extra round trips.
     execute_seq: u64,
+    /// The session's open ingest envelope, if any. Headers and chunks
+    /// are unacknowledged, so a failure anywhere mid-envelope parks
+    /// here as `Failed` and is reported once, at `InsertDone`.
+    ingest: IngestSlot,
+}
+
+/// Where the session's ingest envelope stands.
+enum IngestSlot {
+    /// No envelope open.
+    Idle,
+    /// Header accepted; chunks are being buffered.
+    Active(IngestStream),
+    /// The envelope is poisoned: the first error, held until
+    /// `InsertDone` reports it.
+    Failed(String),
 }
 
 /// What the frame-reader thread forwards to the session thread.
@@ -419,6 +477,7 @@ fn session_loop(stream: TcpStream, id: u64, active: &Arc<ActiveQuery>, shared: &
         last_stats: None,
         statements: 0,
         execute_seq: 0,
+        ingest: IngestSlot::Idle,
     };
     if write_frame(
         &mut writer,
@@ -506,6 +565,81 @@ fn session_loop(stream: TcpStream, id: u64, active: &Arc<ActiveQuery>, shared: &
             // Cancels never reach this channel (the reader intercepts
             // them); tolerate one anyway as fire-and-forget.
             Request::Cancel { .. } => {}
+            // The ingest envelope: header and chunks are
+            // unacknowledged (errors poison the slot and surface at
+            // Done), Done is the envelope's one reply, Abort is
+            // fire-and-forget. Keeping header/chunk silent is what
+            // lets a client pipeline a whole stream without waiting
+            // out a round trip per chunk.
+            Request::InsertHeader { table, columns } => {
+                session.ingest = match IngestStream::begin(shared.db.as_ref(), &table, &columns) {
+                    Ok(s) => IngestSlot::Active(s),
+                    Err(e) => IngestSlot::Failed(e.to_string()),
+                };
+            }
+            Request::InsertChunk { seq, rows } => match &mut session.ingest {
+                IngestSlot::Active(s) => {
+                    if let Err(e) = s.chunk(seq, rows) {
+                        session.ingest = IngestSlot::Failed(e.to_string());
+                    }
+                }
+                // Already poisoned: the first error wins; Done reports it.
+                IngestSlot::Failed(_) => {}
+                IngestSlot::Idle => {
+                    session.ingest =
+                        IngestSlot::Failed("InsertChunk without an open ingest stream".into());
+                }
+            },
+            Request::InsertDone => {
+                let response = match std::mem::replace(&mut session.ingest, IngestSlot::Idle) {
+                    IngestSlot::Active(s) => match s.done(shared.db.as_ref()) {
+                        Ok(rows) => {
+                            shared
+                                .metrics
+                                .ingest_rows
+                                .fetch_add(rows, Ordering::Relaxed);
+                            Response::InsertAck { rows }
+                        }
+                        Err(e) => Response::Error {
+                            code: ErrorCode::Sql,
+                            message: e.to_string(),
+                        },
+                    },
+                    IngestSlot::Failed(message) => Response::Error {
+                        code: ErrorCode::Protocol,
+                        message,
+                    },
+                    IngestSlot::Idle => Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: "InsertDone without an open ingest stream".into(),
+                    },
+                };
+                let ok = !matches!(response, Response::Error { .. });
+                shared
+                    .metrics
+                    .record(Command::Ingest, started.elapsed(), ok);
+                if write_frame(&mut writer, &response.encode()).is_err() {
+                    break;
+                }
+            }
+            Request::InsertAbort => {
+                session.ingest = IngestSlot::Idle;
+            }
+            Request::BatchScore {
+                table,
+                model,
+                keys,
+                explain,
+            } => {
+                let response = batch_score(&table, &model, &keys, explain, &mut session, shared);
+                let ok = !matches!(response, Response::Error { .. });
+                shared
+                    .metrics
+                    .record(Command::BatchScore, started.elapsed(), ok);
+                if write_frame(&mut writer, &response.encode()).is_err() {
+                    break;
+                }
+            }
             Request::Shutdown => {
                 shared
                     .metrics
@@ -543,6 +677,60 @@ fn command_of(req: &Request) -> Command {
         Request::Shutdown => Command::Shutdown,
         Request::Cancel { .. } => Command::Cancel,
         Request::Trace { .. } => Command::Trace,
+        Request::InsertHeader { .. }
+        | Request::InsertChunk { .. }
+        | Request::InsertDone
+        | Request::InsertAbort => Command::Ingest,
+        Request::BatchScore { .. } => Command::BatchScore,
+    }
+}
+
+/// Runs one `BatchScore` request: keyed PK point lookups scored
+/// through the model's scalar UDF, one reply frame for the whole key
+/// batch. Key-count limits are enforced by the engine
+/// ([`nlq_engine::MAX_SCORE_KEYS`]).
+fn batch_score(
+    table: &str,
+    model: &str,
+    keys: &[i64],
+    explain: bool,
+    session: &mut Session,
+    shared: &Arc<Shared>,
+) -> Response {
+    let started = Instant::now();
+    let opts = ExecOptions {
+        block_scan: session.block_scan,
+        cancel: None,
+        trace: None,
+    };
+    match shared.db.batch_score(table, model, keys, explain, &opts) {
+        Ok(rs) => {
+            shared
+                .metrics
+                .batch_score_keys
+                .fetch_add(keys.len() as u64, Ordering::Relaxed);
+            session.last_stats = Some(rs.stats);
+            session.statements += 1;
+            Response::Result {
+                columns: rs.columns,
+                rows: rs.rows,
+                stats: WireStats {
+                    rows_scanned: rs.stats.rows_scanned,
+                    blocks_scanned: rs.stats.blocks_scanned,
+                    block_path: rs.stats.block_path,
+                    summary_path: rs.stats.summary_path,
+                    summary_hits: rs.stats.summary_hits,
+                    summary_misses: rs.stats.summary_misses,
+                    summary_stale_rebuilds: rs.stats.summary_stale_rebuilds,
+                    elapsed_micros: started.elapsed().as_micros() as u64,
+                    cancelled: false,
+                },
+            }
+        }
+        Err(e) => Response::Error {
+            code: ErrorCode::Sql,
+            message: e.to_string(),
+        },
     }
 }
 
@@ -552,6 +740,7 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
         Request::SetOption { name, value } => set_option(session, &name, &value),
         Request::Status => status(session),
         Request::Metrics => {
+            shared.sync_refresh_metrics();
             let mut rows = shared
                 .metrics
                 .render(shared.pool.queue_depth(), shared.pool.workers_busy());
@@ -567,6 +756,7 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
             }
         }
         Request::MetricsProm => {
+            shared.sync_refresh_metrics();
             let mut text = shared
                 .metrics
                 .render_prometheus(shared.pool.queue_depth(), shared.pool.workers_busy());
@@ -594,9 +784,17 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
                 records: ring.page(after_id, limit),
             }
         }
-        // Execute, Shutdown, and Cancel are handled in the session
-        // loop (they need the writer, the drain flag, or the reader).
-        Request::Execute { .. } | Request::Shutdown | Request::Cancel { .. } => Response::Error {
+        // Execute, Shutdown, Cancel, and the ingest/scoring family are
+        // handled in the session loop (they need the writer, the drain
+        // flag, the reader, or the session's ingest slot).
+        Request::Execute { .. }
+        | Request::Shutdown
+        | Request::Cancel { .. }
+        | Request::InsertHeader { .. }
+        | Request::InsertChunk { .. }
+        | Request::InsertDone
+        | Request::InsertAbort
+        | Request::BatchScore { .. } => Response::Error {
             code: ErrorCode::Protocol,
             message: "request not routable here".into(),
         },

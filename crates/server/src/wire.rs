@@ -38,8 +38,11 @@ pub const MAX_FRAME: usize = 64 << 20;
 
 /// Protocol version spoken by this build (in `Hello`).
 /// Version 2 added streamed results and cancellation; version 3 added
-/// trace retrieval (`TRACE`) and Prometheus-format metrics.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// trace retrieval (`TRACE`) and Prometheus-format metrics; version 4
+/// added the feature-serving loop: chunked streaming INSERT
+/// (`InsertHeader` / `InsertChunk`* / `InsertDone` → `InsertAck`) and
+/// single-round-trip batch scoring (`BatchScore`).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 // Request tags.
 const REQ_EXECUTE: u8 = 0x01;
@@ -51,6 +54,11 @@ const REQ_SHUTDOWN: u8 = 0x06;
 const REQ_CANCEL: u8 = 0x07;
 const REQ_TRACE: u8 = 0x08;
 const REQ_METRICS_PROM: u8 = 0x09;
+const REQ_INSERT_HEADER: u8 = 0x0A;
+const REQ_INSERT_CHUNK: u8 = 0x0B;
+const REQ_INSERT_DONE: u8 = 0x0C;
+const REQ_INSERT_ABORT: u8 = 0x0D;
+const REQ_BATCH_SCORE: u8 = 0x0E;
 
 // Response tags.
 const RESP_HELLO: u8 = 0x80;
@@ -63,6 +71,7 @@ const RESP_ROWS_CHUNK: u8 = 0x86;
 const RESP_ROWS_DONE: u8 = 0x87;
 const RESP_METRICS_TEXT: u8 = 0x88;
 const RESP_TRACE: u8 = 0x89;
+const RESP_INSERT_ACK: u8 = 0x8A;
 
 // Value tags.
 const VAL_NULL: u8 = 0;
@@ -117,6 +126,55 @@ pub enum Request {
     },
     /// Server-wide metrics in the Prometheus text exposition format.
     MetricsProm,
+    /// Opens a streamed INSERT: target table and the frame column
+    /// names (empty = all table columns in schema order). Ingest is an
+    /// *envelope*: the header and every chunk go unacknowledged; the
+    /// server replies exactly once, to [`Request::InsertDone`], with
+    /// [`Response::InsertAck`] (rows accepted) or an error. A header
+    /// or chunk that fails validation poisons the stream server-side;
+    /// the poisoning error is what `InsertDone` returns. Nothing is
+    /// visible to readers until the `InsertDone` commit.
+    InsertHeader {
+        /// Target base table.
+        table: String,
+        /// Named frame columns, mapped case-insensitively; table
+        /// columns not named are filled with NULL.
+        columns: Vec<String>,
+    },
+    /// One batch of pre-evaluated rows in a streamed INSERT. Chunks
+    /// carry an explicit sequence number, checked strictly monotonic
+    /// from zero, so a dropped or reordered frame surfaces as an error
+    /// instead of silent row loss.
+    InsertChunk {
+        /// 0-based chunk sequence number within this stream.
+        seq: u32,
+        /// The rows, each with one value per header column.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Commits the open INSERT stream atomically. The one acknowledged
+    /// frame of the envelope.
+    InsertDone,
+    /// Abandons the open INSERT stream, committing nothing.
+    /// Fire-and-forget: the server never replies.
+    InsertAbort,
+    /// Scores up to [`nlq_engine::MAX_SCORE_KEYS`] primary keys
+    /// against a registered model table in one round trip, via PK
+    /// point lookups and the scalar scoring UDFs. Replies with a
+    /// [`Response::Result`]: one `(key, score)` row per key in request
+    /// order, NULL score for absent keys. With `explain`, returns the
+    /// plan instead of executing.
+    BatchScore {
+        /// Table holding the feature rows (first column must be the
+        /// INT primary key).
+        table: String,
+        /// Registered model table (`name(b0, b1..bd)` regression
+        /// coefficients, or `name(j, X1..Xd)` centroids).
+        model: String,
+        /// The keys to score, in the order the rows should return.
+        keys: Vec<i64>,
+        /// Return the plan instead of executing.
+        explain: bool,
+    },
 }
 
 /// Why a request was refused.
@@ -248,6 +306,12 @@ pub enum Response {
     Trace {
         /// The page of records.
         records: Vec<TraceRecord>,
+    },
+    /// Reply to [`Request::InsertDone`]: the streamed batch committed.
+    InsertAck {
+        /// Rows accepted into the table (and folded into any fresh Γ
+        /// summaries on it).
+        rows: u64,
     },
 }
 
@@ -407,6 +471,43 @@ impl Request {
                 buf.extend_from_slice(&limit.to_be_bytes());
             }
             Request::MetricsProm => buf.push(REQ_METRICS_PROM),
+            Request::InsertHeader { table, columns } => {
+                buf.push(REQ_INSERT_HEADER);
+                put_str(&mut buf, table);
+                buf.extend_from_slice(&(columns.len() as u32).to_be_bytes());
+                for c in columns {
+                    put_str(&mut buf, c);
+                }
+            }
+            Request::InsertChunk { seq, rows } => {
+                buf.push(REQ_INSERT_CHUNK);
+                buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(&(rows.len() as u32).to_be_bytes());
+                let ncols = rows.first().map_or(0, Vec::len) as u32;
+                buf.extend_from_slice(&ncols.to_be_bytes());
+                for row in rows {
+                    for v in row {
+                        put_value(&mut buf, v);
+                    }
+                }
+            }
+            Request::InsertDone => buf.push(REQ_INSERT_DONE),
+            Request::InsertAbort => buf.push(REQ_INSERT_ABORT),
+            Request::BatchScore {
+                table,
+                model,
+                keys,
+                explain,
+            } => {
+                buf.push(REQ_BATCH_SCORE);
+                put_str(&mut buf, table);
+                put_str(&mut buf, model);
+                buf.push(u8::from(*explain));
+                buf.extend_from_slice(&(keys.len() as u32).to_be_bytes());
+                for k in keys {
+                    buf.extend_from_slice(&k.to_be_bytes());
+                }
+            }
         }
         buf
     }
@@ -431,6 +532,58 @@ impl Request {
                 limit: r.u32()?,
             },
             REQ_METRICS_PROM => Request::MetricsProm,
+            REQ_INSERT_HEADER => {
+                let table = r.str()?;
+                let ncols = r.u32()? as usize;
+                // Each name costs at least its 4-byte length prefix.
+                if ncols.saturating_mul(4) > r.remaining() {
+                    return Err(bad("column count exceeds frame size"));
+                }
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(r.str()?);
+                }
+                Request::InsertHeader { table, columns }
+            }
+            REQ_INSERT_CHUNK => {
+                let seq = r.u32()?;
+                let nrows = r.u32()? as usize;
+                let ncols = r.u32()? as usize;
+                // Each value is at least one tag byte.
+                if nrows.saturating_mul(ncols.max(1)) > r.remaining() {
+                    return Err(bad("row count exceeds frame size"));
+                }
+                let mut rows = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(ncols);
+                    for _ in 0..ncols {
+                        row.push(r.value()?);
+                    }
+                    rows.push(row);
+                }
+                Request::InsertChunk { seq, rows }
+            }
+            REQ_INSERT_DONE => Request::InsertDone,
+            REQ_INSERT_ABORT => Request::InsertAbort,
+            REQ_BATCH_SCORE => {
+                let table = r.str()?;
+                let model = r.str()?;
+                let explain = r.u8()? != 0;
+                let nkeys = r.u32()? as usize;
+                if nkeys.saturating_mul(8) > r.remaining() {
+                    return Err(bad("key count exceeds frame size"));
+                }
+                let mut keys = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    keys.push(r.u64()? as i64);
+                }
+                Request::BatchScore {
+                    table,
+                    model,
+                    keys,
+                    explain,
+                }
+            }
             _ => return Err(bad("unknown request tag")),
         };
         r.done()?;
@@ -619,6 +772,10 @@ impl Response {
                     put_trace_record(&mut buf, record);
                 }
             }
+            Response::InsertAck { rows } => {
+                buf.push(RESP_INSERT_ACK);
+                buf.extend_from_slice(&rows.to_be_bytes());
+            }
         }
         buf
     }
@@ -723,6 +880,7 @@ impl Response {
                 }
                 Response::Trace { records }
             }
+            RESP_INSERT_ACK => Response::InsertAck { rows: r.u64()? },
             _ => return Err(bad("unknown response tag")),
         };
         r.done()?;
@@ -943,6 +1101,51 @@ mod tests {
             limit: 32,
         });
         round_trip_req(Request::MetricsProm);
+    }
+
+    #[test]
+    fn ingest_and_scoring_frames_round_trip() {
+        round_trip_req(Request::InsertHeader {
+            table: "pts".into(),
+            columns: vec!["i".into(), "X2".into()],
+        });
+        round_trip_req(Request::InsertHeader {
+            table: "pts".into(),
+            columns: Vec::new(),
+        });
+        round_trip_req(Request::InsertChunk {
+            seq: 3,
+            rows: vec![
+                vec![Value::Int(1), Value::Float(0.5)],
+                vec![Value::Int(2), Value::Null],
+            ],
+        });
+        round_trip_req(Request::InsertChunk {
+            seq: 0,
+            rows: Vec::new(),
+        });
+        round_trip_req(Request::InsertDone);
+        round_trip_req(Request::InsertAbort);
+        round_trip_req(Request::BatchScore {
+            table: "pts".into(),
+            model: "m".into(),
+            keys: vec![1, -7, i64::MAX, i64::MIN],
+            explain: true,
+        });
+        round_trip_resp(Response::InsertAck { rows: 10_000 });
+
+        // Absurd counts in the new frames are rejected, not allocated.
+        let mut buf = vec![REQ_INSERT_CHUNK];
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        assert!(Request::decode(&buf).is_err());
+        let mut buf = vec![REQ_BATCH_SCORE];
+        put_str(&mut buf, "t");
+        put_str(&mut buf, "m");
+        buf.push(0);
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(Request::decode(&buf).is_err());
     }
 
     #[test]

@@ -570,3 +570,229 @@ fn cancel_of_a_queued_statement_skips_execution_entirely() {
     c1.ping().unwrap();
     c2.ping().unwrap();
 }
+
+#[test]
+fn ingest_envelope_commits_atomically_and_scores_over_the_wire() {
+    let ts = TestServer::start(ServerConfig::default());
+    let mut c = ts.client();
+    c.execute("CREATE TABLE F (i INT, X1 FLOAT, X2 FLOAT)")
+        .unwrap();
+    c.execute("CREATE TABLE BETA (b0 FLOAT, b1 FLOAT, b2 FLOAT)")
+        .unwrap();
+    c.execute("INSERT INTO BETA VALUES (1.0, 0.5, -0.25)")
+        .unwrap();
+
+    // Stream 200 rows in 4 pipelined chunks; nothing is visible until
+    // the envelope's single InsertAck.
+    let mut ing = c.begin_ingest("F", &[]).unwrap();
+    for chunk in 0..4i64 {
+        let rows = (0..50)
+            .map(|r| {
+                let i = chunk * 50 + r + 1;
+                vec![
+                    Value::Int(i),
+                    Value::Float(i as f64),
+                    Value::Float(2.0 * i as f64),
+                ]
+            })
+            .collect();
+        ing.chunk(rows).unwrap();
+    }
+    assert_eq!(ing.rows_sent(), 200);
+    assert_eq!(ing.finish().unwrap(), 200);
+    assert_eq!(ts.metrics().ingest_rows.load(Ordering::Relaxed), 200);
+    let rs = c.execute("SELECT count(*) FROM F").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(200));
+
+    // Batch scoring: one round trip, rows in key order, NULL for the
+    // absent key, and PK point lookups rather than a scan.
+    let keys = [1i64, 100, 200, 999];
+    let rs = c.batch_score("F", "BETA", &keys, false).unwrap();
+    assert_eq!(rs.columns, vec!["i".to_string(), "score".to_string()]);
+    assert_eq!(rs.rows.len(), keys.len());
+    for (row, &k) in rs.rows.iter().zip(&keys) {
+        assert_eq!(row[0], Value::Int(k));
+    }
+    let expect = |k: f64| 1.0 + 0.5 * k - 0.25 * 2.0 * k;
+    for (r, &k) in keys[..3].iter().enumerate() {
+        let got = rs.rows[r][1].as_f64().unwrap();
+        assert!((got - expect(k as f64)).abs() < 1e-12, "key {k}: {got}");
+    }
+    assert!(rs.rows[3][1].is_null(), "absent key scores NULL");
+    assert!(
+        rs.stats.rows_scanned <= keys.len() as u64,
+        "point lookups must not scan: {:?}",
+        rs.stats
+    );
+    assert_eq!(
+        ts.metrics().batch_score_keys.load(Ordering::Relaxed),
+        keys.len() as u64
+    );
+
+    // EXPLAIN names the index path.
+    let plan = c.batch_score("F", "BETA", &keys, true).unwrap();
+    let text: Vec<String> = plan
+        .rows
+        .iter()
+        .filter_map(|r| r.first().map(|v| v.to_string()))
+        .collect();
+    assert!(
+        text.iter().any(|l| l.contains("point lookup: pk index")),
+        "plan was {text:?}"
+    );
+}
+
+#[test]
+fn aborted_ingest_mid_chunk_leaves_no_partial_batch() {
+    let ts = TestServer::start(ServerConfig::default());
+    let mut c = ts.client();
+    c.execute("CREATE TABLE A (i INT, X1 FLOAT)").unwrap();
+
+    // Explicit abort after two buffered chunks: nothing commits.
+    let mut ing = c.begin_ingest("A", &[]).unwrap();
+    ing.chunk(vec![vec![Value::Int(1), Value::Float(1.5)]])
+        .unwrap();
+    ing.chunk(vec![vec![Value::Int(2), Value::Float(2.5)]])
+        .unwrap();
+    ing.abort().unwrap();
+    let rs = c.execute("SELECT count(*) FROM A").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(0), "aborted rows visible");
+
+    // Dropping the handle mid-envelope aborts too.
+    {
+        let mut ing = c.begin_ingest("A", &[]).unwrap();
+        ing.chunk(vec![vec![Value::Int(3), Value::Float(3.5)]])
+            .unwrap();
+    }
+    let rs = c.execute("SELECT count(*) FROM A").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(0), "dropped rows visible");
+
+    // A disconnect with an envelope in flight commits nothing either:
+    // the session dies with its buffered chunks.
+    {
+        let mut c2 = ts.client();
+        let mut ing = c2.begin_ingest("A", &[]).unwrap();
+        ing.chunk(vec![vec![Value::Int(4), Value::Float(4.5)]])
+            .unwrap();
+        // Neither finish nor abort: the whole connection drops.
+        std::mem::forget(ing);
+    }
+    wait_until("disconnected session to close", || {
+        ts.metrics().sessions_active.load(Ordering::SeqCst) <= 1
+    });
+    let rs = c.execute("SELECT count(*) FROM A").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(0), "disconnect leaked rows");
+
+    // The surviving session still ingests normally after all of that.
+    let mut ing = c.begin_ingest("A", &[]).unwrap();
+    ing.chunk(vec![vec![Value::Int(10), Value::Float(0.5)]])
+        .unwrap();
+    assert_eq!(ing.finish().unwrap(), 1);
+    let rs = c.execute("SELECT count(*) FROM A").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(1));
+}
+
+#[test]
+fn poisoned_envelope_reports_the_first_error_at_done() {
+    let ts = TestServer::start(ServerConfig::default());
+    let mut c = ts.client();
+    c.execute("CREATE TABLE P (i INT, X1 FLOAT)").unwrap();
+
+    let mut ing = c.begin_ingest("P", &[]).unwrap();
+    ing.chunk(vec![vec![Value::Int(1), Value::Float(1.0)]])
+        .unwrap();
+    // Wrong arity poisons the stream server-side; later chunks are
+    // swallowed and the error surfaces once, at finish.
+    ing.chunk(vec![vec![Value::Int(2)]]).unwrap();
+    ing.chunk(vec![vec![Value::Int(3), Value::Float(3.0)]])
+        .unwrap();
+    match ing.finish() {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Protocol);
+            assert!(message.contains("header columns"), "{message}");
+        }
+        other => panic!("expected the poisoning error, got {other:?}"),
+    }
+    let rs = c.execute("SELECT count(*) FROM P").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(0), "poisoned rows visible");
+
+    // An unknown table fails the same way (header errors also park
+    // until Done), and the session survives for a correct retry.
+    let ing = c.begin_ingest("NOPE", &[]).unwrap();
+    assert!(ing.finish().is_err());
+    let mut ing = c.begin_ingest("P", &["X1", "i"]).unwrap();
+    ing.chunk(vec![vec![Value::Float(7.0), Value::Int(42)]])
+        .unwrap();
+    assert_eq!(ing.finish().unwrap(), 1);
+    let rs = c.execute("SELECT i, X1 FROM P").unwrap();
+    assert_eq!(rs.rows[0], vec![Value::Int(42), Value::Float(7.0)]);
+}
+
+#[test]
+fn refresh_daemon_republishes_models_from_streamed_ingest() {
+    let ts = TestServer::start(ServerConfig {
+        refresh_cadence: Some(Duration::from_millis(5)),
+        ..ServerConfig::default()
+    });
+    let mut c = ts.client();
+    c.execute("CREATE TABLE PTS (i INT, X1 FLOAT, X2 FLOAT, Y FLOAT)")
+        .unwrap();
+    c.execute("CREATE SUMMARY S ON PTS (X1, X2, Y) NO MINMAX")
+        .unwrap();
+
+    // Stream the training rows; the daemon's auto-discovered binding
+    // turns the folded Γ into a published s_beta model table.
+    let mut ing = c.begin_ingest("PTS", &[]).unwrap();
+    let rows: Vec<Vec<Value>> = (1..=400i64)
+        .map(|i| {
+            // X2 must not be collinear with X1 or the OLS refit is
+            // singular and the daemon has nothing to publish.
+            let x2 = ((i * 37) % 101) as f64 * 0.1;
+            vec![
+                Value::Int(i),
+                Value::Float(i as f64 * 0.5),
+                Value::Float(x2),
+                Value::Float(1.0 + i as f64 * 0.125 - 0.5 * x2),
+            ]
+        })
+        .collect();
+    for chunk in rows.chunks(90) {
+        ing.chunk(chunk.to_vec()).unwrap();
+    }
+    assert_eq!(ing.finish().unwrap(), 400);
+
+    // The daemon publishes without any further client action; METRICS
+    // mirrors its counter.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = c.metrics().unwrap();
+        if m.lookup("model_refreshes_total")
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0)
+            >= 1
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon never published");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The published model serves keyed scores over the wire.
+    let rs = c
+        .batch_score("PTS", "s_beta", &[1, 200, 400], false)
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    for row in &rs.rows {
+        assert!(row[1].as_f64().is_some(), "score missing: {row:?}");
+    }
+
+    // The Prometheus scrape exposes the serving counters.
+    let prom = c.metrics_prometheus().unwrap();
+    for needle in [
+        "nlq_ingest_rows_total",
+        "nlq_batch_score_keys_total",
+        "nlq_model_refreshes_total",
+    ] {
+        assert!(prom.contains(needle), "scrape missing {needle}");
+    }
+}

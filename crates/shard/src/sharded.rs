@@ -35,9 +35,10 @@ use std::time::Instant;
 use nlq_engine::{
     phase_spans, result_to_table, AggPartial, Db, EngineError, ExecOptions, ExecStats, Expr,
     PlanCacheStats, Projection, Result, ResultSet, SelectStmt, ShardMetricsSnapshot, SqlEngine,
-    Statement,
+    Statement, SummaryRefreshState,
 };
-use nlq_obs::render_spans;
+use nlq_models::Nlq;
+use nlq_obs::{render_spans, Phase, Span};
 use nlq_storage::{Row, Schema, Table, Value};
 
 use crate::affinity;
@@ -308,8 +309,29 @@ impl ShardedDb {
             | Statement::CreateSummary { .. }
             | Statement::DropSummary { .. }
             | Statement::Drop { .. } => self.exec_ddl(stmt, opts),
-            Statement::Delete { .. } | Statement::Update { .. } => self.fanout_all(stmt, opts),
+            Statement::Delete { .. } | Statement::Update { .. } => self.exec_dml(stmt, opts),
         }
+    }
+
+    /// The single write-invalidation hook. Every statement that
+    /// rebuilds table state funnels through here: DDL, CTAS, and —
+    /// the historical gap — DELETE/UPDATE, which rebuild each shard's
+    /// table (and therefore its PK index) and fold Γ deltas via
+    /// `Nlq::subtract`, but used to leave stale entries in the plan
+    /// cache. Plain INSERT/ingest appends within an existing shape and
+    /// deliberately skips this: dropping cached plans on every ingest
+    /// chunk would force the read-while-ingest path to re-parse.
+    fn invalidate_writes(&self) {
+        self.cache.invalidate();
+    }
+
+    /// DELETE/UPDATE: fan out to every shard, then invalidate cached
+    /// plans on the same path the shards invalidate their PK indexes
+    /// and fold their summaries.
+    fn exec_dml(&self, stmt: &Statement, opts: &ExecOptions) -> Result<ResultSet> {
+        let rs = self.fanout_all(stmt, opts)?;
+        self.invalidate_writes();
+        Ok(rs)
     }
 
     /// The shared cancel token for one statement: the caller's token
@@ -590,7 +612,7 @@ impl ShardedDb {
     /// invalidates the plan cache and updates distribution metadata.
     fn exec_ddl(&self, stmt: &Statement, opts: &ExecOptions) -> Result<ResultSet> {
         let rs = self.fanout_all(stmt, opts)?;
-        self.cache.invalidate();
+        self.invalidate_writes();
         match stmt {
             Statement::CreateTable { name, .. } => self.mark(name, Distribution::Partitioned),
             Statement::CreateView { name, query } => {
@@ -660,7 +682,7 @@ impl ShardedDb {
             sh.db.register_table(name, table)?;
         }
         self.mark(name, Distribution::Partitioned);
-        self.cache.invalidate();
+        self.invalidate_writes();
         let mut out = ResultSet::empty();
         out.stats = rs.stats;
         out.stats.gather_nanos += gather_started.elapsed().as_nanos() as u64;
@@ -776,6 +798,154 @@ impl SqlEngine for ShardedDb {
 
     fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
         Some(ShardedDb::plan_cache_stats(self))
+    }
+
+    /// Streamed-ingest commit: pre-evaluated rows split round-robin
+    /// across shards (partitioned target) or copied everywhere
+    /// (replicated target). Each shard's `insert_rows` folds the delta
+    /// into its own fresh Γ summaries.
+    fn ingest_rows(&self, table: &str, rows: Vec<Row>) -> Result<u64> {
+        let n = rows.len() as u64;
+        match self.table_dist(table) {
+            Distribution::Replicated => {
+                for sh in &self.shards[1..] {
+                    sh.db.insert_rows(table, rows.clone())?;
+                }
+                self.shards[0].db.insert_rows(table, rows)?;
+            }
+            Distribution::Partitioned => {
+                let s = self.shards.len();
+                let off = self.rr.fetch_add(n, Ordering::Relaxed) as usize;
+                let mut slices: Vec<Vec<Row>> = vec![Vec::new(); s];
+                for (j, row) in rows.into_iter().enumerate() {
+                    slices[(off + j) % s].push(row);
+                }
+                for (sh, slice) in self.shards.iter().zip(slices) {
+                    if !slice.is_empty() {
+                        sh.db.insert_rows(table, slice)?;
+                    }
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        self.shards[0].db.table_schema(name)
+    }
+
+    /// Sharded batch scoring. Round-robin placement means any shard
+    /// may own any key, so the full key list scatters to every shard;
+    /// each returns one row per key (NULL score for keys it does not
+    /// hold) and the gather keeps the first non-NULL score per
+    /// position. A shard that holds a key but scores it NULL (NULL
+    /// features) leaves NULL in place — same as unsharded.
+    fn batch_score(
+        &self,
+        table: &str,
+        model: &str,
+        keys: &[i64],
+        explain: bool,
+        opts: &ExecOptions,
+    ) -> Result<ResultSet> {
+        let s = self.shards.len();
+        if s == 1 || self.table_dist(table) == Distribution::Replicated {
+            let i = (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % s;
+            return self.shards[i]
+                .db
+                .batch_score(table, model, keys, explain, opts);
+        }
+        if explain {
+            let mut rs = self.shards[0]
+                .db
+                .batch_score(table, model, keys, true, opts)?;
+            rs.rows.push(vec![Value::Str(format!(
+                "scatter: {s} shards, gather: first owned score per key"
+            ))]);
+            return Ok(rs);
+        }
+        let token = self.token(opts);
+        let targets = self.all_targets();
+        let scatter_started = Instant::now();
+        let rxs: Vec<_> = targets
+            .iter()
+            .map(|&i| {
+                let db = Arc::clone(&self.shards[i].db);
+                let (table, model) = (table.to_owned(), model.to_owned());
+                let keys = keys.to_vec();
+                let o = self.shard_opts(opts, &token);
+                self.shards[i]
+                    .exec
+                    .submit(move || db.batch_score(&table, &model, &keys, false, &o))
+            })
+            .collect();
+        let results = self.collect(&targets, rxs, &token, |rs: &ResultSet| {
+            rs.stats.rows_scanned
+        });
+        let mut sets = fold_errors(results)?.into_iter();
+        let scatter_nanos = scatter_started.elapsed().as_nanos() as u64;
+
+        let gather_started = Instant::now();
+        let mut out = sets.next().expect("at least one shard");
+        for set in sets {
+            add_stats(&mut out.stats, &set.stats);
+            for (acc, mut row) in out.rows.iter_mut().zip(set.rows) {
+                let score = row.swap_remove(1);
+                if acc[1].is_null() && !score.is_null() {
+                    acc[1] = score;
+                }
+            }
+        }
+        out.stats.scatter_nanos = scatter_nanos;
+        out.stats.gather_nanos = gather_started.elapsed().as_nanos() as u64;
+        if let Some(trace) = &opts.trace {
+            trace.record(Span::new(Phase::Scatter, scatter_nanos).rows(keys.len() as u64));
+            trace.record(Span::new(Phase::Gather, out.stats.gather_nanos));
+        }
+        Ok(out)
+    }
+
+    /// Per-summary refresh signals merged across shards: versions and
+    /// folded-row counts sum (each shard bumps independently); the
+    /// merged state is fresh only when every shard's is.
+    fn summary_refresh_states(&self) -> Vec<SummaryRefreshState> {
+        let mut merged: Vec<SummaryRefreshState> = Vec::new();
+        for sh in &self.shards {
+            for st in sh.db.summary_refresh_states() {
+                match merged.iter_mut().find(|m| m.name == st.name) {
+                    Some(m) => {
+                        m.version += st.version;
+                        m.rows_folded += st.rows_folded;
+                        m.fresh &= st.fresh;
+                    }
+                    None => merged.push(st),
+                }
+            }
+        }
+        merged.sort_by(|a, b| a.name.cmp(&b.name));
+        merged
+    }
+
+    /// The global Γ state: every shard's maintained (or rebuilt) state
+    /// merged — exact, because Γ is additive over disjoint row slices.
+    fn summary_gamma(&self, name: &str) -> Result<Nlq> {
+        let mut acc: Option<Nlq> = None;
+        for sh in &self.shards {
+            let g = sh.db.summary_gamma(name)?;
+            match &mut acc {
+                Some(a) => a.merge(&g),
+                None => acc = Some(g),
+            }
+        }
+        Ok(acc.expect("at least one shard"))
+    }
+
+    fn publish_beta(&self, name: &str, intercept: f64, beta: &nlq_linalg::Vector) -> Result<()> {
+        self.register_beta(name, intercept, beta)
+    }
+
+    fn publish_centroids(&self, name: &str, centroids: &[nlq_linalg::Vector]) -> Result<()> {
+        self.register_centroids(name, centroids)
     }
 }
 

@@ -61,6 +61,9 @@ pub enum StorageError {
     Corrupt(&'static str),
     /// File I/O failed (disk-backed tables).
     Io(String),
+    /// The operation needs a capability this table lacks (e.g. a PK
+    /// index lookup on a table whose first column is not Int).
+    Unsupported(String),
 }
 
 impl StorageError {
@@ -82,6 +85,7 @@ impl fmt::Display for StorageError {
             }
             StorageError::Corrupt(what) => write!(f, "corrupt page data: {what}"),
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StorageError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }

@@ -1,6 +1,7 @@
 use crate::page::PageIter;
 use crate::segment::{Segment, SEGMENT_ROWS};
-use crate::{Page, Result, Row, Schema, Value};
+use crate::{DataType, Page, Result, Row, Schema, Value};
+use std::collections::{HashMap, HashSet};
 
 /// Largest integer magnitude `f64` represents exactly (2⁵³). Int
 /// values beyond this widen lossily in numeric block scans; planners
@@ -33,6 +34,26 @@ pub struct Table {
     /// (None until one is seen). Grows monotonically under INSERT;
     /// DML rebuilds recompute it from scratch.
     int_bounds: Vec<Option<(i64, i64)>>,
+    /// Primary-key hash index over the sealed regions, present iff the
+    /// first schema column is Int-typed.
+    pk: Option<PkIndex>,
+}
+
+/// Hash index mapping a primary-key value to its sealed position.
+///
+/// Entries are added at seal time, so the index only covers the
+/// columnar segments; rows still in a partition's paged tail are found
+/// by decoding the (bounded, ≤ `SEGMENT_ROWS` per partition) tail.
+/// NULL keys are never indexed. When the same key appears more than
+/// once, lookups prefer an unsealed (tail) duplicate, and the sealed
+/// index keeps the latest-sealed position — feature-store ingest keys
+/// are expected to be unique, so duplicates only matter for tests.
+#[derive(Debug, Clone)]
+struct PkIndex {
+    /// Index of the key column (always 0 today).
+    col: usize,
+    /// key → (partition, row offset within that partition's sealed segment).
+    map: HashMap<i64, (u32, u32)>,
 }
 
 #[derive(Debug, Clone)]
@@ -64,12 +85,21 @@ impl Table {
     pub fn new(schema: Schema, partitions: usize) -> Self {
         assert!(partitions > 0, "a table needs at least one partition");
         let int_bounds = vec![None; schema.len()];
+        let pk = schema
+            .columns()
+            .first()
+            .filter(|c| c.ty == DataType::Int)
+            .map(|_| PkIndex {
+                col: 0,
+                map: HashMap::new(),
+            });
         Table {
             partitions: (0..partitions).map(|_| Partition::new(&schema)).collect(),
             schema,
             next_partition: 0,
             row_count: 0,
             int_bounds,
+            pk,
         }
     }
 
@@ -140,24 +170,111 @@ impl Table {
         part.tail_rows += 1;
         self.row_count += 1;
         if part.tail_rows == SEGMENT_ROWS {
-            Self::seal_tail(part)?;
+            Self::seal_tail(part, p, self.pk.as_mut())?;
         }
         Ok(())
     }
 
     /// Decodes the partition's tail pages once and appends them to the
-    /// sealed segment column-wise.
-    fn seal_tail(part: &mut Partition) -> Result<()> {
+    /// sealed segment column-wise, indexing the newly sealed rows.
+    fn seal_tail(part: &mut Partition, p: usize, pk: Option<&mut PkIndex>) -> Result<()> {
         let mut rows = Vec::with_capacity(part.tail_rows);
         for page in &part.tail {
             for row in page.iter() {
                 rows.push(row?);
             }
         }
+        if let Some(pk) = pk {
+            let base = part.sealed.len() as u32;
+            for (off, row) in rows.iter().enumerate() {
+                if let Some(key) = row[pk.col].as_i64() {
+                    pk.map.insert(key, (p as u32, base + off as u32));
+                }
+            }
+        }
         part.sealed.append_rows(&rows);
         part.tail.clear();
         part.tail_rows = 0;
         Ok(())
+    }
+
+    /// Which column the primary-key hash index covers, if the table has
+    /// one (the first column, when Int-typed).
+    pub fn pk_column(&self) -> Option<usize> {
+        self.pk.as_ref().map(|pk| pk.col)
+    }
+
+    /// Number of sealed rows currently covered by the PK index.
+    pub fn pk_indexed_rows(&self) -> usize {
+        self.pk.as_ref().map_or(0, |pk| pk.map.len())
+    }
+
+    /// Point lookup by primary key: O(1) through the sealed hash index,
+    /// with a bounded tail-page fallback for rows not yet sealed.
+    /// Returns `None` when the table has no PK index or the key is absent.
+    pub fn pk_lookup(&self, key: i64) -> Result<Option<Row>> {
+        let Some(pk) = &self.pk else {
+            return Ok(None);
+        };
+        // Tail first: unsealed rows are newer than anything indexed.
+        let mut found = None;
+        for part in &self.partitions {
+            for page in &part.tail {
+                for row in page.iter() {
+                    let row = row?;
+                    if row[pk.col].as_i64() == Some(key) {
+                        found = Some(row);
+                    }
+                }
+            }
+        }
+        if found.is_some() {
+            return Ok(found);
+        }
+        Ok(pk
+            .map
+            .get(&key)
+            .map(|&(p, r)| self.partitions[p as usize].sealed.row(r as usize)))
+    }
+
+    /// Batch point lookup: decodes every tail page exactly once
+    /// (collecting requested keys), then probes the sealed hash index
+    /// for the rest. Returns one slot per requested key, in request
+    /// order, `None` where the key is absent.
+    ///
+    /// # Errors
+    /// Fails with [`crate::StorageError::Unsupported`] if the table has
+    /// no PK index (first column not Int-typed).
+    pub fn lookup_keys(&self, keys: &[i64]) -> Result<Vec<Option<Row>>> {
+        let Some(pk) = &self.pk else {
+            return Err(crate::StorageError::Unsupported(
+                "table has no primary-key index (first column must be Int)".into(),
+            ));
+        };
+        let wanted: HashSet<i64> = keys.iter().copied().collect();
+        let mut tail_hits: HashMap<i64, Row> = HashMap::new();
+        for part in &self.partitions {
+            for page in &part.tail {
+                for row in page.iter() {
+                    let row = row?;
+                    if let Some(k) = row[pk.col].as_i64() {
+                        if wanted.contains(&k) {
+                            tail_hits.insert(k, row);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(keys
+            .iter()
+            .map(|k| {
+                tail_hits.get(k).cloned().or_else(|| {
+                    pk.map
+                        .get(k)
+                        .map(|&(p, r)| self.partitions[p as usize].sealed.row(r as usize))
+                })
+            })
+            .collect())
     }
 
     /// Validates and appends many rows.
@@ -370,5 +487,85 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_panics() {
         let _ = Table::new(Schema::default(), 0);
+    }
+
+    fn keyed_table(partitions: usize, n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema, partitions);
+        for i in 0..n {
+            t.insert(vec![Value::Int(i as i64), Value::Float(i as f64 * 0.5)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn pk_index_exists_only_for_leading_int_column() {
+        assert_eq!(keyed_table(2, 0).pk_column(), Some(0));
+        let no_pk = Table::new(Schema::new(vec![Column::new("x", DataType::Float)]), 1);
+        assert_eq!(no_pk.pk_column(), None);
+        assert!(no_pk.lookup_keys(&[1]).is_err());
+        assert_eq!(no_pk.pk_lookup(1).unwrap(), None);
+    }
+
+    #[test]
+    fn pk_lookup_spans_sealed_and_tail_regions() {
+        let n = SEGMENT_ROWS * 3 + 100; // tails partially sealed
+        let t = keyed_table(2, n);
+        assert!(t.pk_indexed_rows() > 0, "seals must populate the index");
+        assert!(t.pk_indexed_rows() < n, "tail rows stay unindexed");
+        for k in [0usize, 1, SEGMENT_ROWS, n - 1] {
+            let row = t.pk_lookup(k as i64).unwrap().unwrap();
+            assert_eq!(row[0], Value::Int(k as i64));
+            assert_eq!(row[1], Value::Float(k as f64 * 0.5));
+        }
+        assert_eq!(t.pk_lookup(n as i64 + 5).unwrap(), None);
+    }
+
+    #[test]
+    fn lookup_keys_returns_request_order_with_gaps() {
+        let n = SEGMENT_ROWS + 10;
+        let t = keyed_table(3, n);
+        let keys = [7i64, -1, (n - 1) as i64, 7, 1_000_000];
+        let got = t.lookup_keys(&keys).unwrap();
+        assert_eq!(got.len(), keys.len());
+        assert_eq!(got[0].as_ref().unwrap()[0], Value::Int(7));
+        assert!(got[1].is_none());
+        assert_eq!(got[2].as_ref().unwrap()[0], Value::Int((n - 1) as i64));
+        assert_eq!(got[3], got[0], "duplicate keys resolve identically");
+        assert!(got[4].is_none());
+    }
+
+    #[test]
+    fn pk_lookup_prefers_tail_duplicate_over_sealed() {
+        let mut t = keyed_table(1, SEGMENT_ROWS); // key 3 now sealed
+        t.insert(vec![Value::Int(3), Value::Float(99.0)]).unwrap();
+        let row = t.pk_lookup(3).unwrap().unwrap();
+        assert_eq!(row[1], Value::Float(99.0), "tail row is newer");
+        let got = t.lookup_keys(&[3]).unwrap();
+        assert_eq!(got[0].as_ref().unwrap()[1], Value::Float(99.0));
+    }
+
+    #[test]
+    fn pk_index_skips_null_keys() {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema, 1);
+        for i in 0..SEGMENT_ROWS {
+            let key = if i.is_multiple_of(2) {
+                Value::Null
+            } else {
+                Value::Int(i as i64)
+            };
+            t.insert(vec![key, Value::Float(i as f64)]).unwrap();
+        }
+        assert_eq!(t.pk_indexed_rows(), SEGMENT_ROWS / 2);
+        assert!(t.pk_lookup(1).unwrap().is_some());
+        assert!(t.pk_lookup(2).unwrap().is_none(), "NULL keys unreachable");
     }
 }

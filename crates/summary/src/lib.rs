@@ -30,7 +30,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use nlq_linalg::{Matrix, Vector};
@@ -242,6 +242,13 @@ struct SummaryContent {
 pub struct SummaryEntry {
     def: SummaryDef,
     content: RwLock<SummaryContent>,
+    /// Monotonic change counter: bumped on every state transition
+    /// (fold, subtraction, stale edge, rebuild). Refresh daemons poll
+    /// it to detect that the maintained Γ moved without holding locks.
+    version: AtomicU64,
+    /// Cumulative rows folded in or subtracted out since creation —
+    /// the delta-volume signal behind threshold-triggered refreshes.
+    rows_folded: AtomicU64,
 }
 
 impl SummaryEntry {
@@ -253,6 +260,16 @@ impl SummaryEntry {
     /// Whether the maintained state is fresh.
     pub fn is_fresh(&self) -> bool {
         self.content.read().expect("summary lock").fresh
+    }
+
+    /// Monotonic change counter (see the field docs).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Cumulative rows folded in or subtracted out since creation.
+    pub fn rows_folded(&self) -> u64 {
+        self.rows_folded.load(Ordering::Acquire)
     }
 
     /// Copies the maintained state out of the lock.
@@ -282,12 +299,14 @@ impl SummaryEntry {
     pub fn rebuild_with_cancel(&self, table: &Table, cancel: Option<&AtomicBool>) -> Result<u64> {
         let (content, scanned) = build_content(&self.def, table, cancel)?;
         *self.content.write().expect("summary lock") = content;
+        self.version.fetch_add(1, Ordering::AcqRel);
         Ok(scanned)
     }
 
     /// Marks the state stale (the fresh → stale edge).
     pub fn mark_stale(&self) {
         self.content.write().expect("summary lock").fresh = false;
+        self.version.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Folds a batch of freshly inserted rows into the maintained
@@ -301,9 +320,13 @@ impl SummaryEntry {
             return;
         }
         match fold_delta(&self.def, schema, rows, &mut c) {
-            Ok(()) => {}
+            Ok(()) => {
+                self.rows_folded
+                    .fetch_add(rows.len() as u64, Ordering::AcqRel);
+            }
             Err(_) => c.fresh = false,
         }
+        self.version.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Folds a batch of deleted rows *out* of the maintained state by
@@ -319,12 +342,17 @@ impl SummaryEntry {
         }
         if self.def.minmax || self.def.group_by.is_some() {
             c.fresh = false;
+            self.version.fetch_add(1, Ordering::AcqRel);
             return;
         }
         match subtract_delta(&self.def, schema, rows, &mut c) {
-            Ok(()) => {}
+            Ok(()) => {
+                self.rows_folded
+                    .fetch_add(rows.len() as u64, Ordering::AcqRel);
+            }
             Err(_) => c.fresh = false,
         }
+        self.version.fetch_add(1, Ordering::AcqRel);
     }
 }
 
@@ -360,6 +388,8 @@ impl SummaryStore {
             Arc::new(SummaryEntry {
                 def,
                 content: RwLock::new(content),
+                version: AtomicU64::new(1),
+                rows_folded: AtomicU64::new(0),
             }),
         );
         Ok(())
@@ -440,6 +470,15 @@ impl SummaryStore {
         for e in self.for_table(table) {
             e.fold_rows(schema, rows);
         }
+    }
+
+    /// Every registered summary entry, name-sorted (refresh daemons
+    /// poll this to watch version/rows-folded counters move).
+    pub fn entries(&self) -> Vec<Arc<SummaryEntry>> {
+        let map = self.map.read().expect("summary store lock");
+        let mut v: Vec<_> = map.values().cloned().collect();
+        v.sort_by(|a, b| a.def.name.cmp(&b.def.name));
+        v
     }
 
     /// `(name, table, fresh)` for every registered summary, name-sorted.
@@ -981,6 +1020,42 @@ mod tests {
             panic!()
         };
         assert_eq!(nlq.n(), 2.0);
+    }
+
+    #[test]
+    fn version_and_rows_folded_advance_on_every_transition() {
+        let t = points_table(&[vec![1.0], vec![2.0]], 1);
+        let store = SummaryStore::new();
+        store
+            .create(def("s", &["X1"], MatrixShape::Diagonal, None), &t)
+            .unwrap();
+        let entry = store.get("s").unwrap();
+        assert_eq!(entry.version(), 1);
+        assert_eq!(entry.rows_folded(), 0);
+
+        store.fold_rows("x", t.schema(), &[vec![Value::Int(3), Value::Float(9.0)]]);
+        assert_eq!(entry.version(), 2);
+        assert_eq!(entry.rows_folded(), 1);
+
+        store.mark_stale_for_table("x");
+        assert_eq!(entry.version(), 3);
+        // Stale summaries ignore folds: neither counter moves.
+        store.fold_rows("x", t.schema(), &[vec![Value::Int(4), Value::Float(1.0)]]);
+        assert_eq!(entry.version(), 3);
+        assert_eq!(entry.rows_folded(), 1);
+
+        entry.rebuild(&t).unwrap();
+        assert_eq!(entry.version(), 4);
+
+        // NO MINMAX global summaries also count subtracted rows.
+        let mut nm = def("nm", &["X1"], MatrixShape::Diagonal, None);
+        nm.minmax = false;
+        store.create(nm, &t).unwrap();
+        let nm = store.get("nm").unwrap();
+        store.fold_deleted_rows("x", t.schema(), &[vec![Value::Int(1), Value::Float(1.0)]]);
+        assert_eq!(nm.version(), 2);
+        assert_eq!(nm.rows_folded(), 1);
+        assert!(nm.is_fresh());
     }
 
     #[test]
