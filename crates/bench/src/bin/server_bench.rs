@@ -14,7 +14,11 @@
 //! header→ack latency), keyed batch scoring through the PK index
 //! (`batch_score`, Zipf-skewed keys), and reads under concurrent
 //! ingest (`read_while_ingest`, asserting the summary and block fast
-//! paths hold); every workload reports client-observed p50/p99.
+//! paths hold); every workload reports client-observed p50/p99. A
+//! durability pair (`durable_ingest_fsync` / `durable_ingest_nofsync`)
+//! re-runs the ingest workload against WAL-backed engines opened on
+//! throwaway directories, pricing the fsync-per-commit ack guarantee
+//! against group commit without fsync.
 //! Emits `BENCH_server.json`.
 //!
 //! Usage:
@@ -284,6 +288,48 @@ fn main() {
         500_000_000,
     ));
     handle.shutdown();
+
+    // ---- Durable ingest: the same envelope stream, now logged to a
+    // write-ahead log before the ack. `fsync` prices the full
+    // durable-at-ack guarantee (one fsync per group commit); `nofsync`
+    // keeps the log but lets the OS page cache absorb it — the gap
+    // between the two is what crash-safety costs on this host.
+    for (workload, fsync) in [
+        ("durable_ingest_fsync", true),
+        ("durable_ingest_nofsync", false),
+    ] {
+        eprintln!("measuring {workload} ...");
+        let dir = std::env::temp_dir().join(format!(
+            "nlq-bench-wal-{}-{}",
+            std::process::id(),
+            if fsync { "fsync" } else { "nofsync" }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create wal dir");
+        let ddb = Db::open_durable(workers, &dir, fsync).expect("open durable");
+        ddb.execute(&format!(
+            "CREATE TABLE X (i INT, {})",
+            cols.iter()
+                .map(|c| format!("{c} FLOAT"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+        .expect("durable create table");
+        let mut dhandle = serve(
+            Arc::new(ddb) as Arc<dyn nlq_engine::SqlEngine>,
+            ServerConfig {
+                workers,
+                max_connections: clients + 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind durable loopback");
+        let mut m = measure_ingest(dhandle.addr(), "X", d, clients, per_client_ingest, 0);
+        m.workload = workload;
+        results.push(m);
+        dhandle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     // ---- Sharded server: scatter/gather scoring and the plan cache ----
     //

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N]
-//!              [--expect-slow] [--ingest] [--sharded N]
+//!              [--expect-slow] [--ingest] [--sharded N] [--feed N]
+//!              [--verify-recovery]
 //! ```
 //!
 //! `--expect-chunks N` asserts the large streamed query arrives in at
@@ -21,6 +22,15 @@
 //! the server's `--shards N`): a Γ-merged aggregate across shards, a
 //! cancelled sharded stream, a plan-cache hit surfaced by `EXPLAIN`,
 //! and per-shard metrics.
+//! `--feed N` streams ingest envelopes into the existing `F` table
+//! starting at key `N`, with no DDL and no shutdown — the CI crash job
+//! backgrounds this and `kill -9`s the server mid-stream, so a dropped
+//! connection is the expected way out (exit 0).
+//! `--verify-recovery` runs after that server restarts on the same
+//! `--wal-dir`: the row count must be a whole number of acked
+//! envelopes, summary and scan paths must agree, `STATUS` must carry
+//! the recovery counters, the refresh daemon must republish a model,
+//! and batch scores must still match the ingested formula.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -416,20 +426,7 @@ fn run_ingest(addr: &str, skip_shutdown: bool) -> Result<(), String> {
         .map_err(|e| format!("create F: {e}"))?;
     c.execute("CREATE SUMMARY sf ON F (X1, X2, Y) NO MINMAX")
         .map_err(|e| format!("create summary: {e}"))?;
-
-    // Exactly linear, full-rank data: Y = 1 + 0.25·X1 − 0.5·X2, with X2
-    // decorrelated from X1 so the closed-form refit is well-posed and
-    // the published coefficients reproduce Y to float precision.
-    let row = |i: i64| {
-        let x1 = i as f64 * 0.5;
-        let x2 = ((i * 37) % 101) as f64 * 0.1;
-        vec![
-            Value::Int(i),
-            Value::Float(x1),
-            Value::Float(x2),
-            Value::Float(1.0 + 0.25 * x1 - 0.5 * x2),
-        ]
-    };
+    let row = feature_row;
 
     // 10k rows in 10 envelopes of 4 chunks × 250 rows.
     let total_rows = 10_000i64;
@@ -583,6 +580,192 @@ fn run_ingest(addr: &str, skip_shutdown: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// One `F` row of exactly linear, full-rank feature data: `Y = 1 +
+/// 0.25·X1 − 0.5·X2`, with X2 decorrelated from X1 so the closed-form
+/// refit is well-posed and the published coefficients reproduce `Y` to
+/// float precision. Shared by the ingest, feed, and verify scripts —
+/// recovery checks only work if all three agree on the formula.
+fn feature_row(i: i64) -> Vec<Value> {
+    let x1 = i as f64 * 0.5;
+    let x2 = ((i * 37) % 101) as f64 * 0.1;
+    vec![
+        Value::Int(i),
+        Value::Float(x1),
+        Value::Float(x2),
+        Value::Float(1.0 + 0.25 * x1 - 0.5 * x2),
+    ]
+}
+
+/// Streams envelopes of 1000 rows into the existing `F` table starting
+/// at key `start`, until the connection drops. The CI crash job
+/// backgrounds this and `kill -9`s the server mid-stream, so an I/O
+/// error after the first envelope is the expected exit — durability is
+/// judged later by `--verify-recovery`, not here.
+fn run_feed(addr: &str, start: i64) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    c.ping().map_err(|e| format!("ping: {e}"))?;
+    println!(
+        "feed session {} established (keys from {start})",
+        c.session_id()
+    );
+    let mut next = start;
+    let mut envelopes = 0u64;
+    // Bounded so a CI job that fails to deliver the kill still
+    // terminates; 500 fsynced envelopes far outlasts the kill window.
+    while envelopes < 500 {
+        let outcome = (|| {
+            let mut ing = c.begin_ingest("F", &["i", "X1", "X2", "Y"])?;
+            for _ in 0..4 {
+                let rows: Vec<Vec<Value>> = (0..250)
+                    .map(|_| {
+                        let r = feature_row(next);
+                        next += 1;
+                        r
+                    })
+                    .collect();
+                ing.chunk(rows)?;
+            }
+            ing.finish()
+        })();
+        match outcome {
+            Ok(_) => envelopes += 1,
+            Err(e) => {
+                println!("feed stopped after {envelopes} envelopes (key {next}): {e}");
+                return Ok(());
+            }
+        }
+    }
+    println!("feed streamed {envelopes} envelopes without being killed");
+    Ok(())
+}
+
+/// Runs against a server restarted on the same `--wal-dir` after a
+/// `kill -9` landed mid-ingest: every ack the dead server issued must
+/// still be visible, and nothing half-streamed may have leaked in.
+fn run_verify_recovery(addr: &str, skip_shutdown: bool) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    c.ping().map_err(|e| format!("ping: {e}"))?;
+    println!("recovery session {} established", c.session_id());
+
+    // Atomicity: acks come only at envelope boundaries (1000 rows), so
+    // a recovered table holds the 10k acked by `--ingest` plus a whole
+    // number of acked feed envelopes — never a partial one.
+    let rs = c
+        .execute("SELECT count(*) FROM F")
+        .map_err(|e| format!("count: {e}"))?;
+    let count = rs.value(0, 0).as_i64().unwrap_or(-1);
+    if count < 10_000 {
+        return Err(format!("recovered only {count} rows, acked at least 10000"));
+    }
+    if count % 1000 != 0 {
+        return Err(format!(
+            "recovered {count} rows — a torn envelope leaked past recovery"
+        ));
+    }
+    println!("durability ok ({count} rows recovered, whole envelopes only)");
+
+    // The replayed summary must agree with a fresh scan of the
+    // replayed base table — both sides rebuilt from the same log.
+    let fast = c
+        .execute("SELECT count(*), sum(X1), sum(X2), sum(Y) FROM F")
+        .map_err(|e| format!("summary aggregate: {e}"))?;
+    if !fast.stats.summary_path {
+        return Err(format!(
+            "recovered summary not serving aggregates: {:?}",
+            fast.stats
+        ));
+    }
+    let slow = c
+        .execute("SELECT count(*), sum(X1), sum(X2), sum(Y) FROM F WHERE i >= 1")
+        .map_err(|e| format!("scan aggregate: {e}"))?;
+    if slow.stats.summary_path {
+        return Err("predicated aggregate unexpectedly hit the summary".into());
+    }
+    if fast.value(0, 0).as_i64() != slow.value(0, 0).as_i64() {
+        return Err(format!(
+            "summary count {:?} != scan count {:?}",
+            fast.value(0, 0),
+            slow.value(0, 0)
+        ));
+    }
+    for col in 1..4 {
+        let a = fast.value(0, col).as_f64().unwrap_or(f64::NAN);
+        let b = slow.value(0, col).as_f64().unwrap_or(f64::NAN);
+        if (a - b).abs() > 1e-6 * (1.0 + a.abs()) {
+            return Err(format!("summary/scan disagree on column {col}: {a} vs {b}"));
+        }
+    }
+    println!("consistency ok (summary path and scan path agree after replay)");
+
+    // STATUS must surface what recovery actually did.
+    let status = c.status().map_err(|e| format!("status: {e}"))?;
+    let replayed = status
+        .lookup("recovery.replayed_records")
+        .and_then(|v| v.as_i64())
+        .ok_or("STATUS missing recovery.replayed_records")?;
+    if replayed < 1 {
+        return Err(format!("recovery.replayed_records = {replayed}, want >= 1"));
+    }
+    let envelopes = status
+        .lookup("recovery.replayed_envelopes")
+        .and_then(|v| v.as_i64())
+        .unwrap_or(0);
+    if status.lookup("wal.log_bytes").is_none() {
+        return Err("STATUS missing wal.log_bytes on a durable server".into());
+    }
+    println!("status ok ({replayed} records / {envelopes} envelopes replayed)");
+
+    // The refresh daemon must rediscover the replayed summary and
+    // republish a model on its own.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let metrics = c.metrics().map_err(|e| format!("metrics: {e}"))?;
+        let n = metrics
+            .lookup("model_refreshes_total")
+            .and_then(|v| v.as_i64())
+            .ok_or("metrics missing model_refreshes_total")?;
+        if n >= 1 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err("refresh counter never advanced after recovery".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!("refresh ok (daemon republished a model from the replayed summary)");
+
+    // Scores served off the recovered data and refit model must still
+    // reproduce the ingested formula exactly.
+    let keys: Vec<i64> = (1..=1000).collect();
+    let rs = c
+        .batch_score("F", "sf_beta", &keys, false)
+        .map_err(|e| format!("batch score: {e}"))?;
+    if rs.rows.len() != keys.len() {
+        return Err(format!(
+            "batch score returned {} rows, want 1000",
+            rs.rows.len()
+        ));
+    }
+    for (k, r) in keys.iter().zip(&rs.rows) {
+        let want = {
+            let x1 = *k as f64 * 0.5;
+            let x2 = ((k * 37) % 101) as f64 * 0.1;
+            1.0 + 0.25 * x1 - 0.5 * x2
+        };
+        let got = r[1].as_f64().unwrap_or(f64::NAN);
+        if (got - want).abs() > 1e-6 {
+            return Err(format!("key {k} scored {got} after recovery, want {want}"));
+        }
+    }
+    println!("batch score ok (1000 keys match the pre-crash formula)");
+
+    if !skip_shutdown {
+        c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        println!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut addr = None;
     let mut skip_shutdown = false;
@@ -590,6 +773,8 @@ fn main() -> ExitCode {
     let mut expect_slow = false;
     let mut ingest = false;
     let mut sharded = 0usize;
+    let mut feed = None;
+    let mut verify_recovery = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -597,6 +782,16 @@ fn main() -> ExitCode {
             "--skip-shutdown" => skip_shutdown = true,
             "--expect-slow" => expect_slow = true,
             "--ingest" => ingest = true,
+            "--verify-recovery" => verify_recovery = true,
+            "--feed" => {
+                feed = match args.next().map(|v| v.parse::<i64>()) {
+                    Some(Ok(n)) => Some(n),
+                    _ => {
+                        eprintln!("--feed requires a starting key");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--sharded" => {
                 sharded = match args.next().map(|v| v.parse()) {
                     Some(Ok(n)) => n,
@@ -624,11 +819,15 @@ fn main() -> ExitCode {
     let Some(addr) = addr else {
         eprintln!(
             "usage: server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N] \
-             [--expect-slow] [--ingest] [--sharded N]"
+             [--expect-slow] [--ingest] [--sharded N] [--feed N] [--verify-recovery]"
         );
         return ExitCode::FAILURE;
     };
-    let outcome = if ingest {
+    let outcome = if let Some(start) = feed {
+        run_feed(&addr, start)
+    } else if verify_recovery {
+        run_verify_recovery(&addr, skip_shutdown)
+    } else if ingest {
         run_ingest(&addr, skip_shutdown)
     } else if sharded > 0 {
         run_sharded(&addr, skip_shutdown, sharded)

@@ -367,6 +367,13 @@ impl Client {
         }
     }
 
+    /// Asks a durable server to checkpoint: snapshot every table and
+    /// truncate the write-ahead log. A volatile server (no
+    /// `--wal-dir`) answers `Ok` without doing anything.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.expect_ok(&Request::Checkpoint)
+    }
+
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<()> {
         self.expect_ok(&Request::Shutdown)

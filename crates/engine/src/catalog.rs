@@ -75,6 +75,16 @@ impl Catalog {
         Ok(())
     }
 
+    /// Every entry, name-sorted (checkpoint snapshots iterate this for
+    /// a deterministic manifest).
+    pub fn entries(&self) -> Vec<(String, CatalogEntry)> {
+        let map = self.map.read().expect("catalog lock");
+        let mut out: Vec<(String, CatalogEntry)> =
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Replaces a table in place (used by INSERT).
     pub fn replace_table(&self, name: &str, table: Arc<Table>) {
         self.map

@@ -1,3 +1,4 @@
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -5,7 +6,10 @@ use std::time::Instant;
 use nlq_linalg::{Matrix, Vector};
 use nlq_models::{MatrixShape, Nlq};
 use nlq_obs::{render_spans, Phase, Span, Trace};
-use nlq_storage::{Column, DataType, Row, Schema, Table, Value};
+use nlq_storage::{
+    replay_wal, CheckpointManifest, Column, DataType, FileIo, Row, Schema, StorageError, Table,
+    Value, Wal, WalIo, WalRecord, WalStatsSnapshot,
+};
 use nlq_summary::{SummaryData, SummaryDef, SummaryStore};
 use nlq_udf::pack::{assemble_blocks, unpack_block, unpack_nlq};
 use nlq_udf::{ParamStyle, UdfRegistry};
@@ -78,6 +82,10 @@ pub struct ExecStats {
     /// and merging Γ/aggregate partials (or concatenating row
     /// streams). Always 0 on a single `Db`.
     pub gather_nanos: u64,
+    /// Wall-clock time spent appending write-ahead-log records and
+    /// waiting on the commit fsync. Always 0 on a non-durable engine
+    /// and for read-only statements.
+    pub wal_nanos: u64,
     /// Whether the statement was cancelled mid-execution. The engine
     /// never returns a [`ResultSet`] for a cancelled statement (it
     /// returns [`EngineError::Cancelled`]); this flag exists so
@@ -171,6 +179,38 @@ impl ExecOptions {
     }
 }
 
+/// What crash recovery did while opening a durable engine, reported
+/// through `STATUS` and the metrics surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Committed WAL payload records re-applied during replay.
+    pub replayed_records: u64,
+    /// Ingest (`Rows`) envelopes among the replayed records.
+    pub replayed_envelopes: u64,
+    /// Torn or corrupt bytes physically truncated off the log tail.
+    pub truncated_bytes: u64,
+    /// Tables restored from the checkpoint snapshot before replay.
+    pub checkpoint_tables: u64,
+}
+
+/// The durability state of a [`Db`] opened with [`Db::open_durable`].
+struct WalState {
+    wal: Wal,
+    dir: PathBuf,
+    /// Read-held across every logged envelope's append → apply → commit
+    /// window; write-held by [`Db::checkpoint`] so the snapshot and the
+    /// log reset see no half-applied envelopes.
+    gate: RwLock<()>,
+    /// Live `CREATE VIEW` statement texts by lowercase view name. Views
+    /// have no storage to snapshot, so the checkpoint manifest replays
+    /// these texts.
+    view_ddl: Mutex<Vec<(String, String)>>,
+    recovery: RecoveryInfo,
+}
+
+/// Name of the log file inside a WAL directory.
+const WAL_FILE: &str = "wal.log";
+
 /// An in-memory parallel database: catalog + worker pool + UDF
 /// registry. The Rust stand-in for the Teradata server the paper runs
 /// on (20 parallel threads by default in the experiments).
@@ -191,6 +231,8 @@ pub struct Db {
     block_scan: AtomicBool,
     /// Serializes DML (INSERT/DELETE/UPDATE) read-modify-write cycles.
     dml_lock: Mutex<()>,
+    /// Write-ahead log; `None` for a volatile (non-durable) database.
+    wal: Option<WalState>,
 }
 
 impl Db {
@@ -204,7 +246,101 @@ impl Db {
             workers: workers.max(1),
             block_scan: AtomicBool::new(true),
             dml_lock: Mutex::new(()),
+            wal: None,
         }
+    }
+
+    /// Opens a **durable** database rooted at `dir`: every mutating
+    /// statement and ingest envelope is written to a write-ahead log
+    /// before it is acknowledged (fsynced when `fsync` is true), and
+    /// opening the same directory again replays the committed log tail
+    /// on top of the latest checkpoint snapshot. See
+    /// [`Db::checkpoint`] for log truncation.
+    pub fn open_durable(workers: usize, dir: &Path, fsync: bool) -> Result<Db> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StorageError::Io(format!("wal dir {}: {e}", dir.display())))?;
+        let io = Arc::new(FileIo::open(&dir.join(WAL_FILE)).map_err(StorageError::from_io)?);
+        Db::open_durable_with_io(workers, dir, io, fsync)
+    }
+
+    /// [`Db::open_durable`] with an explicit [`WalIo`] for the log
+    /// *appends* (fault-injection tests substitute a crashing sink).
+    /// Recovery always reads the real file at `dir/wal.log`.
+    pub fn open_durable_with_io(
+        workers: usize,
+        dir: &Path,
+        io: Arc<dyn WalIo>,
+        fsync: bool,
+    ) -> Result<Db> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StorageError::Io(format!("wal dir {}: {e}", dir.display())))?;
+        let mut db = Db::new(workers);
+        let mut info = RecoveryInfo::default();
+        let mut view_ddl: Vec<(String, String)> = Vec::new();
+        let mut horizon = 0u64;
+
+        // 1. Restore the checkpoint snapshot, if one exists. The
+        //    `.old` fallback covers a crash mid-rotation: the rename
+        //    dance in `checkpoint` guarantees at least one complete
+        //    directory survives any crash point.
+        if let Some((ckdir, manifest)) = load_checkpoint(dir)? {
+            for t in &manifest.tables {
+                db.load_table(t, &ckdir.join(format!("{t}.tbl")))?;
+                info.checkpoint_tables += 1;
+            }
+            for ddl in &manifest.ddl {
+                db.apply_replayed_sql(ddl, &mut view_ddl)?;
+            }
+            horizon = manifest.horizon;
+        }
+
+        // 2. Replay the committed WAL suffix. `replay_wal` already
+        //    truncated any torn/corrupt tail and filtered out
+        //    envelopes without a commit marker or below the horizon.
+        let replay = replay_wal(&dir.join(WAL_FILE), horizon)?;
+        info.truncated_bytes = replay.truncated_bytes;
+        for rec in &replay.records {
+            match rec {
+                WalRecord::Sql { text, .. } => db.apply_replayed_sql(text, &mut view_ddl)?,
+                WalRecord::Rows { table, rows, .. } => {
+                    db.insert_rows(table, rows.clone())?;
+                    info.replayed_envelopes += 1;
+                }
+                WalRecord::Commit { .. } => unreachable!("replay returns payloads only"),
+            }
+            info.replayed_records += 1;
+        }
+
+        let wal = Wal::new(io, fsync, replay.next_eid, replay.valid_bytes);
+        wal.stats()
+            .replayed
+            .store(info.replayed_records, Ordering::Relaxed);
+        db.wal = Some(WalState {
+            wal,
+            dir: dir.to_path_buf(),
+            gate: RwLock::new(()),
+            view_ddl: Mutex::new(view_ddl),
+            recovery: info,
+        });
+        Ok(db)
+    }
+
+    /// Executes one recovered statement text without logging it again,
+    /// tracking `CREATE VIEW` texts for the next checkpoint manifest.
+    fn apply_replayed_sql(&self, sql: &str, view_ddl: &mut Vec<(String, String)>) -> Result<()> {
+        let stmt = parse(sql)?;
+        match &stmt {
+            Statement::CreateView { name, .. } => {
+                view_ddl.push((name.to_ascii_lowercase(), sql.to_string()));
+            }
+            Statement::Drop { name } => {
+                let key = name.to_ascii_lowercase();
+                view_ddl.retain(|(n, _)| *n != key);
+            }
+            _ => {}
+        }
+        self.execute_stmt_inner(stmt, &ExecOptions::default(), 0)?;
+        Ok(())
     }
 
     /// Number of parallel workers (and table partitions).
@@ -277,7 +413,11 @@ impl Db {
         let parse_started = Instant::now();
         let stmt = parse(sql)?;
         let parse_nanos = parse_started.elapsed().as_nanos() as u64;
-        let mut rs = self.execute_stmt_inner(stmt, opts, parse_nanos)?;
+        let mut rs = if self.wal.is_some() && statement_is_logged(&stmt) {
+            self.execute_logged(sql, stmt, opts, parse_nanos)?
+        } else {
+            self.execute_stmt_inner(stmt, opts, parse_nanos)?
+        };
         rs.stats.parse_nanos = parse_nanos;
         if let Some(trace) = &opts.trace {
             for span in phase_spans(&rs.stats) {
@@ -301,6 +441,47 @@ impl Db {
         if let Some(trace) = &opts.trace {
             for span in phase_spans(&rs.stats) {
                 trace.record(span);
+            }
+        }
+        Ok(rs)
+    }
+
+    /// Runs one mutating statement under WAL protection: the statement
+    /// text is appended to the log *before* it is applied, and the
+    /// commit marker is appended (and group-fsynced) *after* the apply
+    /// succeeded — so returning `Ok` implies the statement survives a
+    /// crash, and a statement that failed to apply leaves only an
+    /// uncommitted payload record that replay ignores.
+    fn execute_logged(
+        &self,
+        sql: &str,
+        stmt: Statement,
+        opts: &ExecOptions,
+        parse_nanos: u64,
+    ) -> Result<ResultSet> {
+        let ws = self.wal.as_ref().expect("execute_logged without wal");
+        let _gate = ws.gate.read().expect("wal gate");
+        let log_started = Instant::now();
+        let eid = ws.wal.alloc_eid();
+        ws.wal.log_sql(eid, sql)?;
+        let log_nanos = log_started.elapsed().as_nanos() as u64;
+        // Views have no storage to snapshot, so checkpoints carry their
+        // defining texts; note the effect before `stmt` moves.
+        let view_effect = match &stmt {
+            Statement::CreateView { name, .. } => Some((name.to_ascii_lowercase(), true)),
+            Statement::Drop { name } => Some((name.to_ascii_lowercase(), false)),
+            _ => None,
+        };
+        let mut rs = self.execute_stmt_inner(stmt, opts, parse_nanos)?;
+        let commit_started = Instant::now();
+        ws.wal.commit(eid)?;
+        rs.stats.wal_nanos = log_nanos + commit_started.elapsed().as_nanos() as u64;
+        if let Some((name, created)) = view_effect {
+            let mut views = ws.view_ddl.lock().expect("view ddl lock");
+            if created {
+                views.push((name, sql.to_string()));
+            } else {
+                views.retain(|(n, _)| *n != name);
             }
         }
         Ok(rs)
@@ -563,6 +744,98 @@ impl Db {
     pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<()> {
         let _dml = self.dml_lock.lock().expect("dml lock");
         self.append_rows(table, rows)
+    }
+
+    /// WAL counters (`None` on a volatile database).
+    pub fn wal_stats(&self) -> Option<WalStatsSnapshot> {
+        self.wal.as_ref().map(|w| w.wal.stats().snapshot())
+    }
+
+    /// Bytes currently in the live WAL file — the auto-checkpoint
+    /// trigger input (`None` on a volatile database). Unlike the
+    /// monotone [`Db::wal_stats`] byte counter, this resets to 0 when a
+    /// checkpoint truncates the log.
+    pub fn wal_log_bytes(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.wal.bytes())
+    }
+
+    /// What recovery replayed when this database opened (`None` on a
+    /// volatile database).
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.wal.as_ref().map(|w| w.recovery)
+    }
+
+    /// Takes a checkpoint: snapshots every base table plus the DDL to
+    /// recreate views and summaries into `dir/checkpoint`, then durably
+    /// truncates the WAL. Returns `false` (doing nothing) on a volatile
+    /// database.
+    ///
+    /// Crash safety is by rename dance: the snapshot is assembled in
+    /// `checkpoint.tmp`, the previous snapshot is renamed to
+    /// `checkpoint.old` before the new one is published, and recovery
+    /// falls back to `.old` whenever `checkpoint/` is missing or its
+    /// manifest does not verify — so at least one complete snapshot
+    /// survives any crash point. The WAL reset happens last; if the
+    /// process dies before it, replay skips the already-snapshotted
+    /// envelopes via the manifest horizon.
+    pub fn checkpoint(&self) -> Result<bool> {
+        let Some(ws) = &self.wal else {
+            return Ok(false);
+        };
+        let _gate = ws.gate.write().expect("wal gate");
+        let horizon = ws.wal.next_eid();
+        let tmp = ws.dir.join("checkpoint.tmp");
+        let cur = ws.dir.join("checkpoint");
+        let old = ws.dir.join("checkpoint.old");
+        let ioerr = |what: &str, e: std::io::Error| {
+            EngineError::Storage(StorageError::Io(format!("checkpoint {what}: {e}")))
+        };
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(&tmp).map_err(|e| ioerr("mkdir", e))?;
+        let mut tables = Vec::new();
+        for (name, entry) in self.catalog.entries() {
+            if let CatalogEntry::Table(t) = entry {
+                t.save(&tmp.join(format!("{name}.tbl")))?;
+                tables.push(name);
+            }
+        }
+        let mut ddl: Vec<String> = ws
+            .view_ddl
+            .lock()
+            .expect("view ddl lock")
+            .iter()
+            .map(|(_, sql)| sql.clone())
+            .collect();
+        ddl.extend(self.summary_ddl());
+        let manifest = CheckpointManifest {
+            horizon,
+            tables,
+            ddl,
+        };
+        let mpath = tmp.join("MANIFEST");
+        std::fs::write(&mpath, manifest.encode()).map_err(|e| ioerr("manifest write", e))?;
+        std::fs::File::open(&mpath)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| ioerr("manifest sync", e))?;
+        if cur.exists() {
+            let _ = std::fs::remove_dir_all(&old);
+            std::fs::rename(&cur, &old).map_err(|e| ioerr("rotate", e))?;
+        }
+        std::fs::rename(&tmp, &cur).map_err(|e| ioerr("publish", e))?;
+        let _ = std::fs::remove_dir_all(&old);
+        ws.wal.reset()?;
+        Ok(true)
+    }
+
+    /// The `CREATE SUMMARY` statements that would recreate every live
+    /// summary definition (checkpoint manifests carry these; replaying
+    /// one re-folds the summary from its base table).
+    pub fn summary_ddl(&self) -> Vec<String> {
+        self.summaries
+            .entries()
+            .iter()
+            .map(|e| summary_create_ddl(e.def()))
+            .collect()
     }
 
     /// Resolves a name to a base table, rejecting views (DML and
@@ -845,6 +1118,67 @@ impl Db {
     }
 }
 
+/// Whether a statement mutates durable state and therefore must be
+/// WAL-logged on a durable engine (reads — SELECT and the EXPLAIN
+/// family — are not). Public so coordinating layers (the sharded
+/// engine) apply the same logging policy.
+pub fn statement_is_logged(stmt: &Statement) -> bool {
+    !matches!(
+        stmt,
+        Statement::Select(_) | Statement::Explain(_) | Statement::ExplainAnalyze(_)
+    )
+}
+
+/// Finds the newest complete checkpoint under `dir`: `checkpoint/` if
+/// its manifest verifies, else `checkpoint.old/` (a crash mid-rotation
+/// can leave either as the only complete snapshot), else `None`.
+/// Public so the sharded engine can drive the same rotation protocol
+/// over its own (multi-shard) snapshot layout.
+pub fn load_checkpoint(dir: &Path) -> Result<Option<(PathBuf, CheckpointManifest)>> {
+    for name in ["checkpoint", "checkpoint.old"] {
+        let ckdir = dir.join(name);
+        let data = match std::fs::read(ckdir.join("MANIFEST")) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => {
+                return Err(EngineError::Storage(StorageError::Io(format!(
+                    "checkpoint manifest read: {e}"
+                ))))
+            }
+        };
+        // An unverifiable manifest marks an incomplete snapshot; the
+        // fallback (if any) is the authoritative one.
+        if let Ok(m) = CheckpointManifest::decode(&data) {
+            return Ok(Some((ckdir, m)));
+        }
+    }
+    Ok(None)
+}
+
+/// Regenerates the `CREATE SUMMARY` statement for a live definition
+/// (checkpoint manifests re-execute these after loading the snapshot,
+/// re-folding each summary from its base table).
+fn summary_create_ddl(def: &SummaryDef) -> String {
+    let mut s = format!(
+        "CREATE SUMMARY {} ON {} ({})",
+        def.name,
+        def.table,
+        def.columns.join(", ")
+    );
+    s.push_str(match def.shape {
+        MatrixShape::Diagonal => " SHAPE diag",
+        MatrixShape::Triangular => " SHAPE triang",
+        MatrixShape::Full => " SHAPE full",
+    });
+    if !def.minmax {
+        s.push_str(" NO MINMAX");
+    }
+    if let Some(g) = &def.group_by {
+        s.push_str(&format!(" GROUP BY {g}"));
+    }
+    s
+}
+
 /// Parses the wide one-row result of the pure-SQL `n, L, Q` query into
 /// statistics (column order: `n`, `L1..Ld`, then the `d²` Q positions
 /// row-major with NULL placeholders for entries the shape skips).
@@ -899,6 +1233,9 @@ pub fn phase_spans(stats: &ExecStats) -> Vec<Span> {
                 .blocks(stats.blocks_scanned),
         );
         spans.push(Span::new(Phase::Gather, stats.gather_nanos));
+        if stats.wal_nanos > 0 {
+            spans.push(Span::new(Phase::Wal, stats.wal_nanos));
+        }
         return spans;
     }
     let mut spans = vec![Span::new(Phase::Parse, stats.parse_nanos)];
@@ -921,6 +1258,9 @@ pub fn phase_spans(stats: &ExecStats) -> Vec<Span> {
     }
     if stats.finalize_nanos > 0 {
         spans.push(Span::new(Phase::Finalize, stats.finalize_nanos));
+    }
+    if stats.wal_nanos > 0 {
+        spans.push(Span::new(Phase::Wal, stats.wal_nanos));
     }
     spans
 }
@@ -1091,6 +1431,39 @@ pub trait SqlEngine: Send + Sync {
 
     /// Publishes (or replaces) cluster centroids as `name(j, X1..Xd)`.
     fn publish_centroids(&self, name: &str, centroids: &[Vector]) -> Result<()>;
+
+    /// Publishes (or replaces) a d × k PCA loading matrix as
+    /// `name(j, X1..Xd)` with one row per component.
+    fn publish_lambda(&self, _name: &str, _lambda: &Matrix) -> Result<()> {
+        Err(EngineError::Unsupported(
+            "engine does not support publishing PCA loadings".into(),
+        ))
+    }
+
+    /// WAL counters (`None` when the engine keeps no write-ahead log).
+    /// On a sharded engine, the sum across per-shard logs.
+    fn wal_stats(&self) -> Option<WalStatsSnapshot> {
+        None
+    }
+
+    /// Bytes currently in the live WAL file(s) — resets to 0 at each
+    /// checkpoint, making it the auto-checkpoint trigger input (`None`
+    /// when the engine keeps no log).
+    fn wal_log_bytes(&self) -> Option<u64> {
+        None
+    }
+
+    /// Snapshots tables + DDL and durably truncates the log(s); `false`
+    /// (a no-op) on a volatile engine.
+    fn checkpoint(&self) -> Result<bool> {
+        Ok(false)
+    }
+
+    /// What crash recovery replayed when the engine opened (`None` on
+    /// a volatile engine; zeroes for a clean durable start).
+    fn recovery_info(&self) -> Option<RecoveryInfo> {
+        None
+    }
 }
 
 impl SqlEngine for Db {
@@ -1100,7 +1473,18 @@ impl SqlEngine for Db {
 
     fn ingest_rows(&self, table: &str, rows: Vec<Row>) -> Result<u64> {
         let n = rows.len() as u64;
-        self.insert_rows(table, rows)?;
+        if let Some(ws) = &self.wal {
+            // One WAL envelope per ingest batch: log the rows, apply,
+            // then commit — the Done ack the server sends after this
+            // returns implies the whole envelope is durable.
+            let _gate = ws.gate.read().expect("wal gate");
+            let eid = ws.wal.alloc_eid();
+            ws.wal.log_rows(eid, table, &rows)?;
+            self.insert_rows(table, rows)?;
+            ws.wal.commit(eid)?;
+        } else {
+            self.insert_rows(table, rows)?;
+        }
         Ok(n)
     }
 
@@ -1160,5 +1544,25 @@ impl SqlEngine for Db {
 
     fn publish_centroids(&self, name: &str, centroids: &[Vector]) -> Result<()> {
         self.register_centroids(name, centroids)
+    }
+
+    fn publish_lambda(&self, name: &str, lambda: &Matrix) -> Result<()> {
+        self.register_lambda(name, lambda)
+    }
+
+    fn wal_stats(&self) -> Option<WalStatsSnapshot> {
+        Db::wal_stats(self)
+    }
+
+    fn wal_log_bytes(&self) -> Option<u64> {
+        Db::wal_log_bytes(self)
+    }
+
+    fn checkpoint(&self) -> Result<bool> {
+        Db::checkpoint(self)
+    }
+
+    fn recovery_info(&self) -> Option<RecoveryInfo> {
+        Db::recovery_info(self)
     }
 }

@@ -28,7 +28,9 @@ mod ingest;
 mod refresh;
 
 pub use ingest::{IngestState, IngestStream};
-pub use refresh::{Binding, BindingKind, RefreshConfig, RefreshDaemon, RefreshLoop};
+pub use refresh::{
+    Binding, BindingKind, RefreshConfig, RefreshDaemon, RefreshLoop, RefreshProgress, TickGate,
+};
 
 use std::fmt;
 

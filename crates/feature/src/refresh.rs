@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -41,6 +41,13 @@ pub enum BindingKind {
     Kmeans {
         /// Number of clusters.
         k: usize,
+    },
+    /// PCA of the summary's correlation matrix — a closed form over Γ,
+    /// like regression. Published as the component-led loading table
+    /// `model(j, X1..Xd)`, one row per component `j = 1..k`.
+    Pca {
+        /// Number of principal components to keep (clamped to `d`).
+        components: usize,
     },
 }
 
@@ -73,6 +80,15 @@ impl Binding {
             kind: BindingKind::Kmeans { k },
         }
     }
+
+    /// A PCA binding publishing to `<summary>_lambda`.
+    pub fn pca(summary: &str, components: usize) -> Binding {
+        Binding {
+            summary: summary.to_ascii_lowercase(),
+            model: format!("{}_lambda", summary.to_ascii_lowercase()),
+            kind: BindingKind::Pca { components },
+        }
+    }
 }
 
 /// Cadence and trigger thresholds for the loop.
@@ -85,8 +101,14 @@ pub struct RefreshConfig {
     /// (deletes, rebuilds — version moved without new folded rows)
     /// always trigger. `0` refreshes on any movement.
     pub min_delta_rows: u64,
-    /// Automatically add a [`Binding::regression`] for every eligible
-    /// summary (global, non-diagonal, `d ≥ 2`) the engine reports.
+    /// Automatically bind every eligible summary (global,
+    /// non-diagonal, `d ≥ 2`) the engine reports: a
+    /// [`Binding::regression`] always, plus a [`Binding::kmeans`] /
+    /// [`Binding::pca`] when a `j`-led `<summary>_centroids` /
+    /// component-led `<summary>_lambda` model table already exists
+    /// (its row count fixes `k` / the component count), so the daemon
+    /// adopts models that were published manually or by a previous
+    /// process lifetime.
     pub auto_discover: bool,
 }
 
@@ -110,6 +132,54 @@ struct BindingState {
     seeds: Option<Vec<Vector>>,
 }
 
+/// Shared ledger of how far each bound summary's fold counter had
+/// advanced when its models were last published.
+///
+/// [`RefreshDaemon::staleness`] compares the ledger against the
+/// engine's **current** counters on demand. That on-demand shape is
+/// the point: a gauge updated by the tick itself would freeze at its
+/// last value the moment the daemon stalled, which is exactly when
+/// back-pressure needs to see the lag grow.
+#[derive(Debug, Default)]
+pub struct RefreshProgress {
+    /// summary (lowercase) → `rows_folded` at the last publish
+    /// (0 until the first publish).
+    published: Mutex<HashMap<String, u64>>,
+}
+
+impl RefreshProgress {
+    fn bind(&self, summary: &str) {
+        self.published
+            .lock()
+            .unwrap()
+            .entry(summary.to_ascii_lowercase())
+            .or_insert(0);
+    }
+
+    fn publish(&self, summary: &str, rows_folded: u64) {
+        self.published
+            .lock()
+            .unwrap()
+            .insert(summary.to_ascii_lowercase(), rows_folded);
+    }
+
+    /// Worst per-binding lag: rows folded into a bound summary since
+    /// that summary's models were last published. 0 with no bindings.
+    pub fn staleness(&self, engine: &dyn SqlEngine) -> u64 {
+        let current: HashMap<String, u64> = engine
+            .summary_refresh_states()
+            .into_iter()
+            .map(|st| (st.name.to_ascii_lowercase(), st.rows_folded))
+            .collect();
+        let published = self.published.lock().unwrap();
+        published
+            .iter()
+            .map(|(s, done)| current.get(s).copied().unwrap_or(0).saturating_sub(*done))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// The synchronous refresh core: polls refresh signals, refits and
 /// publishes what moved. Drive it from your own scheduler or wrap it
 /// in a [`RefreshDaemon`].
@@ -118,6 +188,7 @@ pub struct RefreshLoop {
     config: RefreshConfig,
     bindings: Vec<Binding>,
     state: HashMap<String, BindingState>,
+    progress: Arc<RefreshProgress>,
     refreshes: u64,
 }
 
@@ -129,11 +200,34 @@ impl RefreshLoop {
         bindings: Vec<Binding>,
         config: RefreshConfig,
     ) -> RefreshLoop {
+        Self::with_progress(
+            engine,
+            bindings,
+            config,
+            Arc::new(RefreshProgress::default()),
+        )
+    }
+
+    /// Like [`RefreshLoop::new`], but sharing an externally owned
+    /// [`RefreshProgress`] ledger, so a server can compute staleness
+    /// without reaching into the loop. Every initial binding's summary
+    /// is registered in the ledger immediately (lag is honest even
+    /// before the first tick runs).
+    pub fn with_progress(
+        engine: Arc<dyn SqlEngine>,
+        bindings: Vec<Binding>,
+        config: RefreshConfig,
+        progress: Arc<RefreshProgress>,
+    ) -> RefreshLoop {
+        for b in &bindings {
+            progress.bind(&b.summary);
+        }
         RefreshLoop {
             engine,
             config,
             bindings,
             state: HashMap::new(),
+            progress,
             refreshes: 0,
         }
     }
@@ -167,13 +261,25 @@ impl RefreshLoop {
             .map(|st| (st.name.to_ascii_lowercase(), st))
             .collect();
         if self.config.auto_discover {
-            for st in states.values() {
-                let bound = self
-                    .bindings
-                    .iter()
-                    .any(|b| b.summary.eq_ignore_ascii_case(&st.name));
-                if !bound && Self::eligible(st) {
-                    self.bindings.push(Binding::regression(&st.name));
+            let eligible: Vec<String> = states
+                .values()
+                .filter(|st| Self::eligible(st))
+                .map(|st| st.name.clone())
+                .collect();
+            for name in eligible {
+                if !self.has_binding(&name, |k| matches!(k, BindingKind::Regression)) {
+                    self.add_binding(Binding::regression(&name));
+                }
+                let lc = name.to_ascii_lowercase();
+                if !self.has_binding(&name, |k| matches!(k, BindingKind::Kmeans { .. })) {
+                    if let Some(k) = self.probe_rows(&format!("{lc}_centroids")) {
+                        self.add_binding(Binding::kmeans(&name, k));
+                    }
+                }
+                if !self.has_binding(&name, |k| matches!(k, BindingKind::Pca { .. })) {
+                    if let Some(c) = self.probe_rows(&format!("{lc}_lambda")) {
+                        self.add_binding(Binding::pca(&name, c));
+                    }
                 }
             }
         }
@@ -183,7 +289,8 @@ impl RefreshLoop {
             let Some(st) = states.get(&b.summary) else {
                 continue; // summary dropped; binding goes dormant
             };
-            if st.grouped || (b.kind == BindingKind::Regression && !Self::eligible(st)) {
+            let needs_gamma = matches!(b.kind, BindingKind::Regression | BindingKind::Pca { .. });
+            if st.grouped || (needs_gamma && !Self::eligible(st)) {
                 continue;
             }
             let entry = self.state.entry(b.model.clone()).or_insert(BindingState {
@@ -205,13 +312,43 @@ impl RefreshLoop {
             match b.kind {
                 BindingKind::Regression => self.refresh_regression(&b)?,
                 BindingKind::Kmeans { k } => self.refresh_kmeans(&b, st, k)?,
+                BindingKind::Pca { components } => self.refresh_pca(&b, components)?,
             }
             let entry = self.state.get_mut(&b.model).expect("binding state");
             entry.last = Some((st.version, st.rows_folded));
+            self.progress.publish(&b.summary, st.rows_folded);
             self.refreshes += 1;
             published += 1;
         }
         Ok(published)
+    }
+
+    fn has_binding(&self, summary: &str, kind: impl Fn(&BindingKind) -> bool) -> bool {
+        self.bindings
+            .iter()
+            .any(|b| b.summary.eq_ignore_ascii_case(summary) && kind(&b.kind))
+    }
+
+    fn add_binding(&mut self, b: Binding) {
+        self.progress.bind(&b.summary);
+        self.bindings.push(b);
+    }
+
+    /// Row count of `table` when it exists and is non-empty; `None`
+    /// otherwise. Discovery uses this to adopt pre-existing model
+    /// tables: the row count of a `j`-led table *is* its `k`.
+    fn probe_rows(&self, table: &str) -> Option<usize> {
+        let rs = self
+            .engine
+            .execute_with(
+                &format!("SELECT count(*) FROM {table}"),
+                &ExecOptions::default(),
+            )
+            .ok()?;
+        match rs.rows.first()?.first()? {
+            Value::Int(n) if *n > 0 => Some(*n as usize),
+            _ => None,
+        }
     }
 
     fn refresh_regression(&mut self, b: &Binding) -> Result<()> {
@@ -235,6 +372,32 @@ impl RefreshLoop {
         let reg = set.regression().expect("regression enabled");
         self.engine
             .publish_beta(&b.model, reg.intercept(), reg.coefficients())?;
+        Ok(())
+    }
+
+    /// PCA is a closed form over Γ like regression: diagonalize the
+    /// correlation matrix derived from `(n, L, Q)`, keep the leading
+    /// `components` loadings, publish `model(j, X1..Xd)`.
+    fn refresh_pca(&mut self, b: &Binding, components: usize) -> Result<()> {
+        let gamma = self.engine.summary_gamma(&b.summary)?;
+        let entry = self.state.get_mut(&b.model).expect("binding state");
+        let set = match &mut entry.models {
+            Some(set) => {
+                set.refresh(&gamma)?;
+                set
+            }
+            None => {
+                let spec = RefreshSpec {
+                    correlation: false,
+                    regression: false,
+                    pca_components: Some(components),
+                    pca_input: PcaInput::Correlation,
+                };
+                entry.models.insert(GammaModelSet::build(&gamma, spec)?)
+            }
+        };
+        let pca = set.pca().expect("pca enabled");
+        self.engine.publish_lambda(&b.model, pca.lambda())?;
         Ok(())
     }
 
@@ -271,11 +434,64 @@ impl RefreshLoop {
     }
 }
 
+/// An external clock for daemon ticks, for deterministic tests.
+///
+/// The test thread calls [`TickGate::step`]; the daemon thread blocks
+/// between ticks until a step is available and reports back when the
+/// tick has fully completed. `step` returns only after *its* tick ran,
+/// so `gate.step(); assert!(...)` sequences need no sleeps and cannot
+/// race: everything the tick published is visible when `step` returns.
+#[derive(Debug, Default)]
+pub struct TickGate {
+    /// (ticks allowed, ticks completed) — allowed ≥ completed.
+    state: Mutex<(u64, u64)>,
+    cv: Condvar,
+}
+
+impl TickGate {
+    /// Releases exactly one daemon tick and blocks until it completed.
+    pub fn step(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.0 += 1;
+        let target = st.0;
+        self.cv.notify_all();
+        while st.1 < target {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Daemon side: block until a tick is allowed. Returns `false`
+    /// when `stop` was raised instead (polled every 10ms — the gate
+    /// holder is not obligated to wake a stopping daemon).
+    fn acquire(&self, stop: &AtomicBool) -> bool {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            if st.0 > st.1 {
+                return true;
+            }
+            let (guard, _) = self.cv.wait_timeout(st, Duration::from_millis(10)).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Daemon side: mark the released tick as completed.
+    fn finish(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.1 += 1;
+        self.cv.notify_all();
+    }
+}
+
 /// A [`RefreshLoop`] on a background thread: tick, sleep `cadence`,
 /// repeat until stopped. Tick errors are swallowed (the un-refreshed
 /// binding simply retriggers next tick), so a transiently short table
 /// cannot kill the daemon.
 pub struct RefreshDaemon {
+    engine: Arc<dyn SqlEngine>,
+    progress: Arc<RefreshProgress>,
     stop: Arc<AtomicBool>,
     refreshes: Arc<AtomicU64>,
     ticks: Arc<AtomicU64>,
@@ -283,25 +499,48 @@ pub struct RefreshDaemon {
 }
 
 impl RefreshDaemon {
-    /// Spawns the daemon.
+    /// Spawns the daemon on its own cadence clock.
     pub fn spawn(
         engine: Arc<dyn SqlEngine>,
         bindings: Vec<Binding>,
         config: RefreshConfig,
     ) -> RefreshDaemon {
+        Self::spawn_with_gate(engine, bindings, config, None)
+    }
+
+    /// Spawns the daemon; with a [`TickGate`] the cadence sleep is
+    /// replaced entirely by the gate (one `step` = one tick), which is
+    /// how tests freeze the daemon to provoke staleness deterministically.
+    pub fn spawn_with_gate(
+        engine: Arc<dyn SqlEngine>,
+        bindings: Vec<Binding>,
+        config: RefreshConfig,
+        gate: Option<Arc<TickGate>>,
+    ) -> RefreshDaemon {
         let stop = Arc::new(AtomicBool::new(false));
         let refreshes = Arc::new(AtomicU64::new(0));
         let ticks = Arc::new(AtomicU64::new(0));
+        let progress = Arc::new(RefreshProgress::default());
         let (stop2, refreshes2, ticks2) = (stop.clone(), refreshes.clone(), ticks.clone());
+        let (engine2, progress2) = (Arc::clone(&engine), Arc::clone(&progress));
         let handle = std::thread::Builder::new()
             .name("nlq-refresh".into())
             .spawn(move || {
-                let mut lp = RefreshLoop::new(engine, bindings, config);
+                let mut lp = RefreshLoop::with_progress(engine2, bindings, config, progress2);
                 while !stop2.load(Ordering::Relaxed) {
+                    if let Some(g) = &gate {
+                        if !g.acquire(&stop2) {
+                            break;
+                        }
+                    }
                     if let Ok(n) = lp.tick() {
                         refreshes2.fetch_add(n, Ordering::Relaxed);
                     }
                     ticks2.fetch_add(1, Ordering::Relaxed);
+                    if let Some(g) = &gate {
+                        g.finish();
+                        continue;
+                    }
                     // Sleep in short slices so stop() returns promptly
                     // even under a long cadence.
                     let mut left = config.cadence;
@@ -314,11 +553,21 @@ impl RefreshDaemon {
             })
             .expect("spawn refresh daemon");
         RefreshDaemon {
+            engine,
+            progress,
             stop,
             refreshes,
             ticks,
             handle: Some(handle),
         }
+    }
+
+    /// On-demand worst lag across bindings: rows folded into a bound
+    /// summary since its models were last published. Computed against
+    /// the engine's current counters, so it keeps growing while the
+    /// daemon is stalled — the signal ingest back-pressure keys on.
+    pub fn staleness(&self) -> u64 {
+        self.progress.staleness(self.engine.as_ref())
     }
 
     /// Models published so far.

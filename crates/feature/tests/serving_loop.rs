@@ -11,7 +11,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use nlq_engine::{Db, ExecOptions, SqlEngine};
-use nlq_feature::{Binding, IngestStream, RefreshConfig, RefreshDaemon, RefreshLoop};
+use nlq_feature::{
+    Binding, BindingKind, IngestStream, RefreshConfig, RefreshDaemon, RefreshLoop, TickGate,
+};
 use nlq_models::{LinearRegression, MatrixShape, Nlq};
 use nlq_shard::ShardedDb;
 use nlq_storage::{Row, Value};
@@ -260,6 +262,146 @@ fn kmeans_binding_warm_starts_and_publishes_centroids() {
     engine.ingest_rows("pts", more).unwrap();
     assert_eq!(lp.tick().unwrap(), 1);
     assert_eq!(lp.refreshes(), 2);
+}
+
+#[test]
+fn pca_binding_publishes_component_led_loadings() {
+    let engine: Arc<dyn SqlEngine> = Arc::new(Db::new(2));
+    setup(engine.as_ref());
+    let opts = ExecOptions::default();
+    engine
+        .execute_with("CREATE SUMMARY s ON pts (X1, X2, Y) NO MINMAX", &opts)
+        .unwrap();
+    let mut rng = Rng::new(0x9ca);
+    engine
+        .ingest_rows("pts", gen_rows(&mut rng, 300, false))
+        .unwrap();
+
+    let mut lp = RefreshLoop::new(
+        Arc::clone(&engine),
+        vec![Binding::pca("s", 2)],
+        RefreshConfig::default(),
+    );
+    assert_eq!(lp.tick().unwrap(), 1);
+    // Component-led layout: one row per component j = 1..k, d loading
+    // columns, unit-norm columns of the loading matrix.
+    let rs = engine
+        .execute_with("SELECT j, X1, X2, X3 FROM s_lambda ORDER BY j", &opts)
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    for (j, row) in rs.rows.iter().enumerate() {
+        assert_eq!(row[0], Value::Int(j as i64 + 1));
+        let norm2: f64 = row[1..]
+            .iter()
+            .map(|v| match v {
+                Value::Float(x) => x * x,
+                v => panic!("loading cell {v:?}"),
+            })
+            .sum();
+        assert!(tight(norm2, 1.0, 1e-9), "component {j} norm² {norm2}");
+    }
+
+    // More rows move the version; the closed-form refit republishes.
+    engine
+        .ingest_rows("pts", gen_rows(&mut rng, 100, false))
+        .unwrap();
+    assert_eq!(lp.tick().unwrap(), 1);
+    assert_eq!(lp.refreshes(), 2);
+}
+
+#[test]
+fn auto_discovery_adopts_regression_kmeans_and_pca_bindings() {
+    let engine: Arc<dyn SqlEngine> = Arc::new(Db::new(2));
+    setup(engine.as_ref());
+    let opts = ExecOptions::default();
+    engine
+        .execute_with("CREATE SUMMARY s ON pts (X1, X2) NO MINMAX", &opts)
+        .unwrap();
+    let mut rng = Rng::new(0xd15c);
+    engine
+        .ingest_rows("pts", gen_rows(&mut rng, 200, false))
+        .unwrap();
+
+    // Pre-existing model tables from "a previous process lifetime":
+    // 3 centroids and a 2-component loading matrix. Their row counts
+    // are what discovery must infer k / components from.
+    let c: Vec<nlq_linalg::Vector> = (0..3)
+        .map(|j| nlq_linalg::Vector::from_vec(vec![j as f64, -(j as f64)]))
+        .collect();
+    engine.publish_centroids("s_centroids", &c).unwrap();
+    let lambda = nlq_linalg::Matrix::identity(2);
+    engine.publish_lambda("s_lambda", &lambda).unwrap();
+
+    let cfg = RefreshConfig {
+        auto_discover: true,
+        ..RefreshConfig::default()
+    };
+    let mut lp = RefreshLoop::new(Arc::clone(&engine), Vec::new(), cfg);
+    assert_eq!(lp.tick().unwrap(), 3, "all three bindings publish");
+    let mut kinds: Vec<BindingKind> = lp.bindings().iter().map(|b| b.kind).collect();
+    kinds.sort_by_key(|k| match k {
+        BindingKind::Regression => 0,
+        BindingKind::Kmeans { .. } => 1,
+        BindingKind::Pca { .. } => 2,
+    });
+    assert_eq!(
+        kinds,
+        vec![
+            BindingKind::Regression,
+            BindingKind::Kmeans { k: 3 },
+            BindingKind::Pca { components: 2 },
+        ]
+    );
+    // Discovery is idempotent: the next tick adds nothing and (with no
+    // summary movement) republishes nothing.
+    assert_eq!(lp.tick().unwrap(), 0);
+    assert_eq!(lp.bindings().len(), 3);
+}
+
+#[test]
+fn gated_daemon_reports_growing_staleness_without_sleeps() {
+    let engine: Arc<dyn SqlEngine> = Arc::new(Db::new(2));
+    setup(engine.as_ref());
+    let opts = ExecOptions::default();
+    engine
+        .execute_with("CREATE SUMMARY s ON pts (X1, X2, Y) NO MINMAX", &opts)
+        .unwrap();
+    let mut rng = Rng::new(0x57a1e);
+    engine
+        .ingest_rows("pts", gen_rows(&mut rng, 100, false))
+        .unwrap();
+
+    let gate = Arc::new(TickGate::default());
+    let daemon = RefreshDaemon::spawn_with_gate(
+        Arc::clone(&engine),
+        vec![Binding::regression("s")],
+        RefreshConfig::default(),
+        Some(Arc::clone(&gate)),
+    );
+    // Bound summary, zero ticks so far: the whole 100-row fold is lag.
+    assert_eq!(daemon.staleness(), 100);
+
+    // One released tick publishes and zeroes the lag — step() returning
+    // *is* the happens-after edge, no polling needed.
+    gate.step();
+    assert_eq!(daemon.refreshes(), 1);
+    assert_eq!(daemon.staleness(), 0);
+
+    // The daemon is now frozen (no step): every ingest grows the lag.
+    engine
+        .ingest_rows("pts", gen_rows(&mut rng, 40, false))
+        .unwrap();
+    assert_eq!(daemon.staleness(), 40);
+    engine
+        .ingest_rows("pts", gen_rows(&mut rng, 25, false))
+        .unwrap();
+    assert_eq!(daemon.staleness(), 65);
+
+    // Releasing a tick drains it again.
+    gate.step();
+    assert_eq!(daemon.refreshes(), 2);
+    assert_eq!(daemon.staleness(), 0);
+    daemon.stop();
 }
 
 #[test]

@@ -55,12 +55,15 @@ pub enum Phase {
     /// Appending a streamed INSERT batch through the segment write
     /// path and folding it into eligible Γ summaries.
     Ingest,
+    /// Writing and fsyncing write-ahead-log records (payload append
+    /// plus the commit marker's group fsync).
+    Wal,
     /// Wall time not attributed to any other phase.
     Other,
 }
 
 /// Every phase, in pipeline order (the render order).
-pub const PHASES: [Phase; 12] = [
+pub const PHASES: [Phase; 13] = [
     Phase::Parse,
     Phase::Plan,
     Phase::SummaryLookup,
@@ -68,6 +71,7 @@ pub const PHASES: [Phase; 12] = [
     Phase::Scatter,
     Phase::Scan,
     Phase::Ingest,
+    Phase::Wal,
     Phase::Finalize,
     Phase::Gather,
     Phase::Encode,
@@ -90,6 +94,7 @@ impl Phase {
             Phase::Gather => "gather",
             Phase::PointLookup => "point-lookup",
             Phase::Ingest => "ingest",
+            Phase::Wal => "wal",
             Phase::Other => "other",
         }
     }
@@ -109,6 +114,7 @@ impl Phase {
             Phase::Gather => 9,
             Phase::PointLookup => 10,
             Phase::Ingest => 11,
+            Phase::Wal => 12,
         }
     }
 

@@ -40,10 +40,12 @@ pub enum Command {
     Ingest,
     /// `BatchScore` requests (keyed point-lookup scoring).
     BatchScore,
+    /// `Checkpoint` requests (snapshot tables, truncate the WAL).
+    Checkpoint,
 }
 
 /// How many commands the metrics arrays track.
-const NCOMMANDS: usize = 10;
+const NCOMMANDS: usize = 11;
 
 const COMMANDS: [(Command, &str); NCOMMANDS] = [
     (Command::Execute, "execute"),
@@ -56,6 +58,7 @@ const COMMANDS: [(Command, &str); NCOMMANDS] = [
     (Command::Trace, "trace"),
     (Command::Ingest, "ingest"),
     (Command::BatchScore, "batch_score"),
+    (Command::Checkpoint, "checkpoint"),
 ];
 
 fn slot(cmd: Command) -> usize {
@@ -206,6 +209,9 @@ pub struct Metrics {
     /// Models published by the refresh daemon (mirrored from the
     /// daemon's own counter at render time).
     pub model_refreshes: AtomicU64,
+    /// Ingest envelopes refused with a retry hint because the refresh
+    /// daemon was too far behind (`--staleness-bound`).
+    pub ingest_backpressure: AtomicU64,
 }
 
 impl Metrics {
@@ -233,6 +239,7 @@ impl Metrics {
             ingest_rows: AtomicU64::new(0),
             batch_score_keys: AtomicU64::new(0),
             model_refreshes: AtomicU64::new(0),
+            ingest_backpressure: AtomicU64::new(0),
         }
     }
 
@@ -325,6 +332,10 @@ impl Metrics {
             (
                 "model_refreshes_total",
                 self.model_refreshes.load(Ordering::Relaxed),
+            ),
+            (
+                "ingest_backpressure_total",
+                self.ingest_backpressure.load(Ordering::Relaxed),
             ),
         ]
     }
@@ -589,6 +600,135 @@ pub fn render_engine_prometheus(
     p.finish()
 }
 
+/// Renders the durability gauges — WAL counters since open, current
+/// log size, and what the last recovery replayed — as `(name, value)`
+/// METRICS rows. A volatile engine (no `--wal-dir`) contributes no
+/// rows at all.
+pub fn render_wal_rows(
+    wal: Option<nlq_storage::WalStatsSnapshot>,
+    log_bytes: Option<u64>,
+    recovery: Option<nlq_engine::RecoveryInfo>,
+) -> Vec<Vec<Value>> {
+    let mut rows = Vec::new();
+    if let Some(w) = wal {
+        rows.push(vec![
+            Value::Str("wal.bytes".into()),
+            Value::Int(w.bytes as i64),
+        ]);
+        rows.push(vec![
+            Value::Str("wal.records".into()),
+            Value::Int(w.records as i64),
+        ]);
+        rows.push(vec![
+            Value::Str("wal.fsyncs".into()),
+            Value::Int(w.fsyncs as i64),
+        ]);
+        rows.push(vec![
+            Value::Str("wal.checkpoints".into()),
+            Value::Int(w.checkpoints as i64),
+        ]);
+    }
+    if let Some(b) = log_bytes {
+        rows.push(vec![
+            Value::Str("wal.log_bytes".into()),
+            Value::Int(b as i64),
+        ]);
+    }
+    if let Some(r) = recovery {
+        rows.push(vec![
+            Value::Str("recovery.replayed_records".into()),
+            Value::Int(r.replayed_records as i64),
+        ]);
+        rows.push(vec![
+            Value::Str("recovery.replayed_envelopes".into()),
+            Value::Int(r.replayed_envelopes as i64),
+        ]);
+        rows.push(vec![
+            Value::Str("recovery.truncated_bytes".into()),
+            Value::Int(r.truncated_bytes as i64),
+        ]);
+        rows.push(vec![
+            Value::Str("recovery.checkpoint_tables".into()),
+            Value::Int(r.checkpoint_tables as i64),
+        ]);
+    }
+    rows
+}
+
+/// Renders the durability gauges as Prometheus text exposition
+/// families (appended after the engine families by the caller). Emits
+/// nothing for a volatile engine.
+pub fn render_wal_prometheus(
+    wal: Option<nlq_storage::WalStatsSnapshot>,
+    log_bytes: Option<u64>,
+    recovery: Option<nlq_engine::RecoveryInfo>,
+) -> String {
+    let mut p = PromText::new();
+    if let Some(w) = wal {
+        p.family(
+            "nlq_wal_bytes_total",
+            "counter",
+            "Bytes appended to the write-ahead log since open",
+        );
+        p.sample("nlq_wal_bytes_total", &[], w.bytes as f64);
+        p.family(
+            "nlq_wal_records_total",
+            "counter",
+            "Records appended to the write-ahead log since open",
+        );
+        p.sample("nlq_wal_records_total", &[], w.records as f64);
+        p.family("nlq_wal_fsyncs_total", "counter", "fsync calls issued");
+        p.sample("nlq_wal_fsyncs_total", &[], w.fsyncs as f64);
+        p.family(
+            "nlq_checkpoints_total",
+            "counter",
+            "Checkpoints taken since open",
+        );
+        p.sample("nlq_checkpoints_total", &[], w.checkpoints as f64);
+    }
+    if let Some(b) = log_bytes {
+        p.family(
+            "nlq_wal_log_bytes",
+            "gauge",
+            "Live write-ahead log size (drops to zero at checkpoint)",
+        );
+        p.sample("nlq_wal_log_bytes", &[], b as f64);
+    }
+    if let Some(r) = recovery {
+        p.family(
+            "nlq_recovery_replayed_records",
+            "gauge",
+            "Committed WAL records re-applied at the last open",
+        );
+        p.sample(
+            "nlq_recovery_replayed_records",
+            &[],
+            r.replayed_records as f64,
+        );
+        p.family(
+            "nlq_recovery_replayed_envelopes",
+            "gauge",
+            "Committed envelopes re-applied at the last open",
+        );
+        p.sample(
+            "nlq_recovery_replayed_envelopes",
+            &[],
+            r.replayed_envelopes as f64,
+        );
+        p.family(
+            "nlq_recovery_truncated_bytes",
+            "gauge",
+            "Torn-tail bytes discarded at the last open",
+        );
+        p.sample(
+            "nlq_recovery_truncated_bytes",
+            &[],
+            r.truncated_bytes as f64,
+        );
+    }
+    p.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -636,6 +776,48 @@ mod tests {
             .map(|r| r[1].as_i64().unwrap())
             .sum();
         assert_eq!(hist_total, 2);
+    }
+
+    #[test]
+    fn wal_rows_render_only_for_durable_engines() {
+        assert!(render_wal_rows(None, None, None).is_empty());
+        assert_eq!(render_wal_prometheus(None, None, None), "");
+
+        let snap = nlq_storage::WalStatsSnapshot {
+            bytes: 128,
+            records: 3,
+            fsyncs: 2,
+            replayed: 0,
+            checkpoints: 1,
+        };
+        let info = nlq_engine::RecoveryInfo {
+            replayed_records: 7,
+            replayed_envelopes: 4,
+            truncated_bytes: 13,
+            checkpoint_tables: 2,
+        };
+        let rows = render_wal_rows(Some(snap), Some(64), Some(info));
+        let get = |name: &str| -> i64 {
+            rows.iter()
+                .find(|r| r[0].as_str() == Some(name))
+                .unwrap_or_else(|| panic!("missing metric {name}"))[1]
+                .as_i64()
+                .unwrap()
+        };
+        assert_eq!(get("wal.bytes"), 128);
+        assert_eq!(get("wal.fsyncs"), 2);
+        assert_eq!(get("wal.checkpoints"), 1);
+        assert_eq!(get("wal.log_bytes"), 64);
+        assert_eq!(get("recovery.replayed_records"), 7);
+        assert_eq!(get("recovery.truncated_bytes"), 13);
+        assert_eq!(get("recovery.checkpoint_tables"), 2);
+
+        let text = render_wal_prometheus(Some(snap), Some(64), Some(info));
+        nlq_obs::validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("nlq_wal_fsyncs_total 2"));
+        assert!(text.contains("nlq_checkpoints_total 1"));
+        assert!(text.contains("nlq_wal_log_bytes 64"));
+        assert!(text.contains("nlq_recovery_replayed_records 7"));
     }
 
     #[test]

@@ -58,7 +58,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use nlq_engine::{EngineError, ExecOptions, ExecStats, SqlEngine};
-use nlq_feature::{IngestStream, RefreshConfig, RefreshDaemon};
+use nlq_feature::{IngestStream, RefreshConfig, RefreshDaemon, TickGate};
 use nlq_obs::{Outcome, Phase, Span, Trace, TraceRecord, TraceRing};
 use nlq_storage::Value;
 
@@ -109,6 +109,22 @@ pub struct ServerConfig {
     /// fold-driven summary change triggers a refit (structural
     /// changes always trigger).
     pub refresh_delta_rows: u64,
+    /// Ingest back-pressure bound: when the refresh daemon is more
+    /// than this many folded rows behind its last published models,
+    /// `InsertDone` answers [`ErrorCode::Retry`] instead of
+    /// committing. `None` never pushes back.
+    pub staleness_bound: Option<u64>,
+    /// Auto-checkpoint threshold: after a committed ingest envelope,
+    /// if the live WAL has grown to at least this many bytes the
+    /// server checkpoints (snapshot + log truncation) inline. `None`
+    /// leaves checkpoints to explicit `Checkpoint` requests. Ignored
+    /// by volatile engines.
+    pub checkpoint_bytes: Option<u64>,
+    /// Test seam: when set, the refresh daemon runs gated — it ticks
+    /// only when [`TickGate::step`] is called instead of on the
+    /// cadence — so back-pressure tests control refresh progress
+    /// deterministically, without sleeps.
+    pub refresh_gate: Option<Arc<TickGate>>,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +143,9 @@ impl Default for ServerConfig {
             trace_ring: 256,
             refresh_cadence: Some(Duration::from_millis(250)),
             refresh_delta_rows: 0,
+            staleness_bound: None,
+            checkpoint_bytes: None,
+            refresh_gate: None,
         }
     }
 }
@@ -230,6 +249,39 @@ impl Shared {
                 .store(d.refreshes(), Ordering::Relaxed);
         }
     }
+
+    /// How many folded rows the refresh daemon is behind its last
+    /// published models, when a daemon is running.
+    fn refresh_staleness(&self) -> Option<u64> {
+        self.daemon
+            .lock()
+            .expect("daemon")
+            .as_ref()
+            .map(|d| d.staleness())
+    }
+
+    /// Whether an `InsertDone` must be refused with a retry hint:
+    /// `Some(lag)` when the refresh daemon has fallen further behind
+    /// than the configured staleness bound.
+    fn ingest_backpressure(&self) -> Option<u64> {
+        let bound = self.config.staleness_bound?;
+        let lag = self.refresh_staleness()?;
+        (lag > bound).then_some(lag)
+    }
+
+    /// Checkpoints inline after a committed envelope once the live WAL
+    /// crosses the configured size threshold. Failures are logged, not
+    /// fatal — the log is still intact, so durability is unaffected.
+    fn maybe_checkpoint(&self) {
+        let Some(threshold) = self.config.checkpoint_bytes else {
+            return;
+        };
+        if self.db.wal_log_bytes().is_some_and(|b| b >= threshold) {
+            if let Err(e) = self.db.checkpoint() {
+                eprintln!("auto-checkpoint failed: {e}");
+            }
+        }
+    }
 }
 
 /// Running server; dropping it shuts the server down.
@@ -245,7 +297,7 @@ pub fn serve(db: Arc<dyn SqlEngine>, config: ServerConfig) -> io::Result<ServerH
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let daemon = config.refresh_cadence.map(|cadence| {
-        RefreshDaemon::spawn(
+        RefreshDaemon::spawn_with_gate(
             Arc::clone(&db),
             Vec::new(),
             RefreshConfig {
@@ -253,6 +305,7 @@ pub fn serve(db: Arc<dyn SqlEngine>, config: ServerConfig) -> io::Result<ServerH
                 min_delta_rows: config.refresh_delta_rows,
                 auto_discover: true,
             },
+            config.refresh_gate.clone(),
         )
     });
     let shared = Arc::new(Shared {
@@ -592,12 +645,33 @@ fn session_loop(stream: TcpStream, id: u64, active: &Arc<ActiveQuery>, shared: &
             },
             Request::InsertDone => {
                 let response = match std::mem::replace(&mut session.ingest, IngestSlot::Idle) {
+                    // Back-pressure: when the refresh daemon has fallen
+                    // past the staleness bound, refuse the envelope with
+                    // a retry hint *before* committing anything. The
+                    // whole stream is discarded — `Retry` means "resend
+                    // the envelope later", never "partially applied".
+                    IngestSlot::Active(_) if shared.ingest_backpressure().is_some() => {
+                        let lag = shared.ingest_backpressure().unwrap_or(0);
+                        shared
+                            .metrics
+                            .ingest_backpressure
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::Error {
+                            code: ErrorCode::Retry,
+                            message: format!(
+                                "refresh daemon is {lag} rows behind (bound {}); \
+                                 envelope not committed, retry later",
+                                shared.config.staleness_bound.unwrap_or(0)
+                            ),
+                        }
+                    }
                     IngestSlot::Active(s) => match s.done(shared.db.as_ref()) {
                         Ok(rows) => {
                             shared
                                 .metrics
                                 .ingest_rows
                                 .fetch_add(rows, Ordering::Relaxed);
+                            shared.maybe_checkpoint();
                             Response::InsertAck { rows }
                         }
                         Err(e) => Response::Error {
@@ -682,6 +756,7 @@ fn command_of(req: &Request) -> Command {
         | Request::InsertDone
         | Request::InsertAbort => Command::Ingest,
         Request::BatchScore { .. } => Command::BatchScore,
+        Request::Checkpoint => Command::Checkpoint,
     }
 }
 
@@ -738,7 +813,14 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
     match request {
         Request::Ping => Response::Pong,
         Request::SetOption { name, value } => set_option(session, &name, &value),
-        Request::Status => status(session),
+        Request::Status => status(session, shared),
+        Request::Checkpoint => match shared.db.checkpoint() {
+            Ok(_) => Response::Ok,
+            Err(e) => Response::Error {
+                code: ErrorCode::Sql,
+                message: e.to_string(),
+            },
+        },
         Request::Metrics => {
             shared.sync_refresh_metrics();
             let mut rows = shared
@@ -748,6 +830,11 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
                 shared.db.shard_count(),
                 &shared.db.shard_metrics(),
                 shared.db.plan_cache_stats(),
+            ));
+            rows.extend(crate::metrics::render_wal_rows(
+                shared.db.wal_stats(),
+                shared.db.wal_log_bytes(),
+                shared.db.recovery_info(),
             ));
             Response::Result {
                 columns: vec!["metric".into(), "value".into()],
@@ -764,6 +851,11 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
                 shared.db.shard_count(),
                 &shared.db.shard_metrics(),
                 shared.db.plan_cache_stats(),
+            ));
+            text.push_str(&crate::metrics::render_wal_prometheus(
+                shared.db.wal_stats(),
+                shared.db.wal_log_bytes(),
+                shared.db.recovery_info(),
             ));
             Response::MetricsText { text }
         }
@@ -816,7 +908,7 @@ fn set_option(session: &mut Session, name: &str, value: &str) -> Response {
     Response::Ok
 }
 
-fn status(session: &Session) -> Response {
+fn status(session: &Session, shared: &Arc<Shared>) -> Response {
     let mut rows = vec![
         vec![
             Value::Str("session_id".into()),
@@ -858,6 +950,19 @@ fn status(session: &Session) -> Response {
         rows.push(vec![
             Value::Str("last.cancelled".into()),
             Value::Int(i64::from(s.cancelled)),
+        ]);
+    }
+    // Durability: `wal.*` and `recovery.*` rows appear only for a
+    // durable engine (opened with `--wal-dir`).
+    rows.extend(crate::metrics::render_wal_rows(
+        shared.db.wal_stats(),
+        shared.db.wal_log_bytes(),
+        shared.db.recovery_info(),
+    ));
+    if let Some(lag) = shared.refresh_staleness() {
+        rows.push(vec![
+            Value::Str("refresh.staleness".into()),
+            Value::Int(lag as i64),
         ]);
     }
     Response::Result {

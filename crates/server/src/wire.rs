@@ -41,8 +41,10 @@ pub const MAX_FRAME: usize = 64 << 20;
 /// trace retrieval (`TRACE`) and Prometheus-format metrics; version 4
 /// added the feature-serving loop: chunked streaming INSERT
 /// (`InsertHeader` / `InsertChunk`* / `InsertDone` → `InsertAck`) and
-/// single-round-trip batch scoring (`BatchScore`).
-pub const PROTOCOL_VERSION: u32 = 4;
+/// single-round-trip batch scoring (`BatchScore`); version 5 added
+/// durability: an explicit `Checkpoint` request and the `Retry` error
+/// code carried by ingest back-pressure rejections.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 // Request tags.
 const REQ_EXECUTE: u8 = 0x01;
@@ -59,6 +61,7 @@ const REQ_INSERT_CHUNK: u8 = 0x0B;
 const REQ_INSERT_DONE: u8 = 0x0C;
 const REQ_INSERT_ABORT: u8 = 0x0D;
 const REQ_BATCH_SCORE: u8 = 0x0E;
+const REQ_CHECKPOINT: u8 = 0x0F;
 
 // Response tags.
 const RESP_HELLO: u8 = 0x80;
@@ -175,6 +178,11 @@ pub enum Request {
         /// Return the plan instead of executing.
         explain: bool,
     },
+    /// Forces a durability checkpoint: snapshot the sealed state and
+    /// truncate the write-ahead log. Replies [`Response::Ok`] (also
+    /// when the engine has no WAL and the request is a no-op), or an
+    /// error if the snapshot failed.
+    Checkpoint,
 }
 
 /// Why a request was refused.
@@ -194,6 +202,10 @@ pub enum ErrorCode {
     ShuttingDown = 6,
     /// The query was cancelled (client `Cancel` or server drain).
     Cancelled = 7,
+    /// Transient refusal with a retry hint: the refresh daemon is past
+    /// its staleness bound, so ingest is back-pressured. Nothing was
+    /// committed; re-send the same envelope after a pause.
+    Retry = 8,
 }
 
 impl ErrorCode {
@@ -206,6 +218,7 @@ impl ErrorCode {
             5 => ErrorCode::Protocol,
             6 => ErrorCode::ShuttingDown,
             7 => ErrorCode::Cancelled,
+            8 => ErrorCode::Retry,
             _ => return None,
         })
     }
@@ -508,6 +521,7 @@ impl Request {
                     buf.extend_from_slice(&k.to_be_bytes());
                 }
             }
+            Request::Checkpoint => buf.push(REQ_CHECKPOINT),
         }
         buf
     }
@@ -584,6 +598,7 @@ impl Request {
                     explain,
                 }
             }
+            REQ_CHECKPOINT => Request::Checkpoint,
             _ => return Err(bad("unknown request tag")),
         };
         r.done()?;
@@ -1101,6 +1116,31 @@ mod tests {
             limit: 32,
         });
         round_trip_req(Request::MetricsProm);
+        round_trip_req(Request::Checkpoint);
+    }
+
+    /// The WAL-era surface: the `Checkpoint` tag and the `Retry` error
+    /// code survive encode/decode, and torn `Checkpoint` frames are
+    /// rejected like any other.
+    #[test]
+    fn durability_frames_round_trip_and_reject_torn_input() {
+        round_trip_resp(Response::Error {
+            code: ErrorCode::Retry,
+            message: "refresh daemon 1200 rows behind; retry ingest".into(),
+        });
+        // A Checkpoint with trailing bytes is a protocol error.
+        assert!(Request::decode(&[REQ_CHECKPOINT, 0]).is_err());
+        // Every prefix of an encoded Retry error fails to decode
+        // rather than mis-decoding (torn-stream sweep).
+        let full = Response::Error {
+            code: ErrorCode::Retry,
+            message: "stale".into(),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Response::decode(&full[..cut]).is_err(), "prefix {cut}");
+        }
+        assert!(Response::decode(&full).is_ok());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use nlq_client::{Client, ClientError, Outcome, Phase};
 use nlq_engine::{Db, SqlEngine};
+use nlq_feature::TickGate;
 use nlq_server::wire::{ErrorCode, MAX_FRAME};
 use nlq_server::{serve, Metrics, ServerConfig, ServerHandle};
 use nlq_storage::Value;
@@ -726,6 +727,163 @@ fn poisoned_envelope_reports_the_first_error_at_done() {
     assert_eq!(ing.finish().unwrap(), 1);
     let rs = c.execute("SELECT i, X1 FROM P").unwrap();
     assert_eq!(rs.rows[0], vec![Value::Int(42), Value::Float(7.0)]);
+}
+
+/// One training row `(i, X1, X2, Y)` per key, with X2 decorrelated
+/// from X1 so the daemon's OLS refit is never singular.
+fn training_rows(lo: i64, n: i64) -> Vec<Vec<Value>> {
+    (lo..lo + n)
+        .map(|i| {
+            let x2 = ((i * 37) % 101) as f64 * 0.1;
+            vec![
+                Value::Int(i),
+                Value::Float(i as f64 * 0.5),
+                Value::Float(x2),
+                Value::Float(1.0 + i as f64 * 0.125 - 0.5 * x2),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn ingest_backpressure_refuses_with_retry_until_the_daemon_catches_up() {
+    // The daemon is gated: it ticks only on `gate.step()`, which also
+    // blocks until the tick completes — every phase of this test is
+    // synchronized on that edge, never on a sleep.
+    let gate = Arc::new(TickGate::default());
+    let ts = TestServer::start(ServerConfig {
+        refresh_cadence: Some(Duration::from_secs(3600)),
+        refresh_gate: Some(Arc::clone(&gate)),
+        staleness_bound: Some(50),
+        ..ServerConfig::default()
+    });
+    let mut c = ts.client();
+    c.execute("CREATE TABLE PTS (i INT, X1 FLOAT, X2 FLOAT, Y FLOAT)")
+        .unwrap();
+    c.execute("CREATE SUMMARY S ON PTS (X1, X2, Y) NO MINMAX")
+        .unwrap();
+
+    fn ingest(c: &mut Client, rows: Vec<Vec<Value>>) -> Result<u64, ClientError> {
+        let mut ing = c.begin_ingest("PTS", &[])?;
+        ing.chunk(rows)?;
+        ing.finish()
+    }
+
+    // Before the first tick no binding exists, so there is no model to
+    // be stale relative to: the envelope commits.
+    assert_eq!(ingest(&mut c, training_rows(1, 100)).unwrap(), 100);
+    // Tick 1: discovery binds a regression model to S and publishes it
+    // at 100 folded rows.
+    gate.step();
+
+    // The bound is checked *before* the envelope applies, so this one
+    // still sees zero lag and acks — and leaves the daemon 100 rows
+    // behind.
+    assert_eq!(ingest(&mut c, training_rows(101, 100)).unwrap(), 100);
+    let status = c.status().unwrap();
+    assert_eq!(status.lookup("refresh.staleness"), Some(&Value::Int(100)));
+
+    // Past the bound: refused with the retry hint; nothing committed.
+    match ingest(&mut c, training_rows(201, 10)) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Retry);
+            assert!(message.contains("retry"), "{message}");
+        }
+        other => panic!("expected Retry back-pressure, got {other:?}"),
+    }
+    assert_eq!(ts.metrics().ingest_backpressure.load(Ordering::Relaxed), 1);
+    let rs = c.execute("SELECT count(*) FROM PTS").unwrap();
+    assert_eq!(
+        rs.value(0, 0),
+        &Value::Int(200),
+        "refused envelope must not commit"
+    );
+
+    // Tick 2 republishes at 200 folded rows; the lag drains to zero
+    // and the retried envelope acks.
+    gate.step();
+    let status = c.status().unwrap();
+    assert_eq!(status.lookup("refresh.staleness"), Some(&Value::Int(0)));
+    assert_eq!(ingest(&mut c, training_rows(201, 10)).unwrap(), 10);
+    let rs = c.execute("SELECT count(*) FROM PTS").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(210));
+    // The session survives the refusal; the retry hint is a per-envelope
+    // verdict, not a poisoned connection.
+    c.ping().unwrap();
+}
+
+#[test]
+fn durable_server_survives_restart_with_checkpoint_and_status_counters() {
+    let dir = std::env::temp_dir().join(format!("nlq-harness-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Arc::new(Db::open_durable(1, &dir, true).unwrap());
+        let ts = TestServer::start_with(db, ServerConfig::default());
+        let mut c = ts.client();
+        c.execute("CREATE TABLE T (i INT, X1 FLOAT)").unwrap();
+        let mut ing = c.begin_ingest("T", &[]).unwrap();
+        ing.chunk(
+            (1..=100i64)
+                .map(|i| vec![Value::Int(i), Value::Float(i as f64)])
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(ing.finish().unwrap(), 100);
+
+        // A durable engine surfaces its WAL through STATUS, METRICS,
+        // and the Prometheus scrape.
+        let status = c.status().unwrap();
+        let log_bytes = status
+            .lookup("wal.log_bytes")
+            .and_then(|v| v.as_i64())
+            .expect("durable engine reports wal.log_bytes");
+        assert!(log_bytes > 0, "live log is non-empty after commits");
+        let m = c.metrics().unwrap();
+        assert!(m.lookup("wal.fsyncs").and_then(|v| v.as_i64()).unwrap() >= 1);
+        let prom = c.metrics_prometheus().unwrap();
+        assert!(prom.contains("nlq_wal_bytes_total"));
+        assert!(prom.contains("nlq_checkpoints_total"));
+
+        // An explicit client checkpoint snapshots and truncates.
+        c.checkpoint().unwrap();
+        let status = c.status().unwrap();
+        assert_eq!(status.lookup("wal.log_bytes"), Some(&Value::Int(0)));
+        assert_eq!(status.lookup("wal.checkpoints"), Some(&Value::Int(1)));
+
+        // A post-checkpoint tail, to be replayed at the next open.
+        let mut ing = c.begin_ingest("T", &[]).unwrap();
+        ing.chunk(
+            (101..=150i64)
+                .map(|i| vec![Value::Int(i), Value::Float(i as f64)])
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(ing.finish().unwrap(), 50);
+    }
+
+    // "Restart": a fresh durable open over the same directory sees the
+    // checkpoint plus the logged tail.
+    let db = Arc::new(Db::open_durable(1, &dir, true).unwrap());
+    let info = db.recovery_info().expect("recovered engine reports info");
+    assert!(info.checkpoint_tables >= 1, "{info:?}");
+    assert_eq!(
+        info.replayed_envelopes, 1,
+        "only the post-checkpoint envelope replays: {info:?}"
+    );
+    let ts = TestServer::start_with(db, ServerConfig::default());
+    let mut c = ts.client();
+    let rs = c.execute("SELECT count(*), sum(X1) FROM T").unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(150));
+    assert_eq!(rs.value(0, 1).as_f64(), Some((1..=150).sum::<i64>() as f64));
+    let status = c.status().unwrap();
+    assert!(
+        status
+            .lookup("recovery.replayed_records")
+            .and_then(|v| v.as_i64())
+            .unwrap()
+            >= 1
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

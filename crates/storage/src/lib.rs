@@ -27,6 +27,7 @@ mod schema;
 mod segment;
 mod table;
 mod value;
+mod wal;
 
 pub use block::{BlockIter, ColumnBlock, FloatColumn, BLOCK_ROWS};
 pub use disk::{DiskPartitionIter, DiskTable};
@@ -37,6 +38,10 @@ pub use schema::{Column, DataType, Schema};
 pub use segment::{bitmap_count_ones, bitmap_get, bitmap_mask_tail, bitmap_words, SEGMENT_ROWS};
 pub use table::{PartitionIter, Table};
 pub use value::Value;
+pub use wal::{
+    crc32, replay_wal, CheckpointManifest, FileIo, Wal, WalIo, WalRecord, WalReplay, WalStats,
+    WalStatsSnapshot,
+};
 
 use std::fmt;
 

@@ -44,16 +44,33 @@ pub struct Table {
 /// Entries are added at seal time, so the index only covers the
 /// columnar segments; rows still in a partition's paged tail are found
 /// by decoding the (bounded, ≤ `SEGMENT_ROWS` per partition) tail.
-/// NULL keys are never indexed. When the same key appears more than
-/// once, lookups prefer an unsealed (tail) duplicate, and the sealed
-/// index keeps the latest-sealed position — feature-store ingest keys
-/// are expected to be unique, so duplicates only matter for tests.
+/// NULL keys are never indexed.
+///
+/// **Duplicate keys resolve newest-wins by insertion order.** Because
+/// rows distribute strictly round-robin, the row at sealed/tail offset
+/// `r` of partition `p` was globally the `r * P + p`-th insert — so
+/// that serial totally orders duplicates without storing anything
+/// extra. Seal-time indexing only overwrites an entry with a larger
+/// serial, and lookups compare tail hits against the sealed entry by
+/// serial instead of blindly preferring the tail (a tail row of one
+/// partition can be *older* than a just-sealed row of another). This
+/// is what keeps UPDATE-heavy feature-store workloads correct: an
+/// UPDATE that rewrites a PK column can create duplicates in arbitrary
+/// partitions, and scoring must see the newest version.
 #[derive(Debug, Clone)]
 struct PkIndex {
     /// Index of the key column (always 0 today).
     col: usize,
     /// key → (partition, row offset within that partition's sealed segment).
     map: HashMap<i64, (u32, u32)>,
+}
+
+impl PkIndex {
+    /// Global insertion serial of the row at `offset` in partition `p`
+    /// of a `pcount`-partition table (exact under round-robin insert).
+    fn serial(p: usize, offset: usize, pcount: usize) -> u64 {
+        offset as u64 * pcount as u64 + p as u64
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -170,14 +187,21 @@ impl Table {
         part.tail_rows += 1;
         self.row_count += 1;
         if part.tail_rows == SEGMENT_ROWS {
-            Self::seal_tail(part, p, self.pk.as_mut())?;
+            let pcount = self.partitions.len();
+            Self::seal_tail(&mut self.partitions[p], p, pcount, self.pk.as_mut())?;
         }
         Ok(())
     }
 
     /// Decodes the partition's tail pages once and appends them to the
-    /// sealed segment column-wise, indexing the newly sealed rows.
-    fn seal_tail(part: &mut Partition, p: usize, pk: Option<&mut PkIndex>) -> Result<()> {
+    /// sealed segment column-wise, indexing the newly sealed rows
+    /// (newest insertion serial wins on duplicate keys).
+    fn seal_tail(
+        part: &mut Partition,
+        p: usize,
+        pcount: usize,
+        pk: Option<&mut PkIndex>,
+    ) -> Result<()> {
         let mut rows = Vec::with_capacity(part.tail_rows);
         for page in &part.tail {
             for row in page.iter() {
@@ -185,10 +209,21 @@ impl Table {
             }
         }
         if let Some(pk) = pk {
-            let base = part.sealed.len() as u32;
+            let base = part.sealed.len();
             for (off, row) in rows.iter().enumerate() {
                 if let Some(key) = row[pk.col].as_i64() {
-                    pk.map.insert(key, (p as u32, base + off as u32));
+                    let serial = PkIndex::serial(p, base + off, pcount);
+                    match pk.map.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let &(ep, er) = e.get();
+                            if serial > PkIndex::serial(ep as usize, er as usize, pcount) {
+                                e.insert((p as u32, (base + off) as u32));
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert((p as u32, (base + off) as u32));
+                        }
+                    }
                 }
             }
         }
@@ -211,30 +246,38 @@ impl Table {
 
     /// Point lookup by primary key: O(1) through the sealed hash index,
     /// with a bounded tail-page fallback for rows not yet sealed.
-    /// Returns `None` when the table has no PK index or the key is absent.
+    /// Duplicate keys resolve to the newest insertion (by round-robin
+    /// serial). Returns `None` when the table has no PK index or the
+    /// key is absent.
     pub fn pk_lookup(&self, key: i64) -> Result<Option<Row>> {
         let Some(pk) = &self.pk else {
             return Ok(None);
         };
-        // Tail first: unsealed rows are newer than anything indexed.
-        let mut found = None;
-        for part in &self.partitions {
+        let pcount = self.partitions.len();
+        let mut best: Option<(u64, Row)> = None;
+        for (p, part) in self.partitions.iter().enumerate() {
+            let base = part.sealed.len();
+            let mut off = 0usize;
             for page in &part.tail {
                 for row in page.iter() {
                     let row = row?;
                     if row[pk.col].as_i64() == Some(key) {
-                        found = Some(row);
+                        let serial = PkIndex::serial(p, base + off, pcount);
+                        if best.as_ref().is_none_or(|(s, _)| serial > *s) {
+                            best = Some((serial, row));
+                        }
                     }
+                    off += 1;
                 }
             }
         }
-        if found.is_some() {
-            return Ok(found);
+        if let Some(&(p, r)) = pk.map.get(&key) {
+            let serial = PkIndex::serial(p as usize, r as usize, pcount);
+            if best.as_ref().is_none_or(|(s, _)| serial > *s) {
+                best = Some((serial, self.partitions[p as usize].sealed.row(r as usize)));
+            }
         }
-        Ok(pk
-            .map
-            .get(&key)
-            .map(|&(p, r)| self.partitions[p as usize].sealed.row(r as usize)))
+        Ok(best.map(|(_, row)| row))
     }
 
     /// Batch point lookup: decodes every tail page exactly once
@@ -251,28 +294,43 @@ impl Table {
                 "table has no primary-key index (first column must be Int)".into(),
             ));
         };
+        let pcount = self.partitions.len();
         let wanted: HashSet<i64> = keys.iter().copied().collect();
-        let mut tail_hits: HashMap<i64, Row> = HashMap::new();
-        for part in &self.partitions {
+        let mut tail_hits: HashMap<i64, (u64, Row)> = HashMap::new();
+        for (p, part) in self.partitions.iter().enumerate() {
+            let base = part.sealed.len();
+            let mut off = 0usize;
             for page in &part.tail {
                 for row in page.iter() {
                     let row = row?;
                     if let Some(k) = row[pk.col].as_i64() {
                         if wanted.contains(&k) {
-                            tail_hits.insert(k, row);
+                            let serial = PkIndex::serial(p, base + off, pcount);
+                            if tail_hits.get(&k).is_none_or(|(s, _)| serial > *s) {
+                                tail_hits.insert(k, (serial, row));
+                            }
                         }
                     }
+                    off += 1;
                 }
             }
         }
         Ok(keys
             .iter()
             .map(|k| {
-                tail_hits.get(k).cloned().or_else(|| {
-                    pk.map
-                        .get(k)
-                        .map(|&(p, r)| self.partitions[p as usize].sealed.row(r as usize))
-                })
+                let tail = tail_hits.get(k);
+                let sealed = pk.map.get(k).map(|&(p, r)| {
+                    (
+                        PkIndex::serial(p as usize, r as usize, pcount),
+                        (p as usize, r as usize),
+                    )
+                });
+                match (tail, sealed) {
+                    (Some((ts, row)), Some((ss, _))) if *ts > ss => Some(row.clone()),
+                    (Some((_, row)), None) => Some(row.clone()),
+                    (_, Some((_, (p, r)))) => Some(self.partitions[p].sealed.row(r)),
+                    (None, None) => None,
+                }
             })
             .collect())
     }
@@ -547,6 +605,56 @@ mod tests {
         assert_eq!(row[1], Value::Float(99.0), "tail row is newer");
         let got = t.lookup_keys(&[3]).unwrap();
         assert_eq!(got[0].as_ref().unwrap()[1], Value::Float(99.0));
+    }
+
+    #[test]
+    fn pk_index_resolves_cross_partition_duplicates_newest_wins() {
+        // The older duplicate lands in partition 1, the newer one in
+        // partition 0 — and partition 1 seals *after* partition 0, so
+        // a latest-sealed-wins index would resurface the stale row.
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema, 2);
+        for i in 0..(SEGMENT_ROWS * 2) {
+            let (k, x) = match i {
+                1 => (42, 1.0), // older copy → partition 1
+                2 => (42, 2.0), // newer copy → partition 0
+                _ => (i as i64 + 1000, i as f64),
+            };
+            t.insert(vec![Value::Int(k), Value::Float(x)]).unwrap();
+        }
+        assert_eq!(t.partitions[0].tail_rows, 0, "both partitions sealed");
+        assert_eq!(t.partitions[1].tail_rows, 0);
+        assert_eq!(t.pk_lookup(42).unwrap().unwrap()[1], Value::Float(2.0));
+        let got = t.lookup_keys(&[42]).unwrap();
+        assert_eq!(got[0].as_ref().unwrap()[1], Value::Float(2.0));
+    }
+
+    #[test]
+    fn sealed_duplicate_newer_than_tail_duplicate_wins() {
+        // Partition 0 seals right after receiving the newer copy while
+        // partition 1 still holds the older copy in its unsealed tail —
+        // blind tail-first preference would return the stale row.
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new(schema, 2);
+        for i in 0..(SEGMENT_ROWS * 2 - 1) {
+            let (k, x) = match i {
+                i if i == SEGMENT_ROWS * 2 - 3 => (42, 1.0), // older → p1 tail
+                i if i == SEGMENT_ROWS * 2 - 2 => (42, 2.0), // newer → p0, seals
+                _ => (i as i64 + 1000, i as f64),
+            };
+            t.insert(vec![Value::Int(k), Value::Float(x)]).unwrap();
+        }
+        assert_eq!(t.partitions[0].tail_rows, 0, "partition 0 sealed");
+        assert!(t.partitions[1].tail_rows > 0, "partition 1 tail unsealed");
+        assert_eq!(t.pk_lookup(42).unwrap().unwrap()[1], Value::Float(2.0));
+        let got = t.lookup_keys(&[42]).unwrap();
+        assert_eq!(got[0].as_ref().unwrap()[1], Value::Float(2.0));
     }
 
     #[test]

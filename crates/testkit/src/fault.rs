@@ -1,0 +1,241 @@
+//! Deterministic fault injection for the WAL's write/fsync seam.
+//!
+//! [`FaultFs`] implements [`nlq_storage::WalIo`] over a real file while
+//! charging every appended byte against a shared [`FaultInjector`]
+//! budget. The first append that would cross the budget writes only the
+//! prefix that fits — a torn record — and fails; from then on every
+//! operation on every sink sharing the injector fails, modeling a
+//! process that died mid-write. Because the crash always happens
+//! *inside* an I/O call, an ack the engine sent before the crash had
+//! its commit fsync complete, so "reopen equals the acked prefix" is an
+//! exact property, not a probabilistic one.
+//!
+//! [`corrupt_tail`] layers the other two fault shapes on top: after a
+//! crash, it tears or bit-flips bytes strictly *beyond* the last synced
+//! offset — the region a real torn write could scramble — without ever
+//! touching durable bytes.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nlq_storage::WalIo;
+
+use crate::Rng;
+
+/// Shared crash plan: a global byte budget across every [`FaultFs`]
+/// charged to it (one injector models one process).
+pub struct FaultInjector {
+    /// Bytes that may still land before the crash; `None` = no crash.
+    budget: Mutex<Option<u64>>,
+    crashed: AtomicBool,
+}
+
+impl FaultInjector {
+    /// A plan that crashes once `crash_after` total bytes have been
+    /// appended across all sinks (`None` never crashes).
+    pub fn new(crash_after: Option<u64>) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            budget: Mutex::new(crash_after),
+            crashed: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether the simulated process has died.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    fn crash_err() -> io::Error {
+        io::Error::other("injected crash")
+    }
+}
+
+/// A [`WalIo`] over a real file that charges appends to a shared
+/// [`FaultInjector`] and records how far the file was last fsynced.
+pub struct FaultFs {
+    file: Mutex<File>,
+    injector: Arc<FaultInjector>,
+    written: AtomicU64,
+    synced: AtomicU64,
+}
+
+impl FaultFs {
+    /// Opens (creating if absent) `path` for appending under `injector`.
+    pub fn open(path: &Path, injector: Arc<FaultInjector>) -> io::Result<FaultFs> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let end = file.seek(SeekFrom::End(0))?;
+        Ok(FaultFs {
+            file: Mutex::new(file),
+            injector,
+            written: AtomicU64::new(end),
+            synced: AtomicU64::new(end),
+        })
+    }
+
+    /// Bytes present in the file (including unsynced ones).
+    pub fn written_len(&self) -> u64 {
+        self.written.load(Ordering::SeqCst)
+    }
+
+    /// Bytes guaranteed durable by the last successful sync. Corruption
+    /// helpers must stay strictly beyond this offset.
+    pub fn synced_len(&self) -> u64 {
+        self.synced.load(Ordering::SeqCst)
+    }
+}
+
+impl WalIo for FaultFs {
+    fn append(&self, bytes: &[u8]) -> io::Result<()> {
+        if self.injector.crashed() {
+            return Err(FaultInjector::crash_err());
+        }
+        let mut budget = self.injector.budget.lock().unwrap();
+        let allowed = match *budget {
+            Some(b) if (bytes.len() as u64) > b => {
+                // Torn write: only the prefix that fits the budget
+                // lands, then the process dies.
+                self.injector.crashed.store(true, Ordering::SeqCst);
+                *budget = Some(0);
+                b as usize
+            }
+            Some(ref mut b) => {
+                *b -= bytes.len() as u64;
+                bytes.len()
+            }
+            None => bytes.len(),
+        };
+        let crashing = allowed < bytes.len();
+        let mut file = self.file.lock().unwrap();
+        file.write_all(&bytes[..allowed])?;
+        self.written.fetch_add(allowed as u64, Ordering::SeqCst);
+        if crashing {
+            // Make the torn prefix visible to the next "boot" the way a
+            // kernel would: the bytes are in the file, just not synced.
+            let _ = file.flush();
+            Err(FaultInjector::crash_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        if self.injector.crashed() {
+            return Err(FaultInjector::crash_err());
+        }
+        self.file.lock().unwrap().sync_data()?;
+        self.synced
+            .store(self.written.load(Ordering::SeqCst), Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn truncate(&self) -> io::Result<()> {
+        if self.injector.crashed() {
+            return Err(FaultInjector::crash_err());
+        }
+        let mut f = self.file.lock().unwrap();
+        f.set_len(0)?;
+        // Rewind the append cursor so the next write lands at offset 0
+        // (set_len alone leaves the cursor — and a hole — behind).
+        f.seek(SeekFrom::Start(0))?;
+        f.sync_data()?;
+        self.written.store(0, Ordering::SeqCst);
+        self.synced.store(0, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// Deterministically corrupts the *unsynced* tail of a crashed log:
+/// with the file `len` bytes long and only `keep` of them durable,
+/// either truncates somewhere in `(keep, len)` (a torn write) or flips
+/// one bit in that range (a scrambled sector). Bytes at or below `keep`
+/// are never touched. No-op when nothing unsynced exists.
+pub fn corrupt_tail(path: &Path, keep: u64, rng: &mut Rng) -> io::Result<()> {
+    let len = std::fs::metadata(path)?.len();
+    if len <= keep {
+        return Ok(());
+    }
+    let span = (len - keep) as usize;
+    if rng.chance(0.5) {
+        let new_len = keep + rng.range_usize(0, span - 1) as u64;
+        OpenOptions::new().write(true).open(path)?.set_len(new_len)
+    } else {
+        let off = keep + rng.range_usize(0, span - 1) as u64;
+        let bit = 1u8 << rng.range_usize(0, 7);
+        let mut data = std::fs::read(path)?;
+        data[off as usize] ^= bit;
+        std::fs::write(path, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nlq-faultfs-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn budget_crash_tears_the_crossing_write_and_poisons_the_sink() {
+        let path = temp_path("budget");
+        let _ = std::fs::remove_file(&path);
+        let inj = FaultInjector::new(Some(10));
+        let fs = FaultFs::open(&path, Arc::clone(&inj)).unwrap();
+        fs.append(b"12345678").unwrap();
+        // 8 of 10 bytes spent: this 8-byte write crosses, lands 2 bytes.
+        assert!(fs.append(b"abcdefgh").is_err());
+        assert!(inj.crashed());
+        assert_eq!(std::fs::read(&path).unwrap(), b"12345678ab");
+        assert!(fs.append(b"x").is_err(), "dead process stays dead");
+        assert!(fs.sync().is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn synced_len_tracks_fsync_not_append() {
+        let path = temp_path("synced");
+        let _ = std::fs::remove_file(&path);
+        let fs = FaultFs::open(&path, FaultInjector::new(None)).unwrap();
+        fs.append(b"hello").unwrap();
+        assert_eq!(fs.synced_len(), 0);
+        fs.sync().unwrap();
+        assert_eq!(fs.synced_len(), 5);
+        fs.append(b" world").unwrap();
+        assert_eq!(fs.synced_len(), 5);
+        assert_eq!(fs.written_len(), 11);
+        fs.truncate().unwrap();
+        assert_eq!(fs.written_len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_tail_never_touches_durable_bytes() {
+        let path = temp_path("corrupt");
+        for seed in 0..64u64 {
+            std::fs::write(&path, [0xAAu8; 100]).unwrap();
+            let mut rng = Rng::new(seed);
+            corrupt_tail(&path, 60, &mut rng).unwrap();
+            let data = std::fs::read(&path).unwrap();
+            assert!(data.len() >= 60, "durable prefix truncated");
+            assert!(
+                data[..60].iter().all(|&b| b == 0xAA),
+                "durable prefix altered (seed {seed})"
+            );
+        }
+        // Fully durable file: nothing to corrupt.
+        std::fs::write(&path, [0xAAu8; 100]).unwrap();
+        corrupt_tail(&path, 100, &mut Rng::new(1)).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), [0xAAu8; 100]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

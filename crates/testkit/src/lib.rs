@@ -8,6 +8,10 @@
 //! fast, seedable PRNG and a case runner that reports the failing case
 //! index so failures are reproducible.
 
+mod fault;
+
+pub use fault::{corrupt_tail, FaultFs, FaultInjector};
+
 /// A deterministic 64-bit PRNG (splitmix64 core).
 ///
 /// Not cryptographic; statistical quality is more than sufficient for
