@@ -14,11 +14,15 @@
 //! header→ack latency), keyed batch scoring through the PK index
 //! (`batch_score`, Zipf-skewed keys), and reads under concurrent
 //! ingest (`read_while_ingest`, asserting the summary and block fast
-//! paths hold); every workload reports client-observed p50/p99. A
+//! paths hold); every workload reports client-observed p50/p99/p999. A
 //! durability pair (`durable_ingest_fsync` / `durable_ingest_nofsync`)
 //! re-runs the ingest workload against WAL-backed engines opened on
 //! throwaway directories, pricing the fsync-per-commit ack guarantee
-//! against group commit without fsync.
+//! against group commit without fsync. An introspection workload
+//! (`sys_catalog`) prices what a dashboard poll costs the serving
+//! path: every request snapshots the live trace ring into a
+//! `sys.queries` table and answers a filtered aggregate over it
+//! through the block path.
 //! Emits `BENCH_server.json`.
 //!
 //! Usage:
@@ -51,8 +55,11 @@ struct Measurement {
     secs: f64,
     qps: f64,
     /// Client-observed per-request latency percentiles, microseconds.
+    /// The p999 tail is what serving SLOs are written against — a
+    /// snapshot-heavy or fsync-bound workload shows there first.
     p50_micros: f64,
     p99_micros: f64,
+    p999_micros: f64,
     /// Workload-specific scalars (rows/sec for ingest, keys/request for
     /// batch scoring) rendered as extra JSON fields.
     extra: Vec<(&'static str, f64)>,
@@ -287,6 +294,29 @@ fn main() {
         per_client,
         500_000_000,
     ));
+
+    // ---- Introspection workload: every request is a filtered Γ
+    // aggregate over `sys.queries`, so each round trip pays for a
+    // fresh snapshot of the trace ring plus a block scan over it —
+    // the cost of a dashboard polling the catalog on the hot path.
+    {
+        // Discard earlier workloads' trace records so the phase
+        // shares below reflect only the catalog queries.
+        let (_, next_after) = drain_traces(addr, last_trace_id);
+        last_trace_id = next_after;
+        eprintln!("measuring sys_catalog ...");
+        let mut m = measure(
+            addr,
+            "sys_catalog",
+            "SELECT count(*), sum(total_us), sum(cpu_us) FROM sys.queries WHERE ok = 1",
+            false,
+            clients,
+            per_client,
+        );
+        let (records, _) = drain_traces(addr, last_trace_id);
+        m.phase_shares = phase_shares(&records);
+        results.push(m);
+    }
     handle.shutdown();
 
     // ---- Durable ingest: the same envelope stream, now logged to a
@@ -441,6 +471,7 @@ fn measure(
         qps: queries as f64 / secs,
         p50_micros: percentile(&lat, 0.50),
         p99_micros: percentile(&lat, 0.99),
+        p999_micros: percentile(&lat, 0.999),
         extra: Vec::new(),
         phase_shares: Vec::new(),
     }
@@ -520,6 +551,7 @@ fn measure_ingest(
         qps: envelopes as f64 / secs,
         p50_micros: percentile(&lat, 0.50),
         p99_micros: percentile(&lat, 0.99),
+        p999_micros: percentile(&lat, 0.999),
         extra: vec![
             ("rows_per_envelope", (chunks * rows_per_chunk) as f64),
             ("rows_per_sec", rows as f64 / secs),
@@ -578,6 +610,7 @@ fn measure_batch_score(
         qps: requests as f64 / secs,
         p50_micros: percentile(&lat, 0.50),
         p99_micros: percentile(&lat, 0.99),
+        p999_micros: percentile(&lat, 0.999),
         extra: vec![
             ("keys_per_request", keys_per_request as f64),
             ("keys_per_sec", (requests * keys_per_request) as f64 / secs),
@@ -683,6 +716,7 @@ fn measure_read_while_ingest(
         qps: queries as f64 / secs,
         p50_micros: percentile(&lat, 0.50),
         p99_micros: percentile(&lat, 0.99),
+        p999_micros: percentile(&lat, 0.999),
         extra: vec![("rows_ingested_concurrently", rows_ingested as f64)],
         phase_shares: Vec::new(),
     }
@@ -806,6 +840,7 @@ fn render_json(
         let _ = writeln!(s, "      \"queries_per_sec\": {:.3},", m.qps);
         let _ = writeln!(s, "      \"p50_micros\": {:.3},", m.p50_micros);
         let _ = writeln!(s, "      \"p99_micros\": {:.3},", m.p99_micros);
+        let _ = writeln!(s, "      \"p999_micros\": {:.3},", m.p999_micros);
         for (name, value) in &m.extra {
             let _ = writeln!(s, "      \"{name}\": {value:.3},");
         }

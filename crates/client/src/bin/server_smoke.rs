@@ -6,7 +6,7 @@
 //! ```text
 //! server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N]
 //!              [--expect-slow] [--ingest] [--sharded N] [--feed N]
-//!              [--verify-recovery]
+//!              [--verify-recovery] [--sys]
 //! ```
 //!
 //! `--expect-chunks N` asserts the large streamed query arrives in at
@@ -31,6 +31,12 @@
 //! envelopes, summary and scan paths must agree, `STATUS` must carry
 //! the recovery counters, the refresh daemon must republish a model,
 //! and batch scores must still match the ingested formula.
+//! `--sys` runs the introspection script instead: real statements must
+//! be visible in `sys.queries` under their stream-minted query ids
+//! with nonzero phase times, `sys.spans` must join per-shard rows
+//! under one id (give the server's shard count with `--sharded N`), Γ
+//! aggregates must ride the block path over the catalog, and `sys.wal`
+//! must reflect a `CHECKPOINT` on a durable server.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -411,6 +417,169 @@ fn run_sharded(addr: &str, skip_shutdown: bool, shards: usize) -> Result<(), Str
     Ok(())
 }
 
+/// Scripted introspection session (`--sys`): run real statements, then
+/// turn the engine on itself. `sys.queries` must see them — under the
+/// query id the stream header carried — with nonzero phase times; when
+/// sharded, `sys.spans` must join one scatter row per shard under that
+/// same id; Γ aggregates must answer over the telemetry snapshot
+/// through the normal block path; and after a `CHECKPOINT`, `sys.wal`
+/// must reflect it on a durable server (a volatile server serves an
+/// empty `sys.wal` instead).
+fn run_sys(addr: &str, skip_shutdown: bool, shards: usize) -> Result<(), String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    c.ping().map_err(|e| format!("ping: {e}"))?;
+    let session = c.session_id();
+    println!("sys session {session} established");
+
+    c.execute("CREATE TABLE SY (i INT, X1 FLOAT)")
+        .map_err(|e| format!("create SY: {e}"))?;
+    let values: Vec<String> = (1..=2000).map(|i| format!("({i}, {i}.0)")).collect();
+    for batch in values.chunks(500) {
+        c.execute(&format!("INSERT INTO SY VALUES {}", batch.join(", ")))
+            .map_err(|e| format!("fill SY: {e}"))?;
+    }
+
+    // The probe statement whose admission-minted id we follow through
+    // the catalog, captured from its own stream header.
+    let mut stream = c
+        .query("SELECT count(*), sum(X1) FROM SY")
+        .map_err(|e| format!("probe query: {e}"))?;
+    let qid = stream.query_id().map_err(|e| format!("query id: {e}"))?;
+    if qid == 0 {
+        return Err("stream header carried query_id 0".into());
+    }
+    let rows: Vec<_> = stream
+        .by_ref()
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("probe rows: {e}"))?;
+    drop(stream);
+    if rows.len() != 1 || rows[0][0].as_i64() != Some(2000) {
+        return Err(format!("probe answered wrong: {rows:?}"));
+    }
+
+    // sys.queries sees the finished probe under that id, with its
+    // text, outcome, and nonzero phase times.
+    let rs = c
+        .execute(&format!(
+            "SELECT sql, outcome, shards, total_us, parse_us FROM sys.queries \
+             WHERE query_id = {qid}"
+        ))
+        .map_err(|e| format!("sys.queries: {e}"))?;
+    if rs.rows.len() != 1 {
+        return Err(format!(
+            "sys.queries holds {} rows for query {qid}, want 1",
+            rs.rows.len()
+        ));
+    }
+    if rs.value(0, 0) != &Value::Str("SELECT count(*), sum(X1) FROM SY".into()) {
+        return Err(format!("sys.queries sql mismatch: {:?}", rs.value(0, 0)));
+    }
+    if rs.value(0, 1) != &Value::Str("ok".into()) {
+        return Err(format!("probe outcome {:?}, want ok", rs.value(0, 1)));
+    }
+    let total_us = rs.value(0, 3).as_f64().unwrap_or(0.0);
+    let parse_us = rs.value(0, 4).as_f64().unwrap_or(0.0);
+    if total_us <= 0.0 || parse_us <= 0.0 {
+        return Err(format!(
+            "phase times must be nonzero: total={total_us}µs parse={parse_us}µs"
+        ));
+    }
+    println!("sys.queries ok (query {qid}: total={total_us:.1}µs, parse={parse_us:.1}µs)");
+
+    if shards > 0 {
+        // Per-query fan-out: the catalog reports how many shards this
+        // query touched, and every shard's scatter span joins under
+        // the same id.
+        if rs.value(0, 2) != &Value::Int(shards as i64) {
+            return Err(format!(
+                "sys.queries reports {:?} shards for query {qid}, want {shards}",
+                rs.value(0, 2)
+            ));
+        }
+        let rs = c
+            .execute(&format!(
+                "SELECT shard FROM sys.spans WHERE query_id = {qid} AND shard >= 0"
+            ))
+            .map_err(|e| format!("sys.spans: {e}"))?;
+        let mut seen: Vec<i64> = rs.rows.iter().filter_map(|r| r[0].as_i64()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen != (0..shards as i64).collect::<Vec<_>>() {
+            return Err(format!(
+                "sys.spans shard rows for query {qid} cover {seen:?}, want all {shards}"
+            ));
+        }
+        println!("sys.spans ok (all {shards} shard spans join under query {qid})");
+    }
+
+    // Γ over telemetry: the paper's summary aggregate runs over the
+    // catalog snapshot like any other table...
+    let rs = c
+        .execute("SELECT nlq_list(2, 'triang', parse_us, total_us) FROM sys.queries WHERE ok = 1")
+        .map_err(|e| format!("Γ over sys.queries: {e}"))?;
+    if rs.rows.is_empty() {
+        return Err("nlq_list over sys.queries returned nothing".into());
+    }
+    // ...and EXPLAIN confirms it rides the block path.
+    let rs = c
+        .execute("EXPLAIN SELECT count(*), sum(total_us) FROM sys.queries WHERE ok = 1")
+        .map_err(|e| format!("explain sys.queries: {e}"))?;
+    let plan: Vec<String> = rs
+        .rows
+        .iter()
+        .filter_map(|r| r.first().map(|v| v.to_string()))
+        .collect();
+    if !plan.iter().any(|l| l.contains("scan mode: block")) {
+        return Err(format!("sys.queries not on the block path: {plan:?}"));
+    }
+    println!("catalog scan ok (Γ aggregate answered, EXPLAIN shows block mode)");
+
+    // This live connection is visible to itself.
+    let rs = c
+        .execute(&format!(
+            "SELECT statements FROM sys.sessions WHERE session = {session}"
+        ))
+        .map_err(|e| format!("sys.sessions: {e}"))?;
+    if rs.rows.len() != 1 || rs.value(0, 0).as_i64().unwrap_or(0) < 1 {
+        return Err(format!("sys.sessions misses session {session}: {rs:?}"));
+    }
+
+    // Durability introspection: a durable server must reflect an
+    // explicit CHECKPOINT in sys.wal; a volatile one serves the same
+    // table empty (and the checkpoint is an acknowledged no-op).
+    c.checkpoint().map_err(|e| format!("checkpoint: {e}"))?;
+    let rs = c
+        .execute("SELECT count(*) FROM sys.wal")
+        .map_err(|e| format!("sys.wal count: {e}"))?;
+    if rs.value(0, 0).as_i64().unwrap_or(0) == 0 {
+        println!("sys.wal ok (volatile server, empty durability table)");
+    } else {
+        let rs = c
+            .execute("SELECT value FROM sys.wal WHERE metric = 'wal.checkpoints'")
+            .map_err(|e| format!("sys.wal checkpoints: {e}"))?;
+        let checkpoints = rs.value(0, 0).as_i64().unwrap_or(0);
+        if checkpoints < 1 {
+            return Err(format!(
+                "sys.wal reports {checkpoints} checkpoints after CHECKPOINT"
+            ));
+        }
+        println!("sys.wal ok (durable server, {checkpoints} checkpoint(s))");
+    }
+
+    let prom = c
+        .metrics_prometheus()
+        .map_err(|e| format!("metrics prometheus: {e}"))?;
+    nlq_client::validate_exposition(&prom)
+        .map_err(|e| format!("malformed Prometheus exposition: {e}\n{prom}"))?;
+    println!("prometheus ok (scrape still valid after catalog queries)");
+
+    if !skip_shutdown {
+        c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        println!("server acknowledged shutdown");
+    }
+    Ok(())
+}
+
 /// Scripted feature-serving session (pair with the server's
 /// `--refresh-ms` set low): stream 10k rows through the chunked INSERT
 /// grammar, wait for the refresh daemon to publish a model from the
@@ -775,6 +944,7 @@ fn main() -> ExitCode {
     let mut sharded = 0usize;
     let mut feed = None;
     let mut verify_recovery = false;
+    let mut sys = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -783,6 +953,7 @@ fn main() -> ExitCode {
             "--expect-slow" => expect_slow = true,
             "--ingest" => ingest = true,
             "--verify-recovery" => verify_recovery = true,
+            "--sys" => sys = true,
             "--feed" => {
                 feed = match args.next().map(|v| v.parse::<i64>()) {
                     Some(Ok(n)) => Some(n),
@@ -819,12 +990,14 @@ fn main() -> ExitCode {
     let Some(addr) = addr else {
         eprintln!(
             "usage: server_smoke --addr HOST:PORT [--skip-shutdown] [--expect-chunks N] \
-             [--expect-slow] [--ingest] [--sharded N] [--feed N] [--verify-recovery]"
+             [--expect-slow] [--ingest] [--sharded N] [--feed N] [--verify-recovery] [--sys]"
         );
         return ExitCode::FAILURE;
     };
     let outcome = if let Some(start) = feed {
         run_feed(&addr, start)
+    } else if sys {
+        run_sys(&addr, skip_shutdown, sharded)
     } else if verify_recovery {
         run_verify_recovery(&addr, skip_shutdown)
     } else if ingest {

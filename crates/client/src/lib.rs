@@ -245,6 +245,7 @@ impl Client {
         Ok(RowStream {
             client: self,
             seq,
+            query_id: 0,
             columns: Vec::new(),
             started: false,
             terminal: false,
@@ -289,19 +290,29 @@ impl Client {
     /// id greater than `after_id`, oldest first, at most `limit`.
     /// `slow_only` reads the slow-query ring instead of the
     /// recent-trace ring. Page forward by passing the last record's
-    /// `id` back as `after_id`.
+    /// `id` back as `after_id`. Use [`Client::trace_page`] to also see
+    /// whether the cursor has fallen behind the ring.
     pub fn trace(
         &mut self,
         slow_only: bool,
         after_id: u64,
         limit: u32,
     ) -> Result<Vec<TraceRecord>> {
+        self.trace_page(slow_only, after_id, limit)
+            .map(|p| p.records)
+    }
+
+    /// Like [`Client::trace`], but also reports whether the page is
+    /// `truncated`: some record newer than `after_id` was already
+    /// evicted from the ring, so the pager has missed traces it can
+    /// never read.
+    pub fn trace_page(&mut self, slow_only: bool, after_id: u64, limit: u32) -> Result<TracePage> {
         match self.round_trip(&Request::Trace {
             slow_only,
             after_id,
             limit,
         })? {
-            Response::Trace { records } => Ok(records),
+            Response::Trace { records, truncated } => Ok(TracePage { records, truncated }),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "expected Trace, got {other:?}"
@@ -378,6 +389,16 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<()> {
         self.expect_ok(&Request::Shutdown)
     }
+}
+
+/// One page of retained query traces (see [`Client::trace_page`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePage {
+    /// Retained records with id greater than the cursor, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Whether a record newer than the cursor was already evicted —
+    /// the pager has missed traces it can never read.
+    pub truncated: bool,
 }
 
 /// An open streamed-INSERT envelope (see [`Client::begin_ingest`]).
@@ -463,6 +484,7 @@ impl Drop for Ingest<'_> {
 pub struct RowStream<'a> {
     client: &'a mut Client,
     seq: u64,
+    query_id: u64,
     columns: Vec<String>,
     started: bool,
     /// Reached a terminal frame (or the connection broke): nothing
@@ -513,6 +535,14 @@ impl RowStream<'_> {
         Ok(&self.columns)
     }
 
+    /// The server-minted query id for this statement (reads up to the
+    /// stream header). Joins the trace record and the `sys.queries` /
+    /// `sys.spans` catalog rows for this execution.
+    pub fn query_id(&mut self) -> Result<u64> {
+        self.ensure_started()?;
+        Ok(self.query_id)
+    }
+
     fn read_payload(&mut self) -> Result<Vec<u8>> {
         match read_frame(&mut self.client.reader) {
             Ok(Some(p)) => Ok(p),
@@ -539,7 +569,12 @@ impl RowStream<'_> {
         let payload = self.read_payload()?;
         let response = Response::decode(&payload).inspect_err(|_| self.terminal = true)?;
         match response {
-            Response::RowsHeader { seq, columns } if seq == self.seq => {
+            Response::RowsHeader {
+                seq,
+                query_id,
+                columns,
+            } if seq == self.seq => {
+                self.query_id = query_id;
                 self.columns = columns;
                 self.started = true;
                 Ok(())

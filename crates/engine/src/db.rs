@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use nlq_linalg::{Matrix, Vector};
 use nlq_models::{MatrixShape, Nlq};
-use nlq_obs::{render_spans, Phase, Span, Trace};
+use nlq_obs::{render_spans, thread_cpu_nanos, Phase, Span, Trace};
 use nlq_storage::{
     replay_wal, CheckpointManifest, Column, DataType, FileIo, Row, Schema, StorageError, Table,
     Value, Wal, WalIo, WalRecord, WalStatsSnapshot,
@@ -19,6 +19,7 @@ use crate::catalog::{Catalog, CatalogEntry};
 use crate::exec::{check_cancelled, result_to_table, ExecContext};
 use crate::expr::{Binder, BoundSchema};
 use crate::parser::parse;
+use crate::sys::SystemTableProvider;
 use crate::{sqlgen, EngineError, Result};
 
 /// Which in-DBMS implementation computes the summary matrices (§3.3's
@@ -86,6 +87,18 @@ pub struct ExecStats {
     /// waiting on the commit fsync. Always 0 on a non-durable engine
     /// and for read-only statements.
     pub wal_nanos: u64,
+    /// WAL bytes this statement appended (payload records plus its
+    /// commit marker). Always 0 on a non-durable engine.
+    pub wal_bytes: u64,
+    /// WAL fsyncs this statement issued or joined (group commit means
+    /// several statements can share one physical fsync; each counts
+    /// the sync it waited on).
+    pub wal_fsyncs: u64,
+    /// CPU nanoseconds the executing thread consumed on this
+    /// statement (`CLOCK_THREAD_CPUTIME_ID` sampled at statement
+    /// boundaries). On a sharded engine, the gather thread plus every
+    /// shard executor's partial, summed.
+    pub cpu_nanos: u64,
     /// Whether the statement was cancelled mid-execution. The engine
     /// never returns a [`ResultSet`] for a cancelled statement (it
     /// returns [`EngineError::Cancelled`]); this flag exists so
@@ -169,6 +182,11 @@ pub struct ExecOptions {
     /// (parse, plan, summary-lookup, scan, finalize) into it; serving
     /// layers append their own encode/stream spans to the same trace.
     pub trace: Option<Trace>,
+    /// Globally unique query id minted by the serving layer at
+    /// admission. Propagated into each shard's partial execution so
+    /// scatter spans gather under one trace tree; 0 when the caller
+    /// does not track ids.
+    pub query_id: u64,
 }
 
 impl ExecOptions {
@@ -233,6 +251,9 @@ pub struct Db {
     dml_lock: Mutex<()>,
     /// Write-ahead log; `None` for a volatile (non-durable) database.
     wal: Option<WalState>,
+    /// Virtual `sys.*` namespace registered by the serving layer
+    /// (`None` until [`Db::set_system_tables`]).
+    system_tables: RwLock<Option<Arc<dyn SystemTableProvider>>>,
 }
 
 impl Db {
@@ -247,6 +268,7 @@ impl Db {
             block_scan: AtomicBool::new(true),
             dml_lock: Mutex::new(()),
             wal: None,
+            system_tables: RwLock::new(None),
         }
     }
 
@@ -384,6 +406,14 @@ impl Db {
         &self.summaries
     }
 
+    /// Registers the virtual `sys.*` namespace this engine resolves
+    /// system-table references through. A serving layer installs one
+    /// provider per engine (on a sharded engine: the same provider on
+    /// every shard, so any shard can answer a `sys.*` scan).
+    pub fn set_system_tables(&self, provider: Arc<dyn SystemTableProvider>) {
+        *self.system_tables.write().expect("system tables lock") = Some(provider);
+    }
+
     fn ctx(&self, opts: &ExecOptions) -> ExecContext<'_> {
         ExecContext {
             catalog: &self.catalog,
@@ -392,6 +422,11 @@ impl Db {
             workers: self.workers,
             block_scan: opts.block_scan.unwrap_or_else(|| self.block_scan()),
             cancel: opts.cancel.clone(),
+            system: self
+                .system_tables
+                .read()
+                .expect("system tables lock")
+                .clone(),
         }
     }
 
@@ -410,6 +445,7 @@ impl Db {
                 return Err(EngineError::Cancelled { rows_scanned: 0 });
             }
         }
+        let cpu_started = thread_cpu_nanos();
         let parse_started = Instant::now();
         let stmt = parse(sql)?;
         let parse_nanos = parse_started.elapsed().as_nanos() as u64;
@@ -419,7 +455,10 @@ impl Db {
             self.execute_stmt_inner(stmt, opts, parse_nanos)?
         };
         rs.stats.parse_nanos = parse_nanos;
+        rs.stats.cpu_nanos += thread_cpu_nanos().saturating_sub(cpu_started);
         if let Some(trace) = &opts.trace {
+            trace.add_cpu_nanos(rs.stats.cpu_nanos);
+            trace.add_wal(rs.stats.wal_bytes, rs.stats.wal_fsyncs);
             for span in phase_spans(&rs.stats) {
                 trace.record(span);
             }
@@ -437,8 +476,12 @@ impl Db {
                 return Err(EngineError::Cancelled { rows_scanned: 0 });
             }
         }
-        let rs = self.execute_stmt_inner(stmt, opts, 0)?;
+        let cpu_started = thread_cpu_nanos();
+        let mut rs = self.execute_stmt_inner(stmt, opts, 0)?;
+        rs.stats.cpu_nanos += thread_cpu_nanos().saturating_sub(cpu_started);
         if let Some(trace) = &opts.trace {
+            trace.add_cpu_nanos(rs.stats.cpu_nanos);
+            trace.add_wal(rs.stats.wal_bytes, rs.stats.wal_fsyncs);
             for span in phase_spans(&rs.stats) {
                 trace.record(span);
             }
@@ -463,7 +506,7 @@ impl Db {
         let _gate = ws.gate.read().expect("wal gate");
         let log_started = Instant::now();
         let eid = ws.wal.alloc_eid();
-        ws.wal.log_sql(eid, sql)?;
+        let payload_bytes = ws.wal.log_sql(eid, sql)?;
         let log_nanos = log_started.elapsed().as_nanos() as u64;
         // Views have no storage to snapshot, so checkpoints carry their
         // defining texts; note the effect before `stmt` moves.
@@ -474,8 +517,10 @@ impl Db {
         };
         let mut rs = self.execute_stmt_inner(stmt, opts, parse_nanos)?;
         let commit_started = Instant::now();
-        ws.wal.commit(eid)?;
+        let marker_bytes = ws.wal.commit(eid)?;
         rs.stats.wal_nanos = log_nanos + commit_started.elapsed().as_nanos() as u64;
+        rs.stats.wal_bytes = payload_bytes + marker_bytes;
+        rs.stats.wal_fsyncs = u64::from(ws.wal.sync_on_commit());
         if let Some((name, created)) = view_effect {
             let mut views = ws.view_ddl.lock().expect("view ddl lock");
             if created {
@@ -1234,7 +1279,7 @@ pub fn phase_spans(stats: &ExecStats) -> Vec<Span> {
         );
         spans.push(Span::new(Phase::Gather, stats.gather_nanos));
         if stats.wal_nanos > 0 {
-            spans.push(Span::new(Phase::Wal, stats.wal_nanos));
+            spans.push(Span::new(Phase::Wal, stats.wal_nanos).bytes(stats.wal_bytes));
         }
         return spans;
     }
@@ -1260,7 +1305,7 @@ pub fn phase_spans(stats: &ExecStats) -> Vec<Span> {
         spans.push(Span::new(Phase::Finalize, stats.finalize_nanos));
     }
     if stats.wal_nanos > 0 {
-        spans.push(Span::new(Phase::Wal, stats.wal_nanos));
+        spans.push(Span::new(Phase::Wal, stats.wal_nanos).bytes(stats.wal_bytes));
     }
     spans
 }
@@ -1464,6 +1509,12 @@ pub trait SqlEngine: Send + Sync {
     fn recovery_info(&self) -> Option<RecoveryInfo> {
         None
     }
+
+    /// Registers the virtual `sys.*` namespace every `sys.`-prefixed
+    /// table reference resolves through (default: ignored, for engines
+    /// without a catalog hook). Sharded engines install the provider
+    /// on every shard so any routing choice can answer a `sys.*` scan.
+    fn set_system_tables(&self, _provider: Arc<dyn SystemTableProvider>) {}
 }
 
 impl SqlEngine for Db {
@@ -1564,5 +1615,9 @@ impl SqlEngine for Db {
 
     fn recovery_info(&self) -> Option<RecoveryInfo> {
         Db::recovery_info(self)
+    }
+
+    fn set_system_tables(&self, provider: Arc<dyn SystemTableProvider>) {
+        Db::set_system_tables(self, provider)
     }
 }

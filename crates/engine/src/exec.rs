@@ -20,6 +20,7 @@ use crate::catalog::{Catalog, CatalogEntry};
 use crate::db::{ExecStats, ResultSet};
 use crate::expr::{AggCall, AggKind, Binder, BoundExpr, BoundSchema, FastArg, StatAgg};
 use crate::predicate::{compile_residual, CompiledPredicates, PredScratch};
+use crate::sys::SystemTableProvider;
 use crate::{EngineError, Result};
 
 /// Upper bound on materialized cross-join products, protecting against
@@ -42,6 +43,10 @@ pub(crate) struct ExecContext<'a> {
     /// [`crate::ExecOptions::cancel`]); checked per row/block in every
     /// scan loop.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Virtual `sys.*` namespace (see
+    /// [`crate::sys::SystemTableProvider`]); `None` when no serving
+    /// layer registered one.
+    pub system: Option<Arc<dyn SystemTableProvider>>,
 }
 
 /// Returns [`EngineError::Cancelled`] when the statement's cancel
@@ -398,7 +403,21 @@ impl ExecContext<'_> {
     }
 
     /// Resolves a name to a materialized table, executing views.
+    /// Names under `sys.` resolve through the registered
+    /// [`SystemTableProvider`], snapshotting live state into an
+    /// ordinary table the scan paths treat like any other.
     pub fn resolve_table(&self, name: &str) -> Result<Arc<Table>> {
+        let lower = name.to_ascii_lowercase();
+        if lower.starts_with(crate::sys::SYS_PREFIX) {
+            let provider = self
+                .system
+                .as_ref()
+                .ok_or_else(|| EngineError::UnknownTable(name.to_owned()))?;
+            return provider
+                .sys_table(&lower)
+                .map(Arc::new)
+                .ok_or_else(|| EngineError::UnknownTable(name.to_owned()));
+        }
         match self.catalog.get(name) {
             Some(CatalogEntry::Table(t)) => Ok(t),
             Some(CatalogEntry::View(query)) => {

@@ -41,6 +41,7 @@ mod parser;
 mod predicate;
 pub mod serve;
 pub mod sqlgen;
+pub mod sys;
 mod token;
 
 pub use ast::{Expr, OrderKey, Projection, SelectStmt, Statement, TableRef};
@@ -53,6 +54,7 @@ pub use error::EngineError;
 pub use exec::{result_to_table, AggPartial};
 pub use parser::parse;
 pub use serve::MAX_SCORE_KEYS;
+pub use sys::{SystemTableProvider, SYS_PREFIX};
 
 /// Convenience result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -370,7 +370,14 @@ impl Parser {
     }
 
     fn table_ref(&mut self) -> Result<TableRef> {
-        let name = self.ident("table name")?;
+        let mut name = self.ident("table name")?;
+        // Qualified names (`sys.queries`): fold the dotted parts into
+        // one catalog key — the system-catalog namespace resolves as a
+        // whole, not as schema + table.
+        while self.eat_if(&TokenKind::Dot) {
+            name.push('.');
+            name.push_str(&self.ident("table name")?);
+        }
         // Optional alias: `X AS A` or `X A` (but not a keyword).
         let alias = if self.eat_kw("AS") {
             Some(self.ident("alias")?)

@@ -29,7 +29,8 @@ mod refresh;
 
 pub use ingest::{IngestState, IngestStream};
 pub use refresh::{
-    Binding, BindingKind, RefreshConfig, RefreshDaemon, RefreshLoop, RefreshProgress, TickGate,
+    Binding, BindingKind, PublishState, RefreshConfig, RefreshDaemon, RefreshLoop, RefreshProgress,
+    TickGate, DAEMON_QUERY_ID_BIT,
 };
 
 use std::fmt;

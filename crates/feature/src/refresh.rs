@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nlq_engine::{ExecOptions, SqlEngine, SummaryRefreshState};
 use nlq_linalg::Vector;
@@ -142,10 +142,29 @@ struct BindingState {
 /// back-pressure needs to see the lag grow.
 #[derive(Debug, Default)]
 pub struct RefreshProgress {
-    /// summary (lowercase) → `rows_folded` at the last publish
-    /// (0 until the first publish).
-    published: Mutex<HashMap<String, u64>>,
+    /// summary (lowercase) → what the last publish looked like
+    /// (all-zero until the first publish).
+    published: Mutex<HashMap<String, PublishState>>,
 }
+
+/// What the ledger remembers about one bound summary's last publish —
+/// the `sys.summaries` row the server renders for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishState {
+    /// `rows_folded` at the last publish (0 until then).
+    pub rows_folded: u64,
+    /// Wall-clock duration of the last refit + publish, nanoseconds
+    /// (0 until the first publish).
+    pub last_refit_nanos: u64,
+    /// Query id of the daemon tick that last published — the
+    /// [`DAEMON_QUERY_ID_BIT`]-tagged id its engine statements carried.
+    pub refit_query_id: u64,
+}
+
+/// High bit set on every query id the refresh daemon mints for its own
+/// engine statements, so daemon-driven work is distinguishable from
+/// server-admitted queries (which count up from 1) in any trace.
+pub const DAEMON_QUERY_ID_BIT: u64 = 1 << 63;
 
 impl RefreshProgress {
     fn bind(&self, summary: &str) {
@@ -153,14 +172,25 @@ impl RefreshProgress {
             .lock()
             .unwrap()
             .entry(summary.to_ascii_lowercase())
-            .or_insert(0);
+            .or_default();
     }
 
-    fn publish(&self, summary: &str, rows_folded: u64) {
+    fn publish(&self, summary: &str, state: PublishState) {
         self.published
             .lock()
             .unwrap()
-            .insert(summary.to_ascii_lowercase(), rows_folded);
+            .insert(summary.to_ascii_lowercase(), state);
+    }
+
+    /// The ledger's current rows: `(summary, last publish)` pairs in
+    /// no particular order.
+    pub fn snapshot(&self) -> Vec<(String, PublishState)> {
+        self.published
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(s, p)| (s.clone(), *p))
+            .collect()
     }
 
     /// Worst per-binding lag: rows folded into a bound summary since
@@ -174,7 +204,13 @@ impl RefreshProgress {
         let published = self.published.lock().unwrap();
         published
             .iter()
-            .map(|(s, done)| current.get(s).copied().unwrap_or(0).saturating_sub(*done))
+            .map(|(s, done)| {
+                current
+                    .get(s)
+                    .copied()
+                    .unwrap_or(0)
+                    .saturating_sub(done.rows_folded)
+            })
             .max()
             .unwrap_or(0)
     }
@@ -190,6 +226,9 @@ pub struct RefreshLoop {
     state: HashMap<String, BindingState>,
     progress: Arc<RefreshProgress>,
     refreshes: u64,
+    /// Ticks run so far; the current tick's engine statements carry
+    /// `DAEMON_QUERY_ID_BIT | ticks` as their query id.
+    ticks: u64,
 }
 
 impl RefreshLoop {
@@ -229,6 +268,21 @@ impl RefreshLoop {
             state: HashMap::new(),
             progress,
             refreshes: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Query id stamped on the current tick's engine statements.
+    fn tick_query_id(&self) -> u64 {
+        DAEMON_QUERY_ID_BIT | self.ticks
+    }
+
+    /// Execution options for the daemon's own engine statements: the
+    /// tick's tagged query id, defaults otherwise.
+    fn tick_opts(&self) -> ExecOptions {
+        ExecOptions {
+            query_id: self.tick_query_id(),
+            ..ExecOptions::default()
         }
     }
 
@@ -251,6 +305,7 @@ impl RefreshLoop {
     /// aborts the tick; already-published models stay published and
     /// un-refreshed bindings retrigger next tick.
     pub fn tick(&mut self) -> Result<u64> {
+        self.ticks += 1;
         // Summary names are case-insensitive engine-side (the store keys
         // by lowercase but reports the name as written), so normalize
         // here or bindings would never match a summary created as `S`.
@@ -309,6 +364,7 @@ impl RefreshLoop {
             if !due {
                 continue;
             }
+            let refit_started = Instant::now();
             match b.kind {
                 BindingKind::Regression => self.refresh_regression(&b)?,
                 BindingKind::Kmeans { k } => self.refresh_kmeans(&b, st, k)?,
@@ -316,7 +372,14 @@ impl RefreshLoop {
             }
             let entry = self.state.get_mut(&b.model).expect("binding state");
             entry.last = Some((st.version, st.rows_folded));
-            self.progress.publish(&b.summary, st.rows_folded);
+            self.progress.publish(
+                &b.summary,
+                PublishState {
+                    rows_folded: st.rows_folded,
+                    last_refit_nanos: refit_started.elapsed().as_nanos() as u64,
+                    refit_query_id: self.tick_query_id(),
+                },
+            );
             self.refreshes += 1;
             published += 1;
         }
@@ -340,10 +403,7 @@ impl RefreshLoop {
     fn probe_rows(&self, table: &str) -> Option<usize> {
         let rs = self
             .engine
-            .execute_with(
-                &format!("SELECT count(*) FROM {table}"),
-                &ExecOptions::default(),
-            )
+            .execute_with(&format!("SELECT count(*) FROM {table}"), &self.tick_opts())
             .ok()?;
         match rs.rows.first()?.first()? {
             Value::Int(n) if *n > 0 => Some(*n as usize),
@@ -408,7 +468,7 @@ impl RefreshLoop {
     fn refresh_kmeans(&mut self, b: &Binding, st: &SummaryRefreshState, k: usize) -> Result<()> {
         let cols = st.columns.join(", ");
         let sql = format!("SELECT {cols} FROM {}", st.table);
-        let rs = self.engine.execute_with(&sql, &ExecOptions::default())?;
+        let rs = self.engine.execute_with(&sql, &self.tick_opts())?;
         let data: Vec<Vec<f64>> = rs
             .rows
             .iter()
@@ -568,6 +628,13 @@ impl RefreshDaemon {
     /// daemon is stalled — the signal ingest back-pressure keys on.
     pub fn staleness(&self) -> u64 {
         self.progress.staleness(self.engine.as_ref())
+    }
+
+    /// The shared publish ledger (per-summary published rows, last
+    /// refit duration, tagged tick query id) — what `sys.summaries`
+    /// renders.
+    pub fn progress(&self) -> Arc<RefreshProgress> {
+        Arc::clone(&self.progress)
     }
 
     /// Models published so far.

@@ -24,6 +24,57 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+// ---------------------------------------------------------------------------
+// Per-thread CPU clock
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod cpu_clock {
+    //! Hand-rolled `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` — the
+    //! workspace is std-only, so the two libc declarations live here
+    //! (same idiom as the shard crate's `sched_setaffinity`).
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+
+    pub fn thread_cpu_nanos() -> u64 {
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: `ts` is a valid, writable timespec; the clock id is a
+        // compile-time constant the kernel always supports.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc != 0 {
+            return 0;
+        }
+        (ts.tv_sec as u64).saturating_mul(1_000_000_000) + ts.tv_nsec as u64
+    }
+}
+
+/// CPU time consumed by the calling thread, in nanoseconds
+/// (`CLOCK_THREAD_CPUTIME_ID`). Sampled at span boundaries to attribute
+/// CPU to queries; returns 0 on platforms without the clock.
+pub fn thread_cpu_nanos() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        cpu_clock::thread_cpu_nanos()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 /// A query-execution phase, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
@@ -140,6 +191,13 @@ pub struct Span {
     pub bytes: u64,
     /// Column blocks decoded in this phase (0 when not applicable).
     pub blocks: u64,
+    /// CPU nanoseconds consumed during this phase (0 when not
+    /// sampled). For per-shard scatter spans this is the pinned shard
+    /// thread's CPU time over its partial execution.
+    pub cpu_nanos: u64,
+    /// Shard index for per-shard scatter spans; -1 when the span is
+    /// not shard-scoped.
+    pub shard: i64,
 }
 
 impl Span {
@@ -152,6 +210,8 @@ impl Span {
             rows: 0,
             bytes: 0,
             blocks: 0,
+            cpu_nanos: 0,
+            shard: -1,
         }
     }
 
@@ -170,6 +230,18 @@ impl Span {
     /// Sets the blocks attribute.
     pub fn blocks(mut self, blocks: u64) -> Span {
         self.blocks = blocks;
+        self
+    }
+
+    /// Sets the CPU-time attribute.
+    pub fn cpu_nanos(mut self, cpu_nanos: u64) -> Span {
+        self.cpu_nanos = cpu_nanos;
+        self
+    }
+
+    /// Marks this span as scoped to one shard's partial execution.
+    pub fn on_shard(mut self, shard: usize) -> Span {
+        self.shard = shard as i64;
         self
     }
 }
@@ -229,6 +301,13 @@ impl Outcome {
 struct TraceInner {
     started: Instant,
     spans: Mutex<Vec<Span>>,
+    /// CPU nanoseconds attributed to this statement (worker thread
+    /// plus per-shard executors, summed at gather).
+    cpu_nanos: AtomicU64,
+    /// WAL payload bytes appended on behalf of this statement.
+    wal_bytes: AtomicU64,
+    /// WAL fsyncs issued (or joined) on behalf of this statement.
+    wal_fsyncs: AtomicU64,
 }
 
 /// A lightweight handle accumulating one statement's phase spans.
@@ -249,6 +328,9 @@ impl Trace {
             inner: Arc::new(TraceInner {
                 started: Instant::now(),
                 spans: Mutex::new(Vec::new()),
+                cpu_nanos: AtomicU64::new(0),
+                wal_bytes: AtomicU64::new(0),
+                wal_fsyncs: AtomicU64::new(0),
             }),
         }
     }
@@ -277,6 +359,32 @@ impl Trace {
     pub fn spans(&self) -> Vec<Span> {
         self.inner.spans.lock().expect("trace spans").clone()
     }
+
+    /// Adds CPU nanoseconds to this statement's total.
+    pub fn add_cpu_nanos(&self, nanos: u64) {
+        self.inner.cpu_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// CPU nanoseconds attributed so far.
+    pub fn cpu_nanos(&self) -> u64 {
+        self.inner.cpu_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Adds WAL bytes and fsyncs to this statement's totals.
+    pub fn add_wal(&self, bytes: u64, fsyncs: u64) {
+        self.inner.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.inner.wal_fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
+    }
+
+    /// WAL bytes attributed so far.
+    pub fn wal_bytes(&self) -> u64 {
+        self.inner.wal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// WAL fsyncs attributed so far.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.inner.wal_fsyncs.load(Ordering::Relaxed)
+    }
 }
 
 impl Default for Trace {
@@ -297,9 +405,19 @@ impl std::fmt::Debug for Trace {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// Server-wide monotone trace id (paging cursor for `TRACE`).
+    /// Assigned at completion, so ids are retention-ordered.
     pub id: u64,
+    /// Globally unique query id minted at admission (before queueing),
+    /// the join key across `sys.queries`, `sys.spans`, `RowsHeader`,
+    /// and the slow-query log. Admission order, not completion order.
+    pub query_id: u64,
     /// Session that ran the statement.
     pub session: u64,
+    /// Peer address of the session's connection.
+    pub peer: String,
+    /// Shards the statement fanned out to (0 for a single-node
+    /// engine).
+    pub shards: u32,
     /// The statement's 1-based `Execute` sequence on its session.
     pub seq: u64,
     /// The SQL text.
@@ -312,8 +430,33 @@ pub struct TraceRecord {
     pub total_nanos: u64,
     /// Whether the statement crossed the slow-query threshold.
     pub slow: bool,
+    /// WAL payload bytes this statement appended (0 when volatile).
+    pub wal_bytes: u64,
+    /// WAL fsyncs this statement issued or joined.
+    pub fsyncs: u64,
+    /// CPU nanoseconds consumed (worker + shard executors).
+    pub cpu_nanos: u64,
     /// Per-phase spans, in recording order.
     pub spans: Vec<Span>,
+}
+
+impl TraceRecord {
+    /// Rows streamed: the max `rows` attribute across spans (phases
+    /// report the same row population at different stages).
+    pub fn rows(&self) -> u64 {
+        self.spans.iter().map(|s| s.rows).max().unwrap_or(0)
+    }
+
+    /// Payload bytes produced: the max `bytes` attribute across
+    /// non-WAL spans.
+    pub fn bytes(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.phase != Phase::Wal)
+            .map(|s| s.bytes)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Fixed-capacity ring retaining the most recent [`TraceRecord`]s.
@@ -326,6 +469,11 @@ pub struct TraceRecord {
 pub struct TraceRing {
     slots: Box<[Mutex<Option<TraceRecord>>]>,
     next: AtomicU64,
+    /// Records overwritten after the ring wrapped.
+    evicted: AtomicU64,
+    /// Highest record id evicted so far (0 = none). Lets `TRACE`
+    /// paging report truncation when `after_id` has fallen off.
+    max_evicted_id: AtomicU64,
 }
 
 impl TraceRing {
@@ -335,6 +483,8 @@ impl TraceRing {
         TraceRing {
             slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
             next: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            max_evicted_id: AtomicU64::new(0),
         }
     }
 
@@ -348,10 +498,29 @@ impl TraceRing {
         self.next.load(Ordering::Relaxed)
     }
 
+    /// Records evicted (overwritten) over the ring's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Whether a `TRACE` page anchored at `after_id` is missing
+    /// evicted records: true when some record with id > `after_id`
+    /// has already been overwritten.
+    pub fn truncated(&self, after_id: u64) -> bool {
+        self.max_evicted_id.load(Ordering::Relaxed) > after_id
+    }
+
     /// Retains `record`, evicting the oldest once full.
     pub fn push(&self, record: TraceRecord) {
         let slot = self.next.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
-        *self.slots[slot].lock().expect("trace ring slot") = Some(record);
+        let prev = self.slots[slot]
+            .lock()
+            .expect("trace ring slot")
+            .replace(record);
+        if let Some(old) = prev {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            self.max_evicted_id.fetch_max(old.id, Ordering::Relaxed);
+        }
     }
 
     /// The retained records with id greater than `after_id`, oldest
@@ -596,6 +765,26 @@ fn valid_labels(s: &str) -> bool {
 mod tests {
     use super::*;
 
+    fn record(id: u64, session: u64, seq: u64, sql: String, total_nanos: u64) -> TraceRecord {
+        TraceRecord {
+            id,
+            query_id: id,
+            session,
+            peer: String::new(),
+            shards: 0,
+            seq,
+            sql,
+            outcome: Outcome::Ok,
+            detail: String::new(),
+            total_nanos,
+            slow: false,
+            wal_bytes: 0,
+            fsyncs: 0,
+            cpu_nanos: 0,
+            spans: Vec::new(),
+        }
+    }
+
     #[test]
     fn spans_get_sequential_offsets() {
         let t = Trace::new();
@@ -630,17 +819,7 @@ mod tests {
     fn ring_retains_last_n_and_pages() {
         let ring = TraceRing::new(4);
         for id in 1..=10u64 {
-            ring.push(TraceRecord {
-                id,
-                session: 1,
-                seq: id,
-                sql: format!("SELECT {id}"),
-                outcome: Outcome::Ok,
-                detail: String::new(),
-                total_nanos: id * 10,
-                slow: false,
-                spans: Vec::new(),
-            });
+            ring.push(record(id, 1, id, format!("SELECT {id}"), id * 10));
         }
         let all = ring.page(0, 100);
         assert_eq!(
@@ -662,23 +841,67 @@ mod tests {
                 let ring = Arc::clone(&ring);
                 s.spawn(move || {
                     for i in 0..100u64 {
-                        ring.push(TraceRecord {
-                            id: t * 100 + i,
-                            session: t,
-                            seq: i,
-                            sql: String::new(),
-                            outcome: Outcome::Ok,
-                            detail: String::new(),
-                            total_nanos: 1,
-                            slow: false,
-                            spans: Vec::new(),
-                        });
+                        ring.push(record(t * 100 + i, t, i, String::new(), 1));
                     }
                 });
             }
         });
         assert_eq!(ring.pushed(), 400);
         assert_eq!(ring.page(0, 100).len(), 8);
+    }
+
+    #[test]
+    fn ring_wraparound_reports_eviction_and_truncation() {
+        let ring = TraceRing::new(4);
+        for id in 1..=4u64 {
+            ring.push(record(id, 1, id, String::new(), 1));
+        }
+        // Full but nothing overwritten yet: no eviction, no truncation.
+        assert_eq!(ring.evicted(), 0);
+        assert!(!ring.truncated(0));
+        // Wrap: ids 1..=3 fall off.
+        for id in 5..=7u64 {
+            ring.push(record(id, 1, id, String::new(), 1));
+        }
+        assert_eq!(ring.evicted(), 3);
+        // A cursor before (or at) an evicted id has missed records.
+        assert!(ring.truncated(0));
+        assert!(ring.truncated(2));
+        // The highest evicted id is 3, so paging after 3 is complete.
+        assert!(!ring.truncated(3));
+        assert!(!ring.truncated(6));
+        // Paging still returns what's retained.
+        assert_eq!(
+            ring.page(0, 100).iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn thread_cpu_clock_is_monotone() {
+        let a = thread_cpu_nanos();
+        // Burn a little CPU so the clock must advance on Linux.
+        let mut x = 0u64;
+        for i in 0..200_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn record_rows_and_bytes_take_span_maxima() {
+        let mut r = record(1, 1, 1, String::new(), 1);
+        r.spans = vec![
+            Span::new(Phase::Scan, 10).rows(100),
+            Span::new(Phase::Encode, 5).rows(100).bytes(4096),
+            Span::new(Phase::Wal, 5).bytes(9999),
+            Span::new(Phase::Stream, 5).bytes(4096),
+        ];
+        assert_eq!(r.rows(), 100);
+        // WAL bytes are accounted separately, not as payload bytes.
+        assert_eq!(r.bytes(), 4096);
     }
 
     #[test]

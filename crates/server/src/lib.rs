@@ -22,6 +22,7 @@
 pub mod metrics;
 pub mod pool;
 mod server;
+mod sys;
 pub mod wire;
 
 pub use metrics::Metrics;

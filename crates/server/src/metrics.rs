@@ -212,6 +212,18 @@ pub struct Metrics {
     /// Ingest envelopes refused with a retry hint because the refresh
     /// daemon was too far behind (`--staleness-bound`).
     pub ingest_backpressure: AtomicU64,
+    /// Trace records overwritten after the rings wrapped (recent +
+    /// slow rings; mirrored from the rings at render time). When this
+    /// grows, `TRACE` pages anchored at old cursors report
+    /// `truncated`.
+    pub trace_ring_evicted: AtomicU64,
+    /// CPU nanoseconds attributed to completed queries (worker thread
+    /// plus per-shard executors, summed at gather).
+    pub query_cpu_nanos: AtomicU64,
+    /// Rows folded into bound summaries since their models were last
+    /// published — the refresh daemon's worst-case lag (mirrored at
+    /// render time; 0 without a daemon).
+    pub refresh_lag_rows: AtomicU64,
 }
 
 impl Metrics {
@@ -240,6 +252,9 @@ impl Metrics {
             batch_score_keys: AtomicU64::new(0),
             model_refreshes: AtomicU64::new(0),
             ingest_backpressure: AtomicU64::new(0),
+            trace_ring_evicted: AtomicU64::new(0),
+            query_cpu_nanos: AtomicU64::new(0),
+            refresh_lag_rows: AtomicU64::new(0),
         }
     }
 
@@ -337,6 +352,18 @@ impl Metrics {
                 "ingest_backpressure_total",
                 self.ingest_backpressure.load(Ordering::Relaxed),
             ),
+            (
+                "trace_ring_evicted_total",
+                self.trace_ring_evicted.load(Ordering::Relaxed),
+            ),
+            (
+                "query_cpu_us_total",
+                self.query_cpu_nanos.load(Ordering::Relaxed) / 1_000,
+            ),
+            (
+                "refresh_lag_rows",
+                self.refresh_lag_rows.load(Ordering::Relaxed),
+            ),
         ]
     }
 
@@ -393,7 +420,7 @@ impl Metrics {
         let mut p = PromText::new();
         for (name, v) in self.named(queue_depth, workers_busy) {
             let kind = match name {
-                "queue_depth" | "workers_busy" | "sessions_active" => "gauge",
+                "queue_depth" | "workers_busy" | "sessions_active" | "refresh_lag_rows" => "gauge",
                 _ => "counter",
             };
             let full = format!("nlq_{name}");

@@ -208,46 +208,67 @@ impl ActiveQuery {
     }
 }
 
-/// A live session as the accept thread tracks it for the drain.
-struct LiveSession {
-    id: u64,
+/// A live session as the accept thread tracks it for the drain (and
+/// as `sys.sessions` snapshots it).
+pub(crate) struct LiveSession {
+    pub(crate) id: u64,
     read_half: TcpStream,
     active: Arc<ActiveQuery>,
+    /// Peer address of the connection, as accepted.
+    pub(crate) peer: String,
+    /// Statements the session has completed (shared with the session
+    /// thread's own counter).
+    pub(crate) statements: Arc<AtomicU64>,
 }
 
-struct Shared {
-    db: Arc<dyn SqlEngine>,
-    pool: WorkerPool,
-    metrics: Arc<Metrics>,
-    config: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) db: Arc<dyn SqlEngine>,
+    pub(crate) pool: WorkerPool,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) config: ServerConfig,
     /// The bound listener address (for shutdown self-wakes).
     addr: SocketAddr,
     shutting_down: AtomicBool,
     next_session: AtomicU64,
     /// Live sessions: read-halves (closed on shutdown to unblock
     /// their frame reads) and cancellation registries.
-    live: Mutex<Vec<LiveSession>>,
+    pub(crate) live: Mutex<Vec<LiveSession>>,
     /// Ring of the most recently completed query traces.
-    traces: TraceRing,
+    pub(crate) traces: TraceRing,
     /// Ring of queries that crossed the slow-query threshold.
-    slow_traces: TraceRing,
+    pub(crate) slow_traces: TraceRing,
     /// Server-wide monotone trace id (the `TRACE` paging cursor).
+    /// Assigned at completion, so ids are retention-ordered.
     next_trace_id: AtomicU64,
+    /// Server-wide query id, minted at admission — before queueing —
+    /// and threaded through `ExecOptions` into every span, shard
+    /// partial, and WAL commit the statement produces. The join key
+    /// across `RowsHeader`, `sys.queries`, `sys.spans`, and the
+    /// slow-query log.
+    next_query_id: AtomicU64,
     /// The continuous model-refresh daemon (when configured); taken
     /// and joined on shutdown.
-    daemon: Mutex<Option<RefreshDaemon>>,
+    pub(crate) daemon: Mutex<Option<RefreshDaemon>>,
 }
 
 impl Shared {
-    /// Mirrors the refresh daemon's publish counter into the metrics
-    /// so `METRICS` / Prometheus scrapes see it without holding the
-    /// daemon lock longer than a load.
-    fn sync_refresh_metrics(&self) {
+    /// Mirrors state owned elsewhere — the refresh daemon's publish
+    /// counter and lag, the trace rings' eviction counts — into the
+    /// metrics so `METRICS` / Prometheus scrapes and `sys.metrics`
+    /// see them without holding the source locks longer than a load.
+    pub(crate) fn sync_derived_metrics(&self) {
         if let Some(d) = self.daemon.lock().expect("daemon").as_ref() {
             self.metrics
                 .model_refreshes
                 .store(d.refreshes(), Ordering::Relaxed);
+            self.metrics
+                .refresh_lag_rows
+                .store(d.staleness(), Ordering::Relaxed);
         }
+        self.metrics.trace_ring_evicted.store(
+            self.traces.evicted() + self.slow_traces.evicted(),
+            Ordering::Relaxed,
+        );
     }
 
     /// How many folded rows the refresh daemon is behind its last
@@ -319,9 +340,20 @@ pub fn serve(db: Arc<dyn SqlEngine>, config: ServerConfig) -> io::Result<ServerH
         traces: TraceRing::new(config.trace_ring),
         slow_traces: TraceRing::new(config.trace_ring),
         next_trace_id: AtomicU64::new(1),
+        next_query_id: AtomicU64::new(1),
         daemon: Mutex::new(daemon),
         config,
     });
+    // Register the virtual system catalog: `sys.*` names resolve to
+    // snapshots of this server's live state, queryable through the
+    // ordinary scan/aggregate path. The provider holds a weak
+    // reference — the engine outliving the server must not keep it
+    // alive, and `Shared.db` already owns the engine.
+    shared
+        .db
+        .set_system_tables(Arc::new(crate::sys::SysCatalog::new(Arc::downgrade(
+            &shared,
+        ))));
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
         .name("nlq-accept".into())
@@ -403,18 +435,25 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             .fetch_add(1, Ordering::Relaxed);
         let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
         let active = Arc::new(ActiveQuery::default());
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default();
+        let statements = Arc::new(AtomicU64::new(0));
         if let Ok(read_half) = stream.try_clone() {
             shared.live.lock().expect("live list").push(LiveSession {
                 id,
                 read_half,
                 active: Arc::clone(&active),
+                peer: peer.clone(),
+                statements: Arc::clone(&statements),
             });
         }
         let conn_shared = Arc::clone(shared);
         let handle = std::thread::Builder::new()
             .name(format!("nlq-session-{id}"))
             .spawn(move || {
-                session_loop(stream, id, &active, &conn_shared);
+                session_loop(stream, id, peer, statements, &active, &conn_shared);
                 conn_shared
                     .metrics
                     .sessions_active
@@ -485,10 +524,14 @@ fn refuse(stream: TcpStream, code: ErrorCode, message: &str) {
 /// Per-session mutable state.
 struct Session {
     id: u64,
+    /// Peer address of the connection (stamped on trace records).
+    peer: String,
     /// `None` = server default; `Some` = per-session override.
     block_scan: Option<bool>,
     last_stats: Option<ExecStats>,
-    statements: u64,
+    /// Statements completed; shared with the accept thread's
+    /// [`LiveSession`] so `sys.sessions` reads it live.
+    statements: Arc<AtomicU64>,
     /// 1-based count of `Execute` requests received; its value for
     /// the current statement is the stream's sequence number. The
     /// client keeps the same count, which is how both sides agree on
@@ -519,16 +562,24 @@ enum Incoming {
     Bad(String),
 }
 
-fn session_loop(stream: TcpStream, id: u64, active: &Arc<ActiveQuery>, shared: &Arc<Shared>) {
+fn session_loop(
+    stream: TcpStream,
+    id: u64,
+    peer: String,
+    statements: Arc<AtomicU64>,
+    active: &Arc<ActiveQuery>,
+    shared: &Arc<Shared>,
+) {
     let (Ok(read_stream), Ok(write_stream)) = (stream.try_clone(), stream.try_clone()) else {
         return;
     };
     let mut writer = BufWriter::new(write_stream);
     let mut session = Session {
         id,
+        peer,
         block_scan: None,
         last_stats: None,
-        statements: 0,
+        statements,
         execute_seq: 0,
         ingest: IngestSlot::Idle,
     };
@@ -777,6 +828,7 @@ fn batch_score(
         block_scan: session.block_scan,
         cancel: None,
         trace: None,
+        query_id: shared.next_query_id.fetch_add(1, Ordering::Relaxed),
     };
     match shared.db.batch_score(table, model, keys, explain, &opts) {
         Ok(rs) => {
@@ -785,7 +837,7 @@ fn batch_score(
                 .batch_score_keys
                 .fetch_add(keys.len() as u64, Ordering::Relaxed);
             session.last_stats = Some(rs.stats);
-            session.statements += 1;
+            session.statements.fetch_add(1, Ordering::Relaxed);
             Response::Result {
                 columns: rs.columns,
                 rows: rs.rows,
@@ -822,7 +874,7 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
             },
         },
         Request::Metrics => {
-            shared.sync_refresh_metrics();
+            shared.sync_derived_metrics();
             let mut rows = shared
                 .metrics
                 .render(shared.pool.queue_depth(), shared.pool.workers_busy());
@@ -843,7 +895,7 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
             }
         }
         Request::MetricsProm => {
-            shared.sync_refresh_metrics();
+            shared.sync_derived_metrics();
             let mut text = shared
                 .metrics
                 .render_prometheus(shared.pool.queue_depth(), shared.pool.workers_busy());
@@ -874,6 +926,9 @@ fn handle_request(request: Request, session: &mut Session, shared: &Arc<Shared>)
             let limit = (limit as usize).clamp(1, 256);
             Response::Trace {
                 records: ring.page(after_id, limit),
+                // The cursor points below an overwritten record: the
+                // client has missed traces it can never page to.
+                truncated: ring.truncated(after_id),
             }
         }
         // Execute, Shutdown, Cancel, and the ingest/scoring family are
@@ -927,7 +982,7 @@ fn status(session: &Session, shared: &Arc<Shared>) -> Response {
         ],
         vec![
             Value::Str("statements".into()),
-            Value::Int(session.statements as i64),
+            Value::Int(session.statements.load(Ordering::Relaxed) as i64),
         ],
     ];
     if let Some(s) = &session.last_stats {
@@ -1016,6 +1071,10 @@ fn execute_streaming(
         return Ok(false);
     }
 
+    // Minted at admission — before queueing — so the id exists even
+    // for statements that never reach a worker, and admission order
+    // is observable next to the completion-ordered trace id.
+    let query_id = shared.next_query_id.fetch_add(1, Ordering::Relaxed);
     let token = Arc::new(AtomicBool::new(false));
     active.begin(seq, &token);
     let trace = Trace::new();
@@ -1027,6 +1086,7 @@ fn execute_streaming(
             block_scan: session.block_scan,
             cancel: Some(Arc::clone(&token)),
             trace: Some(trace.clone()),
+            query_id,
         },
         Arc::clone(&shared.db),
         shared.config.clone(),
@@ -1064,7 +1124,7 @@ fn execute_streaming(
         }
     }
 
-    let out = relay_stream(seq, session, shared, &token, &trace, &rx, writer);
+    let out = relay_stream(seq, query_id, session, shared, &token, &trace, &rx, writer);
     if out.is_err() {
         // The socket died mid-stream; free the worker.
         token.store(true, Ordering::SeqCst);
@@ -1074,7 +1134,7 @@ fn execute_streaming(
         Ok(end) => (end.outcome, end.detail.clone()),
         Err(e) => (Outcome::Error, e.to_string()),
     };
-    finish_trace(session, shared, seq, &sql, trace, end.0, end.1);
+    finish_trace(session, shared, seq, query_id, &sql, trace, end.0, end.1);
     // `rx` drops here: a worker still streaming fails its next send
     // and abandons the statement.
     out.map(|end| end.ok)
@@ -1083,10 +1143,12 @@ fn execute_streaming(
 /// Retains one completed statement's trace: assign the server-wide
 /// id, push into the recent ring, and — past the slow threshold —
 /// into the slow ring plus the stderr slow-query log.
+#[allow(clippy::too_many_arguments)]
 fn finish_trace(
     session: &Session,
     shared: &Arc<Shared>,
     seq: u64,
+    query_id: u64,
     sql: &str,
     trace: Trace,
     outcome: Outcome,
@@ -1094,23 +1156,42 @@ fn finish_trace(
 ) {
     let total_nanos = trace.elapsed_nanos();
     let slow = Duration::from_nanos(total_nanos) >= shared.config.slow_query;
+    let spans = trace.spans();
+    // Shards the statement actually fanned out to: distinct shard
+    // indices across its scatter spans (0 for a single-node engine).
+    let mut shard_ids: Vec<i64> = spans.iter().map(|s| s.shard).filter(|&s| s >= 0).collect();
+    shard_ids.sort_unstable();
+    shard_ids.dedup();
     let record = TraceRecord {
         id: shared.next_trace_id.fetch_add(1, Ordering::Relaxed),
+        query_id,
         session: session.id,
+        peer: session.peer.clone(),
+        shards: shard_ids.len() as u32,
         seq,
         sql: sql.to_owned(),
         outcome,
         detail,
         total_nanos,
         slow,
-        spans: trace.spans(),
+        wal_bytes: trace.wal_bytes(),
+        fsyncs: trace.wal_fsyncs(),
+        cpu_nanos: trace.cpu_nanos(),
+        spans,
     };
+    shared
+        .metrics
+        .query_cpu_nanos
+        .fetch_add(record.cpu_nanos, Ordering::Relaxed);
     if slow {
         shared.metrics.slow_queries.fetch_add(1, Ordering::Relaxed);
         eprintln!(
-            "slow query: session={} seq={} total={} outcome={} sql={:?}{}",
+            "slow query: query_id={} session={} peer={} seq={} shards={} total={} outcome={} sql={:?}{}",
+            record.query_id,
             record.session,
+            record.peer,
             record.seq,
+            record.shards,
             nlq_obs::fmt_nanos(record.total_nanos),
             record.outcome.name(),
             record.sql,
@@ -1276,6 +1357,7 @@ fn stream_job(
 #[allow(clippy::too_many_arguments)]
 fn relay_stream(
     seq: u64,
+    query_id: u64,
     session: &mut Session,
     shared: &Arc<Shared>,
     token: &Arc<AtomicBool>,
@@ -1296,7 +1378,7 @@ fn relay_stream(
         out
     };
     let finish = |session: &mut Session, end: StreamEnd| -> StreamEnd {
-        session.statements += 1;
+        session.statements.fetch_add(1, Ordering::Relaxed);
         trace.record(Span::new(Phase::Stream, write_nanos.get()).bytes(stream_bytes.get()));
         end
     };
@@ -1304,7 +1386,15 @@ fn relay_stream(
         let remaining = deadline.saturating_duration_since(Instant::now());
         match rx.recv_timeout(remaining) {
             Ok(StreamMsg::Header { columns }) => {
-                timed_write(writer, &Response::RowsHeader { seq, columns }.encode())?;
+                timed_write(
+                    writer,
+                    &Response::RowsHeader {
+                        seq,
+                        query_id,
+                        columns,
+                    }
+                    .encode(),
+                )?;
             }
             Ok(StreamMsg::Chunk(payload)) => {
                 shared

@@ -44,7 +44,7 @@ pub const MAX_FRAME: usize = 64 << 20;
 /// single-round-trip batch scoring (`BatchScore`); version 5 added
 /// durability: an explicit `Checkpoint` request and the `Retry` error
 /// code carried by ingest back-pressure rejections.
-pub const PROTOCOL_VERSION: u32 = 5;
+pub const PROTOCOL_VERSION: u32 = 6;
 
 // Request tags.
 const REQ_EXECUTE: u8 = 0x01;
@@ -283,6 +283,9 @@ pub enum Response {
     RowsHeader {
         /// The statement's 1-based `Execute` count on this session.
         seq: u64,
+        /// Globally unique query id minted at admission — the join key
+        /// into `sys.queries`/`sys.spans` and the slow-query log.
+        query_id: u64,
         /// Output column names.
         columns: Vec<String>,
     },
@@ -319,6 +322,10 @@ pub enum Response {
     Trace {
         /// The page of records.
         records: Vec<TraceRecord>,
+        /// Whether the ring evicted records the page's `after_id`
+        /// cursor should have covered — the pager has a gap it can
+        /// never fill.
+        truncated: bool,
     },
     /// Reply to [`Request::InsertDone`]: the streamed batch committed.
     InsertAck {
@@ -629,6 +636,8 @@ fn put_span(buf: &mut Vec<u8>, s: &Span) {
     buf.extend_from_slice(&s.rows.to_be_bytes());
     buf.extend_from_slice(&s.bytes.to_be_bytes());
     buf.extend_from_slice(&s.blocks.to_be_bytes());
+    buf.extend_from_slice(&s.cpu_nanos.to_be_bytes());
+    buf.extend_from_slice(&s.shard.to_be_bytes());
 }
 
 fn read_span(r: &mut Reader<'_>) -> io::Result<Span> {
@@ -640,18 +649,26 @@ fn read_span(r: &mut Reader<'_>) -> io::Result<Span> {
         rows: r.u64()?,
         bytes: r.u64()?,
         blocks: r.u64()?,
+        cpu_nanos: r.u64()?,
+        shard: r.u64()? as i64,
     })
 }
 
 fn put_trace_record(buf: &mut Vec<u8>, t: &TraceRecord) {
     buf.extend_from_slice(&t.id.to_be_bytes());
+    buf.extend_from_slice(&t.query_id.to_be_bytes());
     buf.extend_from_slice(&t.session.to_be_bytes());
+    put_str(buf, &t.peer);
+    buf.extend_from_slice(&t.shards.to_be_bytes());
     buf.extend_from_slice(&t.seq.to_be_bytes());
     put_str(buf, &t.sql);
     buf.push(t.outcome.as_u8());
     put_str(buf, &t.detail);
     buf.extend_from_slice(&t.total_nanos.to_be_bytes());
     buf.push(u8::from(t.slow));
+    buf.extend_from_slice(&t.wal_bytes.to_be_bytes());
+    buf.extend_from_slice(&t.fsyncs.to_be_bytes());
+    buf.extend_from_slice(&t.cpu_nanos.to_be_bytes());
     buf.extend_from_slice(&(t.spans.len() as u32).to_be_bytes());
     for span in &t.spans {
         put_span(buf, span);
@@ -660,17 +677,23 @@ fn put_trace_record(buf: &mut Vec<u8>, t: &TraceRecord) {
 
 fn read_trace_record(r: &mut Reader<'_>) -> io::Result<TraceRecord> {
     let id = r.u64()?;
+    let query_id = r.u64()?;
     let session = r.u64()?;
+    let peer = r.str()?;
+    let shards = r.u32()?;
     let seq = r.u64()?;
     let sql = r.str()?;
     let outcome = Outcome::from_u8(r.u8()?).ok_or_else(|| bad("unknown outcome tag"))?;
     let detail = r.str()?;
     let total_nanos = r.u64()?;
     let slow = r.u8()? != 0;
+    let wal_bytes = r.u64()?;
+    let fsyncs = r.u64()?;
+    let cpu_nanos = r.u64()?;
     let nspans = r.u32()? as usize;
-    // Each span costs a fixed 41 bytes: reject counts the remaining
+    // Each span costs a fixed 57 bytes: reject counts the remaining
     // payload cannot hold.
-    if nspans.saturating_mul(41) > r.remaining() {
+    if nspans.saturating_mul(57) > r.remaining() {
         return Err(bad("span count exceeds frame size"));
     }
     let mut spans = Vec::with_capacity(nspans);
@@ -679,13 +702,19 @@ fn read_trace_record(r: &mut Reader<'_>) -> io::Result<TraceRecord> {
     }
     Ok(TraceRecord {
         id,
+        query_id,
         session,
+        peer,
+        shards,
         seq,
         sql,
         outcome,
         detail,
         total_nanos,
         slow,
+        wal_bytes,
+        fsyncs,
+        cpu_nanos,
         spans,
     })
 }
@@ -745,9 +774,14 @@ impl Response {
             }
             Response::Ok => buf.push(RESP_OK),
             Response::Pong => buf.push(RESP_PONG),
-            Response::RowsHeader { seq, columns } => {
+            Response::RowsHeader {
+                seq,
+                query_id,
+                columns,
+            } => {
                 buf.push(RESP_ROWS_HEADER);
                 buf.extend_from_slice(&seq.to_be_bytes());
+                buf.extend_from_slice(&query_id.to_be_bytes());
                 buf.extend_from_slice(&(columns.len() as u32).to_be_bytes());
                 for c in columns {
                     put_str(&mut buf, c);
@@ -780,8 +814,9 @@ impl Response {
                 buf.push(RESP_METRICS_TEXT);
                 put_str(&mut buf, text);
             }
-            Response::Trace { records } => {
+            Response::Trace { records, truncated } => {
                 buf.push(RESP_TRACE);
+                buf.push(u8::from(*truncated));
                 buf.extend_from_slice(&(records.len() as u32).to_be_bytes());
                 for record in records {
                     put_trace_record(&mut buf, record);
@@ -838,6 +873,7 @@ impl Response {
             RESP_PONG => Response::Pong,
             RESP_ROWS_HEADER => {
                 let seq = r.u64()?;
+                let query_id = r.u64()?;
                 let ncols = r.u32()? as usize;
                 // Each column name costs at least its 4-byte length
                 // prefix: reject counts the payload cannot hold.
@@ -848,7 +884,11 @@ impl Response {
                 for _ in 0..ncols {
                     columns.push(r.str()?);
                 }
-                Response::RowsHeader { seq, columns }
+                Response::RowsHeader {
+                    seq,
+                    query_id,
+                    columns,
+                }
             }
             RESP_ROWS_CHUNK => {
                 let seq = r.u64()?;
@@ -883,17 +923,18 @@ impl Response {
             }
             RESP_METRICS_TEXT => Response::MetricsText { text: r.str()? },
             RESP_TRACE => {
+                let truncated = r.u8()? != 0;
                 let nrecords = r.u32()? as usize;
                 // Each record costs at least its fixed-width fields
-                // (43 bytes): reject counts the payload cannot hold.
-                if nrecords.saturating_mul(43) > payload.len() {
+                // (83 bytes): reject counts the payload cannot hold.
+                if nrecords.saturating_mul(83) > payload.len() {
                     return Err(bad("record count exceeds frame size"));
                 }
                 let mut records = Vec::with_capacity(nrecords);
                 for _ in 0..nrecords {
                     records.push(read_trace_record(&mut r)?);
                 }
-                Response::Trace { records }
+                Response::Trace { records, truncated }
             }
             RESP_INSERT_ACK => Response::InsertAck { rows: r.u64()? },
             _ => return Err(bad("unknown response tag")),
@@ -1195,23 +1236,35 @@ mod tests {
         });
         round_trip_resp(Response::Trace {
             records: Vec::new(),
+            truncated: false,
         });
         round_trip_resp(Response::Trace {
             records: vec![TraceRecord {
                 id: 7,
+                query_id: 19,
                 session: 3,
+                peer: "127.0.0.1:54321".into(),
+                shards: 4,
                 seq: 2,
                 sql: "SELECT sum(X1) FROM X".into(),
                 outcome: Outcome::Cancelled,
                 detail: "query cancelled after 42 rows".into(),
                 total_nanos: 1_234_567,
                 slow: true,
+                wal_bytes: 512,
+                fsyncs: 1,
+                cpu_nanos: 456_789,
                 spans: vec![
                     Span::new(Phase::Parse, 1_000),
                     Span::new(Phase::Scan, 900_000).rows(42).blocks(3),
+                    Span::new(Phase::Scatter, 800_000)
+                        .rows(21)
+                        .cpu_nanos(300_000)
+                        .on_shard(2),
                     Span::new(Phase::Stream, 50_000).bytes(4096),
                 ],
             }],
+            truncated: true,
         });
     }
 
@@ -1251,6 +1304,7 @@ mod tests {
         round_trip_resp(Response::Pong);
         round_trip_resp(Response::RowsHeader {
             seq: 3,
+            query_id: 11,
             columns: vec!["i".into(), "score".into()],
         });
         round_trip_resp(Response::RowsChunk {

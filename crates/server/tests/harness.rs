@@ -11,7 +11,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use nlq_client::{Client, ClientError, Outcome, Phase};
+use nlq_client::{validate_exposition, Client, ClientError, Outcome, Phase};
 use nlq_engine::{Db, SqlEngine};
 use nlq_feature::TickGate;
 use nlq_server::wire::{ErrorCode, MAX_FRAME};
@@ -124,6 +124,18 @@ impl ScalarUdf for StallUdf {
     }
 }
 
+/// Scrapes the *live* Prometheus endpoint and validates the text
+/// exposition format — every e2e test runs this against real traffic
+/// before tearing its server down, so a malformed metric line (bad
+/// name, non-numeric value, duplicate series) fails the whole suite,
+/// not just the dedicated metrics test.
+fn assert_live_scrape_valid(c: &mut Client) {
+    let text = c.metrics_prometheus().expect("live Prometheus scrape");
+    if let Err(why) = validate_exposition(&text) {
+        panic!("live scrape violates the exposition format: {why}\n{text}");
+    }
+}
+
 /// Polls an observable condition to true within a hard deadline.
 fn wait_until(what: &str, cond: impl Fn() -> bool) {
     let deadline = Instant::now() + Duration::from_secs(10);
@@ -165,6 +177,7 @@ fn large_result_streams_chunked_and_matches_direct_execution() {
     assert_eq!(collected.rows, direct.rows);
     assert!(ts.metrics().chunks_streamed.load(Ordering::Relaxed) >= 8);
     assert!(ts.metrics().bytes_streamed.load(Ordering::Relaxed) > 0);
+    assert_live_scrape_valid(&mut c);
 }
 
 #[test]
@@ -187,6 +200,8 @@ fn chunks_cut_exactly_at_the_configured_boundary() {
     let rows: Vec<_> = stream.by_ref().map(|r| r.unwrap()).collect();
     assert_eq!(rows.len(), 9);
     assert_eq!(stream.chunks_received(), 3, "one past the boundary spills");
+    drop(stream);
+    assert_live_scrape_valid(&mut c);
 }
 
 #[test]
@@ -234,6 +249,7 @@ fn byte_budget_exactly_at_passes_one_past_refuses_mid_stream() {
     assert_eq!(past.metrics().results_too_large.load(Ordering::Relaxed), 1);
     // The session survives the refused statement.
     c.ping().unwrap();
+    assert_live_scrape_valid(&mut c);
 }
 
 /// `pad(x)`: a 64 KiB string per row, to build results bigger than
@@ -281,6 +297,7 @@ fn results_larger_than_max_frame_stream_to_completion() {
         streamed as usize > MAX_FRAME,
         "streamed {streamed} bytes, frame cap is {MAX_FRAME}"
     );
+    assert_live_scrape_valid(&mut c);
 }
 
 #[test]
@@ -317,6 +334,7 @@ fn cancel_wins_the_race_against_a_blocked_scan() {
     c.ping().unwrap();
     let status = c.status().unwrap();
     assert_eq!(status.lookup("last.cancelled"), Some(&Value::Int(1)));
+    assert_live_scrape_valid(&mut c);
 }
 
 #[test]
@@ -380,6 +398,7 @@ fn cancel_mid_scan_at_one_million_rows_frees_the_worker_fast() {
         );
         std::thread::yield_now();
     }
+    assert_live_scrape_valid(&mut c);
 }
 
 #[test]
@@ -412,6 +431,7 @@ fn completion_wins_the_race_against_a_late_cancel() {
     let rs = c.execute("SELECT count(*) FROM G").unwrap();
     assert_eq!(rs.value(0, 0), &Value::Int(1));
     assert_eq!(metrics.queries_cancelled.load(Ordering::Relaxed), 0);
+    assert_live_scrape_valid(&mut c);
 }
 
 #[test]
@@ -441,6 +461,10 @@ fn drain_cancels_streaming_queries_past_the_grace_period() {
         c.execute("SELECT stall(X1) FROM S")
     });
     gate.wait_entered(1);
+
+    // The scrape must be valid while a statement is mid-flight (the
+    // server is about to shut down, so this is the last live window).
+    assert_live_scrape_valid(&mut ts.client());
 
     let t0 = Instant::now();
     ts.handle.shutdown();
@@ -507,6 +531,7 @@ fn trace_ring_pages_completed_queries_over_the_wire() {
     assert!(slow.len() >= 4);
     assert!(slow.iter().all(|r| r.slow));
     assert!(ts.metrics().slow_queries.load(Ordering::Relaxed) >= 4);
+    assert_live_scrape_valid(&mut c);
 }
 
 #[test]
@@ -570,6 +595,7 @@ fn cancel_of_a_queued_statement_skips_execution_entirely() {
     // Both sessions remain usable.
     c1.ping().unwrap();
     c2.ping().unwrap();
+    assert_live_scrape_valid(&mut c1);
 }
 
 #[test]
@@ -641,6 +667,7 @@ fn ingest_envelope_commits_atomically_and_scores_over_the_wire() {
         text.iter().any(|l| l.contains("point lookup: pk index")),
         "plan was {text:?}"
     );
+    assert_live_scrape_valid(&mut c);
 }
 
 #[test]
@@ -691,6 +718,7 @@ fn aborted_ingest_mid_chunk_leaves_no_partial_batch() {
     assert_eq!(ing.finish().unwrap(), 1);
     let rs = c.execute("SELECT count(*) FROM A").unwrap();
     assert_eq!(rs.value(0, 0), &Value::Int(1));
+    assert_live_scrape_valid(&mut c);
 }
 
 #[test]
@@ -727,6 +755,7 @@ fn poisoned_envelope_reports_the_first_error_at_done() {
     assert_eq!(ing.finish().unwrap(), 1);
     let rs = c.execute("SELECT i, X1 FROM P").unwrap();
     assert_eq!(rs.rows[0], vec![Value::Int(42), Value::Float(7.0)]);
+    assert_live_scrape_valid(&mut c);
 }
 
 /// One training row `(i, X1, X2, Y)` per key, with X2 decorrelated
@@ -810,6 +839,7 @@ fn ingest_backpressure_refuses_with_retry_until_the_daemon_catches_up() {
     // The session survives the refusal; the retry hint is a per-envelope
     // verdict, not a poisoned connection.
     c.ping().unwrap();
+    assert_live_scrape_valid(&mut c);
 }
 
 #[test]
@@ -883,6 +913,7 @@ fn durable_server_survives_restart_with_checkpoint_and_status_counters() {
             .unwrap()
             >= 1
     );
+    assert_live_scrape_valid(&mut c);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -953,4 +984,180 @@ fn refresh_daemon_republishes_models_from_streamed_ingest() {
     ] {
         assert!(prom.contains(needle), "scrape missing {needle}");
     }
+    assert_live_scrape_valid(&mut c);
+}
+
+#[test]
+fn sys_catalog_answers_telemetry_queries_through_the_block_path() {
+    let ts = TestServer::start(ServerConfig::default());
+    let mut c = ts.client();
+    let session = c.session_id();
+    load_rows(&mut c, "W", 50);
+
+    // Capture the server-minted query id from the stream header...
+    let mut stream = c.query("SELECT sum(X1) FROM W").unwrap();
+    let qid = stream.query_id().unwrap();
+    assert!(qid > 0, "admission mints nonzero query ids");
+    let rows: Vec<_> = stream.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(rows.len(), 1);
+    drop(stream);
+    let _ = c.execute("SELECT nope FROM W"); // one traced failure
+
+    // ...and find the finished statement in sys.queries under that id,
+    // with its text, outcome, and nonzero phase times.
+    let rs = c
+        .execute(&format!(
+            "SELECT sql, outcome, total_us, parse_us, scan_us FROM sys.queries \
+             WHERE query_id = {qid}"
+        ))
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1, "one catalog row per query id");
+    assert_eq!(rs.value(0, 0), &Value::Str("SELECT sum(X1) FROM W".into()));
+    assert_eq!(rs.value(0, 1), &Value::Str("ok".into()));
+    for (i, phase) in [(2, "total_us"), (3, "parse_us"), (4, "scan_us")] {
+        let us = rs.value(0, i).as_f64().unwrap();
+        assert!(us > 0.0, "{phase} must be nonzero, got {us}");
+    }
+
+    // The failed statement is visible through its numeric companion
+    // column (string predicates are row-path only).
+    let rs = c
+        .execute("SELECT count(*) FROM sys.queries WHERE ok = 0")
+        .unwrap();
+    assert!(rs.value(0, 0).as_i64().unwrap() >= 1, "failure traced");
+
+    // A Γ aggregate over telemetry: the same nlq_list UDF that builds
+    // model summaries, aggregating phase durations of the ok queries.
+    let rs = c
+        .execute("SELECT nlq_list(2, 'triang', parse_us, scan_us) FROM sys.queries WHERE ok = 1")
+        .unwrap();
+    assert!(!rs.rows.is_empty(), "Γ over sys.queries returns a result");
+
+    // EXPLAIN confirms the snapshot scans through the normal block
+    // path — telemetry is just another table to the engine.
+    let plan = c
+        .execute("EXPLAIN SELECT count(*), sum(total_us) FROM sys.queries WHERE ok = 1")
+        .unwrap();
+    let text: Vec<String> = plan
+        .rows
+        .iter()
+        .filter_map(|r| r.first().map(|v| v.to_string()))
+        .collect();
+    assert!(
+        text.iter().any(|l| l.contains("scan mode: block")),
+        "sys.queries must ride the block path, plan was {text:?}"
+    );
+
+    // sys.sessions sees this live connection with its statement count.
+    let rs = c
+        .execute(&format!(
+            "SELECT peer, statements FROM sys.sessions WHERE session = {session}"
+        ))
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_ne!(rs.value(0, 0), &Value::Str(String::new()), "peer recorded");
+    assert!(rs.value(0, 1).as_i64().unwrap() >= 1);
+
+    // sys.metrics serves the METRICS counters as rows.
+    let rs = c
+        .execute("SELECT value FROM sys.metrics WHERE metric = 'sessions_active'")
+        .unwrap();
+    assert!(rs.value(0, 0).as_i64().unwrap() >= 1);
+    assert_live_scrape_valid(&mut c);
+}
+
+#[test]
+fn sharded_query_spans_share_one_query_id_across_all_shards() {
+    const SHARDS: usize = 4;
+    let sharded = Arc::new(nlq_shard::ShardedDb::new(SHARDS, 1));
+    let handle = serve(
+        Arc::clone(&sharded) as Arc<dyn SqlEngine>,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind sharded test server");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    load_rows(&mut c, "SH", 4000);
+
+    let mut stream = c.query("SELECT count(*), sum(X1) FROM SH").unwrap();
+    let qid = stream.query_id().unwrap();
+    let rows: Vec<_> = stream.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(rows[0][0], Value::Int(4000));
+    drop(stream);
+
+    // Every shard's scatter span carries the same query id: the
+    // catalog join is one WHERE clause away.
+    let rs = c
+        .execute(&format!(
+            "SELECT shard FROM sys.spans WHERE query_id = {qid} AND shard >= 0"
+        ))
+        .unwrap();
+    let mut shards: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    assert_eq!(
+        shards,
+        (0..SHARDS as i64).collect::<Vec<_>>(),
+        "all {SHARDS} shards report a span under query {qid}"
+    );
+
+    // sys.queries reports the per-query shard fan-out, and the
+    // gathered CPU total contains the per-shard executor CPU.
+    let rs = c
+        .execute(&format!(
+            "SELECT shards, cpu_us FROM sys.queries WHERE query_id = {qid}"
+        ))
+        .unwrap();
+    assert_eq!(rs.value(0, 0), &Value::Int(SHARDS as i64));
+    let total_cpu = rs.value(0, 1).as_f64().unwrap();
+    let rs = c
+        .execute(&format!(
+            "SELECT sum(cpu_us) FROM sys.spans WHERE query_id = {qid} AND shard >= 0"
+        ))
+        .unwrap();
+    let shard_cpu = rs.value(0, 0).as_f64().unwrap();
+    assert!(
+        total_cpu >= shard_cpu,
+        "gathered cpu {total_cpu}µs must contain the shard sum {shard_cpu}µs"
+    );
+    assert!(total_cpu > 0.0, "worker CPU is sampled on linux");
+    assert_live_scrape_valid(&mut c);
+}
+
+#[test]
+fn trace_paging_reports_truncation_after_ring_wraparound() {
+    let ts = TestServer::start(ServerConfig {
+        trace_ring: 4,
+        ..ServerConfig::default()
+    });
+    let mut c = ts.client();
+    load_rows(&mut c, "TR", 2);
+    for _ in 0..10 {
+        c.execute("SELECT count(*) FROM TR").unwrap();
+    }
+
+    // A cursor at 0 has provably missed evicted records.
+    let page = c.trace_page(false, 0, 256).unwrap();
+    assert!(page.truncated, "cursor 0 is behind the wrapped ring");
+    assert!(page.records.len() <= 4, "ring retains at most its capacity");
+
+    // Paging from the newest retained id is complete, not truncated.
+    let last = page.records.last().unwrap().id;
+    let page = c.trace_page(false, last, 256).unwrap();
+    assert!(!page.truncated);
+    assert!(page.records.is_empty());
+
+    // Eviction pressure is exported to METRICS and the scrape.
+    let m = c.metrics().unwrap();
+    assert!(
+        m.lookup("trace_ring_evicted_total")
+            .and_then(|v| v.as_i64())
+            .unwrap()
+            >= 1
+    );
+    let prom = c.metrics_prometheus().unwrap();
+    assert!(prom.contains("nlq_trace_ring_evicted_total"));
+    assert_live_scrape_valid(&mut c);
 }

@@ -37,9 +37,10 @@ use nlq_engine::{
     load_checkpoint, parse, phase_spans, result_to_table, statement_is_logged, AggPartial, Db,
     EngineError, ExecOptions, ExecStats, Expr, PlanCacheStats, Projection, RecoveryInfo, Result,
     ResultSet, SelectStmt, ShardMetricsSnapshot, SqlEngine, Statement, SummaryRefreshState,
+    SystemTableProvider,
 };
 use nlq_models::Nlq;
-use nlq_obs::{render_spans, Phase, Span};
+use nlq_obs::{render_spans, thread_cpu_nanos, Phase, Span};
 use nlq_storage::{
     replay_wal, CheckpointManifest, FileIo, Row, Schema, StorageError, Table, Value, Wal, WalIo,
     WalRecord, WalStatsSnapshot,
@@ -211,9 +212,12 @@ impl ShardedDb {
         //    table is partitioned.
         if let Some((ckdir, manifest)) = load_checkpoint(dir)? {
             for entry in &manifest.tables {
-                let (i, name) = entry.split_once('/').ok_or(EngineError::Storage(
-                    StorageError::Corrupt("sharded checkpoint table entry"),
-                ))?;
+                let (i, name) =
+                    entry
+                        .split_once('/')
+                        .ok_or(EngineError::Storage(StorageError::Corrupt(
+                            "sharded checkpoint table entry",
+                        )))?;
                 let i: usize = i.parse().map_err(|_| {
                     EngineError::Storage(StorageError::Corrupt("sharded checkpoint shard index"))
                 })?;
@@ -489,6 +493,7 @@ impl ShardedDb {
                 return Err(EngineError::Cancelled { rows_scanned: 0 });
             }
         }
+        let cpu_started = thread_cpu_nanos();
         let parse_started = Instant::now();
         let (stmt, outcome) = self.cache.get_or_parse(sql)?;
         let parse_nanos = match outcome {
@@ -501,7 +506,13 @@ impl ShardedDb {
             self.dispatch(&stmt, opts, outcome, parse_nanos)?
         };
         rs.stats.parse_nanos = parse_nanos;
+        // The gather thread's own CPU; shard executors add their own
+        // samples into the trace as each scatter span completes.
+        let gather_cpu = thread_cpu_nanos().saturating_sub(cpu_started);
+        rs.stats.cpu_nanos += gather_cpu;
         if let Some(trace) = &opts.trace {
+            trace.add_cpu_nanos(gather_cpu);
+            trace.add_wal(rs.stats.wal_bytes, rs.stats.wal_fsyncs);
             for span in phase_spans(&rs.stats) {
                 trace.record(span);
             }
@@ -532,8 +543,10 @@ impl ShardedDb {
         let _gate = ws.gate.read().expect("wal gate");
         let log_started = Instant::now();
         let eid = ws.next_eid.fetch_add(1, Ordering::SeqCst);
+        let mut wal_bytes = 0u64;
+        let mut wal_fsyncs = 0u64;
         for w in &ws.wals {
-            w.log_sql(eid, sql)?;
+            wal_bytes += w.log_sql(eid, sql)?;
         }
         // Phase-1 durability: with more than one log, every payload
         // must be on disk before the first marker, or a torn marker
@@ -543,6 +556,7 @@ impl ShardedDb {
         if ws.fsync && ws.wals.len() > 1 {
             for w in &ws.wals {
                 w.sync()?;
+                wal_fsyncs += 1;
             }
         }
         let log_nanos = log_started.elapsed().as_nanos() as u64;
@@ -554,9 +568,12 @@ impl ShardedDb {
         let mut rs = self.dispatch(stmt, opts, outcome, parse_nanos)?;
         let commit_started = Instant::now();
         for w in &ws.wals {
-            w.commit(eid)?;
+            wal_bytes += w.commit(eid)?;
+            wal_fsyncs += u64::from(w.sync_on_commit());
         }
         rs.stats.wal_nanos += log_nanos + commit_started.elapsed().as_nanos() as u64;
+        rs.stats.wal_bytes += wal_bytes;
+        rs.stats.wal_fsyncs += wal_fsyncs;
         if let Some((name, created)) = view_effect {
             let mut views = ws.view_ddl.lock().expect("view ddl lock");
             if created {
@@ -628,6 +645,7 @@ impl ShardedDb {
             block_scan: opts.block_scan,
             cancel: Some(Arc::clone(token)),
             trace: None,
+            query_id: opts.query_id,
         }
     }
 
@@ -678,9 +696,15 @@ impl ShardedDb {
                 let db = Arc::clone(&self.shards[i].db);
                 let stmt = stmt.clone();
                 let o = self.shard_opts(opts, token);
-                self.shards[i]
-                    .exec
-                    .submit(move || db.execute_statement(stmt, &o))
+                let trace = opts.trace.clone();
+                self.shards[i].exec.submit(move || {
+                    shard_span(
+                        &trace,
+                        i,
+                        |rs: &ResultSet| rs.stats.rows_scanned,
+                        || db.execute_statement(stmt, &o),
+                    )
+                })
             })
             .collect();
         self.collect(targets, rxs, token, |rs: &ResultSet| rs.stats.rows_scanned)
@@ -696,9 +720,16 @@ impl ShardedDb {
         let mut partitioned = 0usize;
         let mut unknown = 0usize;
         for t in &stmt.from {
-            match dist.get(&t.name.to_ascii_lowercase()) {
+            let name = t.name.to_ascii_lowercase();
+            match dist.get(&name) {
                 Some(Distribution::Replicated) => {}
                 Some(Distribution::Partitioned) => partitioned += 1,
+                // Virtual system tables snapshot engine-global state
+                // through the shared provider, so every shard answers
+                // identically — route like a replicated table or a
+                // scatter would multiply the snapshot by the shard
+                // count.
+                None if name.starts_with(nlq_engine::SYS_PREFIX) => {}
                 // Unknown names scatter so the shards surface the real
                 // UnknownTable error (or resolve objects registered on
                 // the shards directly).
@@ -753,9 +784,15 @@ impl ShardedDb {
                 let db = Arc::clone(&self.shards[i].db);
                 let s = stmt.clone();
                 let o = self.shard_opts(opts, token);
-                self.shards[i]
-                    .exec
-                    .submit(move || db.execute_select_partial(&s, &o))
+                let trace = opts.trace.clone();
+                self.shards[i].exec.submit(move || {
+                    shard_span(
+                        &trace,
+                        i,
+                        |p: &AggPartial| p.stats.rows_scanned,
+                        || db.execute_select_partial(&s, &o),
+                    )
+                })
             })
             .collect();
         let results = self.collect(&targets, rxs, token, |p: &AggPartial| p.stats.rows_scanned);
@@ -1385,6 +1422,16 @@ impl SqlEngine for ShardedDb {
     fn recovery_info(&self) -> Option<RecoveryInfo> {
         ShardedDb::recovery_info(self)
     }
+
+    /// Installs the provider on every shard: `sys.*` names are not in
+    /// the distribution map, so their scans route like any unknown
+    /// table (round-robin to one shard) and each shard must be able to
+    /// snapshot the catalog locally.
+    fn set_system_tables(&self, provider: Arc<dyn SystemTableProvider>) {
+        for sh in &self.shards {
+            sh.db.set_system_tables(Arc::clone(&provider));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1473,6 +1520,35 @@ fn order_rows(a: &Row, b: &Row, keys: &[(usize, bool)]) -> std::cmp::Ordering {
         }
     }
     Ordering::Equal
+}
+
+/// Runs one shard's piece of a scattered statement on its pinned
+/// executor thread, recording a per-shard `scatter` span — wall time,
+/// rows, and the executor thread's CPU sample — into the statement's
+/// trace and summing the CPU into the per-query total the gather
+/// reports. Sampling happens inside the closure, on the shard thread,
+/// so `CLOCK_THREAD_CPUTIME_ID` reads the right clock.
+fn shard_span<T>(
+    trace: &Option<nlq_obs::Trace>,
+    shard: usize,
+    rows_of: impl Fn(&T) -> u64,
+    job: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    let cpu_started = thread_cpu_nanos();
+    let wall = Instant::now();
+    let res = job();
+    if let Some(t) = trace {
+        let cpu = thread_cpu_nanos().saturating_sub(cpu_started);
+        let rows = res.as_ref().map(&rows_of).unwrap_or(0);
+        t.record(
+            Span::new(Phase::Scatter, wall.elapsed().as_nanos() as u64)
+                .rows(rows)
+                .cpu_nanos(cpu)
+                .on_shard(shard),
+        );
+        t.add_cpu_nanos(cpu);
+    }
+    res
 }
 
 /// Folds per-shard results: the first non-cancel error (in shard

@@ -423,8 +423,16 @@ impl Wal {
         *self.appended.lock().unwrap()
     }
 
-    /// Appends one framed record; returns the log offset just past it.
-    fn append_record(&self, rec: &WalRecord) -> crate::Result<u64> {
+    /// Whether [`Wal::commit`] fsyncs (each commit then issues or
+    /// joins exactly one physical sync — the attribution callers count
+    /// per statement).
+    pub fn sync_on_commit(&self) -> bool {
+        self.sync_on_commit
+    }
+
+    /// Appends one framed record; returns the log offset just past it
+    /// and the record's framed length.
+    fn append_record(&self, rec: &WalRecord) -> crate::Result<(u64, u64)> {
         let framed = rec.encode();
         let mut appended = self.appended.lock().unwrap();
         self.io.append(&framed).map_err(wal_io_err)?;
@@ -433,38 +441,42 @@ impl Wal {
             .bytes
             .fetch_add(framed.len() as u64, Ordering::Relaxed);
         self.stats.records.fetch_add(1, Ordering::Relaxed);
-        Ok(*appended)
+        Ok((*appended, framed.len() as u64))
     }
 
-    /// Logs a statement payload for envelope `eid` (no fsync yet).
-    pub fn log_sql(&self, eid: u64, text: &str) -> crate::Result<()> {
+    /// Logs a statement payload for envelope `eid` (no fsync yet);
+    /// returns the bytes appended (per-statement WAL attribution).
+    pub fn log_sql(&self, eid: u64, text: &str) -> crate::Result<u64> {
         self.append_record(&WalRecord::Sql {
             eid,
             text: text.to_string(),
         })
-        .map(|_| ())
+        .map(|(_, len)| len)
     }
 
-    /// Logs an ingest-rows payload for envelope `eid` (no fsync yet).
-    pub fn log_rows(&self, eid: u64, table: &str, rows: &[Vec<Value>]) -> crate::Result<()> {
+    /// Logs an ingest-rows payload for envelope `eid` (no fsync yet);
+    /// returns the bytes appended (per-envelope WAL attribution).
+    pub fn log_rows(&self, eid: u64, table: &str, rows: &[Vec<Value>]) -> crate::Result<u64> {
         self.append_record(&WalRecord::Rows {
             eid,
             table: table.to_string(),
             rows: rows.to_vec(),
         })
-        .map(|_| ())
+        .map(|(_, len)| len)
     }
 
     /// Appends the commit marker for `eid` and makes it durable: when
     /// this returns `Ok`, the envelope survives a crash (unless the log
     /// was opened with fsync disabled). Concurrent commits share one
-    /// fsync via the group-commit leader.
-    pub fn commit(&self, eid: u64) -> crate::Result<()> {
-        let target = self.append_record(&WalRecord::Commit { eid })?;
+    /// fsync via the group-commit leader. Returns the marker's framed
+    /// length.
+    pub fn commit(&self, eid: u64) -> crate::Result<u64> {
+        let (target, len) = self.append_record(&WalRecord::Commit { eid })?;
         if !self.sync_on_commit {
-            return Ok(());
+            return Ok(len);
         }
-        self.sync_to(target)
+        self.sync_to(target)?;
+        Ok(len)
     }
 
     /// Makes the log durable up to at least `target` bytes.
